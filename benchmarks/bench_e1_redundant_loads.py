@@ -1,0 +1,16 @@
+"""E1 — Fig. 'redundant loads' (paper: 78% average).
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e1_redundant_loads
+
+from benchmarks.conftest import report
+
+
+def test_e1_redundant_loads(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e1_redundant_loads(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E2 — Fig. 'redundant computation' (shape-only).
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e2_redundant_computation
+
+from benchmarks.conftest import report
+
+
+def test_e2_redundant_computation(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e2_redundant_computation(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E3 — Fig. 'speedup' (paper: up to 5.9x, mean 1.46x).
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e3_speedup
+
+from benchmarks.conftest import report
+
+
+def test_e3_speedup(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e3_speedup(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E4 — Fig. 'committed instructions'.
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e4_committed_instructions
+
+from benchmarks.conftest import report
+
+
+def test_e4_committed_instructions(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e4_committed_instructions(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E5 — Fig. 'hardware context sensitivity'.
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e5_context_sensitivity
+
+from benchmarks.conftest import report
+
+
+def test_e5_context_sensitivity(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e5_context_sensitivity(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

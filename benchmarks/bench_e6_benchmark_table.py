@@ -1,0 +1,16 @@
+"""E6 — Table 'benchmark characteristics'.
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e6_benchmark_table
+
+from benchmarks.conftest import report
+
+
+def test_e6_benchmark_table(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e6_benchmark_table(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E7 — Table 'machine configuration' + energy.
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e7_machine_energy
+
+from benchmarks.conftest import report
+
+
+def test_e7_machine_energy(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e7_machine_energy(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,16 @@
+"""E8 — Design-choice ablations.
+
+Regenerates the artifact and times the regeneration; the rendered table
+is printed into the benchmark output (captured with -s or in CI logs).
+"""
+
+from repro.harness.experiments import run_e8_ablations
+
+from benchmarks.conftest import report
+
+
+def test_e8_ablations(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e8_ablations(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,17 @@
+"""E9 — parallelism extension (not a paper figure).
+
+The abstract claims DTT "enables increased parallelism"; the paper's
+evaluation focuses on redundancy elimination.  This benchmark regenerates
+the extension experiment isolating the parallelism benefit.
+"""
+
+from repro.harness.experiments import run_e9_parallelism
+
+from benchmarks.conftest import report
+
+
+def test_e9_parallelism(benchmark, shared_runner):
+    result = benchmark.pedantic(
+        lambda: run_e9_parallelism(shared_runner), rounds=1, iterations=1
+    )
+    report(result)

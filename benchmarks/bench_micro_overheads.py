@@ -1,0 +1,14 @@
+"""M1 — mechanism-overhead microbenchmarks (appendix-style).
+
+Measures the per-event cost of the DTT machinery in isolation: silent
+triggering stores, clean consume points, and the full trigger round trip.
+"""
+
+from repro.harness.microbench import run_micro_overheads
+
+from benchmarks.conftest import report
+
+
+def test_micro_overheads(benchmark, shared_runner):
+    result = benchmark.pedantic(run_micro_overheads, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline result: mcf on the simulated machine.
+
+Builds the mcf kernel (network-simplex ``refresh_potential``) twice —
+the unmodified baseline and the DTT conversion — and runs both on the
+cycle-approximate SMT machine.  The paper reports 5.9x; this prints what
+the reproduction measures, along with the engine's view of why.
+
+Run:  python examples/mcf_network.py
+"""
+
+from repro import TimingSimulator, get_workload, named_config
+
+
+def main():
+    workload = get_workload("mcf")
+    inp = workload.make_input()
+    config = named_config("smt2")
+
+    print("mcf: refresh_potential as a data-triggered thread")
+    print("=" * 55)
+    print(f"tree nodes: {inp.num_nodes}, simplex iterations: {inp.steps}")
+    print(f"machine: {config.num_cores} core(s) x "
+          f"{config.contexts_per_core} SMT contexts, "
+          f"{config.core_params.issue_width}-wide\n")
+
+    baseline = TimingSimulator(workload.build_baseline(inp), config).run()
+    print(f"baseline: {baseline.cycles:>9,} cycles   "
+          f"{baseline.instructions:>9,} instructions   "
+          f"IPC {baseline.ipc:.2f}")
+
+    build = workload.build_dtt(inp)
+    engine = build.engine(deferred=True)
+    dtt = TimingSimulator(build.program, named_config("smt2"),
+                          engine=engine).run()
+    print(f"DTT:      {dtt.cycles:>9,} cycles   "
+          f"{dtt.instructions:>9,} instructions   IPC {dtt.ipc:.2f}")
+
+    assert dtt.output == baseline.output, "DTT must be output-identical"
+    print("\noutputs identical: yes")
+    print(f"speedup: {baseline.cycles / dtt.cycles:.2f}x "
+          f"(paper: 5.9x on real mcf)")
+
+    row = engine.status["refresh"]
+    print("\nwhy (engine statistics):")
+    print(f"  arc-cost stores:          {row.triggering_stores}")
+    print(f"  value-silent (filtered):  {row.same_value_suppressed}")
+    print(f"  tree walks actually run:  {row.executions_completed}")
+    print(f"  consume points skipped:   {row.clean_consumes}/{row.consumes} "
+          f"({row.skip_fraction:.0%})")
+    print(f"  instructions eliminated:  "
+          f"{1 - dtt.instructions / baseline.instructions:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A sparse linear-system engine with data-triggered preconditioning.
+
+This is the ``equake`` scenario at library scale: an iterative solver
+whose matrix is assembled once and then *mostly* re-assembled to the same
+values each timestep (a seismic stiffness matrix, a circuit Jacobian, a
+finite-element operator on a fixed mesh...).  The per-row preconditioner
+derived from the matrix is expensive to rebuild — and almost always
+rebuilt from unchanged inputs.
+
+With DTT, the preconditioner rows hang off the matrix values: assembly
+writes that change nothing trigger nothing, and the solver's consume
+point skips straight to the solve.
+
+Run:  python examples/sparse_engine.py
+"""
+
+import random
+
+from repro import DttRuntime
+
+
+class SparseEngine:
+    """CSR matrix + Jacobi-style preconditioner kept by a support thread."""
+
+    def __init__(self, num_rows, nnz_per_row, seed=7):
+        rng = random.Random(seed)
+        self.num_rows = num_rows
+        self.row_ptr = [0]
+        self.col_idx = []
+        values = []
+        for _ in range(num_rows):
+            cols = sorted(rng.sample(range(num_rows), nnz_per_row))
+            self.col_idx.extend(cols)
+            values.extend(round(rng.uniform(0.5, 4.0), 2) for _ in cols)
+            self.row_ptr.append(len(self.col_idx))
+        self.row_of = [0] * len(values)
+        for row in range(num_rows):
+            for k in range(self.row_ptr[row], self.row_ptr[row + 1]):
+                self.row_of[k] = row
+
+        self.rt = DttRuntime()
+        self.vals = self.rt.array("vals", values)
+        self.precond = [0.0] * num_rows
+        for row in range(num_rows):
+            self._rebuild_row(row)
+
+        outer = self
+
+        @self.rt.support_thread(triggers=[self.vals])
+        def precond_row(event):
+            outer._rebuild_row(outer.row_of[event.index])
+
+        self._thread = precond_row
+
+    def _rebuild_row(self, row):
+        s = 0.0
+        for k in range(self.row_ptr[row], self.row_ptr[row + 1]):
+            s += abs(self.vals[k])
+        self.precond[row] = 1.0 / s
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, slot, value):
+        """(Re-)assemble one matrix entry — a triggering store."""
+        self.vals[slot] = value
+
+    def apply(self, x):
+        """y = D^-1 A x, settling any pending preconditioner rows first."""
+        self.rt.tcheck(self._thread)
+        y = [0.0] * self.num_rows
+        for row in range(self.num_rows):
+            acc = 0.0
+            for k in range(self.row_ptr[row], self.row_ptr[row + 1]):
+                acc += self.vals[k] * x[self.col_idx[k]]
+            y[row] = acc * self.precond[row]
+        return y
+
+    @property
+    def stats(self):
+        return self._thread.stats
+
+
+def main():
+    rng = random.Random(42)
+    engine = SparseEngine(num_rows=64, nnz_per_row=5)
+    nnz = len(engine.vals)
+    x = [rng.uniform(-1, 1) for _ in range(64)]
+
+    print("sparse engine with data-triggered preconditioning")
+    print("=" * 55)
+    print(f"matrix: 64 rows, {nnz} nonzeros\n")
+
+    checksum = 0.0
+    timesteps = 200
+    for _step in range(timesteps):
+        # re-assembly pass: touch 8 entries; ~90% store the value already
+        # there (the mesh didn't move), ~10% actually change
+        for _ in range(8):
+            slot = rng.randrange(nnz)
+            if rng.random() < 0.10:
+                engine.assemble(slot, round(rng.uniform(0.5, 4.0), 2))
+            else:
+                engine.assemble(slot, engine.vals[slot])
+        y = engine.apply(x)
+        checksum += y[0]
+        x = [0.9 * v + 0.1 * w for v, w in zip(x, y)]
+
+    s = engine.stats
+    naive_rebuilds = timesteps * 8  # rebuild per assembly write
+    print(f"timesteps:                  {timesteps}")
+    print(f"assembly writes:            {s.triggering_stores}")
+    print(f"  silent (value unchanged): {s.same_value_suppressed} "
+          f"({s.same_value_suppressed / s.triggering_stores:.0%})")
+    print(f"preconditioner row rebuilds:")
+    print(f"  naive (per write):        {naive_rebuilds}")
+    print(f"  data-triggered:           {s.executions_completed}")
+    print(f"  eliminated:               "
+          f"{1 - s.executions_completed / naive_rebuilds:.0%}")
+    print(f"\nsolution checksum: {checksum:.6f}")
+
+
+if __name__ == "__main__":
+    main()

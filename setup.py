@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on hosts without the `wheel`
+package (offline environments): setuptools' develop command needs no wheel
+build.  Configuration lives entirely in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — data-triggered threads: runtime, simulator, and evaluation.
+
+A production-quality reproduction of Hung-Wei Tseng and Dean M. Tullsen,
+*Data-triggered threads: Eliminating redundant computation* (HPCA 2011).
+
+Three entry points, by audience:
+
+* **Use the model in Python** — :class:`~repro.core.runtime.DttRuntime`:
+  tracked arrays + decorated support threads + ``tcheck`` consume points.
+  See ``examples/quickstart.py``.
+* **Run programs on the simulated machine** — build DTIR programs with
+  :class:`~repro.isa.builder.ProgramBuilder`, execute them functionally
+  (:class:`~repro.machine.machine.Machine`) or timed
+  (:class:`~repro.timing.system.TimingSimulator`), attach a
+  :class:`~repro.core.engine.DttEngine` for the DTT semantics.
+* **Reproduce the paper** — ``dtt-harness run all`` (or
+  :mod:`repro.harness`) regenerates every table and figure, E1–E8.
+"""
+
+from repro.errors import ReproError
+from repro.isa import Instruction, Program, ProgramBuilder
+from repro.machine import Machine, Memory, run_to_completion
+from repro.cache import CacheHierarchy, HierarchyParams
+from repro.timing import SystemConfig, TimingSimulator, named_config
+from repro.core import (
+    DttConfig,
+    DttEngine,
+    DttRuntime,
+    ThreadQueue,
+    ThreadRegistry,
+    TrackedArray,
+    TriggerSpec,
+)
+from repro.profiling import RedundantLoadProfiler, profile_program
+from repro.workloads import SUITE, get_workload, verify_workload
+from repro.harness import SuiteRunner, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "Machine",
+    "Memory",
+    "run_to_completion",
+    "CacheHierarchy",
+    "HierarchyParams",
+    "SystemConfig",
+    "TimingSimulator",
+    "named_config",
+    "DttConfig",
+    "DttEngine",
+    "DttRuntime",
+    "ThreadQueue",
+    "ThreadRegistry",
+    "TrackedArray",
+    "TriggerSpec",
+    "RedundantLoadProfiler",
+    "profile_program",
+    "SUITE",
+    "get_workload",
+    "verify_workload",
+    "SuiteRunner",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,210 @@
+"""One set-associative, write-back, write-allocate cache.
+
+Addresses are word addresses (the machine's unit); a line holds
+``line_words`` words.  The cache stores only tags and dirty bits — data
+lives in the functional machine's memory — because the timing model needs
+hit/miss outcomes and writeback counts, not contents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.policies import ReplacementPolicy, make_policy
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class CacheParams:
+    """Geometry and policy of one cache."""
+
+    __slots__ = ("name", "num_lines", "associativity", "line_words", "policy")
+
+    def __init__(
+        self,
+        name: str,
+        num_lines: int,
+        associativity: int,
+        line_words: int = 16,
+        policy: str = "lru",
+    ):
+        if not _is_power_of_two(line_words):
+            raise ValueError(f"line_words must be a power of two, got {line_words}")
+        if num_lines % associativity != 0:
+            raise ValueError(
+                f"num_lines ({num_lines}) must be a multiple of associativity "
+                f"({associativity})"
+            )
+        num_sets = num_lines // associativity
+        if not _is_power_of_two(num_sets):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
+        self.name = name
+        self.num_lines = num_lines
+        self.associativity = associativity
+        self.line_words = line_words
+        self.policy = policy
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def size_words(self) -> int:
+        return self.num_lines * self.line_words
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheParams({self.name!r}, lines={self.num_lines}, "
+            f"assoc={self.associativity}, line={self.line_words}w, "
+            f"{self.policy})"
+        )
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports and JSON export)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"miss_rate={self.miss_rate:.3f})"
+        )
+
+
+class Cache:
+    """Tag store of one cache level."""
+
+    def __init__(self, params: CacheParams,
+                 policy: Optional[ReplacementPolicy] = None):
+        self.params = params
+        self._policy = policy or make_policy(
+            params.policy, params.num_sets, params.associativity
+        )
+        self._set_mask = params.num_sets - 1
+        # per set: list of tags (None = invalid way)
+        self._tags: List[List[Optional[int]]] = [
+            [None] * params.associativity for _ in range(params.num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * params.associativity for _ in range(params.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address math ----------------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        """Line number (address with the offset bits stripped)."""
+        return address // self.params.line_words
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.params.line_words
+        return (line & self._set_mask, line >> self._set_mask.bit_length())
+
+    # -- operations ----------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Look up ``address``; fill on miss.  Returns True on hit.
+
+        A miss that evicts a dirty line counts a writeback; the caller
+        (hierarchy) charges the latency of the next level.
+        """
+        set_index, tag = self._index_tag(address)
+        tags = self._tags[set_index]
+        for way, existing in enumerate(tags):
+            if existing == tag:
+                self.stats.hits += 1
+                self._policy.on_access(set_index, way)
+                if is_write:
+                    self._dirty[set_index][way] = True
+                return True
+        self.stats.misses += 1
+        self._fill(set_index, tag, is_write)
+        return False
+
+    def _fill(self, set_index: int, tag: int, is_write: bool) -> None:
+        tags = self._tags[set_index]
+        way = None
+        for candidate, existing in enumerate(tags):
+            if existing is None:
+                way = candidate
+                break
+        if way is None:
+            way = self._policy.victim(set_index)
+            self.stats.evictions += 1
+            if self._dirty[set_index][way]:
+                self.stats.writebacks += 1
+        tags[way] = tag
+        self._dirty[set_index][way] = is_write
+        self._policy.on_access(set_index, way)
+
+    def contains(self, address: int) -> bool:
+        """Tag-only probe (no stats, no state change)."""
+        set_index, tag = self._index_tag(address)
+        return tag in self._tags[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address`` if present (coherence).
+
+        Returns True if a line was invalidated.  A dirty invalidated line
+        counts a writeback (the data must reach the shared level).
+        """
+        set_index, tag = self._index_tag(address)
+        tags = self._tags[set_index]
+        for way, existing in enumerate(tags):
+            if existing == tag:
+                if self._dirty[set_index][way]:
+                    self.stats.writebacks += 1
+                tags[way] = None
+                self._dirty[set_index][way] = False
+                self.stats.invalidations += 1
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate everything and reset policy metadata (not stats)."""
+        for set_index in range(self.params.num_sets):
+            for way in range(self.params.associativity):
+                self._tags[set_index][way] = None
+                self._dirty[set_index][way] = False
+        self._policy.reset()
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held (for invariant tests)."""
+        return sum(
+            1
+            for ways in self._tags
+            for tag in ways
+            if tag is not None
+        )
+
+    def __repr__(self) -> str:
+        return f"Cache({self.params.name!r}, {self.stats!r})"

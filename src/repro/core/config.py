@@ -1,0 +1,76 @@
+"""Configuration of the DTT engine — the paper's design knobs.
+
+Every field corresponds to a design decision discussed in the paper (and
+ablated by experiment E8):
+
+* ``same_value_filter`` — the redundancy filter itself: a triggering store
+  that writes the value already in memory fires nothing.  Turning this off
+  (E8a) makes every triggering store fire, which collapses the benefit to
+  (at best) the concurrency of running the computation early.
+* ``granularity`` — the width, in words, of trigger address matching for
+  address-watched triggers.  1 = exact word (the paper's default ISA
+  semantics); 16 = cache-line granularity, which introduces *false
+  triggers* from neighboring words (E8b).
+* ``queue_capacity`` — thread-queue depth.  On overflow the new trigger is
+  executed immediately as an ordinary function call on the triggering
+  context (the paper's safe fallback), losing the skip/concurrency benefit
+  for that instance (E8c).
+* ``allow_cascading`` — whether a support thread's triggering stores can
+  themselves fire triggers.  The paper's base design forbids cascading;
+  a support thread's ``tst`` behaves as a plain store.
+* ``per_address_dedupe_default`` — default duplicate-suppression key.  True
+  keys queue entries by (thread, address): one pending instance per watched
+  datum.  False keys by thread alone: any number of triggers collapse into
+  one pending execution (right for threads that recompute everything).
+  Individual :class:`~repro.core.registry.TriggerSpec`\\ s can override.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DttError
+
+
+class DttConfig:
+    """Engine configuration; immutable after construction by convention."""
+
+    __slots__ = (
+        "same_value_filter",
+        "granularity",
+        "queue_capacity",
+        "allow_cascading",
+        "strict_cascading",
+        "per_address_dedupe_default",
+    )
+
+    def __init__(
+        self,
+        same_value_filter: bool = True,
+        granularity: int = 1,
+        queue_capacity: int = 16,
+        allow_cascading: bool = False,
+        strict_cascading: bool = False,
+        per_address_dedupe_default: bool = True,
+    ):
+        if granularity < 1:
+            raise DttError(f"granularity must be >= 1 word, got {granularity}")
+        if queue_capacity < 1:
+            raise DttError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if strict_cascading and allow_cascading:
+            raise DttError(
+                "strict_cascading (fault on support-thread tst) conflicts "
+                "with allow_cascading"
+            )
+        self.same_value_filter = same_value_filter
+        self.granularity = granularity
+        self.queue_capacity = queue_capacity
+        self.allow_cascading = allow_cascading
+        self.strict_cascading = strict_cascading
+        self.per_address_dedupe_default = per_address_dedupe_default
+
+    def __repr__(self) -> str:
+        return (
+            f"DttConfig(same_value_filter={self.same_value_filter}, "
+            f"granularity={self.granularity}, "
+            f"queue_capacity={self.queue_capacity}, "
+            f"allow_cascading={self.allow_cascading})"
+        )

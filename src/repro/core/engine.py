@@ -1,0 +1,372 @@
+"""The DTT engine: gives ``tst``/``tcheck``/``treturn`` their semantics.
+
+The engine attaches to a :class:`~repro.machine.machine.Machine` and
+implements the paper's execution model:
+
+**Triggering store** (``on_triggering_store``).  The store's PC/address is
+matched against the :class:`~repro.core.registry.ThreadRegistry`.  For each
+matching spec: if the store did not change the value and the same-value
+filter is on, nothing happens (*this is the redundancy elimination*).
+Otherwise the trigger fires: a pending same-key activation suppresses it
+as a duplicate; a same-key activation currently *executing* is canceled
+and restarted (it may have read data that just changed); otherwise the
+activation enters the thread queue — or, if the queue is full, runs
+immediately as an ordinary call on the triggering context.
+
+**Consume point** (``on_tcheck``).  If the thread is quiescent — nothing
+pending, nothing executing — the main thread falls straight through: the
+entire computation was skipped.  Otherwise the main thread waits.
+
+**Two driving modes.**  In *synchronous* mode (``deferred=False``, used by
+functional runs and profiling) pending activations execute to completion
+at the consume point.  In *deferred* mode (``deferred=True``, used by the
+timing simulator) triggered activations are dispatched onto idle hardware
+contexts by :meth:`dispatch_pending` (called once per simulated cycle) and
+``tcheck`` blocks the main context until quiescence — which is where the
+concurrency benefit comes from.
+
+**Serialized fallback.**  On a machine with a single context (experiment
+E5c) there is no spare context; pending activations run *inline* on the
+main context via a call-like PC redirection, with the register file saved
+and restored around the body.  The skip benefit survives; the concurrency
+benefit does not.
+
+Support threads must be idempotent (cancel-and-restart re-runs them) and,
+unless cascading is enabled, their triggering stores behave as plain
+stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.config import DttConfig
+from repro.core.queue import EnqueueResult, QueueEntry, ThreadQueue
+from repro.core.registry import ThreadRegistry
+from repro.core.status import ThreadStatusTable
+from repro.errors import CascadeError, DttError, RegistryError
+from repro.isa.registers import (
+    TRIGGER_ADDR_REG,
+    TRIGGER_OLD_VALUE_REG,
+    TRIGGER_VALUE_REG,
+)
+from repro.machine.context import Context, ContextRole, ContextState
+
+
+class _InlineFrame:
+    """Bookkeeping for one inline (call-like) support-thread execution."""
+
+    __slots__ = ("key", "thread", "resume_pc", "retcheck", "saved_regs")
+
+    def __init__(self, key, thread, resume_pc, retcheck, saved_regs):
+        self.key = key
+        self.thread = thread
+        self.resume_pc = resume_pc
+        self.retcheck = retcheck
+        self.saved_regs = saved_regs
+
+
+class DttEngine:
+    """One engine drives one machine for one run."""
+
+    def __init__(
+        self,
+        registry: ThreadRegistry,
+        config: Optional[DttConfig] = None,
+        deferred: bool = False,
+    ):
+        self.registry = registry
+        self.config = config or DttConfig()
+        self.deferred = deferred
+        self.machine = None
+        self.queue = ThreadQueue(self.config.queue_capacity)
+        self.status = ThreadStatusTable(registry.thread_names)
+        #: dynamic triggering stores that matched no registered spec
+        self.unmatched_tstores = 0
+        self._entry_pcs: Dict[str, int] = {}
+        self._tids: List[str] = []
+        # key -> ("ctx" | "inline", Context) for in-flight activations
+        self._executing: Dict[Hashable, Tuple[str, Context]] = {}
+        # context_id -> key, for support-role executions
+        self._ctx_exec: Dict[int, Hashable] = {}
+        # context_id -> stack of inline frames
+        self._inline: Dict[int, List[_InlineFrame]] = {}
+        # contexts whose next tcheck is a re-entry after an inline run
+        self._resumed_tcheck: set = set()
+        self._sequence = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def bind(self, machine) -> None:
+        """Attach to a machine; validates specs against the program."""
+        if self.machine is not None:
+            raise DttError("engine is already bound; use one engine per run")
+        program = machine.program
+        for spec in self.registry.specs:
+            if spec.thread not in program.threads:
+                raise RegistryError(
+                    f"trigger spec names thread {spec.thread!r}, which the "
+                    f"program does not declare (has: {list(program.threads)})"
+                )
+        self._tids = list(program.threads)
+        self._entry_pcs = {
+            name: program.thread_entry_pc(name) for name in program.threads
+        }
+        self.machine = machine
+
+    def _thread_name(self, tid: int) -> str:
+        if not 0 <= tid < len(self._tids):
+            raise DttError(
+                f"tcheck references thread id {tid}; program declares "
+                f"{len(self._tids)} thread(s)"
+            )
+        return self._tids[tid]
+
+    def _dedupe_key(self, spec, address: int) -> Hashable:
+        per_address = spec.per_address_dedupe
+        if per_address is None:
+            per_address = self.config.per_address_dedupe_default
+        return (spec.thread, address) if per_address else spec.thread
+
+    def is_quiescent(self, thread: str) -> bool:
+        """True when a thread has nothing pending and nothing executing."""
+        return self.status[thread].executing == 0 and not self.queue.has_pending(
+            thread
+        )
+
+    # -- triggering stores -----------------------------------------------------------
+
+    def on_triggering_store(self, ctx, pc, address, old_value, new_value) -> None:
+        """Hook called by the machine for every executed ``tst``/``tstx``."""
+        if self._is_support_execution(ctx):
+            if not self.config.allow_cascading:
+                if self.config.strict_cascading:
+                    raise CascadeError(
+                        f"support thread issued a triggering store at pc {pc} "
+                        "with cascading disabled (strict mode)"
+                    )
+                return  # behaves as a plain store
+        specs = self.registry.matches(pc, address, self.config.granularity)
+        if not specs:
+            self.unmatched_tstores += 1
+            return
+        for spec in specs:
+            row = self.status[spec.thread]
+            row.triggering_stores += 1
+            if self.config.same_value_filter and old_value == new_value:
+                row.same_value_suppressed += 1
+                continue
+            row.triggers_fired += 1
+            key = self._dedupe_key(spec, address)
+            in_flight = self._executing.get(key)
+            if in_flight is not None:
+                kind, victim = in_flight
+                if kind == "ctx":
+                    self._cancel(key, victim)
+                else:
+                    # the activation is running inline on some context; it
+                    # cannot be canceled mid-call — suppress as a duplicate
+                    # (it reads current memory, which already holds new_value)
+                    row.duplicates_suppressed += 1
+                    continue
+            self._sequence += 1
+            entry = QueueEntry(spec.thread, address, new_value, old_value,
+                               self._sequence)
+            result = self.queue.try_enqueue(key, entry)
+            if result is EnqueueResult.DUPLICATE:
+                row.duplicates_suppressed += 1
+            elif result is EnqueueResult.OVERFLOW:
+                row.overflow_inline_runs += 1
+                # ctx.pc already points at the instruction after the store
+                self._start_inline(ctx, key, entry, resume_pc=ctx.pc,
+                                   retcheck=False)
+
+    def _cancel(self, key: Hashable, victim: Context) -> None:
+        """Cancel-and-restart: abort an executing activation."""
+        row = self.status[victim.thread_name]
+        row.cancels += 1
+        row.executing -= 1
+        self._executing.pop(key, None)
+        self._ctx_exec.pop(victim.context_id, None)
+        victim.finish_support()
+
+    def _is_support_execution(self, ctx) -> bool:
+        if ctx.role is ContextRole.SUPPORT:
+            return True
+        frames = self._inline.get(ctx.context_id)
+        return bool(frames)
+
+    # -- consume points -------------------------------------------------------------------
+
+    def on_tcheck(self, ctx, tid: int) -> None:
+        """Hook called by the machine for every executed ``tcheck``."""
+        name = self._thread_name(tid)
+        row = self.status[name]
+        resumed = ctx.context_id in self._resumed_tcheck
+        self._resumed_tcheck.discard(ctx.context_id)
+        if self.is_quiescent(name):
+            if not resumed:
+                row.consumes += 1
+                row.clean_consumes += 1
+            return
+        if not resumed:
+            row.consumes += 1
+            row.wait_consumes += 1
+        if self.deferred:
+            self._tcheck_deferred(ctx, tid, name)
+        else:
+            self._tcheck_synchronous(ctx, name)
+
+    def _tcheck_deferred(self, ctx, tid: int, name: str) -> None:
+        if len(self.machine.contexts) > 1:
+            ctx.block_on(tid)
+            return
+        # serialized fallback: no spare context exists; run one pending
+        # activation inline and re-execute the tcheck afterwards
+        popped = self.queue.pop_for_thread(name)
+        if popped is None:
+            raise DttError(
+                f"thread {name!r} reported executing on a single-context "
+                "machine outside an inline frame (engine state corrupted)"
+            )
+        key, entry = popped
+        self._start_inline(ctx, key, entry, resume_pc=ctx.pc - 1, retcheck=True)
+
+    def _tcheck_synchronous(self, ctx, name: str) -> None:
+        while True:
+            popped = self.queue.pop_for_thread(name)
+            if popped is None:
+                break
+            key, entry = popped
+            idle = self.machine.idle_contexts()
+            if idle:
+                self._run_synchronous(idle[0], key, entry)
+            else:
+                # single-context machine: inline-call, tcheck re-executes
+                self._start_inline(ctx, key, entry, resume_pc=ctx.pc - 1,
+                                   retcheck=True)
+                return
+        if self.status[name].executing:
+            raise DttError(
+                f"thread {name!r} still executing after a synchronous "
+                "consume point (engine state corrupted)"
+            )
+
+    # -- execution mechanics ------------------------------------------------------------
+
+    def _run_synchronous(self, support_ctx: Context, key, entry: QueueEntry) -> None:
+        """Run one activation to completion on an idle support context."""
+        row = self.status[entry.thread]
+        row.executions_started += 1
+        row.executing += 1
+        self._executing[key] = ("ctx", support_ctx)
+        self._ctx_exec[support_ctx.context_id] = key
+        support_ctx.start_support(
+            self._entry_pcs[entry.thread],
+            entry.thread,
+            entry.address,
+            entry.new_value,
+            entry.old_value,
+        )
+        while support_ctx.state is ContextState.RUNNING:
+            self.machine.step(support_ctx)
+
+    def _start_inline(self, ctx, key, entry: QueueEntry, resume_pc: int,
+                      retcheck: bool) -> None:
+        """Redirect ``ctx`` into the thread body, call-style."""
+        row = self.status[entry.thread]
+        row.executions_started += 1
+        row.executing += 1
+        self._executing[key] = ("inline", ctx)
+        frame = _InlineFrame(key, entry.thread, resume_pc, retcheck,
+                             list(ctx.regs))
+        self._inline.setdefault(ctx.context_id, []).append(frame)
+        ctx.regs[TRIGGER_ADDR_REG] = entry.address
+        ctx.regs[TRIGGER_VALUE_REG] = entry.new_value
+        ctx.regs[TRIGGER_OLD_VALUE_REG] = entry.old_value
+        ctx.pc = self._entry_pcs[entry.thread]
+
+    def dispatch_pending(self, on_dispatch=None) -> int:
+        """Deferred mode: start queued activations on idle contexts.
+
+        Called by the timing driver once per cycle.  ``on_dispatch`` (if
+        given) is invoked with each newly started context so the driver can
+        charge spawn latency.  Returns the number of activations dispatched.
+        """
+        dispatched = 0
+        idle = self.machine.idle_contexts()
+        while idle and self.queue:
+            key, entry = self.queue.pop()
+            support_ctx = idle.pop()
+            row = self.status[entry.thread]
+            row.executions_started += 1
+            row.executing += 1
+            self._executing[key] = ("ctx", support_ctx)
+            self._ctx_exec[support_ctx.context_id] = key
+            support_ctx.start_support(
+                self._entry_pcs[entry.thread],
+                entry.thread,
+                entry.address,
+                entry.new_value,
+                entry.old_value,
+            )
+            if on_dispatch is not None:
+                on_dispatch(support_ctx)
+            dispatched += 1
+        return dispatched
+
+    # -- thread completion ---------------------------------------------------------------
+
+    def on_treturn(self, ctx) -> None:
+        """Hook called by the machine for every executed ``treturn``."""
+        frames = self._inline.get(ctx.context_id)
+        if frames:
+            frame = frames.pop()
+            if not frames:
+                del self._inline[ctx.context_id]
+            row = self.status[frame.thread]
+            row.executions_completed += 1
+            row.executing -= 1
+            self._executing.pop(frame.key, None)
+            ctx.regs[:] = frame.saved_regs
+            ctx.pc = frame.resume_pc
+            if frame.retcheck:
+                self._resumed_tcheck.add(ctx.context_id)
+            return
+        if ctx.role is not ContextRole.SUPPORT:
+            raise DttError(
+                f"treturn on context {ctx.context_id} with no support thread "
+                "and no inline frame"
+            )
+        key = self._ctx_exec.pop(ctx.context_id)
+        self._executing.pop(key, None)
+        row = self.status[ctx.thread_name]
+        row.executions_completed += 1
+        row.executing -= 1
+        ctx.finish_support()
+        self._unblock_waiters()
+
+    def _unblock_waiters(self) -> None:
+        for waiter in self.machine.contexts:
+            if waiter.state is ContextState.BLOCKED:
+                name = self._thread_name(waiter.waiting_on)
+                if self.is_quiescent(name):
+                    waiter.unblock()
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Suite-level counters plus queue stats."""
+        summary = self.status.summary()
+        summary["unmatched_tstores"] = self.unmatched_tstores
+        summary["queue_enqueued"] = self.queue.enqueued
+        summary["queue_duplicates"] = self.queue.duplicates_suppressed
+        summary["queue_overflows"] = self.queue.overflows
+        return summary
+
+    def __repr__(self) -> str:
+        mode = "deferred" if self.deferred else "synchronous"
+        return (
+            f"DttEngine({len(self.registry)} specs, {mode}, "
+            f"{self.queue.pending_count()} pending)"
+        )

@@ -1,0 +1,123 @@
+"""The thread queue: pending support-thread activations.
+
+A bounded FIFO with duplicate suppression, modeling the paper's hardware
+thread queue.  Entries are keyed — by (thread, address) or by thread alone
+(see :class:`~repro.core.config.DttConfig`) — and a trigger whose key is
+already pending is *suppressed*: the pending execution will observe the
+newest memory state anyway, so one activation suffices.  That suppression
+is the second half of the redundancy elimination (the same-value filter
+being the first).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+from typing import Hashable, Optional, Tuple, Union
+
+from repro.errors import ThreadQueueError
+
+Number = Union[int, float]
+
+
+class EnqueueResult(str, Enum):
+    """Outcome of a try_enqueue: accepted, deduplicated, or overflowed."""
+
+    ENQUEUED = "enqueued"
+    DUPLICATE = "duplicate"
+    OVERFLOW = "overflow"
+
+
+class QueueEntry:
+    """One pending activation: the thread plus its trigger arguments."""
+
+    __slots__ = ("thread", "address", "new_value", "old_value", "sequence")
+
+    def __init__(
+        self,
+        thread: str,
+        address: int,
+        new_value: Number,
+        old_value: Number,
+        sequence: int = 0,
+    ):
+        self.thread = thread
+        self.address = address
+        self.new_value = new_value
+        self.old_value = old_value
+        #: global trigger sequence number (diagnostics / determinism checks)
+        self.sequence = sequence
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueEntry({self.thread!r}, addr={self.address}, "
+            f"new={self.new_value!r}, old={self.old_value!r}, "
+            f"seq={self.sequence})"
+        )
+
+
+class ThreadQueue:
+    """Bounded FIFO of :class:`QueueEntry` with key-based dedupe."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ThreadQueueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, QueueEntry]" = OrderedDict()
+        # cumulative stats
+        self.enqueued = 0
+        self.duplicates_suppressed = 0
+        self.overflows = 0
+
+    def try_enqueue(self, key: Hashable, entry: QueueEntry) -> EnqueueResult:
+        """Enqueue unless a same-key entry is pending or the queue is full."""
+        if key in self._entries:
+            self.duplicates_suppressed += 1
+            return EnqueueResult.DUPLICATE
+        if len(self._entries) >= self.capacity:
+            self.overflows += 1
+            return EnqueueResult.OVERFLOW
+        self._entries[key] = entry
+        self.enqueued += 1
+        return EnqueueResult.ENQUEUED
+
+    def pop(self) -> Tuple[Hashable, QueueEntry]:
+        """Remove and return the oldest (key, entry)."""
+        if not self._entries:
+            raise ThreadQueueError("pop from an empty thread queue")
+        return self._entries.popitem(last=False)
+
+    def pop_for_thread(self, thread: str) -> Optional[Tuple[Hashable, QueueEntry]]:
+        """Remove and return the oldest entry belonging to ``thread``."""
+        for key, entry in self._entries.items():
+            if entry.thread == thread:
+                del self._entries[key]
+                return (key, entry)
+        return None
+
+    def has_pending(self, thread: str) -> bool:
+        """True if any entry for ``thread`` is pending."""
+        return any(entry.thread == thread for entry in self._entries.values())
+
+    def pending_count(self, thread: Optional[str] = None) -> int:
+        """Pending entries, totalled or for one thread."""
+        if thread is None:
+            return len(self._entries)
+        return sum(1 for e in self._entries.values() if e.thread == thread)
+
+    def peek_keys(self) -> Tuple[Hashable, ...]:
+        """Keys currently pending, oldest first (for tests/diagnostics)."""
+        return tuple(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadQueue({len(self._entries)}/{self.capacity} pending, "
+            f"{self.enqueued} enqueued, {self.duplicates_suppressed} dups, "
+            f"{self.overflows} overflows)"
+        )

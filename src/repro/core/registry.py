@@ -1,0 +1,134 @@
+"""Thread registry: which stores trigger which support threads.
+
+The paper's registry is a hardware table, filled by the compiler/loader,
+mapping triggering-store *static PCs* to support-thread PCs.  We support
+that (``store_pcs``) and also the conceptual "attached to a memory
+location" form (``watch`` address ranges), which is what the granularity
+ablation (E8b) needs — PC-matched triggers have no notion of false
+neighbors, address-watched ones do.
+
+A single store may match several specs (it then fires several threads);
+one spec may be fed by many static stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RegistryError
+
+
+class TriggerSpec:
+    """Attachment of one support thread to its triggering stores.
+
+    Parameters
+    ----------
+    thread:
+        Name of the support thread (must be declared in the program, or
+        registered with the software runtime).
+    store_pcs:
+        Static PCs of triggering stores that fire this thread.  The normal
+        (paper) mechanism.
+    watch:
+        Address ranges ``(lo, hi)`` (half-open, word addresses): any
+        triggering store whose address falls inside fires this thread.
+        Subject to the engine's match ``granularity``.
+    per_address_dedupe:
+        Override of the engine default: if True, duplicate suppression is
+        keyed by (thread, address); if False, by thread alone.  ``None``
+        uses the engine config's default.
+    """
+
+    __slots__ = ("thread", "store_pcs", "watch", "per_address_dedupe")
+
+    def __init__(
+        self,
+        thread: str,
+        store_pcs: Optional[Iterable[int]] = None,
+        watch: Optional[Sequence[Tuple[int, int]]] = None,
+        per_address_dedupe: Optional[bool] = None,
+    ):
+        self.thread = thread
+        self.store_pcs = frozenset(store_pcs or ())
+        self.watch: Tuple[Tuple[int, int], ...] = tuple(
+            (int(lo), int(hi)) for lo, hi in (watch or ())
+        )
+        self.per_address_dedupe = per_address_dedupe
+        if not self.store_pcs and not self.watch:
+            raise RegistryError(
+                f"trigger spec for thread {thread!r} watches nothing "
+                "(no store_pcs, no address ranges)"
+            )
+        for lo, hi in self.watch:
+            if lo < 0 or hi <= lo:
+                raise RegistryError(
+                    f"thread {thread!r}: bad watch range ({lo}, {hi})"
+                )
+
+    def __repr__(self) -> str:
+        parts = [repr(self.thread)]
+        if self.store_pcs:
+            parts.append(f"store_pcs={sorted(self.store_pcs)}")
+        if self.watch:
+            parts.append(f"watch={list(self.watch)}")
+        return f"TriggerSpec({', '.join(parts)})"
+
+
+class ThreadRegistry:
+    """The set of trigger specs, with fast store-PC lookup."""
+
+    def __init__(self, specs: Iterable[TriggerSpec] = ()):
+        self._specs: List[TriggerSpec] = []
+        self._by_pc: Dict[int, List[TriggerSpec]] = {}
+        self._watched: List[Tuple[int, int, TriggerSpec]] = []
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: TriggerSpec) -> None:
+        """Add a spec; a thread may appear in at most one spec."""
+        if any(s.thread == spec.thread for s in self._specs):
+            raise RegistryError(f"thread {spec.thread!r} registered twice")
+        self._specs.append(spec)
+        for pc in spec.store_pcs:
+            self._by_pc.setdefault(pc, []).append(spec)
+        for lo, hi in spec.watch:
+            self._watched.append((lo, hi, spec))
+
+    @property
+    def specs(self) -> Tuple[TriggerSpec, ...]:
+        return tuple(self._specs)
+
+    @property
+    def thread_names(self) -> List[str]:
+        return [spec.thread for spec in self._specs]
+
+    def matches(self, pc: int, address: int, granularity: int = 1) -> List[TriggerSpec]:
+        """All specs fired by a triggering store at ``pc`` to ``address``.
+
+        PC matches are exact.  Address matches widen each watch range to
+        ``granularity``-word alignment, modeling trigger-detection hardware
+        that tracks whole cache lines: stores to *neighboring* words inside
+        the same granule then fire the thread too (false triggers).
+        """
+        matched = list(self._by_pc.get(pc, ()))
+        if self._watched:
+            for lo, hi, spec in self._watched:
+                if granularity > 1:
+                    lo -= lo % granularity
+                    hi += (-hi) % granularity
+                if lo <= address < hi and spec not in matched:
+                    matched.append(spec)
+        return matched
+
+    def spec_for(self, thread: str) -> TriggerSpec:
+        """The spec registered for ``thread`` (error if absent)."""
+        for spec in self._specs:
+            if spec.thread == thread:
+                return spec
+        raise RegistryError(f"no trigger spec for thread {thread!r}")
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:
+        return f"ThreadRegistry({self.thread_names})"

@@ -1,0 +1,313 @@
+"""Software data-triggered threads for plain Python code.
+
+This is the user-facing face of the library: the same execution model the
+hardware engine gives DTIR programs, packaged for ordinary Python — in the
+spirit of the authors' follow-on software-DTT work, where the compiler
+lowers triggering stores to instrumented writes and support threads to
+functions.
+
+Usage::
+
+    rt = DttRuntime()
+    costs = rt.array("costs", initial_costs)
+
+    @rt.support_thread(triggers=[costs])
+    def refresh(event):
+        # recompute whatever depends on costs[event.index]
+        totals[event.index // 10] = sum(costs[event.index // 10 * 10:
+                                              event.index // 10 * 10 + 10])
+
+    costs[3] = 7        # triggering store: fires only if the value changed
+    costs[3] = 7        # same value — suppressed, nothing pending
+    rt.tcheck(refresh)  # runs pending activations; skips when clean
+
+Semantics mirrored from the hardware engine: the same-value filter,
+per-(thread, index) duplicate suppression, bounded pending queue with
+run-immediately overflow, no cascading by default (writes made *inside* a
+support thread do not trigger), and skip accounting at the consume point.
+Execution is synchronous at ``tcheck`` — the software runtime provides the
+redundancy-elimination benefit, not the concurrency benefit, exactly as
+the paper's serialized configuration does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Union
+
+from repro.core.status import ThreadStatus
+from repro.errors import RuntimeApiError
+
+Number = Union[int, float]
+
+
+class TriggerEvent:
+    """Argument passed to a support thread: what changed, where."""
+
+    __slots__ = ("array", "index", "old_value", "new_value")
+
+    def __init__(self, array: "TrackedArray", index: int, old_value, new_value):
+        self.array = array
+        self.index = index
+        self.old_value = old_value
+        self.new_value = new_value
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggerEvent({self.array.name!r}[{self.index}]: "
+            f"{self.old_value!r} -> {self.new_value!r})"
+        )
+
+
+class TrackedArray:
+    """A list-like array whose item assignments are triggering stores."""
+
+    def __init__(self, runtime: "DttRuntime", name: str, values: Sequence):
+        self._runtime = runtime
+        self.name = name
+        self._values: List = list(values)
+
+    # -- reads are ordinary -------------------------------------------------------
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def tolist(self) -> List:
+        """A plain-list copy of the current contents."""
+        return list(self._values)
+
+    # -- writes are triggering stores ------------------------------------------------
+
+    def __setitem__(self, index: int, value) -> None:
+        if isinstance(index, slice):
+            raise RuntimeApiError(
+                "slice assignment to a TrackedArray is ambiguous; "
+                "assign elements individually"
+            )
+        old_value = self._values[index]
+        self._values[index] = value
+        self._runtime._on_store(self, self._normalize(index), old_value, value)
+
+    def write_untracked(self, index: int, value) -> None:
+        """Plain (non-triggering) store — the analog of ``st`` vs ``tst``."""
+        self._values[index] = value
+
+    def _normalize(self, index: int) -> int:
+        return index if index >= 0 else len(self._values) + index
+
+    def __repr__(self) -> str:
+        return f"TrackedArray({self.name!r}, len={len(self._values)})"
+
+
+class SupportThread:
+    """A registered support thread: the function plus its statistics."""
+
+    def __init__(self, runtime: "DttRuntime", name: str,
+                 fn: Callable[[TriggerEvent], None], per_index_dedupe: bool):
+        self._runtime = runtime
+        self.name = name
+        self.fn = fn
+        self.per_index_dedupe = per_index_dedupe
+        self.stats = ThreadStatus(name)
+
+    def __call__(self, event: TriggerEvent) -> None:
+        """Direct invocation (rarely needed; tcheck is the normal path)."""
+        self.fn(event)
+
+    def __repr__(self) -> str:
+        return f"SupportThread({self.name!r}, {self.stats!r})"
+
+
+class DttRuntime:
+    """Software DTT runtime: tracked arrays + support threads + tcheck."""
+
+    def __init__(
+        self,
+        same_value_filter: bool = True,
+        queue_capacity: int = 1024,
+        allow_cascading: bool = False,
+    ):
+        if queue_capacity < 1:
+            raise RuntimeApiError("queue_capacity must be >= 1")
+        self.same_value_filter = same_value_filter
+        self.queue_capacity = queue_capacity
+        self.allow_cascading = allow_cascading
+        self._arrays: Dict[str, TrackedArray] = {}
+        self._threads: Dict[str, SupportThread] = {}
+        # triggers: array name -> list of support threads watching it
+        self._watchers: Dict[str, List[SupportThread]] = {}
+        # pending activations: key -> (thread, event), FIFO
+        self._pending: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self._support_depth = 0
+        self._untracked_depth = 0
+
+    # -- construction -----------------------------------------------------------------
+
+    def array(self, name: str, values: Sequence) -> TrackedArray:
+        """Create (and register) a tracked array."""
+        if name in self._arrays:
+            raise RuntimeApiError(f"array {name!r} already exists")
+        tracked = TrackedArray(self, name, values)
+        self._arrays[name] = tracked
+        return tracked
+
+    def support_thread(
+        self,
+        triggers: Iterable[TrackedArray],
+        name: Optional[str] = None,
+        per_index_dedupe: bool = True,
+    ) -> Callable[[Callable[[TriggerEvent], None]], SupportThread]:
+        """Decorator registering a function as a support thread.
+
+        ``triggers`` lists the tracked arrays whose (value-changing) writes
+        activate the thread.  ``per_index_dedupe=False`` collapses all
+        pending activations into one, for threads that recompute everything
+        regardless of which element changed.
+        """
+        trigger_list = list(triggers)
+        if not trigger_list:
+            raise RuntimeApiError("support_thread needs at least one trigger")
+        for trigger in trigger_list:
+            if not isinstance(trigger, TrackedArray):
+                raise RuntimeApiError(
+                    f"triggers must be TrackedArray instances, got {trigger!r}"
+                )
+            if trigger.name not in self._arrays:
+                raise RuntimeApiError(
+                    f"array {trigger.name!r} belongs to a different runtime"
+                )
+
+        def decorator(fn: Callable[[TriggerEvent], None]) -> SupportThread:
+            thread_name = name or fn.__name__
+            if thread_name in self._threads:
+                raise RuntimeApiError(f"thread {thread_name!r} already registered")
+            thread = SupportThread(self, thread_name, fn, per_index_dedupe)
+            self._threads[thread_name] = thread
+            for trigger in trigger_list:
+                self._watchers.setdefault(trigger.name, []).append(thread)
+            return thread
+
+        return decorator
+
+    # -- the triggering-store path ---------------------------------------------------------
+
+    def _on_store(self, array: TrackedArray, index: int, old_value, new_value):
+        if self._untracked_depth:
+            return
+        if self._support_depth and not self.allow_cascading:
+            return
+        watchers = self._watchers.get(array.name)
+        if not watchers:
+            return
+        for thread in watchers:
+            stats = thread.stats
+            stats.triggering_stores += 1
+            if self.same_value_filter and old_value == new_value:
+                stats.same_value_suppressed += 1
+                continue
+            stats.triggers_fired += 1
+            if thread.per_index_dedupe:
+                key = (thread.name, array.name, index)
+            else:
+                key = thread.name
+            if key in self._pending:
+                stats.duplicates_suppressed += 1
+                continue
+            event = TriggerEvent(array, index, old_value, new_value)
+            if len(self._pending) >= self.queue_capacity:
+                # overflow: run immediately as a plain call
+                stats.overflow_inline_runs += 1
+                self._execute(thread, event)
+            else:
+                self._pending[key] = (thread, event)
+
+    # -- the consume point --------------------------------------------------------------------
+
+    def tcheck(self, thread: SupportThread) -> int:
+        """Consume point: run the thread's pending activations.
+
+        Returns the number of activations executed; 0 means the data was
+        clean and the computation was skipped entirely.
+        """
+        if thread.name not in self._threads:
+            raise RuntimeApiError(f"thread {thread.name!r} is not registered here")
+        stats = thread.stats
+        stats.consumes += 1
+        executed = 0
+        while True:
+            found_key = None
+            for key, (pending_thread, _event) in self._pending.items():
+                if pending_thread is thread:
+                    found_key = key
+                    break
+            if found_key is None:
+                break
+            _thread, event = self._pending.pop(found_key)
+            self._execute(thread, event)
+            executed += 1
+        if executed:
+            stats.wait_consumes += 1
+        else:
+            stats.clean_consumes += 1
+        return executed
+
+    def drain(self) -> int:
+        """Run everything pending, regardless of thread.  Returns count."""
+        executed = 0
+        while self._pending:
+            _key, (thread, event) = self._pending.popitem(last=False)
+            self._execute(thread, event)
+            executed += 1
+        return executed
+
+    def _execute(self, thread: SupportThread, event: TriggerEvent) -> None:
+        stats = thread.stats
+        stats.executions_started += 1
+        stats.executing += 1
+        self._support_depth += 1
+        try:
+            thread.fn(event)
+        finally:
+            self._support_depth -= 1
+            stats.executing -= 1
+            stats.executions_completed += 1
+
+    # -- helpers -----------------------------------------------------------------------------------
+
+    class _Untracked:
+        def __init__(self, runtime):
+            self._runtime = runtime
+
+        def __enter__(self):
+            self._runtime._untracked_depth += 1
+            return self._runtime
+
+        def __exit__(self, exc_type, exc, tb):
+            self._runtime._untracked_depth -= 1
+            return False
+
+    def untracked(self) -> "_Untracked":
+        """Context manager disabling triggering (bulk initialization)."""
+        return DttRuntime._Untracked(self)
+
+    def pending_count(self, thread: Optional[SupportThread] = None) -> int:
+        """Pending activations, totalled or for one thread."""
+        if thread is None:
+            return len(self._pending)
+        return sum(1 for t, _ in self._pending.values() if t is thread)
+
+    def thread_stats(self) -> Dict[str, ThreadStatus]:
+        """Per-thread statistics rows, keyed by thread name."""
+        return {name: thread.stats for name, thread in self._threads.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"DttRuntime({len(self._arrays)} arrays, {len(self._threads)} "
+            f"threads, {len(self._pending)} pending)"
+        )

@@ -1,0 +1,129 @@
+"""The thread status table: per-thread lifecycle counters.
+
+The paper's thread status table lets the main thread's consume point
+decide, in one lookup, whether the derived data is *clean* (no trigger
+since the last consume — skip everything), or whether a support thread is
+pending/executing (wait for it).  Ours additionally accumulates the
+statistics the evaluation reports: how many triggering stores fired, how
+many were suppressed by the same-value filter or duplicate suppression,
+how many support-thread executions ran, were canceled, or were consumed
+clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import DttError
+
+
+class ThreadStatus:
+    """Counters for one support thread."""
+
+    __slots__ = (
+        "name",
+        "triggering_stores",
+        "same_value_suppressed",
+        "triggers_fired",
+        "duplicates_suppressed",
+        "executions_started",
+        "executions_completed",
+        "cancels",
+        "overflow_inline_runs",
+        "consumes",
+        "clean_consumes",
+        "wait_consumes",
+        "executing",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        #: dynamic triggering stores that matched this thread's spec
+        self.triggering_stores = 0
+        #: of those, stores filtered because the value did not change
+        self.same_value_suppressed = 0
+        #: triggers that fired (survived the same-value filter)
+        self.triggers_fired = 0
+        #: fired triggers suppressed because a same-key entry was pending
+        self.duplicates_suppressed = 0
+        self.executions_started = 0
+        self.executions_completed = 0
+        #: executions aborted by a re-trigger (cancel-and-restart)
+        self.cancels = 0
+        #: triggers run immediately as a function call on queue overflow
+        self.overflow_inline_runs = 0
+        #: tcheck consume points executed
+        self.consumes = 0
+        #: consumes that found the data clean — entire computation skipped
+        self.clean_consumes = 0
+        #: consumes that had to wait for (or run) pending executions
+        self.wait_consumes = 0
+        #: number of instances currently executing on some context
+        self.executing = 0
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of consume points that skipped the computation."""
+        return self.clean_consumes / self.consumes if self.consumes else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports and diffing in tests)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__ if slot != "name"}
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadStatus({self.name!r}, fired={self.triggers_fired}, "
+            f"completed={self.executions_completed}, "
+            f"clean={self.clean_consumes}/{self.consumes})"
+        )
+
+
+class ThreadStatusTable:
+    """Status rows for every registered support thread."""
+
+    def __init__(self, thread_names: List[str]):
+        self._rows: Dict[str, ThreadStatus] = {
+            name: ThreadStatus(name) for name in thread_names
+        }
+
+    def __getitem__(self, name: str) -> ThreadStatus:
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise DttError(f"unknown support thread {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rows
+
+    def __iter__(self):
+        return iter(self._rows.values())
+
+    def rows(self) -> Dict[str, ThreadStatus]:
+        """All status rows, keyed by thread name."""
+        return dict(self._rows)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total(self, field: str) -> int:
+        """Sum of one counter across all threads."""
+        return sum(getattr(row, field) for row in self._rows.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Suite-level totals across all threads."""
+        fields = (
+            "triggering_stores",
+            "same_value_suppressed",
+            "triggers_fired",
+            "duplicates_suppressed",
+            "executions_started",
+            "executions_completed",
+            "cancels",
+            "overflow_inline_runs",
+            "consumes",
+            "clean_consumes",
+            "wait_consumes",
+        )
+        return {field: self.total(field) for field in fields}
+
+    def __repr__(self) -> str:
+        return f"ThreadStatusTable({list(self._rows)})"

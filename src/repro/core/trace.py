@@ -1,0 +1,155 @@
+"""Engine event tracing: a timeline of what the DTT machinery did.
+
+The status table answers "how many"; the trace answers "in what order" —
+which is what you need when a conversion misbehaves (why did this consume
+wait? what canceled that execution?).  Attach a :class:`EngineTrace` to an
+engine *before* binding it to a machine, and read the recorded
+:class:`EngineEvent` timeline afterwards.
+
+Implementation note: the engine has no observer bus (the hardware
+analogue wouldn't either); the trace wraps the engine's public hook
+methods, so it composes with any engine mode without engine changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.engine import DttEngine
+
+
+class EngineEvent:
+    """One traced event."""
+
+    __slots__ = ("sequence", "kind", "thread", "address", "detail")
+
+    def __init__(self, sequence: int, kind: str, thread: Optional[str],
+                 address: Optional[int] = None, detail: str = ""):
+        self.sequence = sequence
+        self.kind = kind
+        self.thread = thread
+        self.address = address
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        at = f" addr={self.address}" if self.address is not None else ""
+        return (f"#{self.sequence} {self.kind} {self.thread or ''}{at} "
+                f"{self.detail}".rstrip())
+
+
+#: event kinds emitted by the trace
+TSTORE = "tstore"
+SUPPRESSED = "suppressed"  # same-value filter
+FIRED = "fired"
+DUPLICATE = "duplicate"
+CANCELED = "canceled"
+DISPATCHED = "dispatched"
+COMPLETED = "completed"
+CONSUME_CLEAN = "consume-clean"
+CONSUME_WAIT = "consume-wait"
+
+
+class EngineTrace:
+    """Wraps an engine's hooks and records the event timeline."""
+
+    def __init__(self, engine: DttEngine, max_events: int = 100_000):
+        self.engine = engine
+        self.events: List[EngineEvent] = []
+        self.max_events = max_events
+        self.truncated = False
+        self._sequence = 0
+        self._wrap(engine)
+
+    # -- recording -----------------------------------------------------------
+
+    def _emit(self, kind: str, thread: Optional[str],
+              address: Optional[int] = None, detail: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self._sequence += 1
+        self.events.append(
+            EngineEvent(self._sequence, kind, thread, address, detail)
+        )
+
+    def _wrap(self, engine: DttEngine) -> None:
+        trace = self
+        original_store = engine.on_triggering_store
+        original_tcheck = engine.on_tcheck
+        original_treturn = engine.on_treturn
+        original_dispatch = engine.dispatch_pending
+        original_cancel = engine._cancel
+
+        def on_triggering_store(ctx, pc, address, old_value, new_value):
+            before = {name: engine.status[name].as_dict()
+                      for name in engine.status.rows()}
+            original_store(ctx, pc, address, old_value, new_value)
+            for name, old in before.items():
+                row = engine.status[name]
+                if row.triggering_stores > old["triggering_stores"]:
+                    trace._emit(TSTORE, name, address,
+                                f"{old_value!r}->{new_value!r}")
+                if row.same_value_suppressed > old["same_value_suppressed"]:
+                    trace._emit(SUPPRESSED, name, address)
+                if row.triggers_fired > old["triggers_fired"]:
+                    trace._emit(FIRED, name, address)
+                if row.duplicates_suppressed > old["duplicates_suppressed"]:
+                    trace._emit(DUPLICATE, name, address)
+
+        def on_tcheck(ctx, tid):
+            name = engine._thread_name(tid)
+            old = engine.status[name].as_dict()
+            original_tcheck(ctx, tid)
+            row = engine.status[name]
+            if row.clean_consumes > old["clean_consumes"]:
+                trace._emit(CONSUME_CLEAN, name)
+            elif row.wait_consumes > old["wait_consumes"]:
+                trace._emit(CONSUME_WAIT, name)
+
+        def on_treturn(ctx):
+            frames = engine._inline.get(ctx.context_id)
+            if frames:
+                name = frames[-1].thread  # inline (call-style) execution
+            else:
+                name = ctx.thread_name
+            original_treturn(ctx)
+            trace._emit(COMPLETED, name)
+
+        def dispatch_pending(on_dispatch=None):
+            def wrapped(ctx):
+                trace._emit(DISPATCHED, ctx.thread_name,
+                            detail=f"context {ctx.context_id}")
+                if on_dispatch is not None:
+                    on_dispatch(ctx)
+
+            return original_dispatch(on_dispatch=wrapped)
+
+        def cancel(key, victim):
+            trace._emit(CANCELED, victim.thread_name,
+                        detail=f"context {victim.context_id}")
+            original_cancel(key, victim)
+
+        engine.on_triggering_store = on_triggering_store
+        engine.on_tcheck = on_tcheck
+        engine.on_treturn = on_treturn
+        engine.dispatch_pending = dispatch_pending
+        engine._cancel = cancel
+
+    # -- queries --------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[EngineEvent]:
+        """All recorded events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def timeline(self) -> str:
+        """The whole trace, one event per line."""
+        lines = [repr(event) for event in self.events]
+        if self.truncated:
+            lines.append("... (truncated)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"EngineTrace({len(self.events)} events)"

@@ -1,0 +1,134 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to trap anything the simulator, runtime, or
+harness raises deliberately.  Sub-hierarchies mirror the package layout:
+ISA construction problems, machine execution faults, DTT runtime misuse,
+and harness configuration mistakes are each distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# --------------------------------------------------------------------------
+# ISA layer
+# --------------------------------------------------------------------------
+
+
+class IsaError(ReproError):
+    """Base class for errors in program construction or encoding."""
+
+
+class InvalidInstructionError(IsaError):
+    """An instruction was constructed with malformed operands."""
+
+
+class InvalidRegisterError(IsaError):
+    """A register name or index is outside the architected register file."""
+
+
+class ProgramValidationError(IsaError):
+    """A program failed whole-program validation (labels, entry, ranges)."""
+
+
+class AssemblerError(IsaError):
+    """Textual assembly could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class BuilderError(IsaError):
+    """Misuse of the structured program builder (unclosed loop, etc.)."""
+
+
+# --------------------------------------------------------------------------
+# Machine layer
+# --------------------------------------------------------------------------
+
+
+class MachineError(ReproError):
+    """Base class for functional-execution faults."""
+
+
+class MemoryFault(MachineError):
+    """An access touched an unmapped or out-of-range address."""
+
+    def __init__(self, address: int, message: str = ""):
+        detail = message or "memory fault"
+        super().__init__(f"{detail} at address {address:#x}")
+        self.address = address
+
+
+class AlignmentFault(MachineError):
+    """A word access was not word-aligned."""
+
+
+class ExecutionFault(MachineError):
+    """The machine decoded an instruction it cannot execute."""
+
+
+class ExecutionLimitExceeded(MachineError):
+    """The dynamic-instruction safety limit was reached.
+
+    This nearly always indicates a workload bug (an unbounded loop), so
+    it is an error rather than a silent truncation.
+    """
+
+
+class ContextError(MachineError):
+    """A hardware context was used in an invalid state."""
+
+
+# --------------------------------------------------------------------------
+# DTT layer
+# --------------------------------------------------------------------------
+
+
+class DttError(ReproError):
+    """Base class for data-triggered-thread configuration/runtime errors."""
+
+
+class RegistryError(DttError):
+    """Invalid thread-registry configuration (duplicate trigger, bad PC)."""
+
+
+class ThreadQueueError(DttError):
+    """Thread-queue misuse (e.g. popping from an empty queue)."""
+
+
+class RuntimeApiError(DttError):
+    """Misuse of the software DTT runtime's public API."""
+
+
+class CascadeError(DttError):
+    """A support thread attempted a triggering store while cascading
+    triggers are disabled and strict mode is on."""
+
+
+# --------------------------------------------------------------------------
+# Harness layer
+# --------------------------------------------------------------------------
+
+
+class HarnessError(ReproError):
+    """Base class for experiment-harness errors."""
+
+
+class UnknownExperimentError(HarnessError):
+    """An experiment id was requested that the harness does not define."""
+
+
+class UnknownWorkloadError(HarnessError):
+    """A workload name was requested that the suite does not define."""
+
+
+class CorrectnessError(HarnessError):
+    """A DTT build produced output differing from its baseline build."""

@@ -1,0 +1,122 @@
+"""Command-line entry point: ``dtt-harness`` / ``python -m repro.harness.cli``.
+
+Commands::
+
+    dtt-harness list                 # experiments and workloads
+    dtt-harness run E3               # one experiment
+    dtt-harness run all              # everything, shared runner
+    dtt-harness run E1 E3 --json out.json
+    dtt-harness verify               # correctness sweep of the suite
+    dtt-harness sweep                # headline robustness across seeds
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import SuiteRunner
+from repro.workloads.base import verify_workload
+from repro.workloads.suite import SUITE
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for experiment_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        print(f"  {experiment_id}: {doc[0] if doc else fn.__name__}")
+    print("workloads:")
+    for name, workload in SUITE.items():
+        print(f"  {name:8s} {workload.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wanted = [w.upper() for w in args.experiments]
+    if "ALL" in wanted:
+        wanted = list(EXPERIMENTS)
+    runner = SuiteRunner(seed=args.seed, scale=args.scale)
+    results = []
+    failed = False
+    for experiment_id in wanted:
+        result = run_experiment(experiment_id, runner)
+        results.append(result)
+        print(result.render())
+        print()
+        failed = failed or not result.all_passed
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([r.as_dict() for r in results], handle, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.sweeps import sweep_redundancy, sweep_speedup
+
+    seeds = tuple(args.seeds) if args.seeds else None
+    failed = False
+    for sweep in (sweep_redundancy, sweep_speedup):
+        result = sweep(seeds) if seeds else sweep()
+        print(result.render())
+        print()
+        failed = failed or not result.all_passed
+    return 1 if failed else 0
+
+
+def _cmd_verify(args) -> int:
+    status = 0
+    for name, workload in SUITE.items():
+        try:
+            verify_workload(workload, seed=args.seed, scale=args.scale)
+            print(f"  {name:8s} OK")
+        except Exception as error:  # report every failure, not just the first
+            print(f"  {name:8s} FAILED: {error}")
+            status = 1
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The dtt-harness argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="dtt-harness",
+        description="Reproduction harness for 'Data-triggered threads' "
+                    "(Tseng & Tullsen, HPCA 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments and workloads")
+    run = sub.add_parser("run", help="run experiments (E1..E8 or 'all')")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids, or 'all'")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--scale", type=int, default=None)
+    run.add_argument("--json", default=None, help="also write JSON here")
+    verify = sub.add_parser("verify", help="verify baseline == DTT == reference")
+    verify.add_argument("--seed", type=int, default=None)
+    verify.add_argument("--scale", type=int, default=None)
+    sweep = sub.add_parser("sweep", help="headline robustness across seeds")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_verify(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # piping into `head` etc. closes stdout early; exit quietly
+        sys.exit(0)

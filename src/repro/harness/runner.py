@@ -1,0 +1,121 @@
+"""Suite runner: executes (and memoizes) the runs experiments share.
+
+E3, E4, E6 and E7 all need the same baseline/DTT timed runs; running the
+whole suite once and caching results keeps the full harness fast.  Cache
+keys include everything that affects a run (workload, build kind, machine
+configuration, DTT configuration fingerprint, seed, scale), so distinct
+experiments never alias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import DttConfig
+from repro.errors import CorrectnessError
+from repro.profiling.report import RedundancyReport, profile_program
+from repro.timing.params import SystemConfig, named_config
+from repro.timing.stats import TimingResult
+from repro.timing.system import TimingSimulator
+from repro.workloads.base import Workload
+from repro.workloads.suite import SUITE
+
+
+def _config_fingerprint(config: Optional[DttConfig]) -> Tuple:
+    if config is None:
+        return ()
+    return (
+        config.same_value_filter,
+        config.granularity,
+        config.queue_capacity,
+        config.allow_cascading,
+        config.per_address_dedupe_default,
+    )
+
+
+class SuiteRunner:
+    """Runs workloads under timing/profiling with memoization."""
+
+    def __init__(self, seed: Optional[int] = None, scale: Optional[int] = None):
+        self.seed = seed
+        self.scale = scale
+        self._timed: Dict[Tuple, TimingResult] = {}
+        self._profiles: Dict[Tuple, RedundancyReport] = {}
+        self._engines: Dict[Tuple, object] = {}
+
+    # -- timed runs --------------------------------------------------------------
+
+    def timed(
+        self,
+        workload: Workload,
+        kind: str = "baseline",
+        config_name: str = "smt2",
+        dtt_config: Optional[DttConfig] = None,
+        check_against_baseline: bool = True,
+    ) -> TimingResult:
+        """One timed run.  ``kind`` is 'baseline', 'dtt', or 'dtt-watch'."""
+        key = (workload.name, kind, config_name,
+               _config_fingerprint(dtt_config), self.seed, self.scale)
+        if key in self._timed:
+            return self._timed[key]
+        inp = workload.make_input(self.seed, self.scale)
+        system = named_config(config_name)
+        if kind == "baseline":
+            simulator = TimingSimulator(workload.build_baseline(inp), system)
+            engine = None
+        else:
+            build = (workload.build_dtt_watch(inp) if kind == "dtt-watch"
+                     else workload.build_dtt(inp))
+            if build is None:
+                raise CorrectnessError(
+                    f"{workload.name} has no {kind} build"
+                )
+            engine = build.engine(config=dtt_config, deferred=True)
+            simulator = TimingSimulator(build.program, system, engine=engine)
+        result = simulator.run()
+        if kind != "baseline" and check_against_baseline:
+            baseline = self.timed(workload, "baseline", config_name)
+            if result.output != baseline.output:
+                raise CorrectnessError(
+                    f"{workload.name}: {kind} output diverges from baseline "
+                    f"under {config_name}"
+                )
+        self._timed[key] = result
+        if engine is not None:
+            self._engines[key] = engine
+        return result
+
+    def engine_for(self, workload: Workload, kind: str = "dtt",
+                   config_name: str = "smt2",
+                   dtt_config: Optional[DttConfig] = None):
+        """The engine of a previously-run (or now-run) DTT timed run."""
+        key = (workload.name, kind, config_name,
+               _config_fingerprint(dtt_config), self.seed, self.scale)
+        if key not in self._engines:
+            self.timed(workload, kind, config_name, dtt_config)
+        return self._engines[key]
+
+    # -- profiles ------------------------------------------------------------------
+
+    def profile(self, workload: Workload) -> RedundancyReport:
+        """Redundancy profile of the workload's baseline build."""
+        key = (workload.name, self.seed, self.scale)
+        if key in self._profiles:
+            return self._profiles[key]
+        inp = workload.make_input(self.seed, self.scale)
+        report = profile_program(workload.build_baseline(inp), workload.name)
+        self._profiles[key] = report
+        return report
+
+    # -- sweeps ---------------------------------------------------------------------
+
+    def speedup(self, workload: Workload, config_name: str = "smt2",
+                dtt_config: Optional[DttConfig] = None) -> float:
+        """Baseline-over-DTT cycle ratio for one workload/config."""
+        baseline = self.timed(workload, "baseline", config_name)
+        dtt = self.timed(workload, "dtt", config_name, dtt_config)
+        return dtt.speedup_over(baseline)
+
+    def suite(self):
+        """The full workload suite, in canonical order."""
+        return SUITE.values()

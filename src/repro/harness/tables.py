@@ -1,0 +1,60 @@
+"""Plain-text table and bar-chart rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a boxed, column-aligned text table."""
+    table = [[_format_cell(cell) for cell in row] for row in rows]
+    header = [str(h) for h in headers]
+    widths = [len(h) for h in header]
+    for row in table:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: List[str]) -> str:
+        padded = [cells[i].ljust(widths[i]) if i < len(cells) else " " * widths[i]
+                  for i in range(len(widths))]
+        return "| " + " | ".join(padded) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [rule, line(header), rule]
+    out.extend(line(row) for row in table)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def bar_series(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a labeled horizontal bar chart (a text 'figure').
+
+    The longest bar spans ``width`` characters; values are printed next to
+    each bar, so the series reads like the paper's per-benchmark figures.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty series)"
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        length = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "#" * max(length, 0)
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)

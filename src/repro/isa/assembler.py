@@ -1,0 +1,186 @@
+"""Two-way text assembler for DTIR programs.
+
+:func:`format_program` renders a program (finalized or not) as assembly
+text; :func:`parse_program` parses that text back.  The pair round-trips:
+``parse_program(format_program(p))`` reproduces ``p``'s instructions,
+labels, functions, data items, threads, and entry point.
+
+Syntax::
+
+    ; comment (also: # comment)
+    .entry main
+    .data costs 1 2 3.5 4
+    .thread refresh __thread_refresh
+    .func main 0 12
+
+    main:
+        li r4, 0
+        beq r4, r5, done
+    done:
+        halt
+
+Directives may appear anywhere; labels end with ``:`` on their own line;
+operands are comma-separated.  Symbol patches (``la`` pseudo-instructions)
+are already expanded to ``li`` by the builder, so the text format has no
+``la``; formatting a *non-finalized* program with pending symbol patches is
+rejected to avoid silently printing placeholder immediates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.program import Program
+from repro.isa.registers import register_index, register_name
+
+
+def _format_number(value: Union[int, float]) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _parse_number(token: str, line: int) -> Union[int, float]:
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise AssemblerError(f"expected a number, got {token!r}", line) from None
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction as ``op a, b, c`` text."""
+    info = OPCODES[instruction.op]
+    operands: List[str] = []
+    slots = iter(instruction.operands())
+    for code in info.signature:
+        if code == "L":
+            operands.append(str(instruction.label))
+        elif code == "R":
+            operands.append(register_name(next(slots)))
+        else:  # immediate
+            operands.append(_format_number(next(slots)))
+    if operands:
+        return f"{instruction.op} {', '.join(operands)}"
+    return instruction.op
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as assembly text."""
+    if program.symbol_patches and not program.finalized:
+        raise AssemblerError(
+            "cannot format a non-finalized program with pending symbol patches"
+        )
+    lines: List[str] = [f".entry {program.entry_label}"]
+    for item in program.data_items:
+        values = " ".join(_format_number(v) for v in item.values)
+        lines.append(f".data {item.name} {values}".rstrip())
+    for name, entry in program.threads.items():
+        lines.append(f".thread {name} {entry}")
+    for function in program.functions:
+        lines.append(f".func {function.name} {function.start} {function.end}")
+    lines.append("")
+    for pc, instruction in enumerate(program.instructions):
+        for label in program.labels_at(pc):
+            lines.append(f"{label}:")
+        lines.append(f"    {format_instruction(instruction)}")
+    # labels bound exactly at the end of the program
+    for label in program.labels_at(len(program.instructions)):
+        lines.append(f"{label}:")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def parse_instruction(text: str, line: int = 0) -> Instruction:
+    """Parse one ``op a, b, c`` line into an instruction."""
+    stripped = text.strip()
+    if not stripped:
+        raise AssemblerError("empty instruction", line)
+    parts = stripped.split(None, 1)
+    op = parts[0]
+    info = OPCODES.get(op)
+    if info is None:
+        raise AssemblerError(f"unknown opcode {op!r}", line)
+    tokens = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+    tokens = [t for t in tokens if t]
+    expected = len(info.signature)
+    if len(tokens) != expected:
+        raise AssemblerError(
+            f"{op}: expected {expected} operand(s), got {len(tokens)}", line
+        )
+    slots: List[Union[int, float, None]] = []
+    label = None
+    for code, token in zip(info.signature, tokens):
+        if code == "L":
+            label = token
+        elif code == "R":
+            try:
+                slots.append(register_index(token))
+            except Exception:
+                raise AssemblerError(f"bad register {token!r}", line) from None
+        else:
+            slots.append(_parse_number(token, line))
+    while len(slots) < 3:
+        slots.append(None)
+    return Instruction(op, slots[0], slots[1], slots[2], label=label)
+
+
+def parse_program(text: str) -> Program:
+    """Parse assembly text into a (non-finalized) program.
+
+    Call :meth:`~repro.isa.program.Program.finalize` on the result before
+    executing it.
+    """
+    program = Program()
+    pending_functions: List[tuple] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            _parse_directive(program, pending_functions, line, line_number)
+        elif line.endswith(":"):
+            name = line[:-1].strip()
+            if not name:
+                raise AssemblerError("empty label name", line_number)
+            program.add_label(name)
+        else:
+            program.append(parse_instruction(line, line_number))
+    for name, start, end in pending_functions:
+        program.add_function(name, start, end)
+    return program
+
+
+def _parse_directive(program, pending_functions, line: str, line_number: int) -> None:
+    tokens = line.split()
+    directive = tokens[0]
+    if directive == ".entry":
+        if len(tokens) != 2:
+            raise AssemblerError(".entry takes one label", line_number)
+        program.entry_label = tokens[1]
+    elif directive == ".data":
+        if len(tokens) < 2:
+            raise AssemblerError(".data takes a name and values", line_number)
+        values = [_parse_number(t, line_number) for t in tokens[2:]]
+        program.add_data(tokens[1], values)
+    elif directive == ".thread":
+        if len(tokens) != 3:
+            raise AssemblerError(".thread takes a name and an entry label",
+                                 line_number)
+        program.declare_thread(tokens[1], tokens[2])
+    elif directive == ".func":
+        if len(tokens) != 4:
+            raise AssemblerError(".func takes name, start, end", line_number)
+        try:
+            start, end = int(tokens[2]), int(tokens[3])
+        except ValueError:
+            raise AssemblerError(".func bounds must be integers",
+                                 line_number) from None
+        pending_functions.append((tokens[1], start, end))
+    else:
+        raise AssemblerError(f"unknown directive {directive!r}", line_number)

@@ -1,0 +1,571 @@
+"""Structured program builder — the authoring DSL for DTIR workloads.
+
+Writing kernels directly as instruction lists is error-prone, so the
+builder layers three conveniences over :class:`~repro.isa.program.Program`:
+
+* **symbolic registers** — ``b.reg("i")`` allocates a free architected
+  register; scopes (``with b.scratch(3) as (t0, t1, t2):``) free them
+  automatically, so kernels never hard-code register numbers;
+* **structured control flow** — ``for_range``, ``loop`` (with break /
+  continue), and ``if_`` context managers that expand to labels and
+  branches with generated, collision-free label names;
+* **pseudo-instructions** — ``la`` (load data-symbol address, resolved at
+  finalize) and one wrapper method per real opcode.
+
+Example::
+
+    b = ProgramBuilder()
+    b.data("xs", [3, 1, 4, 1, 5])
+    with b.function("main"):
+        with b.scratch(3) as (i, base, acc):
+            b.la(base, "xs")
+            b.li(acc, 0)
+            with b.for_range(i, 0, 5):
+                with b.scratch(1) as (v,):
+                    b.ldx(v, base, i)
+                    b.add(acc, acc, v)
+            b.out(acc)
+            b.halt()
+    program = b.build()
+
+Register-allocation contract: allocations are global to the program being
+built, and freed registers are reused.  Do **not** hold values in scratch
+registers across a ``call`` unless the callee's allocations are provably
+disjoint; for long-lived values use :meth:`ProgramBuilder.global_reg`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import BuilderError
+from repro.isa.instructions import Instruction
+from repro.isa.program import Number, Program
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    Reg,
+    TRIGGER_ADDR_REG,
+    TRIGGER_OLD_VALUE_REG,
+    TRIGGER_VALUE_REG,
+)
+
+RegLike = int
+
+
+class _IfHandle:
+    """Handle yielded by :meth:`ProgramBuilder.if_` supporting ``else_()``."""
+
+    def __init__(self, builder: "ProgramBuilder", else_label: str, end_label: str):
+        self._builder = builder
+        self._else_label = else_label
+        self._end_label = end_label
+        self.has_else = False
+
+    def else_(self) -> None:
+        """Start the else-arm of the enclosing ``if_`` block."""
+        if self.has_else:
+            raise BuilderError("else_() called twice in one if_ block")
+        self.has_else = True
+        self._builder.jmp(self._end_label)
+        self._builder.label(self._else_label)
+
+
+class _LoopHandle:
+    """Handle yielded by :meth:`ProgramBuilder.loop` for break/continue."""
+
+    def __init__(self, builder: "ProgramBuilder", top: str, end: str):
+        self._builder = builder
+        self.top_label = top
+        self.end_label = end
+
+    def break_(self) -> None:
+        self._builder.jmp(self.end_label)
+
+    def continue_(self) -> None:
+        self._builder.jmp(self.top_label)
+
+    def break_if_zero(self, reg: RegLike) -> None:
+        self._builder.beqz(reg, self.end_label)
+
+    def break_if_nonzero(self, reg: RegLike) -> None:
+        self._builder.bnez(reg, self.end_label)
+
+    def continue_if_zero(self, reg: RegLike) -> None:
+        self._builder.beqz(reg, self.top_label)
+
+    def continue_if_nonzero(self, reg: RegLike) -> None:
+        self._builder.bnez(reg, self.top_label)
+
+
+class ProgramBuilder:
+    """Incrementally constructs a :class:`~repro.isa.program.Program`."""
+
+    #: registers never handed out by the allocator: the three trigger-argument
+    #: registers, so support-thread bodies can rely on them surviving until
+    #: the body explicitly reads them.
+    RESERVED = (TRIGGER_ADDR_REG, TRIGGER_VALUE_REG, TRIGGER_OLD_VALUE_REG)
+
+    def __init__(self) -> None:
+        self.program = Program()
+        self._free: List[int] = [
+            r for r in range(NUM_REGISTERS - 1, -1, -1) if r not in self.RESERVED
+        ]
+        self._allocated: dict[int, str] = {}
+        self._label_counter = 0
+        self._open_functions: List[Tuple[str, int]] = []
+        self._built = False
+
+    # -- registers -----------------------------------------------------------
+
+    @property
+    def trigger_addr(self) -> Reg:
+        """Register holding the triggering address inside a thread body."""
+        return Reg(TRIGGER_ADDR_REG)
+
+    @property
+    def trigger_value(self) -> Reg:
+        """Register holding the newly stored value inside a thread body."""
+        return Reg(TRIGGER_VALUE_REG)
+
+    @property
+    def trigger_old_value(self) -> Reg:
+        """Register holding the overwritten value inside a thread body."""
+        return Reg(TRIGGER_OLD_VALUE_REG)
+
+    def reg(self, name: str = "") -> Reg:
+        """Allocate a free register (lowest index first)."""
+        if not self._free:
+            held = ", ".join(
+                f"r{r}={n!r}" for r, n in sorted(self._allocated.items())
+            )
+            raise BuilderError(f"register pool exhausted; held: {held}")
+        index = self._free.pop()
+        self._allocated[index] = name
+        return Reg(index)
+
+    def global_reg(self, name: str = "") -> Reg:
+        """Allocate a register intended to stay live for the whole program.
+
+        Identical to :meth:`reg` except in intent: never freed by scopes.
+        """
+        return self.reg(name or "global")
+
+    def free(self, *regs: RegLike) -> None:
+        """Return registers to the pool."""
+        for reg in regs:
+            index = int(reg)
+            if index not in self._allocated:
+                raise BuilderError(f"r{index} is not currently allocated")
+            del self._allocated[index]
+            self._free.append(index)
+        # keep low registers preferred, pool stored in descending order
+        self._free.sort(reverse=True)
+
+    @contextmanager
+    def scratch(self, count: int, prefix: str = "t") -> Iterator[Tuple[Reg, ...]]:
+        """Allocate ``count`` temporaries, freed on scope exit."""
+        regs = tuple(self.reg(f"{prefix}{i}") for i in range(count))
+        try:
+            yield regs
+        finally:
+            self.free(*regs)
+
+    # -- labels / functions / threads --------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Bind a label at the current PC; returns the name."""
+        self.program.add_label(name)
+        return name
+
+    def fresh_label(self, stem: str) -> str:
+        """Generate a unique label name (not yet bound)."""
+        self._label_counter += 1
+        return f"__{stem}_{self._label_counter}"
+
+    @contextmanager
+    def function(self, name: str) -> Iterator[str]:
+        """Open a function: binds ``name`` as a label and records its range."""
+        start = len(self.program.instructions)
+        self.program.add_label(name)
+        self._open_functions.append((name, start))
+        try:
+            yield name
+        finally:
+            opened, start = self._open_functions.pop()
+            self.program.add_function(opened, start, len(self.program.instructions))
+
+    @contextmanager
+    def thread(self, name: str) -> Iterator[str]:
+        """Open a DTT support-thread body.
+
+        Declares the thread in the program (entry = generated label) and
+        opens a function named ``thread:{name}`` for its body.  The body
+        must end with :meth:`treturn`.
+        """
+        entry = f"__thread_{name}"
+        self.program.declare_thread(name, entry)
+        start = len(self.program.instructions)
+        self.program.add_label(entry)
+        try:
+            yield entry
+        finally:
+            self.program.add_function(f"thread:{name}", start,
+                                      len(self.program.instructions))
+
+    # -- data ------------------------------------------------------------------
+
+    def data(self, name: str, values: Sequence[Number]) -> str:
+        """Declare a named static array; returns the symbol name."""
+        self.program.add_data(name, values)
+        return name
+
+    def zeros(self, name: str, size: int) -> str:
+        """Declare a zero-initialized array of ``size`` words."""
+        return self.data(name, [0] * size)
+
+    def la(self, rd: RegLike, symbol: str, offset: int = 0) -> int:
+        """Load the address of ``symbol`` (+ word offset) into ``rd``.
+
+        Expands to ``li`` whose immediate is patched at finalize time.
+        """
+        pc = self._emit(Instruction("li", int(rd), 0))
+        self.program.add_symbol_patch(pc, "b", symbol, offset)
+        return pc
+
+    # -- structured control flow ---------------------------------------------------
+
+    @contextmanager
+    def for_range(
+        self,
+        counter: RegLike,
+        start: Union[int, Reg],
+        stop: Union[int, Reg],
+        step: int = 1,
+    ) -> Iterator[None]:
+        """Counted loop: ``for counter in range(start, stop, step)``.
+
+        ``start`` and ``stop`` may be immediates or registers holding the
+        bound.  ``step`` must be a nonzero immediate; negative steps count
+        down (loop exits when counter <= stop for step < 0 ... i.e. the
+        Python ``range`` convention).
+        """
+        if step == 0:
+            raise BuilderError("for_range step must be nonzero")
+        if isinstance(start, Reg):
+            self.mov(counter, start)
+        elif isinstance(start, (int, float)) and not isinstance(start, bool):
+            self.li(counter, start)
+        else:
+            raise BuilderError(f"bad for_range start {start!r}")
+        bound_is_temp = False
+        if isinstance(stop, Reg):
+            bound = stop
+        else:
+            bound = self.reg("for_bound")
+            self.li(bound, stop)
+            bound_is_temp = True
+        top = self.fresh_label("for_top")
+        end = self.fresh_label("for_end")
+        self.label(top)
+        if step > 0:
+            self.bge(counter, bound, end)
+        else:
+            self.ble(counter, bound, end)
+        try:
+            yield
+        finally:
+            self.addi(counter, counter, step)
+            self.jmp(top)
+            self.label(end)
+            if bound_is_temp:
+                self.free(bound)
+
+    @contextmanager
+    def loop(self) -> Iterator[_LoopHandle]:
+        """Unbounded loop; exit via the yielded handle's break helpers."""
+        top = self.fresh_label("loop_top")
+        end = self.fresh_label("loop_end")
+        handle = _LoopHandle(self, top, end)
+        self.label(top)
+        try:
+            yield handle
+        finally:
+            self.jmp(top)
+            self.label(end)
+
+    @contextmanager
+    def if_(self, cond: RegLike) -> Iterator[_IfHandle]:
+        """Execute the body when ``cond`` is nonzero; supports ``else_()``."""
+        else_label = self.fresh_label("else")
+        end_label = self.fresh_label("endif")
+        handle = _IfHandle(self, else_label, end_label)
+        self.beqz(cond, else_label)
+        try:
+            yield handle
+        finally:
+            if handle.has_else:
+                self.label(end_label)
+            else:
+                self.label(else_label)
+
+    @contextmanager
+    def if_zero(self, cond: RegLike) -> Iterator[_IfHandle]:
+        """Execute the body when ``cond`` is zero; supports ``else_()``."""
+        else_label = self.fresh_label("else")
+        end_label = self.fresh_label("endif")
+        handle = _IfHandle(self, else_label, end_label)
+        self.bnez(cond, else_label)
+        try:
+            yield handle
+        finally:
+            if handle.has_else:
+                self.label(end_label)
+            else:
+                self.label(else_label)
+
+    # -- building ---------------------------------------------------------------------
+
+    def build(self, entry: str = "main") -> Program:
+        """Finalize and return the program.  The builder is then spent."""
+        if self._built:
+            raise BuilderError("build() called twice")
+        if self._open_functions:
+            names = ", ".join(name for name, _ in self._open_functions)
+            raise BuilderError(f"unclosed function scope(s): {names}")
+        self._built = True
+        self.program.entry_label = entry
+        return self.program.finalize()
+
+    # -- raw emission ------------------------------------------------------------------
+
+    def _emit(self, instruction: Instruction) -> int:
+        if self._built:
+            raise BuilderError("builder already built its program")
+        return self.program.append(instruction)
+
+    def emit(self, op: str, a=None, b=None, c=None, label: Optional[str] = None) -> int:
+        """Emit an arbitrary instruction (escape hatch)."""
+        return self._emit(Instruction(op, _opnd(a), _opnd(b), _opnd(c), label=label))
+
+    # -- one wrapper per opcode ----------------------------------------------------------
+
+    def li(self, rd: RegLike, imm: Number) -> int:
+        return self._emit(Instruction("li", int(rd), imm))
+
+    def mov(self, rd: RegLike, rs: RegLike) -> int:
+        return self._emit(Instruction("mov", int(rd), int(rs)))
+
+    def add(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("add", int(rd), int(rs), int(rt)))
+
+    def sub(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("sub", int(rd), int(rs), int(rt)))
+
+    def mul(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("mul", int(rd), int(rs), int(rt)))
+
+    def idiv(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("idiv", int(rd), int(rs), int(rt)))
+
+    def imod(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("imod", int(rd), int(rs), int(rt)))
+
+    def and_(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("and_", int(rd), int(rs), int(rt)))
+
+    def or_(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("or_", int(rd), int(rs), int(rt)))
+
+    def xor(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("xor", int(rd), int(rs), int(rt)))
+
+    def shl(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("shl", int(rd), int(rs), int(rt)))
+
+    def shr(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("shr", int(rd), int(rs), int(rt)))
+
+    def slt(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("slt", int(rd), int(rs), int(rt)))
+
+    def sle(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("sle", int(rd), int(rs), int(rt)))
+
+    def sgt(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("sgt", int(rd), int(rs), int(rt)))
+
+    def sge(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("sge", int(rd), int(rs), int(rt)))
+
+    def seq(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("seq", int(rd), int(rs), int(rt)))
+
+    def sne(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("sne", int(rd), int(rs), int(rt)))
+
+    def addi(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("addi", int(rd), int(rs), imm))
+
+    def subi(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("subi", int(rd), int(rs), imm))
+
+    def muli(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("muli", int(rd), int(rs), imm))
+
+    def andi(self, rd, rs, imm: int) -> int:
+        return self._emit(Instruction("andi", int(rd), int(rs), imm))
+
+    def ori(self, rd, rs, imm: int) -> int:
+        return self._emit(Instruction("ori", int(rd), int(rs), imm))
+
+    def xori(self, rd, rs, imm: int) -> int:
+        return self._emit(Instruction("xori", int(rd), int(rs), imm))
+
+    def shli(self, rd, rs, imm: int) -> int:
+        return self._emit(Instruction("shli", int(rd), int(rs), imm))
+
+    def shri(self, rd, rs, imm: int) -> int:
+        return self._emit(Instruction("shri", int(rd), int(rs), imm))
+
+    def slti(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("slti", int(rd), int(rs), imm))
+
+    def sgti(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("sgti", int(rd), int(rs), imm))
+
+    def seqi(self, rd, rs, imm: Number) -> int:
+        return self._emit(Instruction("seqi", int(rd), int(rs), imm))
+
+    def fadd(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("fadd", int(rd), int(rs), int(rt)))
+
+    def fsub(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("fsub", int(rd), int(rs), int(rt)))
+
+    def fmul(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("fmul", int(rd), int(rs), int(rt)))
+
+    def fdiv(self, rd, rs, rt) -> int:
+        return self._emit(Instruction("fdiv", int(rd), int(rs), int(rt)))
+
+    def fsqrt(self, rd, rs) -> int:
+        return self._emit(Instruction("fsqrt", int(rd), int(rs)))
+
+    def fabs(self, rd, rs) -> int:
+        return self._emit(Instruction("fabs", int(rd), int(rs)))
+
+    def fneg(self, rd, rs) -> int:
+        return self._emit(Instruction("fneg", int(rd), int(rs)))
+
+    def itof(self, rd, rs) -> int:
+        return self._emit(Instruction("itof", int(rd), int(rs)))
+
+    def ftoi(self, rd, rs) -> int:
+        return self._emit(Instruction("ftoi", int(rd), int(rs)))
+
+    def ld(self, rd, ra, offset: int = 0) -> int:
+        return self._emit(Instruction("ld", int(rd), int(ra), offset))
+
+    def ldx(self, rd, ra, rb) -> int:
+        return self._emit(Instruction("ldx", int(rd), int(ra), int(rb)))
+
+    def st(self, rs, ra, offset: int = 0) -> int:
+        return self._emit(Instruction("st", int(rs), int(ra), offset))
+
+    def stx(self, rs, ra, rb) -> int:
+        return self._emit(Instruction("stx", int(rs), int(ra), int(rb)))
+
+    def tst(self, rs, ra, offset: int = 0) -> int:
+        return self._emit(Instruction("tst", int(rs), int(ra), offset))
+
+    def tstx(self, rs, ra, rb) -> int:
+        return self._emit(Instruction("tstx", int(rs), int(ra), int(rb)))
+
+    def tcheck(self, thread_id: int) -> int:
+        return self._emit(Instruction("tcheck", thread_id))
+
+    def tcheck_thread(self, name: str) -> int:
+        """Emit a tcheck for a thread by name (must be declared already).
+
+        Thread ids are assigned by declaration order, so thread bodies must
+        be built *before* the code that consumes their results — define
+        support threads first, then ``main``.
+        """
+        names = list(self.program.threads)
+        if name not in names:
+            raise BuilderError(
+                f"thread {name!r} not yet declared; declare thread bodies "
+                f"before emitting their consume points (have: {names})"
+            )
+        return self.tcheck(names.index(name))
+
+    def treturn(self) -> int:
+        return self._emit(Instruction("treturn"))
+
+    def beq(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("beq", int(rs), int(rt), label=label))
+
+    def bne(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("bne", int(rs), int(rt), label=label))
+
+    def blt(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("blt", int(rs), int(rt), label=label))
+
+    def ble(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("ble", int(rs), int(rt), label=label))
+
+    def bgt(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("bgt", int(rs), int(rt), label=label))
+
+    def bge(self, rs, rt, label: str) -> int:
+        return self._emit(Instruction("bge", int(rs), int(rt), label=label))
+
+    def beqz(self, rs, label: str) -> int:
+        return self._emit(Instruction("beqz", int(rs), label=label))
+
+    def bnez(self, rs, label: str) -> int:
+        return self._emit(Instruction("bnez", int(rs), label=label))
+
+    def jmp(self, label: str) -> int:
+        return self._emit(Instruction("jmp", label=label))
+
+    def call(self, label: str) -> int:
+        return self._emit(Instruction("call", label=label))
+
+    def ret(self) -> int:
+        return self._emit(Instruction("ret"))
+
+    def out(self, rs) -> int:
+        return self._emit(Instruction("out", int(rs)))
+
+    def nop(self) -> int:
+        return self._emit(Instruction("nop"))
+
+    def halt(self) -> int:
+        return self._emit(Instruction("halt"))
+
+
+def _opnd(value):
+    """Normalize a builder operand: Reg -> int, pass numbers through."""
+    if isinstance(value, Reg):
+        return int(value)
+    return value
+
+
+def _attach_wrapper_docstrings() -> None:
+    """Give every bare opcode wrapper the opcode table's description.
+
+    The wrappers are one-liners whose semantics live in
+    :data:`repro.isa.instructions.OPCODES`; generating their docstrings
+    from that table keeps the two permanently in sync.
+    """
+    from repro.isa.instructions import OPCODES as _OPCODES
+
+    for _name, _info in _OPCODES.items():
+        _method = getattr(ProgramBuilder, _name, None)
+        if _method is not None and not _method.__doc__:
+            _method.__doc__ = f"Emit ``{_name}``: {_info.description}."
+
+
+_attach_wrapper_docstrings()

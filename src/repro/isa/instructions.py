@@ -1,0 +1,305 @@
+"""DTIR instructions and the opcode table.
+
+An :class:`Instruction` is a tiny record: an opcode string plus up to three
+operand slots ``a``, ``b``, ``c`` whose meaning is defined per opcode by the
+:data:`OPCODES` table, plus an optional ``label`` (unresolved control-flow
+target) and ``target`` (the PC the label resolves to, filled in by
+:meth:`repro.isa.program.Program.finalize`).
+
+Operand signature codes used in :data:`OPCODES`:
+
+``R``  register operand (int index into the register file)
+``I``  immediate (Python ``int`` or ``float``)
+``L``  label / control-flow target (string until finalized)
+
+The opcode *class* (:class:`OpClass`) drives the timing model's latency
+table and the profiler's instruction categorization.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple, Union
+
+from repro.errors import InvalidInstructionError
+from repro.isa.registers import NUM_REGISTERS
+
+Operand = Union[int, float, str, None]
+
+
+class OpClass(str, Enum):
+    """Functional-unit class of an opcode, used by the timing model."""
+
+    IALU = "ialu"  # integer add/logic/compare/move
+    IMUL = "imul"  # integer multiply
+    IDIV = "idiv"  # integer divide / modulo
+    FPADD = "fpadd"  # fp add/sub/compare/convert
+    FPMUL = "fpmul"  # fp multiply
+    FPDIV = "fpdiv"  # fp divide / sqrt
+    LOAD = "load"
+    STORE = "store"
+    TSTORE = "tstore"  # triggering store (DTT extension)
+    BRANCH = "branch"  # conditional branches
+    JUMP = "jump"  # jmp / call / ret / treturn
+    SYS = "sys"  # tcheck, out, nop, halt
+
+
+class OpInfo:
+    """Static description of one opcode: operand signature and class."""
+
+    __slots__ = ("name", "signature", "op_class", "description")
+
+    def __init__(self, name: str, signature: str, op_class: OpClass, description: str):
+        self.name = name
+        self.signature = signature
+        self.op_class = op_class
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"OpInfo({self.name!r}, {self.signature!r}, {self.op_class.value})"
+
+
+def _table(*rows: Tuple[str, str, OpClass, str]) -> "dict[str, OpInfo]":
+    table = {}
+    for name, signature, op_class, description in rows:
+        if name in table:
+            raise ValueError(f"duplicate opcode {name}")
+        table[name] = OpInfo(name, signature, op_class, description)
+    return table
+
+
+#: The complete DTIR opcode table.
+OPCODES = _table(
+    # -- data movement ----------------------------------------------------
+    ("li", "RI", OpClass.IALU, "a <- immediate b"),
+    ("mov", "RR", OpClass.IALU, "a <- b"),
+    # -- integer / generic ALU, register-register -------------------------
+    ("add", "RRR", OpClass.IALU, "a <- b + c"),
+    ("sub", "RRR", OpClass.IALU, "a <- b - c"),
+    ("mul", "RRR", OpClass.IMUL, "a <- b * c"),
+    ("idiv", "RRR", OpClass.IDIV, "a <- b // c (trunc toward zero)"),
+    ("imod", "RRR", OpClass.IDIV, "a <- b mod c (sign of b)"),
+    ("and_", "RRR", OpClass.IALU, "a <- b & c"),
+    ("or_", "RRR", OpClass.IALU, "a <- b | c"),
+    ("xor", "RRR", OpClass.IALU, "a <- b ^ c"),
+    ("shl", "RRR", OpClass.IALU, "a <- b << c"),
+    ("shr", "RRR", OpClass.IALU, "a <- b >> c"),
+    ("slt", "RRR", OpClass.IALU, "a <- 1 if b < c else 0"),
+    ("sle", "RRR", OpClass.IALU, "a <- 1 if b <= c else 0"),
+    ("sgt", "RRR", OpClass.IALU, "a <- 1 if b > c else 0"),
+    ("sge", "RRR", OpClass.IALU, "a <- 1 if b >= c else 0"),
+    ("seq", "RRR", OpClass.IALU, "a <- 1 if b == c else 0"),
+    ("sne", "RRR", OpClass.IALU, "a <- 1 if b != c else 0"),
+    # -- integer ALU, register-immediate ----------------------------------
+    ("addi", "RRI", OpClass.IALU, "a <- b + imm c"),
+    ("subi", "RRI", OpClass.IALU, "a <- b - imm c"),
+    ("muli", "RRI", OpClass.IMUL, "a <- b * imm c"),
+    ("andi", "RRI", OpClass.IALU, "a <- b & imm c"),
+    ("ori", "RRI", OpClass.IALU, "a <- b | imm c"),
+    ("xori", "RRI", OpClass.IALU, "a <- b ^ imm c"),
+    ("shli", "RRI", OpClass.IALU, "a <- b << imm c"),
+    ("shri", "RRI", OpClass.IALU, "a <- b >> imm c"),
+    ("slti", "RRI", OpClass.IALU, "a <- 1 if b < imm c else 0"),
+    ("sgti", "RRI", OpClass.IALU, "a <- 1 if b > imm c else 0"),
+    ("seqi", "RRI", OpClass.IALU, "a <- 1 if b == imm c else 0"),
+    # -- floating point ----------------------------------------------------
+    ("fadd", "RRR", OpClass.FPADD, "a <- float(b) + float(c)"),
+    ("fsub", "RRR", OpClass.FPADD, "a <- float(b) - float(c)"),
+    ("fmul", "RRR", OpClass.FPMUL, "a <- float(b) * float(c)"),
+    ("fdiv", "RRR", OpClass.FPDIV, "a <- float(b) / float(c)"),
+    ("fsqrt", "RR", OpClass.FPDIV, "a <- sqrt(float(b))"),
+    ("fabs", "RR", OpClass.FPADD, "a <- abs(float(b))"),
+    ("fneg", "RR", OpClass.FPADD, "a <- -float(b)"),
+    ("itof", "RR", OpClass.FPADD, "a <- float(b)"),
+    ("ftoi", "RR", OpClass.FPADD, "a <- int(b) (trunc toward zero)"),
+    # -- memory ------------------------------------------------------------
+    ("ld", "RRI", OpClass.LOAD, "a <- mem[b + imm c]"),
+    ("ldx", "RRR", OpClass.LOAD, "a <- mem[b + c]"),
+    ("st", "RRI", OpClass.STORE, "mem[b + imm c] <- a"),
+    ("stx", "RRR", OpClass.STORE, "mem[b + c] <- a"),
+    # -- DTT extensions ----------------------------------------------------
+    ("tst", "RRI", OpClass.TSTORE, "triggering store: mem[b + imm c] <- a"),
+    ("tstx", "RRR", OpClass.TSTORE, "triggering store: mem[b + c] <- a"),
+    ("tcheck", "I", OpClass.SYS, "barrier on support thread id (imm a)"),
+    ("treturn", "", OpClass.JUMP, "end of support thread"),
+    # -- control flow -------------------------------------------------------
+    ("beq", "RRL", OpClass.BRANCH, "if a == b goto label"),
+    ("bne", "RRL", OpClass.BRANCH, "if a != b goto label"),
+    ("blt", "RRL", OpClass.BRANCH, "if a < b goto label"),
+    ("ble", "RRL", OpClass.BRANCH, "if a <= b goto label"),
+    ("bgt", "RRL", OpClass.BRANCH, "if a > b goto label"),
+    ("bge", "RRL", OpClass.BRANCH, "if a >= b goto label"),
+    ("beqz", "RL", OpClass.BRANCH, "if a == 0 goto label"),
+    ("bnez", "RL", OpClass.BRANCH, "if a != 0 goto label"),
+    ("jmp", "L", OpClass.JUMP, "goto label"),
+    ("call", "L", OpClass.JUMP, "push return pc; goto label"),
+    ("ret", "", OpClass.JUMP, "pop return pc"),
+    # -- system -------------------------------------------------------------
+    ("out", "R", OpClass.SYS, "append value of a to machine output"),
+    ("nop", "", OpClass.SYS, "no operation"),
+    ("halt", "", OpClass.SYS, "stop the context"),
+)
+
+_LOAD_OPS = frozenset(n for n, i in OPCODES.items() if i.op_class is OpClass.LOAD)
+_STORE_OPS = frozenset(
+    n for n, i in OPCODES.items() if i.op_class in (OpClass.STORE, OpClass.TSTORE)
+)
+_TSTORE_OPS = frozenset(n for n, i in OPCODES.items() if i.op_class is OpClass.TSTORE)
+_BRANCH_OPS = frozenset(n for n, i in OPCODES.items() if i.op_class is OpClass.BRANCH)
+
+
+def is_load(op: str) -> bool:
+    """True if ``op`` reads memory."""
+    return op in _LOAD_OPS
+
+
+def is_store(op: str) -> bool:
+    """True if ``op`` writes memory (including triggering stores)."""
+    return op in _STORE_OPS
+
+
+def is_triggering_store(op: str) -> bool:
+    """True if ``op`` is one of the DTT triggering-store opcodes."""
+    return op in _TSTORE_OPS
+
+
+def is_branch(op: str) -> bool:
+    """True if ``op`` is a conditional branch."""
+    return op in _BRANCH_OPS
+
+
+#: opcodes whose ``a`` slot is a *source* register, not a destination
+_A_IS_SOURCE = frozenset(
+    ["st", "stx", "tst", "tstx", "beq", "bne", "blt", "ble", "bgt", "bge",
+     "beqz", "bnez", "out"]
+)
+
+
+def operand_roles(op: str) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """Dataflow roles of an opcode's register operands.
+
+    Returns ``(dest_slot, source_slots)`` where slots are ``'a'``/``'b'``/
+    ``'c'`` names.  Immediates and labels are not registers and never
+    appear.  Used by the redundancy slice analyzer and by tests.
+    """
+    info = OPCODES.get(op)
+    if info is None:
+        raise InvalidInstructionError(f"unknown opcode {op!r}")
+    slots = []
+    slot_names = iter("abc")
+    for code in info.signature:
+        if code == "L":
+            continue
+        name = next(slot_names)
+        if code == "R":
+            slots.append(name)
+    if not slots:
+        return (None, ())
+    if op in _A_IS_SOURCE:
+        return (None, tuple(slots))
+    return (slots[0], tuple(slots[1:]))
+
+
+class Instruction:
+    """One DTIR instruction.
+
+    ``a``/``b``/``c`` are the operand slots, interpreted per the opcode's
+    signature.  ``label`` holds an unresolved control-flow target; after
+    :meth:`Program.finalize` the resolved PC is in ``target``.
+    """
+
+    __slots__ = ("op", "a", "b", "c", "label", "target")
+
+    def __init__(
+        self,
+        op: str,
+        a: Operand = None,
+        b: Operand = None,
+        c: Operand = None,
+        label: Optional[str] = None,
+    ):
+        info = OPCODES.get(op)
+        if info is None:
+            raise InvalidInstructionError(f"unknown opcode {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.label = label
+        self.target: Optional[int] = None
+        self._validate(info)
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self, info: OpInfo) -> None:
+        operands = [self.a, self.b, self.c]
+        signature = info.signature
+        if "L" in signature and self.label is None:
+            raise InvalidInstructionError(f"{self.op}: missing control-flow label")
+        if "L" not in signature and self.label is not None:
+            raise InvalidInstructionError(f"{self.op}: unexpected label {self.label!r}")
+        slot = 0
+        for code in signature:
+            if code == "L":
+                continue  # labels live in .label, not an operand slot
+            value = operands[slot]
+            if code == "R":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise InvalidInstructionError(
+                        f"{self.op}: operand {slot} must be a register index, "
+                        f"got {value!r}"
+                    )
+                if not 0 <= value < NUM_REGISTERS:
+                    raise InvalidInstructionError(
+                        f"{self.op}: register index {value} out of range"
+                    )
+            elif code == "I":
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise InvalidInstructionError(
+                        f"{self.op}: operand {slot} must be a numeric immediate, "
+                        f"got {value!r}"
+                    )
+            slot += 1
+        for extra in operands[slot:]:
+            if extra is not None:
+                raise InvalidInstructionError(
+                    f"{self.op}: too many operands (signature {signature!r})"
+                )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def info(self) -> OpInfo:
+        """The opcode's static description."""
+        return OPCODES[self.op]
+
+    @property
+    def op_class(self) -> OpClass:
+        """The opcode's functional-unit class."""
+        return OPCODES[self.op].op_class
+
+    def operands(self) -> Tuple[Operand, ...]:
+        """The populated operand slots, in signature order (labels excluded)."""
+        count = sum(1 for code in OPCODES[self.op].signature if code != "L")
+        return tuple((self.a, self.b, self.c)[:count])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.a == other.a
+            and self.b == other.b
+            and self.c == other.c
+            and self.label == other.label
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.a, self.b, self.c, self.label))
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        parts.extend(repr(x) for x in self.operands())
+        if self.label is not None:
+            parts.append(f"label={self.label!r}")
+        return f"Instruction({', '.join(parts)})"

@@ -1,0 +1,186 @@
+"""Static checks ("lints") for finalized DTIR programs.
+
+The builder and finalizer catch structural errors; the linter catches the
+*semantic* authoring mistakes that otherwise only surface as wrong answers
+or runtime faults — most of them DTT-specific:
+
+``no-halt``
+    the program contains no ``halt``: the main context will run off the
+    end of the program (an :class:`~repro.errors.ExecutionFault`).
+``thread-missing-treturn``
+    a declared support thread's body region contains no ``treturn``
+    (finalize only checks that *some* treturn exists program-wide).
+``halt-in-thread``
+    ``halt`` inside a support-thread body faults at runtime (support
+    contexts must ``treturn``).
+``tstore-in-thread``
+    a triggering store inside a support-thread body is silently demoted to
+    a plain store unless cascading is enabled — usually a mistake.
+``out-in-thread``
+    output from a support thread interleaves nondeterministically with
+    main-thread output under the timing simulator.
+``tcheck-bad-tid``
+    a ``tcheck`` references a thread id the program does not declare
+    (faults at runtime when an engine is attached).
+``tcheck-without-threads``
+    DTT consume points in a program that declares no threads (they are
+    no-ops without an engine, and an engine cannot be attached).
+``unreachable``
+    instructions no control path from the entry or any thread entry can
+    reach (dead code, or a missing label).
+
+Every finding carries a severity: ``error`` findings will fault or
+mis-execute; ``warning`` findings are probably mistakes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import is_branch, is_triggering_store
+from repro.isa.program import Program
+
+ERROR = "error"
+WARNING = "warning"
+
+
+class Finding:
+    """One lint finding."""
+
+    __slots__ = ("severity", "code", "pc", "message")
+
+    def __init__(self, severity: str, code: str, pc: Optional[int],
+                 message: str):
+        self.severity = severity
+        self.code = code
+        self.pc = pc
+        self.message = message
+
+    def __repr__(self) -> str:
+        where = f" at pc {self.pc}" if self.pc is not None else ""
+        return f"[{self.severity}] {self.code}{where}: {self.message}"
+
+
+def _thread_regions(program: Program) -> Dict[str, range]:
+    """Thread name -> PC range, from the 'thread:NAME' function records
+    the builder emits; threads authored without the builder fall back to
+    an entry-only range."""
+    regions: Dict[str, range] = {}
+    for function in program.functions:
+        if function.name.startswith("thread:"):
+            regions[function.name[len("thread:"):]] = range(
+                function.start, function.end
+            )
+    for name in program.threads:
+        if name not in regions:
+            entry = program.thread_entry_pc(name)
+            regions[name] = range(entry, entry + 1)
+    return regions
+
+
+def _reachable(program: Program) -> Set[int]:
+    """PCs reachable from the entry point or any thread entry."""
+    size = len(program.instructions)
+    work = [program.entry_pc]
+    work.extend(program.thread_entry_pc(name) for name in program.threads)
+    seen: Set[int] = set()
+    while work:
+        pc = work.pop()
+        if pc in seen or not 0 <= pc < size:
+            continue
+        seen.add(pc)
+        instruction = program.instructions[pc]
+        op = instruction.op
+        if op in ("halt", "treturn"):
+            continue
+        if op == "ret":
+            continue  # successors come from the call site's fallthrough
+        if op == "jmp":
+            work.append(instruction.target)
+            continue
+        if op == "call":
+            work.append(instruction.target)
+            work.append(pc + 1)  # the return lands here
+            continue
+        if is_branch(op):
+            work.append(instruction.target)
+        work.append(pc + 1)
+    return seen
+
+
+def lint_program(program: Program) -> List[Finding]:
+    """Run every check; returns findings sorted errors-first, then by pc."""
+    if not program.finalized:
+        raise ProgramValidationError("lint requires a finalized program")
+    findings: List[Finding] = []
+    instructions = program.instructions
+    regions = _thread_regions(program)
+    num_threads = len(program.threads)
+
+    if not any(i.op == "halt" for i in instructions):
+        findings.append(Finding(
+            ERROR, "no-halt", None,
+            "no halt instruction: the main context will run off the end",
+        ))
+
+    for name, region in regions.items():
+        body = instructions[region.start:region.stop]
+        if not any(i.op == "treturn" for i in body):
+            findings.append(Finding(
+                ERROR, "thread-missing-treturn", region.start,
+                f"support thread {name!r} has no treturn in its body",
+            ))
+        for offset, instruction in enumerate(body):
+            pc = region.start + offset
+            if instruction.op == "halt":
+                findings.append(Finding(
+                    ERROR, "halt-in-thread", pc,
+                    f"halt inside support thread {name!r} faults at runtime",
+                ))
+            elif is_triggering_store(instruction.op):
+                findings.append(Finding(
+                    WARNING, "tstore-in-thread", pc,
+                    f"triggering store inside thread {name!r} is a plain "
+                    "store unless cascading is enabled",
+                ))
+            elif instruction.op == "out":
+                findings.append(Finding(
+                    WARNING, "out-in-thread", pc,
+                    f"output from thread {name!r} interleaves "
+                    "nondeterministically under timed execution",
+                ))
+
+    for pc, instruction in enumerate(instructions):
+        if instruction.op != "tcheck":
+            continue
+        tid = int(instruction.a)
+        if num_threads == 0:
+            findings.append(Finding(
+                WARNING, "tcheck-without-threads", pc,
+                "tcheck in a program that declares no support threads",
+            ))
+        elif not 0 <= tid < num_threads:
+            findings.append(Finding(
+                ERROR, "tcheck-bad-tid", pc,
+                f"tcheck references thread id {tid}; program declares "
+                f"{num_threads} thread(s)",
+            ))
+
+    reachable = _reachable(program)
+    for pc in range(len(instructions)):
+        if pc not in reachable:
+            findings.append(Finding(
+                WARNING, "unreachable", pc,
+                "no control path from the entry or a thread entry reaches "
+                "this instruction",
+            ))
+
+    findings.sort(key=lambda f: (f.severity != ERROR,
+                                 f.pc if f.pc is not None else -1))
+    return findings
+
+
+def errors_only(findings: List[Finding]) -> List[Finding]:
+    """The subset of findings that will fault or mis-execute."""
+    return [f for f in findings if f.severity == ERROR]

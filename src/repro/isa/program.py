@@ -1,0 +1,281 @@
+"""Programs: instruction sequences, labels, functions, and data items.
+
+A :class:`Program` is the unit the machine loads and executes: a flat list
+of :class:`~repro.isa.instructions.Instruction` with a label table, optional
+function metadata, a static-data manifest (named arrays placed in memory by
+the loader), and declarations of DTT support threads (name → entry label).
+
+Programs are built either by the :class:`~repro.isa.builder.ProgramBuilder`
+DSL or by the text assembler, then :meth:`finalized <Program.finalize>`,
+which resolves every control-flow label to an absolute PC and runs
+whole-program validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import Instruction, OpClass
+
+Number = Union[int, float]
+
+
+class Function:
+    """Metadata for one function: a named half-open PC range."""
+
+    __slots__ = ("name", "start", "end")
+
+    def __init__(self, name: str, start: int, end: int):
+        self.name = name
+        self.start = start
+        self.end = end
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    def __repr__(self) -> str:
+        return f"Function({self.name!r}, pc={self.start}..{self.end})"
+
+
+class DataItem:
+    """A named static array placed in memory by the loader."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Sequence[Number]):
+        self.name = name
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"DataItem({self.name!r}, len={len(self.values)})"
+
+
+class Program:
+    """A finalized-or-not DTIR program."""
+
+    def __init__(self) -> None:
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.functions: List[Function] = []
+        #: static data manifest, in placement order
+        self.data_items: List[DataItem] = []
+        #: DTT support threads: thread name -> entry label
+        self.threads: Dict[str, str] = {}
+        self.entry_label: str = "main"
+        #: pending symbol fixups: (pc, operand_slot, symbol, word_offset)
+        self.symbol_patches: List[Tuple[int, str, str, int]] = []
+        #: symbol table computed at finalize: name -> (address, size)
+        self.layout: Dict[str, Tuple[int, int]] = {}
+        self._finalized = False
+
+    #: word address where the loader places the first data item
+    DATA_BASE = 64
+    #: alignment (in words) of each data item; one cache line by default
+    DATA_ALIGN = 16
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its PC."""
+        self._require_mutable()
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def add_label(self, name: str, pc: Optional[int] = None) -> None:
+        """Bind ``name`` to ``pc`` (default: the next instruction slot)."""
+        self._require_mutable()
+        if name in self.labels:
+            raise ProgramValidationError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions) if pc is None else pc
+
+    def add_function(self, name: str, start: int, end: int) -> None:
+        """Record a named half-open PC range as a function."""
+        self._require_mutable()
+        self.functions.append(Function(name, start, end))
+
+    def add_data(self, name: str, values: Sequence[Number]) -> DataItem:
+        """Declare a named static array for the loader to place."""
+        self._require_mutable()
+        if any(item.name == name for item in self.data_items):
+            raise ProgramValidationError(f"duplicate data item {name!r}")
+        item = DataItem(name, values)
+        self.data_items.append(item)
+        return item
+
+    def add_symbol_patch(self, pc: int, slot: str, symbol: str, offset: int = 0) -> None:
+        """Record that operand ``slot`` ('a'/'b'/'c') of the instruction at
+        ``pc`` must be replaced at finalize time by the address of
+        ``symbol`` plus ``offset`` words."""
+        self._require_mutable()
+        if slot not in ("a", "b", "c"):
+            raise ProgramValidationError(f"bad operand slot {slot!r}")
+        self.symbol_patches.append((pc, slot, symbol, offset))
+
+    def declare_thread(self, name: str, entry_label: str) -> None:
+        """Declare a DTT support thread with the given entry label."""
+        self._require_mutable()
+        if name in self.threads:
+            raise ProgramValidationError(f"duplicate thread {name!r}")
+        self.threads[name] = entry_label
+
+    def _require_mutable(self) -> None:
+        if self._finalized:
+            raise ProgramValidationError("program is finalized and immutable")
+
+    # -- finalization -----------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def finalize(self) -> "Program":
+        """Resolve labels, validate the whole program, and freeze it.
+
+        Returns ``self`` for chaining.  Idempotent.
+        """
+        if self._finalized:
+            return self
+        if not self.instructions:
+            raise ProgramValidationError("empty program")
+        if self.entry_label not in self.labels:
+            raise ProgramValidationError(
+                f"entry label {self.entry_label!r} is not defined"
+            )
+        size = len(self.instructions)
+        for name, pc in self.labels.items():
+            if not 0 <= pc <= size:
+                raise ProgramValidationError(f"label {name!r} points outside program")
+        for pc, instruction in enumerate(self.instructions):
+            if instruction.label is not None:
+                target = self.labels.get(instruction.label)
+                if target is None:
+                    raise ProgramValidationError(
+                        f"pc {pc}: undefined label {instruction.label!r}"
+                    )
+                if target >= size:
+                    raise ProgramValidationError(
+                        f"pc {pc}: label {instruction.label!r} points past the end"
+                    )
+                instruction.target = target
+        for thread_name, entry in self.threads.items():
+            if entry not in self.labels:
+                raise ProgramValidationError(
+                    f"thread {thread_name!r}: undefined entry label {entry!r}"
+                )
+        self._check_thread_termination()
+        self.layout = data_layout(self.data_items, base=self.DATA_BASE,
+                                  align=self.DATA_ALIGN)
+        for pc, slot, symbol, offset in self.symbol_patches:
+            if symbol not in self.layout:
+                raise ProgramValidationError(
+                    f"pc {pc}: undefined data symbol {symbol!r}"
+                )
+            if not 0 <= pc < size:
+                raise ProgramValidationError(
+                    f"symbol patch references pc {pc} outside program"
+                )
+            setattr(self.instructions[pc], slot, self.layout[symbol][0] + offset)
+        self._finalized = True
+        return self
+
+    def _check_thread_termination(self) -> None:
+        """Best-effort check that support-thread bodies contain a treturn.
+
+        A support thread that never executes ``treturn`` would occupy its
+        hardware context forever, so catching the common authoring mistake
+        (forgetting the terminator) at finalize time is worth a weak
+        heuristic: we require *some* ``treturn`` to exist in the program
+        whenever threads are declared.
+        """
+        if not self.threads:
+            return
+        if not any(i.op == "treturn" for i in self.instructions):
+            raise ProgramValidationError(
+                "program declares support threads but contains no treturn"
+            )
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def entry_pc(self) -> int:
+        """PC of the entry label (requires a defined entry label)."""
+        return self.labels[self.entry_label]
+
+    def thread_entry_pc(self, name: str) -> int:
+        """Entry PC of a declared support thread."""
+        if name not in self.threads:
+            raise ProgramValidationError(f"unknown thread {name!r}")
+        return self.labels[self.threads[name]]
+
+    def address_of(self, name: str, offset: int = 0) -> int:
+        """Word address of a data symbol (requires a finalized program)."""
+        if not self._finalized:
+            raise ProgramValidationError("layout is only available after finalize()")
+        if name not in self.layout:
+            raise ProgramValidationError(f"unknown data symbol {name!r}")
+        return self.layout[name][0] + offset
+
+    def size_of(self, name: str) -> int:
+        """Size in words of a data symbol (requires a finalized program)."""
+        if not self._finalized:
+            raise ProgramValidationError("layout is only available after finalize()")
+        if name not in self.layout:
+            raise ProgramValidationError(f"unknown data symbol {name!r}")
+        return self.layout[name][1]
+
+    def labels_at(self, pc: int) -> List[str]:
+        """All label names bound to ``pc`` (sorted for determinism)."""
+        return sorted(name for name, at in self.labels.items() if at == pc)
+
+    def function_at(self, pc: int) -> Optional[Function]:
+        """The function containing ``pc``, if any."""
+        for function in self.functions:
+            if pc in function:
+                return function
+        return None
+
+    def static_counts_by_class(self) -> Dict[OpClass, int]:
+        """Static instruction counts per opcode class."""
+        counts: Dict[OpClass, int] = {}
+        for instruction in self.instructions:
+            op_class = instruction.op_class
+            counts[op_class] = counts.get(op_class, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterable[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        state = "finalized" if self._finalized else "building"
+        return (
+            f"Program({len(self.instructions)} instructions, "
+            f"{len(self.labels)} labels, {len(self.data_items)} data items, "
+            f"{len(self.threads)} threads, {state})"
+        )
+
+
+def data_layout(
+    items: Sequence[DataItem], base: int = 0, align: int = 16
+) -> Dict[str, Tuple[int, int]]:
+    """Assign word addresses to data items.
+
+    Returns ``{name: (base_address, size_in_words)}``.  Each item is aligned
+    to ``align`` words (one cache line by default) so that distinct arrays
+    never share a cache line — which matters for the line-granularity
+    false-trigger ablation (E8b), where sharing would conflate arrays.
+    """
+    layout: Dict[str, Tuple[int, int]] = {}
+    address = base
+    for item in items:
+        if address % align:
+            address += align - address % align
+        layout[item.name] = (address, len(item.values))
+        address += max(len(item.values), 1)
+    return layout

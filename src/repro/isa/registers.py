@@ -1,0 +1,80 @@
+"""Architected register file of the DTIR ISA.
+
+DTIR has a single untyped register file of :data:`NUM_REGISTERS` general
+registers, ``r0`` .. ``r31``.  Registers hold Python numbers (``int`` or
+``float``); the distinction between integer and floating-point *pipelines*
+lives in the opcode class (see :mod:`repro.isa.instructions`), not in the
+register file.  This mirrors how the paper's evaluation treats registers:
+the interesting state for data-triggered threads is memory, not registers.
+
+Three registers have a calling convention assigned by the DTT engine when
+it dispatches a support thread (see :mod:`repro.core.engine`):
+
+* ``r1`` — the address written by the triggering store
+* ``r2`` — the new value written by the triggering store
+* ``r3`` — the old value that was overwritten
+
+They are ordinary registers in every other respect.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidRegisterError
+
+#: Number of architected general registers.
+NUM_REGISTERS = 32
+
+#: Register receiving the triggering address on support-thread dispatch.
+TRIGGER_ADDR_REG = 1
+#: Register receiving the newly stored value on support-thread dispatch.
+TRIGGER_VALUE_REG = 2
+#: Register receiving the overwritten (old) value on support-thread dispatch.
+TRIGGER_OLD_VALUE_REG = 3
+
+
+class Reg(int):
+    """A register operand: an ``int`` subclass carrying its display name.
+
+    Instructions store operands as plain integers for interpreter speed;
+    ``Reg`` exists so builder code and reprs stay readable.  ``Reg(5)``
+    compares and hashes exactly like ``5``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, index: int) -> "Reg":
+        if not 0 <= int(index) < NUM_REGISTERS:
+            raise InvalidRegisterError(
+                f"register index {index} outside r0..r{NUM_REGISTERS - 1}"
+            )
+        return super().__new__(cls, int(index))
+
+    def __repr__(self) -> str:
+        return f"r{int(self)}"
+
+    __str__ = __repr__
+
+
+def register_name(index: int) -> str:
+    """Return the canonical name (``rN``) for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise InvalidRegisterError(
+            f"register index {index} outside r0..r{NUM_REGISTERS - 1}"
+        )
+    return f"r{index}"
+
+
+def register_index(name: str) -> int:
+    """Parse a register name (``rN``) into its index.
+
+    Raises :class:`~repro.errors.InvalidRegisterError` for anything that is
+    not a well-formed, in-range register name.
+    """
+    if not name or name[0] != "r" or not name[1:].isdigit():
+        raise InvalidRegisterError(f"malformed register name {name!r}")
+    index = int(name[1:])
+    if not 0 <= index < NUM_REGISTERS:
+        raise InvalidRegisterError(
+            f"register index {index} outside r0..r{NUM_REGISTERS - 1}"
+        )
+    return index

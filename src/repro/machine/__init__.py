@@ -1,0 +1,33 @@
+"""Functional execution substrate: memory, contexts, and the machine.
+
+The machine executes finalized DTIR programs.  It is *functional only* —
+every instruction takes effect immediately and completely; all timing
+(cycles, cache latencies, SMT contention) lives in :mod:`repro.timing`,
+which drives the machine one instruction at a time and charges cycles
+around it.  The DTT extensions (``tst``, ``tcheck``, ``treturn``) are
+delegated to an installed :class:`repro.core.engine.DttEngine`; without an
+engine, triggering stores behave as plain stores and ``tcheck`` is a no-op,
+which is exactly the paper's baseline machine.
+"""
+
+from repro.machine.memory import Memory
+from repro.machine.context import Context, ContextRole, ContextState
+from repro.machine.events import MachineObserver, TraceObserver
+from repro.machine.debugger import Debugger, StopEvent, StopKind
+from repro.machine.loader import load_program
+from repro.machine.machine import Machine, run_to_completion
+
+__all__ = [
+    "Memory",
+    "Context",
+    "ContextRole",
+    "ContextState",
+    "MachineObserver",
+    "TraceObserver",
+    "Debugger",
+    "StopEvent",
+    "StopKind",
+    "load_program",
+    "Machine",
+    "run_to_completion",
+]

@@ -1,0 +1,151 @@
+"""Hardware contexts: one register file + PC + state per context.
+
+A context is the paper's unit of thread execution: the main program runs on
+context 0; support threads are dispatched by the DTT engine onto idle
+contexts (spare SMT contexts of the same core, or contexts of an idle core
+in the CMP configuration).  Contexts own their architected state — register
+file, PC, call stack — so a support thread never perturbs the main
+thread's registers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Union
+
+from repro.errors import ContextError
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    TRIGGER_ADDR_REG,
+    TRIGGER_OLD_VALUE_REG,
+    TRIGGER_VALUE_REG,
+)
+
+Number = Union[int, float]
+
+
+class ContextState(str, Enum):
+    """Lifecycle state of a hardware context."""
+
+    IDLE = "idle"  # no thread assigned
+    RUNNING = "running"  # executing instructions
+    BLOCKED = "blocked"  # main thread stalled at a tcheck barrier
+    HALTED = "halted"  # main thread executed halt
+
+
+class ContextRole(str, Enum):
+    """What kind of thread the context is currently executing."""
+
+    MAIN = "main"
+    SUPPORT = "support"
+
+
+class Context:
+    """One hardware context (register file, PC, call stack, state)."""
+
+    __slots__ = (
+        "context_id",
+        "core_id",
+        "regs",
+        "pc",
+        "call_stack",
+        "state",
+        "role",
+        "thread_name",
+        "waiting_on",
+        "instruction_count",
+        "busy_until",
+    )
+
+    def __init__(self, context_id: int, core_id: int = 0):
+        self.context_id = context_id
+        self.core_id = core_id
+        self.regs: List[Number] = [0] * NUM_REGISTERS
+        self.pc = 0
+        self.call_stack: List[int] = []
+        self.state = ContextState.IDLE
+        self.role = ContextRole.SUPPORT
+        #: name of the DTT support thread currently running (support role)
+        self.thread_name: Optional[str] = None
+        #: thread id a blocked main context is waiting on (tcheck barrier)
+        self.waiting_on: Optional[int] = None
+        self.instruction_count = 0
+        #: timing-model bookkeeping: cycle until which this context is busy
+        self.busy_until = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start_main(self, entry_pc: int) -> None:
+        """Begin executing the main program at ``entry_pc``."""
+        if self.state not in (ContextState.IDLE, ContextState.HALTED):
+            raise ContextError(
+                f"context {self.context_id} cannot start main while {self.state.value}"
+            )
+        self.pc = entry_pc
+        self.call_stack = []
+        self.role = ContextRole.MAIN
+        self.state = ContextState.RUNNING
+        self.thread_name = None
+        self.waiting_on = None
+
+    def start_support(
+        self,
+        entry_pc: int,
+        thread_name: str,
+        trigger_addr: int,
+        new_value: Number,
+        old_value: Number,
+    ) -> None:
+        """Begin executing a support thread, loading the trigger arguments
+        into the architected convention registers (r1, r2, r3)."""
+        if self.state is not ContextState.IDLE:
+            raise ContextError(
+                f"context {self.context_id} cannot start a support thread "
+                f"while {self.state.value}"
+            )
+        self.pc = entry_pc
+        self.call_stack = []
+        self.role = ContextRole.SUPPORT
+        self.state = ContextState.RUNNING
+        self.thread_name = thread_name
+        self.waiting_on = None
+        self.regs[TRIGGER_ADDR_REG] = trigger_addr
+        self.regs[TRIGGER_VALUE_REG] = new_value
+        self.regs[TRIGGER_OLD_VALUE_REG] = old_value
+
+    def finish_support(self) -> None:
+        """Return to IDLE after a support thread's treturn (or a cancel)."""
+        if self.role is not ContextRole.SUPPORT:
+            raise ContextError(
+                f"context {self.context_id} is not running a support thread"
+            )
+        self.state = ContextState.IDLE
+        self.thread_name = None
+
+    def block_on(self, thread_id: int) -> None:
+        """Stall a main context at a tcheck barrier."""
+        if self.role is not ContextRole.MAIN:
+            raise ContextError("only a main context can block at tcheck")
+        self.state = ContextState.BLOCKED
+        self.waiting_on = thread_id
+
+    def unblock(self) -> None:
+        """Resume a context blocked at a tcheck barrier."""
+        if self.state is not ContextState.BLOCKED:
+            raise ContextError(f"context {self.context_id} is not blocked")
+        self.state = ContextState.RUNNING
+        self.waiting_on = None
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def runnable(self) -> bool:
+        """True if the context can execute an instruction right now."""
+        return self.state is ContextState.RUNNING
+
+    def __repr__(self) -> str:
+        detail = f", thread={self.thread_name!r}" if self.thread_name else ""
+        return (
+            f"Context(id={self.context_id}, core={self.core_id}, "
+            f"pc={self.pc}, {self.state.value}, {self.role.value}{detail})"
+        )

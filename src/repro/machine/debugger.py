@@ -1,0 +1,201 @@
+"""Interactive-grade machine debugger: breakpoints, watchpoints, stepping.
+
+Authoring DTIR kernels (and DTT conversions of them) benefits hugely from
+being able to stop at a PC, watch a memory word, and inspect registers —
+the same tooling a real simulator ships.  The debugger drives a
+:class:`~repro.machine.machine.Machine` the way the functional runner
+does, but checks its break conditions between instructions and supports
+post-hoc inspection.
+
+Example::
+
+    dbg = Debugger(machine)
+    dbg.add_breakpoint(program.labels["refresh"])
+    dbg.add_watchpoint(program.address_of("sum"))
+    stop = dbg.run()               # runs until a break condition or halt
+    if stop.kind is StopKind.WATCHPOINT:
+        print(stop.detail, dbg.read_register(4))
+
+The debugger is synchronous and single-context-focused (the main context)
+— support threads launched by a synchronous DTT engine execute inside a
+single ``step`` from the debugger's point of view, exactly like a
+hardware debugger stepping over a microcoded operation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.errors import MachineError
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine
+
+Number = Union[int, float]
+
+
+class StopKind:
+    """Why the debugger stopped (string constants, enum-like)."""
+
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    STEPPED = "stepped"
+    HALTED = "halted"
+    CONDITION = "condition"
+
+
+class StopEvent:
+    """Where and why execution stopped."""
+
+    __slots__ = ("kind", "pc", "detail")
+
+    def __init__(self, kind: str, pc: int, detail: str = ""):
+        self.kind = kind
+        self.pc = pc
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"StopEvent({self.kind}, pc={self.pc}, {self.detail!r})"
+
+
+class Debugger:
+    """Breakpoint/watchpoint-driven execution of a machine's main context."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._breakpoints: Set[int] = set()
+        # watched address -> last seen value
+        self._watchpoints: Dict[int, Number] = {}
+        self._conditions: List[Callable[[Machine], Optional[str]]] = []
+        self.instructions_executed = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def add_breakpoint(self, pc: int) -> None:
+        """Stop *before* executing the instruction at ``pc``."""
+        if not 0 <= pc < len(self.machine.program):
+            raise MachineError(f"breakpoint pc {pc} outside program")
+        self._breakpoints.add(pc)
+
+    def remove_breakpoint(self, pc: int) -> None:
+        """Drop a breakpoint if present."""
+        self._breakpoints.discard(pc)
+
+    def add_breakpoint_at_label(self, label: str) -> int:
+        """Breakpoint at a program label; returns the resolved pc."""
+        pc = self.machine.program.labels.get(label)
+        if pc is None:
+            raise MachineError(f"unknown label {label!r}")
+        self.add_breakpoint(pc)
+        return pc
+
+    def add_watchpoint(self, address: int) -> None:
+        """Stop after any instruction that changes the word at ``address``."""
+        self._watchpoints[address] = self.machine.memory.peek(address)
+
+    def remove_watchpoint(self, address: int) -> None:
+        """Drop a watchpoint if present."""
+        self._watchpoints.pop(address, None)
+
+    def add_condition(self, predicate: Callable[[Machine], Optional[str]]) -> None:
+        """Stop when ``predicate(machine)`` returns a truthy description."""
+        self._conditions.append(predicate)
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> StopEvent:
+        """Execute exactly one main-context instruction."""
+        main = self.machine.main_context
+        if main.state is ContextState.HALTED:
+            return StopEvent(StopKind.HALTED, main.pc, "already halted")
+        if main.state is not ContextState.RUNNING:
+            raise MachineError(
+                f"main context is {main.state.value}; the debugger drives "
+                "synchronous execution only"
+            )
+        self.machine.step(main)
+        self.instructions_executed += 1
+        stop = self._check_after_step()
+        if stop is not None:
+            return stop
+        if main.state is ContextState.HALTED:
+            return StopEvent(StopKind.HALTED, main.pc, "program halted")
+        return StopEvent(StopKind.STEPPED, main.pc)
+
+    def run(self, max_instructions: int = 10_000_000) -> StopEvent:
+        """Run until a break condition fires or the program halts."""
+        main = self.machine.main_context
+        for _ in range(max_instructions):
+            if main.state is ContextState.HALTED:
+                return StopEvent(StopKind.HALTED, main.pc, "program halted")
+            if main.pc in self._breakpoints:
+                return StopEvent(StopKind.BREAKPOINT, main.pc,
+                                 f"breakpoint at pc {main.pc}")
+            event = self.step()
+            if event.kind in (StopKind.WATCHPOINT, StopKind.CONDITION,
+                              StopKind.HALTED):
+                return event
+        raise MachineError(
+            f"debugger ran {max_instructions} instructions without stopping"
+        )
+
+    def continue_(self, max_instructions: int = 10_000_000) -> StopEvent:
+        """Resume past a breakpoint the run() just reported."""
+        main = self.machine.main_context
+        if main.state is ContextState.RUNNING and main.pc in self._breakpoints:
+            event = self.step()
+            if event.kind in (StopKind.WATCHPOINT, StopKind.CONDITION,
+                              StopKind.HALTED):
+                return event
+        return self.run(max_instructions)
+
+    def _check_after_step(self) -> Optional[StopEvent]:
+        main = self.machine.main_context
+        for address, last in self._watchpoints.items():
+            current = self.machine.memory.peek(address)
+            if current != last:
+                self._watchpoints[address] = current
+                return StopEvent(
+                    StopKind.WATCHPOINT, main.pc,
+                    f"mem[{address}] changed {last!r} -> {current!r}",
+                )
+        for predicate in self._conditions:
+            detail = predicate(self.machine)
+            if detail:
+                return StopEvent(StopKind.CONDITION, main.pc, str(detail))
+        return None
+
+    # -- inspection --------------------------------------------------------------------
+
+    def read_register(self, index: int) -> Number:
+        """The main context's register value."""
+        return self.machine.main_context.regs[index]
+
+    def read_memory(self, address: int, count: int = 1) -> List[Number]:
+        """``count`` words starting at ``address`` (uncounted reads)."""
+        return self.machine.memory.read_block(address, count)
+
+    def current_instruction(self):
+        """The instruction the main context would execute next."""
+        pc = self.machine.main_context.pc
+        if 0 <= pc < len(self.machine.program):
+            return self.machine.program.instructions[pc]
+        return None
+
+    def where(self) -> str:
+        """Human-readable location: pc, function, disassembly."""
+        from repro.isa.assembler import format_instruction
+
+        main = self.machine.main_context
+        pc = main.pc
+        function = self.machine.program.function_at(pc)
+        instruction = self.current_instruction()
+        text = format_instruction(instruction) if instruction else "<end>"
+        location = function.name if function else "<toplevel>"
+        return f"pc {pc} in {location}: {text}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Debugger({len(self._breakpoints)} breakpoints, "
+            f"{len(self._watchpoints)} watchpoints, "
+            f"{self.instructions_executed} instructions)"
+        )

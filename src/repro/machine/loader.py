@@ -1,0 +1,30 @@
+"""Program loader: places static data into machine memory.
+
+The layout itself (symbol → address) is computed at
+:meth:`Program.finalize` time so that ``la`` pseudo-instructions can be
+patched; the loader's job is only to materialize the initial values into a
+:class:`~repro.machine.memory.Memory`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ProgramValidationError
+from repro.isa.program import Program
+from repro.machine.memory import Memory
+
+
+def load_program(program: Program, memory: Memory) -> Dict[str, Tuple[int, int]]:
+    """Write the program's data items into memory.
+
+    Returns the symbol table ``{name: (address, size)}``.  The program must
+    be finalized (layout computed).  Initial values are written with
+    uncounted stores so loader traffic never pollutes profiles.
+    """
+    if not program.finalized:
+        raise ProgramValidationError("cannot load a non-finalized program")
+    for item in program.data_items:
+        base, _ = program.layout[item.name]
+        memory.write_block(base, item.values)
+    return dict(program.layout)

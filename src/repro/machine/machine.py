@@ -1,0 +1,491 @@
+"""The functional DTIR machine.
+
+:class:`Machine` executes one instruction per :meth:`Machine.step` call on
+a chosen context.  It performs *complete, immediate* architectural effects
+— the timing model in :mod:`repro.timing` decides *when* steps happen and
+what they cost, and the DTT engine in :mod:`repro.core` decides what the
+triggering-store and tcheck extensions do.
+
+``step`` returns ``(instruction, address, taken)``:
+
+* ``address`` — the data-memory word touched (loads/stores), else ``None``
+* ``taken`` — branch outcome for conditional branches, else ``None``
+
+which is everything the timing model and profilers need without
+re-decoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import (
+    ContextError,
+    ExecutionFault,
+    ExecutionLimitExceeded,
+    ProgramValidationError,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.machine.context import Context, ContextRole, ContextState
+from repro.machine.loader import load_program
+from repro.machine.memory import Memory
+
+Number = Union[int, float]
+StepResult = Tuple[Instruction, Optional[int], Optional[bool]]
+
+
+def _trunc_div(b: int, c: int) -> int:
+    """C-style integer division (truncate toward zero)."""
+    if c == 0:
+        raise ExecutionFault("integer division by zero")
+    q = abs(b) // abs(c)
+    return q if (b >= 0) == (c >= 0) else -q
+
+
+class Machine:
+    """A multi-context DTIR machine over one program and one memory."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        num_contexts: int = 4,
+        contexts_per_core: Optional[int] = None,
+        max_instructions: int = 20_000_000,
+    ):
+        if not program.finalized:
+            raise ProgramValidationError("machine requires a finalized program")
+        if num_contexts < 1:
+            raise ContextError("machine needs at least one context")
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        per_core = contexts_per_core or num_contexts
+        self.contexts: List[Context] = [
+            Context(i, core_id=i // per_core) for i in range(num_contexts)
+        ]
+        self.contexts_per_core = per_core
+        self.num_cores = (num_contexts + per_core - 1) // per_core
+        self.output: List[Number] = []
+        self.max_instructions = max_instructions
+        self.instructions_executed = 0
+        self.main_instructions = 0
+        self.support_instructions = 0
+        #: installed DTT engine, or None for the baseline machine
+        self.dtt_engine = None
+        self._observers: List = []
+        self._instructions = program.instructions  # hot-path alias
+        load_program(program, self.memory)
+        self.main_context.start_main(program.entry_pc)
+
+    # -- wiring ------------------------------------------------------------------
+
+    @property
+    def main_context(self) -> Context:
+        return self.contexts[0]
+
+    def attach_engine(self, engine) -> None:
+        """Install a DTT engine; the engine is told about the machine."""
+        self.dtt_engine = engine
+        engine.bind(self)
+
+    def add_observer(self, observer) -> None:
+        """Attach a :class:`~repro.machine.events.MachineObserver`."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached observer."""
+        self._observers.remove(observer)
+
+    def idle_contexts(self) -> List[Context]:
+        """Contexts available for support-thread dispatch."""
+        return [c for c in self.contexts if c.state is ContextState.IDLE]
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self, ctx: Context) -> StepResult:
+        """Execute one instruction on ``ctx``; it must be RUNNING."""
+        if ctx.state is not ContextState.RUNNING:
+            raise ContextError(
+                f"context {ctx.context_id} is {ctx.state.value}, cannot step"
+            )
+        self.instructions_executed += 1
+        if self.instructions_executed > self.max_instructions:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_instructions} dynamic instructions"
+            )
+        ctx.instruction_count += 1
+        if ctx.role is ContextRole.MAIN:
+            self.main_instructions += 1
+        else:
+            self.support_instructions += 1
+        pc = ctx.pc
+        try:
+            instruction = self._instructions[pc]
+        except IndexError:
+            raise ExecutionFault(
+                f"context {ctx.context_id} ran off the end of the program "
+                f"(pc={pc})"
+            ) from None
+        address, taken = _DISPATCH[instruction.op](self, ctx, instruction, pc)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_instruction(ctx, pc, instruction)
+        return (instruction, address, taken)
+
+    # -- observer notification (called from handlers) ------------------------------
+
+    def _notify_load(self, ctx, pc, address, value) -> None:
+        for observer in self._observers:
+            observer.on_load(ctx, pc, address, value)
+
+    def _notify_store(self, ctx, pc, address, old, new, triggering) -> None:
+        for observer in self._observers:
+            observer.on_store(ctx, pc, address, old, new, triggering)
+
+    def _notify_branch(self, ctx, pc, taken, target) -> None:
+        for observer in self._observers:
+            observer.on_branch(ctx, pc, taken, target)
+
+    def _notify_halt(self, ctx) -> None:
+        for observer in self._observers:
+            observer.on_halt(ctx)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the complete architectural state.
+
+        Covers memory, every context's registers/PC/call stack/state, the
+        output buffer, and the instruction counters.  Does *not* cover an
+        attached DTT engine's state (pending queue, in-flight threads) —
+        snapshot at quiescent points (e.g. from a debugger stop with no
+        support thread running), which is also the only state a hardware
+        checkpoint would take.
+        """
+        return {
+            "memory": self.memory.snapshot(),
+            "contexts": [
+                {
+                    "regs": list(ctx.regs),
+                    "pc": ctx.pc,
+                    "call_stack": list(ctx.call_stack),
+                    "state": ctx.state,
+                    "role": ctx.role,
+                    "thread_name": ctx.thread_name,
+                    "waiting_on": ctx.waiting_on,
+                    "instruction_count": ctx.instruction_count,
+                    "busy_until": ctx.busy_until,
+                }
+                for ctx in self.contexts
+            ],
+            "output": list(self.output),
+            "instructions_executed": self.instructions_executed,
+            "main_instructions": self.main_instructions,
+            "support_instructions": self.support_instructions,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to a state captured by :meth:`snapshot`."""
+        self.memory.restore(snapshot["memory"])
+        for ctx, saved in zip(self.contexts, snapshot["contexts"]):
+            ctx.regs[:] = saved["regs"]
+            ctx.pc = saved["pc"]
+            ctx.call_stack = list(saved["call_stack"])
+            ctx.state = saved["state"]
+            ctx.role = saved["role"]
+            ctx.thread_name = saved["thread_name"]
+            ctx.waiting_on = saved["waiting_on"]
+            ctx.instruction_count = saved["instruction_count"]
+            ctx.busy_until = saved["busy_until"]
+        self.output[:] = snapshot["output"]
+        self.instructions_executed = snapshot["instructions_executed"]
+        self.main_instructions = snapshot["main_instructions"]
+        self.support_instructions = snapshot["support_instructions"]
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({len(self.contexts)} contexts, "
+            f"{self.instructions_executed} instructions executed, "
+            f"main={self.main_context.state.value})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Instruction handlers.  Each takes (machine, ctx, instruction, pc), performs
+# the architectural effect including the PC update, and returns
+# (memory_address_or_None, branch_taken_or_None).
+# ---------------------------------------------------------------------------
+
+
+def _h_li(m, ctx, i, pc):
+    ctx.regs[i.a] = i.b
+    ctx.pc = pc + 1
+    return (None, None)
+
+
+def _h_mov(m, ctx, i, pc):
+    ctx.regs[i.a] = ctx.regs[i.b]
+    ctx.pc = pc + 1
+    return (None, None)
+
+
+def _alu_rrr(fn):
+    def handler(m, ctx, i, pc):
+        regs = ctx.regs
+        regs[i.a] = fn(regs[i.b], regs[i.c])
+        ctx.pc = pc + 1
+        return (None, None)
+
+    return handler
+
+
+def _alu_rri(fn):
+    def handler(m, ctx, i, pc):
+        regs = ctx.regs
+        regs[i.a] = fn(regs[i.b], i.c)
+        ctx.pc = pc + 1
+        return (None, None)
+
+    return handler
+
+
+def _alu_rr(fn):
+    def handler(m, ctx, i, pc):
+        regs = ctx.regs
+        regs[i.a] = fn(regs[i.b])
+        ctx.pc = pc + 1
+        return (None, None)
+
+    return handler
+
+
+def _fsqrt(b):
+    value = float(b)
+    if value < 0.0:
+        raise ExecutionFault(f"fsqrt of negative value {value}")
+    return value ** 0.5
+
+
+def _fdiv(b, c):
+    denominator = float(c)
+    if denominator == 0.0:
+        raise ExecutionFault("floating-point division by zero")
+    return float(b) / denominator
+
+
+def _h_ld(m, ctx, i, pc):
+    address = ctx.regs[i.b] + i.c
+    value = m.memory.load(address)
+    ctx.regs[i.a] = value
+    ctx.pc = pc + 1
+    if m._observers:
+        m._notify_load(ctx, pc, address, value)
+    return (address, None)
+
+
+def _h_ldx(m, ctx, i, pc):
+    address = ctx.regs[i.b] + ctx.regs[i.c]
+    value = m.memory.load(address)
+    ctx.regs[i.a] = value
+    ctx.pc = pc + 1
+    if m._observers:
+        m._notify_load(ctx, pc, address, value)
+    return (address, None)
+
+
+def _do_store(m, ctx, i, pc, address, triggering):
+    new_value = ctx.regs[i.a]
+    old_value = m.memory.peek(address)
+    m.memory.store(address, new_value)
+    ctx.pc = pc + 1
+    if triggering and m.dtt_engine is not None:
+        m.dtt_engine.on_triggering_store(ctx, pc, address, old_value, new_value)
+    if m._observers:
+        m._notify_store(ctx, pc, address, old_value, new_value, triggering)
+    return (address, None)
+
+
+def _h_st(m, ctx, i, pc):
+    return _do_store(m, ctx, i, pc, ctx.regs[i.b] + i.c, False)
+
+
+def _h_stx(m, ctx, i, pc):
+    return _do_store(m, ctx, i, pc, ctx.regs[i.b] + ctx.regs[i.c], False)
+
+
+def _h_tst(m, ctx, i, pc):
+    return _do_store(m, ctx, i, pc, ctx.regs[i.b] + i.c, True)
+
+
+def _h_tstx(m, ctx, i, pc):
+    return _do_store(m, ctx, i, pc, ctx.regs[i.b] + ctx.regs[i.c], True)
+
+
+def _branch_rrl(fn):
+    def handler(m, ctx, i, pc):
+        taken = fn(ctx.regs[i.a], ctx.regs[i.b])
+        target = i.target if taken else pc + 1
+        ctx.pc = target
+        if m._observers:
+            m._notify_branch(ctx, pc, taken, target)
+        return (None, taken)
+
+    return handler
+
+
+def _branch_rl(fn):
+    def handler(m, ctx, i, pc):
+        taken = fn(ctx.regs[i.a])
+        target = i.target if taken else pc + 1
+        ctx.pc = target
+        if m._observers:
+            m._notify_branch(ctx, pc, taken, target)
+        return (None, taken)
+
+    return handler
+
+
+def _h_jmp(m, ctx, i, pc):
+    ctx.pc = i.target
+    return (None, None)
+
+
+def _h_call(m, ctx, i, pc):
+    ctx.call_stack.append(pc + 1)
+    if len(ctx.call_stack) > 10_000:
+        raise ExecutionFault("call stack overflow (runaway recursion?)")
+    ctx.pc = i.target
+    return (None, None)
+
+
+def _h_ret(m, ctx, i, pc):
+    if not ctx.call_stack:
+        raise ExecutionFault(f"ret with empty call stack at pc {pc}")
+    ctx.pc = ctx.call_stack.pop()
+    return (None, None)
+
+
+def _h_tcheck(m, ctx, i, pc):
+    ctx.pc = pc + 1
+    if m.dtt_engine is not None:
+        m.dtt_engine.on_tcheck(ctx, int(i.a))
+    return (None, None)
+
+
+def _h_treturn(m, ctx, i, pc):
+    ctx.pc = pc + 1
+    if m.dtt_engine is None:
+        raise ExecutionFault(f"treturn without a DTT engine at pc {pc}")
+    m.dtt_engine.on_treturn(ctx)
+    return (None, None)
+
+
+def _h_out(m, ctx, i, pc):
+    m.output.append(ctx.regs[i.a])
+    ctx.pc = pc + 1
+    return (None, None)
+
+
+def _h_nop(m, ctx, i, pc):
+    ctx.pc = pc + 1
+    return (None, None)
+
+
+def _h_halt(m, ctx, i, pc):
+    if ctx.role is not ContextRole.MAIN:
+        raise ExecutionFault(
+            f"support thread executed halt at pc {pc}; use treturn"
+        )
+    ctx.state = ContextState.HALTED
+    ctx.pc = pc + 1
+    m._notify_halt(ctx)
+    return (None, None)
+
+
+_DISPATCH = {
+    "li": _h_li,
+    "mov": _h_mov,
+    "add": _alu_rrr(lambda b, c: b + c),
+    "sub": _alu_rrr(lambda b, c: b - c),
+    "mul": _alu_rrr(lambda b, c: b * c),
+    "idiv": _alu_rrr(lambda b, c: _trunc_div(int(b), int(c))),
+    "imod": _alu_rrr(lambda b, c: int(b) - _trunc_div(int(b), int(c)) * int(c)),
+    "and_": _alu_rrr(lambda b, c: int(b) & int(c)),
+    "or_": _alu_rrr(lambda b, c: int(b) | int(c)),
+    "xor": _alu_rrr(lambda b, c: int(b) ^ int(c)),
+    "shl": _alu_rrr(lambda b, c: int(b) << int(c)),
+    "shr": _alu_rrr(lambda b, c: int(b) >> int(c)),
+    "slt": _alu_rrr(lambda b, c: 1 if b < c else 0),
+    "sle": _alu_rrr(lambda b, c: 1 if b <= c else 0),
+    "sgt": _alu_rrr(lambda b, c: 1 if b > c else 0),
+    "sge": _alu_rrr(lambda b, c: 1 if b >= c else 0),
+    "seq": _alu_rrr(lambda b, c: 1 if b == c else 0),
+    "sne": _alu_rrr(lambda b, c: 1 if b != c else 0),
+    "addi": _alu_rri(lambda b, c: b + c),
+    "subi": _alu_rri(lambda b, c: b - c),
+    "muli": _alu_rri(lambda b, c: b * c),
+    "andi": _alu_rri(lambda b, c: int(b) & int(c)),
+    "ori": _alu_rri(lambda b, c: int(b) | int(c)),
+    "xori": _alu_rri(lambda b, c: int(b) ^ int(c)),
+    "shli": _alu_rri(lambda b, c: int(b) << int(c)),
+    "shri": _alu_rri(lambda b, c: int(b) >> int(c)),
+    "slti": _alu_rri(lambda b, c: 1 if b < c else 0),
+    "sgti": _alu_rri(lambda b, c: 1 if b > c else 0),
+    "seqi": _alu_rri(lambda b, c: 1 if b == c else 0),
+    "fadd": _alu_rrr(lambda b, c: float(b) + float(c)),
+    "fsub": _alu_rrr(lambda b, c: float(b) - float(c)),
+    "fmul": _alu_rrr(lambda b, c: float(b) * float(c)),
+    "fdiv": _alu_rrr(_fdiv),
+    "fsqrt": _alu_rr(_fsqrt),
+    "fabs": _alu_rr(lambda b: abs(float(b))),
+    "fneg": _alu_rr(lambda b: -float(b)),
+    "itof": _alu_rr(float),
+    "ftoi": _alu_rr(int),
+    "ld": _h_ld,
+    "ldx": _h_ldx,
+    "st": _h_st,
+    "stx": _h_stx,
+    "tst": _h_tst,
+    "tstx": _h_tstx,
+    "tcheck": _h_tcheck,
+    "treturn": _h_treturn,
+    "beq": _branch_rrl(lambda a, b: a == b),
+    "bne": _branch_rrl(lambda a, b: a != b),
+    "blt": _branch_rrl(lambda a, b: a < b),
+    "ble": _branch_rrl(lambda a, b: a <= b),
+    "bgt": _branch_rrl(lambda a, b: a > b),
+    "bge": _branch_rrl(lambda a, b: a >= b),
+    "beqz": _branch_rl(lambda a: a == 0),
+    "bnez": _branch_rl(lambda a: a != 0),
+    "jmp": _h_jmp,
+    "call": _h_call,
+    "ret": _h_ret,
+    "out": _h_out,
+    "nop": _h_nop,
+    "halt": _h_halt,
+}
+
+
+def run_to_completion(machine: Machine) -> List[Number]:
+    """Run the main context until it halts; returns the output buffer.
+
+    This is the *functional* driver: support threads are executed
+    synchronously by the engine (at trigger or tcheck time per its policy),
+    so the main context is never left blocked.  Use
+    :class:`repro.timing.system.TimingSimulator` for timed runs.
+    """
+    main = machine.main_context
+    while main.state is not ContextState.HALTED:
+        if main.state is ContextState.RUNNING:
+            machine.step(main)
+        elif main.state is ContextState.BLOCKED:
+            raise ContextError(
+                "main context blocked during a functional run; the DTT "
+                "engine must run in synchronous mode (deferred=False)"
+            )
+        else:
+            raise ContextError(
+                f"main context in unexpected state {main.state.value}"
+            )
+    return machine.output

@@ -1,0 +1,36 @@
+"""Redundancy profiling — the paper's §2 motivation study.
+
+Two analyses, both implemented as machine observers:
+
+* :class:`~repro.profiling.redundancy.RedundantLoadProfiler` — the paper's
+  headline measurement: the fraction of dynamic loads that fetch *redundant
+  data* (same value from the same address as that static load's previous
+  execution; the paper reports 78 % on average across the C SPEC
+  benchmarks).  Also measures silent stores, which is what the DTT
+  same-value filter exploits.
+
+* :class:`~repro.profiling.slices.RedundancyTaintAnalyzer` — propagates
+  redundancy forward through registers and memory to estimate the fraction
+  of *all* dynamic instructions that constitute redundant computation
+  (the computation DTT can skip).
+"""
+
+from repro.profiling.advisor import ConversionReport, advise
+from repro.profiling.redundancy import (
+    LoadSiteStats,
+    RedundantLoadProfiler,
+    StoreSiteStats,
+)
+from repro.profiling.slices import RedundancyTaintAnalyzer
+from repro.profiling.report import RedundancyReport, profile_program
+
+__all__ = [
+    "ConversionReport",
+    "advise",
+    "LoadSiteStats",
+    "RedundantLoadProfiler",
+    "StoreSiteStats",
+    "RedundancyTaintAnalyzer",
+    "RedundancyReport",
+    "profile_program",
+]

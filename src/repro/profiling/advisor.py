@@ -1,0 +1,249 @@
+"""Conversion advisor: where should data-triggered threads go?
+
+The paper's conversions were found by profiling: look for stores that are
+overwhelmingly *silent* (the same-value filter would suppress them) and
+for the recomputation regions fed by *redundant* loads downstream of that
+data.  This module mechanizes that methodology: given a profiled baseline
+run, it ranks
+
+* **trigger candidates** — static stores whose dynamic executions are
+  mostly silent (attaching a thread there would rarely fire), and
+* **region candidates** — functions whose dynamic loads are mostly
+  redundant (their work is what a support thread could skip),
+
+and combines them into an overall conversion report.  The scores are the
+quantities the DTT benefit depends on: a region's *skippable work* is its
+dynamic instruction share times its redundancy, gated by how silent its
+upstream stores are.
+
+This is an analysis aid, not an automatic transformer: DTIR has no
+general alias analysis, so the advisor reports *where to look*, exactly
+as the paper's authors used their profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.machine.events import MachineObserver
+from repro.machine.machine import Machine, run_to_completion
+from repro.profiling.redundancy import RedundantLoadProfiler
+
+
+class RegionProfile:
+    """Aggregated per-function profile."""
+
+    __slots__ = ("name", "dynamic_instructions", "dynamic_loads",
+                 "redundant_loads", "dynamic_stores", "silent_stores")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.dynamic_instructions = 0
+        self.dynamic_loads = 0
+        self.redundant_loads = 0
+        self.dynamic_stores = 0
+        self.silent_stores = 0
+
+    @property
+    def redundant_load_fraction(self) -> float:
+        if not self.dynamic_loads:
+            return 0.0
+        return self.redundant_loads / self.dynamic_loads
+
+    @property
+    def silent_store_fraction(self) -> float:
+        if not self.dynamic_stores:
+            return 0.0
+        return self.silent_stores / self.dynamic_stores
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionProfile({self.name!r}, insts={self.dynamic_instructions}, "
+            f"loads {self.redundant_load_fraction:.0%} redundant)"
+        )
+
+
+class TriggerCandidate:
+    """One static store ranked as a potential triggering store."""
+
+    __slots__ = ("pc", "function", "dynamic", "silent", "score")
+
+    def __init__(self, pc: int, function: str, dynamic: int, silent: int,
+                 score: float):
+        self.pc = pc
+        self.function = function
+        self.dynamic = dynamic
+        self.silent = silent
+        self.score = score
+
+    @property
+    def silent_fraction(self) -> float:
+        return self.silent / self.dynamic if self.dynamic else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggerCandidate(pc={self.pc}, {self.silent_fraction:.0%} "
+            f"silent, score={self.score:.3f})"
+        )
+
+
+class RegionCandidate:
+    """One function ranked as a potential support-thread body."""
+
+    __slots__ = ("name", "instruction_share", "redundancy", "score")
+
+    def __init__(self, name: str, instruction_share: float,
+                 redundancy: float, score: float):
+        self.name = name
+        self.instruction_share = instruction_share
+        self.redundancy = redundancy
+        self.score = score
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionCandidate({self.name!r}, share="
+            f"{self.instruction_share:.0%}, redundancy={self.redundancy:.0%})"
+        )
+
+
+class _RegionObserver(MachineObserver):
+    """Attributes instructions/loads/stores to the enclosing function."""
+
+    def __init__(self, program: Program, load_state: Dict):
+        self._function_of: Dict[int, str] = {}
+        for function in program.functions:
+            for pc in range(function.start, function.end):
+                self._function_of[pc] = function.name
+        self.regions: Dict[str, RegionProfile] = {}
+        self._last_loaded = load_state  # shared per-location state
+
+    def _region(self, pc: int) -> RegionProfile:
+        name = self._function_of.get(pc, "<toplevel>")
+        region = self.regions.get(name)
+        if region is None:
+            region = self.regions[name] = RegionProfile(name)
+        return region
+
+    def on_instruction(self, ctx, pc, instruction) -> None:
+        self._region(pc).dynamic_instructions += 1
+
+    def on_load(self, ctx, pc, address, value) -> None:
+        region = self._region(pc)
+        region.dynamic_loads += 1
+        marker = self._last_loaded.get(address, _NEVER)
+        if marker is not _NEVER and marker == value:
+            region.redundant_loads += 1
+        # per-location last-loaded value; this observer keeps its own copy
+        # of the state (same definition as RedundantLoadProfiler), so the
+        # two observers stay independent yet agree exactly
+        self._last_loaded[address] = value
+
+    def on_store(self, ctx, pc, address, old, new, triggering) -> None:
+        region = self._region(pc)
+        region.dynamic_stores += 1
+        if old == new:
+            region.silent_stores += 1
+
+
+_NEVER = object()
+
+
+class ConversionReport:
+    """Ranked advice for one program."""
+
+    def __init__(self, triggers: List[TriggerCandidate],
+                 regions: List[RegionCandidate],
+                 region_profiles: Dict[str, RegionProfile]):
+        self.triggers = triggers
+        self.regions = regions
+        self.region_profiles = region_profiles
+
+    def top_triggers(self, count: int = 5) -> List[TriggerCandidate]:
+        """The highest-scoring trigger candidates."""
+        return self.triggers[:count]
+
+    def top_regions(self, count: int = 5) -> List[RegionCandidate]:
+        """The highest-scoring region candidates."""
+        return self.regions[:count]
+
+    def render(self) -> str:
+        """Human-readable advice block."""
+        lines = ["conversion advice", "-" * 40,
+                 "trigger candidates (silent stores worth watching):"]
+        for cand in self.top_triggers():
+            lines.append(
+                f"  pc {cand.pc:5d} in {cand.function:<16s} "
+                f"{cand.silent:>7,}/{cand.dynamic:>7,} silent "
+                f"({cand.silent_fraction:.0%})  score {cand.score:.3f}"
+            )
+        lines.append("region candidates (redundant work worth skipping):")
+        for cand in self.top_regions():
+            lines.append(
+                f"  {cand.name:<22s} {cand.instruction_share:6.1%} of "
+                f"instructions, {cand.redundancy:6.1%} redundant  "
+                f"score {cand.score:.3f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConversionReport({len(self.triggers)} trigger candidates, "
+            f"{len(self.regions)} region candidates)"
+        )
+
+
+def advise(
+    program: Program,
+    min_dynamic_stores: int = 4,
+    num_contexts: int = 1,
+    max_instructions: int = 20_000_000,
+    engine=None,
+) -> ConversionReport:
+    """Profile ``program`` and rank conversion opportunities.
+
+    ``min_dynamic_stores`` filters one-shot initialization stores out of
+    the trigger ranking (a store executed a handful of times is not worth
+    a thread even if silent).
+    """
+    machine = Machine(program, num_contexts=num_contexts,
+                      max_instructions=max_instructions)
+    if engine is not None:
+        machine.attach_engine(engine)
+    loads = RedundantLoadProfiler()
+    regions = _RegionObserver(program, load_state={})
+    machine.add_observer(loads)
+    machine.add_observer(regions)
+    run_to_completion(machine)
+
+    total_instructions = max(
+        sum(r.dynamic_instructions for r in regions.regions.values()), 1
+    )
+
+    # trigger candidates: silent, frequently-executed static stores
+    triggers: List[TriggerCandidate] = []
+    for site in loads.store_sites():
+        if site.dynamic < min_dynamic_stores:
+            continue
+        function = program.function_at(site.pc)
+        # score: how much dynamic store traffic the value filter would
+        # suppress, weighted by how silent the site is
+        score = site.silent_fraction * (site.silent / loads.total_stores
+                                        if loads.total_stores else 0.0)
+        triggers.append(TriggerCandidate(
+            site.pc, function.name if function else "<toplevel>",
+            site.dynamic, site.silent, score,
+        ))
+    triggers.sort(key=lambda c: -c.score)
+
+    # region candidates: instruction-heavy, redundancy-heavy functions
+    region_candidates: List[RegionCandidate] = []
+    for region in regions.regions.values():
+        share = region.dynamic_instructions / total_instructions
+        redundancy = region.redundant_load_fraction
+        region_candidates.append(RegionCandidate(
+            region.name, share, redundancy, share * redundancy,
+        ))
+    region_candidates.sort(key=lambda c: -c.score)
+
+    return ConversionReport(triggers, region_candidates, regions.regions)

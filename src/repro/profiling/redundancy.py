@@ -1,0 +1,156 @@
+"""Redundant-load and silent-store profiling.
+
+Definitions (following the paper's §2):
+
+* A dynamic **load is redundant** when it fetches the *same value* that
+  the most recent previous load from the *same address* returned — i.e.
+  the location's data was already brought into the core and has not
+  changed since.  The first load of an address is never redundant.  (This
+  per-location definition is the one under which the paper's "78 % of all
+  loads fetch redundant data" is meaningful: a loop re-walking an
+  unchanged array is fetching entirely redundant data even though each
+  static load visits many addresses.)
+* A dynamic **store is silent** when the value it writes equals the value
+  already in memory.  Silent stores are exactly what the DTT same-value
+  filter suppresses.
+
+Redundancy is attributed to static sites as well, so the report can show
+which loops carry the redundancy; site attribution uses the same
+per-location definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.machine.events import MachineObserver
+
+Number = Union[int, float]
+
+#: sentinel distinguishing "never loaded" from any real value
+_NEVER = object()
+
+
+class LoadSiteStats:
+    """Counters for one static load site."""
+
+    __slots__ = ("pc", "dynamic", "redundant")
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        self.dynamic = 0
+        self.redundant = 0
+
+    @property
+    def redundant_fraction(self) -> float:
+        return self.redundant / self.dynamic if self.dynamic else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadSiteStats(pc={self.pc}, {self.redundant}/{self.dynamic} "
+            f"redundant)"
+        )
+
+
+class StoreSiteStats:
+    """Counters for one static store site."""
+
+    __slots__ = ("pc", "dynamic", "silent", "triggering")
+
+    def __init__(self, pc: int, triggering: bool):
+        self.pc = pc
+        self.dynamic = 0
+        self.silent = 0
+        self.triggering = triggering
+
+    @property
+    def silent_fraction(self) -> float:
+        return self.silent / self.dynamic if self.dynamic else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreSiteStats(pc={self.pc}, {self.silent}/{self.dynamic} "
+            f"silent{', triggering' if self.triggering else ''})"
+        )
+
+
+class RedundantLoadProfiler(MachineObserver):
+    """Observer computing redundant-load / silent-store statistics."""
+
+    def __init__(self) -> None:
+        self._loads: Dict[int, LoadSiteStats] = {}
+        self._stores: Dict[int, StoreSiteStats] = {}
+        # per-location last-loaded value (the redundancy definition)
+        self._last_loaded: Dict[int, Number] = {}
+        self.total_loads = 0
+        self.redundant_loads = 0
+        self.total_stores = 0
+        self.silent_stores = 0
+        self.total_instructions = 0
+
+    # -- observer hooks ---------------------------------------------------------
+
+    def on_instruction(self, ctx, pc, instruction) -> None:
+        self.total_instructions += 1
+
+    def on_load(self, ctx, pc, address, value) -> None:
+        site = self._loads.get(pc)
+        if site is None:
+            site = self._loads[pc] = LoadSiteStats(pc)
+        site.dynamic += 1
+        self.total_loads += 1
+        last = self._last_loaded.get(address, _NEVER)
+        if last == value and last is not _NEVER:
+            site.redundant += 1
+            self.redundant_loads += 1
+        self._last_loaded[address] = value
+
+    def on_store(self, ctx, pc, address, old_value, new_value, triggering) -> None:
+        site = self._stores.get(pc)
+        if site is None:
+            site = self._stores[pc] = StoreSiteStats(pc, triggering)
+        site.dynamic += 1
+        self.total_stores += 1
+        if old_value == new_value:
+            site.silent += 1
+            self.silent_stores += 1
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def redundant_load_fraction(self) -> float:
+        return self.redundant_loads / self.total_loads if self.total_loads else 0.0
+
+    @property
+    def silent_store_fraction(self) -> float:
+        return self.silent_stores / self.total_stores if self.total_stores else 0.0
+
+    def load_sites(self) -> List[LoadSiteStats]:
+        """All load sites, most dynamic executions first."""
+        return sorted(self._loads.values(), key=lambda s: -s.dynamic)
+
+    def store_sites(self) -> List[StoreSiteStats]:
+        """All store sites, most dynamic executions first."""
+        return sorted(self._stores.values(), key=lambda s: -s.dynamic)
+
+    def hottest_redundant_loads(self, count: int = 10) -> List[LoadSiteStats]:
+        """Sites contributing the most redundant dynamic loads."""
+        return sorted(self._loads.values(), key=lambda s: -s.redundant)[:count]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate counters and fractions for reports."""
+        return {
+            "total_instructions": self.total_instructions,
+            "total_loads": self.total_loads,
+            "redundant_loads": self.redundant_loads,
+            "redundant_load_fraction": self.redundant_load_fraction,
+            "total_stores": self.total_stores,
+            "silent_stores": self.silent_stores,
+            "silent_store_fraction": self.silent_store_fraction,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RedundantLoadProfiler({self.redundant_loads}/{self.total_loads} "
+            f"loads redundant = {self.redundant_load_fraction:.1%})"
+        )

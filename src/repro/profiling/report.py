@@ -1,0 +1,86 @@
+"""Convenience entry point: profile one program in one call.
+
+``profile_program`` runs a finalized program functionally with both
+analyzers attached and returns a :class:`RedundancyReport` — the unit a
+benchmark-level study (E1/E2) aggregates across the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.engine import DttEngine
+from repro.isa.program import Program
+from repro.machine.machine import Machine, run_to_completion
+from repro.profiling.redundancy import RedundantLoadProfiler
+from repro.profiling.slices import RedundancyTaintAnalyzer
+
+
+class RedundancyReport:
+    """Both analyses of one run, plus the run's output for checking."""
+
+    __slots__ = ("name", "loads", "slices", "output", "instructions")
+
+    def __init__(self, name, loads, slices, output, instructions):
+        self.name = name
+        self.loads = loads
+        self.slices = slices
+        self.output = output
+        self.instructions = instructions
+
+    @property
+    def redundant_load_fraction(self) -> float:
+        return self.loads.redundant_load_fraction
+
+    @property
+    def silent_store_fraction(self) -> float:
+        return self.loads.silent_store_fraction
+
+    @property
+    def redundant_computation_fraction(self) -> float:
+        return self.slices.redundant_fraction
+
+    def summary(self) -> Dict[str, float]:
+        """Merged load + slice summaries, tagged with the run's name."""
+        merged = dict(self.loads.summary())
+        merged.update(self.slices.summary())
+        merged["name"] = self.name
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"RedundancyReport({self.name!r}, "
+            f"loads={self.redundant_load_fraction:.1%}, "
+            f"computation={self.redundant_computation_fraction:.1%})"
+        )
+
+
+def profile_program(
+    program: Program,
+    name: str = "program",
+    engine: Optional[DttEngine] = None,
+    num_contexts: int = 1,
+    max_instructions: int = 20_000_000,
+) -> RedundancyReport:
+    """Run ``program`` functionally under both redundancy analyzers.
+
+    The paper's motivation study profiles *unmodified* (baseline) builds,
+    so ``engine`` is normally ``None``; passing a synchronous engine lets
+    you profile a DTT build's residual redundancy instead.
+    """
+    machine = Machine(program, num_contexts=num_contexts,
+                      max_instructions=max_instructions)
+    if engine is not None:
+        machine.attach_engine(engine)
+    loads = RedundantLoadProfiler()
+    slices = RedundancyTaintAnalyzer()
+    machine.add_observer(loads)
+    machine.add_observer(slices)
+    output = run_to_completion(machine)
+    return RedundancyReport(
+        name=name,
+        loads=loads,
+        slices=slices,
+        output=output,
+        instructions=machine.instructions_executed,
+    )

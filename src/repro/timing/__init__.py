@@ -1,0 +1,34 @@
+"""Cycle-approximate SMT/CMP timing model.
+
+The timing model drives the functional machine one instruction at a time
+and charges cycles around it: shared per-core issue bandwidth across SMT
+contexts, per-class functional-unit latencies, cache-hierarchy latencies
+for memory operations, and branch-misprediction penalties from a gshare or
+bimodal predictor.  It is the substrate on which the paper's speedups are
+measured (simulated cycles, immune to host-interpreter overhead).
+
+It is deliberately *approximate* — an in-order issue model with hidden
+L1-hit latency rather than a full out-of-order pipeline — because the
+paper's conclusions rest on relative cycle counts between the baseline and
+DTT builds of the same kernel, which this model preserves (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.timing.params import CoreParams, SystemConfig, named_config
+from repro.timing.branch import BimodalPredictor, GsharePredictor, make_predictor
+from repro.timing.core import SmtCore
+from repro.timing.stats import EnergyModel, TimingResult
+from repro.timing.system import TimingSimulator
+
+__all__ = [
+    "CoreParams",
+    "SystemConfig",
+    "named_config",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "make_predictor",
+    "SmtCore",
+    "EnergyModel",
+    "TimingResult",
+    "TimingSimulator",
+]

@@ -1,0 +1,105 @@
+"""Branch predictors: bimodal and gshare.
+
+Both use 2-bit saturating counters.  The predictor charges nothing itself;
+the core model adds the misprediction penalty when ``predict`` disagrees
+with the architectural outcome.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BranchPredictor:
+    """Interface plus shared accounting."""
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the architectural outcome of the branch at ``pc``."""
+        raise NotImplementedError
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """One-call wrapper: returns True if the prediction was correct."""
+        self.lookups += 1
+        correct = self.predict(pc) == taken
+        if not correct:
+            self.mispredicts += 1
+        self.update(pc, taken)
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredicts / self.lookups if self.lookups else 1.0
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, table_bits: int = 12):
+        super().__init__()
+        self.table_size = 1 << table_bits
+        self._mask = self.table_size - 1
+        # counters start weakly taken (2): loops predict taken early
+        self._counters: List[int] = [2] * self.table_size
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history-XOR-PC indexed 2-bit counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        super().__init__()
+        self.table_size = 1 << table_bits
+        self._mask = self.table_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._counters: List[int] = [2] * self.table_size
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            self._history_mask
+        )
+
+
+_PREDICTORS = {"bimodal": BimodalPredictor, "gshare": GsharePredictor}
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Construct a predictor by name ('bimodal' or 'gshare')."""
+    try:
+        return _PREDICTORS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; choose from {sorted(_PREDICTORS)}"
+        ) from None

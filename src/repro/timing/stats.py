@@ -1,0 +1,139 @@
+"""Timing results and the event-weighted energy proxy.
+
+The paper argues DTT saves energy in proportion to eliminated work.  We
+expose that relationship through an explicit event-weighted proxy rather
+than a circuit-level power model: committed instructions plus cache and
+DRAM events, each with a fixed weight.  Absolute units are arbitrary;
+ratios between a baseline and a DTT run of the same kernel are the
+reported quantity (experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+
+
+class EnergyModel:
+    """Fixed per-event weights (arbitrary units)."""
+
+    __slots__ = ("per_instruction", "per_l1_access", "per_l2_access",
+                 "per_dram_access", "per_writeback")
+
+    def __init__(
+        self,
+        per_instruction: float = 1.0,
+        per_l1_access: float = 0.5,
+        per_l2_access: float = 4.0,
+        per_dram_access: float = 40.0,
+        per_writeback: float = 4.0,
+    ):
+        self.per_instruction = per_instruction
+        self.per_l1_access = per_l1_access
+        self.per_l2_access = per_l2_access
+        self.per_dram_access = per_dram_access
+        self.per_writeback = per_writeback
+
+    def energy(self, instructions: int, hierarchy: CacheHierarchy) -> float:
+        """Total proxy energy for a finished run."""
+        l1_accesses = hierarchy.total_l1_accesses()
+        l2 = hierarchy.l2.stats
+        writebacks = l2.writebacks + sum(
+            cache.stats.writebacks for cache in hierarchy.l1
+        )
+        return (
+            instructions * self.per_instruction
+            + l1_accesses * self.per_l1_access
+            + l2.accesses * self.per_l2_access
+            + hierarchy.dram_accesses * self.per_dram_access
+            + writebacks * self.per_writeback
+        )
+
+
+class TimingResult:
+    """Everything a timed run produced."""
+
+    __slots__ = (
+        "cycles",
+        "instructions",
+        "main_instructions",
+        "support_instructions",
+        "branch_lookups",
+        "branch_mispredicts",
+        "cache_stats",
+        "dram_accesses",
+        "coherence_invalidations",
+        "energy",
+        "engine_summary",
+        "output",
+        "config_name",
+    )
+
+    def __init__(
+        self,
+        cycles: int,
+        instructions: int,
+        main_instructions: int,
+        support_instructions: int,
+        branch_lookups: int,
+        branch_mispredicts: int,
+        cache_stats: Dict[str, Dict[str, int]],
+        dram_accesses: int,
+        coherence_invalidations: int,
+        energy: float,
+        engine_summary: Optional[Dict[str, int]],
+        output,
+        config_name: str,
+    ):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.main_instructions = main_instructions
+        self.support_instructions = support_instructions
+        self.branch_lookups = branch_lookups
+        self.branch_mispredicts = branch_mispredicts
+        self.cache_stats = cache_stats
+        self.dram_accesses = dram_accesses
+        self.coherence_invalidations = coherence_invalidations
+        self.energy = energy
+        self.engine_summary = engine_summary
+        self.output = output
+        self.config_name = config_name
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branch_lookups:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branch_lookups
+
+    def speedup_over(self, baseline: "TimingResult") -> float:
+        """Baseline cycles / this run's cycles (>1 means faster)."""
+        if not self.cycles:
+            raise ValueError("run has zero cycles")
+        return baseline.cycles / self.cycles
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary of the run."""
+        return {
+            "config": self.config_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "main_instructions": self.main_instructions,
+            "support_instructions": self.support_instructions,
+            "ipc": round(self.ipc, 4),
+            "branch_accuracy": round(self.branch_accuracy, 4),
+            "dram_accesses": self.dram_accesses,
+            "coherence_invalidations": self.coherence_invalidations,
+            "energy": round(self.energy, 1),
+            "engine": self.engine_summary,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingResult(cycles={self.cycles}, "
+            f"instructions={self.instructions}, ipc={self.ipc:.2f})"
+        )

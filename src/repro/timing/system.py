@@ -1,0 +1,156 @@
+"""The timing simulator: drives cores cycle-by-cycle until the program halts.
+
+Orchestration per cycle:
+
+1. the DTT engine (if any) dispatches queued support threads onto idle
+   contexts — newly dispatched contexts pay the spawn latency;
+2. every core issues up to its width from its ready contexts;
+3. when *nothing* issued, the clock fast-forwards to the earliest cycle at
+   which any running context becomes ready (skipping DRAM-stall dead time
+   in one step), with a deadlock check when no context can ever run again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.engine import DttEngine
+from repro.errors import ExecutionLimitExceeded, MachineError
+from repro.isa.program import Program
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine
+from repro.timing.branch import make_predictor
+from repro.timing.core import SmtCore
+from repro.timing.params import SystemConfig
+from repro.timing.stats import EnergyModel, TimingResult
+
+
+class TimingSimulator:
+    """One timed run of one program on one machine configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[SystemConfig] = None,
+        engine: Optional[DttEngine] = None,
+        energy_model: Optional[EnergyModel] = None,
+        max_instructions: int = 50_000_000,
+    ):
+        self.config = config or SystemConfig()
+        self.machine = Machine(
+            program,
+            num_contexts=self.config.total_contexts,
+            contexts_per_core=self.config.contexts_per_core,
+            max_instructions=max_instructions,
+        )
+        self.engine = engine
+        if engine is not None:
+            if not engine.deferred:
+                raise MachineError(
+                    "the timing simulator needs a deferred-mode engine "
+                    "(DttEngine(..., deferred=True))"
+                )
+            self.machine.attach_engine(engine)
+        self.hierarchy = CacheHierarchy(
+            self.config.num_cores, self.config.hierarchy_params
+        )
+        if self.config.model_icache:
+            self.hierarchy.enable_icache()
+        self.predictor = make_predictor(self.config.predictor)
+        per_core = self.config.contexts_per_core
+        self.cores = [
+            SmtCore(
+                core_id,
+                self.machine.contexts[core_id * per_core: (core_id + 1) * per_core],
+                self.config.core_params,
+                self.hierarchy,
+                self.predictor,
+                self.machine,
+            )
+            for core_id in range(self.config.num_cores)
+        ]
+        if self.config.model_icache:
+            for core in self.cores:
+                core.model_icache = True
+        self.energy_model = energy_model or EnergyModel()
+        self.now = 0
+
+    # -- driving --------------------------------------------------------------------
+
+    def run(self) -> TimingResult:
+        """Simulate until the main context halts; returns the result."""
+        machine = self.machine
+        engine = self.engine
+        main = machine.main_context
+        spawn_latency = self.config.core_params.spawn_latency
+        max_cycles = self.config.max_cycles
+        while main.state is not ContextState.HALTED:
+            if engine is not None:
+                engine.dispatch_pending(
+                    on_dispatch=lambda ctx: self._charge_spawn(ctx, spawn_latency)
+                )
+            issued = 0
+            for core in self.cores:
+                issued += core.cycle(self.now)
+            self.now += 1
+            if not issued:
+                self._fast_forward()
+            if self.now > max_cycles:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_cycles} simulated cycles"
+                )
+        return self._result()
+
+    def _charge_spawn(self, ctx, spawn_latency: int) -> None:
+        ctx.busy_until = self.now + spawn_latency
+
+    def _fast_forward(self) -> None:
+        """Skip ahead to the next cycle where some context is ready."""
+        earliest = None
+        for core in self.cores:
+            ready_at = core.min_ready_time(self.now)
+            if ready_at >= 0 and (earliest is None or ready_at < earliest):
+                earliest = ready_at
+        if earliest is not None:
+            if earliest > self.now:
+                self.now = earliest
+            return
+        # No running context anywhere.  Legitimate only if the engine has
+        # work it can still dispatch (queued entries + an idle context).
+        if self.engine is not None and self.engine.queue:
+            if self.machine.idle_contexts():
+                return  # dispatch happens at the top of the next iteration
+        blocked = [
+            ctx.context_id
+            for ctx in self.machine.contexts
+            if ctx.state is ContextState.BLOCKED
+        ]
+        raise MachineError(
+            f"timing deadlock at cycle {self.now}: no runnable context, "
+            f"blocked contexts: {blocked}, "
+            f"queued activations: {len(self.engine.queue) if self.engine else 0}"
+        )
+
+    # -- results ------------------------------------------------------------------------
+
+    def _result(self) -> TimingResult:
+        machine = self.machine
+        energy = self.energy_model.energy(
+            machine.instructions_executed, self.hierarchy
+        )
+        return TimingResult(
+            cycles=self.now,
+            instructions=machine.instructions_executed,
+            main_instructions=machine.main_instructions,
+            support_instructions=machine.support_instructions,
+            branch_lookups=self.predictor.lookups,
+            branch_mispredicts=self.predictor.mispredicts,
+            cache_stats=self.hierarchy.level_stats(),
+            dram_accesses=self.hierarchy.dram_accesses,
+            coherence_invalidations=self.hierarchy.coherence_invalidations,
+            energy=energy,
+            engine_summary=self.engine.summary() if self.engine else None,
+            output=list(machine.output),
+            config_name=self.config.name,
+        )

@@ -1,0 +1,241 @@
+"""``linefalse`` — a micro-workload for the trigger-granularity ablation.
+
+Experiment E8b asks what happens when trigger-detection hardware watches
+whole cache lines instead of exact words: stores to *neighboring* words in
+a watched line fire the support thread even though the watched datum did
+not change (false triggers).
+
+The suite workloads can't exhibit this — their triggers are PC-matched or
+watch whole arrays — so this micro-workload constructs the adversarial
+layout deliberately: one array of ``lines × line_words`` words in which
+the first word of every line is *watched* (a rarely-changing parameter)
+and the remaining words are *scratch* state rewritten with fresh values
+every step.  All stores are triggering stores, modeling hardware that
+observes every store to a watched line.
+
+* word granularity: scratch stores match nothing; the thread fires only
+  when a watched parameter actually changes (rare) — full DTT benefit;
+* line granularity: every scratch store falls inside some watched line's
+  granule and fires the thread — the derived data is recomputed nearly
+  every step and the benefit collapses.
+
+Correctness is unaffected either way (the support thread recomputes the
+same derived values), which is itself part of the point: granularity is a
+performance knob, not a correctness knob.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for, update_schedule
+
+LINE_WORDS = 16
+NUM_LINES = 8
+#: scratch words rewritten per step
+SCRATCH_WRITES = 4
+
+
+class LineFalseWorkload(Workload):
+    """Granularity-ablation micro-workload (E8b); see the module docstring."""
+
+    name = "linefalse"
+    description = "granularity-ablation micro-workload (not in the suite)"
+    converted_region = "derived sum over per-line watched parameters"
+    default_scale = 1
+    default_seed = 1234
+
+    #: probability a watched-parameter write changes the value
+    change_rate = 0.05
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 120 * scale
+        size = NUM_LINES * LINE_WORDS
+        rng = rng_for(seed, "linefalse-init")
+        mixed = [rng.randint(1, 9) for _ in range(size)]
+        watched_slots = [line * LINE_WORDS for line in range(NUM_LINES)]
+        watched_now = [mixed[s] for s in watched_slots]
+        wsel, wval = update_schedule(
+            seed, steps, watched_now, self.change_rate, (1, 9),
+            stream="linefalse-watched",
+        )
+        # scratch writes: always to non-watched slots, always fresh values
+        scr_idx: List[int] = []
+        scr_val: List[int] = []
+        counter = 100
+        for _ in range(steps * SCRATCH_WRITES):
+            slot = rng.randrange(size)
+            while slot % LINE_WORDS == 0:
+                slot = rng.randrange(size)
+            counter += 1
+            scr_idx.append(slot)
+            scr_val.append(counter)
+        return WorkloadInput(
+            seed, scale, steps=steps, size=size,
+            mixed=mixed, watched_slots=watched_slots,
+            wsel=wsel, wval=wval, scr_idx=scr_idx, scr_val=scr_val,
+        )
+
+    # -- reference --------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        mixed = list(inp.mixed)
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            for j in range(SCRATCH_WRITES):
+                k = step * SCRATCH_WRITES + j
+                mixed[inp.scr_idx[k]] = inp.scr_val[k]
+            slot = inp.watched_slots[inp.wsel[step]]
+            mixed[slot] = inp.wval[step]
+            derived = 0
+            for line in range(NUM_LINES):
+                v = mixed[line * LINE_WORDS]
+                derived += v * v * (line + 1)
+            checksum += derived
+            output.append(checksum)
+        return output
+
+    # -- codegen ------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("mixed", inp.mixed)
+        b.zeros("derived", 1)
+        b.data("watched_slots", inp.watched_slots)
+        b.data("wsel", inp.wsel)
+        b.data("wval", inp.wval)
+        b.data("scr_idx", inp.scr_idx)
+        b.data("scr_val", inp.scr_val)
+
+    def _emit_derive(self, b: ProgramBuilder) -> None:
+        """derived = Σ_line mixed[line*L]^2 * (line+1), with extra latency
+        (a deliberately heavy recomputation so false triggers hurt)."""
+        with b.scratch(4, "dv") as (mbase, acc, line, v):
+            b.la(mbase, "mixed")
+            b.li(acc, 0)
+            with b.for_range(line, 0, NUM_LINES):
+                with b.scratch(2, "d2") as (slot, w):
+                    b.muli(slot, line, LINE_WORDS)
+                    b.ldx(v, mbase, slot)
+                    b.mul(w, v, v)
+                    b.addi(slot, line, 1)
+                    b.mul(w, w, slot)
+                    # pad the recomputation (models a heavier derivation)
+                    for _ in range(6):
+                        b.add(acc, acc, w)
+                        b.sub(acc, acc, w)
+                    b.add(acc, acc, w)
+            with b.scratch(1, "db") as (dbase,):
+                b.la(dbase, "derived")
+                b.st(acc, dbase, 0)
+
+    def _emit_writes(self, b: ProgramBuilder, inp: WorkloadInput, t) -> None:
+        """Per-step stores: SCRATCH_WRITES fresh scratch words + one
+        (usually silent) watched parameter — all triggering stores."""
+        with b.scratch(5, "wr") as (mbase, ib, vb, idx, val):
+            b.la(mbase, "mixed")
+            b.la(ib, "scr_idx")
+            b.la(vb, "scr_val")
+            with b.scratch(1, "off") as (off,):
+                b.muli(off, t, SCRATCH_WRITES)
+                for j in range(SCRATCH_WRITES):
+                    with b.scratch(1, "sl") as (slot,):
+                        b.addi(slot, off, j)
+                        b.ldx(idx, ib, slot)
+                        b.ldx(val, vb, slot)
+                        b.tstx(val, mbase, idx)
+            with b.scratch(3, "w2") as (sb, sel, slot):
+                b.la(sb, "wsel")
+                b.ldx(sel, sb, t)
+                with b.scratch(1, "ws") as (wsb,):
+                    b.la(wsb, "watched_slots")
+                    b.ldx(slot, wsb, sel)
+                with b.scratch(1, "wv") as (wvb,):
+                    b.la(wvb, "wval")
+                    b.ldx(val, wvb, t)
+                b.tstx(val, mbase, slot)
+
+    def _emit_consume(self, b: ProgramBuilder, checksum) -> None:
+        with b.scratch(2, "co") as (dbase, v):
+            b.la(dbase, "derived")
+            b.ld(v, dbase, 0)
+            b.add(checksum, checksum, v)
+        b.out(checksum)
+
+    # -- builds --------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_plain_writes(b, inp, t)
+                self._emit_derive(b)
+                self._emit_consume(b, checksum)
+            b.halt()
+        return b.build()
+
+    def _emit_plain_writes(self, b: ProgramBuilder, inp: WorkloadInput, t):
+        """Baseline variant of the per-step stores (ordinary stores)."""
+        with b.scratch(5, "wr") as (mbase, ib, vb, idx, val):
+            b.la(mbase, "mixed")
+            b.la(ib, "scr_idx")
+            b.la(vb, "scr_val")
+            with b.scratch(1, "off") as (off,):
+                b.muli(off, t, SCRATCH_WRITES)
+                for j in range(SCRATCH_WRITES):
+                    with b.scratch(1, "sl") as (slot,):
+                        b.addi(slot, off, j)
+                        b.ldx(idx, ib, slot)
+                        b.ldx(val, vb, slot)
+                        b.stx(val, mbase, idx)
+            with b.scratch(3, "w2") as (sb, sel, slot):
+                b.la(sb, "wsel")
+                b.ldx(sel, sb, t)
+                with b.scratch(1, "ws") as (wsb,):
+                    b.la(wsb, "watched_slots")
+                    b.ldx(slot, wsb, sel)
+                with b.scratch(1, "wv") as (wvb,):
+                    b.la(wvb, "wval")
+                    b.ldx(val, wvb, t)
+                b.stx(val, mbase, slot)
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        """Word-granularity build: watch exactly the per-line first words."""
+        program = self._build_dtt_program(inp)
+        watch = self._watch_ranges(program)
+        spec = TriggerSpec("derivethr", watch=watch, per_address_dedupe=False)
+        return DttBuild(program, [spec])
+
+    build_dtt_watch = build_dtt  # the watch build IS the normal build here
+
+    def _watch_ranges(self, program) -> List[Tuple[int, int]]:
+        base = program.address_of("mixed")
+        return [(base + line * LINE_WORDS, base + line * LINE_WORDS + 1)
+                for line in range(NUM_LINES)]
+
+    def _build_dtt_program(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("derivethr"):
+            self._emit_derive(b)
+            b.treturn()
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_derive(b)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_writes(b, inp, t)
+                b.tcheck_thread("derivethr")
+                self._emit_consume(b, checksum)
+            b.halt()
+        return b.build()

@@ -1,0 +1,238 @@
+"""``ammp`` — molecular dynamics with slowly-changing charge products.
+
+188.ammp computes molecular mechanics: the nonbonded force loop combines
+per-pair constants (derived from atom charges and types) with geometry.
+Charges change only when the simulation reassigns them — rarely — while
+positions change every step, so the per-pair constant table is recomputed
+from unchanged inputs nearly every time.  The paper's conversion triggers
+that recomputation on charge stores.
+
+Our kernel: N atoms with 1-D positions and charges, a fixed neighbor pair
+list, derived per-pair Coulomb constants ``cpair[p] = q[i(p)] · q[j(p)]``.
+Per step: one charge write (usually silent), then the force accumulation
+``F += cpair[p] · (pos[i] − pos[j])`` over all pairs, then a position
+advance — geometry work that is not convertible.
+
+The DTT support thread recomputes the pairs adjacent to the changed atom,
+using a per-atom CSR over the pair list (``apair_ptr`` / ``apair_idx``),
+keyed per charge address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for, update_schedule
+
+
+class AmmpWorkload(Workload):
+    """188.ammp analog: MD nonbond constants; see the module docstring."""
+
+    name = "ammp"
+    description = "MD nonbond loop with rarely-reassigned charges"
+    converted_region = "per-pair charge-product (cpair) table"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.15
+    pairs_per_atom = 3
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_atoms = 40 * scale
+        steps = 80 * scale
+        rng = rng_for(seed, "ammp-geometry")
+        # neighbor pairs: each atom paired with pairs_per_atom later atoms
+        pair_i: List[int] = []
+        pair_j: List[int] = []
+        for atom in range(num_atoms):
+            for _ in range(self.pairs_per_atom):
+                other = rng.randrange(num_atoms - 1)
+                if other >= atom:
+                    other += 1
+                pair_i.append(atom)
+                pair_j.append(other)
+        num_pairs = len(pair_i)
+        # per-atom CSR over pairs (pairs where the atom appears on either side)
+        adjacency: List[List[int]] = [[] for _ in range(num_atoms)]
+        for p in range(num_pairs):
+            adjacency[pair_i[p]].append(p)
+            adjacency[pair_j[p]].append(p)
+        apair_ptr = [0]
+        apair_idx: List[int] = []
+        for atom in range(num_atoms):
+            apair_idx.extend(adjacency[atom])
+            apair_ptr.append(len(apair_idx))
+        charges_int = [rng.randint(1, 5) for _ in range(num_atoms)]
+        charges = [float(c) for c in charges_int]
+        upd_idx, upd_val_int = update_schedule(
+            seed, steps, charges_int, self.change_rate, (1, 5),
+            stream="ammp-updates",
+        )
+        upd_val = [float(v) for v in upd_val_int]
+        pos0 = [round(rng.uniform(0.0, 10.0), 3) for _ in range(num_atoms)]
+        drive = [round(rng.uniform(-0.2, 0.2), 3) for _ in range(steps)]
+        return WorkloadInput(
+            seed, scale, num_atoms=num_atoms, num_pairs=num_pairs,
+            steps=steps, pair_i=pair_i, pair_j=pair_j,
+            apair_ptr=apair_ptr, apair_idx=apair_idx,
+            charges=charges, upd_idx=upd_idx, upd_val=upd_val,
+            pos0=pos0, drive=drive,
+        )
+
+    # -- reference -----------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[float]:
+        charges = list(inp.charges)
+        pos = list(inp.pos0)
+        cpair = [0.0] * inp.num_pairs
+        force_sum = 0.0
+        output: List[float] = []
+        for step in range(inp.steps):
+            charges[inp.upd_idx[step]] = inp.upd_val[step]
+            for p in range(inp.num_pairs):
+                cpair[p] = charges[inp.pair_i[p]] * charges[inp.pair_j[p]]
+            for p in range(inp.num_pairs):
+                force_sum = force_sum + cpair[p] * (
+                    pos[inp.pair_i[p]] - pos[inp.pair_j[p]]
+                )
+            output.append(force_sum)
+            for atom in range(inp.num_atoms):
+                pos[atom] = pos[atom] * 0.875 + inp.drive[step]
+        return output
+
+    # -- codegen ---------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("pair_i", inp.pair_i)
+        b.data("pair_j", inp.pair_j)
+        b.data("apair_ptr", inp.apair_ptr)
+        b.data("apair_idx", inp.apair_idx)
+        b.data("charges", inp.charges)
+        b.zeros("cpair", inp.num_pairs)
+        b.data("pos", inp.pos0)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("drive", inp.drive)
+
+    def _emit_cpair_one(self, b: ProgramBuilder, p) -> None:
+        """cpair[p] = charges[pair_i[p]] * charges[pair_j[p]]."""
+        with b.scratch(5, "cp") as (pib, pjb, qb, qi, qj):
+            b.la(pib, "pair_i")
+            b.la(pjb, "pair_j")
+            b.la(qb, "charges")
+            b.ldx(qi, pib, p)
+            b.ldx(qi, qb, qi)
+            b.ldx(qj, pjb, p)
+            b.ldx(qj, qb, qj)
+            b.fmul(qi, qi, qj)
+            with b.scratch(1, "cb") as (cb,):
+                b.la(cb, "cpair")
+                b.stx(qi, cb, p)
+
+    def _emit_all_cpairs(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        with b.scratch(1, "p") as (p,):
+            with b.for_range(p, 0, inp.num_pairs):
+                self._emit_cpair_one(b, p)
+
+    def _emit_charge_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "qb") as (qb,):
+                b.la(qb, "charges")
+                if triggering:
+                    return b.tstx(val, qb, idx)
+                return b.stx(val, qb, idx)
+
+    def _emit_force_and_advance(self, b: ProgramBuilder, inp: WorkloadInput,
+                                t, force_sum) -> None:
+        with b.scratch(6, "fo") as (pib, pjb, cb, posb, p, term):
+            b.la(pib, "pair_i")
+            b.la(pjb, "pair_j")
+            b.la(cb, "cpair")
+            b.la(posb, "pos")
+            with b.for_range(p, 0, inp.num_pairs):
+                with b.scratch(3, "f2") as (xi, xj, c):
+                    b.ldx(xi, pib, p)
+                    b.ldx(xi, posb, xi)
+                    b.ldx(xj, pjb, p)
+                    b.ldx(xj, posb, xj)
+                    b.fsub(xi, xi, xj)
+                    b.ldx(c, cb, p)
+                    b.fmul(c, c, xi)
+                    b.fadd(force_sum, force_sum, c)
+            b.out(force_sum)
+            # advance positions: pos[a] = pos[a]*0.875 + drive[t]
+            with b.scratch(3, "ad") as (dbase, dv, atom):
+                b.la(dbase, "drive")
+                b.ldx(dv, dbase, t)
+                with b.for_range(atom, 0, inp.num_atoms):
+                    with b.scratch(2, "a2") as (xv, k):
+                        b.ldx(xv, posb, atom)
+                        b.li(k, 0.875)
+                        b.fmul(xv, xv, k)
+                        b.fadd(xv, xv, dv)
+                        b.stx(xv, posb, atom)
+
+    # -- builds --------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            force_sum = b.global_reg("force")
+            b.li(force_sum, 0.0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_charge_update(b, t, triggering=False)
+                self._emit_all_cpairs(b, inp)
+                self._emit_force_and_advance(b, inp, t, force_sum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("cpairthr"):
+            # r1 = changed charge's address -> atom id -> its pair range
+            with b.scratch(5, "th") as (qb, atom, ptr, k, kend):
+                b.la(qb, "charges")
+                b.sub(atom, b.trigger_addr, qb)
+                b.la(ptr, "apair_ptr")
+                b.ldx(k, ptr, atom)
+                with b.scratch(1, "a1") as (a1,):
+                    b.addi(a1, atom, 1)
+                    b.ldx(kend, ptr, a1)
+                with b.scratch(1, "ib") as (ib,):
+                    b.la(ib, "apair_idx")
+                    with b.loop() as loop:
+                        with b.scratch(1, "c") as (cond,):
+                            b.slt(cond, k, kend)
+                            loop.break_if_zero(cond)
+                        with b.scratch(1, "pr") as (pr,):
+                            b.ldx(pr, ib, k)
+                            self._emit_cpair_one(b, pr)
+                        b.addi(k, k, 1)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            force_sum = b.global_reg("force")
+            b.li(force_sum, 0.0)
+            self._emit_all_cpairs(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_charge_update(b, t, triggering=True))
+                b.tcheck_thread("cpairthr")
+                self._emit_force_and_advance(b, inp, t, force_sum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("cpairthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=True)
+        return DttBuild(program, [spec])

@@ -1,0 +1,232 @@
+"""``art`` — adaptive-resonance neural network scan.
+
+179.art trains an ART neural network: the match/scan phase repeatedly
+combines the F1→F2 weight matrix with the current input pattern, and the
+per-neuron weight norms it uses are recomputed from weights that training
+only occasionally nudges (most weight writes are clipped back to the same
+value).  The paper's conversion attaches the norm computation to the
+weight stores.
+
+Our kernel: a weight matrix W (f1 × f2, flattened row-major), derived
+per-output-neuron norms ``norm[j] = Σ_i W[i·f2+j]``, and a main loop that,
+per step: applies one training write to a weight (usually silent), then
+runs the match scan — ``act[j] = Σ_i W[i·f2+j]·p[i]`` against the current
+pattern, scores ``act[j] − norm[j]·0.125``, and emits the winning neuron
+index and a running score checksum.  The pattern decays and is re-driven
+every step, so the scan itself is not convertible.
+
+The DTT build's support thread recomputes exactly one column norm (the
+column of the written weight), keyed per address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for, update_schedule
+
+#: vigilance-like bias applied to the norm in the score
+NORM_BIAS = 0.125
+
+
+class ArtWorkload(Workload):
+    """179.art analog: neural-net match scan; see the module docstring."""
+
+    name = "art"
+    description = "neural-network match scan with slowly-trained weights"
+    converted_region = "per-neuron weight-norm recomputation"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.16
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        f1 = 12 * scale
+        f2 = 10
+        steps = 70 * scale
+        rng = rng_for(seed, "art-weights")
+        weights_int = [rng.randint(1, 8) for _ in range(f1 * f2)]
+        weights = [float(v) for v in weights_int]
+        upd_idx, upd_val_int = update_schedule(
+            seed, steps, weights_int, self.change_rate, (1, 8),
+            stream="art-updates",
+        )
+        upd_val = [float(v) for v in upd_val_int]
+        pattern0 = [round(rng.uniform(0.0, 1.0), 3) for _ in range(f1)]
+        drive = [round(rng.uniform(0.0, 0.5), 3) for _ in range(steps)]
+        return WorkloadInput(
+            seed, scale, f1=f1, f2=f2, steps=steps,
+            weights=weights, upd_idx=upd_idx, upd_val=upd_val,
+            pattern0=pattern0, drive=drive,
+        )
+
+    # -- reference ------------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[float]:
+        weights = list(inp.weights)
+        pattern = list(inp.pattern0)
+        f1, f2 = inp.f1, inp.f2
+        norm = [0.0] * f2
+        output: List[float] = []
+        checksum = 0.0
+        for step in range(inp.steps):
+            weights[inp.upd_idx[step]] = inp.upd_val[step]
+            for j in range(f2):
+                s = 0.0
+                for i in range(f1):
+                    s = s + weights[i * f2 + j]
+                norm[j] = s
+            best = 0
+            best_score = None
+            for j in range(f2):
+                act = 0.0
+                for i in range(f1):
+                    act = act + weights[i * f2 + j] * pattern[i]
+                score = act - norm[j] * NORM_BIAS
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best = j
+            checksum = checksum + best_score + float(best)
+            output.append(checksum)
+            for i in range(f1):
+                pattern[i] = pattern[i] * 0.75 + inp.drive[step]
+        return output
+
+    # -- codegen -----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("weights", inp.weights)
+        b.zeros("norm", inp.f2)
+        b.data("pattern", inp.pattern0)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("drive", inp.drive)
+
+    def _emit_norm_one(self, b: ProgramBuilder, inp: WorkloadInput, j) -> None:
+        """norm[j] = Σ_i weights[i*f2 + j]."""
+        with b.scratch(4, "nm") as (wbase, s, i, v):
+            b.la(wbase, "weights")
+            b.li(s, 0.0)
+            with b.for_range(i, 0, inp.f1):
+                with b.scratch(1, "sl") as (slot,):
+                    b.muli(slot, i, inp.f2)
+                    b.add(slot, slot, j)
+                    b.ldx(v, wbase, slot)
+                    b.fadd(s, s, v)
+            with b.scratch(1, "nb") as (nbase,):
+                b.la(nbase, "norm")
+                b.stx(s, nbase, j)
+
+    def _emit_all_norms(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        with b.scratch(1, "j") as (j,):
+            with b.for_range(j, 0, inp.f2):
+                self._emit_norm_one(b, inp, j)
+
+    def _emit_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "wb") as (wbase,):
+                b.la(wbase, "weights")
+                if triggering:
+                    return b.tstx(val, wbase, idx)
+                return b.stx(val, wbase, idx)
+
+    def _emit_match(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        """Scan all neurons, score, track the winner, emit the checksum."""
+        with b.scratch(6, "mt") as (wbase, pbase, nbase, best, best_score, j):
+            b.la(wbase, "weights")
+            b.la(pbase, "pattern")
+            b.la(nbase, "norm")
+            b.li(best, 0)
+            b.li(best_score, -1.0e30)
+            with b.for_range(j, 0, inp.f2):
+                with b.scratch(3, "m2") as (act, i, v):
+                    b.li(act, 0.0)
+                    with b.for_range(i, 0, inp.f1):
+                        with b.scratch(2, "m3") as (slot, pv):
+                            b.muli(slot, i, inp.f2)
+                            b.add(slot, slot, j)
+                            b.ldx(v, wbase, slot)
+                            b.ldx(pv, pbase, i)
+                            b.fmul(v, v, pv)
+                            b.fadd(act, act, v)
+                    with b.scratch(2, "sc") as (nj, bias):
+                        b.ldx(nj, nbase, j)
+                        b.li(bias, NORM_BIAS)
+                        b.fmul(nj, nj, bias)
+                        b.fsub(act, act, nj)
+                    with b.scratch(1, "cmp") as (better,):
+                        b.sgt(better, act, best_score)
+                        with b.if_(better):
+                            b.mov(best_score, act)
+                            b.mov(best, j)
+            with b.scratch(1, "bf") as (bf,):
+                b.itof(bf, best)
+                b.fadd(checksum, checksum, best_score)
+                b.fadd(checksum, checksum, bf)
+        b.out(checksum)
+        # decay and re-drive the pattern
+        with b.scratch(4, "dc") as (pbase, dbase, dv, i):
+            b.la(pbase, "pattern")
+            b.la(dbase, "drive")
+            b.ldx(dv, dbase, t)
+            with b.for_range(i, 0, inp.f1):
+                with b.scratch(2, "d2") as (pv, k):
+                    b.ldx(pv, pbase, i)
+                    b.li(k, 0.75)
+                    b.fmul(pv, pv, k)
+                    b.fadd(pv, pv, dv)
+                    b.stx(pv, pbase, i)
+
+    # -- builds --------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0.0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_update(b, t, triggering=False)
+                self._emit_all_norms(b, inp)
+                self._emit_match(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("normthr"):
+            # r1 = changed weight's address; its column is slot mod f2
+            with b.scratch(3, "th") as (wbase, slot, j):
+                b.la(wbase, "weights")
+                b.sub(slot, b.trigger_addr, wbase)
+                with b.scratch(1, "f2") as (f2r,):
+                    b.li(f2r, inp.f2)
+                    b.imod(j, slot, f2r)
+                self._emit_norm_one(b, inp, j)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0.0)
+            self._emit_all_norms(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_update(b, t, triggering=True))
+                b.tcheck_thread("normthr")
+                self._emit_match(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("normthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=True)
+        return DttBuild(program, [spec])

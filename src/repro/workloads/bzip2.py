@@ -1,0 +1,177 @@
+"""``bzip2`` — block buffer with heavy inter-block repetition.
+
+256.bzip2 compresses data block by block; real corpora repeat, so loading
+the next block into the working buffer often stores bytes identical to
+what the previous block left there, and the per-block symbol statistics
+are recomputed from a buffer that did not change.  The paper's conversion
+fires the statistics rebuild from the buffer stores.
+
+Our kernel: blocks drawn from a small pool (so consecutive blocks often
+coincide word-for-word) are copied into a working buffer with triggering
+stores.  The derived data is the buffer's symbol histogram plus a
+per-symbol sort-cost weight; the consumable is the block's weighted cost
+(a scan of the buffer), emitted as a running total.
+
+The whole-buffer copy produces *bursts* of triggers when a block actually
+differs; duplicate suppression collapses them into a single rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import symbol_blocks
+
+ALPHABET = 16
+
+
+class Bzip2Workload(Workload):
+    """256.bzip2 analog: block statistics; see the module docstring."""
+
+    name = "bzip2"
+    description = "block-sort statistics over repeating input blocks"
+    converted_region = "buffer histogram + sort-cost weights"
+    default_scale = 1
+    default_seed = 1234
+
+    block_size = 32
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 70 * scale
+        blocks = symbol_blocks(seed, steps, self.block_size, ALPHABET,
+                               stream="bzip2-blocks")
+        flat = [sym for block in blocks for sym in block]
+        return WorkloadInput(
+            seed, scale, steps=steps, block_size=self.block_size, flat=flat,
+        )
+
+    # -- reference -------------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        buffer = [0] * inp.block_size
+        weight = [0] * ALPHABET
+        cost = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            base = step * inp.block_size
+            for i in range(inp.block_size):
+                buffer[i] = inp.flat[base + i]
+            hist = [0] * ALPHABET
+            for i in range(inp.block_size):
+                hist[buffer[i]] += 1
+            for s in range(ALPHABET):
+                weight[s] = hist[s] * hist[s] + s
+            for i in range(inp.block_size):
+                cost += weight[buffer[i]]
+            output.append(cost)
+        return output
+
+    # -- codegen -----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("flat", inp.flat)
+        b.zeros("buffer", inp.block_size)
+        b.zeros("hist", ALPHABET)
+        b.zeros("weight", ALPHABET)
+
+    def _emit_copy_block(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                         triggering: bool) -> Optional[int]:
+        """Copy block t into the working buffer; returns first store PC."""
+        store_pc = None
+        with b.scratch(5, "cp") as (fbase, bbase, base, i, v):
+            b.la(fbase, "flat")
+            b.la(bbase, "buffer")
+            b.muli(base, t, inp.block_size)
+            with b.for_range(i, 0, inp.block_size):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, base, i)
+                    b.ldx(v, fbase, slot)
+                    if triggering:
+                        pc = b.tstx(v, bbase, i)
+                    else:
+                        pc = b.stx(v, bbase, i)
+                    if store_pc is None:
+                        store_pc = pc
+        return store_pc
+
+    def _emit_rebuild_stats(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        """hist from buffer, then weight[s] = hist[s]^2 + s."""
+        with b.scratch(4, "st") as (bbase, hbase, i, s):
+            b.la(bbase, "buffer")
+            b.la(hbase, "hist")
+            with b.scratch(1, "z") as (zero,):
+                b.li(zero, 0)
+                with b.for_range(i, 0, ALPHABET):
+                    b.stx(zero, hbase, i)
+            with b.for_range(i, 0, inp.block_size):
+                with b.scratch(2, "h2") as (sym, count):
+                    b.ldx(sym, bbase, i)
+                    b.ldx(count, hbase, sym)
+                    b.addi(count, count, 1)
+                    b.stx(count, hbase, sym)
+            with b.scratch(1, "wb") as (wbase,):
+                b.la(wbase, "weight")
+                with b.for_range(s, 0, ALPHABET):
+                    with b.scratch(2, "w2") as (h, w):
+                        b.ldx(h, hbase, s)
+                        b.mul(w, h, h)
+                        b.add(w, w, s)
+                        b.stx(w, wbase, s)
+
+    def _emit_cost_scan(self, b: ProgramBuilder, inp: WorkloadInput, cost):
+        with b.scratch(3, "cs") as (bbase, wbase, i):
+            b.la(bbase, "buffer")
+            b.la(wbase, "weight")
+            with b.for_range(i, 0, inp.block_size):
+                with b.scratch(2, "c2") as (sym, w):
+                    b.ldx(sym, bbase, i)
+                    b.ldx(w, wbase, sym)
+                    b.add(cost, cost, w)
+        b.out(cost)
+
+    # -- builds -------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            cost = b.global_reg("cost")
+            b.li(cost, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_copy_block(b, inp, t, triggering=False)
+                self._emit_rebuild_stats(b, inp)
+                self._emit_cost_scan(b, inp, cost)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("statthr"):
+            self._emit_rebuild_stats(b, inp)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            cost = b.global_reg("cost")
+            b.li(cost, 0)
+            # derived stats must be valid even if the first block happens
+            # to coincide with the zero-initialized buffer
+            self._emit_rebuild_stats(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc = self._emit_copy_block(b, inp, t, triggering=True)
+                if not pc_box:
+                    pc_box.append(pc)
+                b.tcheck_thread("statthr")
+                self._emit_cost_scan(b, inp, cost)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("statthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

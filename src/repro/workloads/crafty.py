@@ -1,0 +1,204 @@
+"""``crafty`` — attack tables regenerated across quiet board updates.
+
+186.crafty (chess) derives attack/mobility tables from the board; during
+search most board stores put back the piece that was already there (quiet
+positions, unmade moves), yet the evaluation-side tables get refreshed.
+The paper's conversion fires the table regeneration from board stores.
+
+Our kernel: a 64-square board holding piece codes, a knight-move offset
+table, and a derived per-square mobility count ``attack[sq]`` = number of
+knight-reachable squares that are empty, computed for occupied squares.
+Per step: one board store (usually re-storing the same piece), then an
+evaluation pass over a fresh candidate-move list combining the attack
+table with piece values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import index_array, rng_for, update_schedule
+
+BOARD = 64
+#: knight move deltas on a 1-D 64-square board, with file-wrap guards
+#: precomputed into a per-square candidate list at input-generation time
+KNIGHT_DELTAS = ((1, 2), (2, 1), (2, -1), (1, -2),
+                 (-1, -2), (-2, -1), (-2, 1), (-1, 2))
+
+
+def _knight_targets(square: int) -> List[int]:
+    rank, file = divmod(square, 8)
+    targets = []
+    for dr, df in KNIGHT_DELTAS:
+        r, f = rank + dr, file + df
+        if 0 <= r < 8 and 0 <= f < 8:
+            targets.append(r * 8 + f)
+    return targets
+
+
+class CraftyWorkload(Workload):
+    """186.crafty analog: mobility tables; see the module docstring."""
+
+    name = "crafty"
+    description = "mobility tables across quiet chess-board updates"
+    converted_region = "per-square knight-mobility regeneration"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.45
+    moves_per_step = 22
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 70 * scale
+        rng = rng_for(seed, "crafty-board")
+        # piece codes: 0 empty, 1..6 pieces; about half the board occupied
+        board = [rng.randint(1, 6) if rng.random() < 0.5 else 0
+                 for _ in range(BOARD)]
+        # per-square knight-target CSR
+        kt_ptr = [0]
+        kt_idx: List[int] = []
+        for sq in range(BOARD):
+            kt_idx.extend(_knight_targets(sq))
+            kt_ptr.append(len(kt_idx))
+        upd_idx, upd_val = update_schedule(
+            seed, steps, board, self.change_rate, (0, 6),
+            stream="crafty-upd",
+        )
+        candidates = index_array(seed, steps * self.moves_per_step, BOARD,
+                                 stream="crafty-moves")
+        return WorkloadInput(
+            seed, scale, steps=steps, moves_per_step=self.moves_per_step,
+            board=board, kt_ptr=kt_ptr, kt_idx=kt_idx,
+            upd_idx=upd_idx, upd_val=upd_val, candidates=candidates,
+        )
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        board = list(inp.board)
+        attack = [0] * BOARD
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            board[inp.upd_idx[step]] = inp.upd_val[step]
+            for sq in range(BOARD):
+                count = 0
+                if board[sq] != 0:
+                    for k in range(inp.kt_ptr[sq], inp.kt_ptr[sq + 1]):
+                        if board[inp.kt_idx[k]] == 0:
+                            count += 1
+                attack[sq] = count
+            for m in range(inp.moves_per_step):
+                sq = inp.candidates[step * inp.moves_per_step + m]
+                checksum += attack[sq] * 4 + board[sq]
+            output.append(checksum)
+        return output
+
+    # -- codegen -----------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("board", inp.board)
+        b.data("kt_ptr", inp.kt_ptr)
+        b.data("kt_idx", inp.kt_idx)
+        b.zeros("attack", BOARD)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("candidates", inp.candidates)
+
+    def _emit_regen_attack(self, b: ProgramBuilder) -> None:
+        with b.scratch(6, "at") as (bb, pb, ib, ab, sq, count):
+            b.la(bb, "board")
+            b.la(pb, "kt_ptr")
+            b.la(ib, "kt_idx")
+            b.la(ab, "attack")
+            with b.for_range(sq, 0, BOARD):
+                b.li(count, 0)
+                with b.scratch(1, "pc") as (piece,):
+                    b.ldx(piece, bb, sq)
+                    with b.if_(piece):
+                        with b.scratch(2, "k2") as (k, kend):
+                            b.ldx(k, pb, sq)
+                            with b.scratch(1, "s1") as (s1,):
+                                b.addi(s1, sq, 1)
+                                b.ldx(kend, pb, s1)
+                            with b.loop() as loop:
+                                with b.scratch(1, "c") as (cond,):
+                                    b.slt(cond, k, kend)
+                                    loop.break_if_zero(cond)
+                                with b.scratch(2, "t2") as (target, occ):
+                                    b.ldx(target, ib, k)
+                                    b.ldx(occ, bb, target)
+                                    with b.if_zero(occ):
+                                        b.addi(count, count, 1)
+                                b.addi(k, k, 1)
+                b.stx(count, ab, sq)
+
+    def _emit_board_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "bb") as (bb,):
+                b.la(bb, "board")
+                if triggering:
+                    return b.tstx(val, bb, idx)
+                return b.stx(val, bb, idx)
+
+    def _emit_evaluate(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        with b.scratch(6, "ev") as (cb, ab, bb, off, m, sq):
+            b.la(cb, "candidates")
+            b.la(ab, "attack")
+            b.la(bb, "board")
+            b.muli(off, t, inp.moves_per_step)
+            with b.for_range(m, 0, inp.moves_per_step):
+                with b.scratch(3, "e2") as (slot, a, piece):
+                    b.add(slot, off, m)
+                    b.ldx(sq, cb, slot)
+                    b.ldx(a, ab, sq)
+                    b.muli(a, a, 4)
+                    b.ldx(piece, bb, sq)
+                    b.add(a, a, piece)
+                    b.add(checksum, checksum, a)
+        b.out(checksum)
+
+    # -- builds --------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_board_update(b, t, triggering=False)
+                self._emit_regen_attack(b)
+                self._emit_evaluate(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("attackthr"):
+            self._emit_regen_attack(b)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_regen_attack(b)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_board_update(b, t, triggering=True))
+                b.tcheck_thread("attackthr")
+                self._emit_evaluate(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("attackthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

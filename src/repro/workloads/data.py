@@ -1,0 +1,154 @@
+"""Seeded input generators shared by the workload suite.
+
+Everything here is deterministic in its arguments (explicit
+``random.Random`` seeds), so every experiment is exactly reproducible.
+
+The central generator is :func:`update_schedule`: the sequence of writes a
+kernel's main loop performs against its watched data.  Its
+``change_rate`` — the probability that a write actually changes the value
+— is the workload-level knob that calibrates redundancy: the paper found
+most writes in the C SPEC codes to be value-redundant (78 % of loads fetch
+redundant data), and each workload's default change rate is chosen to land
+its profile in the corresponding band (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+def rng_for(seed: int, stream: str) -> random.Random:
+    """Independent deterministic stream derived from (seed, stream name)."""
+    return random.Random(f"{seed}:{stream}")
+
+
+def update_schedule(
+    seed: int,
+    steps: int,
+    current: Sequence[int],
+    change_rate: float,
+    value_range: Tuple[int, int] = (1, 64),
+    stream: str = "updates",
+) -> Tuple[List[int], List[int]]:
+    """Generate ``steps`` writes against an array with contents ``current``.
+
+    Returns ``(indices, values)``.  With probability ``change_rate`` the
+    write stores a fresh value different from the current one; otherwise it
+    rewrites the value already there (a silent store).  ``current`` is
+    tracked internally so later writes see earlier ones.
+    """
+    if not 0.0 <= change_rate <= 1.0:
+        raise ValueError(f"change_rate must be in [0, 1], got {change_rate}")
+    rng = rng_for(seed, stream)
+    shadow = list(current)
+    lo, hi = value_range
+    indices: List[int] = []
+    values: List[int] = []
+    for _ in range(steps):
+        index = rng.randrange(len(shadow))
+        if rng.random() < change_rate:
+            value = rng.randint(lo, hi)
+            while value == shadow[index]:
+                value = rng.randint(lo, hi)
+        else:
+            value = shadow[index]
+        shadow[index] = value
+        indices.append(index)
+        values.append(value)
+    return indices, values
+
+
+def int_array(seed: int, size: int, value_range: Tuple[int, int] = (1, 64),
+              stream: str = "array") -> List[int]:
+    """Random integer array."""
+    rng = rng_for(seed, stream)
+    lo, hi = value_range
+    return [rng.randint(lo, hi) for _ in range(size)]
+
+
+def index_array(seed: int, size: int, limit: int,
+                stream: str = "indices") -> List[int]:
+    """Random indices in [0, limit)."""
+    rng = rng_for(seed, stream)
+    return [rng.randrange(limit) for _ in range(size)]
+
+
+def random_tree_parents(seed: int, num_nodes: int,
+                        stream: str = "tree") -> List[int]:
+    """A random rooted tree in preorder: ``parent[i] < i``, root = 0.
+
+    Preorder means a single ascending scan visits parents before children
+    — exactly what mcf's ``refresh_potential`` relies on.
+    """
+    rng = rng_for(seed, stream)
+    parents = [0] * num_nodes
+    for node in range(1, num_nodes):
+        # bias toward recent nodes for realistic (deep-ish) tree shapes
+        lo = max(0, node - 16)
+        parents[node] = rng.randrange(lo, node)
+    return parents
+
+
+def sparse_matrix_csr(
+    seed: int,
+    num_rows: int,
+    nnz_per_row: int,
+    value_range: Tuple[int, int] = (1, 9),
+    stream: str = "csr",
+) -> Tuple[List[int], List[int], List[int]]:
+    """Random CSR matrix: (row_ptr, col_idx, values), sorted columns."""
+    rng = rng_for(seed, stream)
+    row_ptr = [0]
+    col_idx: List[int] = []
+    values: List[int] = []
+    lo, hi = value_range
+    for _ in range(num_rows):
+        cols = sorted(rng.sample(range(num_rows), min(nnz_per_row, num_rows)))
+        col_idx.extend(cols)
+        values.extend(rng.randint(lo, hi) for _ in cols)
+        row_ptr.append(len(col_idx))
+    return row_ptr, col_idx, values
+
+
+def grid_positions(seed: int, num_cells: int, grid: int,
+                   stream: str = "grid") -> Tuple[List[int], List[int]]:
+    """Random (x, y) placement of cells on a grid x grid board."""
+    rng = rng_for(seed, stream)
+    xs = [rng.randrange(grid) for _ in range(num_cells)]
+    ys = [rng.randrange(grid) for _ in range(num_cells)]
+    return xs, ys
+
+
+def nets(seed: int, num_nets: int, num_cells: int, pins_per_net: int,
+         stream: str = "nets") -> List[List[int]]:
+    """Random nets: each a list of distinct cell ids."""
+    rng = rng_for(seed, stream)
+    result = []
+    for _ in range(num_nets):
+        result.append(rng.sample(range(num_cells), min(pins_per_net, num_cells)))
+    return result
+
+
+def symbol_blocks(seed: int, num_blocks: int, block_size: int,
+                  alphabet: int = 16, repeat_rate: float = 0.8,
+                  stream: str = "blocks") -> List[List[int]]:
+    """Blocks of symbols with heavy inter-block repetition.
+
+    Compression inputs repeat *locally*: with probability ``repeat_rate``
+    a block is identical to its predecessor (so re-writing it into the
+    working buffer is entirely silent); otherwise it is drawn from a small
+    pool of distinct blocks.
+    """
+    rng = rng_for(seed, stream)
+    pool = [
+        [rng.randrange(alphabet) for _ in range(block_size)]
+        for _ in range(max(2, num_blocks // 6))
+    ]
+    blocks: List[List[int]] = []
+    for i in range(num_blocks):
+        if blocks and rng.random() < repeat_rate:
+            blocks.append(list(blocks[-1]))
+        else:
+            blocks.append(list(rng.choice(pool)))
+    return blocks

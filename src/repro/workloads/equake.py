@@ -1,0 +1,267 @@
+"""``equake`` — sparse-matrix row summaries inside a time-stepping loop.
+
+183.equake simulates seismic wave propagation: every timestep performs a
+sparse matrix-vector product (``smvp``) with a stiffness matrix that is
+assembled once and then *mostly* unchanged — the paper's conversion hangs
+derived per-row data off the matrix entries, so the (re)computation runs
+only when an entry actually changes.
+
+Our kernel: a CSR matrix with per-row absolute-value sums (``rowsum``, a
+Jacobi-style preconditioner diagonal).  Each timestep:
+
+* a small burst of matrix-entry writes lands (assembly refresh — almost
+  always storing the value already there);
+* the preconditioned smvp runs: ``acc += rowsum[i] * x[i] + Σ_k vals[k] *
+  x[col[k]]`` — the smvp itself reads the *changing* vector ``x`` and is
+  not convertible;
+* the vector is advanced (``x[i] = x[i] * 0.5 + c_t``), so vector loads
+  are genuinely non-redundant (this is the suite's lower-redundancy
+  floating-point representative).
+
+The baseline recomputes every ``rowsum`` each timestep.  The DTT build has
+one support thread, keyed per changed address, that recomputes only the
+row containing the written entry; the burst of writes exercises duplicate
+suppression and (with a small queue) overflow handling — this workload is
+the E8c queue-depth ablation target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for, sparse_matrix_csr, update_schedule
+
+
+class EquakeWorkload(Workload):
+    """183.equake analog: preconditioned sparse MVP; see the module docstring."""
+
+    name = "equake"
+    description = "preconditioned sparse MVP with rarely-changing matrix"
+    converted_region = "per-row preconditioner (rowsum) recomputation"
+    default_scale = 1
+    default_seed = 1234
+
+    #: probability a matrix-entry write changes the value
+    change_rate = 0.06
+    #: matrix-entry writes per timestep
+    burst = 3
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_rows = 48 * scale
+        nnz_per_row = 4
+        steps = 90 * scale
+        row_ptr, col_idx, vals_int = sparse_matrix_csr(
+            seed, num_rows, nnz_per_row, (1, 9)
+        )
+        vals = [float(v) for v in vals_int]
+        # row_of[k]: the row containing CSR slot k (support thread's lookup)
+        row_of = [0] * len(vals)
+        for row in range(num_rows):
+            for k in range(row_ptr[row], row_ptr[row + 1]):
+                row_of[k] = row
+        upd_idx, upd_val_int = update_schedule(
+            seed, steps * self.burst, vals_int, self.change_rate, (1, 9),
+            stream="equake-updates",
+        )
+        upd_val = [float(v) for v in upd_val_int]
+        rng = rng_for(seed, "equake-x")
+        x0 = [round(rng.uniform(0.5, 2.0), 3) for _ in range(num_rows)]
+        drive = [round(rng.uniform(-0.5, 0.5), 3) for _ in range(steps)]
+        return WorkloadInput(
+            seed, scale,
+            num_rows=num_rows, steps=steps, burst=self.burst,
+            row_ptr=row_ptr, col_idx=col_idx, vals=vals, row_of=row_of,
+            upd_idx=upd_idx, upd_val=upd_val, x0=x0, drive=drive,
+        )
+
+    # -- reference -----------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[float]:
+        vals = list(inp.vals)
+        x = list(inp.x0)
+        num_rows = inp.num_rows
+        rowsum = [0.0] * num_rows
+        output: List[float] = []
+        acc = 0.0
+        for step in range(inp.steps):
+            for j in range(inp.burst):
+                k = inp.upd_idx[step * inp.burst + j]
+                vals[k] = inp.upd_val[step * inp.burst + j]
+            for row in range(num_rows):
+                s = 0.0
+                for k in range(inp.row_ptr[row], inp.row_ptr[row + 1]):
+                    s = s + abs(vals[k])
+                rowsum[row] = s
+            for row in range(num_rows):
+                acc = acc + rowsum[row] * x[row]
+                for k in range(inp.row_ptr[row], inp.row_ptr[row + 1]):
+                    acc = acc + vals[k] * x[inp.col_idx[k]]
+            for row in range(num_rows):
+                x[row] = x[row] * 0.5 + inp.drive[step]
+            output.append(acc)
+        return output
+
+    # -- shared codegen ---------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("row_ptr", inp.row_ptr)
+        b.data("col_idx", inp.col_idx)
+        b.data("vals", inp.vals)
+        b.data("row_of", inp.row_of)
+        b.zeros("rowsum", inp.num_rows)
+        b.data("x", inp.x0)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("drive", inp.drive)
+
+    def _emit_rowsum_one(self, b: ProgramBuilder, row) -> None:
+        """rowsum[row] = sum of |vals[k]| for k in the row's CSR range."""
+        with b.scratch(6, "rs") as (rp, vbase, k, kend, s, v):
+            b.la(rp, "row_ptr")
+            b.la(vbase, "vals")
+            b.ldx(k, rp, row)
+            with b.scratch(1, "r1") as (r1,):
+                b.addi(r1, row, 1)
+                b.ldx(kend, rp, r1)
+            b.li(s, 0.0)
+            with b.loop() as loop:
+                with b.scratch(1, "c") as (cond,):
+                    b.slt(cond, k, kend)
+                    loop.break_if_zero(cond)
+                b.ldx(v, vbase, k)
+                b.fabs(v, v)
+                b.fadd(s, s, v)
+                b.addi(k, k, 1)
+            with b.scratch(1, "rb") as (rs,):
+                b.la(rs, "rowsum")
+                b.stx(s, rs, row)
+
+    def _emit_all_rowsums(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        with b.scratch(1, "row") as (row,):
+            with b.for_range(row, 0, inp.num_rows):
+                self._emit_rowsum_one(b, row)
+
+    def _emit_updates(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                      triggering: bool) -> List[int]:
+        """The per-step burst of matrix-entry writes; returns store PCs."""
+        pcs: List[int] = []
+        with b.scratch(5, "up") as (ui, uv, off, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.muli(off, t, inp.burst)
+            for j in range(inp.burst):
+                with b.scratch(2, "uj") as (slot, vbase):
+                    b.addi(slot, off, j)
+                    b.ldx(idx, ui, slot)
+                    b.ldx(val, uv, slot)
+                    b.la(vbase, "vals")
+                    if triggering:
+                        pcs.append(b.tstx(val, vbase, idx))
+                    else:
+                        pcs.append(b.stx(val, vbase, idx))
+        return pcs
+
+    def _emit_smvp_and_advance(self, b: ProgramBuilder, inp: WorkloadInput,
+                               t, acc) -> None:
+        """acc += rowsum[i]*x[i] + Σ vals[k]*x[col[k]]; advance x; out acc."""
+        with b.scratch(6, "mv") as (rp, vbase, cbase, xbase, rsbase, row):
+            b.la(rp, "row_ptr")
+            b.la(vbase, "vals")
+            b.la(cbase, "col_idx")
+            b.la(xbase, "x")
+            b.la(rsbase, "rowsum")
+            with b.for_range(row, 0, inp.num_rows):
+                with b.scratch(4, "m2") as (s, xv, k, kend):
+                    b.ldx(s, rsbase, row)
+                    b.ldx(xv, xbase, row)
+                    b.fmul(s, s, xv)
+                    b.fadd(acc, acc, s)
+                    b.ldx(k, rp, row)
+                    with b.scratch(1, "r1") as (r1,):
+                        b.addi(r1, row, 1)
+                        b.ldx(kend, rp, r1)
+                    with b.loop() as loop:
+                        with b.scratch(1, "c") as (cond,):
+                            b.slt(cond, k, kend)
+                            loop.break_if_zero(cond)
+                        with b.scratch(3, "m3") as (v, col, xc):
+                            b.ldx(v, vbase, k)
+                            b.ldx(col, cbase, k)
+                            b.ldx(xc, xbase, col)
+                            b.fmul(v, v, xc)
+                            b.fadd(acc, acc, v)
+                        b.addi(k, k, 1)
+            # advance the vector: x[i] = x[i]*0.5 + drive[t]
+            with b.scratch(3, "ad") as (dbase, dv, i):
+                b.la(dbase, "drive")
+                b.ldx(dv, dbase, t)
+                with b.for_range(i, 0, inp.num_rows):
+                    with b.scratch(2, "a2") as (xv, half):
+                        b.ldx(xv, xbase, i)
+                        b.li(half, 0.5)
+                        b.fmul(xv, xv, half)
+                        b.fadd(xv, xv, dv)
+                        b.stx(xv, xbase, i)
+        b.out(acc)
+
+    # -- builds --------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            acc = b.global_reg("acc")
+            b.li(acc, 0.0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_updates(b, inp, t, triggering=False)
+                self._emit_all_rowsums(b, inp)
+                self._emit_smvp_and_advance(b, inp, t, acc)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        program, pcs = self._build_dtt_program(inp)
+        spec = TriggerSpec("rowthr", store_pcs=pcs, per_address_dedupe=True)
+        return DttBuild(program, [spec])
+
+    def build_dtt_watch(self, inp: WorkloadInput) -> DttBuild:
+        program, _pcs = self._build_dtt_program(inp)
+        lo = program.address_of("vals")
+        spec = TriggerSpec("rowthr", watch=[(lo, lo + len(inp.vals))],
+                           per_address_dedupe=True)
+        return DttBuild(program, [spec])
+
+    def _build_dtt_program(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("rowthr"):
+            # r1 = address of the changed matrix entry; recompute its row
+            with b.scratch(3, "th") as (vbase, slot, row):
+                b.la(vbase, "vals")
+                b.sub(slot, b.trigger_addr, vbase)
+                with b.scratch(1, "ro") as (robase,):
+                    b.la(robase, "row_of")
+                    b.ldx(row, robase, slot)
+                self._emit_rowsum_one(b, row)
+            b.treturn()
+        pcs_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            acc = b.global_reg("acc")
+            b.li(acc, 0.0)
+            # initialize the derived data once (assembly-time computation)
+            self._emit_all_rowsums(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pcs = self._emit_updates(b, inp, t, triggering=True)
+                if not pcs_box:
+                    pcs_box.extend(pcs)
+                b.tcheck_thread("rowthr")
+                self._emit_smvp_and_advance(b, inp, t, acc)
+            b.halt()
+        return b.build(), pcs_box

@@ -1,0 +1,253 @@
+"""``gap`` — permutation-group cycle structure under stable generators.
+
+254.gap computes in finite groups; derived structural data about the
+acting generators (orbits, cycle decompositions) is recomputed even
+though the generators themselves almost never change once constructed.
+The paper's conversion fires that recomputation from generator stores.
+
+Our kernel: two permutations ``g0``/``g1`` over P points, derived
+``cyclen[i]`` = length of the ``g0``-cycle containing point ``i``
+(computed by walking each cycle once with a visited mark), and a main
+loop applying fresh generator words to a point while accumulating the
+visited points' cycle lengths.  Generator tweaks are rare transpositions
+— and "tweaks" that re-store the same image are silent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for
+
+
+class GapWorkload(Workload):
+    """254.gap analog: permutation cycle structure; see the module docstring."""
+
+    name = "gap"
+    description = "group-theoretic cycle structure of stable generators"
+    converted_region = "g0 cycle-length table recomputation"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.06
+    word_len = 26
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_points = 24 * scale
+        steps = 80 * scale
+        rng = rng_for(seed, "gap-perms")
+        g0 = list(range(num_points))
+        rng.shuffle(g0)
+        g1 = list(range(num_points))
+        rng.shuffle(g1)
+        # update schedule: each step writes g0[slot]; a "change" applies a
+        # transposition (two writes would be needed to stay a permutation,
+        # so changes swap g0[slot] with g0[other] — we emit both writes and
+        # the first one carries the trigger semantics; silent steps re-store
+        # the current image)
+        shadow = list(g0)
+        upd_a_idx: List[int] = []
+        upd_a_val: List[int] = []
+        upd_b_idx: List[int] = []
+        upd_b_val: List[int] = []
+        for _ in range(steps):
+            slot = rng.randrange(num_points)
+            if rng.random() < self.change_rate:
+                other = rng.randrange(num_points)
+                while other == slot or shadow[other] == shadow[slot]:
+                    other = rng.randrange(num_points)
+                shadow[slot], shadow[other] = shadow[other], shadow[slot]
+                upd_a_idx.append(slot)
+                upd_a_val.append(shadow[slot])
+                upd_b_idx.append(other)
+                upd_b_val.append(shadow[other])
+            else:
+                upd_a_idx.append(slot)
+                upd_a_val.append(shadow[slot])
+                upd_b_idx.append(slot)
+                upd_b_val.append(shadow[slot])
+        word = [rng.randrange(2) for _ in range(steps * self.word_len)]
+        return WorkloadInput(
+            seed, scale, num_points=num_points, steps=steps,
+            word_len=self.word_len, g0=g0, g1=g1,
+            upd_a_idx=upd_a_idx, upd_a_val=upd_a_val,
+            upd_b_idx=upd_b_idx, upd_b_val=upd_b_val, word=word,
+        )
+
+    # -- reference --------------------------------------------------------------
+
+    @staticmethod
+    def _cycle_lengths(g0: List[int], num_points: int) -> List[int]:
+        cyclen = [0] * num_points
+        visited = [0] * num_points
+        for start in range(num_points):
+            if visited[start]:
+                continue
+            # walk the cycle once to find its length
+            length = 0
+            p = start
+            while True:
+                length += 1
+                visited[p] = 1
+                p = g0[p]
+                if p == start:
+                    break
+            p = start
+            while True:
+                cyclen[p] = length
+                p = g0[p]
+                if p == start:
+                    break
+        return cyclen
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        g0 = list(inp.g0)
+        g1 = list(inp.g1)
+        checksum = 0
+        point = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            g0[inp.upd_a_idx[step]] = inp.upd_a_val[step]
+            g0[inp.upd_b_idx[step]] = inp.upd_b_val[step]
+            cyclen = self._cycle_lengths(g0, inp.num_points)
+            for k in range(inp.word_len):
+                if inp.word[step * inp.word_len + k] == 0:
+                    point = g0[point]
+                else:
+                    point = g1[point]
+                checksum += cyclen[point] + point
+            output.append(checksum)
+        return output
+
+    # -- codegen ------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("g0", inp.g0)
+        b.data("g1", inp.g1)
+        b.zeros("cyclen", inp.num_points)
+        b.zeros("visited", inp.num_points)
+        b.data("upd_a_idx", inp.upd_a_idx)
+        b.data("upd_a_val", inp.upd_a_val)
+        b.data("upd_b_idx", inp.upd_b_idx)
+        b.data("upd_b_val", inp.upd_b_val)
+        b.data("word", inp.word)
+
+    def _emit_cycle_table(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        """Recompute cyclen[] by walking each g0-cycle once."""
+        with b.scratch(5, "cy") as (g0b, cb, vb, start, zero):
+            b.la(g0b, "g0")
+            b.la(cb, "cyclen")
+            b.la(vb, "visited")
+            b.li(zero, 0)
+            with b.scratch(1, "i") as (i,):
+                with b.for_range(i, 0, inp.num_points):
+                    b.stx(zero, vb, i)
+            with b.for_range(start, 0, inp.num_points):
+                with b.scratch(1, "seen") as (seen,):
+                    b.ldx(seen, vb, start)
+                    with b.if_zero(seen):
+                        with b.scratch(3, "c2") as (length, p, one):
+                            b.li(length, 0)
+                            b.li(one, 1)
+                            b.mov(p, start)
+                            with b.loop() as loop:
+                                b.addi(length, length, 1)
+                                b.stx(one, vb, p)
+                                b.ldx(p, g0b, p)
+                                with b.scratch(1, "c") as (cond,):
+                                    b.seq(cond, p, start)
+                                    loop.break_if_nonzero(cond)
+                            b.mov(p, start)
+                            with b.loop() as loop:
+                                b.stx(length, cb, p)
+                                b.ldx(p, g0b, p)
+                                with b.scratch(1, "c") as (cond,):
+                                    b.seq(cond, p, start)
+                                    loop.break_if_nonzero(cond)
+
+    def _emit_updates(self, b: ProgramBuilder, t, triggering: bool) -> List[int]:
+        pcs: List[int] = []
+        for which in ("a", "b"):
+            with b.scratch(4, "up") as (ui, uv, idx, val):
+                b.la(ui, f"upd_{which}_idx")
+                b.la(uv, f"upd_{which}_val")
+                b.ldx(idx, ui, t)
+                b.ldx(val, uv, t)
+                with b.scratch(1, "gb") as (g0b,):
+                    b.la(g0b, "g0")
+                    if triggering:
+                        pcs.append(b.tstx(val, g0b, idx))
+                    else:
+                        pcs.append(b.stx(val, g0b, idx))
+        return pcs
+
+    def _emit_word_walk(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                        checksum, point) -> None:
+        with b.scratch(6, "wk") as (wb, g0b, g1b, cb, off, k):
+            b.la(wb, "word")
+            b.la(g0b, "g0")
+            b.la(g1b, "g1")
+            b.la(cb, "cyclen")
+            b.muli(off, t, inp.word_len)
+            with b.for_range(k, 0, inp.word_len):
+                with b.scratch(2, "w2") as (slot, choice):
+                    b.add(slot, off, k)
+                    b.ldx(choice, wb, slot)
+                    with b.if_zero(choice) as branch:
+                        b.ldx(point, g0b, point)
+                        branch.else_()
+                        b.ldx(point, g1b, point)
+                    with b.scratch(1, "cl") as (cl,):
+                        b.ldx(cl, cb, point)
+                        b.add(checksum, checksum, cl)
+                        b.add(checksum, checksum, point)
+        b.out(checksum)
+
+    # -- builds ---------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            point = b.global_reg("point")
+            b.li(checksum, 0)
+            b.li(point, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_updates(b, t, triggering=False)
+                self._emit_cycle_table(b, inp)
+                self._emit_word_walk(b, inp, t, checksum, point)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("cyclethr"):
+            self._emit_cycle_table(b, inp)
+            b.treturn()
+        pcs_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            point = b.global_reg("point")
+            b.li(checksum, 0)
+            b.li(point, 0)
+            self._emit_cycle_table(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pcs = self._emit_updates(b, t, triggering=True)
+                if not pcs_box:
+                    pcs_box.extend(pcs)
+                b.tcheck_thread("cyclethr")
+                self._emit_word_walk(b, inp, t, checksum, point)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("cyclethr", store_pcs=pcs_box,
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

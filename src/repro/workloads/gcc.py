@@ -1,0 +1,211 @@
+"""``gcc`` — dataflow bitsets recomputed across unchanged gen sets.
+
+176.gcc re-runs dataflow analyses after every transformation pass; most
+passes leave most blocks' gen/kill sets untouched, so the fixed-point
+solver mostly reproduces the previous IN/OUT sets.  The paper's
+conversion triggers the (re)solve from gen-set stores.
+
+Our kernel: a CFG in topological order (every predecessor precedes its
+block), per-block ``gen``/``kill`` bitmasks, and a single forward pass
+computing ``in[b] = OR of out[preds]``, ``out[b] = gen[b] | (in[b] &
+~kill[b])``.  Per step: one gen-set store (usually rewriting the same
+mask), then queries of a few blocks' OUT sets plus a scan of a fresh
+instruction stream (non-convertible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import index_array, int_array, rng_for, update_schedule
+
+MASK_BITS = 16
+FULL_MASK = (1 << MASK_BITS) - 1
+
+
+class GccWorkload(Workload):
+    """176.gcc analog: forward dataflow; see the module docstring."""
+
+    name = "gcc"
+    description = "forward dataflow over a CFG with stable gen/kill sets"
+    converted_region = "reaching-definitions IN/OUT recomputation"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.14
+    queries = 5
+    stream_len = 36
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_blocks = 28 * scale
+        steps = 80 * scale
+        rng = rng_for(seed, "gcc-cfg")
+        # topological CFG: each block's preds are strictly earlier blocks
+        pred_ptr = [0]
+        pred_idx: List[int] = []
+        for block in range(num_blocks):
+            if block == 0:
+                preds = []
+            else:
+                count = rng.randint(1, min(2, block))
+                preds = rng.sample(range(block), count)
+            pred_idx.extend(sorted(preds))
+            pred_ptr.append(len(pred_idx))
+        gen = int_array(seed, num_blocks, (0, FULL_MASK), stream="gcc-gen")
+        kill = int_array(seed, num_blocks, (0, FULL_MASK), stream="gcc-kill")
+        upd_idx, upd_val = update_schedule(
+            seed, steps, gen, self.change_rate, (0, FULL_MASK),
+            stream="gcc-upd",
+        )
+        queries = index_array(seed, steps * self.queries, num_blocks,
+                              stream="gcc-queries")
+        stream = int_array(seed, steps * self.stream_len, (0, 255),
+                           stream="gcc-stream")
+        return WorkloadInput(
+            seed, scale, num_blocks=num_blocks, steps=steps,
+            query_count=self.queries, stream_len=self.stream_len,
+            pred_ptr=pred_ptr, pred_idx=pred_idx, gen=gen, kill=kill,
+            upd_idx=upd_idx, upd_val=upd_val, queries=queries, stream=stream,
+        )
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        gen = list(inp.gen)
+        out = [0] * inp.num_blocks
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            gen[inp.upd_idx[step]] = inp.upd_val[step]
+            for b in range(inp.num_blocks):
+                in_set = 0
+                for k in range(inp.pred_ptr[b], inp.pred_ptr[b + 1]):
+                    in_set |= out[inp.pred_idx[k]]
+                out[b] = gen[b] | (in_set & (FULL_MASK ^ inp.kill[b]))
+            for k in range(inp.query_count):
+                checksum += out[inp.queries[step * inp.query_count + k]]
+            for k in range(inp.stream_len):
+                checksum += inp.stream[step * inp.stream_len + k]
+            output.append(checksum)
+        return output
+
+    # -- codegen ---------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("pred_ptr", inp.pred_ptr)
+        b.data("pred_idx", inp.pred_idx)
+        b.data("gen", inp.gen)
+        b.data("kill", inp.kill)
+        b.zeros("out", inp.num_blocks)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("queries", inp.queries)
+        b.data("stream", inp.stream)
+
+    def _emit_solve(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        """One forward pass over the topologically-ordered CFG."""
+        with b.scratch(6, "df") as (pp, pi, ob, blk, k, kend):
+            b.la(pp, "pred_ptr")
+            b.la(pi, "pred_idx")
+            b.la(ob, "out")
+            with b.for_range(blk, 0, inp.num_blocks):
+                with b.scratch(2, "d2") as (in_set, v):
+                    b.li(in_set, 0)
+                    b.ldx(k, pp, blk)
+                    with b.scratch(1, "b1") as (b1,):
+                        b.addi(b1, blk, 1)
+                        b.ldx(kend, pp, b1)
+                    with b.loop() as loop:
+                        with b.scratch(1, "c") as (cond,):
+                            b.slt(cond, k, kend)
+                            loop.break_if_zero(cond)
+                        b.ldx(v, pi, k)
+                        b.ldx(v, ob, v)
+                        b.or_(in_set, in_set, v)
+                        b.addi(k, k, 1)
+                    with b.scratch(3, "d3") as (g, kl, nk):
+                        with b.scratch(1, "gb") as (gb,):
+                            b.la(gb, "gen")
+                            b.ldx(g, gb, blk)
+                        with b.scratch(1, "kb") as (kb,):
+                            b.la(kb, "kill")
+                            b.ldx(kl, kb, blk)
+                        b.li(nk, FULL_MASK)
+                        b.xor(nk, nk, kl)
+                        b.and_(in_set, in_set, nk)
+                        b.or_(g, g, in_set)
+                        b.stx(g, ob, blk)
+
+    def _emit_gen_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "gb") as (gbase,):
+                b.la(gbase, "gen")
+                if triggering:
+                    return b.tstx(val, gbase, idx)
+                return b.stx(val, gbase, idx)
+
+    def _emit_consume(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        with b.scratch(5, "qy") as (qb, ob, off, k, v):
+            b.la(qb, "queries")
+            b.la(ob, "out")
+            b.muli(off, t, inp.query_count)
+            with b.for_range(k, 0, inp.query_count):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, off, k)
+                    b.ldx(v, qb, slot)
+                    b.ldx(v, ob, v)
+                    b.add(checksum, checksum, v)
+        with b.scratch(4, "sc") as (sb, off, k, v):
+            b.la(sb, "stream")
+            b.muli(off, t, inp.stream_len)
+            with b.for_range(k, 0, inp.stream_len):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, off, k)
+                    b.ldx(v, sb, slot)
+                    b.add(checksum, checksum, v)
+        b.out(checksum)
+
+    # -- builds -------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_gen_update(b, t, triggering=False)
+                self._emit_solve(b, inp)
+                self._emit_consume(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("solvethr"):
+            self._emit_solve(b, inp)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_solve(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_gen_update(b, t, triggering=True))
+                b.tcheck_thread("solvethr")
+                self._emit_consume(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("solvethr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

@@ -1,0 +1,214 @@
+"""``gzip`` — deflate-style cost tables over a stationary symbol stream.
+
+164.gzip rebuilds Huffman cost tables block after block even though the
+input's symbol statistics barely move: the frequency *classes* that decide
+code lengths almost never change between blocks.  The paper's conversion
+fires the table rebuild from the stores that would change a class.
+
+Our kernel: an input stream processed in chunks.  Per chunk:
+
+* a histogram of the chunk is taken (fresh input — non-redundant loads);
+* each symbol's frequency *class* (hot/cold against a threshold) is
+  stored with a triggering store — across chunks these classes are almost
+  always unchanged, so the stores are silent;
+* the derived code-length table (a per-symbol loop "descending the code
+  tree") is rebuilt — by the baseline every chunk, by the DTT build only
+  when some class actually flipped;
+* the chunk is costed: ``cost += codelen[sym]`` for every input symbol,
+  and the running cost is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for
+
+ALPHABET = 16
+#: code-tree depth walked per symbol when rebuilding the table
+TREE_DEPTH = 6
+#: a symbol is "hot" when its chunk count is >= chunk_len / HOT_DIVISOR
+HOT_DIVISOR = 8
+
+
+class GzipWorkload(Workload):
+    """164.gzip analog: deflate cost tables; see the module docstring."""
+
+    name = "gzip"
+    description = "deflate cost-table rebuild over a stationary stream"
+    converted_region = "code-length table rebuild from frequency classes"
+    default_scale = 1
+    default_seed = 1234
+
+    chunk_len = 48
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 70 * scale
+        rng = rng_for(seed, "gzip-stream")
+        # a stationary skewed source: low symbols dominate, with occasional
+        # bursts that flip a class for a while
+        stream: List[int] = []
+        burst_until = 0
+        burst_symbol = 0
+        for chunk in range(steps):
+            if chunk >= burst_until and rng.random() < 0.08:
+                burst_until = chunk + rng.randint(2, 5)
+                burst_symbol = rng.randrange(ALPHABET // 2, ALPHABET)
+            for _ in range(self.chunk_len):
+                if chunk < burst_until and rng.random() < 0.5:
+                    stream.append(burst_symbol)
+                elif rng.random() < 0.75:
+                    stream.append(rng.randrange(ALPHABET // 4))
+                else:
+                    stream.append(rng.randrange(ALPHABET))
+        return WorkloadInput(
+            seed, scale, steps=steps, chunk_len=self.chunk_len, stream=stream,
+        )
+
+    # -- reference -------------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        cls = [0] * ALPHABET
+        codelen = [0] * ALPHABET
+        threshold = inp.chunk_len // HOT_DIVISOR
+        cost = 0
+        output: List[int] = []
+        for chunk in range(inp.steps):
+            base = chunk * inp.chunk_len
+            hist = [0] * ALPHABET
+            for i in range(inp.chunk_len):
+                hist[inp.stream[base + i]] += 1
+            for s in range(ALPHABET):
+                cls[s] = 1 if hist[s] >= threshold else 0
+            for s in range(ALPHABET):
+                length = 1
+                for _ in range(TREE_DEPTH):
+                    if cls[s] == 0:
+                        length += 2
+                    else:
+                        length += 1
+                codelen[s] = length
+            for i in range(inp.chunk_len):
+                cost += codelen[inp.stream[base + i]]
+            output.append(cost)
+        return output
+
+    # -- codegen -----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("stream", inp.stream)
+        b.zeros("hist", ALPHABET)
+        b.zeros("cls", ALPHABET)
+        b.zeros("codelen", ALPHABET)
+
+    def _emit_histogram_and_classes(self, b: ProgramBuilder,
+                                    inp: WorkloadInput, t,
+                                    triggering: bool) -> Optional[int]:
+        """Histogram the chunk, then (t)store each symbol's class."""
+        store_pc = None
+        with b.scratch(5, "hg") as (sbase, hbase, base, i, s):
+            b.la(sbase, "stream")
+            b.la(hbase, "hist")
+            b.muli(base, t, inp.chunk_len)
+            with b.scratch(1, "z") as (zero,):
+                b.li(zero, 0)
+                with b.for_range(i, 0, ALPHABET):
+                    b.stx(zero, hbase, i)
+            with b.for_range(i, 0, inp.chunk_len):
+                with b.scratch(2, "h2") as (slot, count):
+                    b.add(slot, base, i)
+                    b.ldx(s, sbase, slot)
+                    b.ldx(count, hbase, s)
+                    b.addi(count, count, 1)
+                    b.stx(count, hbase, s)
+            with b.scratch(2, "cl") as (cbase, threshold):
+                b.la(cbase, "cls")
+                b.li(threshold, inp.chunk_len // HOT_DIVISOR)
+                with b.for_range(s, 0, ALPHABET):
+                    with b.scratch(2, "c2") as (count, hot):
+                        b.ldx(count, hbase, s)
+                        b.sge(hot, count, threshold)
+                        if triggering:
+                            pc = b.tstx(hot, cbase, s)
+                        else:
+                            pc = b.stx(hot, cbase, s)
+                        if store_pc is None:
+                            store_pc = pc
+        return store_pc
+
+    def _emit_rebuild_table(self, b: ProgramBuilder) -> None:
+        """codelen[s] from cls[s]: walk TREE_DEPTH levels per symbol."""
+        with b.scratch(4, "tb") as (cbase, lbase, s, length):
+            b.la(cbase, "cls")
+            b.la(lbase, "codelen")
+            with b.for_range(s, 0, ALPHABET):
+                with b.scratch(2, "t2") as (c, k):
+                    b.ldx(c, cbase, s)
+                    b.li(length, 1)
+                    with b.for_range(k, 0, TREE_DEPTH):
+                        with b.if_zero(c) as branch:
+                            b.addi(length, length, 2)
+                            branch.else_()
+                            b.addi(length, length, 1)
+                    b.stx(length, lbase, s)
+
+    def _emit_cost_chunk(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                         cost) -> None:
+        with b.scratch(5, "ck") as (sbase, lbase, base, i, s):
+            b.la(sbase, "stream")
+            b.la(lbase, "codelen")
+            b.muli(base, t, inp.chunk_len)
+            with b.for_range(i, 0, inp.chunk_len):
+                with b.scratch(2, "c2") as (slot, length):
+                    b.add(slot, base, i)
+                    b.ldx(s, sbase, slot)
+                    b.ldx(length, lbase, s)
+                    b.add(cost, cost, length)
+        b.out(cost)
+
+    # -- builds ------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            cost = b.global_reg("cost")
+            b.li(cost, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_histogram_and_classes(b, inp, t, triggering=False)
+                self._emit_rebuild_table(b)
+                self._emit_cost_chunk(b, inp, t, cost)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("tablethr"):
+            self._emit_rebuild_table(b)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            cost = b.global_reg("cost")
+            b.li(cost, 0)
+            # build the table once up front so symbols whose class never
+            # changes still have valid code lengths
+            self._emit_rebuild_table(b)
+            with b.for_range(t, 0, inp.steps):
+                pc = self._emit_histogram_and_classes(b, inp, t, triggering=True)
+                if not pc_box:
+                    pc_box.append(pc)
+                b.tcheck_thread("tablethr")
+                self._emit_cost_chunk(b, inp, t, cost)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("tablethr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

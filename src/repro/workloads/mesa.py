@@ -1,0 +1,228 @@
+"""``mesa`` — vertex-transform pipeline with a mostly-static matrix stack.
+
+177.mesa (software OpenGL) transforms vertex batches through the composed
+model-view-projection matrix.  Applications overwhelmingly re-issue the
+same matrices frame after frame, so the matrix composition is recomputed
+from unchanged inputs; the paper's conversion fires the composition from
+stores into the matrix stack.
+
+Our kernel: three 4×4 matrices ``model``, ``view``, ``proj`` (flattened
+row-major), derived ``composed = proj · (view · model)`` (two 4×4 matrix
+multiplies).  Per frame: one matrix-element write (almost always the same
+value — a static camera), then a batch of 2-D-homogeneous-ish vertex
+transforms through ``composed`` with vertices that change every frame, and
+a checksum emit.
+
+The DTT support thread recomputes the whole composition (dedupe by thread,
+not address — any change invalidates all of it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for, update_schedule
+
+DIM = 4
+
+
+class MesaWorkload(Workload):
+    """177.mesa analog: matrix-stack composition; see the module docstring."""
+
+    name = "mesa"
+    description = "vertex transforms through a mostly-static matrix stack"
+    converted_region = "model-view-projection matrix composition"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.25
+    batch = 10
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 90 * scale
+        rng = rng_for(seed, "mesa-matrices")
+        size = DIM * DIM
+        model_int = [rng.randint(1, 4) for _ in range(size)]
+        view_int = [rng.randint(1, 4) for _ in range(size)]
+        proj_int = [rng.randint(1, 4) for _ in range(size)]
+        stacked = model_int + view_int + proj_int
+        upd_idx, upd_val_int = update_schedule(
+            seed, steps, stacked, self.change_rate, (1, 4),
+            stream="mesa-updates",
+        )
+        verts0 = [round(rng.uniform(-1.0, 1.0), 3)
+                  for _ in range(self.batch * DIM)]
+        drive = [round(rng.uniform(-0.3, 0.3), 3) for _ in range(steps)]
+        return WorkloadInput(
+            seed, scale, steps=steps, batch=self.batch,
+            model=[float(v) for v in model_int],
+            view=[float(v) for v in view_int],
+            proj=[float(v) for v in proj_int],
+            upd_idx=upd_idx,
+            upd_val=[float(v) for v in upd_val_int],
+            verts0=verts0, drive=drive,
+        )
+
+    # -- reference ------------------------------------------------------------------
+
+    @staticmethod
+    def _matmul(a: List[float], b: List[float]) -> List[float]:
+        out = [0.0] * (DIM * DIM)
+        for r in range(DIM):
+            for c in range(DIM):
+                s = 0.0
+                for k in range(DIM):
+                    s = s + a[r * DIM + k] * b[k * DIM + c]
+                out[r * DIM + c] = s
+        return out
+
+    def reference_output(self, inp: WorkloadInput) -> List[float]:
+        size = DIM * DIM
+        stack = list(inp.model) + list(inp.view) + list(inp.proj)
+        verts = list(inp.verts0)
+        checksum = 0.0
+        output: List[float] = []
+        for step in range(inp.steps):
+            stack[inp.upd_idx[step]] = inp.upd_val[step]
+            model, view, proj = stack[:size], stack[size:2 * size], stack[2 * size:]
+            composed = self._matmul(proj, self._matmul(view, model))
+            for v in range(inp.batch):
+                for r in range(DIM):
+                    s = 0.0
+                    for k in range(DIM):
+                        s = s + composed[r * DIM + k] * verts[v * DIM + k]
+                    checksum = checksum + s
+            output.append(checksum)
+            for i in range(inp.batch * DIM):
+                verts[i] = verts[i] * 0.5 + inp.drive[step]
+        return output
+
+    # -- codegen ----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        # one contiguous stack so a single update index addresses all three
+        b.data("stack", list(inp.model) + list(inp.view) + list(inp.proj))
+        b.zeros("tmp_vm", DIM * DIM)
+        b.zeros("composed", DIM * DIM)
+        b.data("verts", inp.verts0)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("drive", inp.drive)
+
+    def _emit_matmul(self, b: ProgramBuilder, dst: str, a_sym: str,
+                     a_off: int, b_sym: str, b_off: int) -> None:
+        """dst = stack-slice(a) · stack-slice(b), all 4×4 row-major."""
+        with b.scratch(6, "mm") as (abase, bbase, dbase, r, c, k):
+            b.la(abase, a_sym, a_off)
+            b.la(bbase, b_sym, b_off)
+            b.la(dbase, dst)
+            with b.for_range(r, 0, DIM):
+                with b.for_range(c, 0, DIM):
+                    with b.scratch(2, "m2") as (s, slot):
+                        b.li(s, 0.0)
+                        with b.for_range(k, 0, DIM):
+                            with b.scratch(2, "m3") as (av, bv):
+                                b.muli(slot, r, DIM)
+                                b.add(slot, slot, k)
+                                b.ldx(av, abase, slot)
+                                b.muli(slot, k, DIM)
+                                b.add(slot, slot, c)
+                                b.ldx(bv, bbase, slot)
+                                b.fmul(av, av, bv)
+                                b.fadd(s, s, av)
+                        b.muli(slot, r, DIM)
+                        b.add(slot, slot, c)
+                        b.stx(s, dbase, slot)
+
+    def _emit_compose(self, b: ProgramBuilder) -> None:
+        size = DIM * DIM
+        self._emit_matmul(b, "tmp_vm", "stack", size, "stack", 0)  # view·model
+        self._emit_matmul(b, "composed", "stack", 2 * size, "tmp_vm", 0)
+
+    def _emit_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "sb") as (sbase,):
+                b.la(sbase, "stack")
+                if triggering:
+                    return b.tstx(val, sbase, idx)
+                return b.stx(val, sbase, idx)
+
+    def _emit_transform(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                        checksum) -> None:
+        with b.scratch(5, "tx") as (cbase, vbase, v, r, k):
+            b.la(cbase, "composed")
+            b.la(vbase, "verts")
+            with b.for_range(v, 0, inp.batch):
+                with b.for_range(r, 0, DIM):
+                    with b.scratch(2, "t2") as (s, slot):
+                        b.li(s, 0.0)
+                        with b.for_range(k, 0, DIM):
+                            with b.scratch(2, "t3") as (cv, vv):
+                                b.muli(slot, r, DIM)
+                                b.add(slot, slot, k)
+                                b.ldx(cv, cbase, slot)
+                                b.muli(slot, v, DIM)
+                                b.add(slot, slot, k)
+                                b.ldx(vv, vbase, slot)
+                                b.fmul(cv, cv, vv)
+                                b.fadd(s, s, cv)
+                        b.fadd(checksum, checksum, s)
+            b.out(checksum)
+            # advance vertices
+            with b.scratch(3, "ad") as (dbase, dv, i):
+                b.la(dbase, "drive")
+                b.ldx(dv, dbase, t)
+                with b.for_range(i, 0, inp.batch * DIM):
+                    with b.scratch(2, "a2") as (vv, half):
+                        b.ldx(vv, vbase, i)
+                        b.li(half, 0.5)
+                        b.fmul(vv, vv, half)
+                        b.fadd(vv, vv, dv)
+                        b.stx(vv, vbase, i)
+
+    # -- builds ----------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0.0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_update(b, t, triggering=False)
+                self._emit_compose(b)
+                self._emit_transform(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("compose"):
+            self._emit_compose(b)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0.0)
+            self._emit_compose(b)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_update(b, t, triggering=True))
+                b.tcheck_thread("compose")
+                self._emit_transform(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("compose", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

@@ -1,0 +1,188 @@
+"""``overlap`` — the abstract's *other* claim: increased parallelism.
+
+The paper's abstract: data-triggered threads "*enable increased
+parallelism* and the elimination of redundant computation.  This paper
+focuses primarily on the latter."  The evaluation suite exercises the
+latter; this extension workload isolates the *former*: its watched data
+changes **every** iteration (change rate 1.0), so the same-value filter
+never suppresses anything and skipping contributes nothing.  Any speedup
+comes purely from running the support thread concurrently with the main
+thread's independent work.
+
+The kernel is a streaming filter pipeline.  Per step:
+
+1. a new filter parameter arrives (a triggering store that always
+   changes) — in the DTT build this launches the coefficient
+   recomputation immediately on the spare context;
+2. the main thread does *independent* work: windowing the fresh input
+   stream (no dependence on the coefficients);
+3. the consume point (`tcheck`) — by now the support thread has usually
+   finished under the window work;
+4. the filter is applied: coefficients × window, emitted as a checksum.
+
+The baseline recomputes the coefficients inline between (1) and (2).
+Expected shape (experiment E9): speedup well above 1 on machines with a
+spare context (smt2/cmp2) and ≈ 1 on the serialized machine — the exact
+mirror image of the redundancy-driven suite, where the serialized machine
+retains almost the whole benefit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import rng_for
+
+#: coefficient-table size (the support thread's work)
+COEFFS = 48
+#: window size (the main thread's independent work)
+WINDOW = 48
+
+
+class OverlapWorkload(Workload):
+    """Parallelism-extension workload (E9); see the module docstring."""
+
+    name = "overlap"
+    description = "parallelism-extension workload: always-changing trigger"
+    converted_region = "filter-coefficient recomputation (overlap, not skip)"
+    default_scale = 1
+    default_seed = 1234
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 90 * scale
+        rng = rng_for(seed, "overlap-params")
+        # strictly increasing parameters: every store changes the value
+        params = []
+        current = 1
+        for _ in range(steps):
+            current += rng.randint(1, 5)
+            params.append(current)
+        stream = [rng.randint(0, 15) for _ in range(steps * WINDOW)]
+        return WorkloadInput(seed, scale, steps=steps, params=params,
+                             stream=stream)
+
+    # -- reference ----------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        checksum = 0
+        window = [0] * WINDOW
+        coeff = [0] * COEFFS
+        output: List[int] = []
+        for step in range(inp.steps):
+            param = inp.params[step]
+            for i in range(COEFFS):
+                coeff[i] = (param * (i + 3) + i * i) % 251
+            base = step * WINDOW
+            for i in range(WINDOW):
+                window[i] = inp.stream[base + i] * 3 + i
+            for i in range(min(COEFFS, WINDOW)):
+                checksum += coeff[i] * window[i]
+            output.append(checksum)
+        return output
+
+    # -- codegen ---------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("params", inp.params)
+        b.data("stream", inp.stream)
+        b.zeros("param_cell", 1)
+        b.zeros("coeff", COEFFS)
+        b.zeros("window", WINDOW)
+
+    def _emit_coeffs(self, b: ProgramBuilder) -> None:
+        """coeff[i] = (param*(i+3) + i*i) mod 251 over the current param."""
+        with b.scratch(5, "co") as (pc_, cb, i, v, modulus):
+            b.la(pc_, "param_cell")
+            b.ld(pc_, pc_, 0)  # the current parameter value
+            b.la(cb, "coeff")
+            b.li(modulus, 251)
+            with b.for_range(i, 0, COEFFS):
+                with b.scratch(2, "c2") as (term, sq):
+                    b.addi(term, i, 3)
+                    b.mul(term, pc_, term)
+                    b.mul(sq, i, i)
+                    b.add(term, term, sq)
+                    b.imod(v, term, modulus)
+                    b.stx(v, cb, i)
+
+    def _emit_window(self, b: ProgramBuilder, inp: WorkloadInput, t) -> None:
+        """window[i] = stream[t*W + i]*3 + i — independent of coeffs."""
+        with b.scratch(5, "wi") as (sb, wb, base, i, v):
+            b.la(sb, "stream")
+            b.la(wb, "window")
+            b.muli(base, t, WINDOW)
+            with b.for_range(i, 0, WINDOW):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, base, i)
+                    b.ldx(v, sb, slot)
+                    b.muli(v, v, 3)
+                    b.add(v, v, i)
+                    b.stx(v, wb, i)
+
+    def _emit_apply(self, b: ProgramBuilder, checksum) -> None:
+        with b.scratch(4, "ap") as (cb, wb, i, v):
+            b.la(cb, "coeff")
+            b.la(wb, "window")
+            with b.for_range(i, 0, min(COEFFS, WINDOW)):
+                with b.scratch(1, "w") as (w,):
+                    b.ldx(v, cb, i)
+                    b.ldx(w, wb, i)
+                    b.mul(v, v, w)
+                    b.add(checksum, checksum, v)
+        b.out(checksum)
+
+    def _emit_param_store(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(2, "ps") as (pb, v):
+            b.la(pb, "params")
+            b.ldx(v, pb, t)
+            with b.scratch(1, "pc") as (cell,):
+                b.la(cell, "param_cell")
+                if triggering:
+                    return b.tst(v, cell, 0)
+                return b.st(v, cell, 0)
+
+    # -- builds -------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_param_store(b, t, triggering=False)
+                self._emit_coeffs(b)
+                self._emit_window(b, inp, t)
+                self._emit_apply(b, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("coeffthr"):
+            self._emit_coeffs(b)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_coeffs(b)  # initialize (no trigger has fired yet)
+            with b.for_range(t, 0, inp.steps):
+                # trigger FIRST: the recomputation overlaps the windowing
+                pc_box.append(self._emit_param_store(b, t, triggering=True))
+                self._emit_window(b, inp, t)
+                b.tcheck_thread("coeffthr")
+                self._emit_apply(b, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("coeffthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

@@ -1,0 +1,170 @@
+"""``parser`` — link-grammar dictionary statistics.
+
+197.parser parses sentences against a large static dictionary; per-word
+connector statistics are derived from a dictionary that the run almost
+never modifies (re-inserting known words writes identical entries).  The
+paper's conversion fires the statistics rebuild from dictionary stores.
+
+Our kernel: a dictionary of word hashes, derived per-class bucket counts
+(``bucket[c] = |{w : dict[w] mod C == c}|``), a main loop that "parses" a
+fresh word stream — each word costed by its class bucket plus a direct
+dictionary probe — with one dictionary write per sentence (almost always
+re-inserting the same word).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import int_array, rng_for, update_schedule
+
+NUM_CLASSES = 8
+
+
+class ParserWorkload(Workload):
+    """197.parser analog: dictionary statistics; see the module docstring."""
+
+    name = "parser"
+    description = "sentence parsing against a near-static dictionary"
+    converted_region = "per-class connector bucket counts"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.55
+    sentence_len = 24
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_words = 48 * scale
+        steps = 80 * scale
+        dictionary = int_array(seed, num_words, (1, 97), stream="parser-dict")
+        upd_idx, upd_val = update_schedule(
+            seed, steps, dictionary, self.change_rate, (1, 97),
+            stream="parser-upd",
+        )
+        rng = rng_for(seed, "parser-sentences")
+        sentences = [rng.randrange(num_words)
+                     for _ in range(steps * self.sentence_len)]
+        return WorkloadInput(
+            seed, scale, num_words=num_words, steps=steps,
+            sentence_len=self.sentence_len, dictionary=dictionary,
+            upd_idx=upd_idx, upd_val=upd_val, sentences=sentences,
+        )
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        dictionary = list(inp.dictionary)
+        bucket = [0] * NUM_CLASSES
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            dictionary[inp.upd_idx[step]] = inp.upd_val[step]
+            for c in range(NUM_CLASSES):
+                bucket[c] = 0
+            for w in range(inp.num_words):
+                bucket[dictionary[w] % NUM_CLASSES] += 1
+            for k in range(inp.sentence_len):
+                word = inp.sentences[step * inp.sentence_len + k]
+                entry = dictionary[word]
+                checksum += bucket[entry % NUM_CLASSES] + entry
+            output.append(checksum)
+        return output
+
+    # -- codegen ---------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("dict", inp.dictionary)
+        b.zeros("bucket", NUM_CLASSES)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("sentences", inp.sentences)
+
+    def _emit_rebuild_buckets(self, b: ProgramBuilder, inp: WorkloadInput):
+        with b.scratch(4, "bk") as (dbase, bbase, w, c):
+            b.la(dbase, "dict")
+            b.la(bbase, "bucket")
+            with b.scratch(1, "z") as (zero,):
+                b.li(zero, 0)
+                with b.for_range(c, 0, NUM_CLASSES):
+                    b.stx(zero, bbase, c)
+            with b.for_range(w, 0, inp.num_words):
+                with b.scratch(3, "b2") as (entry, cls, count):
+                    b.ldx(entry, dbase, w)
+                    with b.scratch(1, "m") as (mod,):
+                        b.li(mod, NUM_CLASSES)
+                        b.imod(cls, entry, mod)
+                    b.ldx(count, bbase, cls)
+                    b.addi(count, count, 1)
+                    b.stx(count, bbase, cls)
+
+    def _emit_dict_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "db") as (dbase,):
+                b.la(dbase, "dict")
+                if triggering:
+                    return b.tstx(val, dbase, idx)
+                return b.stx(val, dbase, idx)
+
+    def _emit_parse(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        with b.scratch(6, "pa") as (sbase, dbase, bbase, off, k, word):
+            b.la(sbase, "sentences")
+            b.la(dbase, "dict")
+            b.la(bbase, "bucket")
+            b.muli(off, t, inp.sentence_len)
+            with b.for_range(k, 0, inp.sentence_len):
+                with b.scratch(3, "p2") as (slot, entry, cls):
+                    b.add(slot, off, k)
+                    b.ldx(word, sbase, slot)
+                    b.ldx(entry, dbase, word)
+                    with b.scratch(1, "m") as (mod,):
+                        b.li(mod, NUM_CLASSES)
+                        b.imod(cls, entry, mod)
+                    b.ldx(cls, bbase, cls)
+                    b.add(checksum, checksum, cls)
+                    b.add(checksum, checksum, entry)
+        b.out(checksum)
+
+    # -- builds -----------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_dict_update(b, t, triggering=False)
+                self._emit_rebuild_buckets(b, inp)
+                self._emit_parse(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("bucketthr"):
+            self._emit_rebuild_buckets(b, inp)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_rebuild_buckets(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_dict_update(b, t, triggering=True))
+                b.tcheck_thread("bucketthr")
+                self._emit_parse(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("bucketthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

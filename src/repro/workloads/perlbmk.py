@@ -1,0 +1,163 @@
+"""``perlbmk`` — interpreter hash-table statistics across re-inserts.
+
+253.perlbmk spends much of its time in hash tables; scripts repeatedly
+store values under existing keys, often storing what is already there,
+and interpreter-side derived statistics (chain lengths, load factors) are
+refreshed regardless.  The paper's conversion fires the statistics
+refresh from the hash-slot stores.
+
+Our kernel: an open hash table (slot per bucket chain head count), a
+derived per-bucket cost table ``chain_cost[k] = slot[k] * slot[k] + k``
+plus a table-wide load factor folded into the cost, and a main loop of
+interpreter "ops": one hash store per step (usually a same-value
+re-insert), then a fresh op stream whose lookup ops probe the cost table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import int_array, update_schedule
+
+SLOTS = 24
+
+
+class PerlbmkWorkload(Workload):
+    """253.perlbmk analog: hash statistics; see the module docstring."""
+
+    name = "perlbmk"
+    description = "interpreter hash statistics across same-key re-inserts"
+    converted_region = "per-bucket chain-cost table refresh"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.07
+    ops_per_step = 26
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        steps = 80 * scale
+        slots = int_array(seed, SLOTS, (0, 9), stream="perl-slots")
+        upd_idx, upd_val = update_schedule(
+            seed, steps, slots, self.change_rate, (0, 9), stream="perl-upd"
+        )
+        ops = int_array(seed, steps * self.ops_per_step, (0, SLOTS - 1),
+                        stream="perl-ops")
+        return WorkloadInput(
+            seed, scale, steps=steps, ops_per_step=self.ops_per_step,
+            slots=slots, upd_idx=upd_idx, upd_val=upd_val, ops=ops,
+        )
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        slots = list(inp.slots)
+        chain_cost = [0] * SLOTS
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            slots[inp.upd_idx[step]] = inp.upd_val[step]
+            load = 0
+            for k in range(SLOTS):
+                load += slots[k]
+            for k in range(SLOTS):
+                chain_cost[k] = slots[k] * slots[k] + k + load
+            for k in range(inp.ops_per_step):
+                op = inp.ops[step * inp.ops_per_step + k]
+                checksum += chain_cost[op] + slots[op]
+            output.append(checksum)
+        return output
+
+    # -- codegen ---------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("slots", inp.slots)
+        b.zeros("chain_cost", SLOTS)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("ops", inp.ops)
+
+    def _emit_refresh_stats(self, b: ProgramBuilder) -> None:
+        with b.scratch(4, "st") as (sb, cb, k, load):
+            b.la(sb, "slots")
+            b.la(cb, "chain_cost")
+            b.li(load, 0)
+            with b.for_range(k, 0, SLOTS):
+                with b.scratch(1, "v") as (v,):
+                    b.ldx(v, sb, k)
+                    b.add(load, load, v)
+            with b.for_range(k, 0, SLOTS):
+                with b.scratch(2, "c2") as (v, cost):
+                    b.ldx(v, sb, k)
+                    b.mul(cost, v, v)
+                    b.add(cost, cost, k)
+                    b.add(cost, cost, load)
+                    b.stx(cost, cb, k)
+
+    def _emit_insert(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "sb") as (sb,):
+                b.la(sb, "slots")
+                if triggering:
+                    return b.tstx(val, sb, idx)
+                return b.stx(val, sb, idx)
+
+    def _emit_ops(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        with b.scratch(6, "op") as (ob, cb, sb, off, k, op):
+            b.la(ob, "ops")
+            b.la(cb, "chain_cost")
+            b.la(sb, "slots")
+            b.muli(off, t, inp.ops_per_step)
+            with b.for_range(k, 0, inp.ops_per_step):
+                with b.scratch(2, "o2") as (slot, v):
+                    b.add(slot, off, k)
+                    b.ldx(op, ob, slot)
+                    b.ldx(v, cb, op)
+                    b.add(checksum, checksum, v)
+                    b.ldx(v, sb, op)
+                    b.add(checksum, checksum, v)
+        b.out(checksum)
+
+    # -- builds -----------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_insert(b, t, triggering=False)
+                self._emit_refresh_stats(b)
+                self._emit_ops(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("statsthr"):
+            self._emit_refresh_stats(b)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_refresh_stats(b)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_insert(b, t, triggering=True))
+                b.tcheck_thread("statsthr")
+                self._emit_ops(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("statsthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

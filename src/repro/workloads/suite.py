@@ -1,0 +1,79 @@
+"""The benchmark suite registry.
+
+``SUITE`` maps benchmark names to singleton workload instances, in the
+canonical order used by every figure and table.  The order matches the
+paper's presentation habit: integer codes first, floating-point codes
+after, alphabetical within each group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.ammp import AmmpWorkload
+from repro.workloads.art import ArtWorkload
+from repro.workloads.bzip2 import Bzip2Workload
+from repro.workloads.crafty import CraftyWorkload
+from repro.workloads.gap import GapWorkload
+from repro.workloads.gcc import GccWorkload
+from repro.workloads.gzip import GzipWorkload
+from repro.workloads.mcf import McfWorkload
+from repro.workloads.mesa import MesaWorkload
+from repro.workloads.parser import ParserWorkload
+from repro.workloads.perlbmk import PerlbmkWorkload
+from repro.workloads.twolf import TwolfWorkload
+from repro.workloads.vortex import VortexWorkload
+from repro.workloads.vpr import VprWorkload
+from repro.workloads.equake import EquakeWorkload
+
+# canonical presentation order: integer codes first, then floating point
+_WORKLOAD_CLASSES = [
+    Bzip2Workload,
+    CraftyWorkload,
+    GapWorkload,
+    GccWorkload,
+    GzipWorkload,
+    McfWorkload,
+    ParserWorkload,
+    PerlbmkWorkload,
+    TwolfWorkload,
+    VortexWorkload,
+    VprWorkload,
+    AmmpWorkload,
+    ArtWorkload,
+    EquakeWorkload,
+    MesaWorkload,
+]
+
+
+def _build_suite() -> "Dict[str, Workload]":
+    suite: Dict[str, Workload] = {}
+    for cls in _WORKLOAD_CLASSES:
+        workload = cls()
+        if not workload.name:
+            raise UnknownWorkloadError(f"{cls.__name__} has no name")
+        if workload.name in suite:
+            raise UnknownWorkloadError(f"duplicate workload {workload.name!r}")
+        suite[workload.name] = workload
+    return suite
+
+
+#: name -> workload singleton, canonical order
+SUITE: "Dict[str, Workload]" = _build_suite()
+
+
+def workload_names() -> List[str]:
+    """Suite names in canonical order."""
+    return list(SUITE)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None

@@ -1,0 +1,301 @@
+"""``twolf`` — placement cost recomputation across rejected moves.
+
+300.twolf does simulated-annealing placement: each step proposes moving a
+cell and recomputes the half-perimeter wirelength (HPWL) of every net
+touching it.  Most proposals are *rejected*, writing the old position
+right back — after which the whole recomputation reproduces the values it
+already had.  The paper's conversion triggers per-net HPWL recomputation
+from position stores, so rejected moves cost nothing.
+
+Our kernel: cells on a grid, nets as a pin CSR, a cell→nets CSR, and a
+derived ``hpwl`` array.  Per step a move proposal writes the chosen
+cell's (x, y) with triggering stores — both coordinates change when the
+move is accepted, neither when it is rejected — then the annealer "costs"
+the move by summing the HPWL of the cell's nets into a running checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import grid_positions, nets as make_nets, rng_for
+
+GRID = 64
+BIG = 1 << 20
+
+
+class TwolfWorkload(Workload):
+    """300.twolf analog: annealing placement; see the module docstring."""
+
+    name = "twolf"
+    description = "annealing placement with mostly-rejected moves"
+    converted_region = "per-net HPWL recomputation on cell moves"
+    default_scale = 1
+    default_seed = 1234
+
+    #: move acceptance rate (the value-change rate of position stores)
+    accept_rate = 0.35
+    pins_per_net = 4
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_cells = 40 * scale
+        num_nets = 36 * scale
+        steps = 100 * scale
+        xs, ys = grid_positions(seed, num_cells, GRID, stream="twolf-pos")
+        net_list = make_nets(seed, num_nets, num_cells, self.pins_per_net,
+                             stream="twolf-nets")
+        net_ptr = [0]
+        net_pin: List[int] = []
+        for net in net_list:
+            net_pin.extend(net)
+            net_ptr.append(len(net_pin))
+        # cell -> nets CSR
+        touching: List[List[int]] = [[] for _ in range(num_cells)]
+        for n, net in enumerate(net_list):
+            for cell in net:
+                touching[cell].append(n)
+        cn_ptr = [0]
+        cn_idx: List[int] = []
+        for cell in range(num_cells):
+            cn_idx.extend(touching[cell])
+            cn_ptr.append(len(cn_idx))
+        # move schedule
+        rng = rng_for(seed, "twolf-moves")
+        shadow_x, shadow_y = list(xs), list(ys)
+        move_cell: List[int] = []
+        move_x: List[int] = []
+        move_y: List[int] = []
+        for _ in range(steps):
+            cell = rng.randrange(num_cells)
+            if rng.random() < self.accept_rate:
+                nx = rng.randrange(GRID)
+                while nx == shadow_x[cell]:
+                    nx = rng.randrange(GRID)
+                ny = rng.randrange(GRID)
+                while ny == shadow_y[cell]:
+                    ny = rng.randrange(GRID)
+                shadow_x[cell], shadow_y[cell] = nx, ny
+            else:
+                nx, ny = shadow_x[cell], shadow_y[cell]
+            move_cell.append(cell)
+            move_x.append(nx)
+            move_y.append(ny)
+        return WorkloadInput(
+            seed, scale, num_cells=num_cells, num_nets=num_nets, steps=steps,
+            xs=xs, ys=ys, net_ptr=net_ptr, net_pin=net_pin,
+            cn_ptr=cn_ptr, cn_idx=cn_idx,
+            move_cell=move_cell, move_x=move_x, move_y=move_y,
+        )
+
+    # -- reference --------------------------------------------------------------------
+
+    @staticmethod
+    def _hpwl(inp: WorkloadInput, xs, ys, net: int) -> int:
+        min_x = min_y = BIG
+        max_x = max_y = -BIG
+        for k in range(inp.net_ptr[net], inp.net_ptr[net + 1]):
+            pin = inp.net_pin[k]
+            px, py = xs[pin], ys[pin]
+            if px < min_x:
+                min_x = px
+            if px > max_x:
+                max_x = px
+            if py < min_y:
+                min_y = py
+            if py > max_y:
+                max_y = py
+        return (max_x - min_x) + (max_y - min_y)
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        xs, ys = list(inp.xs), list(inp.ys)
+        hpwl = [0] * inp.num_nets
+        for net in range(inp.num_nets):
+            hpwl[net] = self._hpwl(inp, xs, ys, net)
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            cell = inp.move_cell[step]
+            xs[cell] = inp.move_x[step]
+            ys[cell] = inp.move_y[step]
+            for k in range(inp.cn_ptr[cell], inp.cn_ptr[cell + 1]):
+                net = inp.cn_idx[k]
+                hpwl[net] = self._hpwl(inp, xs, ys, net)
+            for k in range(inp.cn_ptr[cell], inp.cn_ptr[cell + 1]):
+                checksum += hpwl[inp.cn_idx[k]]
+            output.append(checksum)
+        return output
+
+    # -- codegen -----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("x", inp.xs)
+        b.data("y", inp.ys)
+        b.data("net_ptr", inp.net_ptr)
+        b.data("net_pin", inp.net_pin)
+        b.data("cn_ptr", inp.cn_ptr)
+        b.data("cn_idx", inp.cn_idx)
+        b.zeros("hpwl", inp.num_nets)
+        b.data("move_cell", inp.move_cell)
+        b.data("move_x", inp.move_x)
+        b.data("move_y", inp.move_y)
+
+    def _emit_hpwl_one(self, b: ProgramBuilder, net) -> None:
+        """hpwl[net] = (max x - min x) + (max y - min y) over its pins."""
+        with b.scratch(6, "hp") as (minx, maxx, miny, maxy, k, kend):
+            b.li(minx, BIG)
+            b.li(maxx, -BIG)
+            b.li(miny, BIG)
+            b.li(maxy, -BIG)
+            with b.scratch(1, "np") as (ptr,):
+                b.la(ptr, "net_ptr")
+                b.ldx(k, ptr, net)
+                with b.scratch(1, "n1") as (n1,):
+                    b.addi(n1, net, 1)
+                    b.ldx(kend, ptr, n1)
+            with b.scratch(3, "pb") as (pinb, xb, yb):
+                b.la(pinb, "net_pin")
+                b.la(xb, "x")
+                b.la(yb, "y")
+                with b.loop() as loop:
+                    with b.scratch(1, "c") as (cond,):
+                        b.slt(cond, k, kend)
+                        loop.break_if_zero(cond)
+                    with b.scratch(3, "p2") as (pin, px, py):
+                        b.ldx(pin, pinb, k)
+                        b.ldx(px, xb, pin)
+                        b.ldx(py, yb, pin)
+                        with b.scratch(1, "cc") as (cc,):
+                            b.slt(cc, px, minx)
+                            with b.if_(cc):
+                                b.mov(minx, px)
+                            b.sgt(cc, px, maxx)
+                            with b.if_(cc):
+                                b.mov(maxx, px)
+                            b.slt(cc, py, miny)
+                            with b.if_(cc):
+                                b.mov(miny, py)
+                            b.sgt(cc, py, maxy)
+                            with b.if_(cc):
+                                b.mov(maxy, py)
+                    b.addi(k, k, 1)
+            with b.scratch(2, "hw") as (span, hb):
+                b.sub(maxx, maxx, minx)
+                b.sub(maxy, maxy, miny)
+                b.add(span, maxx, maxy)
+                b.la(hb, "hpwl")
+                b.stx(span, hb, net)
+
+    def _emit_cell_nets(self, b: ProgramBuilder, cell, body) -> None:
+        """Run ``body(net_reg)`` for each net touching ``cell``."""
+        with b.scratch(3, "cn") as (k, kend, net):
+            with b.scratch(1, "cp") as (ptr,):
+                b.la(ptr, "cn_ptr")
+                b.ldx(k, ptr, cell)
+                with b.scratch(1, "c1") as (c1,):
+                    b.addi(c1, cell, 1)
+                    b.ldx(kend, ptr, c1)
+            with b.scratch(1, "ib") as (idxb,):
+                b.la(idxb, "cn_idx")
+                with b.loop() as loop:
+                    with b.scratch(1, "c") as (cond,):
+                        b.slt(cond, k, kend)
+                        loop.break_if_zero(cond)
+                    b.ldx(net, idxb, k)
+                    body(net)
+                    b.addi(k, k, 1)
+
+    def _emit_all_hpwl(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        with b.scratch(1, "n") as (net,):
+            with b.for_range(net, 0, inp.num_nets):
+                self._emit_hpwl_one(b, net)
+
+    # -- builds -------------------------------------------------------------------------
+
+    def _emit_step(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum,
+                   triggering: bool, pc_box: Optional[List[int]] = None) -> None:
+        with b.scratch(5, "mv") as (mc, mx, my, cell, v):
+            b.la(mc, "move_cell")
+            b.la(mx, "move_x")
+            b.la(my, "move_y")
+            b.ldx(cell, mc, t)
+            with b.scratch(2, "w2") as (xb, yb):
+                b.la(xb, "x")
+                b.la(yb, "y")
+                b.ldx(v, mx, t)
+                if triggering:
+                    pc1 = b.tstx(v, xb, cell)
+                else:
+                    pc1 = b.stx(v, xb, cell)
+                b.ldx(v, my, t)
+                if triggering:
+                    pc2 = b.tstx(v, yb, cell)
+                else:
+                    pc2 = b.stx(v, yb, cell)
+                if pc_box is not None and not pc_box:
+                    pc_box.extend([pc1, pc2])
+            if triggering:
+                b.tcheck_thread("hpwlthr")
+            else:
+                self._emit_cell_nets(b, cell,
+                                     lambda net: self._emit_hpwl_one(b, net))
+            with b.scratch(1, "hb") as (hb,):
+                b.la(hb, "hpwl")
+
+                def consume(net):
+                    with b.scratch(1, "hv") as (hv,):
+                        b.ldx(hv, hb, net)
+                        b.add(checksum, checksum, hv)
+
+                self._emit_cell_nets(b, cell, consume)
+        b.out(checksum)
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_all_hpwl(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_step(b, inp, t, checksum, triggering=False)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("hpwlthr"):
+            # r1 = changed coordinate's address; both x and y stores of one
+            # move name the same cell, so one run covers the move
+            with b.scratch(3, "th") as (xb, yb, cell):
+                b.la(xb, "x")
+                b.la(yb, "y")
+                with b.scratch(1, "ge") as (in_y,):
+                    b.sge(in_y, b.trigger_addr, yb)
+                    with b.if_(in_y) as branch:
+                        b.sub(cell, b.trigger_addr, yb)
+                        branch.else_()
+                        b.sub(cell, b.trigger_addr, xb)
+                self._emit_cell_nets(b, cell,
+                                     lambda net: self._emit_hpwl_one(b, net))
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_all_hpwl(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_step(b, inp, t, checksum, triggering=True,
+                                pc_box=pc_box)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("hpwlthr", store_pcs=pc_box,
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

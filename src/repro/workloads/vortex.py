@@ -1,0 +1,170 @@
+"""``vortex`` — object-store index maintenance across no-op updates.
+
+255.vortex exercises an object-oriented database: transactions update
+records and the store maintains derived index structures.  Most updates
+store field values equal to what the record already held, yet the index
+statistics are refreshed regardless.  The paper's conversion hangs the
+index refresh off the record stores.
+
+Our kernel: a record table (key per record), a derived bucket-count index
+(``index[k] = |{r : key[r] mod BUCKETS == k}|``), and a main loop of
+transactions: one record-key write per step (usually a no-op update),
+then a query batch probing the index and the record table directly for a
+fresh sequence of lookup keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import index_array, int_array, update_schedule
+
+BUCKETS = 16
+
+
+class VortexWorkload(Workload):
+    """255.vortex analog: object-store index; see the module docstring."""
+
+    name = "vortex"
+    description = "OO-database index refresh across no-op record updates"
+    converted_region = "bucket-count index rebuild"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.60
+    lookups = 18
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_records = 56 * scale
+        steps = 80 * scale
+        record_keys = int_array(seed, num_records, (0, 255), stream="vortex-keys")
+        upd_idx, upd_val = update_schedule(
+            seed, steps, record_keys, self.change_rate, (0, 255),
+            stream="vortex-upd",
+        )
+        queries = index_array(seed, steps * self.lookups, num_records,
+                              stream="vortex-queries")
+        return WorkloadInput(
+            seed, scale, num_records=num_records, steps=steps,
+            lookups=self.lookups, record_keys=record_keys,
+            upd_idx=upd_idx, upd_val=upd_val, queries=queries,
+        )
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        keys = list(inp.record_keys)
+        index = [0] * BUCKETS
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            keys[inp.upd_idx[step]] = inp.upd_val[step]
+            for k in range(BUCKETS):
+                index[k] = 0
+            for r in range(inp.num_records):
+                index[keys[r] % BUCKETS] += 1
+            for q in range(inp.lookups):
+                record = inp.queries[step * inp.lookups + q]
+                key = keys[record]
+                checksum += index[key % BUCKETS] + key
+            output.append(checksum)
+        return output
+
+    # -- codegen ---------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("keys", inp.record_keys)
+        b.zeros("index", BUCKETS)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("queries", inp.queries)
+
+    def _emit_rebuild_index(self, b: ProgramBuilder, inp: WorkloadInput):
+        with b.scratch(4, "ix") as (kbase, ibase, r, k):
+            b.la(kbase, "keys")
+            b.la(ibase, "index")
+            with b.scratch(1, "z") as (zero,):
+                b.li(zero, 0)
+                with b.for_range(k, 0, BUCKETS):
+                    b.stx(zero, ibase, k)
+            with b.for_range(r, 0, inp.num_records):
+                with b.scratch(3, "i2") as (key, bucket, count):
+                    b.ldx(key, kbase, r)
+                    with b.scratch(1, "m") as (mod,):
+                        b.li(mod, BUCKETS)
+                        b.imod(bucket, key, mod)
+                    b.ldx(count, ibase, bucket)
+                    b.addi(count, count, 1)
+                    b.stx(count, ibase, bucket)
+
+    def _emit_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "kb") as (kbase,):
+                b.la(kbase, "keys")
+                if triggering:
+                    return b.tstx(val, kbase, idx)
+                return b.stx(val, kbase, idx)
+
+    def _emit_queries(self, b: ProgramBuilder, inp: WorkloadInput, t, checksum):
+        with b.scratch(6, "qr") as (qb, kb, ib, off, q, record):
+            b.la(qb, "queries")
+            b.la(kb, "keys")
+            b.la(ib, "index")
+            b.muli(off, t, inp.lookups)
+            with b.for_range(q, 0, inp.lookups):
+                with b.scratch(3, "q2") as (slot, key, bucket):
+                    b.add(slot, off, q)
+                    b.ldx(record, qb, slot)
+                    b.ldx(key, kb, record)
+                    with b.scratch(1, "m") as (mod,):
+                        b.li(mod, BUCKETS)
+                        b.imod(bucket, key, mod)
+                    b.ldx(bucket, ib, bucket)
+                    b.add(checksum, checksum, bucket)
+                    b.add(checksum, checksum, key)
+        b.out(checksum)
+
+    # -- builds -----------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            with b.for_range(t, 0, inp.steps):
+                self._emit_update(b, t, triggering=False)
+                self._emit_rebuild_index(b, inp)
+                self._emit_queries(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("indexthr"):
+            self._emit_rebuild_index(b, inp)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_rebuild_index(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_update(b, t, triggering=True))
+                b.tcheck_thread("indexthr")
+                self._emit_queries(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("indexthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=False)
+        return DttBuild(program, [spec])

@@ -1,0 +1,235 @@
+"""``vpr`` — routing-cost tables under rarely-changing channel capacities.
+
+175.vpr's router repeatedly prices nets: a net's cost combines its
+bounding-box length with the congestion penalty of the channel it uses.
+Channel capacities are adjusted between routing waves — rarely, and often
+to the value they already had — yet the per-net cost terms are recomputed
+every wave.  The paper's conversion fires per-channel cost recomputation
+from the capacity stores.
+
+Our kernel: nets with fixed lengths and channel assignments, a channel
+capacity array, and derived ``cost[n] = len[n] * (CAP_BASE − cap[chan[n]])``.
+Per step: one capacity write (usually silent), then a routing wave that
+sums the cost of a window of nets and walks a fresh path trace
+(non-convertible, non-redundant loads), emitting a running checksum.
+
+The DTT support thread recomputes costs for the nets of the changed
+channel, via a channel→nets CSR; dedupe is per capacity address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import DttBuild, Workload, WorkloadInput
+from repro.workloads.data import index_array, int_array, rng_for, update_schedule
+
+NUM_CHANNELS = 12
+CAP_BASE = 40
+
+
+class VprWorkload(Workload):
+    """175.vpr analog: net pricing; see the module docstring."""
+
+    name = "vpr"
+    description = "net pricing under rarely-adjusted channel capacities"
+    converted_region = "per-channel net-cost recomputation"
+    default_scale = 1
+    default_seed = 1234
+
+    change_rate = 0.09
+    window = 6
+    path_len = 30
+
+    def make_input(self, seed: Optional[int] = None,
+                   scale: Optional[int] = None) -> WorkloadInput:
+        seed, scale = self._args(seed, scale)
+        num_nets = 56 * scale
+        steps = 90 * scale
+        rng = rng_for(seed, "vpr-nets")
+        lengths = int_array(seed, num_nets, (2, 20), stream="vpr-len")
+        chan = [rng.randrange(NUM_CHANNELS) for _ in range(num_nets)]
+        # channel -> nets CSR
+        members: List[List[int]] = [[] for _ in range(NUM_CHANNELS)]
+        for n, ch in enumerate(chan):
+            members[ch].append(n)
+        ch_ptr = [0]
+        ch_idx: List[int] = []
+        for ch in range(NUM_CHANNELS):
+            ch_idx.extend(members[ch])
+            ch_ptr.append(len(ch_idx))
+        cap0 = int_array(seed, NUM_CHANNELS, (10, 30), stream="vpr-cap")
+        upd_idx, upd_val = update_schedule(
+            seed, steps, cap0, self.change_rate, (10, 30), stream="vpr-upd"
+        )
+        order = index_array(seed, steps * self.window, num_nets,
+                            stream="vpr-order")
+        path = int_array(seed, steps * self.path_len, (0, 7),
+                         stream="vpr-path")
+        return WorkloadInput(
+            seed, scale, num_nets=num_nets, steps=steps,
+            window=self.window, path_len=self.path_len,
+            lengths=lengths, chan=chan, ch_ptr=ch_ptr, ch_idx=ch_idx,
+            cap0=cap0, upd_idx=upd_idx, upd_val=upd_val,
+            order=order, path=path,
+        )
+
+    # -- reference -------------------------------------------------------------------
+
+    def reference_output(self, inp: WorkloadInput) -> List[int]:
+        cap = list(inp.cap0)
+        cost = [0] * inp.num_nets
+        for n in range(inp.num_nets):
+            cost[n] = inp.lengths[n] * (CAP_BASE - cap[inp.chan[n]])
+        checksum = 0
+        output: List[int] = []
+        for step in range(inp.steps):
+            ch = inp.upd_idx[step]
+            cap[ch] = inp.upd_val[step]
+            for k in range(inp.ch_ptr[ch], inp.ch_ptr[ch + 1]):
+                n = inp.ch_idx[k]
+                cost[n] = inp.lengths[n] * (CAP_BASE - cap[inp.chan[n]])
+            for k in range(inp.window):
+                checksum += cost[inp.order[step * inp.window + k]]
+            for k in range(inp.path_len):
+                checksum += inp.path[step * inp.path_len + k]
+            output.append(checksum)
+        return output
+
+    # -- codegen -----------------------------------------------------------------------
+
+    def _emit_data(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        b.data("lengths", inp.lengths)
+        b.data("chan", inp.chan)
+        b.data("ch_ptr", inp.ch_ptr)
+        b.data("ch_idx", inp.ch_idx)
+        b.data("cap", inp.cap0)
+        b.zeros("cost", inp.num_nets)
+        b.data("upd_idx", inp.upd_idx)
+        b.data("upd_val", inp.upd_val)
+        b.data("order", inp.order)
+        b.data("path", inp.path)
+
+    def _emit_cost_one(self, b: ProgramBuilder, net) -> None:
+        """cost[net] = lengths[net] * (CAP_BASE - cap[chan[net]])."""
+        with b.scratch(5, "co") as (lb, cb, capb, length, penalty):
+            b.la(lb, "lengths")
+            b.la(cb, "chan")
+            b.la(capb, "cap")
+            b.ldx(length, lb, net)
+            b.ldx(penalty, cb, net)
+            b.ldx(penalty, capb, penalty)
+            with b.scratch(1, "k") as (base,):
+                b.li(base, CAP_BASE)
+                b.sub(penalty, base, penalty)
+            b.mul(length, length, penalty)
+            with b.scratch(1, "ob") as (ob,):
+                b.la(ob, "cost")
+                b.stx(length, ob, net)
+
+    def _emit_channel_costs(self, b: ProgramBuilder, ch) -> None:
+        """Recompute costs for every net of channel ``ch``."""
+        with b.scratch(3, "cc") as (k, kend, net):
+            with b.scratch(1, "cp") as (ptr,):
+                b.la(ptr, "ch_ptr")
+                b.ldx(k, ptr, ch)
+                with b.scratch(1, "c1") as (c1,):
+                    b.addi(c1, ch, 1)
+                    b.ldx(kend, ptr, c1)
+            with b.scratch(1, "ib") as (idxb,):
+                b.la(idxb, "ch_idx")
+                with b.loop() as loop:
+                    with b.scratch(1, "c") as (cond,):
+                        b.slt(cond, k, kend)
+                        loop.break_if_zero(cond)
+                    b.ldx(net, idxb, k)
+                    self._emit_cost_one(b, net)
+                    b.addi(k, k, 1)
+
+    def _emit_all_costs(self, b: ProgramBuilder, inp: WorkloadInput) -> None:
+        with b.scratch(1, "n") as (net,):
+            with b.for_range(net, 0, inp.num_nets):
+                self._emit_cost_one(b, net)
+
+    def _emit_cap_update(self, b: ProgramBuilder, t, triggering: bool) -> int:
+        with b.scratch(4, "up") as (ui, uv, idx, val):
+            b.la(ui, "upd_idx")
+            b.la(uv, "upd_val")
+            b.ldx(idx, ui, t)
+            b.ldx(val, uv, t)
+            with b.scratch(1, "cb") as (capb,):
+                b.la(capb, "cap")
+                if triggering:
+                    return b.tstx(val, capb, idx)
+                return b.stx(val, capb, idx)
+
+    def _emit_wave(self, b: ProgramBuilder, inp: WorkloadInput, t,
+                   checksum) -> None:
+        """Sum the cost window, walk the fresh path trace, emit checksum."""
+        with b.scratch(5, "wv") as (ob, costb, off, k, v):
+            b.la(ob, "order")
+            b.la(costb, "cost")
+            b.muli(off, t, inp.window)
+            with b.for_range(k, 0, inp.window):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, off, k)
+                    b.ldx(v, ob, slot)
+                    b.ldx(v, costb, v)
+                    b.add(checksum, checksum, v)
+        with b.scratch(4, "pw") as (pb, off, k, v):
+            b.la(pb, "path")
+            b.muli(off, t, inp.path_len)
+            with b.for_range(k, 0, inp.path_len):
+                with b.scratch(1, "sl") as (slot,):
+                    b.add(slot, off, k)
+                    b.ldx(v, pb, slot)
+                    b.add(checksum, checksum, v)
+        b.out(checksum)
+
+    # -- builds -------------------------------------------------------------------------
+
+    def build_baseline(self, inp: WorkloadInput):
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_all_costs(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                with b.scratch(2, "st") as (ui, ch):
+                    b.la(ui, "upd_idx")
+                    b.ldx(ch, ui, t)
+                    self._emit_cap_update(b, t, triggering=False)
+                    self._emit_channel_costs(b, ch)
+                self._emit_wave(b, inp, t, checksum)
+            b.halt()
+        return b.build()
+
+    def build_dtt(self, inp: WorkloadInput) -> DttBuild:
+        b = ProgramBuilder()
+        self._emit_data(b, inp)
+        with b.thread("chanthr"):
+            # r1 = changed capacity's address -> channel id
+            with b.scratch(2, "th") as (capb, ch):
+                b.la(capb, "cap")
+                b.sub(ch, b.trigger_addr, capb)
+                self._emit_channel_costs(b, ch)
+            b.treturn()
+        pc_box: List[int] = []
+        with b.function("main"):
+            t = b.global_reg("t")
+            checksum = b.global_reg("checksum")
+            b.li(checksum, 0)
+            self._emit_all_costs(b, inp)
+            with b.for_range(t, 0, inp.steps):
+                pc_box.append(self._emit_cap_update(b, t, triggering=True))
+                b.tcheck_thread("chanthr")
+                self._emit_wave(b, inp, t, checksum)
+            b.halt()
+        program = b.build()
+        spec = TriggerSpec("chanthr", store_pcs=[pc_box[0]],
+                           per_address_dedupe=True)
+        return DttBuild(program, [spec])

@@ -1,0 +1,33 @@
+"""DttConfig validation."""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.errors import DttError
+
+
+def test_defaults_match_paper_base_design():
+    config = DttConfig()
+    assert config.same_value_filter is True
+    assert config.granularity == 1
+    assert config.allow_cascading is False
+    assert config.per_address_dedupe_default is True
+
+
+def test_granularity_must_be_positive():
+    with pytest.raises(DttError):
+        DttConfig(granularity=0)
+
+
+def test_queue_capacity_must_be_positive():
+    with pytest.raises(DttError):
+        DttConfig(queue_capacity=0)
+
+
+def test_strict_cascading_conflicts_with_allow():
+    with pytest.raises(DttError):
+        DttConfig(allow_cascading=True, strict_cascading=True)
+
+
+def test_strict_without_allow_is_fine():
+    assert DttConfig(strict_cascading=True).strict_cascading

@@ -1,0 +1,417 @@
+"""DttEngine semantics: the heart of the reproduction.
+
+Covers the same-value filter, duplicate suppression, cancel-and-restart,
+queue-overflow inline runs, the serialized (no-spare-context) fallback,
+cascading-trigger policy, consume-point accounting, and engine lifecycle.
+"""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry, TriggerSpec
+from repro.errors import CascadeError, DttError, RegistryError
+from repro.isa.builder import ProgramBuilder
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+from tests.conftest import build_dtt_sum, expected_dtt_sum
+
+
+def make_sum_machine(values, upd_idx, upd_val, num_contexts=2, config=None,
+                     deferred=False, per_address=False):
+    program, spec = build_dtt_sum(list(values), list(upd_idx), list(upd_val))
+    if per_address:
+        spec = TriggerSpec("sumthr", store_pcs=spec.store_pcs,
+                           per_address_dedupe=True)
+    machine = Machine(program, num_contexts=num_contexts)
+    engine = DttEngine(ThreadRegistry([spec]), config=config,
+                       deferred=deferred)
+    machine.attach_engine(engine)
+    return machine, engine
+
+
+def drive_deferred(machine, engine, max_iterations=100_000):
+    """Minimal functional driver for a deferred-mode engine."""
+    main = machine.main_context
+    for _ in range(max_iterations):
+        if main.state is ContextState.HALTED:
+            return machine.output
+        engine.dispatch_pending()
+        stepped = False
+        for ctx in machine.contexts:
+            if ctx.state is ContextState.RUNNING:
+                machine.step(ctx)
+                stepped = True
+        if not stepped and not engine.queue:
+            raise AssertionError("deadlock in test driver")
+    raise AssertionError("driver iteration limit")
+
+
+# -- output equivalence across modes ---------------------------------------------
+
+
+VALUES = [1, 2, 3, 4]
+IDX = [0, 1, 1, 2, 0, 3]
+VAL = [5, 2, 9, 3, 5, 4]
+EXPECTED = expected_dtt_sum(VALUES, IDX, VAL)
+
+
+def test_synchronous_two_contexts():
+    machine, engine = make_sum_machine(VALUES, IDX, VAL)
+    assert run_to_completion(machine) == EXPECTED
+
+
+def test_synchronous_single_context_inline():
+    machine, engine = make_sum_machine(VALUES, IDX, VAL, num_contexts=1)
+    assert run_to_completion(machine) == EXPECTED
+
+
+def test_deferred_two_contexts():
+    machine, engine = make_sum_machine(VALUES, IDX, VAL, deferred=True)
+    assert drive_deferred(machine, engine) == EXPECTED
+
+
+def test_deferred_single_context_inline():
+    machine, engine = make_sum_machine(VALUES, IDX, VAL, num_contexts=1,
+                                       deferred=True)
+    assert drive_deferred(machine, engine) == EXPECTED
+
+
+def test_all_modes_agree_on_stats():
+    results = []
+    for kwargs in (dict(), dict(num_contexts=1),
+                   dict(deferred=True), dict(num_contexts=1, deferred=True)):
+        machine, engine = make_sum_machine(VALUES, IDX, VAL, **kwargs)
+        if engine.deferred:
+            drive_deferred(machine, engine)
+        else:
+            run_to_completion(machine)
+        row = engine.status["sumthr"]
+        results.append((row.triggering_stores, row.same_value_suppressed,
+                        row.triggers_fired, row.executions_completed))
+    assert len(set(results)) == 1
+
+
+# -- the same-value filter -----------------------------------------------------------
+
+
+def test_silent_stores_fire_nothing():
+    # write the initial values back: everything is silent
+    machine, engine = make_sum_machine([7, 8], [0, 1, 0], [7, 8, 7])
+    run_to_completion(machine)
+    row = engine.status["sumthr"]
+    assert row.triggering_stores == 3
+    assert row.same_value_suppressed == 3
+    assert row.triggers_fired == 0
+    assert row.executions_completed == 0
+    assert row.clean_consumes == 3
+
+
+def test_changing_stores_fire():
+    machine, engine = make_sum_machine([7, 8], [0, 1], [1, 2])
+    assert run_to_completion(machine) == [1 + 8, 1 + 2]
+    row = engine.status["sumthr"]
+    assert row.triggers_fired == 2
+    assert row.executions_completed == 2
+    assert row.clean_consumes == 0
+
+
+def test_filter_disabled_fires_on_every_tstore():
+    config = DttConfig(same_value_filter=False)
+    machine, engine = make_sum_machine([7, 8], [0, 1, 0], [7, 8, 7],
+                                       config=config)
+    run_to_completion(machine)
+    row = engine.status["sumthr"]
+    assert row.same_value_suppressed == 0
+    assert row.triggers_fired == 3
+    assert row.executions_completed == 3
+
+
+# -- duplicate suppression ----------------------------------------------------------
+
+
+def _burst_program(per_address):
+    """Two value-changing tstores before a single tcheck."""
+    b = ProgramBuilder()
+    b.data("xs", [0, 0])
+    b.zeros("sum", 1)
+    with b.thread("sumthr"):
+        with b.scratch(3) as (base, acc, v):
+            b.la(base, "xs")
+            b.ld(acc, base, 0)
+            b.ld(v, base, 1)
+            b.add(acc, acc, v)
+            with b.scratch(1) as (sp,):
+                b.la(sp, "sum")
+                b.st(acc, sp, 0)
+        b.treturn()
+    pcs = []
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 5)
+            pcs.append(b.tst(v, base, 0))
+            b.li(v, 6)
+            pcs.append(b.tst(v, base, 1))
+        b.tcheck_thread("sumthr")
+        with b.scratch(2) as (sp, v):
+            b.la(sp, "sum")
+            b.ld(v, sp, 0)
+            b.out(v)
+        b.halt()
+    program = b.build()
+    spec = TriggerSpec("sumthr", store_pcs=pcs,
+                       per_address_dedupe=per_address)
+    return program, spec
+
+
+def test_per_thread_dedupe_collapses_burst():
+    program, spec = _burst_program(per_address=False)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == [11]
+    row = engine.status["sumthr"]
+    assert row.triggers_fired == 2
+    assert row.duplicates_suppressed == 1
+    assert row.executions_completed == 1
+
+
+def test_per_address_dedupe_keeps_both():
+    program, spec = _burst_program(per_address=True)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == [11]
+    row = engine.status["sumthr"]
+    assert row.duplicates_suppressed == 0
+    assert row.executions_completed == 2
+
+
+# -- cancel-and-restart ---------------------------------------------------------------
+
+
+def test_retrigger_cancels_executing_thread():
+    program, spec = _burst_program(per_address=False)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]), deferred=True)
+    machine.attach_engine(engine)
+    main = machine.main_context
+    # step main through the first triggering store
+    while engine.queue.pending_count() == 0:
+        machine.step(main)
+    # dispatch it and let the support thread begin
+    engine.dispatch_pending()
+    support = machine.contexts[1]
+    assert support.state is ContextState.RUNNING
+    machine.step(support)
+    # second triggering store: same dedupe key while executing -> cancel
+    while engine.status["sumthr"].cancels == 0:
+        machine.step(main)
+    assert support.state is ContextState.IDLE
+    assert engine.queue.pending_count("sumthr") == 1  # re-enqueued
+    # finish the run; result must still be correct (thread is idempotent)
+    assert drive_deferred(machine, engine) == [11]
+    row = engine.status["sumthr"]
+    assert row.cancels == 1
+    assert row.executions_completed == row.executions_started - 1
+
+
+# -- queue overflow -----------------------------------------------------------------
+
+
+def test_overflow_runs_inline_and_stays_correct():
+    # three value-changing per-address triggers against a capacity-1 queue
+    b = ProgramBuilder()
+    b.data("xs", [0, 0, 0])
+    b.zeros("sum", 1)
+    with b.thread("sumthr"):
+        with b.scratch(4) as (i, base, acc, v):
+            b.la(base, "xs")
+            b.li(acc, 0)
+            with b.for_range(i, 0, 3):
+                b.ldx(v, base, i)
+                b.add(acc, acc, v)
+            with b.scratch(1) as (sp,):
+                b.la(sp, "sum")
+                b.st(acc, sp, 0)
+        b.treturn()
+    pcs = []
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            for i, value in enumerate((5, 6, 7)):
+                b.li(v, value)
+                pcs.append(b.tst(v, base, i))
+        b.tcheck_thread("sumthr")
+        with b.scratch(2) as (sp, v):
+            b.la(sp, "sum")
+            b.ld(v, sp, 0)
+            b.out(v)
+        b.halt()
+    program = b.build()
+    spec = TriggerSpec("sumthr", store_pcs=pcs, per_address_dedupe=True)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]),
+                       config=DttConfig(queue_capacity=1))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == [18]
+    row = engine.status["sumthr"]
+    assert row.overflow_inline_runs == 2
+    assert row.executions_completed == 3  # 2 inline + 1 at tcheck
+
+
+# -- cascading ------------------------------------------------------------------------
+
+
+def _cascade_program():
+    """Thread 'a' performs a triggering store that matches thread 'b'."""
+    b = ProgramBuilder()
+    b.data("xs", [0])
+    b.data("ys", [0])
+    b.zeros("out_a", 1)
+    b.zeros("out_b", 1)
+    pcs = {}
+    with b.thread("a"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            with b.scratch(1) as (oa,):
+                b.la(oa, "out_a")
+                b.st(v, oa, 0)
+            # triggering store into ys — thread b's watched data
+            b.la(base, "ys")
+            b.addi(v, v, 100)
+            pcs["cascade"] = b.tst(v, base, 0)
+        b.treturn()
+    with b.thread("b"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "ys")
+            b.ld(v, base, 0)
+            with b.scratch(1) as (ob,):
+                b.la(ob, "out_b")
+                b.st(v, ob, 0)
+        b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 7)
+            pcs["main"] = b.tst(v, base, 0)
+        b.tcheck_thread("a")
+        b.tcheck_thread("b")
+        with b.scratch(2) as (p, v):
+            b.la(p, "out_a")
+            b.ld(v, p, 0)
+            b.out(v)
+            b.la(p, "out_b")
+            b.ld(v, p, 0)
+            b.out(v)
+        b.halt()
+    program = b.build()
+    spec_a = TriggerSpec("a", store_pcs=[pcs["main"]])
+    spec_b = TriggerSpec("b", store_pcs=[pcs["cascade"]])
+    return program, [spec_a, spec_b]
+
+
+def test_cascading_disabled_by_default():
+    program, specs = _cascade_program()
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry(specs))
+    machine.attach_engine(engine)
+    # thread a runs (writes ys=107 as a PLAIN store); b never fires
+    assert run_to_completion(machine) == [7, 0]
+    assert engine.status["b"].triggers_fired == 0
+
+
+def test_cascading_enabled_fires_downstream_thread():
+    program, specs = _cascade_program()
+    machine = Machine(program, num_contexts=3)
+    engine = DttEngine(ThreadRegistry(specs),
+                       config=DttConfig(allow_cascading=True))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == [7, 107]
+    assert engine.status["b"].executions_completed == 1
+
+
+def test_strict_cascading_faults():
+    program, specs = _cascade_program()
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry(specs),
+                       config=DttConfig(strict_cascading=True))
+    machine.attach_engine(engine)
+    with pytest.raises(CascadeError):
+        run_to_completion(machine)
+
+
+# -- accounting and lifecycle -----------------------------------------------------------
+
+
+def test_unmatched_tstores_counted():
+    b = ProgramBuilder()
+    b.data("xs", [0])
+    with b.thread("never"):
+        b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 1)
+            b.tst(v, base, 0)  # matches no spec
+        b.halt()
+    program = b.build()
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([TriggerSpec("never", store_pcs=[999])]))
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    assert engine.unmatched_tstores == 1
+
+
+def test_bind_rejects_undeclared_thread():
+    program, _spec = build_dtt_sum([1], [0], [1])
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([TriggerSpec("ghost", store_pcs=[0])]))
+    with pytest.raises(RegistryError, match="ghost"):
+        machine.attach_engine(engine)
+
+
+def test_engine_is_single_use():
+    program, spec = build_dtt_sum([1], [0], [1])
+    engine = DttEngine(ThreadRegistry([spec]))
+    Machine(program, num_contexts=2).attach_engine(engine)
+    with pytest.raises(DttError, match="already bound"):
+        Machine(program, num_contexts=2).attach_engine(engine)
+
+
+def test_tcheck_out_of_range_tid_faults():
+    b = ProgramBuilder()
+    b.data("xs", [0])
+    with b.thread("only"):
+        b.treturn()
+    with b.function("main"):
+        b.tcheck(5)  # only thread id 0 exists
+        b.halt()
+    program = b.build()
+    machine = Machine(program, num_contexts=2)
+    spec = TriggerSpec("only", store_pcs=[0])
+    machine.attach_engine(DttEngine(ThreadRegistry([spec])))
+    with pytest.raises(DttError, match="thread id 5"):
+        run_to_completion(machine)
+
+
+def test_consume_accounting():
+    machine, engine = make_sum_machine([7, 8], [0, 1, 0], [1, 8, 1])
+    run_to_completion(machine)
+    row = engine.status["sumthr"]
+    # store 0 changes (wait), store 1 silent (clean), store 2 silent (clean)
+    assert row.consumes == 3
+    assert row.wait_consumes == 1
+    assert row.clean_consumes == 2
+
+
+def test_summary_merges_queue_stats():
+    machine, engine = make_sum_machine(VALUES, IDX, VAL)
+    run_to_completion(machine)
+    summary = engine.summary()
+    assert summary["queue_enqueued"] == engine.queue.enqueued
+    assert "unmatched_tstores" in summary
+    assert summary["executions_started"] == summary["executions_completed"]

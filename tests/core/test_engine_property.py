@@ -1,0 +1,102 @@
+"""Property tests: the hardware engine against an eager oracle.
+
+For random update schedules, the DTT sum program must produce the eager
+recomputation's outputs in every execution mode, and the engine's trigger
+accounting must match what the schedule implies.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+from tests.conftest import build_dtt_sum, expected_dtt_sum
+
+
+schedules = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 4)),
+    min_size=1, max_size=25,
+)
+
+
+def _drive_deferred(machine, engine):
+    main = machine.main_context
+    for _ in range(200_000):
+        if main.state is ContextState.HALTED:
+            return machine.output
+        engine.dispatch_pending()
+        for ctx in machine.contexts:
+            if ctx.state is ContextState.RUNNING:
+                machine.step(ctx)
+    raise AssertionError("driver limit")
+
+
+@given(schedules)
+@settings(max_examples=40, deadline=None)
+def test_sync_mode_matches_oracle(schedule):
+    values = [1, 2, 3, 4]
+    idx = [i for i, _ in schedule]
+    val = [v for _, v in schedule]
+    program, spec = build_dtt_sum(values, idx, val)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == expected_dtt_sum(values, idx, val)
+    # accounting invariants
+    row = engine.status["sumthr"]
+    assert row.triggering_stores == len(schedule)
+    assert (row.same_value_suppressed + row.triggers_fired
+            == row.triggering_stores)
+    assert row.consumes == len(schedule)
+    assert row.clean_consumes + row.wait_consumes == row.consumes
+    assert row.executing == 0
+
+
+@given(schedules)
+@settings(max_examples=25, deadline=None)
+def test_deferred_mode_matches_oracle(schedule):
+    values = [1, 2, 3, 4]
+    idx = [i for i, _ in schedule]
+    val = [v for _, v in schedule]
+    program, spec = build_dtt_sum(values, idx, val)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]), deferred=True)
+    machine.attach_engine(engine)
+    assert _drive_deferred(machine, engine) == expected_dtt_sum(
+        values, idx, val
+    )
+
+
+@given(schedules)
+@settings(max_examples=25, deadline=None)
+def test_serialized_inline_matches_oracle(schedule):
+    values = [1, 2, 3, 4]
+    idx = [i for i, _ in schedule]
+    val = [v for _, v in schedule]
+    program, spec = build_dtt_sum(values, idx, val)
+    machine = Machine(program, num_contexts=1)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == expected_dtt_sum(values, idx, val)
+
+
+@given(schedules)
+@settings(max_examples=20, deadline=None)
+def test_silent_schedule_never_executes(schedule):
+    """Re-storing current values must never run the support thread."""
+    values = [1, 2, 3, 4]
+    shadow = list(values)
+    idx, val = [], []
+    for i, _ in schedule:
+        idx.append(i)
+        val.append(shadow[i])  # always silent
+    program, spec = build_dtt_sum(values, idx, val)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    row = engine.status["sumthr"]
+    assert row.executions_started == 0
+    assert row.clean_consumes == len(schedule)

@@ -1,0 +1,110 @@
+"""Thread queue: FIFO order, dedupe, capacity, plus property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queue import EnqueueResult, QueueEntry, ThreadQueue
+from repro.errors import ThreadQueueError
+
+
+def entry(thread="t", address=0, seq=0):
+    return QueueEntry(thread, address, 1, 0, seq)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ThreadQueueError):
+        ThreadQueue(0)
+
+
+def test_enqueue_and_pop_fifo():
+    q = ThreadQueue()
+    q.try_enqueue("a", entry(address=1, seq=1))
+    q.try_enqueue("b", entry(address=2, seq=2))
+    assert q.pop()[1].sequence == 1
+    assert q.pop()[1].sequence == 2
+
+
+def test_duplicate_key_suppressed():
+    q = ThreadQueue()
+    assert q.try_enqueue("k", entry(seq=1)) is EnqueueResult.ENQUEUED
+    assert q.try_enqueue("k", entry(seq=2)) is EnqueueResult.DUPLICATE
+    assert q.duplicates_suppressed == 1
+    assert len(q) == 1
+    # the FIRST entry is kept (its pending execution sees newest memory)
+    assert q.pop()[1].sequence == 1
+
+
+def test_overflow_reported():
+    q = ThreadQueue(capacity=2)
+    q.try_enqueue("a", entry())
+    q.try_enqueue("b", entry())
+    assert q.try_enqueue("c", entry()) is EnqueueResult.OVERFLOW
+    assert q.overflows == 1
+    assert len(q) == 2
+
+
+def test_key_free_after_pop():
+    q = ThreadQueue()
+    q.try_enqueue("k", entry(seq=1))
+    q.pop()
+    assert q.try_enqueue("k", entry(seq=2)) is EnqueueResult.ENQUEUED
+
+
+def test_pop_empty_raises():
+    with pytest.raises(ThreadQueueError):
+        ThreadQueue().pop()
+
+
+def test_pop_for_thread_picks_oldest_of_that_thread():
+    q = ThreadQueue()
+    q.try_enqueue("x1", QueueEntry("x", 1, 0, 0, 1))
+    q.try_enqueue("y1", QueueEntry("y", 2, 0, 0, 2))
+    q.try_enqueue("x2", QueueEntry("x", 3, 0, 0, 3))
+    key, popped = q.pop_for_thread("x")
+    assert popped.sequence == 1
+    key, popped = q.pop_for_thread("x")
+    assert popped.sequence == 3
+    assert q.pop_for_thread("x") is None
+    assert q.has_pending("y")
+
+
+def test_pending_counts():
+    q = ThreadQueue()
+    q.try_enqueue("x1", QueueEntry("x", 1, 0, 0))
+    q.try_enqueue("y1", QueueEntry("y", 2, 0, 0))
+    assert q.pending_count() == 2
+    assert q.pending_count("x") == 1
+    assert q.pending_count("z") == 0
+    assert bool(q)
+
+
+def test_peek_keys_oldest_first():
+    q = ThreadQueue()
+    q.try_enqueue("b", entry(seq=1))
+    q.try_enqueue("a", entry(seq=2))
+    assert q.peek_keys() == ("b", "a")
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcd"), st.integers(0, 3)),
+                max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_queue_invariants_under_random_traffic(events):
+    q = ThreadQueue(capacity=4)
+    live_keys = set()
+    for thread, address in events:
+        key = (thread, address)
+        result = q.try_enqueue(key, QueueEntry(thread, address, 1, 0))
+        if result is EnqueueResult.ENQUEUED:
+            assert key not in live_keys
+            live_keys.add(key)
+        elif result is EnqueueResult.DUPLICATE:
+            assert key in live_keys
+        else:
+            assert len(live_keys) == 4
+        # occasional pop to keep things moving
+        if len(live_keys) == 4:
+            popped_key, _ = q.pop()
+            live_keys.discard(popped_key)
+    assert set(q.peek_keys()) == live_keys
+    assert len(q) <= q.capacity
+    assert q.enqueued == q.pending_count() + (q.enqueued - len(q))

@@ -1,0 +1,83 @@
+"""Thread registry: spec validation, PC and address matching, granularity."""
+
+import pytest
+
+from repro.core.registry import ThreadRegistry, TriggerSpec
+from repro.errors import RegistryError
+
+
+def test_spec_requires_some_trigger():
+    with pytest.raises(RegistryError):
+        TriggerSpec("t")
+
+
+def test_spec_rejects_bad_watch_range():
+    with pytest.raises(RegistryError):
+        TriggerSpec("t", watch=[(10, 10)])
+    with pytest.raises(RegistryError):
+        TriggerSpec("t", watch=[(-1, 5)])
+
+
+def test_duplicate_thread_rejected():
+    registry = ThreadRegistry([TriggerSpec("t", store_pcs=[1])])
+    with pytest.raises(RegistryError):
+        registry.register(TriggerSpec("t", store_pcs=[2]))
+
+
+def test_pc_matching_is_exact():
+    spec = TriggerSpec("t", store_pcs=[5, 9])
+    registry = ThreadRegistry([spec])
+    assert registry.matches(5, 1000) == [spec]
+    assert registry.matches(9, 0) == [spec]
+    assert registry.matches(6, 1000) == []
+
+
+def test_address_matching_half_open():
+    spec = TriggerSpec("t", watch=[(100, 110)])
+    registry = ThreadRegistry([spec])
+    assert registry.matches(0, 100) == [spec]
+    assert registry.matches(0, 109) == [spec]
+    assert registry.matches(0, 110) == []
+    assert registry.matches(0, 99) == []
+
+
+def test_granularity_widens_ranges():
+    spec = TriggerSpec("t", watch=[(100, 101)])
+    registry = ThreadRegistry([spec])
+    # word granularity: only address 100 matches
+    assert registry.matches(0, 101) == []
+    # 16-word granularity: the whole 96..112 granule matches
+    assert registry.matches(0, 101, granularity=16) == [spec]
+    assert registry.matches(0, 96, granularity=16) == [spec]
+    assert registry.matches(0, 111, granularity=16) == [spec]
+    assert registry.matches(0, 112, granularity=16) == []
+    assert registry.matches(0, 95, granularity=16) == []
+
+
+def test_pc_and_address_matches_deduplicate():
+    spec = TriggerSpec("t", store_pcs=[5], watch=[(0, 10)])
+    registry = ThreadRegistry([spec])
+    assert registry.matches(5, 3) == [spec]  # one spec, not two
+
+
+def test_multiple_specs_can_match_one_store():
+    a = TriggerSpec("a", watch=[(0, 100)])
+    b = TriggerSpec("b", watch=[(50, 150)])
+    registry = ThreadRegistry([a, b])
+    assert registry.matches(0, 75) == [a, b]
+    assert registry.matches(0, 25) == [a]
+    assert registry.matches(0, 125) == [b]
+
+
+def test_spec_for_and_thread_names():
+    spec = TriggerSpec("t", store_pcs=[1])
+    registry = ThreadRegistry([spec])
+    assert registry.spec_for("t") is spec
+    assert registry.thread_names == ["t"]
+    with pytest.raises(RegistryError):
+        registry.spec_for("ghost")
+
+
+def test_len():
+    assert len(ThreadRegistry()) == 0
+    assert len(ThreadRegistry([TriggerSpec("t", store_pcs=[1])])) == 1

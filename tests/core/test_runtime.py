@@ -1,0 +1,292 @@
+"""Software DTT runtime: tracked arrays, support threads, tcheck semantics.
+
+Ends with a property test checking the runtime's core contract against an
+eager-recomputation oracle over random write/consume schedules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import DttRuntime, TrackedArray, TriggerEvent
+from repro.errors import RuntimeApiError
+
+
+def make_sum_runtime(values=(1, 2, 3), **runtime_kwargs):
+    rt = DttRuntime(**runtime_kwargs)
+    xs = rt.array("xs", list(values))
+    totals = {"sum": sum(values)}
+
+    @rt.support_thread(triggers=[xs], per_index_dedupe=False)
+    def refresh(event):
+        totals["sum"] = sum(xs)
+
+    return rt, xs, refresh, totals
+
+
+def test_tracked_array_behaves_like_a_list():
+    rt = DttRuntime()
+    xs = rt.array("xs", [1, 2, 3])
+    assert len(xs) == 3
+    assert xs[1] == 2
+    assert list(xs) == [1, 2, 3]
+    assert xs.tolist() == [1, 2, 3]
+
+
+def test_duplicate_array_name_rejected():
+    rt = DttRuntime()
+    rt.array("xs", [])
+    with pytest.raises(RuntimeApiError):
+        rt.array("xs", [])
+
+
+def test_slice_assignment_rejected():
+    rt = DttRuntime()
+    xs = rt.array("xs", [1, 2, 3])
+    with pytest.raises(RuntimeApiError):
+        xs[0:2] = [9, 9]
+
+
+def test_silent_write_fires_nothing():
+    rt, xs, refresh, totals = make_sum_runtime()
+    xs[0] = 1  # same value
+    assert rt.pending_count() == 0
+    assert refresh.stats.same_value_suppressed == 1
+    assert rt.tcheck(refresh) == 0
+    assert refresh.stats.clean_consumes == 1
+
+
+def test_changing_write_defers_until_tcheck():
+    rt, xs, refresh, totals = make_sum_runtime()
+    xs[0] = 10
+    assert totals["sum"] == 6  # not yet recomputed (lazy)
+    assert rt.pending_count() == 1
+    assert rt.tcheck(refresh) == 1
+    assert totals["sum"] == 15
+
+
+def test_negative_index_writes_normalize():
+    rt, xs, refresh, totals = make_sum_runtime()
+    xs[-1] = 30
+    rt.tcheck(refresh)
+    assert totals["sum"] == 1 + 2 + 30
+
+
+def test_write_untracked_never_triggers():
+    rt, xs, refresh, totals = make_sum_runtime()
+    xs.write_untracked(0, 100)
+    assert rt.pending_count() == 0
+    assert refresh.stats.triggering_stores == 0
+
+
+def test_untracked_scope():
+    rt, xs, refresh, totals = make_sum_runtime()
+    with rt.untracked():
+        xs[0] = 50
+        xs[1] = 60
+    assert rt.pending_count() == 0
+    xs[2] = 70  # tracking restored
+    assert rt.pending_count() == 1
+
+
+def test_per_thread_dedupe_collapses_writes():
+    rt, xs, refresh, totals = make_sum_runtime()
+    xs[0] = 10
+    xs[1] = 20
+    assert rt.pending_count() == 1  # per_index_dedupe=False
+    rt.tcheck(refresh)
+    assert refresh.stats.duplicates_suppressed == 1
+    assert totals["sum"] == 10 + 20 + 3
+
+
+def test_per_index_dedupe_queues_separately():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0, 0])
+    seen = []
+
+    @rt.support_thread(triggers=[xs])  # per_index_dedupe=True default
+    def track(event):
+        seen.append((event.index, event.new_value))
+
+    xs[0] = 1
+    xs[1] = 2
+    xs[0] = 3  # same index as first: suppressed as duplicate
+    assert rt.pending_count() == 2
+    rt.tcheck(track)
+    assert seen == [(0, 1), (1, 2)]
+    # the first activation observed the OLD event payload but current data
+    # is read through the array, which holds 3
+    assert xs[0] == 3
+
+
+def test_event_payload():
+    rt = DttRuntime()
+    xs = rt.array("xs", [5])
+    events = []
+
+    @rt.support_thread(triggers=[xs])
+    def grab(event):
+        events.append(event)
+
+    xs[0] = 9
+    rt.tcheck(grab)
+    event = events[0]
+    assert isinstance(event, TriggerEvent)
+    assert event.array is xs
+    assert event.index == 0
+    assert event.old_value == 5
+    assert event.new_value == 9
+    assert "xs" in repr(event)
+
+
+def test_writes_inside_support_thread_do_not_cascade():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0])
+    ys = rt.array("ys", [0])
+    calls = {"a": 0, "b": 0}
+
+    @rt.support_thread(triggers=[xs], name="a")
+    def thread_a(event):
+        calls["a"] += 1
+        ys[0] = ys[0] + 1  # would trigger b if cascading were allowed
+
+    @rt.support_thread(triggers=[ys], name="b")
+    def thread_b(event):
+        calls["b"] += 1
+
+    xs[0] = 1
+    rt.tcheck(thread_a)
+    rt.tcheck(thread_b)
+    assert calls == {"a": 1, "b": 0}
+
+
+def test_cascading_enabled():
+    rt = DttRuntime(allow_cascading=True)
+    xs = rt.array("xs", [0])
+    ys = rt.array("ys", [0])
+    calls = {"b": 0}
+
+    @rt.support_thread(triggers=[xs], name="a")
+    def thread_a(event):
+        ys[0] = ys[0] + 1
+
+    @rt.support_thread(triggers=[ys], name="b")
+    def thread_b(event):
+        calls["b"] += 1
+
+    xs[0] = 1
+    rt.tcheck(thread_a)
+    rt.tcheck(thread_b)
+    assert calls["b"] == 1
+
+
+def test_queue_overflow_executes_immediately():
+    rt = DttRuntime(queue_capacity=1)
+    xs = rt.array("xs", [0, 0, 0])
+    order = []
+
+    @rt.support_thread(triggers=[xs])
+    def track(event):
+        order.append(event.index)
+
+    xs[0] = 1  # queued
+    xs[1] = 2  # overflow -> runs now
+    xs[2] = 3  # overflow -> runs now
+    assert order == [1, 2]
+    assert track.stats.overflow_inline_runs == 2
+    rt.tcheck(track)
+    assert order == [1, 2, 0]
+
+
+def test_drain_runs_everything():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0, 0])
+    hit = []
+
+    @rt.support_thread(triggers=[xs])
+    def track(event):
+        hit.append(event.index)
+
+    xs[0] = 1
+    xs[1] = 2
+    assert rt.drain() == 2
+    assert sorted(hit) == [0, 1]
+    assert rt.pending_count() == 0
+
+
+def test_support_thread_validation():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0])
+    with pytest.raises(RuntimeApiError):
+        rt.support_thread(triggers=[])(lambda e: None)
+    with pytest.raises(RuntimeApiError):
+        rt.support_thread(triggers=["xs"])(lambda e: None)
+    other = DttRuntime().array("xs2", [0])
+    with pytest.raises(RuntimeApiError):
+        rt.support_thread(triggers=[other])(lambda e: None)
+
+
+def test_duplicate_thread_name_rejected():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0])
+    rt.support_thread(triggers=[xs], name="t")(lambda e: None)
+    with pytest.raises(RuntimeApiError):
+        rt.support_thread(triggers=[xs], name="t")(lambda e: None)
+
+
+def test_tcheck_of_foreign_thread_rejected():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0])
+    thread = rt.support_thread(triggers=[xs])(lambda e: None)
+    other = DttRuntime()
+    with pytest.raises(RuntimeApiError):
+        other.tcheck(thread)
+
+
+def test_direct_call_bypasses_machinery():
+    rt = DttRuntime()
+    xs = rt.array("xs", [0])
+    hit = []
+    thread = rt.support_thread(triggers=[xs])(lambda e: hit.append(e))
+    thread(TriggerEvent(xs, 0, 0, 1))
+    assert len(hit) == 1
+    assert thread.stats.executions_started == 0  # direct call, not tracked
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(RuntimeApiError):
+        DttRuntime(queue_capacity=0)
+
+
+# -- property: runtime result == eager-recompute oracle --------------------------
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 4), st.integers(0, 3)),
+    st.just(("tcheck",)),
+), max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_runtime_matches_eager_oracle(script):
+    rt = DttRuntime()
+    xs = rt.array("xs", [0] * 5)
+    derived = {"sum": 0}
+
+    @rt.support_thread(triggers=[xs], per_index_dedupe=False)
+    def refresh(event):
+        derived["sum"] = sum(xs)
+
+    oracle = [0] * 5
+    observed = []
+    expected = []
+    for step in script:
+        if step[0] == "write":
+            _tag, index, value = step
+            xs[index] = value
+            oracle[index] = value
+        else:
+            rt.tcheck(refresh)
+            observed.append(derived["sum"])
+            expected.append(sum(oracle))
+    assert observed == expected
+    # skip accounting: clean consumes never exceed total consumes
+    stats = refresh.stats
+    assert stats.clean_consumes + stats.wait_consumes == stats.consumes

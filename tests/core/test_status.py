@@ -1,0 +1,53 @@
+"""Thread status table: counters, aggregates, skip fraction."""
+
+import pytest
+
+from repro.core.status import ThreadStatus, ThreadStatusTable
+from repro.errors import DttError
+
+
+def test_fresh_row_is_zeroed():
+    row = ThreadStatus("t")
+    assert row.triggers_fired == 0
+    assert row.executing == 0
+    assert row.skip_fraction == 0.0
+
+
+def test_skip_fraction():
+    row = ThreadStatus("t")
+    row.consumes = 10
+    row.clean_consumes = 7
+    assert row.skip_fraction == 0.7
+
+
+def test_as_dict_excludes_name():
+    d = ThreadStatus("t").as_dict()
+    assert "name" not in d
+    assert d["cancels"] == 0
+
+
+def test_table_lookup_and_membership():
+    table = ThreadStatusTable(["a", "b"])
+    assert table["a"].name == "a"
+    assert "b" in table
+    assert "c" not in table
+    with pytest.raises(DttError):
+        table["c"]
+
+
+def test_table_iteration_and_rows():
+    table = ThreadStatusTable(["a", "b"])
+    assert {row.name for row in table} == {"a", "b"}
+    assert set(table.rows()) == {"a", "b"}
+
+
+def test_totals_and_summary():
+    table = ThreadStatusTable(["a", "b"])
+    table["a"].triggers_fired = 3
+    table["b"].triggers_fired = 4
+    table["a"].clean_consumes = 1
+    assert table.total("triggers_fired") == 7
+    summary = table.summary()
+    assert summary["triggers_fired"] == 7
+    assert summary["clean_consumes"] == 1
+    assert "executing" not in summary  # transient state is not a total

@@ -1,0 +1,101 @@
+"""Engine trace: event kinds, ordering, and composition with modes."""
+
+import pytest
+
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.core import trace as T
+from repro.core.trace import EngineTrace
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+from tests.conftest import build_dtt_sum, expected_dtt_sum
+
+
+def traced_run(values, idx, val, num_contexts=2, deferred=False):
+    program, spec = build_dtt_sum(list(values), list(idx), list(val))
+    machine = Machine(program, num_contexts=num_contexts)
+    engine = DttEngine(ThreadRegistry([spec]), deferred=deferred)
+    tracer = EngineTrace(engine)
+    machine.attach_engine(engine)
+    if deferred:
+        main = machine.main_context
+        while main.state is not ContextState.HALTED:
+            engine.dispatch_pending()
+            for ctx in machine.contexts:
+                if ctx.state is ContextState.RUNNING:
+                    machine.step(ctx)
+        output = machine.output
+    else:
+        output = run_to_completion(machine)
+    return output, tracer
+
+
+def test_trace_does_not_perturb_results():
+    values, idx, val = [1, 2, 3], [0, 0, 1], [5, 5, 9]
+    output, _tracer = traced_run(values, idx, val)
+    assert output == expected_dtt_sum(values, idx, val)
+
+
+def test_silent_store_traces_suppression():
+    output, tracer = traced_run([7, 8], [0], [7])
+    kinds = [e.kind for e in tracer.events]
+    assert kinds == [T.TSTORE, T.SUPPRESSED, T.CONSUME_CLEAN]
+
+
+def test_changing_store_traces_fire_and_completion():
+    output, tracer = traced_run([7, 8], [0], [1])
+    kinds = [e.kind for e in tracer.events]
+    assert kinds[0] == T.TSTORE
+    assert kinds[1] == T.FIRED
+    assert T.COMPLETED in kinds
+    assert kinds[-1] == T.CONSUME_WAIT or T.CONSUME_WAIT in kinds
+    # completion happens before the consume returns in sync mode
+    assert kinds.index(T.COMPLETED) < len(kinds)
+
+
+def test_fire_precedes_completion_precedes_next_consume():
+    _output, tracer = traced_run([1, 2], [0, 1], [9, 8])
+    fired = [e.sequence for e in tracer.of_kind(T.FIRED)]
+    completed = [e.sequence for e in tracer.of_kind(T.COMPLETED)]
+    assert len(fired) == len(completed) == 2
+    assert fired[0] < completed[0] < fired[1] < completed[1]
+
+
+def test_deferred_mode_traces_dispatch():
+    _output, tracer = traced_run([1, 2], [0], [9], deferred=True)
+    dispatched = tracer.of_kind(T.DISPATCHED)
+    assert len(dispatched) == 1
+    assert dispatched[0].thread == "sumthr"
+    assert "context" in dispatched[0].detail
+
+
+def test_trace_records_addresses():
+    program_addr_events = traced_run([1, 2], [1], [9])[1].of_kind(T.FIRED)
+    assert program_addr_events[0].address is not None
+
+
+def test_timeline_renders():
+    _output, tracer = traced_run([1, 2], [0], [9])
+    text = tracer.timeline()
+    assert "fired" in text
+    assert "#1" in text
+
+
+def test_truncation():
+    program, spec = build_dtt_sum([1, 2], [0, 1, 0, 1], [9, 8, 7, 6])
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    tracer = EngineTrace(engine, max_events=2)
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    assert len(tracer) == 2
+    assert tracer.truncated
+    assert "truncated" in tracer.timeline()
+
+
+def test_inline_serialized_completions_are_attributed():
+    _output, tracer = traced_run([1, 2], [0, 1], [9, 8], num_contexts=1)
+    completed = tracer.of_kind(T.COMPLETED)
+    assert len(completed) == 2
+    assert all(e.thread == "sumthr" for e in completed)

@@ -1,0 +1,35 @@
+"""CLI: list, verify, run with JSON export."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E3" in out
+    assert "mcf" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_single_experiment_with_json(tmp_path, capsys):
+    target = tmp_path / "out.json"
+    assert main(["run", "E6", "--json", str(target)]) == 0
+    payload = json.loads(target.read_text())
+    assert payload[0]["experiment"] == "E6"
+    out = capsys.readouterr().out
+    assert "E6" in out
+    assert "[PASS]" in out
+
+
+def test_verify_command(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 15

@@ -1,0 +1,31 @@
+"""Mechanism-overhead microbenchmarks behave as the design promises."""
+
+import pytest
+
+from repro.harness import microbench
+
+
+@pytest.fixture(scope="module")
+def result():
+    return microbench.run_micro_overheads()
+
+
+def test_all_overhead_checks_pass(result):
+    failing = [c for c in result.checks if not c.passed]
+    assert not failing, failing
+
+
+def test_silent_tstore_is_free():
+    assert abs(microbench.silent_tstore_overhead()) < 0.5
+
+
+def test_clean_tcheck_is_free():
+    assert abs(microbench.clean_tcheck_overhead()) < 2.0
+
+
+def test_roundtrip_grows_then_pays_off_with_overlap():
+    """For a tiny body the thread round trip costs a few cycles; the
+    mechanism's payoff comes from skipping and overlap (E3/E9), not from
+    making a hot 8-op computation cheaper."""
+    small = microbench.trigger_roundtrip_overhead(work=8)
+    assert -5.0 < small < 100.0

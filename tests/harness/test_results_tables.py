@@ -1,0 +1,95 @@
+"""ExperimentResult records and text rendering."""
+
+import json
+
+import pytest
+
+from repro.harness.results import ExperimentResult, ShapeCheck
+from repro.harness.tables import ascii_table, bar_series
+
+
+def sample_result():
+    return ExperimentResult(
+        "E9", "A sample", ["name", "value"],
+        [["a", 1.23456], ["b", 2]],
+        paper_claim="things go up",
+    )
+
+
+def test_check_range_pass_and_fail():
+    result = sample_result()
+    result.check_range("in band", 0.5, 0.4, 0.6)
+    result.check_range("out of band", 0.9, 0.4, 0.6)
+    assert result.checks[0].passed
+    assert not result.checks[1].passed
+    assert not result.all_passed
+
+
+def test_all_passed_with_no_checks():
+    assert sample_result().all_passed
+
+
+def test_render_contains_table_and_checks():
+    result = sample_result()
+    result.add_check("looks right", True, "detail here")
+    text = result.render()
+    assert "E9" in text
+    assert "paper claim" in text
+    assert "[PASS] looks right" in text
+    assert "| a" in text
+
+
+def test_render_marks_failures():
+    result = sample_result()
+    result.add_check("broken", False, "oops")
+    assert "[FAIL] broken" in result.render()
+
+
+def test_json_round_trip():
+    result = sample_result()
+    result.add_check("c", True)
+    payload = json.loads(result.to_json())
+    assert payload["experiment"] == "E9"
+    assert payload["rows"] == [["a", 1.23456], ["b", 2]]
+    assert payload["checks"][0]["name"] == "c"
+
+
+def test_shape_check_repr():
+    assert "PASS" in repr(ShapeCheck("x", True))
+    assert "FAIL" in repr(ShapeCheck("x", False))
+
+
+# -- tables --------------------------------------------------------------------
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["col", "x"], [["aaa", 1], ["b", 22.5]])
+    lines = text.splitlines()
+    assert len({len(line) for line in lines}) == 1  # rectangular
+    assert "aaa" in text
+    assert "22.500" in text  # float formatting
+
+
+def test_ascii_table_handles_wide_cells():
+    text = ascii_table(["c"], [["a very long cell indeed"]])
+    assert "a very long cell indeed" in text
+
+
+def test_bar_series_scales_to_peak():
+    text = bar_series(["small", "big"], [1.0, 4.0], width=8)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 8
+    assert lines[0].count("#") == 2
+
+
+def test_bar_series_validates_lengths():
+    with pytest.raises(ValueError):
+        bar_series(["a"], [1.0, 2.0])
+
+
+def test_bar_series_empty():
+    assert "empty" in bar_series([], [])
+
+
+def test_bar_series_units():
+    assert "2.000x" in bar_series(["a"], [2.0], unit="x")

@@ -1,0 +1,71 @@
+"""SuiteRunner memoization and correctness cross-checks."""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.harness.runner import SuiteRunner
+from repro.workloads.suite import SUITE
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner()
+
+
+def test_timed_results_are_memoized(runner):
+    workload = SUITE["perlbmk"]
+    first = runner.timed(workload, "baseline")
+    second = runner.timed(workload, "baseline")
+    assert first is second
+
+
+def test_distinct_kinds_not_aliased(runner):
+    workload = SUITE["perlbmk"]
+    baseline = runner.timed(workload, "baseline")
+    dtt = runner.timed(workload, "dtt")
+    assert baseline is not dtt
+    assert dtt.engine_summary is not None
+    assert baseline.engine_summary is None
+
+
+def test_dtt_config_fingerprint_distinguishes(runner):
+    workload = SUITE["perlbmk"]
+    default = runner.timed(workload, "dtt")
+    unfiltered = runner.timed(workload, "dtt",
+                              dtt_config=DttConfig(same_value_filter=False))
+    assert default is not unfiltered
+    assert (unfiltered.engine_summary["triggers_fired"]
+            > default.engine_summary["triggers_fired"])
+
+
+def test_dtt_output_checked_against_baseline(runner):
+    workload = SUITE["perlbmk"]
+    baseline = runner.timed(workload, "baseline")
+    dtt = runner.timed(workload, "dtt")
+    assert dtt.output == baseline.output
+
+
+def test_speedup_and_engine_access(runner):
+    workload = SUITE["perlbmk"]
+    speedup = runner.speedup(workload)
+    assert speedup > 0.9
+    engine = runner.engine_for(workload, "dtt")
+    assert engine.summary()["consumes"] > 0
+
+
+def test_profile_memoized(runner):
+    workload = SUITE["perlbmk"]
+    assert runner.profile(workload) is runner.profile(workload)
+
+
+def test_suite_iterates_canonical_order(runner):
+    assert [w.name for w in runner.suite()] == list(SUITE)
+
+
+def test_different_seed_runner_is_distinct():
+    a = SuiteRunner(seed=1)
+    b = SuiteRunner(seed=2)
+    workload = SUITE["perlbmk"]
+    ra = a.timed(workload, "baseline")
+    rb = b.timed(workload, "baseline")
+    assert ra.output != rb.output

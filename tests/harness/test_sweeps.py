@@ -1,0 +1,23 @@
+"""Robustness sweeps over two seeds (a fast subset of the CLI's three)."""
+
+import pytest
+
+from repro.harness.sweeps import sweep_redundancy, sweep_speedup
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return (1234, 999)
+
+
+def test_redundancy_sweep_stable(seeds):
+    result = sweep_redundancy(seeds)
+    assert result.all_passed, [c for c in result.checks if not c.passed]
+    assert len(result.rows) == len(seeds) + 1  # per-seed + summary
+
+
+def test_speedup_sweep_stable(seeds):
+    result = sweep_speedup(seeds)
+    assert result.all_passed, [c for c in result.checks if not c.passed]
+    # mcf is the max at both seeds
+    assert all("(mcf)" in row[2] for row in result.rows[:-1])

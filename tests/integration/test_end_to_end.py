@@ -1,0 +1,146 @@
+"""Cross-module integration stories.
+
+Each test exercises a pipeline a real user would run: author a program
+with the builder, serialize it, execute it functionally and timed, attach
+the DTT machinery, profile it, and compare the answers across every path.
+"""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.core.runtime import DttRuntime
+from repro.isa.assembler import format_program, parse_program
+from repro.machine.machine import Machine, run_to_completion
+from repro.profiling.report import profile_program
+from repro.timing.params import named_config
+from repro.timing.system import TimingSimulator
+from repro.workloads.suite import SUITE
+
+from tests.conftest import build_dtt_sum, expected_dtt_sum
+
+
+VALUES = [3, 1, 4, 1, 5, 9, 2, 6]
+IDX = [0, 2, 2, 5, 7, 0, 3, 2]
+VAL = [7, 4, 4, 1, 6, 7, 8, 4]
+EXPECTED = expected_dtt_sum(VALUES, IDX, VAL)
+
+
+def test_assembled_program_runs_identically():
+    """builder -> text -> parser -> machine gives the same results."""
+    program, spec = build_dtt_sum(VALUES, IDX, VAL)
+    reparsed = parse_program(format_program(program)).finalize()
+    machine = Machine(reparsed, num_contexts=2)
+    machine.attach_engine(DttEngine(ThreadRegistry([spec])))
+    assert run_to_completion(machine) == EXPECTED
+
+
+def test_functional_and_timed_outputs_agree():
+    program, spec = build_dtt_sum(VALUES, IDX, VAL)
+    functional = Machine(program, num_contexts=2)
+    functional.attach_engine(DttEngine(ThreadRegistry([spec])))
+    functional_output = run_to_completion(functional)
+
+    program2, spec2 = build_dtt_sum(VALUES, IDX, VAL)
+    timed = TimingSimulator(
+        program2, named_config("smt2"),
+        engine=DttEngine(ThreadRegistry([spec2]), deferred=True),
+    ).run()
+    assert timed.output == functional_output == EXPECTED
+
+
+def test_hardware_and_software_dtt_agree():
+    """The simulated DTT machine and the Python DttRuntime implement the
+    same semantics: same outputs AND same trigger statistics."""
+    program, spec = build_dtt_sum(VALUES, IDX, VAL)
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    machine.attach_engine(engine)
+    hw_output = run_to_completion(machine)
+
+    rt = DttRuntime()
+    xs = rt.array("xs", VALUES)
+    derived = {"sum": sum(VALUES)}
+
+    @rt.support_thread(triggers=[xs], per_index_dedupe=False)
+    def refresh(event):
+        derived["sum"] = sum(xs)
+
+    sw_output = []
+    for i, v in zip(IDX, VAL):
+        xs[i] = v
+        rt.tcheck(refresh)
+        sw_output.append(derived["sum"])
+
+    assert hw_output == sw_output == EXPECTED
+    hw = engine.status["sumthr"]
+    sw = refresh.stats
+    assert hw.triggering_stores == sw.triggering_stores
+    assert hw.same_value_suppressed == sw.same_value_suppressed
+    assert hw.clean_consumes == sw.clean_consumes
+
+
+def test_profiler_sees_less_redundancy_in_dtt_build():
+    """The conversion removes redundant work, so the DTT build's dynamic
+    redundant-load fraction drops relative to the baseline."""
+    workload = SUITE["mcf"]
+    inp = workload.make_input()
+    baseline = profile_program(workload.build_baseline(inp), "mcf-baseline")
+    build = workload.build_dtt(inp)
+    dtt = profile_program(build.program, "mcf-dtt",
+                          engine=build.engine(), num_contexts=2)
+    assert dtt.output == baseline.output
+    assert dtt.instructions < baseline.instructions
+    assert (dtt.loads.total_loads < baseline.loads.total_loads)
+
+
+def test_energy_tracks_instruction_elimination():
+    workload = SUITE["gcc"]
+    inp = workload.make_input()
+    config = named_config("smt2")
+    baseline = TimingSimulator(workload.build_baseline(inp), config).run()
+    build = workload.build_dtt(inp)
+    dtt = TimingSimulator(build.program, named_config("smt2"),
+                          engine=build.engine(deferred=True)).run()
+    instruction_ratio = dtt.instructions / baseline.instructions
+    energy_ratio = dtt.energy / baseline.energy
+    assert energy_ratio < 1.0
+    assert abs(energy_ratio - instruction_ratio) < 0.3
+
+
+def test_queue_pressure_never_changes_results():
+    for capacity in (1, 2, 4):
+        program, spec = build_dtt_sum(VALUES, IDX, VAL)
+        machine = Machine(program, num_contexts=2)
+        machine.attach_engine(DttEngine(
+            ThreadRegistry([spec]),
+            config=DttConfig(queue_capacity=capacity),
+        ))
+        assert run_to_completion(machine) == EXPECTED
+
+
+def test_machine_reuse_across_workloads():
+    """Several workloads can be built and run in one process without any
+    shared-state leakage (fresh machines, engines, memories)."""
+    outputs = {}
+    for name in ("perlbmk", "vpr", "gap"):
+        workload = SUITE[name]
+        inp = workload.make_input()
+        outputs[name] = workload.run_dtt(inp)
+    for name, output in outputs.items():
+        workload = SUITE[name]
+        assert output == workload.reference_output(workload.make_input())
+
+
+@pytest.mark.parametrize("config_name", ["smt2", "smt4", "cmp2", "serial"])
+def test_mcf_speedup_positive_on_every_machine(config_name):
+    workload = SUITE["mcf"]
+    inp = workload.make_input()
+    baseline = TimingSimulator(workload.build_baseline(inp),
+                               named_config(config_name)).run()
+    build = workload.build_dtt(inp)
+    dtt = TimingSimulator(build.program, named_config(config_name),
+                          engine=build.engine(deferred=True)).run()
+    assert dtt.output == baseline.output
+    assert baseline.cycles / dtt.cycles > 3.0

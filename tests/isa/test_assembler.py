@@ -1,0 +1,199 @@
+"""Two-way assembler: formatting, parsing, errors, and round-trip.
+
+The round-trip property (parse(format(p)) reproduces p) is checked both
+on hand-written programs and on hypothesis-generated random programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import (
+    format_instruction,
+    format_program,
+    parse_instruction,
+    parse_program,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGISTERS
+
+
+# -- single instructions ----------------------------------------------------
+
+
+@pytest.mark.parametrize("text,op", [
+    ("add r1, r2, r3", "add"),
+    ("li r4, 17", "li"),
+    ("li r4, -2.5", "li"),
+    ("ld r5, r6, 12", "ld"),
+    ("beq r1, r2, loop_top", "beq"),
+    ("jmp end", "jmp"),
+    ("halt", "halt"),
+    ("tcheck 0", "tcheck"),
+])
+def test_parse_instruction_accepts(text, op):
+    assert parse_instruction(text).op == op
+
+
+@pytest.mark.parametrize("text", [
+    "",
+    "bogus r1, r2",
+    "add r1, r2",          # too few operands
+    "add r1, r2, r3, r4",  # too many
+    "add r1, r2, 7",       # immediate where register expected
+    "li r1, banana",
+    "add r99, r2, r3",     # register out of range
+])
+def test_parse_instruction_rejects(text):
+    with pytest.raises(AssemblerError):
+        parse_instruction(text)
+
+
+def test_instruction_round_trip_each_shape():
+    cases = [
+        Instruction("add", 1, 2, 3),
+        Instruction("li", 4, -17),
+        Instruction("li", 4, 3.25),
+        Instruction("ld", 5, 6, 100),
+        Instruction("stx", 7, 8, 9),
+        Instruction("beqz", 2, label="somewhere"),
+        Instruction("jmp", label="x"),
+        Instruction("tcheck", 1),
+        Instruction("halt"),
+    ]
+    for instruction in cases:
+        assert parse_instruction(format_instruction(instruction)) == instruction
+
+
+# -- whole programs ------------------------------------------------------------
+
+
+def test_program_round_trip(sum_program):
+    text = format_program(sum_program)
+    parsed = parse_program(text).finalize()
+    assert parsed.instructions == sum_program.instructions
+    assert parsed.labels == sum_program.labels
+    assert parsed.entry_label == sum_program.entry_label
+    assert [(d.name, d.values) for d in parsed.data_items] == [
+        (d.name, d.values) for d in sum_program.data_items
+    ]
+
+
+def test_program_round_trip_with_threads():
+    b = ProgramBuilder()
+    b.data("xs", [1.5, 2, 3])
+    with b.thread("worker"):
+        b.treturn()
+    with b.function("main"):
+        b.tcheck_thread("worker")
+        b.halt()
+    program = b.build()
+    parsed = parse_program(format_program(program)).finalize()
+    assert parsed.threads == program.threads
+    assert parsed.instructions == program.instructions
+    assert [(f.name, f.start, f.end) for f in parsed.functions] == [
+        (f.name, f.start, f.end) for f in program.functions
+    ]
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    ; a comment
+    .entry main
+    # another comment
+    main:
+        li r4, 1   ; trailing comment
+        halt
+    """
+    program = parse_program(text).finalize()
+    assert len(program) == 2
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblerError):
+        parse_program(".frob x")
+
+
+def test_bad_directive_arity_rejected():
+    with pytest.raises(AssemblerError):
+        parse_program(".entry a b")
+    with pytest.raises(AssemblerError):
+        parse_program(".thread onlyname")
+    with pytest.raises(AssemblerError):
+        parse_program(".func f 0")
+    with pytest.raises(AssemblerError):
+        parse_program(".func f zero one")
+
+
+def test_empty_label_rejected():
+    with pytest.raises(AssemblerError):
+        parse_program("  :\n")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        parse_program("main:\n    halt\n    bogus r1\n")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_format_nonfinalized_with_patches_rejected():
+    b = ProgramBuilder()
+    b.data("xs", [1])
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.la(r, "xs")
+        b.halt()
+    with pytest.raises(AssemblerError):
+        format_program(b.program)  # not finalized, pending patch
+
+
+def test_trailing_label_round_trips():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("halt"))
+    p.add_label("end")  # bound at len(instructions)
+    p.finalize()
+    parsed = parse_program(format_program(p)).finalize()
+    assert parsed.labels == p.labels
+
+
+# -- property: random-program round trip ---------------------------------------
+
+
+_SIMPLE_OPS = [op for op, info in OPCODES.items()
+               if "L" not in info.signature and op not in ("treturn",)]
+
+
+@st.composite
+def random_instruction(draw):
+    op = draw(st.sampled_from(_SIMPLE_OPS))
+    info = OPCODES[op]
+    slots = []
+    for code in info.signature:
+        if code == "R":
+            slots.append(draw(st.integers(0, NUM_REGISTERS - 1)))
+        elif code == "I":
+            value = draw(st.one_of(
+                st.integers(-10**6, 10**6),
+                st.floats(allow_nan=False, allow_infinity=False,
+                          width=32),
+            ))
+            slots.append(value)
+    while len(slots) < 3:
+        slots.append(None)
+    return Instruction(op, slots[0], slots[1], slots[2])
+
+
+@given(st.lists(random_instruction(), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_random_program_round_trip(instructions):
+    program = Program()
+    program.add_label("main")
+    for instruction in instructions:
+        program.append(instruction)
+    program.append(Instruction("halt"))
+    program.finalize()
+    parsed = parse_program(format_program(program)).finalize()
+    assert parsed.instructions == program.instructions

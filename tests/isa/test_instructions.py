@@ -1,0 +1,156 @@
+"""Instruction construction, validation, opcode metadata, operand roles."""
+
+import pytest
+
+from repro.errors import InvalidInstructionError
+from repro.isa.instructions import (
+    Instruction,
+    OPCODES,
+    OpClass,
+    is_branch,
+    is_load,
+    is_store,
+    is_triggering_store,
+    operand_roles,
+)
+
+
+def test_opcode_table_is_nonempty_and_classified():
+    assert len(OPCODES) > 50
+    for info in OPCODES.values():
+        assert isinstance(info.op_class, OpClass)
+        assert set(info.signature) <= set("RIL")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("frobnicate", 1, 2, 3)
+
+
+def test_rrr_instruction():
+    i = Instruction("add", 1, 2, 3)
+    assert i.operands() == (1, 2, 3)
+    assert i.op_class is OpClass.IALU
+
+
+def test_register_out_of_range_rejected():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("add", 1, 2, 99)
+
+
+def test_register_slot_rejects_float():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("add", 1, 2.5, 3)
+
+
+def test_register_slot_rejects_bool():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("add", 1, True, 3)
+
+
+def test_immediate_accepts_int_and_float():
+    assert Instruction("li", 4, 3).b == 3
+    assert Instruction("li", 4, 2.75).b == 2.75
+
+
+def test_immediate_rejects_string():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("li", 4, "seven")
+
+
+def test_branch_requires_label():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("beq", 1, 2)
+    i = Instruction("beq", 1, 2, label="target")
+    assert i.label == "target"
+    assert i.target is None  # unresolved until finalize
+
+
+def test_non_branch_rejects_label():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("add", 1, 2, 3, label="oops")
+
+
+def test_too_many_operands_rejected():
+    with pytest.raises(InvalidInstructionError):
+        Instruction("mov", 1, 2, 3)
+
+
+def test_nullary_instructions():
+    for op in ("nop", "halt", "ret", "treturn"):
+        i = Instruction(op)
+        assert i.operands() == ()
+
+
+def test_equality_ignores_resolution_state():
+    a = Instruction("jmp", label="x")
+    b = Instruction("jmp", label="x")
+    a.target = 5
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_inequality_on_different_operands():
+    assert Instruction("add", 1, 2, 3) != Instruction("add", 1, 2, 4)
+    assert Instruction("add", 1, 2, 3) != Instruction("sub", 1, 2, 3)
+
+
+# -- classification helpers -----------------------------------------------
+
+
+def test_is_load():
+    assert is_load("ld") and is_load("ldx")
+    assert not is_load("st")
+
+
+def test_is_store_includes_triggering():
+    for op in ("st", "stx", "tst", "tstx"):
+        assert is_store(op)
+    assert not is_store("ld")
+
+
+def test_is_triggering_store():
+    assert is_triggering_store("tst") and is_triggering_store("tstx")
+    assert not is_triggering_store("st")
+
+
+def test_is_branch():
+    for op in ("beq", "bne", "blt", "ble", "bgt", "bge", "beqz", "bnez"):
+        assert is_branch(op)
+    for op in ("jmp", "call", "ret"):
+        assert not is_branch(op)
+
+
+# -- operand roles -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("op,dest,sources", [
+    ("add", "a", ("b", "c")),
+    ("addi", "a", ("b",)),
+    ("li", "a", ()),
+    ("mov", "a", ("b",)),
+    ("ld", "a", ("b",)),
+    ("ldx", "a", ("b", "c")),
+    ("st", None, ("a", "b")),
+    ("stx", None, ("a", "b", "c")),
+    ("tst", None, ("a", "b")),
+    ("beq", None, ("a", "b")),
+    ("beqz", None, ("a",)),
+    ("out", None, ("a",)),
+    ("jmp", None, ()),
+    ("fsqrt", "a", ("b",)),
+])
+def test_operand_roles(op, dest, sources):
+    assert operand_roles(op) == (dest, sources)
+
+
+def test_operand_roles_unknown_opcode():
+    with pytest.raises(InvalidInstructionError):
+        operand_roles("bogus")
+
+
+def test_every_opcode_has_roles():
+    for op in OPCODES:
+        dest, sources = operand_roles(op)
+        if dest is not None:
+            assert dest == "a"

@@ -1,0 +1,233 @@
+"""Program construction, finalization, layout, and symbol patches."""
+
+import pytest
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import Instruction
+from repro.isa.program import DataItem, Program, data_layout
+
+
+def _minimal() -> Program:
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("halt"))
+    return p
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramValidationError):
+        Program().finalize()
+
+
+def test_missing_entry_rejected():
+    p = Program()
+    p.append(Instruction("halt"))
+    with pytest.raises(ProgramValidationError):
+        p.finalize()
+
+
+def test_minimal_program_finalizes():
+    p = _minimal().finalize()
+    assert p.finalized
+    assert p.entry_pc == 0
+    assert len(p) == 1
+
+
+def test_finalize_is_idempotent():
+    p = _minimal()
+    assert p.finalize() is p.finalize()
+
+
+def test_finalized_program_is_immutable():
+    p = _minimal().finalize()
+    with pytest.raises(ProgramValidationError):
+        p.append(Instruction("nop"))
+    with pytest.raises(ProgramValidationError):
+        p.add_label("late")
+    with pytest.raises(ProgramValidationError):
+        p.add_data("late", [1])
+
+
+def test_duplicate_label_rejected():
+    p = Program()
+    p.add_label("x")
+    with pytest.raises(ProgramValidationError):
+        p.add_label("x")
+
+
+def test_undefined_branch_label_rejected():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("jmp", label="nowhere"))
+    with pytest.raises(ProgramValidationError):
+        p.finalize()
+
+
+def test_branch_target_resolution():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("jmp", label="end"))
+    p.append(Instruction("nop"))
+    p.add_label("end", 2)
+    p.append(Instruction("halt"))
+    p.finalize()
+    assert p.instructions[0].target == 2
+
+
+def test_label_pointing_past_end_rejected_for_branches():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("jmp", label="off_end"))
+    p.add_label("off_end")  # binds to len(instructions) == 1 ... then:
+    p.append(Instruction("halt"))
+    # off_end == 1 which is valid; rebuild with a truly past-end label
+    q = Program()
+    q.add_label("main")
+    q.append(Instruction("jmp", label="past"))
+    q.add_label("past", 5)
+    with pytest.raises(ProgramValidationError):
+        q.finalize()
+
+
+def test_duplicate_data_item_rejected():
+    p = Program()
+    p.add_data("xs", [1])
+    with pytest.raises(ProgramValidationError):
+        p.add_data("xs", [2])
+
+
+def test_thread_declaration_and_entry_pc():
+    p = Program()
+    p.declare_thread("worker", "wentry")
+    p.add_label("wentry")
+    p.append(Instruction("treturn"))
+    p.add_label("main", 1)
+    p.append(Instruction("halt"))
+    p.finalize()
+    assert p.thread_entry_pc("worker") == 0
+
+
+def test_thread_with_undefined_entry_rejected():
+    p = Program()
+    p.declare_thread("worker", "missing")
+    p.add_label("main")
+    p.append(Instruction("treturn"))
+    with pytest.raises(ProgramValidationError):
+        p.finalize()
+
+
+def test_threads_without_treturn_rejected():
+    p = Program()
+    p.declare_thread("worker", "main")
+    p.add_label("main")
+    p.append(Instruction("halt"))
+    with pytest.raises(ProgramValidationError):
+        p.finalize()
+
+
+def test_unknown_thread_entry_query():
+    p = _minimal().finalize()
+    with pytest.raises(ProgramValidationError):
+        p.thread_entry_pc("ghost")
+
+
+# -- layout and symbol patches ----------------------------------------------
+
+
+def test_data_layout_alignment():
+    items = [DataItem("a", [1] * 5), DataItem("b", [2] * 20), DataItem("c", [3])]
+    layout = data_layout(items, base=64, align=16)
+    assert layout["a"] == (64, 5)
+    assert layout["b"] == (80, 20)  # aligned up from 69
+    assert layout["c"] == (112, 1)  # aligned up from 100
+
+
+def test_data_layout_empty_item_takes_space():
+    layout = data_layout([DataItem("empty", []), DataItem("next", [1])],
+                         base=0, align=16)
+    assert layout["empty"][0] != layout["next"][0]
+
+
+def test_symbol_patch_applied_at_finalize():
+    p = Program()
+    p.add_data("xs", [10, 20, 30])
+    p.add_label("main")
+    pc = p.append(Instruction("li", 4, 0))
+    p.add_symbol_patch(pc, "b", "xs", offset=2)
+    p.append(Instruction("halt"))
+    p.finalize()
+    assert p.instructions[0].b == p.address_of("xs") + 2
+
+
+def test_symbol_patch_unknown_symbol_rejected():
+    p = Program()
+    p.add_label("main")
+    pc = p.append(Instruction("li", 4, 0))
+    p.add_symbol_patch(pc, "b", "ghost")
+    p.append(Instruction("halt"))
+    with pytest.raises(ProgramValidationError):
+        p.finalize()
+
+
+def test_symbol_patch_bad_slot_rejected():
+    p = Program()
+    with pytest.raises(ProgramValidationError):
+        p.add_symbol_patch(0, "d", "xs")
+
+
+def test_address_of_requires_finalized():
+    p = Program()
+    p.add_data("xs", [1])
+    with pytest.raises(ProgramValidationError):
+        p.address_of("xs")
+
+
+def test_address_and_size_of():
+    p = _minimal()
+    p.add_data("xs", [1, 2, 3])
+    p.finalize()
+    assert p.size_of("xs") == 3
+    assert p.address_of("xs") >= Program.DATA_BASE
+    assert p.address_of("xs", 1) == p.address_of("xs") + 1
+    with pytest.raises(ProgramValidationError):
+        p.address_of("nope")
+    with pytest.raises(ProgramValidationError):
+        p.size_of("nope")
+
+
+def test_data_items_never_share_a_cache_line():
+    p = _minimal()
+    p.add_data("a", [1] * 3)
+    p.add_data("b", [2] * 3)
+    p.finalize()
+    line = Program.DATA_ALIGN
+    assert p.address_of("a") // line != p.address_of("b") // line
+
+
+# -- queries -------------------------------------------------------------------
+
+
+def test_labels_at_and_function_at():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("nop"))
+    p.append(Instruction("halt"))
+    p.add_function("main", 0, 2)
+    p.finalize()
+    assert p.labels_at(0) == ["main"]
+    assert p.labels_at(1) == []
+    assert p.function_at(1).name == "main"
+    assert p.function_at(5) is None
+
+
+def test_static_counts_by_class():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("li", 4, 1))
+    p.append(Instruction("add", 4, 4, 4))
+    p.append(Instruction("halt"))
+    counts = p.static_counts_by_class()
+    from repro.isa.instructions import OpClass
+
+    assert counts[OpClass.IALU] == 2
+    assert counts[OpClass.SYS] == 1

@@ -1,0 +1,60 @@
+"""Register names, indices, and the trigger-argument convention."""
+
+import pytest
+
+from repro.errors import InvalidRegisterError
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    Reg,
+    TRIGGER_ADDR_REG,
+    TRIGGER_OLD_VALUE_REG,
+    TRIGGER_VALUE_REG,
+    register_index,
+    register_name,
+)
+
+
+def test_reg_is_an_int():
+    r = Reg(5)
+    assert r == 5
+    assert isinstance(r, int)
+    assert repr(r) == "r5"
+
+
+def test_reg_rejects_out_of_range():
+    with pytest.raises(InvalidRegisterError):
+        Reg(NUM_REGISTERS)
+    with pytest.raises(InvalidRegisterError):
+        Reg(-1)
+
+
+@pytest.mark.parametrize("index", [0, 1, 15, NUM_REGISTERS - 1])
+def test_name_index_round_trip(index):
+    assert register_index(register_name(index)) == index
+
+
+@pytest.mark.parametrize("bad", ["", "x3", "r", "r-1", "rfoo", "3"])
+def test_register_index_rejects_malformed(bad):
+    with pytest.raises(InvalidRegisterError):
+        register_index(bad)
+
+
+def test_register_index_rejects_out_of_range():
+    with pytest.raises(InvalidRegisterError):
+        register_index(f"r{NUM_REGISTERS}")
+
+
+def test_register_name_rejects_out_of_range():
+    with pytest.raises(InvalidRegisterError):
+        register_name(NUM_REGISTERS)
+
+
+def test_trigger_convention_registers_are_distinct_and_low():
+    convention = {TRIGGER_ADDR_REG, TRIGGER_VALUE_REG, TRIGGER_OLD_VALUE_REG}
+    assert len(convention) == 3
+    assert all(0 < r < NUM_REGISTERS for r in convention)
+
+
+def test_reg_hashes_like_int():
+    assert hash(Reg(7)) == hash(7)
+    assert {Reg(7): "x"}[7] == "x"

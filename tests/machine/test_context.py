@@ -1,0 +1,105 @@
+"""Context lifecycle: main/support roles, blocking, trigger arguments."""
+
+import pytest
+
+from repro.errors import ContextError
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    TRIGGER_ADDR_REG,
+    TRIGGER_OLD_VALUE_REG,
+    TRIGGER_VALUE_REG,
+)
+from repro.machine.context import Context, ContextRole, ContextState
+
+
+def test_fresh_context_is_idle():
+    ctx = Context(0)
+    assert ctx.state is ContextState.IDLE
+    assert not ctx.runnable
+    assert ctx.regs == [0] * NUM_REGISTERS
+
+
+def test_start_main():
+    ctx = Context(0)
+    ctx.start_main(17)
+    assert ctx.pc == 17
+    assert ctx.role is ContextRole.MAIN
+    assert ctx.runnable
+
+
+def test_start_main_rejected_while_running():
+    ctx = Context(0)
+    ctx.start_main(0)
+    with pytest.raises(ContextError):
+        ctx.start_main(0)
+
+
+def test_restart_main_after_halt_allowed():
+    ctx = Context(0)
+    ctx.start_main(0)
+    ctx.state = ContextState.HALTED
+    ctx.start_main(3)
+    assert ctx.pc == 3
+
+
+def test_start_support_loads_trigger_arguments():
+    ctx = Context(1)
+    ctx.start_support(40, "worker", trigger_addr=100, new_value=7,
+                      old_value=3)
+    assert ctx.role is ContextRole.SUPPORT
+    assert ctx.thread_name == "worker"
+    assert ctx.regs[TRIGGER_ADDR_REG] == 100
+    assert ctx.regs[TRIGGER_VALUE_REG] == 7
+    assert ctx.regs[TRIGGER_OLD_VALUE_REG] == 3
+
+
+def test_start_support_rejected_unless_idle():
+    ctx = Context(1)
+    ctx.start_support(0, "w", 0, 0, 0)
+    with pytest.raises(ContextError):
+        ctx.start_support(0, "w", 0, 0, 0)
+
+
+def test_finish_support_returns_to_idle():
+    ctx = Context(1)
+    ctx.start_support(0, "w", 0, 0, 0)
+    ctx.finish_support()
+    assert ctx.state is ContextState.IDLE
+    assert ctx.thread_name is None
+
+
+def test_finish_support_rejected_for_main():
+    ctx = Context(0)
+    ctx.start_main(0)
+    with pytest.raises(ContextError):
+        ctx.finish_support()
+
+
+def test_block_and_unblock():
+    ctx = Context(0)
+    ctx.start_main(0)
+    ctx.block_on(2)
+    assert ctx.state is ContextState.BLOCKED
+    assert ctx.waiting_on == 2
+    assert not ctx.runnable
+    ctx.unblock()
+    assert ctx.runnable
+    assert ctx.waiting_on is None
+
+
+def test_block_rejected_for_support():
+    ctx = Context(1)
+    ctx.start_support(0, "w", 0, 0, 0)
+    with pytest.raises(ContextError):
+        ctx.block_on(0)
+
+
+def test_unblock_rejected_unless_blocked():
+    ctx = Context(0)
+    ctx.start_main(0)
+    with pytest.raises(ContextError):
+        ctx.unblock()
+
+
+def test_core_assignment():
+    assert Context(3, core_id=1).core_id == 1

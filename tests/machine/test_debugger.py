@@ -1,0 +1,168 @@
+"""Debugger: breakpoints, watchpoints, conditions, stepping, inspection."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.isa.builder import ProgramBuilder
+from repro.machine.context import ContextState
+from repro.machine.debugger import Debugger, StopKind
+from repro.machine.machine import Machine
+
+
+def counting_program():
+    """Increments mem[counter] five times; labels each region."""
+    b = ProgramBuilder()
+    b.zeros("counter", 1)
+    with b.function("main"):
+        with b.scratch(3) as (base, i, v):
+            b.la(base, "counter")
+            b.label("loop_body")
+            with b.for_range(i, 0, 5):
+                b.ld(v, base, 0)
+                b.addi(v, v, 1)
+                b.label("store_site")
+                b.st(v, base, 0)
+            b.label("done")
+            b.ld(v, base, 0)
+            b.out(v)
+        b.halt()
+    return b.build()
+
+
+@pytest.fixture
+def machine():
+    return Machine(counting_program())
+
+
+def test_run_to_halt_without_conditions(machine):
+    dbg = Debugger(machine)
+    stop = dbg.run()
+    assert stop.kind == StopKind.HALTED
+    assert machine.output == [5]
+
+
+def test_breakpoint_stops_before_instruction(machine):
+    dbg = Debugger(machine)
+    pc = dbg.add_breakpoint_at_label("done")
+    stop = dbg.run()
+    assert stop.kind == StopKind.BREAKPOINT
+    assert stop.pc == pc
+    assert machine.main_context.pc == pc  # not yet executed
+    # the loop completed: counter is 5
+    counter = machine.program.address_of("counter")
+    assert dbg.read_memory(counter) == [5]
+
+
+def test_continue_past_breakpoint(machine):
+    dbg = Debugger(machine)
+    dbg.add_breakpoint_at_label("store_site")
+    hits = 0
+    stop = dbg.run()
+    while stop.kind == StopKind.BREAKPOINT:
+        hits += 1
+        stop = dbg.continue_()
+    assert hits == 5  # once per iteration
+    assert stop.kind == StopKind.HALTED
+
+
+def test_watchpoint_fires_on_change(machine):
+    dbg = Debugger(machine)
+    counter = machine.program.address_of("counter")
+    dbg.add_watchpoint(counter)
+    values = []
+    stop = dbg.run()
+    while stop.kind == StopKind.WATCHPOINT:
+        values.append(dbg.read_memory(counter)[0])
+        stop = dbg.run()
+    assert values == [1, 2, 3, 4, 5]
+    assert stop.kind == StopKind.HALTED
+
+
+def test_watchpoint_ignores_silent_stores():
+    b = ProgramBuilder()
+    b.data("xs", [7])
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.st(v, base, 0)  # silent
+        b.halt()
+    machine = Machine(b.build())
+    dbg = Debugger(machine)
+    dbg.add_watchpoint(machine.program.address_of("xs"))
+    assert dbg.run().kind == StopKind.HALTED
+
+
+def test_condition_stop(machine):
+    dbg = Debugger(machine)
+    counter = machine.program.address_of("counter")
+    dbg.add_condition(
+        lambda m: "counter reached 3" if m.memory.peek(counter) >= 3 else None
+    )
+    stop = dbg.run()
+    assert stop.kind == StopKind.CONDITION
+    assert "counter reached 3" in stop.detail
+    assert dbg.read_memory(counter) == [3]
+
+
+def test_single_step(machine):
+    dbg = Debugger(machine)
+    first = dbg.step()
+    assert first.kind == StopKind.STEPPED
+    assert dbg.instructions_executed == 1
+    assert machine.main_context.pc == 1
+
+
+def test_step_after_halt_reports_halted(machine):
+    dbg = Debugger(machine)
+    dbg.run()
+    assert dbg.step().kind == StopKind.HALTED
+
+
+def test_remove_breakpoint_and_watchpoint(machine):
+    dbg = Debugger(machine)
+    pc = dbg.add_breakpoint_at_label("done")
+    dbg.remove_breakpoint(pc)
+    counter = machine.program.address_of("counter")
+    dbg.add_watchpoint(counter)
+    dbg.remove_watchpoint(counter)
+    assert dbg.run().kind == StopKind.HALTED
+
+
+def test_breakpoint_validation(machine):
+    dbg = Debugger(machine)
+    with pytest.raises(MachineError):
+        dbg.add_breakpoint(10_000)
+    with pytest.raises(MachineError):
+        dbg.add_breakpoint_at_label("nope")
+
+
+def test_where_reports_location(machine):
+    dbg = Debugger(machine)
+    dbg.add_breakpoint_at_label("done")
+    dbg.run()
+    text = dbg.where()
+    assert "main" in text
+    assert "pc" in text
+
+
+def test_runaway_guard(machine):
+    dbg = Debugger(machine)
+    with pytest.raises(MachineError, match="without stopping"):
+        dbg.run(max_instructions=3)
+
+
+def test_debugger_steps_over_synchronous_support_threads():
+    """A tcheck that runs a support thread synchronously looks like one
+    big step from the main context's perspective."""
+    from tests.conftest import build_dtt_sum, expected_dtt_sum
+    from repro.core.engine import DttEngine
+    from repro.core.registry import ThreadRegistry
+
+    program, spec = build_dtt_sum([1, 2], [0, 1], [9, 8])
+    machine = Machine(program, num_contexts=2)
+    machine.attach_engine(DttEngine(ThreadRegistry([spec])))
+    dbg = Debugger(machine)
+    stop = dbg.run()
+    assert stop.kind == StopKind.HALTED
+    assert machine.output == expected_dtt_sum([1, 2], [0, 1], [9, 8])

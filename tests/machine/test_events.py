@@ -1,0 +1,97 @@
+"""Observer hooks: what fires, with what arguments, and when."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.machine.events import MachineObserver, TraceObserver
+from repro.machine.machine import Machine, run_to_completion
+
+
+class Recorder(MachineObserver):
+    def __init__(self):
+        self.instructions = []
+        self.loads = []
+        self.stores = []
+        self.branches = []
+        self.halts = 0
+
+    def on_instruction(self, ctx, pc, instruction):
+        self.instructions.append((pc, instruction.op))
+
+    def on_load(self, ctx, pc, address, value):
+        self.loads.append((pc, address, value))
+
+    def on_store(self, ctx, pc, address, old, new, triggering):
+        self.stores.append((pc, address, old, new, triggering))
+
+    def on_branch(self, ctx, pc, taken, target):
+        self.branches.append((pc, taken, target))
+
+    def on_halt(self, ctx):
+        self.halts += 1
+
+
+def _observed_program():
+    b = ProgramBuilder()
+    b.data("xs", [10])
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.addi(v, v, 1)
+            b.st(v, base, 0)
+            b.li(v, 2)
+            b.tst(v, base, 0)
+            b.beqz(v, "end")
+        b.label("end")
+        b.halt()
+    return b.build()
+
+
+def test_hooks_fire_with_correct_arguments():
+    program = _observed_program()
+    machine = Machine(program)
+    recorder = Recorder()
+    machine.add_observer(recorder)
+    run_to_completion(machine)
+    base = program.address_of("xs")
+
+    assert recorder.loads == [(1, base, 10)]
+    # plain store wrote 11 over 10; triggering store wrote 2 over 11
+    assert recorder.stores[0][1:] == (base, 10, 11, False)
+    assert recorder.stores[1][1:] == (base, 11, 2, True)
+    assert recorder.branches == [(6, False, 7)]
+    assert recorder.halts == 1
+    assert len(recorder.instructions) == machine.instructions_executed
+
+
+def test_unobserved_machine_skips_hooks():
+    machine = Machine(_observed_program())
+    run_to_completion(machine)  # simply must not raise
+
+
+def test_remove_observer():
+    machine = Machine(_observed_program())
+    recorder = Recorder()
+    machine.add_observer(recorder)
+    machine.remove_observer(recorder)
+    run_to_completion(machine)
+    assert recorder.instructions == []
+
+
+def test_multiple_observers_all_fire():
+    machine = Machine(_observed_program())
+    first, second = Recorder(), Recorder()
+    machine.add_observer(first)
+    machine.add_observer(second)
+    run_to_completion(machine)
+    assert first.instructions == second.instructions
+
+
+def test_trace_observer_records_and_truncates():
+    machine = Machine(_observed_program())
+    trace = TraceObserver(max_entries=3)
+    machine.add_observer(trace)
+    run_to_completion(machine)
+    assert len(trace.entries) == 3
+    assert trace.truncated
+    assert "truncated" in trace.text()
+    assert "pc=" in trace.entries[0]

@@ -1,0 +1,52 @@
+"""Loader: data placement and non-polluting stores."""
+
+import pytest
+
+from repro.errors import ProgramValidationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.machine.loader import load_program
+from repro.machine.memory import Memory
+
+
+def test_loader_requires_finalized():
+    with pytest.raises(ProgramValidationError):
+        load_program(Program(), Memory())
+
+
+def test_loader_places_values_at_layout_addresses():
+    b = ProgramBuilder()
+    b.data("a", [1, 2, 3])
+    b.data("b", [4.5])
+    with b.function("main"):
+        b.halt()
+    program = b.build()
+    memory = Memory()
+    table = load_program(program, memory)
+    assert table == program.layout
+    base_a, size_a = table["a"]
+    assert memory.read_block(base_a, size_a) == [1, 2, 3]
+    assert memory.peek(table["b"][0]) == 4.5
+
+
+def test_loader_traffic_is_uncounted():
+    b = ProgramBuilder()
+    b.data("a", list(range(100)))
+    with b.function("main"):
+        b.halt()
+    memory = Memory()
+    load_program(b.build(), memory)
+    assert memory.store_count == 0
+    assert memory.load_count == 0
+
+
+def test_machine_loads_program_on_construction():
+    from repro.machine.machine import Machine
+
+    b = ProgramBuilder()
+    b.data("xs", [7])
+    with b.function("main"):
+        b.halt()
+    program = b.build()
+    machine = Machine(program)
+    assert machine.memory.peek(program.address_of("xs")) == 7

@@ -1,0 +1,366 @@
+"""Functional semantics of every DTIR opcode, plus machine-level faults."""
+
+import pytest
+
+from repro.errors import (
+    ContextError,
+    ExecutionFault,
+    ExecutionLimitExceeded,
+    ProgramValidationError,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.instructions import Instruction
+from repro.machine.machine import Machine, run_to_completion
+
+
+def eval_binary(op, lhs, rhs):
+    """Run ``out(op(lhs, rhs))`` and return the result."""
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(3) as (x, y, z):
+            b.li(x, lhs)
+            b.li(y, rhs)
+            b.emit(op, z, x, y)
+            b.out(z)
+        b.halt()
+    return run_to_completion(Machine(b.build()))[0]
+
+
+def eval_binary_imm(op, lhs, imm):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (x, z):
+            b.li(x, lhs)
+            b.emit(op, z, x, imm)
+            b.out(z)
+        b.halt()
+    return run_to_completion(Machine(b.build()))[0]
+
+
+def eval_unary(op, value):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (x, z):
+            b.li(x, value)
+            b.emit(op, z, x)
+            b.out(z)
+        b.halt()
+    return run_to_completion(Machine(b.build()))[0]
+
+
+# -- integer / generic ALU -----------------------------------------------------
+
+
+@pytest.mark.parametrize("op,lhs,rhs,expected", [
+    ("add", 3, 4, 7),
+    ("sub", 3, 4, -1),
+    ("mul", -3, 4, -12),
+    ("idiv", 7, 2, 3),
+    ("idiv", -7, 2, -3),     # truncation toward zero, not floor
+    ("idiv", 7, -2, -3),
+    ("imod", 7, 2, 1),
+    ("imod", -7, 2, -1),     # C-style: sign of the dividend
+    ("and_", 0b1100, 0b1010, 0b1000),
+    ("or_", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("shl", 3, 2, 12),
+    ("shr", 12, 2, 3),
+    ("slt", 1, 2, 1),
+    ("slt", 2, 2, 0),
+    ("sle", 2, 2, 1),
+    ("sgt", 3, 2, 1),
+    ("sge", 2, 2, 1),
+    ("seq", 5, 5, 1),
+    ("seq", 5, 6, 0),
+    ("sne", 5, 6, 1),
+])
+def test_binary_integer_ops(op, lhs, rhs, expected):
+    assert eval_binary(op, lhs, rhs) == expected
+
+
+@pytest.mark.parametrize("op,lhs,imm,expected", [
+    ("addi", 3, 4, 7),
+    ("subi", 3, 4, -1),
+    ("muli", 3, -4, -12),
+    ("andi", 0b1100, 0b1010, 0b1000),
+    ("ori", 0b1100, 0b1010, 0b1110),
+    ("xori", 0b1100, 0b1010, 0b0110),
+    ("shli", 3, 2, 12),
+    ("shri", 12, 2, 3),
+    ("slti", 1, 2, 1),
+    ("sgti", 3, 2, 1),
+    ("seqi", 5, 5, 1),
+])
+def test_binary_immediate_ops(op, lhs, imm, expected):
+    assert eval_binary_imm(op, lhs, imm) == expected
+
+
+def test_division_by_zero_faults():
+    with pytest.raises(ExecutionFault):
+        eval_binary("idiv", 1, 0)
+    with pytest.raises(ExecutionFault):
+        eval_binary("imod", 1, 0)
+    with pytest.raises(ExecutionFault):
+        eval_binary("fdiv", 1.0, 0.0)
+
+
+# -- floating point ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("op,lhs,rhs,expected", [
+    ("fadd", 1.5, 2.25, 3.75),
+    ("fsub", 1.5, 2.25, -0.75),
+    ("fmul", 1.5, 2.0, 3.0),
+    ("fdiv", 3.0, 2.0, 1.5),
+])
+def test_binary_float_ops(op, lhs, rhs, expected):
+    assert eval_binary(op, lhs, rhs) == expected
+
+
+def test_float_ops_coerce_integer_operands():
+    assert eval_binary("fdiv", 3, 2) == 1.5
+
+
+@pytest.mark.parametrize("op,value,expected", [
+    ("fsqrt", 9.0, 3.0),
+    ("fabs", -2.5, 2.5),
+    ("fneg", 2.5, -2.5),
+    ("itof", 3, 3.0),
+    ("ftoi", 3.9, 3),
+    ("ftoi", -3.9, -3),
+])
+def test_unary_float_ops(op, value, expected):
+    result = eval_unary(op, value)
+    assert result == expected
+    assert type(result) is type(expected)
+
+
+def test_fsqrt_of_negative_faults():
+    with pytest.raises(ExecutionFault):
+        eval_unary("fsqrt", -1.0)
+
+
+# -- data movement and memory -----------------------------------------------------
+
+
+def test_mov_and_li():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (x, y):
+            b.li(x, 11)
+            b.mov(y, x)
+            b.out(y)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [11]
+
+
+def test_ld_st_offsets():
+    b = ProgramBuilder()
+    b.data("xs", [5, 6, 7])
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 2)
+            b.out(v)
+            b.st(v, base, 0)
+            b.ld(v, base, 0)
+            b.out(v)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [7, 7]
+
+
+def test_ldx_stx_indexed():
+    b = ProgramBuilder()
+    b.data("xs", [5, 6, 7])
+    with b.function("main"):
+        with b.scratch(3) as (base, i, v):
+            b.la(base, "xs")
+            b.li(i, 1)
+            b.ldx(v, base, i)
+            b.addi(v, v, 100)
+            b.stx(v, base, i)
+            b.ldx(v, base, i)
+            b.out(v)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [106]
+
+
+def test_tst_without_engine_is_plain_store():
+    b = ProgramBuilder()
+    b.data("xs", [0])
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 9)
+            b.tst(v, base, 0)
+            b.ld(v, base, 0)
+            b.out(v)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [9]
+
+
+def test_tcheck_without_engine_is_a_nop():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.tcheck(0)
+        with b.scratch(1) as (r,):
+            b.li(r, 1)
+            b.out(r)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [1]
+
+
+def test_treturn_without_engine_faults():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("treturn"))
+    p.finalize()
+    machine = Machine(p)
+    with pytest.raises(ExecutionFault):
+        machine.step(machine.main_context)
+
+
+# -- control flow ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("op,lhs,rhs,taken", [
+    ("beq", 1, 1, True), ("beq", 1, 2, False),
+    ("bne", 1, 2, True), ("bne", 1, 1, False),
+    ("blt", 1, 2, True), ("blt", 2, 2, False),
+    ("ble", 2, 2, True), ("ble", 3, 2, False),
+    ("bgt", 3, 2, True), ("bgt", 2, 2, False),
+    ("bge", 2, 2, True), ("bge", 1, 2, False),
+])
+def test_conditional_branches(op, lhs, rhs, taken):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(3) as (x, y, r):
+            b.li(x, lhs)
+            b.li(y, rhs)
+            b.li(r, 0)
+            b.emit(op, x, y, label="skip")
+            b.li(r, 1)  # executed only when not taken
+            b.label("skip")
+            b.out(r)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [0 if taken else 1]
+
+
+@pytest.mark.parametrize("op,value,taken", [
+    ("beqz", 0, True), ("beqz", 3, False),
+    ("bnez", 3, True), ("bnez", 0, False),
+])
+def test_zero_branches(op, value, taken):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (x, r):
+            b.li(x, value)
+            b.li(r, 0)
+            b.emit(op, x, label="skip")
+            b.li(r, 1)
+            b.label("skip")
+            b.out(r)
+        b.halt()
+    assert run_to_completion(Machine(b.build())) == [0 if taken else 1]
+
+
+def test_ret_with_empty_stack_faults():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("ret"))
+    p.finalize()
+    machine = Machine(p)
+    with pytest.raises(ExecutionFault):
+        machine.step(machine.main_context)
+
+
+def test_runaway_recursion_faults():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("main")  # infinite self-call
+        b.halt()
+    machine = Machine(b.build())
+    with pytest.raises(ExecutionFault, match="call stack"):
+        run_to_completion(machine)
+
+
+# -- machine-level behavior --------------------------------------------------------
+
+
+def test_requires_finalized_program():
+    with pytest.raises(ProgramValidationError):
+        Machine(Program())
+
+
+def test_requires_at_least_one_context(tiny_program):
+    with pytest.raises(ContextError):
+        Machine(tiny_program, num_contexts=0)
+
+
+def test_instruction_limit_enforced():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.label("spin")
+        b.jmp("spin")
+    machine = Machine(b.build(), max_instructions=1000)
+    with pytest.raises(ExecutionLimitExceeded):
+        run_to_completion(machine)
+
+
+def test_running_off_the_end_faults():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("nop"))
+    p.finalize()
+    machine = Machine(p)
+    machine.step(machine.main_context)
+    with pytest.raises(ExecutionFault, match="ran off the end"):
+        machine.step(machine.main_context)
+
+
+def test_step_requires_running_context(tiny_program):
+    machine = Machine(tiny_program, num_contexts=2)
+    with pytest.raises(ContextError):
+        machine.step(machine.contexts[1])  # idle support context
+
+
+def test_step_returns_instruction_address_taken(sum_program):
+    machine = Machine(sum_program)
+    instruction, address, taken = machine.step(machine.main_context)
+    assert instruction.op == "li"  # la expands to li
+    assert address is None
+    assert taken is None
+
+
+def test_instruction_accounting_by_role(sum_program):
+    machine = Machine(sum_program)
+    run_to_completion(machine)
+    assert machine.instructions_executed == machine.main_instructions
+    assert machine.support_instructions == 0
+
+
+def test_contexts_per_core_assignment(tiny_program):
+    machine = Machine(tiny_program, num_contexts=4, contexts_per_core=2)
+    assert [c.core_id for c in machine.contexts] == [0, 0, 1, 1]
+    assert machine.num_cores == 2
+
+
+def test_idle_contexts_excludes_main(tiny_program):
+    machine = Machine(tiny_program, num_contexts=3)
+    assert machine.main_context not in machine.idle_contexts()
+    assert len(machine.idle_contexts()) == 2
+
+
+def test_halt_on_support_context_faults(tiny_program):
+    machine = Machine(tiny_program, num_contexts=2)
+    support = machine.contexts[1]
+    support.start_support(0, "w", 0, 0, 0)
+    # pc 0 is "li r..", step until halt pc; instead directly point at halt
+    support.pc = len(tiny_program) - 1
+    with pytest.raises(ExecutionFault, match="treturn"):
+        machine.step(support)
+
+
+def test_shl_shr_coerce_floats_to_int():
+    assert eval_binary("shl", 2.0, 1.0) == 4

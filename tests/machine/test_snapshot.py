@@ -1,0 +1,59 @@
+"""Machine checkpointing: snapshot/restore round trips and replay."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+
+def test_restore_rewinds_everything(sum_program):
+    machine = Machine(sum_program)
+    for _ in range(5):
+        machine.step(machine.main_context)
+    checkpoint = machine.snapshot()
+    final = run_to_completion(machine)
+    machine.restore(checkpoint)
+    assert machine.instructions_executed == 5
+    assert machine.output == []
+    assert machine.main_context.state is ContextState.RUNNING
+    # replaying from the checkpoint reproduces the original run exactly
+    assert run_to_completion(machine) == final
+
+
+def test_snapshot_is_isolated_from_later_execution(sum_program):
+    machine = Machine(sum_program)
+    machine.step(machine.main_context)
+    checkpoint = machine.snapshot()
+    run_to_completion(machine)
+    # the dict captured earlier did not change
+    assert checkpoint["instructions_executed"] == 1
+    assert checkpoint["output"] == []
+
+
+@given(st.integers(0, 25))
+@settings(max_examples=20, deadline=None)
+def test_replay_from_any_point_is_identical(prefix_length):
+    """For any checkpoint position, restore-and-replay equals the
+    uninterrupted run (determinism of the whole machine)."""
+    from tests.conftest import build_dtt_sum
+    from repro.core.engine import DttEngine
+    from repro.core.registry import ThreadRegistry
+
+    program, spec = build_dtt_sum([1, 2, 3], [0, 2, 1], [9, 8, 7])
+    machine = Machine(program, num_contexts=2)
+    machine.attach_engine(DttEngine(ThreadRegistry([spec])))
+    reference = run_to_completion(machine)
+
+    program2, spec2 = build_dtt_sum([1, 2, 3], [0, 2, 1], [9, 8, 7])
+    machine2 = Machine(program2, num_contexts=2)
+    machine2.attach_engine(DttEngine(ThreadRegistry([spec2])))
+    main = machine2.main_context
+    for _ in range(prefix_length):
+        if main.state is not ContextState.RUNNING:
+            break
+        machine2.step(main)
+    # checkpoint only at quiescent points: the sync engine executes
+    # support threads inside tcheck, so between main steps is quiescent
+    checkpoint = machine2.snapshot()
+    machine2.restore(checkpoint)
+    assert run_to_completion(machine2) == reference

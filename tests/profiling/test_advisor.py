@@ -1,0 +1,70 @@
+"""Conversion advisor: does it point at the right trigger and region?"""
+
+import pytest
+
+from repro.profiling.advisor import advise
+from repro.workloads.suite import SUITE
+
+
+@pytest.fixture(scope="module")
+def mcf_report():
+    workload = SUITE["mcf"]
+    return advise(workload.build_baseline(workload.make_input()))
+
+
+def test_advisor_finds_the_refresh_region(mcf_report):
+    """mcf's baseline does everything in main, so main must dominate; the
+    interesting assertion is the redundancy attribution."""
+    top = mcf_report.top_regions(1)[0]
+    assert top.name == "main"
+    assert top.redundancy > 0.9
+    assert top.instruction_share > 0.9
+
+
+def test_advisor_finds_a_highly_silent_store(mcf_report):
+    """The arc-cost update store is ~91% silent — it must rank first."""
+    top = mcf_report.top_triggers(1)[0]
+    assert top.silent_fraction > 0.85
+    assert top.dynamic >= 100  # executed once per simplex iteration
+
+
+def test_region_profiles_are_complete(mcf_report):
+    total = sum(r.dynamic_instructions
+                for r in mcf_report.region_profiles.values())
+    assert total > 0
+    shares = [c.instruction_share for c in mcf_report.regions]
+    assert abs(sum(shares) - 1.0) < 1e-9
+
+
+def test_min_dynamic_stores_filters_initialization():
+    workload = SUITE["mcf"]
+    program = workload.build_baseline(workload.make_input())
+    strict = advise(program, min_dynamic_stores=10_000_000)
+    assert strict.triggers == []
+
+
+def test_advisor_separates_thread_regions_in_dtt_builds():
+    """On a DTT build (threads as separate functions), the advisor
+    attributes the walk to the thread region, not main."""
+    workload = SUITE["mcf"]
+    build = workload.build_dtt(workload.make_input())
+    report = advise(build.program, num_contexts=2, engine=build.engine())
+    names = {c.name for c in report.regions}
+    assert "thread:refresh" in names
+    # most remaining redundancy sits in main's pricing loop now
+    profiles = report.region_profiles
+    assert profiles["thread:refresh"].dynamic_instructions > 0
+
+
+def test_render_is_readable(mcf_report):
+    text = mcf_report.render()
+    assert "trigger candidates" in text
+    assert "region candidates" in text
+    assert "score" in text
+
+
+def test_scores_are_sorted(mcf_report):
+    trigger_scores = [c.score for c in mcf_report.triggers]
+    region_scores = [c.score for c in mcf_report.regions]
+    assert trigger_scores == sorted(trigger_scores, reverse=True)
+    assert region_scores == sorted(region_scores, reverse=True)

@@ -1,0 +1,151 @@
+"""Redundant-load / silent-store profiler on crafted access sequences."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.machine.machine import Machine, run_to_completion
+from repro.profiling.redundancy import RedundantLoadProfiler
+
+
+def profile(build_body, data=None):
+    b = ProgramBuilder()
+    for name, values in (data or {}).items():
+        b.data(name, values)
+    with b.function("main"):
+        build_body(b)
+        b.halt()
+    machine = Machine(b.build())
+    profiler = RedundantLoadProfiler()
+    machine.add_observer(profiler)
+    run_to_completion(machine)
+    return profiler
+
+
+def test_first_load_of_an_address_is_not_redundant():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+
+    p = profile(body, {"xs": [5]})
+    assert p.total_loads == 1
+    assert p.redundant_loads == 0
+
+
+def test_reload_of_unchanged_data_is_redundant():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.ld(v, base, 0)
+            b.ld(v, base, 0)
+
+    p = profile(body, {"xs": [5]})
+    assert p.redundant_loads == 2
+    assert p.redundant_load_fraction == 2 / 3
+
+
+def test_reload_after_value_change_is_not_redundant():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.li(v, 99)
+            b.st(v, base, 0)
+            b.ld(v, base, 0)  # value changed: not redundant
+
+    p = profile(body, {"xs": [5]})
+    assert p.redundant_loads == 0
+
+
+def test_reload_after_silent_store_is_redundant():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.st(v, base, 0)   # silent: rewrites 5
+            b.ld(v, base, 0)   # still redundant
+
+    p = profile(body, {"xs": [5]})
+    assert p.redundant_loads == 1
+    assert p.silent_stores == 1
+    assert p.silent_store_fraction == 1.0
+
+
+def test_streaming_loop_over_unchanged_array_is_fully_redundant_second_pass():
+    def body(b):
+        with b.scratch(3) as (base, i, v):
+            b.la(base, "xs")
+            for _pass in range(2):
+                with b.for_range(i, 0, 8):
+                    b.ldx(v, base, i)
+
+    p = profile(body, {"xs": list(range(8))})
+    # pass 1: 8 first-touches; pass 2: 8 redundant
+    assert p.total_loads == 16
+    assert p.redundant_loads == 8
+
+
+def test_distinct_static_sites_share_location_state():
+    # two different static loads of the same address: the second sees the
+    # value "already fetched" and is redundant under the per-location
+    # definition
+    def body(b):
+        with b.scratch(3) as (base, v, w):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.ld(w, base, 0)  # different static pc
+
+    p = profile(body, {"xs": [5]})
+    assert p.redundant_loads == 1
+    assert len(p.load_sites()) == 2
+
+
+def test_site_attribution():
+    def body(b):
+        with b.scratch(3) as (base, i, v):
+            b.la(base, "xs")
+            with b.for_range(i, 0, 4):
+                b.ldx(v, base, 0)  # one hot site
+
+    p = profile(body, {"xs": [5]})
+    sites = p.load_sites()
+    hot = sites[0]
+    assert hot.dynamic == 4
+    assert hot.redundant == 3
+    assert hot.redundant_fraction == 0.75
+    assert p.hottest_redundant_loads(1)[0] is hot
+
+
+def test_store_site_records_triggering_flag():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 5)
+            b.st(v, base, 0)
+            b.tst(v, base, 0)
+
+    p = profile(body, {"xs": [5]})
+    sites = p.store_sites()
+    assert {s.triggering for s in sites} == {True, False}
+    assert all(s.silent == 1 for s in sites)
+    assert sites[0].silent_fraction == 1.0
+
+
+def test_summary_fields():
+    def body(b):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.ld(v, base, 0)
+            b.ld(v, base, 0)
+
+    p = profile(body, {"xs": [5]})
+    summary = p.summary()
+    assert summary["total_loads"] == 2
+    assert summary["redundant_loads"] == 1
+    assert summary["redundant_load_fraction"] == 0.5
+    assert summary["total_instructions"] == p.total_instructions
+
+
+def test_empty_profiler_fractions_are_zero():
+    p = RedundantLoadProfiler()
+    assert p.redundant_load_fraction == 0.0
+    assert p.silent_store_fraction == 0.0

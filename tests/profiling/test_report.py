@@ -1,0 +1,48 @@
+"""profile_program: the one-call profiling entry point."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.profiling.report import profile_program
+
+
+def _rescan_program(passes=3):
+    b = ProgramBuilder()
+    b.data("xs", list(range(16)))
+    with b.function("main"):
+        with b.scratch(4) as (base, p, i, v):
+            b.la(base, "xs")
+            with b.for_range(p, 0, passes):
+                with b.for_range(i, 0, 16):
+                    b.ldx(v, base, i)
+            b.out(v)
+        b.halt()
+    return b.build()
+
+
+def test_profile_program_basic():
+    report = profile_program(_rescan_program(), name="rescan")
+    assert report.name == "rescan"
+    assert report.output == [15]
+    assert report.instructions > 0
+    # 3 passes: first is first-touch, next two redundant -> 2/3
+    assert abs(report.redundant_load_fraction - 2 / 3) < 0.01
+
+
+def test_report_exposes_both_analyses():
+    report = profile_program(_rescan_program())
+    assert 0 <= report.redundant_computation_fraction <= 1
+    assert 0 <= report.silent_store_fraction <= 1
+    summary = report.summary()
+    assert summary["redundant_load_fraction"] == report.redundant_load_fraction
+    assert "redundant_computation_fraction" in summary
+
+
+def test_profile_with_engine_sees_dtt_build():
+    """Profiling a DTT build through a synchronous engine works."""
+    from tests.conftest import build_dtt_sum, expected_dtt_sum
+    from repro.core.engine import DttEngine
+    from repro.core.registry import ThreadRegistry
+
+    program, spec = build_dtt_sum([1, 2, 3], [0, 0, 1], [5, 5, 2])
+    engine = DttEngine(ThreadRegistry([spec]))
+    report = profile_program(program, "dtt", engine=engine, num_contexts=2)
+    assert report.output == expected_dtt_sum([1, 2, 3], [0, 0, 1], [5, 5, 2])

@@ -1,0 +1,29 @@
+"""Generated documentation stays in sync with the code it describes."""
+
+import pathlib
+import subprocess
+import sys
+
+DOCS = pathlib.Path(__file__).resolve().parents[1] / "docs"
+TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+
+
+def test_isa_reference_is_fresh():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import gen_isa_reference
+        expected = gen_isa_reference.render()
+    finally:
+        sys.path.pop(0)
+    on_disk = (DOCS / "isa_reference.md").read_text()
+    assert on_disk == expected, (
+        "docs/isa_reference.md is stale; run tools/gen_isa_reference.py"
+    )
+
+
+def test_reference_covers_every_opcode():
+    from repro.isa.instructions import OPCODES
+
+    text = (DOCS / "isa_reference.md").read_text()
+    missing = [op for op in OPCODES if f"`{op}`" not in text]
+    assert not missing, f"opcodes missing from the reference: {missing}"

@@ -1,0 +1,65 @@
+"""Exception-hierarchy contract: one base to catch them all."""
+
+import pytest
+
+from repro import errors
+
+
+BRANCH_BASES = {
+    errors.IsaError: [
+        errors.InvalidInstructionError,
+        errors.InvalidRegisterError,
+        errors.ProgramValidationError,
+        errors.AssemblerError,
+        errors.BuilderError,
+    ],
+    errors.MachineError: [
+        errors.MemoryFault,
+        errors.AlignmentFault,
+        errors.ExecutionFault,
+        errors.ExecutionLimitExceeded,
+        errors.ContextError,
+    ],
+    errors.DttError: [
+        errors.RegistryError,
+        errors.ThreadQueueError,
+        errors.RuntimeApiError,
+        errors.CascadeError,
+    ],
+    errors.HarnessError: [
+        errors.UnknownExperimentError,
+        errors.UnknownWorkloadError,
+        errors.CorrectnessError,
+    ],
+}
+
+
+def test_every_branch_derives_from_repro_error():
+    for base in BRANCH_BASES:
+        assert issubclass(base, errors.ReproError)
+
+
+@pytest.mark.parametrize(
+    "base,leaf",
+    [(base, leaf) for base, leaves in BRANCH_BASES.items() for leaf in leaves],
+)
+def test_leaves_derive_from_their_branch(base, leaf):
+    assert issubclass(leaf, base)
+    assert issubclass(leaf, errors.ReproError)
+
+
+def test_memory_fault_formats_address():
+    fault = errors.MemoryFault(0x40, "load outside address space")
+    assert "0x40" in str(fault)
+    assert fault.address == 0x40
+
+
+def test_assembler_error_carries_line():
+    error = errors.AssemblerError("bad operand", line=17)
+    assert "line 17" in str(error)
+    assert error.line == 17
+
+
+def test_assembler_error_without_line():
+    error = errors.AssemblerError("bad operand")
+    assert "line" not in str(error)

@@ -1,0 +1,66 @@
+"""Determinism: identical configurations give identical results, always.
+
+Every number the harness reports must be exactly reproducible — that is
+the contract EXPERIMENTS.md relies on.
+"""
+
+import pytest
+
+from repro.timing.params import named_config
+from repro.timing.system import TimingSimulator
+from repro.workloads.suite import SUITE
+
+
+def _run_pair(workload_name, kind, config_name):
+    workload = SUITE[workload_name]
+    inp = workload.make_input()
+    results = []
+    for _ in range(2):
+        if kind == "baseline":
+            sim = TimingSimulator(workload.build_baseline(inp),
+                                  named_config(config_name))
+        else:
+            build = workload.build_dtt(inp)
+            sim = TimingSimulator(build.program, named_config(config_name),
+                                  engine=build.engine(deferred=True))
+        results.append(sim.run())
+    return results
+
+
+@pytest.mark.parametrize("kind", ["baseline", "dtt"])
+def test_repeated_runs_cycle_exact(kind):
+    a, b = _run_pair("perlbmk", kind, "smt2")
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.output == b.output
+    assert a.energy == b.energy
+    assert a.branch_mispredicts == b.branch_mispredicts
+
+
+def test_repeated_runs_cache_exact():
+    a, b = _run_pair("vpr", "dtt", "cmp2")
+    assert a.cache_stats == b.cache_stats
+    assert a.coherence_invalidations == b.coherence_invalidations
+
+
+def test_engine_stats_deterministic():
+    workload = SUITE["gap"]
+    inp = workload.make_input()
+    summaries = []
+    for _ in range(2):
+        build = workload.build_dtt(inp)
+        engine = build.engine(deferred=True)
+        TimingSimulator(build.program, named_config("smt2"),
+                        engine=engine).run()
+        summaries.append(engine.summary())
+    assert summaries[0] == summaries[1]
+
+
+def test_program_builds_are_structurally_identical():
+    workload = SUITE["gcc"]
+    inp = workload.make_input()
+    a = workload.build_dtt(inp)
+    b = workload.build_dtt(inp)
+    assert a.program.instructions == b.program.instructions
+    assert a.program.labels == b.program.labels
+    assert [s.store_pcs for s in a.specs] == [s.store_pcs for s in b.specs]

@@ -1,0 +1,106 @@
+"""Optional I-cache model: fetch latency, sensitivity, and neutrality."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyParams
+from repro.isa.builder import ProgramBuilder
+from repro.timing.params import named_config
+from repro.timing.system import TimingSimulator
+from repro.workloads.suite import SUITE
+
+
+def test_fetch_requires_enable():
+    hierarchy = CacheHierarchy(1)
+    with pytest.raises(IndexError):
+        hierarchy.fetch(0, 0)
+
+
+def test_fetch_latencies_compose():
+    params = HierarchyParams(line_words=4, l1_latency=2, l2_latency=10,
+                             memory_latency=100)
+    hierarchy = CacheHierarchy(1, params)
+    hierarchy.enable_icache(lines=4, associativity=1)
+    assert hierarchy.fetch(0, 0) == 112  # cold
+    assert hierarchy.fetch(0, 1) == 2    # same code line
+    assert hierarchy.fetch(0, 64) == 112  # far-away code
+
+
+def test_code_and_data_do_not_alias():
+    hierarchy = CacheHierarchy(1)
+    hierarchy.enable_icache()
+    hierarchy.fetch(0, 0)
+    # a data access to address 0 is a separate line in a separate cache
+    first = hierarchy.access(0, 0, False)
+    assert first > hierarchy.params.l1_latency  # still cold
+
+
+def test_icache_stats_reported():
+    result = TimingSimulator(
+        _loop_program(64), named_config("smt2", model_icache=True)
+    ).run()
+    assert "L1I.core0" in result.cache_stats
+    assert result.cache_stats["L1I.core0"]["hits"] > 0
+
+
+def _loop_program(iterations):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (i, acc):
+            b.li(acc, 0)
+            with b.for_range(i, 0, iterations):
+                b.addi(acc, acc, 1)
+            b.out(acc)
+        b.halt()
+    return b.build()
+
+
+def _straightline_program(n):
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.li(r, 0)
+            for _ in range(n):
+                b.addi(r, r, 1)
+            b.out(r)
+        b.halt()
+    return b.build()
+
+
+def test_tight_loop_barely_notices_the_icache():
+    # long enough that the single cold fetch miss (one code line)
+    # amortizes away; steady-state fetches are all hits
+    off = TimingSimulator(_loop_program(4000), named_config("smt2")).run()
+    on = TimingSimulator(_loop_program(4000),
+                         named_config("smt2", model_icache=True)).run()
+    assert on.output == off.output
+    assert on.cycles <= off.cycles * 1.10
+    assert on.cache_stats["L1I.core0"]["misses"] <= 2
+
+
+def test_huge_straightline_code_pays_fetch_misses():
+    # 4000 instructions = 250 code lines >> 64-line I-cache
+    off = TimingSimulator(_straightline_program(4000),
+                          named_config("smt2")).run()
+    on = TimingSimulator(_straightline_program(4000),
+                         named_config("smt2", model_icache=True)).run()
+    assert on.output == off.output
+    assert on.cycles > 1.5 * off.cycles
+
+
+def test_speedup_shape_survives_icache_modeling():
+    """The paper-shape claim must not depend on ideal fetch."""
+    workload = SUITE["mcf"]
+    inp = workload.make_input()
+    speedups = {}
+    for model_icache in (False, True):
+        config = named_config("smt2", model_icache=model_icache)
+        baseline = TimingSimulator(workload.build_baseline(inp), config).run()
+        build = workload.build_dtt(inp)
+        dtt = TimingSimulator(
+            build.program, named_config("smt2", model_icache=model_icache),
+            engine=build.engine(deferred=True),
+        ).run()
+        assert dtt.output == baseline.output
+        speedups[model_icache] = baseline.cycles / dtt.cycles
+    assert speedups[True] > 4.0
+    assert abs(speedups[True] - speedups[False]) / speedups[False] < 0.25

@@ -1,0 +1,62 @@
+"""Machine configurations: named configs and the parameter table."""
+
+import pytest
+
+from repro.isa.instructions import OpClass
+from repro.timing.params import CoreParams, SystemConfig, named_config
+
+
+def test_core_params_defaults_cover_all_classes():
+    params = CoreParams()
+    for op_class in OpClass:
+        assert op_class in params.latency
+
+
+def test_core_params_latency_override():
+    params = CoreParams(latency={OpClass.IMUL: 5})
+    assert params.latency[OpClass.IMUL] == 5
+    assert params.latency[OpClass.IALU] == 1  # untouched
+
+
+def test_system_config_total_contexts():
+    config = SystemConfig(num_cores=2, contexts_per_core=3)
+    assert config.total_contexts == 6
+
+
+def test_system_config_rejects_zero():
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=0)
+    with pytest.raises(ValueError):
+        SystemConfig(contexts_per_core=0)
+
+
+@pytest.mark.parametrize("name,cores,contexts", [
+    ("smt2", 1, 2),
+    ("smt4", 1, 4),
+    ("cmp2", 2, 1),
+    ("serial", 1, 1),
+])
+def test_named_configs(name, cores, contexts):
+    config = named_config(name)
+    assert config.name == name
+    assert config.num_cores == cores
+    assert config.contexts_per_core == contexts
+
+
+def test_named_config_with_overrides():
+    config = named_config("smt2", max_cycles=123)
+    assert config.max_cycles == 123
+
+
+def test_named_config_unknown():
+    with pytest.raises(ValueError, match="unknown configuration"):
+        named_config("smt16")
+
+
+def test_parameter_table_mentions_key_parameters():
+    table = named_config("smt2").parameter_table()
+    joined = " ".join(f"{k}={v}" for k, v in table.items())
+    assert "gshare" in joined
+    assert "issue width" in joined
+    assert "L1D" in joined
+    assert "memory latency" in joined

@@ -1,0 +1,54 @@
+"""The granularity-ablation micro-workload (linefalse)."""
+
+from repro.core.config import DttConfig
+from repro.machine.machine import Machine, run_to_completion
+from repro.workloads.ablation import LINE_WORDS, NUM_LINES, LineFalseWorkload
+from repro.workloads.base import verify_workload
+from repro.workloads.suite import SUITE
+
+
+def test_not_in_the_suite():
+    assert "linefalse" not in SUITE
+
+
+def test_correct_under_word_granularity():
+    verify_workload(LineFalseWorkload())
+
+
+def test_correct_under_line_granularity():
+    workload = LineFalseWorkload()
+    inp = workload.make_input()
+    build = workload.build_dtt(inp)
+    machine = Machine(build.program, num_contexts=2)
+    machine.attach_engine(build.engine(config=DttConfig(granularity=16)))
+    assert run_to_completion(machine) == workload.reference_output(inp)
+
+
+def test_watch_ranges_cover_one_word_per_line():
+    workload = LineFalseWorkload()
+    inp = workload.make_input()
+    build = workload.build_dtt(inp)
+    ranges = build.specs[0].watch
+    assert len(ranges) == NUM_LINES
+    for lo, hi in ranges:
+        assert hi - lo == 1
+
+
+def test_line_granularity_fires_many_more_triggers():
+    workload = LineFalseWorkload()
+    inp = workload.make_input()
+    fired = {}
+    for granularity in (1, LINE_WORDS):
+        build = workload.build_dtt(inp)
+        engine = build.engine(config=DttConfig(granularity=granularity))
+        machine = Machine(build.program, num_contexts=2)
+        machine.attach_engine(engine)
+        run_to_completion(machine)
+        fired[granularity] = engine.status["derivethr"].triggers_fired
+    assert fired[LINE_WORDS] > 10 * fired[1]
+
+
+def test_scratch_writes_avoid_watched_slots():
+    inp = LineFalseWorkload().make_input()
+    assert all(slot % LINE_WORDS != 0 for slot in inp.scr_idx)
+    assert all(slot % LINE_WORDS == 0 for slot in inp.watched_slots)

@@ -1,0 +1,58 @@
+"""Per-benchmark calibration locks.
+
+EXPERIMENTS.md's suite-level claims are gated by the harness; these tests
+pin each benchmark's *individual* redundancy profile to a band around its
+calibrated value, so a change that silently reshapes one benchmark (while
+the suite average stays in band) still fails loudly.
+"""
+
+import pytest
+
+from repro.profiling.report import profile_program
+from repro.workloads.suite import SUITE
+
+#: calibrated redundant-load fraction per benchmark, +/- the tolerance
+#: below (values from EXPERIMENTS.md's E1 table at the default seed)
+CALIBRATED_REDUNDANCY = {
+    "bzip2": 0.53,
+    "crafty": 0.95,
+    "gap": 0.79,
+    "gcc": 0.81,
+    "gzip": 0.52,
+    "mcf": 0.99,
+    "parser": 0.51,
+    "perlbmk": 0.76,
+    "twolf": 0.86,
+    "vortex": 0.49,
+    "vpr": 0.40,
+    "ammp": 0.96,
+    "art": 0.96,
+    "equake": 0.95,
+    "mesa": 0.92,
+}
+
+TOLERANCE = 0.08
+
+
+def test_calibration_table_covers_the_suite():
+    assert set(CALIBRATED_REDUNDANCY) == set(SUITE)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_benchmark_redundancy_near_calibrated_value(name):
+    workload = SUITE[name]
+    report = profile_program(workload.build_baseline(workload.make_input()),
+                             name)
+    expected = CALIBRATED_REDUNDANCY[name]
+    measured = report.redundant_load_fraction
+    assert abs(measured - expected) < TOLERANCE, (
+        f"{name}: measured {measured:.1%}, calibrated {expected:.0%}"
+    )
+
+
+def test_suite_spans_a_wide_redundancy_range():
+    """The paper's figure shows heavy spread across benchmarks; a suite
+    where every bar is the same height would be a calibration bug."""
+    values = sorted(CALIBRATED_REDUNDANCY.values())
+    assert values[0] < 0.55
+    assert values[-1] > 0.90

@@ -1,0 +1,51 @@
+"""The parallelism-extension workload (overlap)."""
+
+from repro.machine.machine import Machine, run_to_completion
+from repro.timing.params import named_config
+from repro.timing.system import TimingSimulator
+from repro.workloads.base import verify_workload
+from repro.workloads.overlap import OverlapWorkload
+from repro.workloads.suite import SUITE
+
+
+def test_not_in_the_suite():
+    assert "overlap" not in SUITE
+
+
+def test_correctness():
+    verify_workload(OverlapWorkload())
+
+
+def test_every_trigger_fires():
+    workload = OverlapWorkload()
+    inp = workload.make_input()
+    build = workload.build_dtt(inp)
+    engine = build.engine()
+    machine = Machine(build.program, num_contexts=2)
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    row = engine.status["coeffthr"]
+    assert row.triggering_stores == inp.steps
+    assert row.same_value_suppressed == 0
+    assert row.clean_consumes == 0
+
+
+def test_parameters_strictly_increase():
+    inp = OverlapWorkload().make_input()
+    assert all(b > a for a, b in zip(inp.params, inp.params[1:]))
+
+
+def test_overlap_beats_serialized():
+    workload = OverlapWorkload()
+    inp = workload.make_input()
+    speedups = {}
+    for config_name in ("smt2", "serial"):
+        baseline = TimingSimulator(workload.build_baseline(inp),
+                                   named_config(config_name)).run()
+        build = workload.build_dtt(inp)
+        timed = TimingSimulator(build.program, named_config(config_name),
+                                engine=build.engine(deferred=True)).run()
+        assert timed.output == baseline.output
+        speedups[config_name] = baseline.cycles / timed.cycles
+    assert speedups["smt2"] > speedups["serial"] + 0.3
+    assert speedups["serial"] < 1.05

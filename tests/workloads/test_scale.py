@@ -1,0 +1,32 @@
+"""Scale parameter: larger problems stay correct (spot checks).
+
+Functional-only (timing at scale 2 is several seconds per workload); a
+couple of representative workloads cover the integer/float and
+whole-recompute/per-address-thread axes.
+"""
+
+import pytest
+
+from repro.workloads.base import verify_workload
+from repro.workloads.suite import SUITE
+
+
+@pytest.mark.parametrize("name", ["perlbmk", "equake"])
+def test_scale_two_verifies(name):
+    verify_workload(SUITE[name], scale=2)
+
+
+def test_scale_grows_the_problem():
+    workload = SUITE["mcf"]
+    small = workload.make_input(scale=1)
+    large = workload.make_input(scale=2)
+    assert large.num_nodes == 2 * small.num_nodes
+    assert large.steps == 2 * small.steps
+    assert len(large.probes) > len(small.probes)
+
+
+def test_scale_changes_outputs():
+    workload = SUITE["gap"]
+    a = workload.reference_output(workload.make_input(scale=1))
+    b = workload.reference_output(workload.make_input(scale=2))
+    assert len(b) == 2 * len(a)

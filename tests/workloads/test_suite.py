@@ -1,0 +1,44 @@
+"""Suite registry: completeness, uniqueness, metadata quality."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.suite import SUITE, get_workload, workload_names
+
+PAPER_BENCHMARKS = {
+    "bzip2", "crafty", "gap", "gcc", "gzip", "mcf", "parser", "perlbmk",
+    "twolf", "vortex", "vpr", "ammp", "art", "equake", "mesa",
+}
+
+
+def test_suite_covers_the_paper_benchmarks():
+    assert set(SUITE) == PAPER_BENCHMARKS
+    assert len(SUITE) == 15
+
+
+def test_names_match_keys():
+    for name, workload in SUITE.items():
+        assert workload.name == name
+
+
+def test_all_have_descriptions_and_regions():
+    for workload in SUITE.values():
+        assert workload.description
+        assert workload.converted_region
+
+
+def test_get_workload():
+    assert get_workload("mcf").name == "mcf"
+    with pytest.raises(UnknownWorkloadError):
+        get_workload("specjbb")
+
+
+def test_workload_names_order_is_stable():
+    assert workload_names() == list(SUITE)
+    # integer codes first, fp codes after (the paper's presentation order)
+    names = workload_names()
+    assert names.index("mcf") < names.index("ammp")
+
+
+def test_singletons():
+    assert get_workload("mcf") is get_workload("mcf")

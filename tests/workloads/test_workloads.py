@@ -1,0 +1,108 @@
+"""Per-workload correctness: baseline == DTT == reference, determinism,
+DTT-build structure, and redundancy bounds.
+
+These are the suite's contract tests: everything the evaluation measures
+rests on them.
+"""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.isa.instructions import is_triggering_store
+from repro.machine.machine import Machine, run_to_completion
+from repro.workloads.base import verify_workload
+from repro.workloads.suite import SUITE
+
+ALL = sorted(SUITE)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_baseline_dtt_reference_agree(name):
+    verify_workload(SUITE[name])
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_alternate_seed_agrees(name):
+    verify_workload(SUITE[name], seed=999)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_inputs_are_deterministic(name):
+    workload = SUITE[name]
+    a = workload.make_input()
+    b = workload.make_input()
+    for field in a.field_names():
+        assert a[field] == b[field], field
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_dtt_build_structure(name):
+    workload = SUITE[name]
+    build = workload.build_dtt(workload.make_input())
+    assert build.program.finalized
+    assert build.specs, "a DTT build needs trigger specs"
+    assert build.program.threads, "a DTT build declares support threads"
+    assert any(is_triggering_store(i.op) for i in build.program)
+    # every spec's thread is declared
+    for spec in build.specs:
+        assert spec.thread in build.program.threads
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_baseline_has_no_dtt_instructions(name):
+    workload = SUITE[name]
+    program = workload.build_baseline(workload.make_input())
+    for instruction in program:
+        assert instruction.op not in ("tst", "tstx", "tcheck", "treturn")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_dtt_executes_fewer_instructions(name):
+    workload = SUITE[name]
+    inp = workload.make_input()
+    baseline = Machine(workload.build_baseline(inp), num_contexts=1)
+    run_to_completion(baseline)
+    build = workload.build_dtt(inp)
+    dtt = Machine(build.program, num_contexts=2)
+    dtt.attach_engine(build.engine())
+    run_to_completion(dtt)
+    assert dtt.instructions_executed < baseline.instructions_executed
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_dtt_correct_with_value_filter_disabled(name):
+    """Disabling the redundancy filter changes performance, never results."""
+    workload = SUITE[name]
+    inp = workload.make_input()
+    expected = workload.reference_output(inp)
+    got = workload.run_dtt(inp, config=DttConfig(same_value_filter=False))
+    assert got == expected
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_dtt_correct_on_single_context(name):
+    """The serialized (inline) fallback is output-identical."""
+    workload = SUITE[name]
+    inp = workload.make_input()
+    expected = workload.reference_output(inp)
+    assert workload.run_dtt(inp, num_contexts=1) == expected
+
+
+@pytest.mark.parametrize("name", ["mcf", "equake"])
+def test_watch_build_agrees(name):
+    workload = SUITE[name]
+    inp = workload.make_input()
+    build = workload.build_dtt_watch(inp)
+    assert build is not None
+    machine = Machine(build.program, num_contexts=2)
+    machine.attach_engine(build.engine())
+    assert run_to_completion(machine) == workload.reference_output(inp)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_outputs_every_step(name):
+    """Each workload emits one observable value per main-loop step, so
+    divergence is caught at the step where it happens."""
+    workload = SUITE[name]
+    inp = workload.make_input()
+    assert len(workload.reference_output(inp)) == inp.steps
