@@ -2,9 +2,13 @@
 
 Measures the per-event cost of the DTT machinery in isolation: silent
 triggering stores, clean consume points, and the full trigger round trip.
+Also guards the observability layer itself: a metered engine run (metrics
+registry attached) must stay within 2x the wall-clock of a bare run, so
+instrumentation can never quietly become the hot path.
 """
 
-from repro.harness.microbench import run_micro_overheads
+from repro.harness.microbench import instrumentation_overhead, \
+    run_micro_overheads
 
 from benchmarks.conftest import report
 
@@ -12,3 +16,19 @@ from benchmarks.conftest import report
 def test_micro_overheads(benchmark, shared_runner):
     result = benchmark.pedantic(run_micro_overheads, rounds=1, iterations=1)
     report(result)
+
+
+def test_instrumentation_overhead(benchmark):
+    bare, metered, ratio = benchmark.pedantic(
+        instrumentation_overhead, rounds=1, iterations=1
+    )
+    print()
+    print(f"bare engine run:    {bare * 1000:.1f} ms")
+    print(f"metered engine run: {metered * 1000:.1f} ms "
+          f"({ratio:.2f}x bare)")
+    # 2x budget, plus a small absolute floor so a sub-millisecond bare
+    # run's timer noise cannot fail the guard
+    assert metered <= 2.0 * bare + 0.05, (
+        f"metrics hooks cost {ratio:.2f}x the bare run "
+        f"(bare={bare:.4f}s, metered={metered:.4f}s)"
+    )

@@ -53,6 +53,63 @@ from repro.isa.registers import (
 from repro.machine.context import Context, ContextRole, ContextState
 
 
+class _EngineInstruments:
+    """The engine's registered metric instruments (one bundle per engine).
+
+    Held behind one attribute so every hot-path metrics update costs a
+    single ``is not None`` check when metrics are not attached.
+    """
+
+    __slots__ = (
+        "tstores", "same_value", "fired", "duplicates", "cancels",
+        "started", "completed", "overflow_runs", "clean_consumes",
+        "wait_consumes", "unmatched", "queue_depth", "queue_high_water",
+        "dispatch_latency",
+    )
+
+    def __init__(self, registry):
+        counter = registry.counter
+        self.tstores = counter(
+            "engine.triggering_stores",
+            "dynamic triggering stores that matched a registered spec")
+        self.same_value = counter(
+            "engine.same_value_suppressed",
+            "triggering stores filtered because the value did not change")
+        self.fired = counter(
+            "engine.triggers_fired",
+            "triggers that survived the same-value filter")
+        self.duplicates = counter(
+            "engine.duplicates_suppressed",
+            "fired triggers suppressed by a pending same-key activation")
+        self.cancels = counter(
+            "engine.cancels", "executing activations canceled by a re-trigger")
+        self.started = counter(
+            "engine.executions_started", "support-thread executions started")
+        self.completed = counter(
+            "engine.executions_completed",
+            "support-thread executions run to completion")
+        self.overflow_runs = counter(
+            "engine.overflow_inline_runs",
+            "triggers run immediately as a call on queue overflow")
+        self.clean_consumes = counter(
+            "engine.clean_consumes",
+            "consume points that skipped the computation entirely")
+        self.wait_consumes = counter(
+            "engine.wait_consumes",
+            "consume points that waited for pending executions")
+        self.unmatched = counter(
+            "engine.unmatched_tstores",
+            "dynamic triggering stores matching no registered spec")
+        self.queue_depth = registry.gauge(
+            "queue.depth", "thread-queue entries currently pending")
+        self.queue_high_water = registry.gauge(
+            "queue.depth_high_water", "peak thread-queue depth this run")
+        self.dispatch_latency = registry.histogram(
+            "engine.dispatch_latency_cycles",
+            "cycles between trigger enqueue and dispatch onto a context",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096))
+
+
 class _InlineFrame:
     """Bookkeeping for one inline (call-like) support-thread execution."""
 
@@ -94,6 +151,12 @@ class DttEngine:
         # contexts whose next tcheck is a re-entry after an inline run
         self._resumed_tcheck: set = set()
         self._sequence = 0
+        #: attached metrics registry (None = unmetered; see attach_metrics)
+        self.metrics = None
+        self._m: Optional[_EngineInstruments] = None
+        #: callable returning the current simulated cycle; set by the
+        #: timing simulator so dispatch latency can be metered in cycles
+        self.cycle_source = None
 
     # -- wiring ------------------------------------------------------------------
 
@@ -113,6 +176,18 @@ class DttEngine:
             name: program.thread_entry_pc(name) for name in program.threads
         }
         self.machine = machine
+
+    def attach_metrics(self, registry) -> None:
+        """Meter this engine on a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Idempotent for the same registry; attaching a second, different
+        registry replaces the first.  Unattached engines skip every
+        metrics update (one ``is None`` test per hook).
+        """
+        if registry is self.metrics:
+            return
+        self.metrics = registry
+        self._m = _EngineInstruments(registry)
 
     def _thread_name(self, tid: int) -> str:
         if not 0 <= tid < len(self._tids):
@@ -146,17 +221,26 @@ class DttEngine:
                         "with cascading disabled (strict mode)"
                     )
                 return  # behaves as a plain store
+        m = self._m
         specs = self.registry.matches(pc, address, self.config.granularity)
         if not specs:
             self.unmatched_tstores += 1
+            if m is not None:
+                m.unmatched.inc()
             return
         for spec in specs:
             row = self.status[spec.thread]
             row.triggering_stores += 1
+            if m is not None:
+                m.tstores.inc()
             if self.config.same_value_filter and old_value == new_value:
                 row.same_value_suppressed += 1
+                if m is not None:
+                    m.same_value.inc()
                 continue
             row.triggers_fired += 1
+            if m is not None:
+                m.fired.inc()
             key = self._dedupe_key(spec, address)
             in_flight = self._executing.get(key)
             if in_flight is not None:
@@ -168,24 +252,38 @@ class DttEngine:
                     # cannot be canceled mid-call — suppress as a duplicate
                     # (it reads current memory, which already holds new_value)
                     row.duplicates_suppressed += 1
+                    if m is not None:
+                        m.duplicates.inc()
                     continue
             self._sequence += 1
             entry = QueueEntry(spec.thread, address, new_value, old_value,
                                self._sequence)
+            if self.cycle_source is not None:
+                entry.enqueue_cycle = self.cycle_source()
             result = self.queue.try_enqueue(key, entry)
             if result is EnqueueResult.DUPLICATE:
                 row.duplicates_suppressed += 1
+                if m is not None:
+                    m.duplicates.inc()
             elif result is EnqueueResult.OVERFLOW:
                 row.overflow_inline_runs += 1
+                if m is not None:
+                    m.overflow_runs.inc()
                 # ctx.pc already points at the instruction after the store
                 self._start_inline(ctx, key, entry, resume_pc=ctx.pc,
                                    retcheck=False)
+            elif m is not None:
+                depth = len(self.queue)
+                m.queue_depth.set(depth)
+                m.queue_high_water.set_max(depth)
 
     def _cancel(self, key: Hashable, victim: Context) -> None:
         """Cancel-and-restart: abort an executing activation."""
         row = self.status[victim.thread_name]
         row.cancels += 1
         row.executing -= 1
+        if self._m is not None:
+            self._m.cancels.inc()
         self._executing.pop(key, None)
         self._ctx_exec.pop(victim.context_id, None)
         victim.finish_support()
@@ -208,10 +306,14 @@ class DttEngine:
             if not resumed:
                 row.consumes += 1
                 row.clean_consumes += 1
+                if self._m is not None:
+                    self._m.clean_consumes.inc()
             return
         if not resumed:
             row.consumes += 1
             row.wait_consumes += 1
+            if self._m is not None:
+                self._m.wait_consumes.inc()
         if self.deferred:
             self._tcheck_deferred(ctx, tid, name)
         else:
@@ -259,6 +361,8 @@ class DttEngine:
         row = self.status[entry.thread]
         row.executions_started += 1
         row.executing += 1
+        if self._m is not None:
+            self._m.started.inc()
         self._executing[key] = ("ctx", support_ctx)
         self._ctx_exec[support_ctx.context_id] = key
         support_ctx.start_support(
@@ -277,6 +381,8 @@ class DttEngine:
         row = self.status[entry.thread]
         row.executions_started += 1
         row.executing += 1
+        if self._m is not None:
+            self._m.started.inc()
         self._executing[key] = ("inline", ctx)
         frame = _InlineFrame(key, entry.thread, resume_pc, retcheck,
                              list(ctx.regs))
@@ -294,6 +400,7 @@ class DttEngine:
         charge spawn latency.  Returns the number of activations dispatched.
         """
         dispatched = 0
+        m = self._m
         idle = self.machine.idle_contexts()
         while idle and self.queue:
             key, entry = self.queue.pop()
@@ -301,6 +408,12 @@ class DttEngine:
             row = self.status[entry.thread]
             row.executions_started += 1
             row.executing += 1
+            if m is not None:
+                m.started.inc()
+                m.queue_depth.set(len(self.queue))
+                if self.cycle_source is not None:
+                    m.dispatch_latency.observe(
+                        max(self.cycle_source() - entry.enqueue_cycle, 0))
             self._executing[key] = ("ctx", support_ctx)
             self._ctx_exec[support_ctx.context_id] = key
             support_ctx.start_support(
@@ -327,6 +440,8 @@ class DttEngine:
             row = self.status[frame.thread]
             row.executions_completed += 1
             row.executing -= 1
+            if self._m is not None:
+                self._m.completed.inc()
             self._executing.pop(frame.key, None)
             ctx.regs[:] = frame.saved_regs
             ctx.pc = frame.resume_pc
@@ -343,6 +458,8 @@ class DttEngine:
         row = self.status[ctx.thread_name]
         row.executions_completed += 1
         row.executing -= 1
+        if self._m is not None:
+            self._m.completed.inc()
         ctx.finish_support()
         self._unblock_waiters()
 
@@ -362,6 +479,7 @@ class DttEngine:
         summary["queue_enqueued"] = self.queue.enqueued
         summary["queue_duplicates"] = self.queue.duplicates_suppressed
         summary["queue_overflows"] = self.queue.overflows
+        summary["queue_depth_high_water"] = self.queue.depth_high_water
         return summary
 
     def __repr__(self) -> str:

@@ -31,7 +31,8 @@ class EnqueueResult(str, Enum):
 class QueueEntry:
     """One pending activation: the thread plus its trigger arguments."""
 
-    __slots__ = ("thread", "address", "new_value", "old_value", "sequence")
+    __slots__ = ("thread", "address", "new_value", "old_value", "sequence",
+                 "enqueue_cycle")
 
     def __init__(
         self,
@@ -47,6 +48,9 @@ class QueueEntry:
         self.old_value = old_value
         #: global trigger sequence number (diagnostics / determinism checks)
         self.sequence = sequence
+        #: simulated cycle at enqueue time (0 outside timed, metered runs);
+        #: dispatch latency = dispatch cycle - this
+        self.enqueue_cycle = 0
 
     def __repr__(self) -> str:
         return (
@@ -68,6 +72,8 @@ class ThreadQueue:
         self.enqueued = 0
         self.duplicates_suppressed = 0
         self.overflows = 0
+        #: deepest the queue ever got (peak pending entries)
+        self.depth_high_water = 0
 
     def try_enqueue(self, key: Hashable, entry: QueueEntry) -> EnqueueResult:
         """Enqueue unless a same-key entry is pending or the queue is full."""
@@ -79,6 +85,8 @@ class ThreadQueue:
             return EnqueueResult.OVERFLOW
         self._entries[key] = entry
         self.enqueued += 1
+        if len(self._entries) > self.depth_high_water:
+            self.depth_high_water = len(self._entries)
         return EnqueueResult.ENQUEUED
 
     def pop(self) -> Tuple[Hashable, QueueEntry]:

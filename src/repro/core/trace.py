@@ -56,16 +56,22 @@ class EngineTrace:
         self.engine = engine
         self.events: List[EngineEvent] = []
         self.max_events = max_events
-        self.truncated = False
+        #: events discarded after the buffer filled (0 = complete trace)
+        self.dropped = 0
         self._sequence = 0
         self._wrap(engine)
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was dropped (buffer filled)."""
+        return self.dropped > 0
 
     # -- recording -----------------------------------------------------------
 
     def _emit(self, kind: str, thread: Optional[str],
               address: Optional[int] = None, detail: str = "") -> None:
         if len(self.events) >= self.max_events:
-            self.truncated = True
+            self.dropped += 1
             return
         self._sequence += 1
         self.events.append(
@@ -144,12 +150,15 @@ class EngineTrace:
     def timeline(self) -> str:
         """The whole trace, one event per line."""
         lines = [repr(event) for event in self.events]
-        if self.truncated:
-            lines.append("... (truncated)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped)")
         return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.events)
 
     def __repr__(self) -> str:
+        if self.dropped:
+            return (f"EngineTrace({len(self.events)} events, "
+                    f"{self.dropped} dropped)")
         return f"EngineTrace({len(self.events)} events)"

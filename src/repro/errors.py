@@ -114,6 +114,20 @@ class CascadeError(DttError):
 
 
 # --------------------------------------------------------------------------
+# Observability layer
+# --------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Base class for metrics/trace-export misuse."""
+
+
+class MetricsError(ObservabilityError):
+    """Invalid metric registration or update (type conflict, negative
+    counter increment, malformed histogram buckets)."""
+
+
+# --------------------------------------------------------------------------
 # Harness layer
 # --------------------------------------------------------------------------
 

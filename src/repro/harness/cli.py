@@ -6,14 +6,17 @@ Commands::
     dtt-harness run E3               # one experiment
     dtt-harness run all              # everything, shared runner
     dtt-harness run E1 E3 --json out.json
+    dtt-harness run E3 --trace-out t.json --metrics-out m.json
     dtt-harness verify               # correctness sweep of the suite
     dtt-harness sweep                # headline robustness across seeds
+    dtt-harness stats                # run one workload, print the metrics
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -35,10 +38,20 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeline import traces_to_chrome
+
     wanted = [w.upper() for w in args.experiments]
     if "ALL" in wanted:
         wanted = list(EXPERIMENTS)
-    runner = SuiteRunner(seed=args.seed, scale=args.scale)
+    for path in (args.json, args.metrics_out, args.trace_out):
+        # fail before the (slow) runs, not after
+        if path and not os.path.isdir(os.path.dirname(path) or "."):
+            print(f"output directory does not exist: {path}")
+            return 2
+    registry = MetricsRegistry() if args.metrics_out else None
+    runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry,
+                         trace=bool(args.trace_out))
     results = []
     failed = False
     for experiment_id in wanted:
@@ -51,7 +64,37 @@ def _cmd_run(args) -> int:
         with open(args.json, "w") as handle:
             json.dump([r.as_dict() for r in results], handle, indent=2)
         print(f"wrote {args.json}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(registry.to_json())
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(traces_to_chrome(runner.traces()), handle)
+        print(f"wrote {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
     return 1 if failed else 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.workload not in SUITE:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {', '.join(SUITE)}")
+        return 2
+    registry = MetricsRegistry()
+    runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry)
+    workload = SUITE[args.workload]
+    runner.timed(workload, "baseline")
+    runner.timed(workload, "dtt")
+    print(f"metrics after a baseline + DTT timed run of {workload.name} "
+          f"(smt2):")
+    if args.prometheus:
+        print(registry.to_prometheus_text(), end="")
+    else:
+        print(registry.render())
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -94,11 +137,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--scale", type=int, default=None)
     run.add_argument("--json", default=None, help="also write JSON here")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome trace-event timeline of every "
+                          "DTT run (open in chrome://tracing / Perfetto)")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write the metrics-registry snapshot as JSON")
     verify = sub.add_parser("verify", help="verify baseline == DTT == reference")
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--scale", type=int, default=None)
     sweep = sub.add_parser("sweep", help="headline robustness across seeds")
     sweep.add_argument("--seeds", type=int, nargs="+", default=None)
+    stats = sub.add_parser(
+        "stats", help="run one workload metered and print the registry")
+    stats.add_argument("--workload", default="mcf",
+                       help="workload to run (default: mcf)")
+    stats.add_argument("--seed", type=int, default=None)
+    stats.add_argument("--scale", type=int, default=None)
+    stats.add_argument("--prometheus", action="store_true",
+                       help="print Prometheus text format instead of the "
+                            "aligned table")
     return parser
 
 
@@ -111,6 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_verify(args)
 
 

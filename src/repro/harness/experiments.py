@@ -492,19 +492,14 @@ def run_e9_parallelism(runner: Optional[SuiteRunner] = None) -> ExperimentResult
 
     runner = runner or SuiteRunner()
     workload = OverlapWorkload()
-    inp = workload.make_input(runner.seed, runner.scale)
     rows = []
     speedups: Dict[str, float] = {}
     clean_consumes = None
     for config_name in ("smt2", "cmp2", "serial"):
-        baseline = TimingSimulator(workload.build_baseline(inp),
-                                   named_config(config_name)).run()
-        build = workload.build_dtt(inp)
-        engine = build.engine(deferred=True)
-        timed = TimingSimulator(build.program, named_config(config_name),
-                                engine=engine).run()
-        if timed.output != baseline.output:
-            raise AssertionError("overlap workload broke correctness")
+        # through the runner: memoized, correctness-checked, and metered
+        baseline = runner.timed(workload, "baseline", config_name)
+        timed = runner.timed(workload, "dtt", config_name)
+        engine = runner.engine_for(workload, "dtt", config_name)
         speedups[config_name] = timed.speedup_over(baseline)
         row = engine.status["coeffthr"]
         clean_consumes = row.clean_consumes
@@ -562,11 +557,16 @@ EXPERIMENTS: Dict[str, Callable[[Optional[SuiteRunner]], ExperimentResult]] = {
 
 def run_experiment(experiment_id: str,
                    runner: Optional[SuiteRunner] = None) -> ExperimentResult:
-    """Run one experiment by id ('E1'..'E8')."""
+    """Run one experiment by id ('E1'..'E9'), manifest attached."""
+    from repro.obs.manifest import RunManifest
+
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise UnknownExperimentError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](runner)
+    runner = runner or SuiteRunner()
+    result = EXPERIMENTS[key](runner)
+    result.manifest = RunManifest.from_runner(runner, key)
+    return result

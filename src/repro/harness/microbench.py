@@ -153,6 +153,38 @@ def trigger_roundtrip_overhead(work: int = 8) -> float:
         / ITERATIONS
 
 
+def instrumentation_overhead(repeats: int = 3) -> Tuple[float, float, float]:
+    """Wall-clock cost of attaching the metrics registry to an engine run.
+
+    Runs the same DTT timed run ``repeats`` times bare and ``repeats``
+    times with a :class:`~repro.obs.metrics.MetricsRegistry` attached,
+    taking the minimum of each (noise rejection).  Returns
+    ``(bare_seconds, metered_seconds, ratio)``.  The observability layer
+    must never become the hot path: the guard asserted by the overhead
+    benchmark is ratio < 2.
+    """
+    import time
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workloads.suite import SUITE
+
+    workload = SUITE["perlbmk"]
+    inp = workload.make_input(None, None)
+
+    def one_run(metrics) -> float:
+        build = workload.build_dtt(inp)
+        engine = build.engine(deferred=True)
+        simulator = TimingSimulator(build.program, named_config("smt2"),
+                                    engine=engine, metrics=metrics)
+        started = time.perf_counter()
+        simulator.run()
+        return time.perf_counter() - started
+
+    bare = min(one_run(None) for _ in range(repeats))
+    metered = min(one_run(MetricsRegistry()) for _ in range(repeats))
+    return bare, metered, metered / bare if bare else 1.0
+
+
 def run_micro_overheads() -> ExperimentResult:
     """The mechanism-overhead table (appendix-style; not a paper figure)."""
     silent = silent_tstore_overhead()

@@ -44,6 +44,9 @@ class ExperimentResult:
         #: optional figure series rendered as a text bar chart:
         #: (labels, values, unit)
         self.figure = None
+        #: optional :class:`~repro.obs.manifest.RunManifest` describing the
+        #: run that produced this result (attached by ``run_experiment``)
+        self.manifest = None
 
     def set_figure(self, labels: Sequence[str], values: Sequence[float],
                    unit: str = "") -> None:
@@ -68,7 +71,7 @@ class ExperimentResult:
 
     def as_dict(self) -> Dict:
         """JSON-ready representation of the whole result."""
-        return {
+        payload = {
             "experiment": self.experiment_id,
             "title": self.title,
             "paper_claim": self.paper_claim,
@@ -80,6 +83,9 @@ class ExperimentResult:
             ],
             "notes": self.notes,
         }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.as_dict()
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         """The result as a JSON string."""

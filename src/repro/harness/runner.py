@@ -5,13 +5,23 @@ whole suite once and caching results keeps the full harness fast.  Cache
 keys include everything that affects a run (workload, build kind, machine
 configuration, DTT configuration fingerprint, seed, scale), so distinct
 experiments never alias.
+
+The runner is also the observability anchor of a harness run: it counts
+memoization hits/misses, accumulates wall-clock seconds per phase (one
+phase per distinct run), optionally wraps every DTT engine in an
+:class:`~repro.core.trace.EngineTrace` for timeline export, and feeds a
+shared :class:`~repro.obs.metrics.MetricsRegistry` through to the timing
+simulator — all of which :meth:`repro.obs.manifest.RunManifest.from_runner`
+rolls into the per-run manifest.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DttConfig
+from repro.core.trace import EngineTrace
 from repro.errors import CorrectnessError
 from repro.profiling.report import RedundancyReport, profile_program
 from repro.timing.params import SystemConfig, named_config
@@ -36,12 +46,81 @@ def _config_fingerprint(config: Optional[DttConfig]) -> Tuple:
 class SuiteRunner:
     """Runs workloads under timing/profiling with memoization."""
 
-    def __init__(self, seed: Optional[int] = None, scale: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None, scale: Optional[int] = None,
+                 metrics=None, trace: bool = False):
         self.seed = seed
         self.scale = scale
+        #: optional MetricsRegistry shared by every run this runner makes
+        self.metrics = metrics
+        #: when True, every DTT engine is wrapped in an EngineTrace
+        self.trace_enabled = trace
         self._timed: Dict[Tuple, TimingResult] = {}
         self._profiles: Dict[Tuple, RedundancyReport] = {}
         self._engines: Dict[Tuple, object] = {}
+        self._traces: Dict[Tuple, EngineTrace] = {}
+        self._phase_seconds: Dict[str, float] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # -- cache accounting --------------------------------------------------------
+
+    def _record_hit(self) -> None:
+        self._hits += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "runner.cache_hits", "memoized runs served from cache").inc()
+
+    def _record_miss(self) -> None:
+        self._misses += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "runner.cache_misses", "runs actually executed").inc()
+
+    def _record_phase(self, phase: str, seconds: float) -> None:
+        self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) \
+            + seconds
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "runner.run_seconds", "wall-clock seconds per executed run",
+                buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300),
+            ).observe(seconds)
+
+    def cache_stats(self) -> Dict:
+        """Hit/miss counts and the memoization keys currently cached."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "timed_entries": len(self._timed),
+            "profile_entries": len(self._profiles),
+            "keys": list(self._timed) + list(self._profiles),
+        }
+
+    def clear(self) -> None:
+        """Drop every memoized run (counters and phase timings too)."""
+        self._timed.clear()
+        self._profiles.clear()
+        self._engines.clear()
+        self._traces.clear()
+        self._phase_seconds.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock seconds per phase (one phase per executed run)."""
+        return dict(self._phase_seconds)
+
+    def peak_queue_depth(self) -> int:
+        """Deepest any cached engine's thread queue ever got."""
+        depths = [engine.queue.depth_high_water
+                  for engine in self._engines.values()]
+        return max(depths, default=0)
+
+    def traces(self) -> List[Tuple[str, EngineTrace]]:
+        """(label, trace) for every traced run, in execution order."""
+        return [
+            (f"{key[0]}:{key[1]}:{key[2]}", trace)
+            for key, trace in self._traces.items()
+        ]
 
     # -- timed runs --------------------------------------------------------------
 
@@ -57,11 +136,14 @@ class SuiteRunner:
         key = (workload.name, kind, config_name,
                _config_fingerprint(dtt_config), self.seed, self.scale)
         if key in self._timed:
+            self._record_hit()
             return self._timed[key]
+        self._record_miss()
         inp = workload.make_input(self.seed, self.scale)
         system = named_config(config_name)
         if kind == "baseline":
-            simulator = TimingSimulator(workload.build_baseline(inp), system)
+            simulator = TimingSimulator(workload.build_baseline(inp), system,
+                                        metrics=self.metrics)
             engine = None
         else:
             build = (workload.build_dtt_watch(inp) if kind == "dtt-watch"
@@ -71,8 +153,14 @@ class SuiteRunner:
                     f"{workload.name} has no {kind} build"
                 )
             engine = build.engine(config=dtt_config, deferred=True)
-            simulator = TimingSimulator(build.program, system, engine=engine)
+            if self.trace_enabled:
+                self._traces[key] = EngineTrace(engine)
+            simulator = TimingSimulator(build.program, system, engine=engine,
+                                        metrics=self.metrics)
+        started = time.perf_counter()
         result = simulator.run()
+        self._record_phase(f"{workload.name}:{kind}:{config_name}",
+                           time.perf_counter() - started)
         if kind != "baseline" and check_against_baseline:
             baseline = self.timed(workload, "baseline", config_name)
             if result.output != baseline.output:
@@ -101,9 +189,14 @@ class SuiteRunner:
         """Redundancy profile of the workload's baseline build."""
         key = (workload.name, self.seed, self.scale)
         if key in self._profiles:
+            self._record_hit()
             return self._profiles[key]
+        self._record_miss()
         inp = workload.make_input(self.seed, self.scale)
+        started = time.perf_counter()
         report = profile_program(workload.build_baseline(inp), workload.name)
+        self._record_phase(f"{workload.name}:profile",
+                           time.perf_counter() - started)
         self._profiles[key] = report
         return report
 

@@ -1,0 +1,43 @@
+"""Observability: metrics registry, run manifests, exportable timelines.
+
+The paper's whole evaluation is counter-driven — redundant-load rates,
+triggers fired/suppressed, clean vs. wait consumes — so instrumentation
+is not an afterthought here; it is the measuring instrument.  This
+package is the one place those measurements live:
+
+* :mod:`repro.obs.metrics` — a dependency-free registry of named
+  counters, gauges, and fixed-bucket histograms, with snapshot/diff and
+  Prometheus-text / JSON exporters;
+* :mod:`repro.obs.timeline` — converts an
+  :class:`~repro.core.trace.EngineTrace` into Chrome trace-event JSON,
+  so a DTT run can be opened in ``chrome://tracing`` or Perfetto;
+* :mod:`repro.obs.manifest` — a per-run :class:`RunManifest` (config
+  fingerprint, wall-clock per phase, cache hit/miss counts, peak queue
+  depth) attached to every experiment result.
+
+Everything here observes; nothing here decides.  Components accept an
+optional :class:`MetricsRegistry` and run identically (and pay nothing)
+without one.
+"""
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.timeline import trace_to_chrome, traces_to_chrome, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "RunManifest",
+    "trace_to_chrome",
+    "traces_to_chrome",
+    "write_chrome_trace",
+]

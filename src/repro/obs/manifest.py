@@ -1,0 +1,114 @@
+"""Run manifests: what ran, under what configuration, at what cost.
+
+A :class:`RunManifest` is the provenance record of one harness run: a
+stable fingerprint of everything that identified the run (seed, scale,
+and the full set of memoization keys the runner executed, each of which
+embeds workload, build kind, machine configuration, and DTT-config
+fingerprint), wall-clock seconds per phase, the runner's memoization
+hit/miss counts, and the peak thread-queue depth any engine reached.
+Experiment results carry their manifest into ``--json`` output, so a
+results file is self-describing: the numbers and the conditions that
+produced them travel together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+
+class RunManifest:
+    """Provenance + cost record for one harness run."""
+
+    #: bump when the serialized shape changes
+    SCHEMA_VERSION = 1
+
+    def __init__(
+        self,
+        fingerprint: str,
+        seed: Optional[int],
+        scale: Optional[int],
+        phase_seconds: Dict[str, float],
+        cache_hits: int,
+        cache_misses: int,
+        peak_queue_depth: int,
+        experiment_id: str = "",
+    ):
+        self.fingerprint = fingerprint
+        self.seed = seed
+        self.scale = scale
+        self.phase_seconds = dict(phase_seconds)
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.peak_queue_depth = peak_queue_depth
+        self.experiment_id = experiment_id
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_runner(cls, runner, experiment_id: str = "") -> "RunManifest":
+        """Build a manifest from a :class:`~repro.harness.runner.SuiteRunner`.
+
+        Captures the runner's *current* accumulated state; call after the
+        experiment(s) of interest have run.
+        """
+        stats = runner.cache_stats()
+        identity = {
+            "seed": runner.seed,
+            "scale": runner.scale,
+            "runs": sorted(repr(key) for key in stats["keys"]),
+        }
+        return cls(
+            fingerprint=fingerprint_of(identity),
+            seed=runner.seed,
+            scale=runner.scale,
+            phase_seconds=runner.phase_seconds(),
+            cache_hits=stats["hits"],
+            cache_misses=stats["misses"],
+            peak_queue_depth=runner.peak_queue_depth(),
+            experiment_id=experiment_id,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds summed over all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    def as_dict(self) -> Dict:
+        """JSON-ready representation."""
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "experiment": self.experiment_id,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "scale": self.scale,
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in self.phase_seconds.items()
+            },
+            "total_seconds": round(self.total_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest({self.experiment_id or 'run'}, "
+            f"fingerprint={self.fingerprint[:12]}, "
+            f"{len(self.phase_seconds)} phases, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )
+
+
+def fingerprint_of(identity: Dict) -> str:
+    """Stable sha256 hex digest of a JSON-serializable identity dict."""
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,346 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Modeled on the Prometheus client-library data model, reduced to what a
+single-process simulator needs: instruments are plain Python objects with
+one hot method each (``inc`` / ``set`` / ``observe``), registered by name
+in a :class:`MetricsRegistry`.  A registry can be snapshotted at any
+point; two snapshots diff into per-instrument deltas, which is how tests
+and the overhead benchmarks assert "this run incremented exactly these
+counters".  Exporters render the whole registry as Prometheus text
+exposition format or JSON — both dependency-free.
+
+Conventions:
+
+* instrument names are dotted (``engine.triggers_fired``); the
+  Prometheus exporter rewrites dots to underscores;
+* counters are monotonic — a negative increment raises
+  :class:`~repro.errors.MetricsError`;
+* histograms have fixed upper-bound buckets chosen at registration, plus
+  an implicit ``+Inf`` overflow bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import MetricsError
+
+Number = Union[int, float]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+#: default histogram buckets: powers of two, sized for cycle counts
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                      1024, 4096, 16384, 65536)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cycle totals)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Set the gauge to ``value``."""
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def set_max(self, value: Number) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-water mark)."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    Buckets are upper bounds (inclusive), strictly increasing; one
+    implicit ``+Inf`` overflow bucket catches everything larger.  Per
+    Prometheus convention the exporter renders *cumulative* bucket
+    counts, but :attr:`counts` stores per-bucket (non-cumulative) counts
+    because those are what tests assert against.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise MetricsError(f"histogram {self.__class__.__name__} "
+                               f"{name!r} needs at least one bucket")
+        bounds = [float(b) for b in buckets]
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise MetricsError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {list(buckets)}"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise MetricsError(
+                f"histogram {name!r}: the +Inf bucket is implicit; do not "
+                "pass it explicitly"
+            )
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        #: per-bucket counts; index len(buckets) is the +Inf overflow
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: Number = 0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bucket, Prometheus-style (ends at count)."""
+        out = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"sum={self.sum})")
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+_TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsSnapshot:
+    """A frozen copy of a registry's values at one point in time."""
+
+    def __init__(self, values: Dict[str, Dict]):
+        self._values = values
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """The snapshot as plain nested dicts (JSON-ready)."""
+        return {name: dict(entry) for name, entry in self._values.items()}
+
+    def __getitem__(self, name: str) -> Dict:
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def diff(self, older: "MetricsSnapshot") -> Dict[str, Number]:
+        """Numeric change per instrument since ``older``.
+
+        Counters and histogram counts diff as deltas; gauges report
+        their current value (a gauge has no meaningful delta).
+        Instruments absent from ``older`` diff against zero.
+        """
+        deltas: Dict[str, Number] = {}
+        for name, entry in self._values.items():
+            kind = entry["type"]
+            if kind == "gauge":
+                deltas[name] = entry["value"]
+                continue
+            if kind == "counter":
+                before = older[name]["value"] if name in older else 0
+                deltas[name] = entry["value"] - before
+            else:  # histogram: diff the observation count
+                before = older[name]["count"] if name in older else 0
+                deltas[name] = entry["count"] - before
+        return deltas
+
+    def __repr__(self) -> str:
+        return f"MetricsSnapshot({len(self._values)} instruments)"
+
+
+class MetricsRegistry:
+    """Named instruments, registered once and shared by reference.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing instrument (so instrumented
+    components can be composed without coordination), but asking for an
+    existing name *as a different type* is a hard error.
+    """
+
+    def __init__(self):
+        self._instruments: "Dict[str, Instrument]" = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricsError(
+                    f"{name!r} is already registered as a "
+                    f"{_TYPE_NAMES[type(existing)]}, not a {_TYPE_NAMES[cls]}"
+                )
+            return existing
+        if not _NAME_RE.match(name):
+            raise MetricsError(
+                f"invalid metric name {name!r} (want letters, digits, "
+                "underscores, dots; must not start with a digit)"
+            )
+        instrument = cls(name, *args, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets)
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """All registered names, in registration order."""
+        return list(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations survive, values don't)."""
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Histogram):
+                instrument.counts = [0] * len(instrument.counts)
+                instrument.sum = 0
+                instrument.count = 0
+            else:
+                instrument.value = 0
+
+    # -- snapshot / export ----------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument's current value."""
+        values: Dict[str, Dict] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                values[name] = {
+                    "type": "histogram",
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+            else:
+                values[name] = {
+                    "type": _TYPE_NAMES[type(instrument)],
+                    "value": instrument.value,
+                }
+        return MetricsSnapshot(values)
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """The registry's current values as plain dicts (JSON-ready)."""
+        return self.snapshot().as_dict()
+
+    def to_json(self, indent: int = 2) -> str:
+        """The registry's current values as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, instrument in self._instruments.items():
+            flat = name.replace(".", "_")
+            if instrument.help:
+                lines.append(f"# HELP {flat} {instrument.help}")
+            lines.append(f"# TYPE {flat} {_TYPE_NAMES[type(instrument)]}")
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                for bound, count in zip(instrument.buckets, cumulative):
+                    le = format(bound, "g")
+                    lines.append(f'{flat}_bucket{{le="{le}"}} {count}')
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {instrument.count}')
+                lines.append(f"{flat}_sum {instrument.sum}")
+                lines.append(f"{flat}_count {instrument.count}")
+            else:
+                lines.append(f"{flat} {instrument.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render(self) -> str:
+        """Aligned human-readable snapshot (the ``stats`` CLI output)."""
+        rows: List[Tuple[str, str]] = []
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                mean = instrument.sum / instrument.count if instrument.count \
+                    else 0.0
+                rows.append((name, f"count={instrument.count} "
+                                   f"mean={mean:.2f}"))
+            else:
+                rows.append((name, format(instrument.value, "g")))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

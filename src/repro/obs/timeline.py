@@ -1,0 +1,115 @@
+"""Chrome trace-event export: open a DTT run in Perfetto.
+
+Converts the :class:`~repro.core.trace.EngineTrace` event list into the
+Chrome trace-event JSON format (the ``chrome://tracing`` / Perfetto
+"JSON object" flavor).  Each support thread becomes a track; dispatched
+activations pair with their completion (or cancellation) into duration
+slices, and everything else — triggering stores, filter suppressions,
+consume points — renders as instant events, so the interleaving the
+trace records becomes visually inspectable.
+
+The engine has no wall clock: event *sequence numbers* serve as
+timestamps (one tick per event, reported as microseconds, which Perfetto
+renders fine).  What matters in a DTT timeline is ordering, not
+duration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import trace as T
+from repro.core.trace import EngineTrace
+
+#: event kinds that open a duration slice (paired with the kinds below)
+_SLICE_OPENERS = (T.DISPATCHED,)
+_SLICE_CLOSERS = (T.COMPLETED, T.CANCELED)
+
+
+def _thread_track(thread: Optional[str], tids: Dict[str, int]) -> int:
+    name = thread if thread is not None else "engine"
+    if name not in tids:
+        tids[name] = len(tids)
+    return tids[name]
+
+
+def trace_to_chrome(trace: EngineTrace, pid: int = 1,
+                    process_name: str = "dtt-engine") -> Dict:
+    """One trace as a Chrome trace-event JSON object (a plain dict).
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``; pass it
+    to :func:`write_chrome_trace` or ``json.dump`` it yourself.
+    """
+    return traces_to_chrome([(process_name, trace)], first_pid=pid)
+
+
+def traces_to_chrome(named_traces: Sequence[Tuple[str, EngineTrace]],
+                     first_pid: int = 1) -> Dict:
+    """Several traces combined, one Perfetto process per trace."""
+    events: List[Dict] = []
+    for offset, (process_name, trace) in enumerate(named_traces):
+        pid = first_pid + offset
+        events.extend(_one_process(trace, pid, process_name))
+    events.sort(key=lambda e: (e["ts"], e.get("pid", 0), e.get("tid", 0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _one_process(trace: EngineTrace, pid: int, process_name: str) -> List[Dict]:
+    events: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+        "args": {"name": process_name},
+    }]
+    tids: Dict[str, int] = {}
+    # per-thread stack of (start_ts, detail) for open dispatch slices
+    open_slices: Dict[int, List[Tuple[int, str]]] = {}
+    for event in trace.events:
+        tid = _thread_track(event.thread, tids)
+        ts = event.sequence
+        args: Dict[str, object] = {}
+        if event.address is not None:
+            args["address"] = event.address
+        if event.detail:
+            args["detail"] = event.detail
+        if event.kind in _SLICE_OPENERS:
+            open_slices.setdefault(tid, []).append((ts, event.detail))
+            continue
+        if event.kind in _SLICE_CLOSERS and open_slices.get(tid):
+            start, detail = open_slices[tid].pop()
+            args["outcome"] = event.kind
+            if detail:
+                args.setdefault("detail", detail)
+            events.append({
+                "name": f"{event.thread} activation", "cat": "activation",
+                "ph": "X", "ts": start, "dur": max(ts - start, 1),
+                "pid": pid, "tid": tid, "args": args,
+            })
+            continue
+        events.append({
+            "name": event.kind, "cat": "engine", "ph": "i", "s": "t",
+            "ts": ts, "pid": pid, "tid": tid, "args": args,
+        })
+    # dangling slices (e.g. still executing at trace end) close at the
+    # last recorded timestamp so the export never loses a dispatch
+    last_ts = trace.events[-1].sequence if trace.events else 0
+    for tid, stack in open_slices.items():
+        for start, detail in stack:
+            events.append({
+                "name": "activation (unfinished)", "cat": "activation",
+                "ph": "X", "ts": start, "dur": max(last_ts - start, 1),
+                "pid": pid, "tid": tid,
+                "args": {"detail": detail} if detail else {},
+            })
+    for name, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "ts": 0, "args": {"name": name},
+        })
+    return events
+
+
+def write_chrome_trace(path: str, *named_traces: Tuple[str, EngineTrace]) -> None:
+    """Write one or more named traces to ``path`` as Chrome trace JSON."""
+    payload = traces_to_chrome(list(named_traces))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)

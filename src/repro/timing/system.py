@@ -36,8 +36,12 @@ class TimingSimulator:
         engine: Optional[DttEngine] = None,
         energy_model: Optional[EnergyModel] = None,
         max_instructions: int = 50_000_000,
+        metrics=None,
     ):
         self.config = config or SystemConfig()
+        #: optional MetricsRegistry; cycle-breakdown gauges are published
+        #: into it when the run finishes (and live engine metrics during)
+        self.metrics = metrics
         self.machine = Machine(
             program,
             num_contexts=self.config.total_contexts,
@@ -52,6 +56,9 @@ class TimingSimulator:
                     "(DttEngine(..., deferred=True))"
                 )
             self.machine.attach_engine(engine)
+            engine.cycle_source = lambda: self.now
+            if metrics is not None:
+                engine.attach_metrics(metrics)
         self.hierarchy = CacheHierarchy(
             self.config.num_cores, self.config.hierarchy_params
         )
@@ -134,11 +141,46 @@ class TimingSimulator:
 
     # -- results ------------------------------------------------------------------------
 
+    def _publish_metrics(self, energy: float) -> None:
+        """Cycle-breakdown gauges for the finished run (last run wins)."""
+        registry = self.metrics
+        machine = self.machine
+        registry.counter("timing.runs", "timed runs completed").inc()
+        gauges = {
+            "timing.cycles": (self.now, "simulated cycles of the last run"),
+            "timing.instructions":
+                (machine.instructions_executed, "committed instructions"),
+            "timing.main_instructions":
+                (machine.main_instructions, "main-context instructions"),
+            "timing.support_instructions":
+                (machine.support_instructions, "support-thread instructions"),
+            "timing.ipc": (
+                machine.instructions_executed / self.now if self.now else 0.0,
+                "instructions per cycle"),
+            "timing.branch_lookups":
+                (self.predictor.lookups, "branch-predictor lookups"),
+            "timing.branch_mispredicts":
+                (self.predictor.mispredicts, "branch mispredictions"),
+            "timing.dram_accesses":
+                (self.hierarchy.dram_accesses, "DRAM accesses"),
+            "timing.energy": (energy, "event-weighted energy proxy"),
+        }
+        for name, (value, help_text) in gauges.items():
+            registry.gauge(name, help_text).set(value)
+        for level, stats in self.hierarchy.level_stats().items():
+            for field, value in stats.items():
+                registry.gauge(
+                    f"timing.cache.{level}.{field}",
+                    f"{level} {field} of the last run",
+                ).set(value)
+
     def _result(self) -> TimingResult:
         machine = self.machine
         energy = self.energy_model.energy(
             machine.instructions_executed, self.hierarchy
         )
+        if self.metrics is not None:
+            self._publish_metrics(energy)
         return TimingResult(
             cycles=self.now,
             instructions=machine.instructions_executed,

@@ -82,7 +82,7 @@ def test_timeline_renders():
     assert "#1" in text
 
 
-def test_truncation():
+def test_truncation_counts_dropped_events():
     program, spec = build_dtt_sum([1, 2], [0, 1, 0, 1], [9, 8, 7, 6])
     machine = Machine(program, num_contexts=2)
     engine = DttEngine(ThreadRegistry([spec]))
@@ -91,7 +91,15 @@ def test_truncation():
     run_to_completion(machine)
     assert len(tracer) == 2
     assert tracer.truncated
-    assert "truncated" in tracer.timeline()
+    assert tracer.dropped > 0
+    assert f"({tracer.dropped} events dropped)" in tracer.timeline()
+
+
+def test_untruncated_trace_reports_zero_dropped():
+    _output, tracer = traced_run([1, 2], [0], [9])
+    assert tracer.dropped == 0
+    assert not tracer.truncated
+    assert "dropped" not in tracer.timeline()
 
 
 def test_inline_serialized_completions_are_attributed():

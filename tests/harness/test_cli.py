@@ -33,3 +33,34 @@ def test_verify_command(capsys):
     assert main(["verify"]) == 0
     out = capsys.readouterr().out
     assert out.count("OK") == 15
+
+
+def test_run_exports_metrics_and_trace(tmp_path, capsys):
+    metrics_file = tmp_path / "m.json"
+    trace_file = tmp_path / "t.json"
+    json_file = tmp_path / "out.json"
+    assert main(["run", "E9", "--json", str(json_file),
+                 "--metrics-out", str(metrics_file),
+                 "--trace-out", str(trace_file)]) == 0
+    metrics = json.loads(metrics_file.read_text())
+    for name in ("engine.triggers_fired", "queue.depth_high_water",
+                 "runner.cache_misses", "timing.cycles"):
+        assert name in metrics, f"missing {name}"
+    trace = json.loads(trace_file.read_text())
+    timestamps = [e["ts"] for e in trace["traceEvents"]]
+    assert timestamps and timestamps == sorted(timestamps)
+    payload = json.loads(json_file.read_text())
+    assert payload[0]["manifest"]["cache_misses"] > 0
+
+
+def test_stats_command_prints_registry(capsys):
+    assert main(["stats", "--workload", "perlbmk"]) == 0
+    out = capsys.readouterr().out
+    assert "engine.triggers_fired" in out
+    assert "timing.cycles" in out
+    assert "runner.cache_misses" in out
+
+
+def test_stats_rejects_unknown_workload(capsys):
+    assert main(["stats", "--workload", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().out

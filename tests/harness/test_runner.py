@@ -69,3 +69,60 @@ def test_different_seed_runner_is_distinct():
     ra = a.timed(workload, "baseline")
     rb = b.timed(workload, "baseline")
     assert ra.output != rb.output
+
+
+def test_cache_stats_counts_hits_and_misses():
+    runner = SuiteRunner()
+    workload = SUITE["perlbmk"]
+    runner.timed(workload, "baseline")            # miss
+    runner.timed(workload, "baseline")            # hit
+    runner.profile(workload)                      # miss
+    runner.profile(workload)                      # hit
+    stats = runner.cache_stats()
+    assert stats["misses"] == 2
+    assert stats["hits"] == 2
+    assert stats["timed_entries"] == 1
+    assert stats["profile_entries"] == 1
+    assert len(stats["keys"]) == 2
+
+
+def test_clear_drops_memoized_runs():
+    runner = SuiteRunner()
+    workload = SUITE["perlbmk"]
+    first = runner.timed(workload, "baseline")
+    runner.clear()
+    stats = runner.cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "timed_entries": 0,
+                     "profile_entries": 0, "keys": []}
+    assert runner.phase_seconds() == {}
+    second = runner.timed(workload, "baseline")
+    assert second is not first  # genuinely re-run
+    assert second.output == first.output
+
+
+def test_runner_records_phase_seconds_and_peak_depth():
+    runner = SuiteRunner()
+    workload = SUITE["perlbmk"]
+    runner.timed(workload, "dtt")
+    phases = runner.phase_seconds()
+    assert "perlbmk:dtt:smt2" in phases
+    assert "perlbmk:baseline:smt2" in phases  # run by the correctness check
+    assert all(seconds > 0 for seconds in phases.values())
+    assert runner.peak_queue_depth() >= 0
+
+
+def test_runner_metrics_and_traces_opt_in():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    runner = SuiteRunner(metrics=registry, trace=True)
+    workload = SUITE["perlbmk"]
+    runner.timed(workload, "dtt")
+    runner.timed(workload, "dtt")
+    assert registry.counter("runner.cache_hits").value >= 1
+    assert registry.counter("runner.cache_misses").value == 2
+    assert registry.counter("engine.triggering_stores").value > 0
+    assert registry.gauge("timing.cycles").value > 0
+    (label, trace), = runner.traces()
+    assert label == "perlbmk:dtt:smt2"
+    assert len(trace) > 0

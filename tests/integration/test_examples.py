@@ -20,11 +20,21 @@ CASES = {
     "profile_redundancy": ["measured: 75.9%", "hottest redundant-load"],
     "convert_with_advisor": ["outputs identical over 120 steps: yes",
                              "speedup:"],
+    "export_trace": ["(5.96x)", "trace events",
+                     "engine.triggers_fired"],
 }
 
+# Examples that take an output path get one under tmp_path so running
+# the suite never litters the working directory.
+WRITES_FILE = {"export_trace": "mcf_trace.json"}
 
-def run_example(name, capsys):
+
+def run_example(name, capsys, monkeypatch, tmp_path):
     path = EXAMPLES_DIR / f"{name}.py"
+    argv = [str(path)]
+    if name in WRITES_FILE:
+        argv.append(str(tmp_path / WRITES_FILE[name]))
+    monkeypatch.setattr(sys, "argv", argv)
     spec = importlib.util.spec_from_file_location(f"example_{name}", path)
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
@@ -37,8 +47,9 @@ def run_example(name, capsys):
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_example_runs_and_tells_its_story(name, capsys):
-    output = run_example(name, capsys)
+def test_example_runs_and_tells_its_story(name, capsys, monkeypatch,
+                                          tmp_path):
+    output = run_example(name, capsys, monkeypatch, tmp_path)
     for expected in CASES[name]:
         assert expected in output, f"{name}: missing {expected!r}"
 

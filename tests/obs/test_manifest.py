@@ -1,0 +1,69 @@
+"""Run manifests: fingerprints, phase timings, result round-trip."""
+
+import json
+
+import pytest
+
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import SuiteRunner
+from repro.obs.manifest import RunManifest, fingerprint_of
+from repro.workloads.suite import SUITE
+
+
+@pytest.fixture(scope="module")
+def runner():
+    r = SuiteRunner()
+    r.timed(SUITE["perlbmk"], "baseline")
+    r.timed(SUITE["perlbmk"], "dtt")
+    return r
+
+
+def test_from_runner_captures_cache_and_phases(runner):
+    manifest = RunManifest.from_runner(runner, "E3")
+    assert manifest.experiment_id == "E3"
+    assert manifest.cache_misses == 2
+    assert manifest.cache_hits >= 1  # dtt's correctness check hits baseline
+    assert "perlbmk:baseline:smt2" in manifest.phase_seconds
+    assert "perlbmk:dtt:smt2" in manifest.phase_seconds
+    assert manifest.total_seconds > 0
+
+
+def test_fingerprint_is_stable_and_content_sensitive(runner):
+    a = RunManifest.from_runner(runner)
+    b = RunManifest.from_runner(runner)
+    assert a.fingerprint == b.fingerprint
+    assert len(a.fingerprint) == 64
+
+    other = SuiteRunner(seed=99)
+    other.timed(SUITE["perlbmk"], "baseline")
+    assert RunManifest.from_runner(other).fingerprint != a.fingerprint
+
+
+def test_fingerprint_of_is_order_insensitive():
+    assert fingerprint_of({"a": 1, "b": 2}) == fingerprint_of({"b": 2, "a": 1})
+    assert fingerprint_of({"a": 1}) != fingerprint_of({"a": 2})
+
+
+def test_manifest_round_trips_through_experiment_result(runner):
+    result = ExperimentResult("EX", "test", ["col"], [[1]])
+    result.manifest = RunManifest.from_runner(runner, "EX")
+    payload = json.loads(result.to_json())
+    manifest = payload["manifest"]
+    assert manifest["schema_version"] == RunManifest.SCHEMA_VERSION
+    assert manifest["experiment"] == "EX"
+    assert manifest["fingerprint"] == result.manifest.fingerprint
+    assert manifest["cache_misses"] == 2
+    assert set(manifest["phase_seconds"]) == set(
+        result.manifest.phase_seconds)
+    assert manifest["peak_queue_depth"] >= 0
+
+
+def test_result_without_manifest_omits_the_key():
+    result = ExperimentResult("EX", "test", ["col"], [[1]])
+    assert "manifest" not in json.loads(result.to_json())
+
+
+def test_peak_queue_depth_reflects_engines(runner):
+    manifest = RunManifest.from_runner(runner)
+    engine = runner.engine_for(SUITE["perlbmk"], "dtt")
+    assert manifest.peak_queue_depth == engine.queue.depth_high_water

@@ -1,0 +1,180 @@
+"""Metrics registry semantics: instruments, snapshots, exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# -- counters -----------------------------------------------------------------
+
+
+def test_counter_increments(registry):
+    c = registry.counter("engine.fired")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_counter_is_monotonic(registry):
+    c = registry.counter("engine.fired")
+    with pytest.raises(MetricsError):
+        c.inc(-1)
+    assert c.value == 0
+
+
+def test_counter_get_or_create_returns_same_instrument(registry):
+    assert registry.counter("a.b") is registry.counter("a.b")
+
+
+def test_type_conflict_is_an_error(registry):
+    registry.counter("x")
+    with pytest.raises(MetricsError):
+        registry.gauge("x")
+    with pytest.raises(MetricsError):
+        registry.histogram("x")
+
+
+def test_invalid_name_rejected(registry):
+    with pytest.raises(MetricsError):
+        registry.counter("9starts-with-digit")
+    with pytest.raises(MetricsError):
+        registry.counter("has space")
+
+
+# -- gauges -------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec(registry):
+    g = registry.gauge("queue.depth")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2
+
+
+def test_gauge_set_max_is_high_water(registry):
+    g = registry.gauge("queue.depth_high_water")
+    g.set_max(4)
+    g.set_max(2)
+    g.set_max(7)
+    assert g.value == 7
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def test_histogram_bucket_edges(registry):
+    h = registry.histogram("lat", buckets=(1, 4, 16))
+    h.observe(1)    # <= 1 -> bucket 0 (upper bound inclusive)
+    h.observe(2)    # <= 4 -> bucket 1
+    h.observe(4)    # <= 4 -> bucket 1
+    h.observe(16)   # <= 16 -> bucket 2
+    h.observe(17)   # overflow -> +Inf bucket
+    assert h.counts == [1, 2, 1, 1]
+    assert h.count == 5
+    assert h.sum == 40
+
+
+def test_histogram_cumulative_counts(registry):
+    h = registry.histogram("lat", buckets=(1, 4, 16))
+    for v in (1, 2, 4, 16, 17):
+        h.observe(v)
+    assert h.cumulative_counts() == [1, 3, 4, 5]
+
+
+def test_histogram_rejects_bad_buckets(registry):
+    with pytest.raises(MetricsError):
+        registry.histogram("a", buckets=())
+    with pytest.raises(MetricsError):
+        registry.histogram("b", buckets=(4, 2))
+    with pytest.raises(MetricsError):
+        registry.histogram("c", buckets=(1, float("inf")))
+
+
+# -- snapshot / diff ----------------------------------------------------------
+
+
+def test_snapshot_is_frozen(registry):
+    c = registry.counter("n")
+    before = registry.snapshot()
+    c.inc(10)
+    assert before["n"]["value"] == 0
+    assert registry.snapshot()["n"]["value"] == 10
+
+
+def test_snapshot_diff_counters_and_histograms(registry):
+    c = registry.counter("n")
+    h = registry.histogram("lat", buckets=(1, 2))
+    c.inc(2)
+    h.observe(1)
+    older = registry.snapshot()
+    c.inc(3)
+    h.observe(5)
+    h.observe(1)
+    deltas = registry.snapshot().diff(older)
+    assert deltas["n"] == 3
+    assert deltas["lat"] == 2
+
+
+def test_snapshot_diff_handles_new_instruments(registry):
+    older = registry.snapshot()
+    registry.counter("late").inc(7)
+    assert registry.snapshot().diff(older)["late"] == 7
+
+
+def test_reset_zeroes_but_keeps_registrations(registry):
+    registry.counter("n").inc(5)
+    registry.histogram("lat", buckets=(1,)).observe(3)
+    registry.reset()
+    assert registry.counter("n").value == 0
+    h = registry.histogram("lat", buckets=(1,))
+    assert h.count == 0 and h.sum == 0 and h.counts == [0, 0]
+    assert set(registry.names()) == {"n", "lat"}
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def test_json_export_round_trips(registry):
+    registry.counter("engine.fired").inc(3)
+    registry.gauge("queue.depth").set(2)
+    payload = json.loads(registry.to_json())
+    assert payload["engine.fired"] == {"type": "counter", "value": 3}
+    assert payload["queue.depth"] == {"type": "gauge", "value": 2}
+
+
+def test_prometheus_text_format(registry):
+    registry.counter("engine.fired", "triggers fired").inc(3)
+    h = registry.histogram("lat", "latency", buckets=(1, 4))
+    h.observe(2)
+    h.observe(9)
+    text = registry.to_prometheus_text()
+    assert "# HELP engine_fired triggers fired" in text
+    assert "# TYPE engine_fired counter" in text
+    assert "engine_fired 3" in text
+    assert 'lat_bucket{le="1"} 0' in text
+    assert 'lat_bucket{le="4"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 2' in text
+    assert "lat_sum 11" in text
+    assert "lat_count 2" in text
+
+
+def test_render_is_nonempty_and_aligned(registry):
+    registry.counter("a").inc()
+    registry.counter("much.longer.name").inc(2)
+    lines = registry.render().splitlines()
+    assert len(lines) == 2
+    assert lines[0].index("1") == lines[1].index("2")
+
+
+def test_empty_registry_renders_placeholder(registry):
+    assert "no metrics" in registry.render()
+    assert registry.to_prometheus_text() == ""

@@ -1,0 +1,105 @@
+"""Chrome trace-event export: valid JSON, sorted, slices paired."""
+
+import json
+
+from repro.core import trace as T
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.core.trace import EngineTrace
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+from repro.obs.timeline import trace_to_chrome, traces_to_chrome, \
+    write_chrome_trace
+
+from tests.conftest import build_dtt_sum
+
+
+def traced_run(values, idx, val, deferred=False):
+    program, spec = build_dtt_sum(list(values), list(idx), list(val))
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]), deferred=deferred)
+    tracer = EngineTrace(engine)
+    machine.attach_engine(engine)
+    if deferred:
+        main = machine.main_context
+        while main.state is not ContextState.HALTED:
+            engine.dispatch_pending()
+            for ctx in machine.contexts:
+                if ctx.state is ContextState.RUNNING:
+                    machine.step(ctx)
+    else:
+        run_to_completion(machine)
+    return tracer
+
+
+def test_export_loads_as_json():
+    tracer = traced_run([1, 2], [0, 1], [9, 8])
+    payload = trace_to_chrome(tracer)
+    text = json.dumps(payload)
+    assert json.loads(text)["traceEvents"]
+
+
+def test_events_sorted_by_ts():
+    tracer = traced_run([1, 2], [0, 1, 0], [9, 8, 7], deferred=True)
+    events = trace_to_chrome(tracer)["traceEvents"]
+    timestamps = [e["ts"] for e in events]
+    assert timestamps == sorted(timestamps)
+
+
+def test_required_fields_present():
+    tracer = traced_run([1, 2], [0], [9])
+    for event in trace_to_chrome(tracer)["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+def test_process_and_thread_metadata():
+    tracer = traced_run([1, 2], [0], [9])
+    events = trace_to_chrome(tracer, process_name="run-1")["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert "run-1" in names
+    assert "sumthr" in names
+
+
+def test_instant_events_carry_engine_detail():
+    tracer = traced_run([7, 8], [0], [7])  # silent store -> suppressed
+    events = trace_to_chrome(tracer)["traceEvents"]
+    kinds = {e["name"] for e in events if e["ph"] == "i"}
+    assert T.TSTORE in kinds
+    assert T.SUPPRESSED in kinds
+    tstore = next(e for e in events if e["name"] == T.TSTORE)
+    assert "address" in tstore["args"]
+
+
+def test_dispatch_completion_pairs_into_slices():
+    tracer = traced_run([1, 2], [0, 1], [9, 8], deferred=True)
+    events = trace_to_chrome(tracer)["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices, "deferred dispatch should produce duration slices"
+    for s in slices:
+        assert s["dur"] >= 1
+        assert s["args"]["outcome"] == T.COMPLETED
+
+
+def test_multiple_traces_get_distinct_pids():
+    a = traced_run([1, 2], [0], [9])
+    b = traced_run([1, 2], [1], [8])
+    events = traces_to_chrome([("run-a", a), ("run-b", b)])["traceEvents"]
+    pids = {e["pid"] for e in events}
+    assert pids == {1, 2}
+
+
+def test_write_chrome_trace_to_disk(tmp_path):
+    tracer = traced_run([1, 2], [0], [9])
+    target = tmp_path / "trace.json"
+    write_chrome_trace(str(target), ("run", tracer))
+    payload = json.loads(target.read_text())
+    assert payload["traceEvents"]
+
+
+def test_empty_trace_exports_cleanly():
+    program, spec = build_dtt_sum([1], [0], [9])
+    engine = DttEngine(ThreadRegistry([spec]))
+    tracer = EngineTrace(engine)  # attached but the machine never runs
+    payload = trace_to_chrome(tracer)
+    assert json.loads(json.dumps(payload)) == payload

@@ -26,6 +26,9 @@ BRANCH_BASES = {
         errors.RuntimeApiError,
         errors.CascadeError,
     ],
+    errors.ObservabilityError: [
+        errors.MetricsError,
+    ],
     errors.HarnessError: [
         errors.UnknownExperimentError,
         errors.UnknownWorkloadError,
