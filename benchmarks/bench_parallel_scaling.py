@@ -1,0 +1,71 @@
+"""Parallel scaling — process-pool scheduler vs the serial path.
+
+Not a paper figure: this guards the execution subsystem itself.  The
+E3 speedup sweep (the largest shared run matrix) is executed once
+serially and once with two workers; sharding must never make the suite
+slower than running it in-process.  Skipped on single-core hosts, where
+a process pool can only add overhead.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec.plan import build_plan
+from repro.exec.pool import execute_plan
+from repro.harness.runner import SuiteRunner
+
+#: parallel may be at most this much slower than serial before failing
+_SLOWDOWN_TOLERANCE = 1.10
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="needs >= 2 cores for a meaningful comparison")
+def test_two_workers_no_slower_than_serial(benchmark):
+    plan = build_plan(["E3"])
+
+    start = time.perf_counter()
+    serial_stats = execute_plan(plan, SuiteRunner(), jobs=1)
+    serial_seconds = time.perf_counter() - start
+    assert serial_stats["serial_executed"] == len(plan)
+
+    def parallel_pass():
+        runner = SuiteRunner()
+        stats = execute_plan(plan, runner, jobs=2)
+        assert stats["parallel_executed"] + stats["serial_executed"] \
+            == len(plan)
+        return stats
+
+    stats = benchmark.pedantic(parallel_pass, rounds=1, iterations=1)
+    parallel_seconds = benchmark.stats.stats.total
+    print(f"\nserial {serial_seconds:.2f}s vs jobs=2 "
+          f"{parallel_seconds:.2f}s over {len(plan)} runs "
+          f"(mode={stats['mode']})")
+    assert parallel_seconds <= serial_seconds * _SLOWDOWN_TOLERANCE, (
+        f"jobs=2 took {parallel_seconds:.2f}s, serial took "
+        f"{serial_seconds:.2f}s — parallel sharding made the suite slower")
+
+
+def test_warm_store_pass_is_nearly_free(tmp_path, benchmark):
+    """A second pass against a populated store must cost ~no sim time."""
+    plan = build_plan(["E9"])
+    store = str(tmp_path / "store")
+    cold_runner = SuiteRunner(store=store)
+    start = time.perf_counter()
+    execute_plan(plan, cold_runner, jobs=1)
+    cold_seconds = time.perf_counter() - start
+
+    def warm_pass():
+        runner = SuiteRunner(store=store)
+        stats = execute_plan(plan, runner, jobs=1)
+        assert stats["store_hits"] == len(plan)
+        assert stats["serial_executed"] == 0
+        return runner
+
+    runner = benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+    warm_seconds = benchmark.stats.stats.total
+    assert runner.phase_seconds() == {}  # no simulation wall-clock at all
+    print(f"\ncold {cold_seconds:.2f}s vs warm {warm_seconds:.2f}s "
+          f"over {len(plan)} runs")
+    assert warm_seconds < cold_seconds

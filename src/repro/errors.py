@@ -128,6 +128,26 @@ class MetricsError(ObservabilityError):
 
 
 # --------------------------------------------------------------------------
+# Execution layer (parallel scheduler + result store)
+# --------------------------------------------------------------------------
+
+
+class ExecError(ReproError):
+    """Base class for parallel-execution subsystem errors (bad run plan,
+    worker-pool failure, task timeout)."""
+
+
+class StoreError(ExecError):
+    """A persistent result-store entry could not be read, decoded, or
+    written (corruption, schema mismatch, unserializable payload)."""
+
+
+class CompareError(ExecError):
+    """Two result sets could not be compared (unreadable input, mixed
+    kinds, unrecognized format)."""
+
+
+# --------------------------------------------------------------------------
 # Harness layer
 # --------------------------------------------------------------------------
 

@@ -1,0 +1,29 @@
+"""Parallel execution subsystem: run plans, the process-pool scheduler,
+the content-addressed result store, and regression compare.
+
+* :mod:`repro.exec.plan` — the deduplicated run matrix experiments share
+  (:class:`RunSpec` is the identity of a run everywhere: memo key,
+  canonical string, store address);
+* :mod:`repro.exec.store` — the persistent on-disk backend behind
+  ``SuiteRunner``'s in-memory memo;
+* :mod:`repro.exec.pool` — ``ProcessPoolExecutor`` scheduling of a plan
+  across N workers (import lazily: it pulls in the harness);
+* :mod:`repro.exec.compare` — direction-aware regression diffing of two
+  stored result sets, results files, or manifests.
+
+Only ``plan`` and ``store`` are imported eagerly — ``pool`` and
+``compare`` import the harness layer, which itself imports this package.
+"""
+
+from repro.exec.plan import (RunPlan, RunSpec, build_plan,
+                             canonical_run_name, config_fingerprint)
+from repro.exec.store import ResultStore
+
+__all__ = [
+    "RunPlan",
+    "RunSpec",
+    "build_plan",
+    "canonical_run_name",
+    "config_fingerprint",
+    "ResultStore",
+]

@@ -5,11 +5,18 @@ Commands::
     dtt-harness list                 # experiments and workloads
     dtt-harness run E3               # one experiment
     dtt-harness run all              # everything, shared runner
+    dtt-harness run all --jobs 4     # shard the run plan across workers
+    dtt-harness run all --store .dtt-store   # persist + reuse results
     dtt-harness run E1 E3 --json out.json
     dtt-harness run E3 --trace-out t.json --metrics-out m.json
+    dtt-harness compare old.json new.json    # flag regressions
     dtt-harness verify               # correctness sweep of the suite
     dtt-harness sweep                # headline robustness across seeds
     dtt-harness stats                # run one workload, print the metrics
+
+``--store`` also defaults from the ``DTT_STORE`` environment variable;
+``--no-store`` disables it.  ``compare`` accepts two result-store
+directories, two ``--json`` results files, or two manifest JSON files.
 """
 
 from __future__ import annotations
@@ -49,9 +56,36 @@ def _cmd_run(args) -> int:
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"output directory does not exist: {path}")
             return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}")
+        return 2
+    store = None if args.no_store \
+        else (args.store or os.environ.get("DTT_STORE"))
+    jobs = args.jobs
+    if args.trace_out and jobs > 1:
+        print("note: --trace-out needs live engines; forcing --jobs 1")
+        jobs = 1
     registry = MetricsRegistry() if args.metrics_out else None
     runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry,
-                         trace=bool(args.trace_out))
+                         trace=bool(args.trace_out), store=store)
+    if jobs > 1 or store:
+        # state the deduplicated run matrix once and execute it up front
+        # (sharded across workers / served from the store); every
+        # experiment below is then pure memo hits
+        from repro.exec.plan import build_plan
+        from repro.exec.pool import execute_plan
+
+        plan = build_plan(wanted, seed=args.seed, scale=args.scale)
+        stats = execute_plan(plan, runner, jobs=jobs,
+                             task_timeout=args.task_timeout)
+        executed = stats["parallel_executed"] + stats["serial_executed"]
+        print(f"plan: {stats['planned']} runs — {stats['memo_hits']} "
+              f"memoized, {stats['store_hits']} from store, {executed} "
+              f"executed ({stats['mode']}, jobs={stats['jobs']})")
+        if stats["worker_retries"]:
+            print(f"note: {stats['worker_retries']} run(s) retried after "
+                  "a worker crash")
+        print()
     results = []
     failed = False
     for experiment_id in wanted:
@@ -74,6 +108,26 @@ def _cmd_run(args) -> int:
         print(f"wrote {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
     return 1 if failed else 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.errors import CompareError
+    from repro.exec.compare import compare_paths
+
+    if args.json and not os.path.isdir(os.path.dirname(args.json) or "."):
+        print(f"output directory does not exist: {args.json}")
+        return 2
+    try:
+        report = compare_paths(args.old, args.new, tolerance=args.tolerance)
+    except CompareError as error:
+        print(f"compare failed: {error}")
+        return 2
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if report.has_regressions else 0
 
 
 def _cmd_stats(args) -> int:
@@ -136,12 +190,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids, or 'all'")
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--scale", type=int, default=None)
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="shard the run plan across N worker processes "
+                          "(default: 1, serial)")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="persistent result store directory (default: "
+                          "$DTT_STORE if set); repeated runs against the "
+                          "same store skip already-computed simulations")
+    run.add_argument("--no-store", action="store_true",
+                     help="disable the result store even if DTT_STORE is set")
+    run.add_argument("--task-timeout", type=float, default=600.0,
+                     metavar="SECONDS",
+                     help="per-run timeout under --jobs N (default: 600)")
     run.add_argument("--json", default=None, help="also write JSON here")
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write a Chrome trace-event timeline of every "
                           "DTT run (open in chrome://tracing / Perfetto)")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write the metrics-registry snapshot as JSON")
+    compare = sub.add_parser(
+        "compare",
+        help="diff two result sets (stores, --json files, or manifests) "
+             "and flag regressions")
+    compare.add_argument("old", help="baseline side: store dir / JSON file")
+    compare.add_argument("new", help="candidate side: store dir / JSON file")
+    compare.add_argument("--tolerance", type=float, default=0.05,
+                         help="relative change tolerated before flagging "
+                              "(default: 0.05)")
+    compare.add_argument("--json", default=None,
+                         help="also write the compare report as JSON here")
     verify = sub.add_parser("verify", help="verify baseline == DTT == reference")
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--scale", type=int, default=None)
@@ -166,6 +243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "stats":

@@ -17,8 +17,7 @@ from repro.errors import UnknownExperimentError
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import SuiteRunner
 from repro.timing.params import named_config
-from repro.timing.system import TimingSimulator
-from repro.workloads.ablation import LineFalseWorkload
+from repro.workloads.ablation import BurstyEquakeWorkload, LineFalseWorkload
 from repro.workloads.suite import SUITE
 from repro.isa.instructions import is_triggering_store
 
@@ -392,22 +391,18 @@ def run_e8_ablations(runner: Optional[SuiteRunner] = None) -> ExperimentResult:
     rows.append(["a: same-value filter", "mcf on", f"{normal:.2f}x"])
     rows.append(["a: same-value filter", "mcf OFF", f"{no_filter:.2f}x"])
 
-    # (b) trigger granularity: word vs cache line (false triggers)
+    # (b) trigger granularity: word vs cache line (false triggers).
+    # Through the runner: memoized, store-persisted, and the output is
+    # checked against the baseline inside timed() — granularity is a
+    # performance knob, not a correctness knob.
     linefalse = LineFalseWorkload()
-    inp = linefalse.make_input(runner.seed, runner.scale)
-    baseline = TimingSimulator(linefalse.build_baseline(inp),
-                               named_config("smt2")).run()
     by_granularity = {}
     fired = {}
     for granularity in (1, 16):
-        build = linefalse.build_dtt(inp)
-        engine = build.engine(config=DttConfig(granularity=granularity),
-                              deferred=True)
-        timed = TimingSimulator(build.program, named_config("smt2"),
-                                engine=engine).run()
-        if timed.output != baseline.output:
-            raise AssertionError("granularity ablation broke correctness")
-        by_granularity[granularity] = timed.speedup_over(baseline)
+        config = DttConfig(granularity=granularity)
+        by_granularity[granularity] = runner.speedup(linefalse,
+                                                     dtt_config=config)
+        engine = runner.engine_for(linefalse, "dtt", "smt2", config)
         fired[granularity] = engine.summary()["triggers_fired"]
         rows.append([
             "b: granularity", f"linefalse {granularity}-word watch",
@@ -415,30 +410,16 @@ def run_e8_ablations(runner: Optional[SuiteRunner] = None) -> ExperimentResult:
             f"({fired[granularity]} triggers)",
         ])
 
-    # (c) thread-queue capacity: a deliberately bursty equake variant —
-    # many matrix entries change per timestep, so several per-row
-    # activations are pending at once and a shallow queue overflows
-    # (entries dispatch to the spare context as they arrive, so the
-    # default gentle workload never stresses the queue)
-    class _BurstyEquake(type(SUITE["equake"])):
-        change_rate = 0.6
-        burst = 8
-
-    bursty = _BurstyEquake()
-    bursty_inp = bursty.make_input(runner.seed, runner.scale)
-    bursty_baseline = TimingSimulator(bursty.build_baseline(bursty_inp),
-                                      named_config("smt2")).run()
+    # (c) thread-queue capacity, on the deliberately bursty equake
+    # variant (several activations pending at once, so a shallow queue
+    # overflows; see BurstyEquakeWorkload)
+    bursty = BurstyEquakeWorkload()
     by_capacity = {}
     overflow = {}
     for capacity in (1, 2, 16):
-        build = bursty.build_dtt(bursty_inp)
-        engine = build.engine(config=DttConfig(queue_capacity=capacity),
-                              deferred=True)
-        timed = TimingSimulator(build.program, named_config("smt2"),
-                                engine=engine).run()
-        if timed.output != bursty_baseline.output:
-            raise AssertionError("queue-depth ablation broke correctness")
-        by_capacity[capacity] = timed.speedup_over(bursty_baseline)
+        config = DttConfig(queue_capacity=capacity)
+        by_capacity[capacity] = runner.speedup(bursty, dtt_config=config)
+        engine = runner.engine_for(bursty, "dtt", "smt2", config)
         overflow[capacity] = engine.summary()["overflow_inline_runs"]
         rows.append([
             "c: queue depth", f"bursty-equake capacity={capacity}",

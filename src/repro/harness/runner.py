@@ -4,15 +4,29 @@ E3, E4, E6 and E7 all need the same baseline/DTT timed runs; running the
 whole suite once and caching results keeps the full harness fast.  Cache
 keys include everything that affects a run (workload, build kind, machine
 configuration, DTT configuration fingerprint, seed, scale), so distinct
-experiments never alias.
+experiments never alias.  The fingerprint is auto-derived from
+``DttConfig.__slots__`` (:func:`repro.exec.plan.config_fingerprint`), so
+a newly added configuration knob can never silently alias entries.
+
+Behind the in-memory memo sits an optional persistent backend, the
+content-addressed :class:`~repro.exec.store.ResultStore`: a memo miss
+first consults the store (counted as ``runner.store_hits`` /
+``runner.store_misses``), and every executed run is written back, so a
+second harness invocation against the same store executes zero
+simulations.  DTT results restored from the store carry a
+:class:`~repro.exec.store.StoredEngineView` standing in for the live
+engine, so experiments that read engine counters keep working.
 
 The runner is also the observability anchor of a harness run: it counts
-memoization hits/misses, accumulates wall-clock seconds per phase (one
-phase per distinct run), optionally wraps every DTT engine in an
-:class:`~repro.core.trace.EngineTrace` for timeline export, and feeds a
-shared :class:`~repro.obs.metrics.MetricsRegistry` through to the timing
-simulator — all of which :meth:`repro.obs.manifest.RunManifest.from_runner`
-rolls into the per-run manifest.
+memoization and store hits/misses, accumulates wall-clock seconds per
+phase (one phase per distinct run), optionally wraps every DTT engine in
+an :class:`~repro.core.trace.EngineTrace` for timeline export, and feeds
+a shared :class:`~repro.obs.metrics.MetricsRegistry` through to the
+timing simulator — all of which
+:meth:`repro.obs.manifest.RunManifest.from_runner` rolls into the
+per-run manifest.  Pool workers (:mod:`repro.exec.pool`) run their own
+private runner and hand results back through
+:meth:`SuiteRunner.install_payload` / :meth:`merge_worker_run`.
 """
 
 from __future__ import annotations
@@ -22,38 +36,36 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DttConfig
 from repro.core.trace import EngineTrace
-from repro.errors import CorrectnessError
+from repro.errors import CorrectnessError, DttError, ExecError
+from repro.exec.plan import (RunSpec, canonical_run_name, config_fingerprint,
+                             resolve_workload)
+from repro.exec.store import (ResultStore, decode_profile, decode_timed,
+                              encode_profile, encode_timed)
 from repro.profiling.report import RedundancyReport, profile_program
-from repro.timing.params import SystemConfig, named_config
+from repro.timing.params import named_config
 from repro.timing.stats import TimingResult
 from repro.timing.system import TimingSimulator
 from repro.workloads.base import Workload
 from repro.workloads.suite import SUITE
 
 
-def _config_fingerprint(config: Optional[DttConfig]) -> Tuple:
-    if config is None:
-        return ()
-    return (
-        config.same_value_filter,
-        config.granularity,
-        config.queue_capacity,
-        config.allow_cascading,
-        config.per_address_dedupe_default,
-    )
-
-
 class SuiteRunner:
     """Runs workloads under timing/profiling with memoization."""
 
     def __init__(self, seed: Optional[int] = None, scale: Optional[int] = None,
-                 metrics=None, trace: bool = False):
+                 metrics=None, trace: bool = False, store=None):
         self.seed = seed
         self.scale = scale
         #: optional MetricsRegistry shared by every run this runner makes
         self.metrics = metrics
-        #: when True, every DTT engine is wrapped in an EngineTrace
+        #: when True, every DTT engine is wrapped in an EngineTrace; the
+        #: store is then never *read* (traces need live engines), though
+        #: executed runs are still written back
         self.trace_enabled = trace
+        #: optional persistent ResultStore behind the in-memory memo;
+        #: a path string is accepted and opened
+        self.store: Optional[ResultStore] = (
+            ResultStore(store) if isinstance(store, str) else store)
         self._timed: Dict[Tuple, TimingResult] = {}
         self._profiles: Dict[Tuple, RedundancyReport] = {}
         self._engines: Dict[Tuple, object] = {}
@@ -61,6 +73,8 @@ class SuiteRunner:
         self._phase_seconds: Dict[str, float] = {}
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
+        self._store_misses = 0
 
     # -- cache accounting --------------------------------------------------------
 
@@ -76,6 +90,20 @@ class SuiteRunner:
             self.metrics.counter(
                 "runner.cache_misses", "runs actually executed").inc()
 
+    def _record_store_hit(self) -> None:
+        self._store_hits += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "runner.store_hits",
+                "runs restored from the persistent result store").inc()
+
+    def _record_store_miss(self) -> None:
+        self._store_misses += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "runner.store_misses",
+                "store lookups that found no entry").inc()
+
     def _record_phase(self, phase: str, seconds: float) -> None:
         self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) \
             + seconds
@@ -84,15 +112,32 @@ class SuiteRunner:
                 "runner.run_seconds", "wall-clock seconds per executed run",
                 buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300),
             ).observe(seconds)
+        if self.store is not None:
+            self.store.record_timing(phase, seconds)
 
     def cache_stats(self) -> Dict:
-        """Hit/miss counts and the memoization keys currently cached."""
+        """Hit/miss counts and the cached runs as canonical strings.
+
+        ``keys`` holds the documented, serialization-safe
+        ``workload:build:config:seed=<seed>:scale=<scale>`` form (see
+        :func:`repro.exec.plan.canonical_run_name`) — the same strings
+        the result store hashes into content addresses.
+        """
+        keys = [
+            canonical_run_name(workload, build, config, fields, seed, scale)
+            for (workload, build, config, fields, seed, scale) in self._timed
+        ] + [
+            canonical_run_name(workload, "profile", None, (), seed, scale)
+            for (workload, seed, scale) in self._profiles
+        ]
         return {
             "hits": self._hits,
             "misses": self._misses,
+            "store_hits": self._store_hits,
+            "store_misses": self._store_misses,
             "timed_entries": len(self._timed),
             "profile_entries": len(self._profiles),
-            "keys": list(self._timed) + list(self._profiles),
+            "keys": keys,
         }
 
     def clear(self) -> None:
@@ -104,6 +149,8 @@ class SuiteRunner:
         self._phase_seconds.clear()
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
+        self._store_misses = 0
 
     def phase_seconds(self) -> Dict[str, float]:
         """Wall-clock seconds per phase (one phase per executed run)."""
@@ -122,6 +169,122 @@ class SuiteRunner:
             for key, trace in self._traces.items()
         ]
 
+    # -- persistent store --------------------------------------------------------
+
+    def _try_store(self, spec: RunSpec) -> bool:
+        """Restore ``spec`` from the store into the memo, if possible.
+
+        The single counting site for store hits and misses: a hit
+        installs the entry and returns True; an absent/corrupt entry
+        counts a miss and returns False.  Reads are disabled while
+        tracing (traces need live engines).
+        """
+        if self.store is None or self.trace_enabled:
+            return False
+        entry = self.store.get(spec)
+        if entry is None:
+            self._record_store_miss()
+            return False
+        self._install(spec, entry["payload"])
+        self._record_store_hit()
+        return True
+
+    def _install(self, spec: RunSpec, payload: Dict) -> None:
+        """Decode ``payload`` into the memo (and engine views)."""
+        key = spec.runner_key()
+        if spec.kind == "profile":
+            self._profiles[key] = decode_profile(payload)
+        else:
+            result, view = decode_timed(payload)
+            self._timed[key] = result
+            if view is not None:
+                self._engines[key] = view
+
+    def _persist(self, spec: RunSpec, elapsed: float) -> None:
+        """Write a just-executed run through to the store."""
+        if self.store is None:
+            return
+        key = spec.runner_key()
+        if spec.kind == "profile":
+            payload = encode_profile(self._profiles[key])
+        else:
+            payload = encode_timed(self._timed[key], self._engines.get(key))
+        self.store.put(spec, payload, elapsed)
+
+    # -- spec-driven execution (the pool scheduler's interface) -----------------
+
+    def is_cached(self, spec: RunSpec) -> bool:
+        """Is this run already in the in-memory memo?"""
+        key = spec.runner_key()
+        return key in (self._profiles if spec.kind == "profile"
+                       else self._timed)
+
+    def load_from_store(self, spec: RunSpec) -> bool:
+        """Serve ``spec`` from the persistent store if present.
+
+        Counts only hits — a miss here means the scheduler will execute
+        the run, and the execution path counts the store miss exactly
+        once (avoiding double counting when serial fallback re-checks).
+        """
+        if self.store is None or self.trace_enabled:
+            return False
+        entry = self.store.get(spec)
+        if entry is None:
+            return False
+        self._install(spec, entry["payload"])
+        self._record_store_hit()
+        return True
+
+    def execute_spec(self, spec: RunSpec,
+                     check_against_baseline: bool = True) -> None:
+        """Run one :class:`RunSpec` through the ordinary memoized path."""
+        workload = resolve_workload(spec.workload)
+        if spec.kind == "profile":
+            self.profile(workload)
+        else:
+            self.timed(workload, spec.build, spec.config_name,
+                       spec.dtt_config(), check_against_baseline)
+
+    def result_for(self, spec: RunSpec):
+        """The memoized result of ``spec`` (raises if never run)."""
+        key = spec.runner_key()
+        memo = self._profiles if spec.kind == "profile" else self._timed
+        if key not in memo:
+            raise ExecError(f"run {spec.canonical()} has not been executed")
+        return memo[key]
+
+    def payload_for(self, spec: RunSpec) -> Dict:
+        """Encode the memoized result of ``spec`` (worker-side)."""
+        if spec.kind == "profile":
+            return encode_profile(self.result_for(spec))
+        return encode_timed(self.result_for(spec),
+                            self._engines.get(spec.runner_key()))
+
+    def install_payload(self, spec: RunSpec, payload: Dict,
+                        elapsed: float) -> None:
+        """Adopt a worker-executed run: memo, store write-back, and the
+        executed-run count.  The run's engine/timing/cache-miss counters
+        arrive separately via :meth:`merge_worker_run` (already
+        incremented worker-side); the store miss is metered *here*
+        because workers never see the store."""
+        self._install(spec, payload)
+        self._misses += 1
+        if self.store is not None:
+            self._record_store_miss()
+            self.store.put(spec, payload, elapsed)
+
+    def merge_worker_run(self, metrics_values: Optional[Dict],
+                         phases: Optional[Dict[str, float]]) -> None:
+        """Fold a worker's metrics snapshot and phase timings into this
+        runner's registry, phase table, and store timing hints."""
+        if metrics_values and self.metrics is not None:
+            self.metrics.merge_values(metrics_values)
+        for phase, seconds in (phases or {}).items():
+            self._phase_seconds[phase] = \
+                self._phase_seconds.get(phase, 0.0) + seconds
+            if self.store is not None:
+                self.store.record_timing(phase, seconds)
+
     # -- timed runs --------------------------------------------------------------
 
     def timed(
@@ -133,10 +296,13 @@ class SuiteRunner:
         check_against_baseline: bool = True,
     ) -> TimingResult:
         """One timed run.  ``kind`` is 'baseline', 'dtt', or 'dtt-watch'."""
-        key = (workload.name, kind, config_name,
-               _config_fingerprint(dtt_config), self.seed, self.scale)
+        spec = RunSpec("timed", workload.name, kind, config_name,
+                       config_fingerprint(dtt_config), self.seed, self.scale)
+        key = spec.runner_key()
         if key in self._timed:
             self._record_hit()
+            return self._timed[key]
+        if self._try_store(spec):
             return self._timed[key]
         self._record_miss()
         inp = workload.make_input(self.seed, self.scale)
@@ -159,8 +325,8 @@ class SuiteRunner:
                                         metrics=self.metrics)
         started = time.perf_counter()
         result = simulator.run()
-        self._record_phase(f"{workload.name}:{kind}:{config_name}",
-                           time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._record_phase(spec.phase_name(), elapsed)
         if kind != "baseline" and check_against_baseline:
             baseline = self.timed(workload, "baseline", config_name)
             if result.output != baseline.output:
@@ -171,33 +337,48 @@ class SuiteRunner:
         self._timed[key] = result
         if engine is not None:
             self._engines[key] = engine
+        self._persist(spec, elapsed)
         return result
 
     def engine_for(self, workload: Workload, kind: str = "dtt",
                    config_name: str = "smt2",
                    dtt_config: Optional[DttConfig] = None):
-        """The engine of a previously-run (or now-run) DTT timed run."""
+        """The engine of a previously-run (or now-run) DTT timed run.
+
+        For runs restored from the persistent store this is a read-only
+        :class:`~repro.exec.store.StoredEngineView` carrying the same
+        ``summary()`` / ``status`` / queue high-water surfaces.
+        """
         key = (workload.name, kind, config_name,
-               _config_fingerprint(dtt_config), self.seed, self.scale)
+               config_fingerprint(dtt_config), self.seed, self.scale)
         if key not in self._engines:
             self.timed(workload, kind, config_name, dtt_config)
+        if key not in self._engines:
+            raise DttError(
+                f"no engine available for {workload.name}:{kind}:"
+                f"{config_name} (baseline runs have no DTT engine)"
+            )
         return self._engines[key]
 
     # -- profiles ------------------------------------------------------------------
 
     def profile(self, workload: Workload) -> RedundancyReport:
         """Redundancy profile of the workload's baseline build."""
-        key = (workload.name, self.seed, self.scale)
+        spec = RunSpec.for_profile(workload.name, self.seed, self.scale)
+        key = spec.runner_key()
         if key in self._profiles:
             self._record_hit()
+            return self._profiles[key]
+        if self._try_store(spec):
             return self._profiles[key]
         self._record_miss()
         inp = workload.make_input(self.seed, self.scale)
         started = time.perf_counter()
         report = profile_program(workload.build_baseline(inp), workload.name)
-        self._record_phase(f"{workload.name}:profile",
-                           time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._record_phase(spec.phase_name(), elapsed)
         self._profiles[key] = report
+        self._persist(spec, elapsed)
         return report
 
     # -- sweeps ---------------------------------------------------------------------

@@ -22,7 +22,8 @@ class RunManifest:
     """Provenance + cost record for one harness run."""
 
     #: bump when the serialized shape changes
-    SCHEMA_VERSION = 1
+    #: (v2: store_hits / store_misses, canonical-string run keys)
+    SCHEMA_VERSION = 2
 
     def __init__(
         self,
@@ -34,6 +35,8 @@ class RunManifest:
         cache_misses: int,
         peak_queue_depth: int,
         experiment_id: str = "",
+        store_hits: int = 0,
+        store_misses: int = 0,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -41,6 +44,8 @@ class RunManifest:
         self.phase_seconds = dict(phase_seconds)
         self.cache_hits = cache_hits
         self.cache_misses = cache_misses
+        self.store_hits = store_hits
+        self.store_misses = store_misses
         self.peak_queue_depth = peak_queue_depth
         self.experiment_id = experiment_id
 
@@ -57,7 +62,9 @@ class RunManifest:
         identity = {
             "seed": runner.seed,
             "scale": runner.scale,
-            "runs": sorted(repr(key) for key in stats["keys"]),
+            # canonical workload:build:config:seed:scale strings — the
+            # same form the result store hashes into content addresses
+            "runs": sorted(stats["keys"]),
         }
         return cls(
             fingerprint=fingerprint_of(identity),
@@ -68,6 +75,8 @@ class RunManifest:
             cache_misses=stats["misses"],
             peak_queue_depth=runner.peak_queue_depth(),
             experiment_id=experiment_id,
+            store_hits=stats.get("store_hits", 0),
+            store_misses=stats.get("store_misses", 0),
         )
 
     # -- serialization --------------------------------------------------------
@@ -92,6 +101,8 @@ class RunManifest:
             "total_seconds": round(self.total_seconds, 6),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "peak_queue_depth": self.peak_queue_depth,
         }
 

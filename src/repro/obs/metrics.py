@@ -277,6 +277,43 @@ class MetricsRegistry:
             else:
                 instrument.value = 0
 
+    # -- merging --------------------------------------------------------------
+
+    def merge_values(self, values: Dict[str, Dict]) -> None:
+        """Fold another registry's snapshot values into this registry.
+
+        This is how pool workers' metrics reach the parent process:
+        counters add, gauges keep the maximum (they are high-water marks
+        across workers), histograms add per-bucket counts — provided the
+        bucket layouts agree, otherwise :class:`MetricsError`.  Entries
+        are dicts as produced by :meth:`snapshot` / :meth:`as_dict`.
+        """
+        for name, entry in values.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set_max(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name,
+                                           buckets=entry["buckets"])
+                if list(histogram.buckets) != [float(b) for b
+                                               in entry["buckets"]]:
+                    raise MetricsError(
+                        f"cannot merge histogram {name!r}: bucket layout "
+                        f"{entry['buckets']} differs from registered "
+                        f"{list(histogram.buckets)}"
+                    )
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += count
+                histogram.sum += entry["sum"]
+                histogram.count += entry["count"]
+            else:
+                raise MetricsError(
+                    f"cannot merge {name!r}: unknown instrument type "
+                    f"{kind!r}"
+                )
+
     # -- snapshot / export ----------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:

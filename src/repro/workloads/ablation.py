@@ -1,4 +1,6 @@
-"""``linefalse`` — a micro-workload for the trigger-granularity ablation.
+"""Ablation-only workloads: ``linefalse`` and ``bursty-equake``.
+
+``linefalse`` is a micro-workload for the trigger-granularity ablation.
 
 Experiment E8b asks what happens when trigger-detection hardware watches
 whole cache lines instead of exact words: stores to *neighboring* words in
@@ -32,11 +34,29 @@ from repro.core.registry import TriggerSpec
 from repro.isa.builder import ProgramBuilder
 from repro.workloads.base import DttBuild, Workload, WorkloadInput
 from repro.workloads.data import rng_for, update_schedule
+from repro.workloads.equake import EquakeWorkload
 
 LINE_WORDS = 16
 NUM_LINES = 8
 #: scratch words rewritten per step
 SCRATCH_WRITES = 4
+
+
+class BurstyEquakeWorkload(EquakeWorkload):
+    """A deliberately bursty equake variant for the queue-depth ablation
+    (E8c): many matrix entries change per timestep, so several per-row
+    activations are pending at once and a shallow thread queue overflows
+    (the default, gentle workload dispatches entries to the spare context
+    as they arrive and never stresses the queue).
+
+    The distinct ``name`` keeps its runs from aliasing plain equake in
+    memoization keys and store addresses.
+    """
+
+    name = "bursty-equake"
+    description = "queue-depth ablation variant of equake (not in the suite)"
+    change_rate = 0.6
+    burst = 8
 
 
 class LineFalseWorkload(Workload):

@@ -1,0 +1,107 @@
+"""End-to-end CLI: parallel runs match serial, warm stores execute nothing.
+
+These are the slowest tests in the tree (they run the full suite three
+times); they are also the acceptance gate for the execution subsystem.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def _stable(results):
+    """Experiment results modulo wall-clock / manifest fields."""
+    stripped = []
+    for item in results:
+        item = dict(item)
+        item.pop("manifest", None)
+        stripped.append(item)
+    return stripped
+
+
+@pytest.fixture(scope="module")
+def full_runs(tmp_path_factory):
+    """Run the whole suite serial, parallel-cold, and serial-warm."""
+    root = tmp_path_factory.mktemp("cli-parallel")
+    store = root / "store"
+    serial_json = root / "serial.json"
+    parallel_json = root / "parallel.json"
+    warm_json = root / "warm.json"
+    assert main(["run", "all", "--jobs", "1", "--no-store",
+                 "--json", str(serial_json)]) == 0
+    assert main(["run", "all", "--jobs", "2", "--store", str(store),
+                 "--json", str(parallel_json)]) == 0
+    assert main(["run", "all", "--jobs", "1", "--store", str(store),
+                 "--json", str(warm_json)]) == 0
+    return {
+        "store": store,
+        "serial": json.loads(serial_json.read_text()),
+        "parallel": json.loads(parallel_json.read_text()),
+        "warm": json.loads(warm_json.read_text()),
+    }
+
+
+def test_parallel_run_matches_serial(full_runs):
+    assert _stable(full_runs["parallel"]) == _stable(full_runs["serial"])
+
+
+def test_warm_store_run_matches_and_executes_nothing(full_runs):
+    assert _stable(full_runs["warm"]) == _stable(full_runs["serial"])
+    # zero simulations: no wall-clock accrued in any phase, and the
+    # manifests account for every run as a store hit
+    for item in full_runs["warm"]:
+        manifest = item["manifest"]
+        assert manifest["phase_seconds"] == {}
+        assert manifest["store_misses"] == 0
+    assert full_runs["warm"][-1]["manifest"]["store_hits"] > 0
+
+
+def test_warm_pass_reports_store_hits(full_runs, capsys):
+    out_json = full_runs["store"].parent / "again.json"
+    assert main(["run", "E9", "--store", str(full_runs["store"]),
+                 "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed" in out
+    assert "from store" in out
+
+
+def test_compare_cli_accepts_run_outputs(full_runs, tmp_path, capsys):
+    serial_json = tmp_path / "a.json"
+    parallel_json = tmp_path / "b.json"
+    serial_json.write_text(json.dumps(full_runs["serial"]))
+    parallel_json.write_text(json.dumps(full_runs["parallel"]))
+    report_json = tmp_path / "report.json"
+    assert main(["compare", str(serial_json), str(parallel_json),
+                 "--json", str(report_json)]) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+    report = json.loads(report_json.read_text())
+    assert report["regressions"] == 0
+    assert report["missing_rows"] == []
+
+
+def test_compare_cli_flags_regression(full_runs, tmp_path, capsys):
+    doctored = json.loads(json.dumps(full_runs["serial"]))
+    doctored[0]["checks"][0]["passed"] = False
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(full_runs["serial"]))
+    new.write_text(json.dumps(doctored))
+    assert main(["compare", str(old), str(new)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_trace_out_forces_serial(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["run", "E9", "--jobs", "4", "--no-store",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "forcing --jobs 1" in out
+    assert json.loads(trace.read_text())["traceEvents"]
+
+
+def test_run_rejects_bad_jobs(capsys):
+    assert main(["run", "E9", "--jobs", "0"]) == 2
+    assert "--jobs must be >= 1" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""RunSpec identity, canonical naming, and plan deduplication."""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.errors import ExecError, UnknownWorkloadError
+from repro.exec.plan import (RunSpec, build_plan, canonical_run_name,
+                             config_fingerprint, resolve_workload)
+
+
+def test_config_fingerprint_covers_every_slot():
+    config = DttConfig()
+    fingerprint = config_fingerprint(config)
+    assert {name for name, _ in fingerprint} == set(DttConfig.__slots__)
+
+
+def test_config_fingerprint_none_is_empty():
+    assert config_fingerprint(None) == ()
+
+
+def test_config_fingerprint_distinguishes_every_field():
+    # the historical bug: a hand-maintained list omitted strict_cascading;
+    # auto-derivation makes each field flip visible in the fingerprint
+    default = config_fingerprint(DttConfig())
+    for field, value in (("same_value_filter", False), ("granularity", 16),
+                         ("queue_capacity", 3), ("allow_cascading", True),
+                         ("strict_cascading", True),
+                         ("per_address_dedupe_default", False)):
+        changed = config_fingerprint(DttConfig(**{field: value}))
+        assert changed != default, field
+
+
+def test_config_fingerprint_rejects_non_scalar_fields():
+    class Odd:
+        __slots__ = ("weird",)
+
+        def __init__(self):
+            self.weird = [1, 2]
+
+    with pytest.raises(ExecError):
+        config_fingerprint(Odd())
+
+
+def test_config_fingerprint_rejects_slotless_configs():
+    class NoSlots:
+        pass
+
+    with pytest.raises(ExecError):
+        config_fingerprint(NoSlots())
+
+
+def test_canonical_name_format():
+    assert canonical_run_name("mcf", "dtt", "smt2", (), 7, 2) == \
+        "mcf:dtt:smt2:seed=7:scale=2"
+    assert canonical_run_name("mcf", "baseline", "smt2", (), None, None) == \
+        "mcf:baseline:smt2:seed=default:scale=default"
+    assert canonical_run_name("mcf", "profile", None, (), None, None) == \
+        "mcf:profile:-:seed=default:scale=default"
+
+
+def test_canonical_name_embeds_config_token():
+    fp = config_fingerprint(DttConfig(queue_capacity=1))
+    name = canonical_run_name("equake", "dtt", "smt2", fp, None, None)
+    assert ":dtt+cfg=" in name
+    other = canonical_run_name(
+        "equake", "dtt", "smt2",
+        config_fingerprint(DttConfig(queue_capacity=2)), None, None)
+    assert name != other  # distinct configs never alias
+
+
+def test_spec_round_trips_through_dict():
+    spec = RunSpec.for_timed("mcf", "dtt", "cmp2",
+                             DttConfig(same_value_filter=False), 3, 1)
+    again = RunSpec.from_dict(spec.as_dict())
+    assert again == spec
+    assert hash(again) == hash(spec)
+    assert again.canonical() == spec.canonical()
+    assert again.dtt_config().same_value_filter is False
+
+
+def test_from_dict_rejects_malformed_payloads():
+    with pytest.raises(ExecError):
+        RunSpec.from_dict({"kind": "timed"})
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ExecError):
+        RunSpec("bogus", "mcf", "dtt", "smt2", (), None, None)
+
+
+def test_baseline_spec_derivation():
+    dtt = RunSpec.for_timed("mcf", "dtt", "cmp2",
+                            DttConfig(granularity=16), 5, None)
+    baseline = dtt.baseline_spec()
+    assert baseline.build == "baseline"
+    assert baseline.config_name == "cmp2"
+    assert baseline.dtt_fields == ()  # baselines carry no DTT config
+    assert baseline.seed == 5
+    assert RunSpec.for_timed("mcf").baseline_spec() is None
+    assert RunSpec.for_profile("mcf").baseline_spec() is None
+
+
+def test_resolve_workload_suite_and_extras():
+    assert resolve_workload("mcf").name == "mcf"
+    assert resolve_workload("overlap").name == "overlap"
+    assert resolve_workload("linefalse").name == "linefalse"
+    assert resolve_workload("bursty-equake").name == "bursty-equake"
+    with pytest.raises(UnknownWorkloadError):
+        resolve_workload("nonesuch")
+
+
+def test_plan_dedups_shared_runs():
+    # E3/E4/E6/E7 all need the same baseline/DTT sweep; stating all four
+    # must not enlarge the plan beyond one experiment's needs
+    one = build_plan(["E3"])
+    four = build_plan(["E3", "E4", "E6", "E7"])
+    assert len(four) == len(one)
+    spec = next(iter(four))
+    assert four.needed_by(spec) == {"E3", "E4", "E6", "E7"}
+
+
+def test_plan_adds_baselines_implicitly():
+    plan = build_plan(["E3"])
+    names = plan.canonical_names()
+    dtt = [n for n in names if ":dtt:" in n]
+    baseline = [n for n in names if ":baseline:" in n]
+    assert len(dtt) == len(baseline) > 0
+
+
+def test_plan_all_covers_every_experiment():
+    plan = build_plan(["all"])
+    assert set(plan.experiment_ids) == {
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+    names = plan.canonical_names()
+    assert len(names) == len(set(names))  # fully deduplicated
+    assert any(":profile:" in n for n in names)
+    assert any(n.startswith("bursty-equake:dtt+cfg=") for n in names)
+
+
+def test_plan_rejects_unknown_experiment():
+    with pytest.raises(ExecError):
+        build_plan(["E99"])
+
+
+def test_plan_as_dict_is_json_ready():
+    import json
+
+    plan = build_plan(["E9"], seed=3)
+    payload = json.loads(json.dumps(plan.as_dict()))
+    assert payload["seed"] == 3
+    assert all(run["needed_by"] == ["E9"] for run in payload["runs"])

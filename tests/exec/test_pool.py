@@ -1,0 +1,141 @@
+"""Pool scheduler: dedup, ordering, fallback ladders, determinism."""
+
+import pytest
+
+from repro.errors import CorrectnessError, ExecError
+from repro.exec import pool as pool_module
+from repro.exec.plan import RunSpec, build_plan
+from repro.exec.pool import (_ordered_longest_first, _worker, execute_plan)
+from repro.exec.store import ResultStore
+from repro.harness.runner import SuiteRunner
+
+
+def test_execute_plan_serial_populates_runner():
+    runner = SuiteRunner()
+    plan = build_plan(["E9"])
+    stats = execute_plan(plan, runner, jobs=1)
+    assert stats["mode"] == "serial"
+    assert stats["serial_executed"] == len(plan)
+    for spec in plan:
+        assert runner.is_cached(spec)
+    # re-executing is all memo hits
+    again = execute_plan(plan, runner, jobs=1)
+    assert again["memo_hits"] == len(plan)
+    assert again["serial_executed"] == 0
+
+
+def test_execute_plan_rejects_bad_jobs():
+    with pytest.raises(ExecError):
+        execute_plan(build_plan(["E9"]), SuiteRunner(), jobs=0)
+
+
+def test_worker_executes_one_spec():
+    spec = RunSpec.for_timed("perlbmk", "dtt")
+    outcome = _worker(spec.as_dict(), None, None)
+    assert outcome["spec"] == spec.as_dict()
+    assert outcome["elapsed"] > 0
+    assert "engine_status" in outcome["payload"]
+    assert outcome["metrics"]["runner.cache_misses"]["value"] == 1
+    assert list(outcome["phases"]) == [spec.phase_name()]
+
+
+def test_longest_job_first_ordering(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    fast = RunSpec.for_timed("art")
+    slow = RunSpec.for_timed("mcf")
+    unknown = RunSpec.for_timed("twolf")
+    store.record_timing(fast.phase_name(), 0.1)
+    store.record_timing(slow.phase_name(), 9.0)
+    ordered = _ordered_longest_first([fast, slow, unknown], store)
+    # unknown runs first (it might be the long pole), then longest known
+    assert ordered == [unknown, slow, fast]
+    # without a store, plan order is preserved
+    assert _ordered_longest_first([fast, slow], None) == [fast, slow]
+
+
+def test_parallel_matches_serial_and_second_pass_is_stored(tmp_path):
+    plan = build_plan(["E9"])
+    serial = SuiteRunner()
+    execute_plan(plan, serial, jobs=1)
+
+    store_dir = str(tmp_path / "store")
+    parallel = SuiteRunner(store=store_dir)
+    stats = execute_plan(plan, parallel, jobs=2)
+    assert stats["mode"] == "parallel"
+    assert stats["parallel_executed"] == len(plan)
+    for spec in plan:
+        assert parallel.result_for(spec).output \
+            == serial.result_for(spec).output
+        assert parallel.result_for(spec).cycles \
+            == serial.result_for(spec).cycles
+
+    warm = SuiteRunner(store=store_dir)
+    warm_stats = execute_plan(plan, warm, jobs=2)
+    assert warm_stats["store_hits"] == len(plan)
+    assert warm_stats["parallel_executed"] == 0
+    assert warm_stats["serial_executed"] == 0
+
+
+def test_task_timeout_raises(monkeypatch):
+    plan = build_plan(["E9"])
+    runner = SuiteRunner()
+    with pytest.raises(ExecError, match="timeout"):
+        execute_plan(plan, runner, jobs=2, task_timeout=1e-9)
+
+
+def test_worker_crash_retries_then_falls_back(monkeypatch):
+    """First batch 'crashes' every spec; the retry crashes again; the
+    scheduler then finishes the whole plan serially."""
+    calls = []
+
+    def crashing_batch(specs, jobs, seed, scale, timeout):
+        calls.append(list(specs))
+        return [], list(specs)  # no results, everything crashed
+
+    monkeypatch.setattr(pool_module, "_run_batch", crashing_batch)
+    plan = build_plan(["E9"])
+    runner = SuiteRunner()
+    stats = execute_plan(plan, runner, jobs=2)
+    assert len(calls) == 2                       # one retry, not more
+    assert stats["worker_retries"] == 2 * len(plan)
+    assert stats["serial_executed"] == len(plan)  # serial fallback ran
+    for spec in plan:
+        assert runner.is_cached(spec)
+
+
+def test_pool_unavailable_falls_back_to_serial(monkeypatch):
+    def no_pool(*args, **kwargs):
+        raise OSError("no semaphores in this sandbox")
+
+    monkeypatch.setattr(pool_module, "_run_batch", no_pool)
+    plan = build_plan(["E9"])
+    runner = SuiteRunner()
+    stats = execute_plan(plan, runner, jobs=2)
+    assert stats["serial_executed"] == len(plan)
+
+
+def test_tracing_forces_serial():
+    plan = build_plan(["E9"])
+    runner = SuiteRunner(trace=True)
+    stats = execute_plan(plan, runner, jobs=4)
+    assert stats["mode"] == "serial"
+    assert stats["serial_executed"] == len(plan)
+    assert len(runner.traces()) > 0
+
+
+def test_parent_side_output_verification(monkeypatch):
+    """A diverging worker payload must fail the correctness gate."""
+    plan = build_plan(["E9"])
+    runner = SuiteRunner()
+
+    real_install = SuiteRunner.install_payload
+
+    def corrupting_install(self, spec, payload, elapsed):
+        if spec.build != "baseline":
+            payload = dict(payload)
+            payload["output"] = list(payload["output"]) + [999]
+        real_install(self, spec, payload, elapsed)
+
+    monkeypatch.setattr(SuiteRunner, "install_payload", corrupting_install)
+    with pytest.raises(CorrectnessError):
+        execute_plan(plan, runner, jobs=2)

@@ -83,7 +83,11 @@ def test_cache_stats_counts_hits_and_misses():
     assert stats["hits"] == 2
     assert stats["timed_entries"] == 1
     assert stats["profile_entries"] == 1
-    assert len(stats["keys"]) == 2
+    # keys are the documented canonical strings, serialization-safe
+    assert sorted(stats["keys"]) == [
+        "perlbmk:baseline:smt2:seed=default:scale=default",
+        "perlbmk:profile:-:seed=default:scale=default",
+    ]
 
 
 def test_clear_drops_memoized_runs():
@@ -92,7 +96,8 @@ def test_clear_drops_memoized_runs():
     first = runner.timed(workload, "baseline")
     runner.clear()
     stats = runner.cache_stats()
-    assert stats == {"hits": 0, "misses": 0, "timed_entries": 0,
+    assert stats == {"hits": 0, "misses": 0, "store_hits": 0,
+                     "store_misses": 0, "timed_entries": 0,
                      "profile_entries": 0, "keys": []}
     assert runner.phase_seconds() == {}
     second = runner.timed(workload, "baseline")
