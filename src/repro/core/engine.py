@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.core import trace as T
 from repro.core.config import DttConfig
 from repro.core.queue import EnqueueResult, QueueEntry, ThreadQueue
 from repro.core.registry import ThreadRegistry
@@ -113,14 +114,17 @@ class _EngineInstruments:
 class _InlineFrame:
     """Bookkeeping for one inline (call-like) support-thread execution."""
 
-    __slots__ = ("key", "thread", "resume_pc", "retcheck", "saved_regs")
+    __slots__ = ("key", "thread", "resume_pc", "retcheck", "saved_regs",
+                 "activation_id")
 
-    def __init__(self, key, thread, resume_pc, retcheck, saved_regs):
+    def __init__(self, key, thread, resume_pc, retcheck, saved_regs,
+                 activation_id=0):
         self.key = key
         self.thread = thread
         self.resume_pc = resume_pc
         self.retcheck = retcheck
         self.saved_regs = saved_regs
+        self.activation_id = activation_id
 
 
 class DttEngine:
@@ -151,9 +155,18 @@ class DttEngine:
         # contexts whose next tcheck is a re-entry after an inline run
         self._resumed_tcheck: set = set()
         self._sequence = 0
+        #: monotone activation-id counter; ids are minted per *fired*
+        #: trigger (post same-value filter), so duplicate-suppressed
+        #: triggers have ids too — the lineage can name what they were
+        #: absorbed into.  Ids start at 1; 0 means "never assigned".
+        self._next_activation = 0
+        # context_id -> activation id, for support-role executions
+        self._ctx_activation: Dict[int, int] = {}
         #: attached metrics registry (None = unmetered; see attach_metrics)
         self.metrics = None
         self._m: Optional[_EngineInstruments] = None
+        #: attached trace sink (None = untraced; see attach_trace)
+        self._trace = None
         #: callable returning the current simulated cycle; set by the
         #: timing simulator so dispatch latency can be metered in cycles
         self.cycle_source = None
@@ -189,6 +202,27 @@ class DttEngine:
         self.metrics = registry
         self._m = _EngineInstruments(registry)
 
+    def attach_trace(self, trace) -> None:
+        """Attach an :class:`~repro.core.trace.EngineTrace` sink.
+
+        One sink per engine (a second attach replaces the first);
+        untraced engines skip every emission with one ``is None`` test.
+        """
+        self._trace = trace
+
+    @property
+    def activations_minted(self) -> int:
+        """How many activation ids this engine has assigned so far."""
+        return self._next_activation
+
+    def _mint_activation(self) -> int:
+        self._next_activation += 1
+        return self._next_activation
+
+    def _now(self) -> Optional[int]:
+        """The current simulated cycle, when a cycle source is wired."""
+        return self.cycle_source() if self.cycle_source is not None else None
+
     def _thread_name(self, tid: int) -> str:
         if not 0 <= tid < len(self._tids):
             raise DttError(
@@ -222,6 +256,7 @@ class DttEngine:
                     )
                 return  # behaves as a plain store
         m = self._m
+        t = self._trace
         specs = self.registry.matches(pc, address, self.config.granularity)
         if not specs:
             self.unmatched_tstores += 1
@@ -233,20 +268,32 @@ class DttEngine:
             row.triggering_stores += 1
             if m is not None:
                 m.tstores.inc()
+            if t is not None:
+                t.record(T.TSTORE, spec.thread, address,
+                         f"{old_value!r}->{new_value!r}", pc=pc,
+                         cycle=self._now())
             if self.config.same_value_filter and old_value == new_value:
                 row.same_value_suppressed += 1
                 if m is not None:
                     m.same_value.inc()
+                if t is not None:
+                    t.record(T.SUPPRESSED, spec.thread, address, pc=pc,
+                             cycle=self._now())
                 continue
             row.triggers_fired += 1
             if m is not None:
                 m.fired.inc()
+            activation_id = self._mint_activation()
+            if t is not None:
+                t.record(T.FIRED, spec.thread, address,
+                         f"{old_value!r}->{new_value!r}", pc=pc,
+                         activation_id=activation_id, cycle=self._now())
             key = self._dedupe_key(spec, address)
             in_flight = self._executing.get(key)
             if in_flight is not None:
                 kind, victim = in_flight
                 if kind == "ctx":
-                    self._cancel(key, victim)
+                    self._cancel(key, victim, cause_id=activation_id)
                 else:
                     # the activation is running inline on some context; it
                     # cannot be canceled mid-call — suppress as a duplicate
@@ -254,10 +301,16 @@ class DttEngine:
                     row.duplicates_suppressed += 1
                     if m is not None:
                         m.duplicates.inc()
+                    if t is not None:
+                        t.record(T.DUPLICATE, spec.thread, address,
+                                 "absorbed by executing inline activation",
+                                 pc=pc, activation_id=activation_id,
+                                 cause_id=self._inline_activation(victim, key),
+                                 cycle=self._now())
                     continue
             self._sequence += 1
             entry = QueueEntry(spec.thread, address, new_value, old_value,
-                               self._sequence)
+                               self._sequence, activation_id)
             if self.cycle_source is not None:
                 entry.enqueue_cycle = self.cycle_source()
             result = self.queue.try_enqueue(key, entry)
@@ -265,6 +318,14 @@ class DttEngine:
                 row.duplicates_suppressed += 1
                 if m is not None:
                     m.duplicates.inc()
+                if t is not None:
+                    pending = self.queue.entry_for(key)
+                    t.record(T.DUPLICATE, spec.thread, address,
+                             "absorbed by pending activation", pc=pc,
+                             activation_id=activation_id,
+                             cause_id=pending.activation_id
+                             if pending is not None else None,
+                             cycle=self._now())
             elif result is EnqueueResult.OVERFLOW:
                 row.overflow_inline_runs += 1
                 if m is not None:
@@ -272,18 +333,43 @@ class DttEngine:
                 # ctx.pc already points at the instruction after the store
                 self._start_inline(ctx, key, entry, resume_pc=ctx.pc,
                                    retcheck=False)
-            elif m is not None:
-                depth = len(self.queue)
-                m.queue_depth.set(depth)
-                m.queue_high_water.set_max(depth)
+            else:
+                if t is not None:
+                    t.record(T.ENQUEUED, spec.thread, address,
+                             f"pos={len(self.queue)}",
+                             activation_id=activation_id,
+                             cycle=self._now())
+                if m is not None:
+                    depth = len(self.queue)
+                    m.queue_depth.set(depth)
+                    m.queue_high_water.set_max(depth)
 
-    def _cancel(self, key: Hashable, victim: Context) -> None:
-        """Cancel-and-restart: abort an executing activation."""
+    def _inline_activation(self, ctx, key) -> Optional[int]:
+        """The activation id of the inline frame executing ``key``."""
+        for frame in self._inline.get(ctx.context_id, ()):
+            if frame.key == key:
+                return frame.activation_id
+        return None
+
+    def _cancel(self, key: Hashable, victim: Context,
+                cause_id: Optional[int] = None) -> None:
+        """Cancel-and-restart: abort an executing activation.
+
+        ``cause_id`` names the fresh activation whose trigger forced the
+        cancel; the trace records it so lineage can answer "what killed
+        this execution".
+        """
         row = self.status[victim.thread_name]
         row.cancels += 1
         row.executing -= 1
         if self._m is not None:
             self._m.cancels.inc()
+        victim_activation = self._ctx_activation.pop(victim.context_id, None)
+        if self._trace is not None:
+            self._trace.record(T.CANCELED, victim.thread_name,
+                               detail=f"context {victim.context_id}",
+                               activation_id=victim_activation,
+                               cause_id=cause_id, cycle=self._now())
         self._executing.pop(key, None)
         self._ctx_exec.pop(victim.context_id, None)
         victim.finish_support()
@@ -308,12 +394,17 @@ class DttEngine:
                 row.clean_consumes += 1
                 if self._m is not None:
                     self._m.clean_consumes.inc()
+                if self._trace is not None:
+                    self._trace.record(T.CONSUME_CLEAN, name,
+                                       cycle=self._now())
             return
         if not resumed:
             row.consumes += 1
             row.wait_consumes += 1
             if self._m is not None:
                 self._m.wait_consumes.inc()
+            if self._trace is not None:
+                self._trace.record(T.CONSUME_WAIT, name, cycle=self._now())
         if self.deferred:
             self._tcheck_deferred(ctx, tid, name)
         else:
@@ -365,6 +456,12 @@ class DttEngine:
             self._m.started.inc()
         self._executing[key] = ("ctx", support_ctx)
         self._ctx_exec[support_ctx.context_id] = key
+        self._ctx_activation[support_ctx.context_id] = entry.activation_id
+        if self._trace is not None:
+            self._trace.record(T.DISPATCHED, entry.thread, entry.address,
+                               f"context {support_ctx.context_id} (sync)",
+                               activation_id=entry.activation_id,
+                               cycle=self._now())
         support_ctx.start_support(
             self._entry_pcs[entry.thread],
             entry.thread,
@@ -385,8 +482,13 @@ class DttEngine:
             self._m.started.inc()
         self._executing[key] = ("inline", ctx)
         frame = _InlineFrame(key, entry.thread, resume_pc, retcheck,
-                             list(ctx.regs))
+                             list(ctx.regs), entry.activation_id)
         self._inline.setdefault(ctx.context_id, []).append(frame)
+        if self._trace is not None:
+            self._trace.record(T.DISPATCHED, entry.thread, entry.address,
+                               f"inline on context {ctx.context_id}",
+                               activation_id=entry.activation_id,
+                               cycle=self._now())
         ctx.regs[TRIGGER_ADDR_REG] = entry.address
         ctx.regs[TRIGGER_VALUE_REG] = entry.new_value
         ctx.regs[TRIGGER_OLD_VALUE_REG] = entry.old_value
@@ -414,8 +516,14 @@ class DttEngine:
                 if self.cycle_source is not None:
                     m.dispatch_latency.observe(
                         max(self.cycle_source() - entry.enqueue_cycle, 0))
+            if self._trace is not None:
+                self._trace.record(T.DISPATCHED, entry.thread, entry.address,
+                                   f"context {support_ctx.context_id}",
+                                   activation_id=entry.activation_id,
+                                   cycle=self._now())
             self._executing[key] = ("ctx", support_ctx)
             self._ctx_exec[support_ctx.context_id] = key
+            self._ctx_activation[support_ctx.context_id] = entry.activation_id
             support_ctx.start_support(
                 self._entry_pcs[entry.thread],
                 entry.thread,
@@ -442,6 +550,10 @@ class DttEngine:
             row.executing -= 1
             if self._m is not None:
                 self._m.completed.inc()
+            if self._trace is not None:
+                self._trace.record(T.COMPLETED, frame.thread,
+                                   activation_id=frame.activation_id,
+                                   cycle=self._now())
             self._executing.pop(frame.key, None)
             ctx.regs[:] = frame.saved_regs
             ctx.pc = frame.resume_pc
@@ -460,6 +572,11 @@ class DttEngine:
         row.executing -= 1
         if self._m is not None:
             self._m.completed.inc()
+        activation_id = self._ctx_activation.pop(ctx.context_id, None)
+        if self._trace is not None:
+            self._trace.record(T.COMPLETED, ctx.thread_name,
+                               activation_id=activation_id,
+                               cycle=self._now())
         ctx.finish_support()
         self._unblock_waiters()
 

@@ -32,7 +32,7 @@ class QueueEntry:
     """One pending activation: the thread plus its trigger arguments."""
 
     __slots__ = ("thread", "address", "new_value", "old_value", "sequence",
-                 "enqueue_cycle")
+                 "enqueue_cycle", "activation_id")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class QueueEntry:
         new_value: Number,
         old_value: Number,
         sequence: int = 0,
+        activation_id: int = 0,
     ):
         self.thread = thread
         self.address = address
@@ -51,6 +52,9 @@ class QueueEntry:
         #: simulated cycle at enqueue time (0 outside timed, metered runs);
         #: dispatch latency = dispatch cycle - this
         self.enqueue_cycle = 0
+        #: the engine-minted activation id carried through the queue into
+        #: dispatch, completion, and cancellation (0 = never assigned)
+        self.activation_id = activation_id
 
     def __repr__(self) -> str:
         return (
@@ -102,6 +106,10 @@ class ThreadQueue:
                 del self._entries[key]
                 return (key, entry)
         return None
+
+    def entry_for(self, key: Hashable) -> Optional[QueueEntry]:
+        """The pending entry under ``key``, or None (does not remove it)."""
+        return self._entries.get(key)
 
     def has_pending(self, thread: str) -> bool:
         """True if any entry for ``thread`` is pending."""

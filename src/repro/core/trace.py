@@ -1,40 +1,69 @@
-"""Engine event tracing: a timeline of what the DTT machinery did.
+"""Engine event tracing: a causal timeline of what the DTT machinery did.
 
-The status table answers "how many"; the trace answers "in what order" —
-which is what you need when a conversion misbehaves (why did this consume
-wait? what canceled that execution?).  Attach a :class:`EngineTrace` to an
-engine *before* binding it to a machine, and read the recorded
-:class:`EngineEvent` timeline afterwards.
+The status table answers "how many"; the trace answers "in what order"
+and — since every activation carries a stable, monotonically-assigned
+``activation_id`` minted by the engine — "because of what".  Attach an
+:class:`EngineTrace` to an engine (any time before the run) and read the
+recorded :class:`EngineEvent` timeline afterwards:
 
-Implementation note: the engine has no observer bus (the hardware
-analogue wouldn't either); the trace wraps the engine's public hook
-methods, so it composes with any engine mode without engine changes.
+* ``activation_id`` ties the ``fired -> enqueued -> dispatched ->
+  completed/canceled`` events of one activation together, so lineage is
+  an id walk rather than a thread-LIFO guess;
+* ``cause_id`` records cross-activation causality: the pending
+  activation that absorbed a duplicate trigger, or the fresh trigger
+  that canceled an executing activation;
+* ``pc`` pins trigger-side events to the static store site, which is
+  what joins the trace against the redundancy profiler's site stats;
+* ``cycle`` carries the simulated cycle when the engine has a cycle
+  source (deferred/timed runs), so latency breakdowns can be reported
+  in cycles instead of event ticks.
+
+Implementation note: the engine emits into at most one attached trace
+sink (``DttEngine.attach_trace``); the unattached hot path costs a
+single ``is not None`` test per hook, mirroring the metrics layer.  The
+hardware analogue is a debug port, not an observer bus.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.engine import DttEngine
-
 
 class EngineEvent:
     """One traced event."""
 
-    __slots__ = ("sequence", "kind", "thread", "address", "detail")
+    __slots__ = ("sequence", "kind", "thread", "address", "detail",
+                 "activation_id", "cause_id", "pc", "cycle")
 
     def __init__(self, sequence: int, kind: str, thread: Optional[str],
-                 address: Optional[int] = None, detail: str = ""):
+                 address: Optional[int] = None, detail: str = "",
+                 activation_id: Optional[int] = None,
+                 cause_id: Optional[int] = None,
+                 pc: Optional[int] = None,
+                 cycle: Optional[int] = None):
         self.sequence = sequence
         self.kind = kind
         self.thread = thread
         self.address = address
         self.detail = detail
+        #: the activation this event belongs to (None for trigger-side
+        #: events that never became an activation, and consume points)
+        self.activation_id = activation_id
+        #: the *other* activation causally linked to this event: the
+        #: pending activation that absorbed a duplicate, or the fresh
+        #: activation whose trigger canceled this one
+        self.cause_id = cause_id
+        #: static PC of the triggering store (trigger-side events only)
+        self.pc = pc
+        #: simulated cycle, when the engine had a cycle source
+        self.cycle = cycle
 
     def __repr__(self) -> str:
         at = f" addr={self.address}" if self.address is not None else ""
-        return (f"#{self.sequence} {self.kind} {self.thread or ''}{at} "
-                f"{self.detail}".rstrip())
+        act = f" act={self.activation_id}" if self.activation_id else ""
+        cause = f" cause={self.cause_id}" if self.cause_id else ""
+        return (f"#{self.sequence} {self.kind} {self.thread or ''}{at}"
+                f"{act}{cause} {self.detail}".rstrip())
 
 
 #: event kinds emitted by the trace
@@ -42,6 +71,7 @@ TSTORE = "tstore"
 SUPPRESSED = "suppressed"  # same-value filter
 FIRED = "fired"
 DUPLICATE = "duplicate"
+ENQUEUED = "enqueued"
 CANCELED = "canceled"
 DISPATCHED = "dispatched"
 COMPLETED = "completed"
@@ -50,16 +80,21 @@ CONSUME_WAIT = "consume-wait"
 
 
 class EngineTrace:
-    """Wraps an engine's hooks and records the event timeline."""
+    """Records the engine's event timeline (one sink per engine).
 
-    def __init__(self, engine: DttEngine, max_events: int = 100_000):
+    Constructing the trace registers it on the engine via
+    :meth:`~repro.core.engine.DttEngine.attach_trace`; the engine then
+    calls :meth:`record` at every hook point.
+    """
+
+    def __init__(self, engine, max_events: int = 100_000):
         self.engine = engine
         self.events: List[EngineEvent] = []
         self.max_events = max_events
         #: events discarded after the buffer filled (0 = complete trace)
         self.dropped = 0
         self._sequence = 0
-        self._wrap(engine)
+        engine.attach_trace(self)
 
     @property
     def truncated(self) -> bool:
@@ -68,84 +103,38 @@ class EngineTrace:
 
     # -- recording -----------------------------------------------------------
 
-    def _emit(self, kind: str, thread: Optional[str],
-              address: Optional[int] = None, detail: str = "") -> None:
+    def record(self, kind: str, thread: Optional[str],
+               address: Optional[int] = None, detail: str = "",
+               activation_id: Optional[int] = None,
+               cause_id: Optional[int] = None,
+               pc: Optional[int] = None,
+               cycle: Optional[int] = None) -> None:
+        """Append one event (engine-facing; drops once the buffer fills)."""
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
         self._sequence += 1
         self.events.append(
-            EngineEvent(self._sequence, kind, thread, address, detail)
+            EngineEvent(self._sequence, kind, thread, address, detail,
+                        activation_id, cause_id, pc, cycle)
         )
 
-    def _wrap(self, engine: DttEngine) -> None:
-        trace = self
-        original_store = engine.on_triggering_store
-        original_tcheck = engine.on_tcheck
-        original_treturn = engine.on_treturn
-        original_dispatch = engine.dispatch_pending
-        original_cancel = engine._cancel
-
-        def on_triggering_store(ctx, pc, address, old_value, new_value):
-            before = {name: engine.status[name].as_dict()
-                      for name in engine.status.rows()}
-            original_store(ctx, pc, address, old_value, new_value)
-            for name, old in before.items():
-                row = engine.status[name]
-                if row.triggering_stores > old["triggering_stores"]:
-                    trace._emit(TSTORE, name, address,
-                                f"{old_value!r}->{new_value!r}")
-                if row.same_value_suppressed > old["same_value_suppressed"]:
-                    trace._emit(SUPPRESSED, name, address)
-                if row.triggers_fired > old["triggers_fired"]:
-                    trace._emit(FIRED, name, address)
-                if row.duplicates_suppressed > old["duplicates_suppressed"]:
-                    trace._emit(DUPLICATE, name, address)
-
-        def on_tcheck(ctx, tid):
-            name = engine._thread_name(tid)
-            old = engine.status[name].as_dict()
-            original_tcheck(ctx, tid)
-            row = engine.status[name]
-            if row.clean_consumes > old["clean_consumes"]:
-                trace._emit(CONSUME_CLEAN, name)
-            elif row.wait_consumes > old["wait_consumes"]:
-                trace._emit(CONSUME_WAIT, name)
-
-        def on_treturn(ctx):
-            frames = engine._inline.get(ctx.context_id)
-            if frames:
-                name = frames[-1].thread  # inline (call-style) execution
-            else:
-                name = ctx.thread_name
-            original_treturn(ctx)
-            trace._emit(COMPLETED, name)
-
-        def dispatch_pending(on_dispatch=None):
-            def wrapped(ctx):
-                trace._emit(DISPATCHED, ctx.thread_name,
-                            detail=f"context {ctx.context_id}")
-                if on_dispatch is not None:
-                    on_dispatch(ctx)
-
-            return original_dispatch(on_dispatch=wrapped)
-
-        def cancel(key, victim):
-            trace._emit(CANCELED, victim.thread_name,
-                        detail=f"context {victim.context_id}")
-            original_cancel(key, victim)
-
-        engine.on_triggering_store = on_triggering_store
-        engine.on_tcheck = on_tcheck
-        engine.on_treturn = on_treturn
-        engine.dispatch_pending = dispatch_pending
-        engine._cancel = cancel
+    # retained for callers/tests that emitted events directly
+    def _emit(self, kind: str, thread: Optional[str],
+              address: Optional[int] = None, detail: str = "") -> None:
+        self.record(kind, thread, address, detail)
 
     # -- queries --------------------------------------------------------------------
 
     def of_kind(self, kind: str) -> List[EngineEvent]:
         """All recorded events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
+
+    def of_activation(self, activation_id: int) -> List[EngineEvent]:
+        """Every event stamped with (or caused by) ``activation_id``."""
+        return [e for e in self.events
+                if e.activation_id == activation_id
+                or e.cause_id == activation_id]
 
     def timeline(self) -> str:
         """The whole trace, one event per line."""

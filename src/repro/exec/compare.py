@@ -47,7 +47,8 @@ def metric_direction(name: str) -> str:
         return _UP_BAD
     if ("seconds" in base or base.startswith("phase:")
             or base in ("cache_hits", "cache_misses", "store_hits",
-                        "store_misses", "peak_queue_depth", "checks_total")):
+                        "store_misses", "peak_queue_depth", "checks_total",
+                        "trace_dropped_events", "unmatched_closers")):
         return _INFO
     return _DRIFT
 
@@ -265,7 +266,8 @@ def _load_results(path: str, data: List) -> ResultSet:
 def _load_manifest(path: str, data: Dict) -> ResultSet:
     row: Dict[str, float] = {}
     for metric in ("total_seconds", "cache_hits", "cache_misses",
-                   "store_hits", "store_misses", "peak_queue_depth"):
+                   "store_hits", "store_misses", "peak_queue_depth",
+                   "trace_dropped_events", "unmatched_closers"):
         if isinstance(data.get(metric), (int, float)):
             row[metric] = data[metric]
     for phase, seconds in (data.get("phase_seconds") or {}).items():

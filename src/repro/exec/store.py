@@ -118,8 +118,12 @@ class StoredRedundancyReport:
     a store entry; mirrors the attributes E1/E2 read."""
 
     def __init__(self, name: str, loads_summary: Dict, slices_summary: Dict,
-                 output: List, instructions: int):
+                 output: List, instructions: int,
+                 sites: Optional[Dict] = None):
         self.name = name
+        #: persisted top-site stats ({"loads": [...], "stores": [...]}),
+        #: or None for entries written before store schema v2
+        self.sites = sites
         self.loads = _SummaryView(loads_summary)
         # RedundancyReport reads slices.redundant_fraction; the stored
         # summary spells it redundant_computation_fraction — alias both
@@ -141,6 +145,30 @@ class StoredRedundancyReport:
     @property
     def redundant_computation_fraction(self) -> float:
         return self.slices.redundant_computation_fraction
+
+    def load_sites(self):
+        """Persisted top load sites as live-profiler-shaped stat objects."""
+        from repro.profiling.redundancy import LoadSiteStats
+
+        out = []
+        for row in (self.sites or {}).get("loads", []):
+            stats = LoadSiteStats(row["pc"])
+            stats.dynamic = row["dynamic"]
+            stats.redundant = row["redundant"]
+            out.append(stats)
+        return out
+
+    def store_sites(self):
+        """Persisted top store sites as live-profiler-shaped stat objects."""
+        from repro.profiling.redundancy import StoreSiteStats
+
+        out = []
+        for row in (self.sites or {}).get("stores", []):
+            stats = StoreSiteStats(row["pc"], row["triggering"])
+            stats.dynamic = row["dynamic"]
+            stats.silent = row["silent"]
+            out.append(stats)
+        return out
 
     def summary(self) -> Dict:
         """The merged load + slice summary, as the live report renders it."""
@@ -193,15 +221,41 @@ def decode_timed(payload: Dict) -> Tuple[TimingResult,
     return result, view
 
 
+#: per-site stats persisted per profile entry (enough for a top-sites table)
+_SITE_LIMIT = 20
+
+
 def encode_profile(report) -> Dict:
-    """A redundancy profile as a JSON-ready payload."""
-    return {
+    """A redundancy profile as a JSON-ready payload.
+
+    Live reports (whose ``loads`` is the profiler itself) additionally
+    persist their hottest static sites, so the HTML report can render
+    top-sites tables from a cold store; stored stand-ins round-trip
+    whatever sites they were restored with.
+    """
+    payload = {
         "name": report.name,
         "loads": report.loads.summary(),
         "slices": report.slices.summary(),
         "output": report.output,
         "instructions": report.instructions,
     }
+    loads = report.loads
+    if hasattr(loads, "hottest_redundant_loads"):
+        payload["sites"] = {
+            "loads": [
+                {"pc": s.pc, "dynamic": s.dynamic, "redundant": s.redundant}
+                for s in loads.hottest_redundant_loads(_SITE_LIMIT)
+            ],
+            "stores": [
+                {"pc": s.pc, "dynamic": s.dynamic, "silent": s.silent,
+                 "triggering": s.triggering}
+                for s in loads.store_sites()[:_SITE_LIMIT]
+            ],
+        }
+    elif getattr(report, "sites", None):
+        payload["sites"] = report.sites
+    return payload
 
 
 def decode_profile(payload: Dict) -> StoredRedundancyReport:
@@ -210,6 +264,7 @@ def decode_profile(payload: Dict) -> StoredRedundancyReport:
         return StoredRedundancyReport(
             payload["name"], payload["loads"], payload["slices"],
             payload["output"], payload["instructions"],
+            sites=payload.get("sites"),
         )
     except (KeyError, TypeError) as error:
         raise StoreError(f"malformed profile payload: {error}") from error
@@ -225,7 +280,8 @@ class ResultStore:
 
     #: bump when entry layout or payload encoding changes; old entries
     #: then simply miss (and are rebuilt), never misread
-    SCHEMA_VERSION = 1
+    #: (v2: profile payloads persist per-site top stats for reports)
+    SCHEMA_VERSION = 2
 
     def __init__(self, root: str):
         self.root = root

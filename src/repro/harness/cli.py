@@ -13,6 +13,9 @@ Commands::
     dtt-harness verify               # correctness sweep of the suite
     dtt-harness sweep                # headline robustness across seeds
     dtt-harness stats                # run one workload, print the metrics
+    dtt-harness explain --workload mcf --activation 3   # causal lineage
+    dtt-harness explain --workload mcf --address 1040   # why suppressed?
+    dtt-harness report --store .dtt-store -o report.html  # cross-run HTML
 
 ``--store`` also defaults from the ``DTT_STORE`` environment variable;
 ``--no-store`` disables it.  ``compare`` accepts two result-store
@@ -103,8 +106,10 @@ def _cmd_run(args) -> int:
             handle.write(registry.to_json())
         print(f"wrote {args.metrics_out}")
     if args.trace_out:
-        with open(args.trace_out, "w") as handle:
-            json.dump(traces_to_chrome(runner.traces()), handle)
+        from repro.obs.ioutil import atomic_write_text
+
+        atomic_write_text(args.trace_out,
+                          json.dumps(traces_to_chrome(runner.traces())))
         print(f"wrote {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
     return 1 if failed else 0
@@ -148,6 +153,79 @@ def _cmd_stats(args) -> int:
         print(registry.to_prometheus_text(), end="")
     else:
         print(registry.render())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.obs.causality import CausalGraph
+    from repro.obs.report import (render_activation_list,
+                                  render_explain_activation,
+                                  render_explain_address)
+
+    if args.workload not in SUITE:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {', '.join(SUITE)}")
+        return 2
+    workload = SUITE[args.workload]
+    runner = SuiteRunner(seed=args.seed, scale=args.scale, trace=True)
+    try:
+        runner.timed(workload, "dtt", args.config)
+    except Exception as error:
+        print(f"cannot run {workload.name} under DTT: {error}")
+        return 2
+    trace = runner.trace_for(workload.name, "dtt", args.config)
+    if trace is None:
+        print(f"{workload.name} produced no DTT trace under {args.config}")
+        return 2
+    graph = CausalGraph.from_trace(trace)
+    label = f"{workload.name}:dtt:{args.config}"
+    if args.activation is not None:
+        print(render_explain_activation(graph, args.activation))
+    elif args.address is not None:
+        print(render_explain_address(graph, args.address))
+    else:
+        print(render_activation_list(graph, label))
+    if trace.truncated:
+        print(f"warning: trace buffer filled; {trace.dropped} events "
+              "dropped — lineage may be incomplete")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.exec.store import ResultStore
+    from repro.obs.ioutil import atomic_write_text
+    from repro.obs.report import html_report
+
+    entries = []
+    if args.store:
+        if not os.path.isdir(os.path.join(args.store, "objects")):
+            print(f"{args.store!r} is not a result store "
+                  "(no objects/ inside)")
+            return 2
+        entries = list(ResultStore(args.store).entries())
+    results = None
+    if args.results:
+        try:
+            with open(args.results, encoding="utf-8") as handle:
+                results = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.results!r}: {error}")
+            return 2
+        if not isinstance(results, list):
+            print(f"{args.results!r} is not a results list "
+                  "(expected `run --json` output)")
+            return 2
+    if not entries and results is None:
+        print("nothing to report: pass --store and/or --results")
+        return 2
+    atomic_write_text(args.output,
+                      html_report(entries, results, title=args.title))
+    sources = []
+    if entries:
+        sources.append(f"{len(entries)} stored runs")
+    if results is not None:
+        sources.append(f"{len(results)} experiment results")
+    print(f"wrote {args.output} ({', '.join(sources)})")
     return 0
 
 
@@ -233,6 +311,41 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prometheus", action="store_true",
                        help="print Prometheus text format instead of the "
                             "aligned table")
+    explain = sub.add_parser(
+        "explain",
+        help="trace one DTT run and explain an activation's causal "
+             "lineage (or an address's suppression)")
+    explain.add_argument("--workload", default="mcf",
+                         help="workload to trace (default: mcf)")
+    explain.add_argument("--config", default="smt2",
+                         help="machine configuration (default: smt2)")
+    explain.add_argument("--seed", type=int, default=None)
+    explain.add_argument("--scale", type=int, default=None)
+    what = explain.add_mutually_exclusive_group()
+    what.add_argument("--activation", type=int, default=None, metavar="N",
+                      help="explain why activation N ran (trigger -> match "
+                           "-> enqueue -> dispatch -> outcome)")
+    what.add_argument("--address", type=int, default=None, metavar="ADDR",
+                      help="explain what happened at one trigger address "
+                           "(suppressions, duplicates, activations)")
+    what.add_argument("--list", action="store_true",
+                      help="list every activation with its outcome "
+                           "(the default)")
+    report = sub.add_parser(
+        "report",
+        help="write a self-contained cross-run HTML report from a result "
+             "store and/or a `run --json` results file")
+    report.add_argument("--store", default=None, metavar="DIR",
+                        help="result store directory to aggregate")
+    report.add_argument("--results", default=None, metavar="FILE",
+                        help="results JSON written by `run --json` "
+                             "(adds paper-claim vs measured and latency "
+                             "sections)")
+    report.add_argument("-o", "--output", default="report.html",
+                        metavar="FILE",
+                        help="output HTML path (default: report.html)")
+    report.add_argument("--title", default="DTT reproduction report",
+                        help="report page title")
     return parser
 
 
@@ -249,6 +362,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return _cmd_verify(args)
 
 

@@ -169,6 +169,14 @@ class SuiteRunner:
             for key, trace in self._traces.items()
         ]
 
+    def trace_for(self, workload: str, kind: str = "dtt",
+                  config_name: str = "smt2") -> Optional[EngineTrace]:
+        """The trace of one run (requires ``trace=True``), or None."""
+        for key, trace in self._traces.items():
+            if (key[0], key[1], key[2]) == (workload, kind, config_name):
+                return trace
+        return None
+
     # -- persistent store --------------------------------------------------------
 
     def _try_store(self, spec: RunSpec) -> bool:

@@ -1,0 +1,421 @@
+"""Causal provenance: turn an engine trace into walkable lineage.
+
+The :class:`~repro.core.trace.EngineTrace` is a flat event list; this
+module folds it into a causal DAG keyed by activation id.  Each
+:class:`Activation` collects the full life of one fired trigger —
+trigger site (PC), fired/enqueued/dispatched/finished positions (both
+event sequence and simulated cycle when available), outcome, the
+duplicates it absorbed, and the activation whose trigger canceled it —
+so questions like "why did activation 7 run?" or "why did the store at
+PC 12 never fire?" become dictionary walks instead of log spelunking.
+
+Everything here is pure data extraction: no I/O, no rendering.  The
+``explain`` CLI and the HTML report (:mod:`repro.obs.report`) render
+these structures; :func:`causal_summary` condenses them for the run
+manifest.
+
+Latency conventions: ``queue_wait`` is dispatch minus enqueue,
+``execute`` is finish minus dispatch.  Both prefer simulated cycles
+(timed/deferred runs attach a cycle source) and fall back to event
+sequence ticks — the ``latency_unit`` field says which one a breakdown
+is reporting, so numbers are never silently mixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import trace as T
+from repro.core.trace import EngineEvent, EngineTrace
+
+#: terminal states an activation can reach
+OUTCOME_COMPLETED = "completed"
+OUTCOME_CANCELED = "canceled"
+OUTCOME_ABSORBED = "absorbed"   # duplicate folded into a pending/inline run
+OUTCOME_PENDING = "pending"     # still enqueued/executing when trace ended
+
+
+class Activation:
+    """The reconstructed life of one fired trigger."""
+
+    __slots__ = ("activation_id", "thread", "address", "pc", "values",
+                 "fired_seq", "fired_cycle", "enqueued_seq", "queue_position",
+                 "dispatched_seq", "dispatched_cycle", "dispatch_detail",
+                 "finished_seq", "finished_cycle", "outcome",
+                 "absorbed_into", "canceled_by", "absorbed")
+
+    def __init__(self, activation_id: int):
+        self.activation_id = activation_id
+        self.thread: Optional[str] = None
+        self.address: Optional[int] = None
+        #: static PC of the triggering store
+        self.pc: Optional[int] = None
+        #: ``old->new`` of the triggering store, verbatim from the trace
+        self.values: str = ""
+        self.fired_seq: Optional[int] = None
+        self.fired_cycle: Optional[int] = None
+        self.enqueued_seq: Optional[int] = None
+        #: queue depth at enqueue time (1 = went in first in line)
+        self.queue_position: Optional[int] = None
+        self.dispatched_seq: Optional[int] = None
+        self.dispatched_cycle: Optional[int] = None
+        #: where it ran: "context N", "context N (sync)", "inline on ..."
+        self.dispatch_detail: str = ""
+        self.finished_seq: Optional[int] = None
+        self.finished_cycle: Optional[int] = None
+        self.outcome: str = OUTCOME_PENDING
+        #: the pending/inline activation that swallowed this duplicate
+        self.absorbed_into: Optional[int] = None
+        #: the fresh activation whose trigger canceled this one mid-run
+        self.canceled_by: Optional[int] = None
+        #: duplicate activations this one absorbed while pending/executing
+        self.absorbed: List[int] = []
+
+    @property
+    def queue_wait(self) -> Optional[int]:
+        """Dispatch latency in the best unit available (see latency_unit)."""
+        if self.dispatched_cycle is not None and self.fired_cycle is not None:
+            return self.dispatched_cycle - self.fired_cycle
+        if self.dispatched_seq is not None and self.fired_seq is not None:
+            return self.dispatched_seq - self.fired_seq
+        return None
+
+    @property
+    def execute_time(self) -> Optional[int]:
+        """Dispatch-to-finish latency in the best unit available."""
+        if self.finished_cycle is not None and self.dispatched_cycle is not None:
+            return self.finished_cycle - self.dispatched_cycle
+        if self.finished_seq is not None and self.dispatched_seq is not None:
+            return self.finished_seq - self.dispatched_seq
+        return None
+
+    @property
+    def latency_unit(self) -> str:
+        """``"cycles"`` when the trace carried a cycle source, else ``"events"``."""
+        return ("cycles" if self.fired_cycle is not None
+                or self.dispatched_cycle is not None else "events")
+
+    def __repr__(self) -> str:
+        return (f"Activation(#{self.activation_id} {self.thread!r} "
+                f"addr={self.address} {self.outcome})")
+
+
+class Suppression:
+    """One same-value-filter suppression (a silent triggering store)."""
+
+    __slots__ = ("sequence", "thread", "address", "pc")
+
+    def __init__(self, sequence: int, thread: Optional[str],
+                 address: Optional[int], pc: Optional[int]):
+        self.sequence = sequence
+        self.thread = thread
+        self.address = address
+        self.pc = pc
+
+    def __repr__(self) -> str:
+        return (f"Suppression(#{self.sequence} {self.thread!r} "
+                f"addr={self.address} pc={self.pc})")
+
+
+def _parse_queue_position(detail: str) -> Optional[int]:
+    # enqueued events carry "pos=N"
+    if detail.startswith("pos="):
+        try:
+            return int(detail[4:])
+        except ValueError:
+            return None
+    return None
+
+
+class CausalGraph:
+    """Activations plus the causal edges between them, from one trace."""
+
+    def __init__(self) -> None:
+        self.activations: Dict[int, Activation] = {}
+        self.suppressions: List[Suppression] = []
+        #: consume-point outcomes (clean skips vs waits), in trace order
+        self.consume_clean = 0
+        self.consume_wait = 0
+        self.dropped_events = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: EngineTrace) -> "CausalGraph":
+        graph = cls()
+        graph.dropped_events = trace.dropped
+        for event in trace.events:
+            graph._absorb(event)
+        return graph
+
+    def _activation(self, activation_id: int) -> Activation:
+        act = self.activations.get(activation_id)
+        if act is None:
+            act = self.activations[activation_id] = Activation(activation_id)
+        return act
+
+    def _absorb(self, event: EngineEvent) -> None:
+        kind = event.kind
+        aid = event.activation_id
+        if kind == T.SUPPRESSED:
+            self.suppressions.append(
+                Suppression(event.sequence, event.thread, event.address,
+                            event.pc))
+            return
+        if kind == T.CONSUME_CLEAN:
+            self.consume_clean += 1
+            return
+        if kind == T.CONSUME_WAIT:
+            self.consume_wait += 1
+            return
+        if aid is None:
+            return
+        act = self._activation(aid)
+        if kind == T.FIRED:
+            act.thread = event.thread
+            act.address = event.address
+            act.pc = event.pc
+            act.values = event.detail
+            act.fired_seq = event.sequence
+            act.fired_cycle = event.cycle
+        elif kind == T.DUPLICATE:
+            act.thread = act.thread or event.thread
+            act.address = event.address if act.address is None else act.address
+            act.pc = event.pc if act.pc is None else act.pc
+            act.fired_seq = act.fired_seq or event.sequence
+            act.fired_cycle = (event.cycle if act.fired_cycle is None
+                               else act.fired_cycle)
+            act.outcome = OUTCOME_ABSORBED
+            act.absorbed_into = event.cause_id
+            if event.cause_id is not None:
+                self._activation(event.cause_id).absorbed.append(aid)
+        elif kind == T.ENQUEUED:
+            act.enqueued_seq = event.sequence
+            act.queue_position = _parse_queue_position(event.detail)
+        elif kind == T.DISPATCHED:
+            act.dispatched_seq = event.sequence
+            act.dispatched_cycle = event.cycle
+            act.dispatch_detail = event.detail
+        elif kind == T.COMPLETED:
+            act.finished_seq = event.sequence
+            act.finished_cycle = event.cycle
+            act.outcome = OUTCOME_COMPLETED
+        elif kind == T.CANCELED:
+            act.finished_seq = event.sequence
+            act.finished_cycle = event.cycle
+            act.outcome = OUTCOME_CANCELED
+            act.canceled_by = event.cause_id
+            if event.cause_id is not None:
+                canceler = self._activation(event.cause_id)
+                if aid not in canceler.absorbed:
+                    canceler.absorbed.append(aid)
+
+    # -- queries --------------------------------------------------------------
+
+    def lineage(self, activation_id: int) -> List[Activation]:
+        """The absorption chain starting at ``activation_id``.
+
+        First element is the queried activation; each next element is
+        the pending/inline activation that absorbed the previous one,
+        ending at the activation that actually did (or will do) the
+        work.  Length 1 when the activation ran itself.
+        """
+        chain: List[Activation] = []
+        seen = set()
+        act = self.activations.get(activation_id)
+        while act is not None and act.activation_id not in seen:
+            seen.add(act.activation_id)
+            chain.append(act)
+            nxt = act.absorbed_into
+            act = self.activations.get(nxt) if nxt is not None else None
+        return chain
+
+    def by_outcome(self, outcome: str) -> List[Activation]:
+        """All activations that ended with ``outcome`` (an OUTCOME_* value)."""
+        return [a for a in self.activations.values() if a.outcome == outcome]
+
+    def at_address(self, address: int) -> Tuple[List[Activation],
+                                                List[Suppression]]:
+        """Everything the trace knows about one trigger address."""
+        acts = [a for a in self.activations.values() if a.address == address]
+        sups = [s for s in self.suppressions if s.address == address]
+        return acts, sups
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _latencies(self) -> Tuple[List[int], List[int], str]:
+        waits = [a.queue_wait for a in self.activations.values()
+                 if a.queue_wait is not None]
+        execs = [a.execute_time for a in self.activations.values()
+                 if a.execute_time is not None]
+        units = {a.latency_unit for a in self.activations.values()
+                 if a.queue_wait is not None or a.execute_time is not None}
+        if not units:
+            unit = "events"
+        elif len(units) == 1:
+            unit = units.pop()
+        else:
+            unit = "mixed"
+        return waits, execs, unit
+
+    def latency_stats(self) -> Dict[str, object]:
+        """Queue-wait / execute-time distribution over finished activations."""
+        waits, execs, unit = self._latencies()
+        return {
+            "unit": unit,
+            "queue_wait": _distribution(waits),
+            "execute": _distribution(execs),
+        }
+
+    def site_attribution(self, profiler=None) -> List[Dict[str, object]]:
+        """Per-static-store-site trigger outcomes, hottest first.
+
+        When ``profiler`` (a
+        :class:`~repro.profiling.redundancy.RedundantLoadProfiler` or a
+        stored stand-in exposing ``store_sites()``) is given, its
+        dynamic/silent counts join in — tying the causal trace back to
+        the paper's redundancy measurements at the same PCs.
+        """
+        sites: Dict[Optional[int], Dict[str, object]] = {}
+
+        def site(pc: Optional[int]) -> Dict[str, object]:
+            row = sites.get(pc)
+            if row is None:
+                row = sites[pc] = {
+                    "pc": pc, "fired": 0, "absorbed": 0, "canceled": 0,
+                    "completed": 0, "suppressed": 0,
+                }
+            return row
+
+        for act in self.activations.values():
+            row = site(act.pc)
+            row["fired"] += 1
+            if act.outcome in (OUTCOME_COMPLETED, OUTCOME_CANCELED,
+                               OUTCOME_ABSORBED):
+                row[act.outcome] += 1
+        for sup in self.suppressions:
+            site(sup.pc)["suppressed"] += 1
+        if profiler is not None:
+            for stats in profiler.store_sites():
+                row = sites.get(stats.pc)
+                if row is not None:
+                    row["dynamic_stores"] = stats.dynamic
+                    row["silent_stores"] = stats.silent
+        return sorted(sites.values(),
+                      key=lambda r: -(r["fired"] + r["suppressed"]))
+
+    def summary(self) -> Dict[str, object]:
+        """Condensed causal stats, manifest- and JSON-friendly."""
+        latency = self.latency_stats()
+        waits, execs, _unit = self._latencies()
+        return {
+            "queue_wait_hist": bucket_histogram(waits),
+            "execute_hist": bucket_histogram(execs),
+            "activations": len(self.activations),
+            "completed": len(self.by_outcome(OUTCOME_COMPLETED)),
+            "canceled": len(self.by_outcome(OUTCOME_CANCELED)),
+            "absorbed": len(self.by_outcome(OUTCOME_ABSORBED)),
+            "pending": len(self.by_outcome(OUTCOME_PENDING)),
+            "suppressed_silent": len(self.suppressions),
+            "consume_clean": self.consume_clean,
+            "consume_wait": self.consume_wait,
+            "latency_unit": latency["unit"],
+            "mean_queue_wait": latency["queue_wait"]["mean"],
+            "max_queue_wait": latency["queue_wait"]["max"],
+            "dropped_events": self.dropped_events,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CausalGraph({len(self.activations)} activations, "
+                f"{len(self.suppressions)} suppressions)")
+
+
+#: fixed power-of-two bucket bounds for the compact manifest histograms
+_HIST_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def bucket_histogram(values: Sequence[int]) -> List[List[object]]:
+    """Counts per power-of-two bucket: ``[["<=1", n], ..., [">256", n]]``.
+
+    A fixed, tiny layout so the manifest stays small and histograms from
+    different runs merge by label.
+    """
+    counts = [0] * (len(_HIST_BOUNDS) + 1)
+    for value in values:
+        for i, bound in enumerate(_HIST_BOUNDS):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = [f"<={b}" for b in _HIST_BOUNDS] + [f">{_HIST_BOUNDS[-1]}"]
+    return [[label, count] for label, count in zip(labels, counts)]
+
+
+def merge_histograms(first: Sequence[Sequence], second: Sequence[Sequence]
+                     ) -> List[List[object]]:
+    """Label-wise sum of two :func:`bucket_histogram` outputs."""
+    if not first:
+        return [list(pair) for pair in second]
+    merged = {label: count for label, count in first}
+    for label, count in second:
+        merged[label] = merged.get(label, 0) + count
+    return [[label, merged.get(label, 0)]
+            for label, _ in bucket_histogram([])]
+
+
+def _distribution(values: Sequence[int]) -> Dict[str, Optional[float]]:
+    if not values:
+        return {"count": 0, "mean": None, "max": None, "min": None}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "min": min(values),
+    }
+
+
+def causal_summary(named_traces: Iterable[Tuple[str, EngineTrace]]
+                   ) -> Dict[str, object]:
+    """Merged causal summary over a runner's traces, for the manifest.
+
+    Counts are summed; ``mean_queue_wait`` is weighted by each trace's
+    finished-activation count; ``latency_unit`` degrades to ``"mixed"``
+    if traces disagree.
+    """
+    merged: Dict[str, object] = {
+        "traces": 0, "activations": 0, "completed": 0, "canceled": 0,
+        "absorbed": 0, "pending": 0, "suppressed_silent": 0,
+        "consume_clean": 0, "consume_wait": 0, "dropped_events": 0,
+        "latency_unit": None, "mean_queue_wait": None, "max_queue_wait": None,
+        "queue_wait_hist": [], "execute_hist": [],
+    }
+    wait_total = 0.0
+    wait_count = 0
+    for _name, trace in named_traces:
+        graph = CausalGraph.from_trace(trace)
+        stats = graph.summary()
+        merged["traces"] += 1
+        for key in ("activations", "completed", "canceled", "absorbed",
+                    "pending", "suppressed_silent", "consume_clean",
+                    "consume_wait", "dropped_events"):
+            merged[key] += stats[key]
+        unit = stats["latency_unit"]
+        if merged["latency_unit"] is None:
+            merged["latency_unit"] = unit
+        elif merged["latency_unit"] != unit:
+            merged["latency_unit"] = "mixed"
+        merged["queue_wait_hist"] = merge_histograms(
+            merged["queue_wait_hist"], stats["queue_wait_hist"])
+        merged["execute_hist"] = merge_histograms(
+            merged["execute_hist"], stats["execute_hist"])
+        dist = graph.latency_stats()["queue_wait"]
+        if dist["count"]:
+            wait_total += dist["mean"] * dist["count"]
+            wait_count += dist["count"]
+            current_max = merged["max_queue_wait"]
+            merged["max_queue_wait"] = (dist["max"] if current_max is None
+                                        else max(current_max, dist["max"]))
+    if wait_count:
+        merged["mean_queue_wait"] = wait_total / wait_count
+    return merged

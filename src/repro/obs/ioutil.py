@@ -1,0 +1,29 @@
+"""Shared file-writing conventions for observability artifacts.
+
+Every exported artifact (Chrome traces, HTML reports, JSON snapshots) is
+written the same way the result store writes entries: UTF-8, to a
+temporary file in the target directory, then atomically renamed into
+place with ``os.replace`` — a killed process never leaves a truncated
+artifact where a complete one is expected.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically, UTF-8 encoded."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

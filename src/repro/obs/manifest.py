@@ -22,8 +22,9 @@ class RunManifest:
     """Provenance + cost record for one harness run."""
 
     #: bump when the serialized shape changes
-    #: (v2: store_hits / store_misses, canonical-string run keys)
-    SCHEMA_VERSION = 2
+    #: (v2: store_hits / store_misses, canonical-string run keys;
+    #:  v3: trace health counters + causal summary from traced runs)
+    SCHEMA_VERSION = 3
 
     def __init__(
         self,
@@ -37,6 +38,9 @@ class RunManifest:
         experiment_id: str = "",
         store_hits: int = 0,
         store_misses: int = 0,
+        trace_dropped_events: int = 0,
+        unmatched_closers: int = 0,
+        causal: Optional[Dict] = None,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -48,6 +52,16 @@ class RunManifest:
         self.store_misses = store_misses
         self.peak_queue_depth = peak_queue_depth
         self.experiment_id = experiment_id
+        #: events the EngineTrace discarded after its buffer filled —
+        #: nonzero means the causal record (and any report built on it)
+        #: is incomplete
+        self.trace_dropped_events = trace_dropped_events
+        #: completion/cancellation events whose activation had no open
+        #: slice in the timeline pairing (mid-run attach or truncation)
+        self.unmatched_closers = unmatched_closers
+        #: merged :func:`repro.obs.causality.causal_summary` over the
+        #: runner's traces, or None for untraced runs
+        self.causal = dict(causal) if causal else None
 
     # -- construction ---------------------------------------------------------
 
@@ -66,6 +80,19 @@ class RunManifest:
             # same form the result store hashes into content addresses
             "runs": sorted(stats["keys"]),
         }
+        causal = None
+        dropped = 0
+        unmatched = 0
+        traces = runner.traces() if hasattr(runner, "traces") else []
+        if traces:
+            # lazy: untraced runs never pay the causality import
+            from repro.obs.causality import causal_summary
+            from repro.obs.timeline import unmatched_closer_count
+
+            causal = causal_summary(traces)
+            dropped = causal["dropped_events"]
+            unmatched = sum(unmatched_closer_count(trace)
+                            for _name, trace in traces)
         return cls(
             fingerprint=fingerprint_of(identity),
             seed=runner.seed,
@@ -77,6 +104,9 @@ class RunManifest:
             experiment_id=experiment_id,
             store_hits=stats.get("store_hits", 0),
             store_misses=stats.get("store_misses", 0),
+            trace_dropped_events=dropped,
+            unmatched_closers=unmatched,
+            causal=causal,
         )
 
     # -- serialization --------------------------------------------------------
@@ -104,6 +134,9 @@ class RunManifest:
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "peak_queue_depth": self.peak_queue_depth,
+            "trace_dropped_events": self.trace_dropped_events,
+            "unmatched_closers": self.unmatched_closers,
+            "causal": self.causal,
         }
 
     def to_json(self, indent: int = 2) -> str:

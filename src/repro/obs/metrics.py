@@ -151,6 +151,17 @@ class Histogram:
                 f"sum={self.sum})")
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP line per the Prometheus exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 Instrument = Union[Counter, Gauge, Histogram]
 
 _TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
@@ -344,17 +355,24 @@ class MetricsRegistry:
         return json.dumps(self.as_dict(), indent=indent)
 
     def to_prometheus_text(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        HELP text and label values are escaped per the exposition-format
+        rules (backslash and newline in both; double quote additionally
+        in label values), so free-text help strings can never corrupt
+        the line protocol.
+        """
         lines: List[str] = []
         for name, instrument in self._instruments.items():
             flat = name.replace(".", "_")
             if instrument.help:
-                lines.append(f"# HELP {flat} {instrument.help}")
+                lines.append(f"# HELP {flat} "
+                             f"{_escape_help(instrument.help)}")
             lines.append(f"# TYPE {flat} {_TYPE_NAMES[type(instrument)]}")
             if isinstance(instrument, Histogram):
                 cumulative = instrument.cumulative_counts()
                 for bound, count in zip(instrument.buckets, cumulative):
-                    le = format(bound, "g")
+                    le = _escape_label_value(format(bound, "g"))
                     lines.append(f'{flat}_bucket{{le="{le}"}} {count}')
                 lines.append(f'{flat}_bucket{{le="+Inf"}} {instrument.count}')
                 lines.append(f"{flat}_sum {instrument.sum}")

@@ -1,0 +1,369 @@
+"""Rendering for causal provenance: the ``explain`` CLI and the HTML report.
+
+Two consumers of :mod:`repro.obs.causality`:
+
+* **explain** — terminal text answering "why did activation N run?"
+  (full lineage: triggering store PC → registry match → queue position →
+  dispatch → outcome) and "why did the store at address X never fire?"
+  (same-value suppressions and duplicate absorption at that address);
+* **report** — a *self-contained single-file* HTML page aggregating a
+  result store and/or a ``--json`` results file: paper-claimed versus
+  measured rows per experiment, every stored run, redundancy top-sites
+  tables, activation latency histograms, and run-manifest provenance.
+
+The HTML uses only inline CSS (bar charts are styled ``div`` widths), no
+JavaScript and no external assets, so the file opens identically from a
+CI artifact, an email attachment, or ``file://``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.causality import (OUTCOME_ABSORBED, OUTCOME_CANCELED,
+                                 OUTCOME_COMPLETED, Activation, CausalGraph)
+
+# ---------------------------------------------------------------------------
+# explain: terminal rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_pos(position: Optional[int]) -> str:
+    return f"position {position}" if position is not None else "(position unknown)"
+
+
+def _lineage_lines(act: Activation) -> List[str]:
+    """One activation's life, one step per line (trigger → outcome)."""
+    unit = act.latency_unit
+    lines = []
+    pc = f"pc={act.pc}" if act.pc is not None else "pc=?"
+    lines.append(
+        f"triggering store  {pc} wrote {act.values or '?'} to address "
+        f"{act.address} (thread {act.thread!r})")
+    lines.append(
+        "registry match    store matched the thread registry and passed the "
+        "same-value filter -> fired")
+    if act.outcome == OUTCOME_ABSORBED:
+        lines.append(
+            f"deduplicated      absorbed by activation "
+            f"#{act.absorbed_into}: a same-key activation was already "
+            "pending/executing, and it will observe this store's value "
+            "anyway")
+        return lines
+    if act.enqueued_seq is not None:
+        lines.append(
+            f"enqueued          entered the thread queue at "
+            f"{_fmt_pos(act.queue_position)}")
+    if act.dispatched_seq is not None:
+        wait = act.queue_wait
+        waited = f" after waiting {wait} {unit}" if wait is not None else ""
+        lines.append(f"dispatched        {act.dispatch_detail or 'started'}"
+                     f"{waited}")
+    if act.outcome == OUTCOME_COMPLETED:
+        took = act.execute_time
+        span = f" in {took} {unit}" if took is not None else ""
+        lines.append(f"completed         support thread ran to treturn{span}")
+    elif act.outcome == OUTCOME_CANCELED:
+        by = (f" by activation #{act.canceled_by}'s trigger"
+              if act.canceled_by is not None else "")
+        lines.append(
+            f"canceled          squashed mid-flight{by}: the input value "
+            "changed, so the in-progress result would have been stale")
+    else:
+        lines.append("pending           still enqueued/executing when the "
+                      "trace ended")
+    return lines
+
+
+def render_explain_activation(graph: CausalGraph, activation_id: int) -> str:
+    """Why did activation ``activation_id`` run (or not)?"""
+    act = graph.activations.get(activation_id)
+    if act is None:
+        known = sorted(graph.activations)
+        span = (f"known ids: {known[0]}..{known[-1]}" if known
+                else "the trace recorded no activations")
+        return f"activation #{activation_id} not found in trace ({span})"
+    lines = [f"activation #{activation_id}"]
+    lines.extend("  " + line for line in _lineage_lines(act))
+    chain = graph.lineage(activation_id)
+    if len(chain) > 1:
+        hops = " -> ".join(f"#{a.activation_id}" for a in chain)
+        lines.append(f"  absorption chain  {hops} "
+                     "(last one did the actual work)")
+    if act.absorbed:
+        absorbed = ", ".join(f"#{a}" for a in sorted(act.absorbed))
+        lines.append(f"  on whose behalf   also covered duplicate/canceled "
+                     f"trigger(s) {absorbed}")
+    return "\n".join(lines)
+
+
+def render_explain_address(graph: CausalGraph, address: int) -> str:
+    """Everything that happened at one trigger address, suppression first."""
+    acts, sups = graph.at_address(address)
+    if not acts and not sups:
+        return (f"address {address}: no triggering-store activity recorded "
+                "(not a trigger address, or never stored to)")
+    lines = [f"address {address}:"]
+    if sups:
+        pcs = sorted({s.pc for s in sups if s.pc is not None})
+        at = f" at pc {', '.join(map(str, pcs))}" if pcs else ""
+        lines.append(
+            f"  {len(sups)} store(s){at} suppressed by the same-value "
+            "filter: the stored value equaled what memory already held, so "
+            "no computation could have changed")
+    fired = sorted(acts, key=lambda a: a.fired_seq or 0)
+    if fired:
+        lines.append(f"  {len(fired)} activation(s) fired:")
+        for act in fired:
+            lines.append(f"    #{act.activation_id}: {act.outcome}"
+                         + (f" (absorbed into #{act.absorbed_into})"
+                            if act.outcome == OUTCOME_ABSORBED else ""))
+    return "\n".join(lines)
+
+
+def render_activation_list(graph: CausalGraph, label: str = "") -> str:
+    """A one-line-per-activation index (the ``explain --list`` view)."""
+    header = f"activations in {label}" if label else "activations"
+    lines = [f"{header}: {len(graph.activations)} fired, "
+             f"{len(graph.suppressions)} silent stores suppressed"]
+    for aid in sorted(graph.activations):
+        act = graph.activations[aid]
+        wait = act.queue_wait
+        waited = f", waited {wait} {act.latency_unit}" if wait is not None \
+            else ""
+        lines.append(f"  #{aid}: {act.thread} addr={act.address} "
+                     f"pc={act.pc} -> {act.outcome}{waited}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the HTML report
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 70em;
+       color: #1a1a2e; line-height: 1.45; }
+h1 { border-bottom: 3px solid #0f3460; padding-bottom: .3em; }
+h2 { color: #0f3460; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; width: 100%; }
+th, td { border: 1px solid #cdd3dd; padding: .35em .6em; text-align: left;
+         font-size: .92em; }
+th { background: #0f3460; color: #fff; }
+tr:nth-child(even) td { background: #f2f5f9; }
+.pass { color: #0a7a35; font-weight: 600; }
+.fail { color: #c0232c; font-weight: 600; }
+.bar { background: #3282b8; height: 1em; display: inline-block;
+       min-width: 1px; vertical-align: middle; }
+.barrow { font-family: monospace; font-size: .85em; white-space: nowrap; }
+.muted { color: #667; font-size: .85em; }
+code { background: #eef1f6; padding: 0 .25em; border-radius: 3px; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence],
+           cell_html: bool = False) -> List[str]:
+    out = ["<table>", "<tr>" + "".join(f"<th>{_esc(h)}</th>"
+                                       for h in headers) + "</tr>"]
+    for row in rows:
+        cells = "".join(
+            f"<td>{cell if cell_html else _esc(cell)}</td>" for cell in row)
+        out.append(f"<tr>{cells}</tr>")
+    out.append("</table>")
+    return out
+
+
+def _histogram_rows(hist: Sequence[Sequence]) -> List[str]:
+    """A label/count histogram as inline-CSS bar rows."""
+    if not hist:
+        return ["<p class='muted'>no samples</p>"]
+    peak = max(count for _label, count in hist) or 1
+    out = []
+    for label, count in hist:
+        width = int(260 * count / peak)
+        out.append(
+            f"<div class='barrow'>{_esc(label):>6} "
+            f"<span class='bar' style='width:{width}px'></span> "
+            f"{count}</div>")
+    return out
+
+
+def _experiments_section(results: List[Dict]) -> List[str]:
+    out = ["<h2>Experiments: paper-claimed vs measured</h2>"]
+    rows = []
+    for result in results:
+        checks = result.get("checks", [])
+        passed = sum(1 for c in checks if c.get("passed"))
+        measured = "<br>".join(
+            f"<span class='{'pass' if c.get('passed') else 'fail'}'>"
+            f"{'PASS' if c.get('passed') else 'FAIL'}</span> "
+            f"{_esc(c.get('name', ''))}"
+            + (f" <span class='muted'>({_esc(c['detail'])})</span>"
+               if c.get("detail") else "")
+            for c in checks) or "<span class='muted'>no checks</span>"
+        rows.append([
+            f"<code>{_esc(result.get('experiment', '?'))}</code>",
+            _esc(result.get("title", "")),
+            _esc(result.get("paper_claim", "")) or
+            "<span class='muted'>shape-only</span>",
+            measured,
+            f"{passed}/{len(checks)}",
+        ])
+    out.extend(_table(
+        ["experiment", "title", "paper claim", "measured checks", "passed"],
+        rows, cell_html=True))
+    return out
+
+
+def _manifest_section(results: List[Dict]) -> List[str]:
+    manifests = [(r.get("experiment", "?"), r["manifest"])
+                 for r in results if r.get("manifest")]
+    if not manifests:
+        return []
+    out = ["<h2>Run manifests</h2>"]
+    rows = []
+    for experiment, m in manifests:
+        causal = m.get("causal") or {}
+        rows.append([
+            experiment, m.get("fingerprint", "")[:12],
+            f"{m.get('total_seconds', 0):.3f}",
+            f"{m.get('cache_hits', 0)}/{m.get('cache_misses', 0)}",
+            f"{m.get('store_hits', 0)}/{m.get('store_misses', 0)}",
+            m.get("peak_queue_depth", 0),
+            m.get("trace_dropped_events", 0),
+            m.get("unmatched_closers", 0),
+            causal.get("activations", "—"),
+        ])
+    out.extend(_table(
+        ["experiment", "fingerprint", "seconds", "cache hit/miss",
+         "store hit/miss", "peak queue", "dropped events",
+         "unmatched closers", "activations"], rows))
+    return out
+
+
+def _latency_section(results: List[Dict]) -> List[str]:
+    merged_hist: List[List] = []
+    unit = None
+    from repro.obs.causality import merge_histograms
+    for result in results:
+        causal = (result.get("manifest") or {}).get("causal") or {}
+        hist = causal.get("queue_wait_hist") or []
+        if any(count for _l, count in hist):
+            merged_hist = merge_histograms(merged_hist, hist)
+            unit = unit or causal.get("latency_unit")
+    if not merged_hist:
+        return []
+    out = [
+        "<h2>Activation queue-wait latency</h2>",
+        f"<p class='muted'>time from trigger firing to dispatch, in "
+        f"{_esc(unit or 'events')}; aggregated over every traced run in "
+        "the results file</p>",
+    ]
+    out.extend(_histogram_rows(merged_hist))
+    return out
+
+
+def _store_section(entries: List[Dict]) -> List[str]:
+    out = [
+        "<h2>Stored runs</h2>",
+        f"<p class='muted'>{len(entries)} entries in the result store; "
+        "every entry is content-addressed by the full run identity</p>",
+    ]
+    rows = []
+    for entry in entries:
+        payload = entry.get("payload", {})
+        summary = ""
+        if entry.get("kind") == "profile":
+            loads = payload.get("loads", {})
+            frac = loads.get("redundant_load_fraction")
+            if frac is not None:
+                summary = f"redundant loads: {frac:.1%}"
+        else:
+            cycles = payload.get("cycles")
+            if cycles is not None:
+                summary = f"{cycles} cycles"
+        rows.append([
+            f"<code>{_esc(entry.get('canonical', '?'))}</code>",
+            _esc(entry.get("kind", "?")),
+            f"{entry.get('elapsed_seconds', 0):.3f}",
+            _esc(summary),
+        ])
+    out.extend(_table(["run", "kind", "seconds", "headline"], rows,
+                      cell_html=True))
+    return out
+
+
+def _sites_section(entries: List[Dict]) -> List[str]:
+    profiled = [(e.get("payload", {}).get("name", "?"),
+                 e.get("payload", {}).get("sites"))
+                for e in entries if e.get("kind") == "profile"
+                and e.get("payload", {}).get("sites")]
+    if not profiled:
+        return []
+    out = ["<h2>Redundancy top sites</h2>",
+           "<p class='muted'>hottest static sites per profiled workload — "
+           "where the redundant work the paper targets actually lives</p>"]
+    for name, sites in profiled:
+        out.append(f"<h3><code>{_esc(name)}</code></h3>")
+        load_rows = [
+            [s["pc"], s["dynamic"], s["redundant"],
+             f"{s['redundant'] / s['dynamic']:.1%}" if s["dynamic"] else "—"]
+            for s in sites.get("loads", [])[:10]]
+        if load_rows:
+            out.append("<p>redundant load sites:</p>")
+            out.extend(_table(["pc", "dynamic", "redundant", "fraction"],
+                              load_rows))
+        store_rows = [
+            [s["pc"], s["dynamic"], s["silent"],
+             "yes" if s.get("triggering") else "no"]
+            for s in sites.get("stores", [])[:10]]
+        if store_rows:
+            out.append("<p>store sites (silent stores are the same-value "
+                       "filter's prey):</p>")
+            out.extend(_table(["pc", "dynamic", "silent", "triggering"],
+                              store_rows))
+    return out
+
+
+def html_report(store_entries: Optional[List[Dict]] = None,
+                results: Optional[List[Dict]] = None,
+                title: str = "DTT reproduction report") -> str:
+    """The whole report as one self-contained HTML string.
+
+    ``store_entries`` are :meth:`~repro.exec.store.ResultStore.entries`
+    dicts; ``results`` is the list a ``run --json`` invocation wrote
+    (each item an ``ExperimentResult.as_dict()``, manifest included).
+    Either side may be absent; sections render from whatever is there.
+    """
+    store_entries = store_entries or []
+    results = results or []
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang='en'>",
+        "<head>",
+        "<meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head>",
+        "<body>",
+        f"<h1>{_esc(title)}</h1>",
+        "<p class='muted'>Data-triggered threads (Tseng &amp; Tullsen, "
+        "HPCA 2011) — generated by <code>dtt-harness report</code>; "
+        "single file, no external assets.</p>",
+    ]
+    if results:
+        parts.extend(_experiments_section(results))
+        parts.extend(_latency_section(results))
+        parts.extend(_manifest_section(results))
+    if store_entries:
+        parts.extend(_store_section(store_entries))
+        parts.extend(_sites_section(store_entries))
+    if not results and not store_entries:
+        parts.append("<p>Nothing to report: no store entries and no "
+                     "results file given.</p>")
+    parts.extend(["</body>", "</html>"])
+    return "\n".join(parts)

@@ -8,6 +8,17 @@ slices, and everything else — triggering stores, filter suppressions,
 consume points — renders as instant events, so the interleaving the
 trace records becomes visually inspectable.
 
+Pairing is **identity-based**: a slice opens at the ``dispatched`` event
+of an activation id and closes at the ``completed``/``canceled`` event
+stamped with the *same* id, so interleaved activations on one track can
+never steal each other's closers.  A closer whose id has no open slice
+(a trace attached mid-run, or a truncated buffer that dropped the
+dispatch) is counted in ``unmatched_closers`` and rendered as an
+instant instead of silently misattributed.  Each trigger links to its
+activation slice with a Chrome **flow event** pair (``ph: s`` at the
+``fired`` instant, ``ph: f`` at the slice start), which Perfetto draws
+as an arrow.
+
 The engine has no wall clock: event *sequence numbers* serve as
 timestamps (one tick per event, reported as microseconds, which Perfetto
 renders fine).  What matters in a DTT timeline is ordering, not
@@ -21,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import trace as T
 from repro.core.trace import EngineTrace
+from repro.obs.ioutil import atomic_write_text
 
 #: event kinds that open a duration slice (paired with the kinds below)
 _SLICE_OPENERS = (T.DISPATCHED,)
@@ -46,45 +58,132 @@ def trace_to_chrome(trace: EngineTrace, pid: int = 1,
 
 def traces_to_chrome(named_traces: Sequence[Tuple[str, EngineTrace]],
                      first_pid: int = 1) -> Dict:
-    """Several traces combined, one Perfetto process per trace."""
+    """Several traces combined, one Perfetto process per trace.
+
+    The returned dict carries an ``otherData.unmatched_closers`` count —
+    completion/cancellation events whose activation had no open slice
+    (Perfetto ignores the key; the manifest layer surfaces it).
+    """
     events: List[Dict] = []
+    unmatched = 0
     for offset, (process_name, trace) in enumerate(named_traces):
         pid = first_pid + offset
-        events.extend(_one_process(trace, pid, process_name))
+        process_events, process_unmatched = _one_process(
+            trace, pid, process_name)
+        events.extend(process_events)
+        unmatched += process_unmatched
     events.sort(key=lambda e: (e["ts"], e.get("pid", 0), e.get("tid", 0)))
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"unmatched_closers": unmatched},
+    }
 
 
-def _one_process(trace: EngineTrace, pid: int, process_name: str) -> List[Dict]:
+def unmatched_closer_count(trace: EngineTrace) -> int:
+    """Closers (completed/canceled) with no identity-matched open slice."""
+    open_ids = set()
+    unmatched = 0
+    for event in trace.events:
+        if event.kind in _SLICE_OPENERS:
+            if event.activation_id is not None:
+                open_ids.add(event.activation_id)
+        elif event.kind in _SLICE_CLOSERS:
+            if event.activation_id in open_ids:
+                open_ids.discard(event.activation_id)
+            else:
+                unmatched += 1
+    return unmatched
+
+
+def _flow_id(pid: int, activation_id: int) -> int:
+    # flow ids are global in the Chrome format; offset by process so two
+    # traces' activation #1 never join into one arrow
+    return pid * 1_000_000 + activation_id
+
+
+def _one_process(trace: EngineTrace, pid: int,
+                 process_name: str) -> Tuple[List[Dict], int]:
     events: List[Dict] = [{
         "name": "process_name", "ph": "M", "pid": pid, "tid": 0, "ts": 0,
         "args": {"name": process_name},
     }]
     tids: Dict[str, int] = {}
-    # per-thread stack of (start_ts, detail) for open dispatch slices
-    open_slices: Dict[int, List[Tuple[int, str]]] = {}
+    # activation_id -> (start_ts, tid, detail) for open dispatch slices
+    open_slices: Dict[int, Tuple[int, int, str]] = {}
+    # legacy stack for id-less events (hand-built traces)
+    anon_stack: Dict[int, List[Tuple[int, str]]] = {}
+    # activation_id -> (fired_ts, fired_tid), for flow arrows
+    fired_at: Dict[int, Tuple[int, int]] = {}
+    unmatched = 0
+
+    def close_slice(start: int, slice_tid: int, detail: str, end_ts: int,
+                    thread: Optional[str], outcome: Optional[str],
+                    activation_id: Optional[int]) -> None:
+        args: Dict[str, object] = {}
+        if outcome is not None:
+            args["outcome"] = outcome
+        if detail:
+            args["detail"] = detail
+        if activation_id is not None:
+            args["activation_id"] = activation_id
+        name = (f"{thread} activation" if outcome is not None
+                else "activation (unfinished)")
+        events.append({
+            "name": name, "cat": "activation",
+            "ph": "X", "ts": start, "dur": max(end_ts - start, 1),
+            "pid": pid, "tid": slice_tid, "args": args,
+        })
+        if activation_id is not None and activation_id in fired_at:
+            flow_ts, flow_tid = fired_at[activation_id]
+            flow = _flow_id(pid, activation_id)
+            events.append({
+                "name": "trigger", "cat": "flow", "ph": "s", "id": flow,
+                "ts": flow_ts, "pid": pid, "tid": flow_tid,
+            })
+            events.append({
+                "name": "trigger", "cat": "flow", "ph": "f", "bp": "e",
+                "id": flow, "ts": start, "pid": pid, "tid": slice_tid,
+            })
+
     for event in trace.events:
         tid = _thread_track(event.thread, tids)
         ts = event.sequence
         args: Dict[str, object] = {}
         if event.address is not None:
             args["address"] = event.address
+        if event.pc is not None:
+            args["pc"] = event.pc
+        if event.activation_id is not None:
+            args["activation_id"] = event.activation_id
+        if event.cause_id is not None:
+            args["cause_id"] = event.cause_id
         if event.detail:
             args["detail"] = event.detail
+        if event.kind == T.FIRED and event.activation_id is not None:
+            fired_at[event.activation_id] = (ts, tid)
         if event.kind in _SLICE_OPENERS:
-            open_slices.setdefault(tid, []).append((ts, event.detail))
+            if event.activation_id is not None:
+                open_slices[event.activation_id] = (ts, tid, event.detail)
+            else:
+                anon_stack.setdefault(tid, []).append((ts, event.detail))
             continue
-        if event.kind in _SLICE_CLOSERS and open_slices.get(tid):
-            start, detail = open_slices[tid].pop()
-            args["outcome"] = event.kind
-            if detail:
-                args.setdefault("detail", detail)
-            events.append({
-                "name": f"{event.thread} activation", "cat": "activation",
-                "ph": "X", "ts": start, "dur": max(ts - start, 1),
-                "pid": pid, "tid": tid, "args": args,
-            })
-            continue
+        if event.kind in _SLICE_CLOSERS:
+            if event.activation_id in open_slices:
+                start, slice_tid, detail = open_slices.pop(
+                    event.activation_id)
+                close_slice(start, slice_tid, detail, ts, event.thread,
+                            event.kind, event.activation_id)
+                continue
+            if event.activation_id is None and anon_stack.get(tid):
+                start, detail = anon_stack[tid].pop()
+                close_slice(start, tid, detail, ts, event.thread,
+                            event.kind, None)
+                continue
+            # closer with no matching open slice: count it, keep it
+            # visible as an instant rather than misattributing a slice
+            unmatched += 1
+            args["unmatched"] = True
         events.append({
             "name": event.kind, "cat": "engine", "ph": "i", "s": "t",
             "ts": ts, "pid": pid, "tid": tid, "args": args,
@@ -92,24 +191,25 @@ def _one_process(trace: EngineTrace, pid: int, process_name: str) -> List[Dict]:
     # dangling slices (e.g. still executing at trace end) close at the
     # last recorded timestamp so the export never loses a dispatch
     last_ts = trace.events[-1].sequence if trace.events else 0
-    for tid, stack in open_slices.items():
+    for activation_id, (start, slice_tid, detail) in open_slices.items():
+        close_slice(start, slice_tid, detail, last_ts, None, None,
+                    activation_id)
+    for tid, stack in anon_stack.items():
         for start, detail in stack:
-            events.append({
-                "name": "activation (unfinished)", "cat": "activation",
-                "ph": "X", "ts": start, "dur": max(last_ts - start, 1),
-                "pid": pid, "tid": tid,
-                "args": {"detail": detail} if detail else {},
-            })
+            close_slice(start, tid, detail, last_ts, None, None, None)
     for name, tid in tids.items():
         events.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "ts": 0, "args": {"name": name},
         })
-    return events
+    return events, unmatched
 
 
 def write_chrome_trace(path: str, *named_traces: Tuple[str, EngineTrace]) -> None:
-    """Write one or more named traces to ``path`` as Chrome trace JSON."""
+    """Write one or more named traces to ``path`` as Chrome trace JSON.
+
+    UTF-8, atomic (temp file + ``os.replace``), matching the result
+    store's write convention.
+    """
     payload = traces_to_chrome(list(named_traces))
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
+    atomic_write_text(path, json.dumps(payload, indent=1))

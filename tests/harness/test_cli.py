@@ -64,3 +64,70 @@ def test_stats_command_prints_registry(capsys):
 def test_stats_rejects_unknown_workload(capsys):
     assert main(["stats", "--workload", "nope"]) == 2
     assert "unknown workload" in capsys.readouterr().out
+
+
+def test_explain_list(capsys):
+    assert main(["explain", "--workload", "mcf", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "activations in mcf:dtt:smt2" in out
+    assert "#1:" in out
+
+
+def test_explain_activation_lineage(capsys):
+    assert main(["explain", "--workload", "mcf", "--activation", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "activation #1" in out
+    assert "triggering store" in out
+    assert "registry match" in out
+    assert "dispatched" in out
+
+
+def test_explain_address(capsys):
+    # find a suppressed address from the trace, then explain it
+    from repro.harness.runner import SuiteRunner
+    from repro.workloads.suite import SUITE
+    from repro.core import trace as T
+
+    runner = SuiteRunner(trace=True)
+    runner.timed(SUITE["mcf"], "dtt")
+    trace = runner.trace_for("mcf", "dtt")
+    suppressed = trace.of_kind(T.SUPPRESSED)[0].address
+    assert main(["explain", "--workload", "mcf",
+                 "--address", str(suppressed)]) == 0
+    out = capsys.readouterr().out
+    assert "same-value" in out
+
+
+def test_explain_rejects_unknown_workload(capsys):
+    assert main(["explain", "--workload", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().out
+
+
+def test_report_from_store_and_results(tmp_path, capsys):
+    store = tmp_path / "store"
+    results = tmp_path / "results.json"
+    out_html = tmp_path / "report.html"
+    assert main(["run", "E6", "--store", str(store),
+                 "--json", str(results)]) == 0
+    assert main(["report", "--store", str(store),
+                 "--results", str(results),
+                 "-o", str(out_html)]) == 0
+    html_text = out_html.read_text(encoding="utf-8")
+    assert "<!DOCTYPE html>" in html_text
+    assert "E6" in html_text
+    # every stored run is named in the report
+    from repro.exec.store import ResultStore
+    for entry in ResultStore(str(store)).entries():
+        assert entry["canonical"] in html_text
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+
+def test_report_rejects_missing_store(tmp_path, capsys):
+    assert main(["report", "--store", str(tmp_path / "nope")]) == 2
+    assert "not a result store" in capsys.readouterr().out
+
+
+def test_report_requires_some_input(capsys):
+    assert main(["report"]) == 2
+    assert "nothing to report" in capsys.readouterr().out

@@ -1,0 +1,219 @@
+"""Causal graph construction, lineage walks, and summaries."""
+
+import pytest
+
+from repro.core import trace as T
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.core.trace import EngineTrace
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+from repro.obs.causality import (OUTCOME_ABSORBED, OUTCOME_COMPLETED,
+                                 CausalGraph, bucket_histogram,
+                                 causal_summary, merge_histograms)
+
+from tests.conftest import build_dtt_sum
+
+
+class _FakeEngine:
+    def attach_trace(self, trace):
+        pass
+
+
+@pytest.fixture
+def hand_trace():
+    """A hand-built trace: one completed activation that absorbed a
+    duplicate, plus one same-value suppression and a clean consume."""
+    tr = EngineTrace(_FakeEngine())
+    tr.record(T.TSTORE, "thr", address=10, detail="0->1", pc=5)
+    tr.record(T.FIRED, "thr", address=10, detail="0->1", activation_id=1,
+              pc=5)
+    tr.record(T.ENQUEUED, "thr", address=10, activation_id=1, detail="pos=1")
+    tr.record(T.TSTORE, "thr", address=10, detail="1->2", pc=5)
+    tr.record(T.FIRED, "thr", address=10, detail="1->2", activation_id=2,
+              pc=5)
+    tr.record(T.DUPLICATE, "thr", address=10, activation_id=2, cause_id=1,
+              detail="absorbed by pending activation", pc=5)
+    tr.record(T.TSTORE, "thr", address=10, detail="2->2", pc=5)
+    tr.record(T.SUPPRESSED, "thr", address=10, pc=5)
+    tr.record(T.DISPATCHED, "thr", activation_id=1, detail="context 1")
+    tr.record(T.COMPLETED, "thr", activation_id=1)
+    tr.record(T.CONSUME_CLEAN, "thr", address=10)
+    return tr
+
+
+def test_graph_reconstructs_outcomes(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    assert len(graph.activations) == 2
+    assert graph.activations[1].outcome == OUTCOME_COMPLETED
+    assert graph.activations[2].outcome == OUTCOME_ABSORBED
+    assert graph.consume_clean == 1
+    assert len(graph.suppressions) == 1
+
+
+def test_absorption_is_bidirectional(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    assert graph.activations[2].absorbed_into == 1
+    assert graph.activations[1].absorbed == [2]
+
+
+def test_lineage_walks_the_absorption_chain(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    assert [a.activation_id for a in graph.lineage(2)] == [2, 1]
+    assert [a.activation_id for a in graph.lineage(1)] == [1]
+
+
+def test_latency_breakdown(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    act = graph.activations[1]
+    # fired at seq 2, dispatched at seq 9, completed at seq 10
+    assert act.queue_wait == 7
+    assert act.execute_time == 1
+    assert act.latency_unit == "events"
+    stats = graph.latency_stats()
+    assert stats["queue_wait"]["count"] == 1
+    assert stats["queue_wait"]["mean"] == 7.0
+
+
+def test_cycles_preferred_over_sequence_ticks():
+    tr = EngineTrace(_FakeEngine())
+    tr.record(T.FIRED, "thr", address=1, activation_id=1, cycle=100)
+    tr.record(T.DISPATCHED, "thr", activation_id=1, cycle=130)
+    tr.record(T.COMPLETED, "thr", activation_id=1, cycle=190)
+    graph = CausalGraph.from_trace(tr)
+    act = graph.activations[1]
+    assert act.latency_unit == "cycles"
+    assert act.queue_wait == 30
+    assert act.execute_time == 60
+
+
+def test_at_address_collects_both_kinds(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    acts, sups = graph.at_address(10)
+    assert len(acts) == 2
+    assert len(sups) == 1
+    assert graph.at_address(999) == ([], [])
+
+
+def test_site_attribution_aggregates_by_pc(hand_trace):
+    graph = CausalGraph.from_trace(hand_trace)
+    sites = graph.site_attribution()
+    assert len(sites) == 1
+    row = sites[0]
+    assert row["pc"] == 5
+    assert row["fired"] == 2
+    assert row["absorbed"] == 1
+    assert row["completed"] == 1
+    assert row["suppressed"] == 1
+
+
+def test_site_attribution_joins_profiler_stats(hand_trace):
+    class _Stats:
+        def __init__(self):
+            self.pc, self.dynamic, self.silent = 5, 40, 12
+
+    class _Profiler:
+        def store_sites(self):
+            return [_Stats()]
+
+    graph = CausalGraph.from_trace(hand_trace)
+    row = graph.site_attribution(_Profiler())[0]
+    assert row["dynamic_stores"] == 40
+    assert row["silent_stores"] == 12
+
+
+def test_canceled_activation_records_canceler():
+    tr = EngineTrace(_FakeEngine())
+    tr.record(T.FIRED, "thr", address=1, activation_id=1)
+    tr.record(T.DISPATCHED, "thr", activation_id=1, detail="context 1")
+    tr.record(T.FIRED, "thr", address=1, activation_id=2)
+    tr.record(T.CANCELED, "thr", activation_id=1, cause_id=2)
+    graph = CausalGraph.from_trace(tr)
+    assert graph.activations[1].outcome == "canceled"
+    assert graph.activations[1].canceled_by == 2
+    assert 1 in graph.activations[2].absorbed
+
+
+def test_summary_counts(hand_trace):
+    summary = CausalGraph.from_trace(hand_trace).summary()
+    assert summary["activations"] == 2
+    assert summary["completed"] == 1
+    assert summary["absorbed"] == 1
+    assert summary["suppressed_silent"] == 1
+    assert summary["dropped_events"] == 0
+    assert sum(c for _l, c in summary["queue_wait_hist"]) == 1
+
+
+def test_bucket_histogram_shape():
+    hist = bucket_histogram([1, 1, 3, 300])
+    as_dict = dict(hist)
+    assert as_dict["<=1"] == 2
+    assert as_dict["<=4"] == 1
+    assert as_dict[">256"] == 1
+    assert sum(as_dict.values()) == 4
+
+
+def test_merge_histograms_sums_by_label():
+    a = bucket_histogram([1, 2])
+    b = bucket_histogram([2, 500])
+    merged = dict(merge_histograms(a, b))
+    assert merged["<=1"] == 1
+    assert merged["<=2"] == 2
+    assert merged[">256"] == 1
+    assert merge_histograms([], a) == a
+
+
+def test_causal_summary_merges_traces(hand_trace):
+    merged = causal_summary([("a", hand_trace), ("b", hand_trace)])
+    assert merged["traces"] == 2
+    assert merged["activations"] == 4
+    assert merged["completed"] == 2
+    assert merged["mean_queue_wait"] == 7.0
+    assert merged["max_queue_wait"] == 7
+    assert dict(merged["queue_wait_hist"])["<=8"] == 2
+
+
+def test_causal_summary_of_nothing():
+    merged = causal_summary([])
+    assert merged["traces"] == 0
+    assert merged["mean_queue_wait"] is None
+
+
+# -- against a real engine run ------------------------------------------------
+
+
+def _real_traced_run(values, idx, val, deferred=False):
+    program, spec = build_dtt_sum(list(values), list(idx), list(val))
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]), deferred=deferred)
+    tracer = EngineTrace(engine)
+    machine.attach_engine(engine)
+    if deferred:
+        main = machine.main_context
+        while main.state is not ContextState.HALTED:
+            engine.dispatch_pending()
+            for ctx in machine.contexts:
+                if ctx.state is ContextState.RUNNING:
+                    machine.step(ctx)
+    else:
+        run_to_completion(machine)
+    return tracer
+
+
+def test_graph_from_real_deferred_run():
+    tracer = _real_traced_run([1, 2, 3], [0, 1, 2], [9, 8, 7], deferred=True)
+    graph = CausalGraph.from_trace(tracer)
+    assert graph.activations
+    for act in graph.activations.values():
+        if act.outcome == OUTCOME_COMPLETED:
+            assert act.dispatched_seq is not None
+            assert act.queue_wait is not None
+            assert act.queue_wait >= 0
+
+
+def test_real_run_silent_store_becomes_suppression():
+    tracer = _real_traced_run([7, 8], [0], [7])
+    graph = CausalGraph.from_trace(tracer)
+    assert not graph.activations
+    assert len(graph.suppressions) == 1
+    assert graph.consume_clean == 1

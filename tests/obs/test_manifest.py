@@ -67,3 +67,48 @@ def test_peak_queue_depth_reflects_engines(runner):
     manifest = RunManifest.from_runner(runner)
     engine = runner.engine_for(SUITE["perlbmk"], "dtt")
     assert manifest.peak_queue_depth == engine.queue.depth_high_water
+
+
+# -- schema v3: trace health + causal summary ---------------------------------
+
+
+def test_untraced_manifest_has_no_causal_summary(runner):
+    manifest = RunManifest.from_runner(runner)
+    assert manifest.causal is None
+    assert manifest.trace_dropped_events == 0
+    assert manifest.unmatched_closers == 0
+    payload = manifest.as_dict()
+    assert payload["causal"] is None
+    assert payload["schema_version"] == 3
+
+
+def test_traced_manifest_carries_causal_summary():
+    traced = SuiteRunner(trace=True)
+    traced.timed(SUITE["mcf"], "baseline")
+    traced.timed(SUITE["mcf"], "dtt")
+    manifest = RunManifest.from_runner(traced, "EX")
+    assert manifest.causal is not None
+    assert manifest.causal["traces"] == 1
+    assert manifest.causal["activations"] > 0
+    assert manifest.causal["latency_unit"] in ("cycles", "events")
+    assert manifest.trace_dropped_events == 0
+    assert manifest.unmatched_closers == 0
+    payload = manifest.as_dict()
+    assert payload["causal"]["activations"] == \
+        manifest.causal["activations"]
+    json.dumps(payload)  # everything JSON-serializable
+
+
+def test_truncated_trace_surfaces_dropped_events():
+    from repro.core.trace import EngineTrace
+
+    traced = SuiteRunner(trace=True)
+    traced.timed(SUITE["mcf"], "baseline")
+    traced.timed(SUITE["mcf"], "dtt")
+    trace = traced.trace_for("mcf", "dtt")
+    # simulate a filled buffer: shrink and re-record one overflow event
+    trace.max_events = len(trace.events)
+    trace.record("tstore", "x")
+    manifest = RunManifest.from_runner(traced)
+    assert manifest.trace_dropped_events == 1
+    assert manifest.as_dict()["trace_dropped_events"] == 1

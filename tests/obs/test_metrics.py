@@ -178,3 +178,59 @@ def test_render_is_nonempty_and_aligned(registry):
 def test_empty_registry_renders_placeholder(registry):
     assert "no metrics" in registry.render()
     assert registry.to_prometheus_text() == ""
+
+
+# -- exporter escaping and histogram edge cases -------------------------------
+
+
+def test_prometheus_help_escapes_newline_and_backslash(registry):
+    registry.counter("weird.help", help="line one\nline two \\ done").inc()
+    text = registry.to_prometheus_text()
+    assert "# HELP weird_help line one\\nline two \\\\ done" in text
+    # exposition format stays line-oriented: no raw newline inside HELP
+    for line in text.splitlines():
+        assert not line.startswith("# HELP") or "line two" in line or \
+            "weird" not in line
+
+
+def test_prometheus_label_values_escaped(registry):
+    from repro.obs.metrics import _escape_label_value
+    assert _escape_label_value('a"b') == 'a\\"b'
+    assert _escape_label_value("a\\b") == "a\\\\b"
+    assert _escape_label_value("a\nb") == "a\\nb"
+
+
+def test_prometheus_help_without_specials_unchanged(registry):
+    registry.counter("plain", help="just help").inc()
+    assert "# HELP plain just help" in registry.to_prometheus_text()
+
+
+def test_empty_histogram_exports_zero_buckets(registry):
+    registry.histogram("h.empty", buckets=(1, 2))
+    text = registry.to_prometheus_text()
+    assert 'h_empty_bucket{le="1"} 0' in text
+    assert 'h_empty_bucket{le="+Inf"} 0' in text
+    assert "h_empty_sum 0" in text
+    assert "h_empty_count 0" in text
+
+
+def test_single_bucket_histogram(registry):
+    h = registry.histogram("h.one", buckets=(10,))
+    h.observe(5)     # inside the only bucket
+    h.observe(10)    # boundary is inclusive
+    h.observe(11)    # overflow
+    assert h.counts == [2, 1]
+    text = registry.to_prometheus_text()
+    assert 'h_one_bucket{le="10"} 2' in text
+    assert 'h_one_bucket{le="+Inf"} 3' in text
+
+
+def test_single_bucket_histogram_merges(registry):
+    h = registry.histogram("h.m", buckets=(10,))
+    h.observe(3)
+    other = MetricsRegistry()
+    oh = other.histogram("h.m", buckets=(10,))
+    oh.observe(99)
+    registry.merge_values(other.as_dict())
+    assert h.counts == [1, 1]
+    assert h.count == 2

@@ -1,0 +1,174 @@
+"""Explain rendering and the self-contained HTML report."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.core import trace as T
+from repro.core.trace import EngineTrace
+from repro.obs.causality import CausalGraph
+from repro.obs.report import (html_report, render_activation_list,
+                              render_explain_activation,
+                              render_explain_address)
+
+
+class _FakeEngine:
+    def attach_trace(self, trace):
+        pass
+
+
+@pytest.fixture
+def graph():
+    tr = EngineTrace(_FakeEngine())
+    tr.record(T.TSTORE, "thr", address=10, detail="0->1", pc=5)
+    tr.record(T.FIRED, "thr", address=10, detail="0->1", activation_id=1,
+              pc=5)
+    tr.record(T.ENQUEUED, "thr", address=10, activation_id=1, detail="pos=1")
+    tr.record(T.FIRED, "thr", address=10, detail="1->2", activation_id=2,
+              pc=5)
+    tr.record(T.DUPLICATE, "thr", address=10, activation_id=2, cause_id=1,
+              detail="absorbed by pending activation", pc=5)
+    tr.record(T.SUPPRESSED, "thr", address=10, pc=5)
+    tr.record(T.DISPATCHED, "thr", activation_id=1, detail="context 1")
+    tr.record(T.COMPLETED, "thr", activation_id=1)
+    return CausalGraph.from_trace(tr)
+
+
+# -- explain ------------------------------------------------------------------
+
+
+def test_explain_activation_shows_full_lineage(graph):
+    text = render_explain_activation(graph, 1)
+    assert "activation #1" in text
+    assert "pc=5" in text              # triggering store site
+    assert "registry match" in text    # match step
+    assert "position 1" in text        # enqueue position
+    assert "context 1" in text         # dispatch target
+    assert "completed" in text         # outcome
+    assert "#2" in text                # the duplicate it covered
+
+
+def test_explain_absorbed_activation(graph):
+    text = render_explain_activation(graph, 2)
+    assert "absorbed by activation #1" in text
+    assert "#2 -> #1" in text
+
+
+def test_explain_unknown_activation(graph):
+    text = render_explain_activation(graph, 42)
+    assert "not found" in text
+    assert "1..2" in text
+
+
+def test_explain_address_names_suppression(graph):
+    text = render_explain_address(graph, 10)
+    assert "same-value" in text
+    assert "2 activation(s) fired" in text
+
+
+def test_explain_unknown_address(graph):
+    assert "no triggering-store activity" in render_explain_address(graph, 77)
+
+
+def test_activation_list(graph):
+    text = render_activation_list(graph, "mcf:dtt:smt2")
+    assert "mcf:dtt:smt2" in text
+    assert "#1:" in text
+    assert "#2:" in text
+
+
+# -- the HTML report ----------------------------------------------------------
+
+
+class _StrictParser(HTMLParser):
+    """Asserts well-nested tags and collects text."""
+
+    _VOID = {"meta", "br", "hr", "img", "link", "input"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.text = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self._VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, \
+            f"mismatched </{tag}>, open: {self.stack[-3:]}"
+        self.stack.pop()
+
+    def handle_data(self, data):
+        self.text.append(data)
+
+
+def _parse(html_text):
+    parser = _StrictParser()
+    parser.feed(html_text)
+    parser.close()
+    assert not parser.stack, f"unclosed tags: {parser.stack}"
+    return "".join(parser.text)
+
+
+def _store_entry(canonical, kind="timed", payload=None):
+    return {"store_schema": 2, "kind": kind, "canonical": canonical,
+            "elapsed_seconds": 0.5, "payload": payload or {"cycles": 1234}}
+
+
+def _result(experiment="E1", manifest=None):
+    return {
+        "experiment": experiment,
+        "title": "a title",
+        "paper_claim": "78% of all loads fetch redundant data",
+        "checks": [{"name": "range check", "passed": True,
+                    "detail": "value=0.78"}],
+        "manifest": manifest,
+    }
+
+
+def test_html_parses_and_names_every_run():
+    entries = [_store_entry("mcf:dtt:smt2:seed=:scale="),
+               _store_entry("art:baseline:smt2:seed=:scale=")]
+    text = _parse(html_report(entries, [_result()]))
+    assert "mcf:dtt:smt2" in text
+    assert "art:baseline:smt2" in text
+    assert "78% of all loads" in text   # paper-claimed column
+    assert "range check" in text        # measured column
+    assert "PASS" in text
+
+
+def test_html_escapes_untrusted_content():
+    entry = _store_entry("x<script>alert(1)</script>")
+    html_text = html_report([entry], None)
+    assert "<script>" not in html_text
+    assert "&lt;script&gt;" in html_text
+    _parse(html_text)
+
+
+def test_html_renders_latency_histogram_from_manifest():
+    manifest = {"causal": {"queue_wait_hist": [["<=1", 3], [">256", 1]],
+                           "latency_unit": "cycles", "activations": 4},
+                "total_seconds": 1.0}
+    html_text = html_report(None, [_result(manifest=manifest)])
+    text = _parse(html_text)
+    assert "queue-wait latency" in text
+    assert "cycles" in text
+    assert "class='bar'" in html_text
+
+
+def test_html_renders_top_sites_from_profile_entries():
+    sites = {"loads": [{"pc": 7, "dynamic": 100, "redundant": 80}],
+             "stores": [{"pc": 9, "dynamic": 50, "silent": 20,
+                         "triggering": True}]}
+    entry = _store_entry("mcf:profile::seed=:scale=", kind="profile",
+                         payload={"name": "mcf", "sites": sites,
+                                  "loads": {"redundant_load_fraction": 0.8}})
+    text = _parse(html_report([entry], None))
+    assert "Redundancy top sites" in text
+    assert "80" in text and "20" in text
+
+
+def test_html_with_nothing_still_valid():
+    text = _parse(html_report(None, None))
+    assert "Nothing to report" in text

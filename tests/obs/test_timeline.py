@@ -103,3 +103,129 @@ def test_empty_trace_exports_cleanly():
     tracer = EngineTrace(engine)  # attached but the machine never runs
     payload = trace_to_chrome(tracer)
     assert json.loads(json.dumps(payload)) == payload
+
+
+# -- identity-based pairing ----------------------------------------------------
+
+
+class _FakeEngine:
+    def attach_trace(self, trace):
+        pass
+
+
+def _hand_trace(records):
+    tracer = EngineTrace(_FakeEngine())
+    for record in records:
+        tracer.record(*record[:2], **record[2])
+    return tracer
+
+
+def test_interleaved_activations_pair_by_identity():
+    # two activations on ONE thread track, completing out of LIFO order:
+    # a per-tid stack would hand #1's closer to #2's slice
+    tracer = _hand_trace([
+        (T.DISPATCHED, "thr", {"activation_id": 1, "detail": "context 1"}),
+        (T.DISPATCHED, "thr", {"activation_id": 2, "detail": "context 2"}),
+        (T.COMPLETED, "thr", {"activation_id": 1}),
+        (T.COMPLETED, "thr", {"activation_id": 2}),
+    ])
+    events = trace_to_chrome(tracer)["traceEvents"]
+    slices = sorted((e for e in events if e["ph"] == "X"),
+                    key=lambda e: e["ts"])
+    assert len(slices) == 2
+    assert slices[0]["args"]["activation_id"] == 1
+    assert slices[0]["ts"] == 1 and slices[0]["dur"] == 2  # seq 1 -> 3
+    assert slices[1]["args"]["activation_id"] == 2
+    assert slices[1]["ts"] == 2 and slices[1]["dur"] == 2  # seq 2 -> 4
+
+
+def test_unmatched_closer_counted_not_misattributed():
+    tracer = _hand_trace([
+        (T.DISPATCHED, "thr", {"activation_id": 1, "detail": "context 1"}),
+        (T.COMPLETED, "thr", {"activation_id": 7}),   # never dispatched
+        (T.COMPLETED, "thr", {"activation_id": 1}),
+    ])
+    payload = trace_to_chrome(tracer)
+    assert payload["otherData"]["unmatched_closers"] == 1
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["args"]["activation_id"] == 1
+    orphans = [e for e in payload["traceEvents"]
+               if e["ph"] == "i" and e.get("args", {}).get("unmatched")]
+    assert len(orphans) == 1  # still visible, as an instant
+
+
+def test_unmatched_closer_count_helper():
+    from repro.obs.timeline import unmatched_closer_count
+    tracer = _hand_trace([
+        (T.COMPLETED, "thr", {"activation_id": 3}),
+        (T.DISPATCHED, "thr", {"activation_id": 4}),
+        (T.COMPLETED, "thr", {"activation_id": 4}),
+    ])
+    assert unmatched_closer_count(tracer) == 1
+
+
+def test_dangling_dispatch_closes_at_trace_end():
+    tracer = _hand_trace([
+        (T.DISPATCHED, "thr", {"activation_id": 1, "detail": "context 1"}),
+        (T.TSTORE, "thr", {"address": 9}),
+    ])
+    slices = [e for e in trace_to_chrome(tracer)["traceEvents"]
+              if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert "outcome" not in slices[0]["args"]  # unfinished, not completed
+
+
+def test_flow_events_link_trigger_to_slice():
+    tracer = _hand_trace([
+        (T.FIRED, "thr", {"activation_id": 1, "address": 9}),
+        (T.DISPATCHED, "sup", {"activation_id": 1, "detail": "context 1"}),
+        (T.COMPLETED, "sup", {"activation_id": 1}),
+    ])
+    events = trace_to_chrome(tracer)["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 1 and len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"]
+    assert finishes[0]["bp"] == "e"
+    assert starts[0]["ts"] == 1          # at the fired instant
+    assert finishes[0]["ts"] == 2        # at the slice start
+    # arrow crosses tracks: from the trigger's tid to the slice's tid
+    assert starts[0]["tid"] != finishes[0]["tid"]
+
+
+def test_flow_ids_unique_across_processes():
+    records = [
+        (T.FIRED, "thr", {"activation_id": 1, "address": 9}),
+        (T.DISPATCHED, "thr", {"activation_id": 1, "detail": "context 1"}),
+        (T.COMPLETED, "thr", {"activation_id": 1}),
+    ]
+    a, b = _hand_trace(records), _hand_trace(records)
+    events = traces_to_chrome([("a", a), ("b", b)])["traceEvents"]
+    flow_ids = {e["id"] for e in events if e["ph"] == "s"}
+    assert len(flow_ids) == 2  # same activation number, distinct flows
+
+
+def test_real_deferred_run_has_flow_arrows_and_no_unmatched():
+    tracer = traced_run([1, 2, 3], [0, 1, 2], [9, 8, 7], deferred=True)
+    payload = trace_to_chrome(tracer)
+    assert payload["otherData"]["unmatched_closers"] == 0
+    starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert len(starts) == len(slices)
+
+
+def test_export_is_deterministic():
+    tracer = traced_run([1, 2], [0, 1], [9, 8], deferred=True)
+    first = json.dumps(trace_to_chrome(tracer), sort_keys=True)
+    second = json.dumps(trace_to_chrome(tracer), sort_keys=True)
+    assert first == second
+
+
+def test_write_is_utf8_and_leaves_no_temp_files(tmp_path):
+    tracer = traced_run([1, 2], [0], [9])
+    target = tmp_path / "trace.json"
+    write_chrome_trace(str(target), ("run-é", tracer))
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["traceEvents"]
+    assert list(tmp_path.iterdir()) == [target]  # no .tmp leftovers
