@@ -1,0 +1,31 @@
+"""Interpreter fast path — instructions/sec, legacy stepping vs batch run.
+
+Regenerates the BENCH_interpreter rows (the same measurement behind
+``dtt-harness bench``) and times the regeneration; the rendered table is
+printed into the benchmark output (captured with -s or in CI logs).
+
+The speedup assertions are deliberately looser than the committed
+baseline in ``benchmarks/BENCH_interpreter.json`` — the regression *gate*
+is ``dtt-harness compare`` against that file; these bounds only catch the
+fast path being turned off entirely (speedup collapsing toward 1x).
+"""
+
+from repro.harness.bench import BENCH_WORKLOADS, render_bench, run_bench
+
+
+def test_interpreter_fast_path(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench(repeat=2), rounds=1, iterations=1
+    )
+    print()
+    print(render_bench(result))
+    rows = result["rows"]
+    assert set(rows) == set(BENCH_WORKLOADS)
+    for name, row in rows.items():
+        assert row["instructions"] > 0, name
+        assert row["speedup"] >= 2.0, (
+            f"{name}: fast path only {row['speedup']:.2f}x over legacy "
+            "stepping (expected well above 2x; is run() falling back?)"
+        )
+    # the paper-headline pointer-chasing workload is the acceptance bar
+    assert rows["mcf"]["speedup"] >= 3.0

@@ -167,6 +167,9 @@ class DttEngine:
         self._m: Optional[_EngineInstruments] = None
         #: attached trace sink (None = untraced; see attach_trace)
         self._trace = None
+        #: cached may-trigger index over the registry (rebuilt whenever the
+        #: registry version or the configured granularity moves)
+        self._prefilter = None
         #: callable returning the current simulated cycle; set by the
         #: timing simulator so dispatch latency can be metered in cycles
         self.cycle_source = None
@@ -257,7 +260,30 @@ class DttEngine:
                 return  # behaves as a plain store
         m = self._m
         t = self._trace
-        specs = self.registry.matches(pc, address, self.config.granularity)
+        if t is not None and not t.enabled:
+            t = None  # disabled sink: skip building event details entirely
+        # Prefilter: one set-membership test (plus range probes only when
+        # address watches exist) decides the common can-never-match case
+        # without walking the registry.  Staleness is two int compares.
+        granularity = self.config.granularity
+        prefilter = self._prefilter
+        if (prefilter is None
+                or prefilter.version != self.registry.version
+                or prefilter.granularity != granularity):
+            prefilter = self.registry.build_prefilter(granularity)
+            self._prefilter = prefilter
+        if pc not in prefilter.store_pcs:
+            hit = False
+            for lo, hi in prefilter.ranges:
+                if lo <= address < hi:
+                    hit = True
+                    break
+            if not hit:
+                self.unmatched_tstores += 1
+                if m is not None:
+                    m.unmatched.inc()
+                return
+        specs = self.registry.matches(pc, address, granularity)
         if not specs:
             self.unmatched_tstores += 1
             if m is not None:
@@ -501,6 +527,8 @@ class DttEngine:
         given) is invoked with each newly started context so the driver can
         charge spawn latency.  Returns the number of activations dispatched.
         """
+        if not self.queue:
+            return 0  # fast exit: skip the idle-context scan every cycle
         dispatched = 0
         m = self._m
         idle = self.machine.idle_contexts()

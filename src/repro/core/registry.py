@@ -74,6 +74,43 @@ class TriggerSpec:
         return f"TriggerSpec({', '.join(parts)})"
 
 
+class TriggerPrefilter:
+    """Frozen may-this-store-trigger index over one registry state.
+
+    Built by :meth:`ThreadRegistry.build_prefilter` for one granularity;
+    consulted by the engine before walking specs.  ``store_pcs`` mirrors
+    the registry's PC table exactly and ``ranges`` is the union of every
+    watch range pre-widened to the granularity (and coalesced), so a
+    negative answer is *proof* that :meth:`ThreadRegistry.matches` would
+    return nothing — no false negatives, no false positives.
+
+    ``version``/``granularity`` let the holder detect staleness with two
+    int compares; the engine rebuilds whenever either moved.
+    """
+
+    __slots__ = ("version", "granularity", "store_pcs", "ranges")
+
+    def __init__(self, version: int, granularity: int,
+                 store_pcs: frozenset, ranges: Tuple[Tuple[int, int], ...]):
+        self.version = version
+        self.granularity = granularity
+        self.store_pcs = store_pcs
+        self.ranges = ranges
+
+    def may_match(self, pc: int, address: int) -> bool:
+        """Could a triggering store at (pc, address) match any spec?"""
+        if pc in self.store_pcs:
+            return True
+        for lo, hi in self.ranges:
+            if lo <= address < hi:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"TriggerPrefilter(v{self.version}, g{self.granularity}, "
+                f"{len(self.store_pcs)} pcs, {len(self.ranges)} ranges)")
+
+
 class ThreadRegistry:
     """The set of trigger specs, with fast store-PC lookup."""
 
@@ -81,6 +118,8 @@ class ThreadRegistry:
         self._specs: List[TriggerSpec] = []
         self._by_pc: Dict[int, List[TriggerSpec]] = {}
         self._watched: List[Tuple[int, int, TriggerSpec]] = []
+        #: bumped on every mutation; lets prefilter holders detect staleness
+        self.version = 0
         for spec in specs:
             self.register(spec)
 
@@ -93,6 +132,32 @@ class ThreadRegistry:
             self._by_pc.setdefault(pc, []).append(spec)
         for lo, hi in spec.watch:
             self._watched.append((lo, hi, spec))
+        self.version += 1
+
+    def build_prefilter(self, granularity: int = 1) -> TriggerPrefilter:
+        """Freeze the current specs into a :class:`TriggerPrefilter`.
+
+        Watch ranges are widened exactly as :meth:`matches` widens them
+        for ``granularity``, then sorted and coalesced, so membership in
+        the prefilter is equivalent to "matches() would be non-empty".
+        """
+        widened = []
+        for lo, hi, _spec in self._watched:
+            if granularity > 1:
+                lo -= lo % granularity
+                hi += (-hi) % granularity
+            widened.append((lo, hi))
+        widened.sort()
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in widened:
+            if merged and lo <= merged[-1][1]:
+                if hi > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], hi)
+            else:
+                merged.append((lo, hi))
+        return TriggerPrefilter(
+            self.version, granularity, frozenset(self._by_pc), tuple(merged)
+        )
 
     @property
     def specs(self) -> Tuple[TriggerSpec, ...]:

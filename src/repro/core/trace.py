@@ -93,6 +93,10 @@ class EngineTrace:
         self.max_events = max_events
         #: events discarded after the buffer filled (0 = complete trace)
         self.dropped = 0
+        #: fast-exit flag: the engine's hot hooks read this *before*
+        #: formatting event details, so a disabled sink costs one attribute
+        #: load per hook instead of string building + an EngineEvent
+        self.enabled = True
         self._sequence = 0
         engine.attach_trace(self)
 
@@ -110,6 +114,8 @@ class EngineTrace:
                pc: Optional[int] = None,
                cycle: Optional[int] = None) -> None:
         """Append one event (engine-facing; drops once the buffer fills)."""
+        if not self.enabled:
+            return
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return

@@ -10,7 +10,11 @@
   experiment (shape-check pass counts, manifest cost totals) plus one
   boolean cell per individual shape check;
 * a **manifest JSON file** (a single :class:`RunManifest` dict) — cost
-  and cache counters plus per-phase wall-clock.
+  and cache counters plus per-phase wall-clock;
+* an **interpreter benchmark file** (``dtt-harness bench``,
+  ``BENCH_interpreter.json``) — one row per workload class with
+  fast-path/legacy instructions-per-second, their ratio, and the retired
+  instruction count.
 
 Cells compare direction-aware: ``speedup`` (and check pass counts) may
 only *fall* by more than the tolerance to count as a regression,
@@ -41,14 +45,15 @@ _INFO = "info"            # never gates (wall clock, cache counters)
 def metric_direction(name: str) -> str:
     """Which direction of change counts as a regression for ``name``."""
     base = name.rsplit(".", 1)[-1]
-    if base in ("speedup", "checks_passed"):
+    if base in ("speedup", "checks_passed", "instructions_per_sec"):
         return _DOWN_BAD
     if base in ("cycles", "energy"):
         return _UP_BAD
     if ("seconds" in base or base.startswith("phase:")
             or base in ("cache_hits", "cache_misses", "store_hits",
                         "store_misses", "peak_queue_depth", "checks_total",
-                        "trace_dropped_events", "unmatched_closers")):
+                        "trace_dropped_events", "unmatched_closers",
+                        "legacy_instructions_per_sec")):
         return _INFO
     return _DRIFT
 
@@ -177,10 +182,13 @@ def load_result_set(path: str) -> ResultSet:
         raise CompareError(f"cannot read {path!r}: {error}") from error
     if isinstance(data, list):
         return _load_results(path, data)
+    if isinstance(data, dict) and data.get("kind") == "bench_interpreter":
+        return _load_bench(path, data)
     if isinstance(data, dict) and "phase_seconds" in data:
         return _load_manifest(path, data)
     raise CompareError(
-        f"{path!r} is neither a results list nor a run manifest")
+        f"{path!r} is neither a results list, a run manifest, nor an "
+        "interpreter benchmark file")
 
 
 def _load_store(path: str) -> ResultSet:
@@ -261,6 +269,22 @@ def _load_results(path: str, data: List) -> ResultSet:
     if not cells:
         raise CompareError(f"{path!r} holds no experiment results")
     return ResultSet(path, "results", cells, checks)
+
+
+def _load_bench(path: str, data: Dict) -> ResultSet:
+    cells: Dict[str, Dict[str, float]] = {}
+    for name, row in (data.get("rows") or {}).items():
+        if not isinstance(row, dict):
+            raise CompareError(f"{path!r}: bench row {name!r} is not a dict")
+        numeric = {
+            metric: value for metric, value in row.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if numeric:
+            cells[name] = numeric
+    if not cells:
+        raise CompareError(f"{path!r} holds no benchmark rows")
+    return ResultSet(path, "bench", cells)
 
 
 def _load_manifest(path: str, data: Dict) -> ResultSet:

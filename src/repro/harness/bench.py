@@ -1,0 +1,162 @@
+"""Interpreter benchmark: instructions/sec, fast path vs legacy stepping.
+
+``dtt-harness bench`` (and ``benchmarks/bench_interpreter.py``) measure
+the two execution tiers of :class:`~repro.machine.machine.Machine` on
+three workload classes:
+
+* ``mcf`` — pointer-chasing integer code, the paper's headline workload
+  and the worst case for per-instruction interpreter overhead;
+* ``equake`` — floating-point kernel code;
+* ``perlbmk`` — control/branch-heavy code.
+
+Each measurement runs the workload's *baseline* program to completion
+once per tier on a fresh machine, verifies the two tiers retired the same
+instructions and produced byte-identical output/memory/counters, and
+reports the best of ``repeat`` timed attempts.  The result dict is
+written as ``BENCH_interpreter.json`` (kind ``bench_interpreter``), which
+``dtt-harness compare`` understands: ``instructions_per_sec`` and
+``speedup`` gate regressions (they may only fall), the legacy rate and
+wall-clock cells are informational.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine
+from repro.workloads.suite import SUITE
+
+#: workload class -> why it is in the benchmark set
+BENCH_WORKLOADS = {
+    "mcf": "pointer-chasing integer (paper headline)",
+    "equake": "floating-point kernel",
+    "perlbmk": "control/branch-heavy",
+}
+
+#: schema version of BENCH_interpreter.json
+BENCH_SCHEMA = 1
+
+
+def _run_legacy(machine: Machine) -> None:
+    """Drive the main context with per-instruction step() calls."""
+    main = machine.main_context
+    step = machine.step
+    while main.state is ContextState.RUNNING:
+        step(main)
+
+
+def _run_fast(machine: Machine) -> None:
+    """Drive the main context with the batched fast path."""
+    machine.run(machine.main_context)
+
+
+def _fingerprint(machine: Machine) -> Dict:
+    """Everything two equivalent runs must agree on."""
+    memory = machine.memory
+    lo, hi = memory.written_range()
+    return {
+        "output": list(machine.output),
+        "instructions_executed": machine.instructions_executed,
+        "main_instructions": machine.main_instructions,
+        "support_instructions": machine.support_instructions,
+        "load_count": memory.load_count,
+        "store_count": memory.store_count,
+        "final_pc": machine.main_context.pc,
+        # counted batched readback of the whole written span; runs after
+        # the counters above were captured, so it never perturbs them
+        "memory_words": memory.load_range(lo, hi - lo + 1) if memory else [],
+    }
+
+
+def bench_workload(name: str, repeat: int = 3,
+                   seed: Optional[int] = None, scale: Optional[int] = None,
+                   max_instructions: int = 50_000_000) -> Dict:
+    """Measure one workload class; returns its BENCH row."""
+    workload = SUITE[name]
+    inp = workload.make_input(seed=seed, scale=scale)
+    program = workload.build_baseline(inp)
+    best: Dict[str, float] = {}
+    fingerprints: List[Dict] = []
+    for tier, driver in (("legacy", _run_legacy), ("fast", _run_fast)):
+        best_seconds = None
+        for _attempt in range(max(repeat, 1)):
+            machine = Machine(program, max_instructions=max_instructions)
+            started = time.perf_counter()
+            driver(machine)
+            elapsed = time.perf_counter() - started
+            if best_seconds is None or elapsed < best_seconds:
+                best_seconds = elapsed
+        best[tier] = best_seconds
+        fingerprints.append(_fingerprint(machine))
+    legacy_fp, fast_fp = fingerprints
+    if legacy_fp != fast_fp:
+        raise MachineError(
+            f"fast path diverged from legacy stepping on {name!r}: "
+            + ", ".join(
+                key for key in legacy_fp if legacy_fp[key] != fast_fp[key]
+            )
+        )
+    instructions = fast_fp["instructions_executed"]
+    legacy_ips = instructions / best["legacy"] if best["legacy"] else 0.0
+    fast_ips = instructions / best["fast"] if best["fast"] else 0.0
+    return {
+        "description": BENCH_WORKLOADS.get(name, ""),
+        "instructions": instructions,
+        "legacy_seconds": best["legacy"],
+        "fast_seconds": best["fast"],
+        "legacy_instructions_per_sec": legacy_ips,
+        "instructions_per_sec": fast_ips,
+        "speedup": fast_ips / legacy_ips if legacy_ips else 0.0,
+    }
+
+
+def run_bench(workloads: Optional[List[str]] = None, repeat: int = 3,
+              seed: Optional[int] = None, scale: Optional[int] = None,
+              max_instructions: int = 50_000_000) -> Dict:
+    """Benchmark every requested workload class; returns the BENCH dict."""
+    names = list(workloads) if workloads else list(BENCH_WORKLOADS)
+    for name in names:
+        if name not in SUITE:
+            raise MachineError(
+                f"unknown bench workload {name!r} (suite has: "
+                f"{', '.join(sorted(SUITE))})"
+            )
+    rows = {
+        name: bench_workload(name, repeat=repeat, seed=seed, scale=scale,
+                             max_instructions=max_instructions)
+        for name in names
+    }
+    return {
+        "kind": "bench_interpreter",
+        "schema": BENCH_SCHEMA,
+        "repeat": repeat,
+        "rows": rows,
+    }
+
+
+def render_bench(result: Dict) -> str:
+    """Terminal table of one ``run_bench`` result."""
+    lines = ["interpreter benchmark (instructions/sec, best of "
+             f"{result.get('repeat', '?')})"]
+    header = (f"  {'workload':<10} {'instructions':>12} {'legacy':>12} "
+              f"{'fast':>12} {'speedup':>8}")
+    lines.append(header)
+    for name, row in result.get("rows", {}).items():
+        lines.append(
+            f"  {name:<10} {row['instructions']:>12,} "
+            f"{row['legacy_instructions_per_sec']:>11,.0f}/s "
+            f"{row['instructions_per_sec']:>11,.0f}/s "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(result: Dict, path: str) -> None:
+    """Write ``BENCH_interpreter.json`` atomically."""
+    from repro.obs.ioutil import atomic_write_text
+
+    atomic_write_text(path, json.dumps(result, indent=2, sort_keys=True) + "\n")

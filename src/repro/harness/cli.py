@@ -10,6 +10,8 @@ Commands::
     dtt-harness run E1 E3 --json out.json
     dtt-harness run E3 --trace-out t.json --metrics-out m.json
     dtt-harness compare old.json new.json    # flag regressions
+    dtt-harness bench                # interpreter instructions/sec
+    dtt-harness run E1 --profile profile.txt # cProfile the whole run
     dtt-harness verify               # correctness sweep of the suite
     dtt-harness sweep                # headline robustness across seeds
     dtt-harness stats                # run one workload, print the metrics
@@ -48,13 +50,7 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.obs.metrics import MetricsRegistry
-    from repro.obs.timeline import traces_to_chrome
-
-    wanted = [w.upper() for w in args.experiments]
-    if "ALL" in wanted:
-        wanted = list(EXPERIMENTS)
-    for path in (args.json, args.metrics_out, args.trace_out):
+    for path in (args.json, args.metrics_out, args.trace_out, args.profile):
         # fail before the (slow) runs, not after
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"output directory does not exist: {path}")
@@ -62,6 +58,37 @@ def _cmd_run(args) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}")
         return 2
+    if not args.profile:
+        return _run_experiments(args)
+    import cProfile
+    import io
+    import pstats
+
+    from repro.obs.ioutil import atomic_write_text
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run_experiments(args)
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(50)
+        stats.sort_stats("tottime").print_stats(25)
+        atomic_write_text(args.profile, buffer.getvalue())
+        print(f"wrote {args.profile} (pstats text: cumulative top 50, "
+              "tottime top 25)")
+    return status
+
+
+def _run_experiments(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeline import traces_to_chrome
+
+    wanted = [w.upper() for w in args.experiments]
+    if "ALL" in wanted:
+        wanted = list(EXPERIMENTS)
     store = None if args.no_store \
         else (args.store or os.environ.get("DTT_STORE"))
     jobs = args.jobs
@@ -133,6 +160,30 @@ def _cmd_compare(args) -> int:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"wrote {args.json}")
     return 1 if report.has_regressions else 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import MachineError
+    from repro.harness.bench import render_bench, run_bench, write_bench
+
+    if args.output and not os.path.isdir(os.path.dirname(args.output) or "."):
+        print(f"output directory does not exist: {args.output}")
+        return 2
+    if args.repeat < 1:
+        print(f"--repeat must be >= 1, got {args.repeat}")
+        return 2
+    try:
+        result = run_bench(workloads=args.workloads, repeat=args.repeat,
+                           seed=args.seed, scale=args.scale,
+                           max_instructions=args.max_instructions)
+    except MachineError as error:
+        print(f"bench failed: {error}")
+        return 2
+    print(render_bench(result))
+    if args.output:
+        write_bench(result, args.output)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -286,6 +337,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "DTT run (open in chrome://tracing / Perfetto)")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write the metrics-registry snapshot as JSON")
+    run.add_argument("--profile", default=None, metavar="FILE",
+                     help="wrap the whole run in cProfile and write the "
+                          "pstats text report here")
+    bench = sub.add_parser(
+        "bench",
+        help="measure interpreter instructions/sec (fast path vs legacy "
+             "stepping) and write BENCH_interpreter.json")
+    bench.add_argument("--workloads", nargs="+", default=None,
+                       metavar="NAME",
+                       help="workload classes to measure (default: mcf "
+                            "equake perlbmk)")
+    bench.add_argument("--repeat", type=int, default=3, metavar="N",
+                       help="timed attempts per tier; best is reported "
+                            "(default: 3)")
+    bench.add_argument("--seed", type=int, default=None)
+    bench.add_argument("--scale", type=int, default=None)
+    bench.add_argument("--max-instructions", type=int, default=50_000_000)
+    bench.add_argument("-o", "--output", default="BENCH_interpreter.json",
+                       metavar="FILE",
+                       help="benchmark JSON path (default: "
+                            "BENCH_interpreter.json); '' skips writing")
     compare = sub.add_parser(
         "compare",
         help="diff two result sets (stores, --json files, or manifests) "
@@ -358,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "stats":

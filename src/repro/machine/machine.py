@@ -13,6 +13,21 @@ triggering-store and tcheck extensions do.
 
 which is everything the timing model and profilers need without
 re-decoding.
+
+Execution is two-tier:
+
+* :meth:`Machine.step` — exact single-step mode.  The program is
+  pre-decoded once into a dense ``(handler, instruction)`` table, so a
+  step is a list index plus one call; there are no per-step dict lookups
+  or isinstance re-checks.  The debugger, the timing model, and machine
+  observers (profilers) all drive this tier.
+* :meth:`Machine.run` — batch mode for functional runs.  The program is
+  compiled once per machine into per-PC closures ("thunks",
+  :mod:`repro.machine.fastpath`) with operands, memory, and the output
+  buffer bound in; an inner loop then dispatches thousands of
+  instructions per iteration of the accounting code.  Results are
+  identical to tier one; when machine observers are attached, ``run``
+  transparently falls back to single-stepping.
 """
 
 from __future__ import annotations
@@ -33,6 +48,10 @@ from repro.machine.memory import Memory
 
 Number = Union[int, float]
 StepResult = Tuple[Instruction, Optional[int], Optional[bool]]
+
+#: batch size of the fast loop: accounting (instruction counters, the
+#: dynamic-instruction limit, the step budget) is reconciled once per chunk
+_CHUNK = 16384
 
 
 def _trunc_div(b: int, c: int) -> int:
@@ -75,6 +94,14 @@ class Machine:
         self.dtt_engine = None
         self._observers: List = []
         self._instructions = program.instructions  # hot-path alias
+        # pre-decode: one (handler, instruction) pair per PC, so step() is
+        # a list index + one call with no per-step dict lookup on the op
+        dispatch = _DISPATCH
+        self._decoded = [
+            (dispatch[ins.op], ins) for ins in program.instructions
+        ]
+        # per-PC closures for the batch loop; compiled lazily by run()
+        self._thunks = None
         load_program(program, self.memory)
         self.main_context.start_main(program.entry_pc)
 
@@ -88,6 +115,9 @@ class Machine:
         """Install a DTT engine; the engine is told about the machine."""
         self.dtt_engine = engine
         engine.bind(self)
+        # thunks bind machine surroundings at compile time; recompile after
+        # any rewiring so the batch loop can never run against stale state
+        self._thunks = None
 
     def add_observer(self, observer) -> None:
         """Attach a :class:`~repro.machine.events.MachineObserver`."""
@@ -121,17 +151,124 @@ class Machine:
             self.support_instructions += 1
         pc = ctx.pc
         try:
-            instruction = self._instructions[pc]
+            handler, instruction = self._decoded[pc]
         except IndexError:
             raise ExecutionFault(
                 f"context {ctx.context_id} ran off the end of the program "
                 f"(pc={pc})"
             ) from None
-        address, taken = _DISPATCH[instruction.op](self, ctx, instruction, pc)
+        address, taken = handler(self, ctx, instruction, pc)
         if self._observers:
             for observer in self._observers:
                 observer.on_instruction(ctx, pc, instruction)
         return (instruction, address, taken)
+
+    def run(self, ctx: Optional[Context] = None,
+            max_steps: Optional[int] = None) -> int:
+        """Batch-execute ``ctx`` (default: the main context).
+
+        Runs until the context leaves RUNNING (halt, block, treturn), the
+        optional ``max_steps`` budget is spent, or a fault/limit raises.
+        Returns the number of instructions retired *on this context* (a
+        synchronous engine may retire further instructions on support
+        contexts; those are counted in the machine totals as usual).
+
+        Architectural results, counters, faults, and the dynamic
+        instruction limit behave exactly as an equivalent ``step()`` loop;
+        when machine observers are attached (profilers, tracers needing
+        per-instruction callbacks) this transparently single-steps.
+        """
+        if ctx is None:
+            ctx = self.main_context
+        if ctx.state is not ContextState.RUNNING:
+            raise ContextError(
+                f"context {ctx.context_id} is {ctx.state.value}, cannot step"
+            )
+        if self._observers:
+            return self._run_slow(ctx, max_steps)
+        table = self._thunks
+        if table is None:
+            table = self._build_thunks()
+        size = len(table)
+        running_main = ctx.role is ContextRole.MAIN
+        budget = -1 if max_steps is None else max_steps
+        total = 0
+        pc = ctx.pc
+        while True:
+            if budget >= 0 and total >= budget:
+                break
+            headroom = self.max_instructions - self.instructions_executed
+            if headroom <= _CHUNK:
+                # near the dynamic-instruction limit: single-step the rest
+                # so ExecutionLimitExceeded fires on exactly the same
+                # instruction as the legacy loop
+                ctx.pc = pc
+                remaining = None if budget < 0 else budget - total
+                return total + self._run_slow(ctx, remaining)
+            chunk = _CHUNK
+            if budget >= 0 and budget - total < chunk:
+                chunk = budget - total
+            n = 0
+            try:
+                for n in range(1, chunk + 1):
+                    pc = table[pc](ctx)
+                    if pc < 0:
+                        break
+            except BaseException as exc:
+                # the faulting instruction is counted, as in step()
+                self.instructions_executed += n
+                ctx.instruction_count += n
+                if running_main:
+                    self.main_instructions += n
+                else:
+                    self.support_instructions += n
+                if exc.__class__ is IndexError and pc >= size:
+                    ctx.pc = pc
+                    raise ExecutionFault(
+                        f"context {ctx.context_id} ran off the end of the "
+                        f"program (pc={pc})"
+                    ) from None
+                if not getattr(table[pc], "_legacy", False):
+                    # specialized thunks never touch ctx.pc; resync it to
+                    # the faulting instruction (legacy thunks already left
+                    # ctx.pc exactly as their handler did)
+                    ctx.pc = pc
+                raise
+            self.instructions_executed += n
+            ctx.instruction_count += n
+            if running_main:
+                self.main_instructions += n
+            else:
+                self.support_instructions += n
+            total += n
+            if pc >= 0:
+                continue  # full chunk retired; reconcile and keep going
+            if pc == -1:
+                break  # context left RUNNING; its handler set ctx.pc
+            # a legacy-handler thunk ran (engine hook, possible nested
+            # execution): decode the continuation PC and re-budget
+            pc = -2 - pc
+        if pc >= 0:
+            ctx.pc = pc
+        return total
+
+    def _run_slow(self, ctx: Context, max_steps: Optional[int]) -> int:
+        """Single-step driver behind :meth:`run` (observer/limit modes)."""
+        executed = 0
+        step = self.step
+        while ctx.state is ContextState.RUNNING and (
+            max_steps is None or executed < max_steps
+        ):
+            step(ctx)
+            executed += 1
+        return executed
+
+    def _build_thunks(self):
+        from repro.machine.fastpath import build_thunks
+
+        table = build_thunks(self)
+        self._thunks = table
+        return table
 
     # -- observer notification (called from handlers) ------------------------------
 
@@ -403,45 +540,71 @@ def _h_halt(m, ctx, i, pc):
     return (None, None)
 
 
+# Semantic function tables, keyed by opcode.  Shared with
+# repro.machine.fastpath so the specialized thunks apply the *same function
+# objects* (including the int()/float() coercions) as the handlers.
+_ALU_RRR_FNS = {
+    "add": lambda b, c: b + c,
+    "sub": lambda b, c: b - c,
+    "mul": lambda b, c: b * c,
+    "idiv": lambda b, c: _trunc_div(int(b), int(c)),
+    "imod": lambda b, c: int(b) - _trunc_div(int(b), int(c)) * int(c),
+    "and_": lambda b, c: int(b) & int(c),
+    "or_": lambda b, c: int(b) | int(c),
+    "xor": lambda b, c: int(b) ^ int(c),
+    "shl": lambda b, c: int(b) << int(c),
+    "shr": lambda b, c: int(b) >> int(c),
+    "slt": lambda b, c: 1 if b < c else 0,
+    "sle": lambda b, c: 1 if b <= c else 0,
+    "sgt": lambda b, c: 1 if b > c else 0,
+    "sge": lambda b, c: 1 if b >= c else 0,
+    "seq": lambda b, c: 1 if b == c else 0,
+    "sne": lambda b, c: 1 if b != c else 0,
+    "fadd": lambda b, c: float(b) + float(c),
+    "fsub": lambda b, c: float(b) - float(c),
+    "fmul": lambda b, c: float(b) * float(c),
+    "fdiv": _fdiv,
+}
+
+_ALU_RRI_FNS = {
+    "addi": lambda b, c: b + c,
+    "subi": lambda b, c: b - c,
+    "muli": lambda b, c: b * c,
+    "andi": lambda b, c: int(b) & int(c),
+    "ori": lambda b, c: int(b) | int(c),
+    "xori": lambda b, c: int(b) ^ int(c),
+    "shli": lambda b, c: int(b) << int(c),
+    "shri": lambda b, c: int(b) >> int(c),
+    "slti": lambda b, c: 1 if b < c else 0,
+    "sgti": lambda b, c: 1 if b > c else 0,
+    "seqi": lambda b, c: 1 if b == c else 0,
+}
+
+_ALU_RR_FNS = {
+    "fsqrt": _fsqrt,
+    "fabs": lambda b: abs(float(b)),
+    "fneg": lambda b: -float(b),
+    "itof": float,
+    "ftoi": int,
+}
+
+_BRANCH_RRL_FNS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "ble": lambda a, b: a <= b,
+    "bgt": lambda a, b: a > b,
+    "bge": lambda a, b: a >= b,
+}
+
+_BRANCH_RL_FNS = {
+    "beqz": lambda a: a == 0,
+    "bnez": lambda a: a != 0,
+}
+
 _DISPATCH = {
     "li": _h_li,
     "mov": _h_mov,
-    "add": _alu_rrr(lambda b, c: b + c),
-    "sub": _alu_rrr(lambda b, c: b - c),
-    "mul": _alu_rrr(lambda b, c: b * c),
-    "idiv": _alu_rrr(lambda b, c: _trunc_div(int(b), int(c))),
-    "imod": _alu_rrr(lambda b, c: int(b) - _trunc_div(int(b), int(c)) * int(c)),
-    "and_": _alu_rrr(lambda b, c: int(b) & int(c)),
-    "or_": _alu_rrr(lambda b, c: int(b) | int(c)),
-    "xor": _alu_rrr(lambda b, c: int(b) ^ int(c)),
-    "shl": _alu_rrr(lambda b, c: int(b) << int(c)),
-    "shr": _alu_rrr(lambda b, c: int(b) >> int(c)),
-    "slt": _alu_rrr(lambda b, c: 1 if b < c else 0),
-    "sle": _alu_rrr(lambda b, c: 1 if b <= c else 0),
-    "sgt": _alu_rrr(lambda b, c: 1 if b > c else 0),
-    "sge": _alu_rrr(lambda b, c: 1 if b >= c else 0),
-    "seq": _alu_rrr(lambda b, c: 1 if b == c else 0),
-    "sne": _alu_rrr(lambda b, c: 1 if b != c else 0),
-    "addi": _alu_rri(lambda b, c: b + c),
-    "subi": _alu_rri(lambda b, c: b - c),
-    "muli": _alu_rri(lambda b, c: b * c),
-    "andi": _alu_rri(lambda b, c: int(b) & int(c)),
-    "ori": _alu_rri(lambda b, c: int(b) | int(c)),
-    "xori": _alu_rri(lambda b, c: int(b) ^ int(c)),
-    "shli": _alu_rri(lambda b, c: int(b) << int(c)),
-    "shri": _alu_rri(lambda b, c: int(b) >> int(c)),
-    "slti": _alu_rri(lambda b, c: 1 if b < c else 0),
-    "sgti": _alu_rri(lambda b, c: 1 if b > c else 0),
-    "seqi": _alu_rri(lambda b, c: 1 if b == c else 0),
-    "fadd": _alu_rrr(lambda b, c: float(b) + float(c)),
-    "fsub": _alu_rrr(lambda b, c: float(b) - float(c)),
-    "fmul": _alu_rrr(lambda b, c: float(b) * float(c)),
-    "fdiv": _alu_rrr(_fdiv),
-    "fsqrt": _alu_rr(_fsqrt),
-    "fabs": _alu_rr(lambda b: abs(float(b))),
-    "fneg": _alu_rr(lambda b: -float(b)),
-    "itof": _alu_rr(float),
-    "ftoi": _alu_rr(int),
     "ld": _h_ld,
     "ldx": _h_ldx,
     "st": _h_st,
@@ -450,14 +613,6 @@ _DISPATCH = {
     "tstx": _h_tstx,
     "tcheck": _h_tcheck,
     "treturn": _h_treturn,
-    "beq": _branch_rrl(lambda a, b: a == b),
-    "bne": _branch_rrl(lambda a, b: a != b),
-    "blt": _branch_rrl(lambda a, b: a < b),
-    "ble": _branch_rrl(lambda a, b: a <= b),
-    "bgt": _branch_rrl(lambda a, b: a > b),
-    "bge": _branch_rrl(lambda a, b: a >= b),
-    "beqz": _branch_rl(lambda a: a == 0),
-    "bnez": _branch_rl(lambda a: a != 0),
     "jmp": _h_jmp,
     "call": _h_call,
     "ret": _h_ret,
@@ -465,6 +620,17 @@ _DISPATCH = {
     "nop": _h_nop,
     "halt": _h_halt,
 }
+for _op, _fn in _ALU_RRR_FNS.items():
+    _DISPATCH[_op] = _alu_rrr(_fn)
+for _op, _fn in _ALU_RRI_FNS.items():
+    _DISPATCH[_op] = _alu_rri(_fn)
+for _op, _fn in _ALU_RR_FNS.items():
+    _DISPATCH[_op] = _alu_rr(_fn)
+for _op, _fn in _BRANCH_RRL_FNS.items():
+    _DISPATCH[_op] = _branch_rrl(_fn)
+for _op, _fn in _BRANCH_RL_FNS.items():
+    _DISPATCH[_op] = _branch_rl(_fn)
+del _op, _fn
 
 
 def run_to_completion(machine: Machine) -> List[Number]:
@@ -478,7 +644,7 @@ def run_to_completion(machine: Machine) -> List[Number]:
     main = machine.main_context
     while main.state is not ContextState.HALTED:
         if main.state is ContextState.RUNNING:
-            machine.step(main)
+            machine.run(main)
         elif main.state is ContextState.BLOCKED:
             raise ContextError(
                 "main context blocked during a functional run; the DTT "

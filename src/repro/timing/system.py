@@ -92,11 +92,13 @@ class TimingSimulator:
         main = machine.main_context
         spawn_latency = self.config.core_params.spawn_latency
         max_cycles = self.config.max_cycles
+
+        def charge_spawn(ctx):  # hoisted: one closure per run, not per cycle
+            self._charge_spawn(ctx, spawn_latency)
+
         while main.state is not ContextState.HALTED:
             if engine is not None:
-                engine.dispatch_pending(
-                    on_dispatch=lambda ctx: self._charge_spawn(ctx, spawn_latency)
-                )
+                engine.dispatch_pending(on_dispatch=charge_spawn)
             issued = 0
             for core in self.cores:
                 issued += core.cycle(self.now)

@@ -1,0 +1,212 @@
+"""Trigger prefilter: the engine's may-match index must be invisible.
+
+The engine consults a frozen :class:`TriggerPrefilter` before walking the
+registry on every triggering store.  These tests pin the equivalence
+("prefilter says no" ⟺ "matches() is empty") across granularities and
+overlapping watch ranges, the staleness protocol (a spec registered
+mid-run must fire), the cascading path, and the ``unmatched_tstores``
+accounting on the prefilter's fast-reject branch.
+"""
+
+import pytest
+
+from repro.core.config import DttConfig
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry, TriggerPrefilter, TriggerSpec
+from repro.core.status import ThreadStatusTable
+from repro.isa.builder import ProgramBuilder
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+from tests.core.test_engine import _cascade_program
+
+
+# -- the frozen index itself ------------------------------------------------------
+
+
+def test_build_prefilter_coalesces_overlapping_ranges():
+    registry = ThreadRegistry([
+        TriggerSpec("a", watch=[(0, 10)]),
+        TriggerSpec("b", watch=[(5, 15)]),
+        TriggerSpec("c", watch=[(20, 30)]),
+    ])
+    prefilter = registry.build_prefilter()
+    assert prefilter.ranges == ((0, 15), (20, 30))
+    assert prefilter.store_pcs == frozenset()
+
+
+def test_build_prefilter_widens_ranges_to_granularity():
+    registry = ThreadRegistry([TriggerSpec("a", watch=[(3, 5)])])
+    prefilter = registry.build_prefilter(granularity=4)
+    assert prefilter.ranges == ((0, 8),)
+    assert prefilter.may_match(99, 0)  # widened-in false neighbor
+    assert not prefilter.may_match(99, 8)
+
+
+def test_prefilter_records_registry_version():
+    registry = ThreadRegistry([TriggerSpec("a", store_pcs=[7])])
+    stale = registry.build_prefilter()
+    assert stale.version == registry.version
+    registry.register(TriggerSpec("b", store_pcs=[9]))
+    assert registry.version > stale.version  # holder can detect staleness
+    fresh = registry.build_prefilter()
+    assert fresh.may_match(9, 0)
+    assert not stale.may_match(9, 0)
+
+
+@pytest.mark.parametrize("granularity", [1, 2, 4, 8])
+def test_may_match_equals_matches_nonempty(granularity):
+    # mixed PC- and address-attached specs with overlap and odd alignment
+    registry = ThreadRegistry([
+        TriggerSpec("pc_only", store_pcs=[3, 17]),
+        TriggerSpec("low", watch=[(5, 9)]),
+        TriggerSpec("mid", watch=[(8, 13), (30, 31)]),
+        TriggerSpec("both", store_pcs=[11], watch=[(21, 26)]),
+    ])
+    prefilter = registry.build_prefilter(granularity)
+    for pc in range(0, 20):
+        for address in range(0, 40):
+            assert prefilter.may_match(pc, address) == bool(
+                registry.matches(pc, address, granularity)
+            ), (pc, address, granularity)
+
+
+# -- the engine's use of it -------------------------------------------------------
+
+
+def _two_tst_machine(registry):
+    """main: tst xs[0]=1 at pc_a, then tst xs[1]=2 at pc_b, halt.
+
+    Declares two support threads so a spec for the second one can be
+    registered while the machine is already running.
+    """
+    b = ProgramBuilder()
+    b.data("xs", [0, 0])
+    b.zeros("seen", 1)
+    for name in ("watcher", "late"):
+        with b.thread(name):
+            with b.scratch(2) as (p, v):
+                b.la(p, "seen")
+                b.ld(v, p, 0)
+                b.addi(v, v, 1)
+                b.st(v, p, 0)
+            b.treturn()
+    pcs = {}
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 1)
+            pcs["a"] = b.tst(v, base, 0)
+            b.li(v, 2)
+            pcs["b"] = b.tst(v, base, 1)
+        b.tcheck_thread("watcher")
+        b.tcheck_thread("late")
+        b.halt()
+    program = b.build()
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(registry)
+    machine.attach_engine(engine)
+    return machine, engine, pcs
+
+
+def test_prefilter_reject_branch_counts_unmatched():
+    b = ProgramBuilder()
+    b.data("xs", [0, 0])
+    with b.thread("watcher"):
+        b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 1)
+            b.tst(v, base, 0)  # watched: fires
+            b.li(v, 2)
+            b.tst(v, base, 1)  # one word past the range: prefilter rejects
+        b.halt()
+    program = b.build()
+    lo = program.address_of("xs")
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([
+        TriggerSpec("watcher", watch=[(lo, lo + 1)])
+    ]))
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    assert engine.unmatched_tstores == 1
+    assert engine.status["watcher"].triggering_stores == 1
+    # the reject came from the prefilter, not the registry walk
+    assert not engine._prefilter.may_match(-1, lo + 1)
+    assert engine._prefilter.may_match(-1, lo)
+
+
+def test_spec_registered_mid_run_fires():
+    # Start with only pc_a attached.  After the first store has primed the
+    # engine's cached prefilter, a software runtime registers a second
+    # spec; the version bump must force a rebuild so pc_b still fires.
+    registry = ThreadRegistry([TriggerSpec("watcher", store_pcs=[-1])])
+    machine, engine, pcs = _two_tst_machine(registry)
+    main = machine.main_context
+    while main.pc <= pcs["a"]:
+        machine.step(main)
+    assert engine.unmatched_tstores == 1  # pc_a matched nothing
+    primed = engine._prefilter
+    assert primed is not None and not primed.may_match(pcs["b"], 0)
+    registry.register(TriggerSpec("late", store_pcs=[pcs["b"]]))
+    # a runtime that registers specs also refreshes the status table
+    engine.status = ThreadStatusTable(registry.thread_names)
+    while main.state is ContextState.RUNNING:
+        machine.step(main)
+    assert engine._prefilter is not primed  # rebuilt on version bump
+    assert engine.status["late"].triggers_fired == 1
+    assert machine.memory.load(machine.program.address_of("seen")) == 1
+
+
+def test_overlapping_ranges_still_fire_every_spec():
+    # coalescing ranges in the prefilter must not merge *specs*: a store
+    # into the overlap fires both threads, exactly as matches() says
+    b = ProgramBuilder()
+    b.data("xs", [0, 0, 0])
+    b.zeros("hits", 2)
+    for name, slot in (("first", 0), ("second", 1)):
+        with b.thread(name):
+            with b.scratch(2) as (p, v):
+                b.la(p, "hits")
+                b.ld(v, p, slot)
+                b.addi(v, v, 1)
+                b.st(v, p, slot)
+            b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 9)
+            b.tst(v, base, 1)  # inside both watch ranges
+        b.tcheck_thread("first")
+        b.tcheck_thread("second")
+        b.halt()
+    program = b.build()
+    lo = program.address_of("xs")
+    registry = ThreadRegistry([
+        TriggerSpec("first", watch=[(lo, lo + 2)]),
+        TriggerSpec("second", watch=[(lo + 1, lo + 3)]),
+    ])
+    machine = Machine(program, num_contexts=3)
+    engine = DttEngine(registry)
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    assert engine._prefilter.ranges == ((lo, lo + 3),)  # coalesced
+    hits = program.address_of("hits")
+    assert machine.memory.load_range(hits, 2) == [1, 1]  # both fired
+    assert engine.status["first"].triggers_fired == 1
+    assert engine.status["second"].triggers_fired == 1
+    assert registry.matches(-1, lo + 1) == list(registry.specs)
+
+
+def test_cascading_store_goes_through_prefilter():
+    program, specs = _cascade_program()
+    machine = Machine(program, num_contexts=3)
+    engine = DttEngine(ThreadRegistry(specs),
+                       config=DttConfig(allow_cascading=True))
+    machine.attach_engine(engine)
+    assert run_to_completion(machine) == [7, 107]
+    # the support thread's cascading tst took the same prefilter path
+    assert engine._prefilter is not None
+    assert engine.status["b"].executions_completed == 1
+    assert engine.unmatched_tstores == 0

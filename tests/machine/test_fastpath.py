@@ -1,0 +1,242 @@
+"""Fast-path equivalence: ``Machine.run`` must match ``step()`` exactly.
+
+The batch loop compiles the program into next-PC thunks and reconciles
+counters per chunk; these tests prove that is invisible — every bundled
+workload produces byte-identical memory, output, counters, and engine
+trace streams under both tiers, and faults/limits/budgets land on the
+same instruction with the same machine state.
+"""
+
+import pytest
+
+from repro.core.trace import EngineTrace
+from repro.errors import ContextError, ExecutionFault, ExecutionLimitExceeded
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.machine.context import ContextState
+from repro.machine.events import MachineObserver
+from repro.machine.machine import Machine, run_to_completion
+from repro.workloads.suite import SUITE
+
+from tests.conftest import build_dtt_sum
+
+
+def drive_legacy(machine):
+    """Reference driver: per-instruction step() calls only."""
+    main = machine.main_context
+    while main.state is not ContextState.HALTED:
+        if main.state is not ContextState.RUNNING:
+            raise AssertionError(f"main context {main.state}")
+        machine.step(main)
+    return machine.output
+
+
+def fingerprint(machine):
+    """Every architectural surface two equivalent runs must agree on."""
+    main = machine.main_context
+    return {
+        "output": list(machine.output),
+        "memory": machine.memory.snapshot(),
+        "instructions_executed": machine.instructions_executed,
+        "main_instructions": machine.main_instructions,
+        "support_instructions": machine.support_instructions,
+        "load_count": machine.memory.load_count,
+        "store_count": machine.memory.store_count,
+        "pc": main.pc,
+        "state": main.state,
+        "instruction_count": main.instruction_count,
+        "regs": list(main.regs),
+    }
+
+
+# -- every bundled workload, both tiers --------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_baseline_workload_equivalence(name):
+    workload = SUITE[name]
+    inp = workload.make_input()
+    program = workload.build_baseline(inp)
+    legacy = Machine(program)
+    drive_legacy(legacy)
+    fast = Machine(program)
+    run_to_completion(fast)
+    assert fingerprint(fast) == fingerprint(legacy)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_dtt_workload_equivalence_with_trace(name):
+    workload = SUITE[name]
+    inp = workload.make_input()
+    build = workload.build_dtt(inp)
+
+    def machine_with_engine():
+        machine = Machine(build.program, num_contexts=2)
+        engine = build.engine()
+        machine.attach_engine(engine)
+        trace = EngineTrace(engine)
+        return machine, engine, trace
+
+    legacy, legacy_engine, legacy_trace = machine_with_engine()
+    drive_legacy(legacy)
+    fast, fast_engine, fast_trace = machine_with_engine()
+    run_to_completion(fast)
+    assert fingerprint(fast) == fingerprint(legacy)
+    assert fast_engine.summary() == legacy_engine.summary()
+    assert ([repr(e) for e in fast_trace.events]
+            == [repr(e) for e in legacy_trace.events])
+
+
+# -- budgets and limits ----------------------------------------------------------
+
+
+def spin_program():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.label("spin")
+        b.jmp("spin")
+    return b.build()
+
+
+def test_run_respects_max_steps_budget():
+    machine = Machine(spin_program())
+    retired = machine.run(max_steps=1000)
+    assert retired == 1000
+    assert machine.instructions_executed == 1000
+    assert machine.main_context.instruction_count == 1000
+    assert machine.main_context.state is ContextState.RUNNING
+    # and the loop can resume from the synced pc
+    assert machine.run(max_steps=7) == 7
+    assert machine.instructions_executed == 1007
+
+
+def test_run_requires_running_context(tiny_program):
+    machine = Machine(tiny_program, num_contexts=2)
+    with pytest.raises(ContextError):
+        machine.run(machine.contexts[1])  # idle support context
+
+
+def test_instruction_limit_identical_to_step_loop():
+    def run_out(driver):
+        machine = Machine(spin_program(), max_instructions=5000)
+        with pytest.raises(ExecutionLimitExceeded):
+            driver(machine)
+        return fingerprint(machine)
+
+    legacy = run_out(drive_legacy)
+    fast = run_out(run_to_completion)
+    assert fast == legacy
+    # step() counts the over-limit attempt in the global counter only
+    assert fast["instructions_executed"] == 5001
+    assert fast["instruction_count"] == 5000
+
+
+# -- fault equivalence ------------------------------------------------------------
+
+
+def _fault_fingerprints(program, exc_type, match):
+    results = []
+    for driver in (drive_legacy, run_to_completion):
+        machine = Machine(program)
+        with pytest.raises(exc_type, match=match):
+            driver(machine)
+        results.append(fingerprint(machine))
+    legacy, fast = results
+    assert fast == legacy
+    return fast
+
+
+def test_ret_fault_identical():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("nop"))
+    p.append(Instruction("ret"))
+    p.finalize()
+    fp = _fault_fingerprints(p, ExecutionFault, "empty call stack")
+    assert fp["pc"] == 1  # both tiers leave the pc on the faulting ret
+    assert fp["instructions_executed"] == 2  # the faulting op is counted
+
+
+def test_run_off_end_fault_identical():
+    p = Program()
+    p.add_label("main")
+    p.append(Instruction("nop"))
+    p.finalize()
+    fp = _fault_fingerprints(p, ExecutionFault, "ran off the end")
+    assert fp["pc"] == 1
+
+
+def test_call_overflow_fault_identical():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("main")
+        b.halt()
+    _fault_fingerprints(b.build(), ExecutionFault, "call stack overflow")
+
+
+def test_division_fault_identical():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(3) as (a, z, d):
+            b.li(a, 1)
+            b.li(z, 0)
+            b.idiv(d, a, z)
+        b.halt()
+    _fault_fingerprints(b.build(), ExecutionFault, "division by zero")
+
+
+# -- fallback and rebuild rules ---------------------------------------------------
+
+
+class _CountingObserver(MachineObserver):
+    def __init__(self):
+        self.instructions = 0
+
+    def on_instruction(self, ctx, pc, instruction):
+        self.instructions += 1
+
+
+def test_observers_force_exact_single_stepping():
+    workload = SUITE["mcf"]
+    inp = workload.make_input(scale=4)
+    program = workload.build_baseline(inp)
+    observed = Machine(program)
+    observer = _CountingObserver()
+    observed.add_observer(observer)
+    run_to_completion(observed)
+    # the observer saw every retired instruction — run() fell back
+    assert observer.instructions == observed.instructions_executed
+    plain = Machine(program)
+    run_to_completion(plain)
+    assert plain.output == observed.output
+    assert plain.instructions_executed == observed.instructions_executed
+
+
+def test_fast_run_after_restore_reuses_memory_identity():
+    program, _spec = build_dtt_sum([1, 2, 3], [0, 2], [9, 9])
+    machine = Machine(program)
+    saved = machine.snapshot()
+    first = list(run_to_completion(machine))
+    words = machine.memory._words
+    machine.restore(saved)
+    assert machine.memory._words is words  # restore must stay in place
+    again = run_to_completion(machine)
+    assert list(again) == first
+
+
+def test_equivalence_survives_interleaved_tiers():
+    # stepping and batch-running the same machine may be freely mixed
+    workload = SUITE["gzip"]
+    inp = workload.make_input(scale=4)
+    program = workload.build_baseline(inp)
+    mixed = Machine(program)
+    main = mixed.main_context
+    for _ in range(137):
+        mixed.step(main)
+    mixed.run(main, max_steps=501)
+    while main.state is ContextState.RUNNING:
+        mixed.step(main)
+    reference = Machine(program)
+    run_to_completion(reference)
+    assert fingerprint(mixed) == fingerprint(reference)

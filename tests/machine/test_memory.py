@@ -61,6 +61,48 @@ def test_block_round_trip():
     assert m.read_block(49, 1) == [0]
 
 
+def test_load_range_reads_and_counts():
+    m = Memory()
+    m.store(10, 1)
+    m.store(12, 2.5)
+    before = m.load_count
+    assert m.load_range(10, 4) == [1, 0, 2.5, 0]
+    assert m.load_count == before + 4
+
+
+def test_load_range_zero_count():
+    m = Memory()
+    assert m.load_range(5, 0) == []
+    assert m.load_count == 0
+
+
+def test_load_range_faults():
+    m = Memory(limit=100)
+    with pytest.raises(MemoryFault):
+        m.load_range(-1, 2)  # starts below zero
+    with pytest.raises(MemoryFault):
+        m.load_range(98, 3)  # runs past the limit
+    with pytest.raises(MemoryFault):
+        m.load_range(5, -1)  # negative count
+    with pytest.raises(AlignmentFault):
+        m.load_range(1.5, 2)  # non-integer base
+    assert m.load_count == 0  # faulting ranges count nothing
+    assert m.load_range(98, 2) == [0, 0]  # last two words are in range
+
+
+def test_restore_is_in_place():
+    # the fast path binds the words dict into closures; restore must
+    # mutate it rather than rebind a copy
+    m = Memory()
+    m.store(1, 10)
+    snap = m.snapshot()
+    words = m._words
+    m.store(2, 5)
+    m.restore(snap)
+    assert m._words is words
+    assert m.peek(2) == 0
+
+
 def test_snapshot_restore():
     m = Memory()
     m.store(1, 10)
