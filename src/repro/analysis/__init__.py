@@ -1,0 +1,42 @@
+"""Static analysis of DTIR programs: dataflow framework + DTT safety checks.
+
+The paper's correctness contract is strict: a data-triggered thread's
+computation may depend only on the triggering store's data and on memory
+that does not change between the trigger and the consume point.  Nothing
+at runtime checks that contract — a violating conversion silently computes
+wrong answers whenever the skip fires.  This package checks it statically:
+
+* :mod:`repro.analysis.findings` — the shared finding model (severity,
+  code, pc, message) with JSON serialization and baseline suppression;
+* :mod:`repro.analysis.cfg` — basic-block control-flow graphs over
+  finalized programs, with call/ret return-site modeling, dominators, and
+  per-thread region slicing;
+* :mod:`repro.analysis.dataflow` — a generic worklist solver plus the
+  stock analyses (reaching definitions, liveness, constant/address
+  propagation over the ISA's ``base+offset`` addressing);
+* :mod:`repro.analysis.checks` — the DTT safety passes built on top
+  (trigger coverage, read/write races, consume-before-complete,
+  uninitialized registers), surfaced as ``dtt-harness analyze``.
+"""
+
+from repro.analysis.findings import (ERROR, WARNING, Baseline, Finding,
+                                     Severity, errors_only, findings_to_json)
+from repro.analysis.checks import (CHECKS, analysis_summary, analyze_build,
+                                   analyze_program, analyze_workload,
+                                   summarize_workload)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Baseline",
+    "Finding",
+    "Severity",
+    "errors_only",
+    "findings_to_json",
+    "CHECKS",
+    "analysis_summary",
+    "analyze_build",
+    "analyze_program",
+    "analyze_workload",
+    "summarize_workload",
+]

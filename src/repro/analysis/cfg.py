@@ -1,0 +1,340 @@
+"""Control-flow graphs over finalized DTIR programs.
+
+The machine's control transfer rules are simple — fallthrough, resolved
+branch/jump targets, and a per-context call stack (``call`` pushes
+``pc+1``, ``ret`` pops it) — but two of them need real modeling to
+analyze precisely:
+
+**Call/ret return sites.**  ``ret`` has no static target; its successors
+are the *return sites* (``call_pc + 1``) of every call whose callee can
+reach that ``ret``.  We compute, per call target, the set of ``ret`` pcs
+reachable intra-procedurally (a nested ``call x`` is stepped *over* — to
+its own return site — rather than into, so a shared subroutine's ``ret``
+is never attributed to its caller's caller).  Whether stepping over a
+nested call is legal depends on whether *its* target can return, so the
+whole thing is a least fixpoint (:func:`call_return_map`): a call target
+"can return" iff a ``ret`` is reachable from it assuming exactly the
+already-proven set of returning callees.  A ``jmp`` into another function
+is a tail call and *is* followed — the callee's ``ret`` then pops the
+original return site, which is exactly what the machine does.
+
+**Region slicing.**  The main program and each support-thread body are
+separate execution regions sharing one instruction array (and possibly
+subroutines).  :func:`slice_pcs` computes the pcs one entry can reach;
+:class:`CFG` is always built over one such slice, so per-thread analysis
+never conflates main-loop state with thread-body state.
+
+:meth:`CFG.dominators` gives per-block dominator sets (iterative
+dataflow), which the safety checks use to reason about "every path from
+A passes B" questions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import is_branch
+from repro.isa.program import Program
+
+
+def thread_regions(program: Program) -> Dict[str, range]:
+    """Thread name -> PC range, from the ``thread:NAME`` function records
+    the builder emits; threads authored without the builder fall back to
+    an entry-only range."""
+    regions: Dict[str, range] = {}
+    for function in program.functions:
+        if function.name.startswith("thread:"):
+            regions[function.name[len("thread:"):]] = range(
+                function.start, function.end
+            )
+    for name in program.threads:
+        if name not in regions:
+            entry = program.thread_entry_pc(name)
+            regions[name] = range(entry, entry + 1)
+    return regions
+
+
+def _intraproc_rets(program: Program, entry: int,
+                    can_return: Set[int]) -> Set[int]:
+    """``ret`` pcs reachable from ``entry`` stepping *over* nested calls.
+
+    A nested ``call x`` continues at its return site only when ``x`` is
+    already proven returning; a ``jmp`` is followed unconditionally (tail
+    calls hand their ``ret`` to the original caller, as the machine's
+    call stack does).
+    """
+    instructions = program.instructions
+    size = len(instructions)
+    seen: Set[int] = set()
+    rets: Set[int] = set()
+    work = [entry]
+    while work:
+        pc = work.pop()
+        if pc in seen or not 0 <= pc < size:
+            continue
+        seen.add(pc)
+        instruction = instructions[pc]
+        op = instruction.op
+        if op == "ret":
+            rets.add(pc)
+            continue
+        if op in ("halt", "treturn"):
+            continue
+        if op == "jmp":
+            work.append(instruction.target)
+            continue
+        if op == "call":
+            if instruction.target in can_return:
+                work.append(pc + 1)
+            continue
+        if is_branch(op):
+            work.append(instruction.target)
+        work.append(pc + 1)
+    return rets
+
+
+def call_return_map(program: Program) -> Tuple[Set[int], Dict[int, Set[int]]]:
+    """Least-fixpoint call/return analysis.
+
+    Returns ``(can_return, ret_map)``: the set of call-target pcs from
+    which a ``ret`` is reachable, and per call target the exact ``ret``
+    pcs that return from it.  Starting from "nothing returns" and growing
+    monotonically makes the result the least fixpoint — a call target is
+    only proven returning by a realizable path, so a callee that loops
+    forever (or ends in ``treturn``/``halt``) correctly never admits its
+    fallthrough as reachable.
+    """
+    targets = {
+        instruction.target
+        for instruction in program.instructions
+        if instruction.op == "call"
+    }
+    can_return: Set[int] = set()
+    ret_map: Dict[int, Set[int]] = {target: set() for target in targets}
+    changed = True
+    while changed:
+        changed = False
+        for target in targets:
+            rets = _intraproc_rets(program, target, can_return)
+            if rets != ret_map[target]:
+                ret_map[target] = rets
+                changed = True
+            if rets and target not in can_return:
+                can_return.add(target)
+                changed = True
+    return can_return, ret_map
+
+
+def successor_map(program: Program) -> Dict[int, Tuple[int, ...]]:
+    """Per-pc control successors, with call/ret modeled precisely.
+
+    * ``call`` continues at its target; the return site (``pc+1``) is a
+      successor of the callee's ``ret`` instructions, not of the call;
+    * ``ret`` continues at the return site of every call that can reach
+      it (per :func:`call_return_map`);
+    * ``halt``/``treturn`` have no successors.
+    """
+    can_return, ret_map = call_return_map(program)
+    size = len(program.instructions)
+    ret_sites: Dict[int, List[int]] = {}
+    for pc, instruction in enumerate(program.instructions):
+        if instruction.op == "call" and pc + 1 <= size - 1:
+            for ret_pc in ret_map.get(instruction.target, ()):
+                ret_sites.setdefault(ret_pc, []).append(pc + 1)
+    successors: Dict[int, Tuple[int, ...]] = {}
+    for pc, instruction in enumerate(program.instructions):
+        op = instruction.op
+        if op in ("halt", "treturn"):
+            successors[pc] = ()
+        elif op == "ret":
+            successors[pc] = tuple(sorted(set(ret_sites.get(pc, ()))))
+        elif op == "jmp":
+            successors[pc] = (instruction.target,)
+        elif op == "call":
+            successors[pc] = (instruction.target,)
+        elif is_branch(op):
+            fall = pc + 1
+            if instruction.target == fall:
+                successors[pc] = (fall,) if fall < size else ()
+            else:
+                successors[pc] = tuple(
+                    t for t in (instruction.target, fall) if t < size)
+        else:
+            successors[pc] = (pc + 1,) if pc + 1 < size else ()
+    return successors
+
+
+def slice_pcs(program: Program, entries: Iterable[int],
+              successors: Optional[Dict[int, Tuple[int, ...]]] = None
+              ) -> Set[int]:
+    """PCs reachable from ``entries`` under :func:`successor_map`."""
+    if successors is None:
+        successors = successor_map(program)
+    seen: Set[int] = set()
+    work = list(entries)
+    while work:
+        pc = work.pop()
+        if pc in seen or pc not in successors:
+            continue
+        seen.add(pc)
+        work.extend(successors[pc])
+    return seen
+
+
+def reachable_pcs(program: Program) -> Set[int]:
+    """PCs reachable from the entry point or any thread entry.
+
+    The precise replacement for the linter's historical over-approximation:
+    a call's fallthrough is live only via an actual ``ret`` of its callee,
+    so code after a call to a never-returning subroutine is correctly
+    reported dead.
+    """
+    entries = [program.entry_pc]
+    entries.extend(program.thread_entry_pc(name) for name in program.threads)
+    return slice_pcs(program, entries)
+
+
+class BasicBlock:
+    """One basic block: a maximal straight-line pc run within a slice."""
+
+    __slots__ = ("index", "pcs", "succs", "preds")
+
+    def __init__(self, index: int, pcs: List[int]):
+        self.index = index
+        self.pcs = pcs
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+
+    @property
+    def start(self) -> int:
+        return self.pcs[0]
+
+    @property
+    def end(self) -> int:
+        """One past the last pc (half-open, like function records)."""
+        return self.pcs[-1] + 1
+
+    def __repr__(self) -> str:
+        return (f"BasicBlock(#{self.index}, pc {self.start}..{self.end - 1}, "
+                f"succs={self.succs})")
+
+
+class CFG:
+    """Basic-block control-flow graph over one execution region.
+
+    Built from one entry pc over the pcs that entry can reach, so a
+    support thread's body (or the main program) is analyzed in isolation
+    even when regions share subroutines.
+    """
+
+    def __init__(self, program: Program, entry_pc: int):
+        if not program.finalized:
+            raise ProgramValidationError("CFG requires a finalized program")
+        self.program = program
+        self.entry_pc = entry_pc
+        self.succ_pcs = successor_map(program)
+        self.pcs = slice_pcs(program, [entry_pc], self.succ_pcs)
+        self.blocks: List[BasicBlock] = []
+        self.block_of: Dict[int, int] = {}
+        self._build_blocks()
+        self.entry = self.block_of[entry_pc]
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_blocks(self) -> None:
+        # a leader is the entry or the target of any non-fallthrough edge;
+        # blocks additionally end at control-transfer instructions, which
+        # _extend_block enforces, so fallthroughs after them need no entry
+        # in the leader set
+        leaders = {self.entry_pc}
+        for pc in self.pcs:
+            for succ in self.succ_pcs[pc]:
+                if succ != pc + 1 and succ in self.pcs:
+                    leaders.add(succ)
+        for pc in sorted(self.pcs):
+            if pc in self.block_of:
+                continue
+            block = BasicBlock(len(self.blocks), [pc])
+            self.blocks.append(block)
+            self.block_of[pc] = block.index
+            self._extend_block(block, leaders)
+        for block in self.blocks:
+            last = block.pcs[-1]
+            seen = set()
+            for succ in self.succ_pcs[last]:
+                if succ in self.block_of:
+                    index = self.block_of[succ]
+                    if index not in seen:
+                        seen.add(index)
+                        block.succs.append(index)
+                        self.blocks[index].preds.append(block.index)
+
+    def _extend_block(self, block: BasicBlock, leaders: Set[int]) -> None:
+        instructions = self.program.instructions
+        pc = block.pcs[0]
+        while True:
+            op = instructions[pc].op
+            succs = self.succ_pcs[pc]
+            if (op in ("halt", "treturn", "ret", "jmp", "call")
+                    or is_branch(op)):
+                return
+            if len(succs) != 1 or succs[0] != pc + 1:
+                return
+            nxt = pc + 1
+            if nxt in leaders or nxt not in self.pcs or nxt in self.block_of:
+                return
+            block.pcs.append(nxt)
+            self.block_of[nxt] = block.index
+            pc = nxt
+
+    # -- queries --------------------------------------------------------------
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block containing ``pc`` (must be in this region)."""
+        return self.blocks[self.block_of[pc]]
+
+    def dominators(self) -> List[Set[int]]:
+        """Per-block dominator sets (block indices), iteratively.
+
+        ``dom(entry) = {entry}``; every other block starts at "all
+        blocks" and shrinks to ``{b} ∪ ⋂ dom(preds)`` until fixed.
+        """
+        count = len(self.blocks)
+        everything = set(range(count))
+        dom: List[Set[int]] = [set(everything) for _ in range(count)]
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.index == self.entry:
+                    continue
+                preds = [dom[p] for p in block.preds]
+                new = set.intersection(*preds) if preds else set()
+                new.add(block.index)
+                if new != dom[block.index]:
+                    dom[block.index] = new
+                    changed = True
+        return dom
+
+    def instruction_at(self, pc: int):
+        """Return the decoded instruction stored at ``pc``."""
+        return self.program.instructions[pc]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return (f"CFG(entry pc {self.entry_pc}, {len(self.blocks)} blocks, "
+                f"{len(self.pcs)} pcs)")
+
+
+def main_cfg(program: Program) -> CFG:
+    """The CFG of the main execution region (from the entry label)."""
+    return CFG(program, program.entry_pc)
+
+
+def thread_cfg(program: Program, name: str) -> CFG:
+    """The CFG of one support thread's body (from its entry label)."""
+    return CFG(program, program.thread_entry_pc(name))

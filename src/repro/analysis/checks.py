@@ -1,0 +1,571 @@
+"""DTT safety checks: is a conversion safe under the paper's contract?
+
+The contract (PAPER.md): a data-triggered thread's computation may depend
+only on the triggering store's data and on memory that does not change
+between the trigger and the consume point.  Nothing at runtime enforces
+it — the engine will happily skip "redundant" re-execution of a thread
+whose inputs drifted, silently computing wrong answers.  These passes
+check the contract statically over a :class:`~repro.workloads.base.DttBuild`
+(program + trigger specs) for one :class:`~repro.core.config.DttConfig`.
+
+Every check is grounded in a specific engine behavior (each check
+function's docstring carries the detailed justification):
+
+* trigger matching replicates
+  :meth:`~repro.core.registry.ThreadRegistry.build_prefilter` for the
+  config's ``granularity`` — including the watch-range widening that
+  creates false neighbor triggers at cache-line granularity;
+* the *trigger window* — the pcs where a support thread may run
+  concurrently with the main context — ends at a ``tcheck`` naming the
+  thread, because ``DttEngine.on_tcheck`` does not let the main context
+  past one until the thread is quiescent (it blocks, runs the pending
+  activation synchronously, or inlines it and re-executes the tcheck);
+* a re-trigger of the *same* spec is not a race: ``on_triggering_store``
+  cancels an executing same-key activation and restarts it against
+  current memory (inline activations absorb the duplicate after the new
+  value is already visible), so the thread re-reads rather than races;
+* with ``allow_cascading=False`` (the paper's base design) a triggering
+  store executed by a support thread is a plain store and registers no
+  trigger, so only main-region ``tst``/``tstx`` are trigger sources.
+
+The checks are *may*-analyses over the abstract address sets of
+:mod:`repro.analysis.dataflow`: they can report a race that concrete
+inputs never realize (the address sets over-approximate), but a clean
+verdict means no reachable access pattern can violate the contract under
+the analyzed config — modulo the framework's documented in-bounds
+indexing assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis import cfg as cfgmod
+from repro.analysis.dataflow import (TOP, UNDEF, AddressSet,
+                                     ReachingDefinitions, ValueAnalysis,
+                                     Value, access_summary, const_value,
+                                     region_containing, region_value,
+                                     union_addresses)
+from repro.analysis.findings import ERROR, WARNING, Finding, Severity
+from repro.core.config import DttConfig
+from repro.core.registry import ThreadRegistry, TriggerSpec
+from repro.errors import DttError
+from repro.isa.instructions import (is_triggering_store, operand_roles)
+from repro.isa.program import Program
+from repro.isa.registers import (NUM_REGISTERS, TRIGGER_ADDR_REG,
+                                 TRIGGER_OLD_VALUE_REG, TRIGGER_VALUE_REG)
+
+#: check code -> (severity, one-line description); the docs table in
+#: docs/architecture.md must list every code here (tests/test_docs_sync.py)
+CHECKS: Dict[str, Tuple[Severity, str]] = {
+    "dead-trigger": (
+        WARNING,
+        "a reachable triggering store that no registered trigger spec "
+        "can ever match"),
+    "dead-thread": (
+        WARNING,
+        "a registered support thread that no reachable triggering store "
+        "can ever fire"),
+    "spec-unknown-thread": (
+        ERROR,
+        "a trigger spec names a support thread the program does not "
+        "declare"),
+    "read-race": (
+        ERROR,
+        "main may overwrite memory a support thread reads inside the "
+        "trigger window"),
+    "write-race": (
+        ERROR,
+        "support-thread output overlaps main-context accesses with no "
+        "tcheck ordering"),
+    "consume-before-complete": (
+        ERROR,
+        "a path consumes support-thread output without passing the "
+        "thread's tcheck"),
+    "uninitialized-register": (
+        ERROR,
+        "a support-thread body reads a register never written on some "
+        "path"),
+}
+
+
+# ---------------------------------------------------------------------------
+# region models
+# ---------------------------------------------------------------------------
+
+
+class _MainModel:
+    """CFG + values + access summary of the main execution region.
+
+    The abstract register file at main entry is all-zero constants: the
+    machine constructs every context with a zeroed register file and the
+    main context starts fresh at program entry.
+    """
+
+    def __init__(self, program: Program):
+        self.cfg = cfgmod.main_cfg(program)
+        self.values = ValueAnalysis(
+            self.cfg,
+            {reg: const_value(0) for reg in range(NUM_REGISTERS)},
+        )
+        self.summary = access_summary(self.values)
+
+
+class _ThreadModel:
+    """CFG + values + access summary of one support thread's body.
+
+    At dispatch ``Context.start_support`` seeds r1/r2/r3 with the trigger
+    address / new value / old value; every *other* register is stale —
+    whatever the support context's previous activation (of any thread)
+    left behind, or the construction-time zeros on first use.  So the
+    entry environment is ⊤ everywhere except r1, which is seeded with the
+    spec's possible trigger addresses (r2/r3 hold data values, not
+    addresses, and stay ⊤).
+    """
+
+    def __init__(self, program: Program, name: str, trigger_value: Value):
+        self.cfg = cfgmod.thread_cfg(program, name)
+        env = {reg: TOP for reg in range(NUM_REGISTERS)}
+        env[TRIGGER_ADDR_REG] = trigger_value
+        self.values = ValueAnalysis(self.cfg, env)
+        self.summary = access_summary(self.values)
+        self.reads = union_addresses(s for _pc, s in self.summary.reads)
+        self.writes = union_addresses(s for _pc, s in self.summary.writes)
+
+
+def _widened(ranges: Iterable[Tuple[int, int]],
+             granularity: int) -> List[Tuple[int, int]]:
+    """Watch ranges widened exactly as ``ThreadRegistry.matches`` widens
+    them: ``lo`` down and ``hi`` up to the next granularity multiple."""
+    widened = []
+    for lo, hi in ranges:
+        if granularity > 1:
+            lo -= lo % granularity
+            hi += (-hi) % granularity
+        widened.append((lo, hi))
+    return widened
+
+
+def _spec_may_match(spec: TriggerSpec, pc: int, addresses: AddressSet,
+                    layout, granularity: int) -> bool:
+    """Could a triggering store at ``pc`` with this address set fire
+    ``spec``?  Mirrors ``ThreadRegistry.matches``: exact on store pcs,
+    granularity-widened on watch ranges; ⊤ address sets may match
+    anything watched."""
+    if pc in spec.store_pcs:
+        return True
+    return bool(spec.watch) and addresses.intersects_ranges(
+        _widened(spec.watch, granularity), layout)
+
+
+def _trigger_address_value(spec: TriggerSpec, main: _MainModel,
+                           layout, granularity: int) -> Value:
+    """The abstract value of r1 (trigger address) at thread entry.
+
+    For a watched spec: the data regions its granularity-widened ranges
+    overlap.  For a pc-matched spec: the union of the address sets of the
+    named stores.  ⊤ when any source is unresolvable.
+    """
+    if spec.watch:
+        names = set()
+        for lo, hi in _widened(spec.watch, granularity):
+            for name, (base, size) in layout.items():
+                if base < hi and lo < base + max(size, 1):
+                    names.add(name)
+        return region_value(names) if names else TOP
+    sets = [s for pc, s in main.summary.tstores if pc in spec.store_pcs]
+    if not sets:
+        return TOP
+    union = union_addresses(sets)
+    if union.top:
+        return TOP
+    if not union.regions and len(union.exact) == 1:
+        return const_value(next(iter(union.exact)))
+    names = set(union.regions)
+    for address in union.exact:
+        name = region_containing(address, layout)
+        if name is None:
+            return TOP
+        names.add(name)
+    return region_value(names)
+
+
+def _thread_tid(program: Program, name: str) -> int:
+    """The ``tcheck`` immediate naming this thread: its index in
+    declaration order, exactly how ``DttEngine._thread_name`` resolves a
+    tid back to a name."""
+    return list(program.threads).index(name)
+
+
+def _tcheck_pcs(main: _MainModel, program: Program, name: str) -> Set[int]:
+    tid = _thread_tid(program, name)
+    return {
+        pc for pc in main.cfg.pcs
+        if main.cfg.instruction_at(pc).op == "tcheck"
+        and int(main.cfg.instruction_at(pc).a) == tid
+    }
+
+
+def _trigger_window(main: _MainModel, trigger_pcs: Iterable[int],
+                    barrier_pcs: Set[int]) -> Set[int]:
+    """PCs where an activation fired at ``trigger_pcs`` may still be in
+    flight: everything reachable from a trigger's successors without
+    passing a barrier ``tcheck``.
+
+    Justification: ``on_tcheck`` never lets the main context fall through
+    a tcheck naming thread T while T has a pending or executing
+    activation — it blocks until quiescence (deferred/pool mode), runs
+    the pending entry synchronously, or inlines it and re-executes the
+    tcheck.  So on every path the first matching tcheck is a completion
+    barrier, and only the pcs *before* it can race with the thread.  The
+    window is mode-agnostic: inline and synchronous modes shrink the
+    concurrency to nothing at runtime, but a program is only safe if it
+    is safe in the most concurrent mode (deferred + dispatch pool).
+    """
+    seen: Set[int] = set()
+    work: List[int] = []
+    for pc in trigger_pcs:
+        work.extend(main.cfg.succ_pcs.get(pc, ()))
+    while work:
+        pc = work.pop()
+        if pc in seen or pc not in main.cfg.pcs or pc in barrier_pcs:
+            continue
+        seen.add(pc)
+        work.extend(main.cfg.succ_pcs[pc])
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# the passes
+# ---------------------------------------------------------------------------
+
+
+def _check_trigger_coverage(program: Program, registry: ThreadRegistry,
+                            config: DttConfig,
+                            main: _MainModel) -> List[Finding]:
+    """dead-trigger / dead-thread / spec-unknown-thread.
+
+    **dead-trigger** replays the engine's own matching: the engine builds
+    a :class:`~repro.core.registry.TriggerPrefilter` for
+    ``config.granularity`` and a store that misses it fires nothing
+    (counted as ``unmatched_tstores``).  We build the same prefilter, so
+    the verdict inherits the exact granularity widening (``lo -= lo % g;
+    hi += (-hi) % g``, coalesced) — a store that only matches via a
+    widened neighbor range is correctly *not* dead at g=16 even though it
+    is dead at g=1.  Only main-region stores are scanned: with
+    ``allow_cascading=False`` a support thread's ``tst`` is a plain store
+    by engine fiat (``lint`` separately warns ``tstore-in-thread``), and
+    with cascading enabled thread-body stores are real sources we
+    conservatively assume can match (no flag).
+
+    **dead-thread** is the inverse: a registered spec none of whose
+    sources can fire — no reachable main-region triggering store is in
+    its ``store_pcs``, and no reachable store's address set can land in
+    its (widened) watch ranges.  The thread then never runs and the
+    conversion silently degenerates to the baseline.  Suppressed entirely
+    when cascading is on and any thread body contains a triggering store,
+    because those are then additional sources we don't model.
+
+    **spec-unknown-thread**: ``DttEngine.bind`` resolves each spec's
+    thread name against ``program.threads`` and raises ``RegistryError``
+    for an unknown name — a run-time crash found at analysis time.
+    """
+    findings: List[Finding] = []
+    layout = program.layout
+    granularity = config.granularity
+    prefilter = registry.build_prefilter(granularity)
+    for pc, addresses in main.summary.tstores:
+        if pc in prefilter.store_pcs:
+            continue
+        if addresses.intersects_ranges(prefilter.ranges, layout):
+            continue
+        findings.append(Finding(
+            WARNING, "dead-trigger", pc,
+            "triggering store can never fire a registered thread",
+            detail=f"stores to {addresses.describe(layout)} "
+                   f"(granularity {granularity})",
+        ))
+    cascading_sources = config.allow_cascading and any(
+        is_triggering_store(program.instructions[pc].op)
+        for region in cfgmod.thread_regions(program).values()
+        for pc in region
+        if pc < len(program.instructions)
+    )
+    for spec in registry.specs:
+        if spec.thread not in program.threads:
+            findings.append(Finding(
+                ERROR, "spec-unknown-thread", None,
+                f"trigger spec names thread {spec.thread!r}, which the "
+                "program does not declare",
+            ))
+            continue
+        if cascading_sources:
+            continue
+        if any(_spec_may_match(spec, pc, addresses, layout, granularity)
+               for pc, addresses in main.summary.tstores):
+            continue
+        findings.append(Finding(
+            WARNING, "dead-thread", program.thread_entry_pc(spec.thread),
+            f"thread {spec.thread!r} can never be triggered",
+            detail=repr(spec),
+        ))
+    return findings
+
+
+def _check_races(program: Program, registry: ThreadRegistry,
+                 config: DttConfig, main: _MainModel) -> List[Finding]:
+    """read-race / write-race / consume-before-complete.
+
+    For each spec we intersect the main region's accesses *inside the
+    trigger window* (see :func:`_trigger_window`) with the thread body's
+    abstract read/write sets:
+
+    **read-race** — a main-region store in the window overlaps the thread's
+    may-read set: the thread observes the location before or after the
+    store depending on scheduling, so its output depends on more than the
+    triggering datum — the paper's unsoundness case (store a watched
+    input twice, plain-store the second time, and the skip logic keeps a
+    stale result).  Triggering stores that may re-fire the *same spec*
+    are excluded: ``on_triggering_store`` cancels an executing same-key
+    activation and restarts it (a pending one is superseded in the queue;
+    an inline one absorbs the duplicate having already read the new
+    value), so the thread re-reads current memory instead of racing.
+
+    **write-race** — an overlapping access to memory the thread *writes*
+    with no ordering possible: either a main store to thread output
+    inside the window (last-writer-wins by scheduling), or a main load of
+    thread output when the main region contains *no* ``tcheck`` naming
+    the thread at all — nothing ever orders the consumer after the
+    producer.
+
+    **consume-before-complete** — the program does tcheck the thread, but
+    some path reads thread output inside the window, i.e. between a may-
+    matching trigger and the barrier.  On that path the engine has not
+    absorbed the activation (``on_tcheck`` is the only wait point), so
+    the consumer can observe pre-thread memory.  Distinct from
+    write-race only in intent: the ordering mechanism exists but a path
+    escapes it.
+    """
+    findings: List[Finding] = []
+    layout = program.layout
+    granularity = config.granularity
+    for spec in registry.specs:
+        if spec.thread not in program.threads:
+            continue  # flagged by trigger coverage
+        matching = [
+            (pc, addresses) for pc, addresses in main.summary.tstores
+            if _spec_may_match(spec, pc, addresses, layout, granularity)
+        ]
+        if not matching:
+            continue  # dead thread: no window to race in
+        thread = _ThreadModel(
+            program, spec.thread,
+            _trigger_address_value(spec, main, layout, granularity))
+        barriers = _tcheck_pcs(main, program, spec.thread)
+        window = _trigger_window(main, (pc for pc, _ in matching), barriers)
+        matching_pcs = {pc for pc, _ in matching}
+        for pc, addresses in main.summary.writes:
+            if pc not in window or pc in matching_pcs:
+                continue
+            if addresses.overlaps(thread.reads, layout):
+                findings.append(Finding(
+                    ERROR, "read-race", pc,
+                    f"store may overwrite memory thread {spec.thread!r} "
+                    "reads while it can still be in flight",
+                    detail=f"{addresses.describe(layout)} vs thread reads "
+                           f"{thread.reads.describe(layout)}",
+                ))
+            if addresses.overlaps(thread.writes, layout):
+                findings.append(Finding(
+                    ERROR, "write-race", pc,
+                    f"store overlaps output of thread {spec.thread!r} "
+                    "inside its trigger window",
+                    detail=f"{addresses.describe(layout)} vs thread writes "
+                           f"{thread.writes.describe(layout)}",
+                ))
+        for pc, addresses in main.summary.reads:
+            if pc not in window:
+                continue
+            if addresses.overlaps(thread.writes, layout):
+                if barriers:
+                    findings.append(Finding(
+                        ERROR, "consume-before-complete", pc,
+                        f"load consumes output of thread {spec.thread!r} "
+                        "on a path with no intervening tcheck",
+                        detail=f"{addresses.describe(layout)} vs thread "
+                               f"writes {thread.writes.describe(layout)}",
+                    ))
+                else:
+                    findings.append(Finding(
+                        ERROR, "write-race", pc,
+                        f"load consumes output of thread {spec.thread!r} "
+                        "but the program never tchecks it",
+                        detail=f"{addresses.describe(layout)} vs thread "
+                               f"writes {thread.writes.describe(layout)}",
+                    ))
+    return findings
+
+
+def _check_uninitialized(program: Program) -> List[Finding]:
+    """uninitialized-register, over support-thread bodies only.
+
+    At dispatch ``Context.start_support`` writes exactly r1/r2/r3; every
+    other register of the support context holds whatever the *previous*
+    activation on that context left there (zeros only on the context's
+    very first use).  Under the inline fallback (queue overflow,
+    single-context tcheck) the body instead runs on the main context with
+    main's live registers, saved and restored around the call.  A body
+    that reads a register it never wrote therefore computes from
+    schedule-dependent garbage — a contract violation (the thread depends
+    on state other than the triggering store's data), reported as an
+    error.
+
+    The main region is exempt: its context is constructed zeroed and
+    starts fresh, so a read-before-write there is a well-defined read of
+    zero (common builder idiom for accumulators).
+
+    Implemented as reaching definitions with r1/r2/r3 pre-defined at
+    entry and an explicit "undefined" pseudo-definition that survives
+    joins, so only registers undefined on *some* path are flagged (a
+    register defined on every path is fine even if no single dominating
+    definition exists).
+    """
+    findings: List[Finding] = []
+    entry_regs = (TRIGGER_ADDR_REG, TRIGGER_VALUE_REG, TRIGGER_OLD_VALUE_REG)
+    for name in program.threads:
+        tcfg = cfgmod.thread_cfg(program, name)
+        reaching = ReachingDefinitions(tcfg, entry_regs=entry_regs)
+        for pc in sorted(tcfg.pcs):
+            instruction = tcfg.instruction_at(pc)
+            _dest, sources = operand_roles(instruction.op)
+            if not sources:
+                continue
+            defs = reaching.defs_at(pc)
+            reported: Set[int] = set()
+            for slot in sources:
+                reg = getattr(instruction, slot)
+                if reg in reported:
+                    continue
+                if UNDEF in defs.get(reg, frozenset()):
+                    reported.add(reg)
+                    findings.append(Finding(
+                        ERROR, "uninitialized-register", pc,
+                        f"thread {name!r} reads r{reg} before any "
+                        "definition",
+                        detail=f"thread={name}",
+                    ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def analyze_program(
+    program: Program,
+    specs: Union[ThreadRegistry, Sequence[TriggerSpec], None] = None,
+    config: Optional[DttConfig] = None,
+    include_lint: bool = True,
+) -> List[Finding]:
+    """Run every applicable pass; returns deduplicated, sorted findings.
+
+    Lint runs first (the structural checks gate the semantic ones —
+    there is no point racing a thread body that never ``treturn``\\ s);
+    the uninitialized-register pass needs only the program; the trigger-
+    coverage and race passes additionally need the trigger ``specs`` and
+    the engine ``config`` (default :class:`~repro.core.config.DttConfig`:
+    granularity 1, no cascading) and are skipped without specs.
+    """
+    config = config if config is not None else DttConfig()
+    findings: List[Finding] = []
+    if include_lint:
+        from repro.isa.lint import lint_program  # circular-safe
+
+        findings.extend(lint_program(program))
+    findings.extend(_check_uninitialized(program))
+    if specs is not None:
+        registry = (specs if isinstance(specs, ThreadRegistry)
+                    else ThreadRegistry(specs))
+        if len(registry):
+            main = _MainModel(program)
+            findings.extend(
+                _check_trigger_coverage(program, registry, config, main))
+            findings.extend(_check_races(program, registry, config, main))
+    unique: List[Finding] = []
+    seen: Set[Finding] = set()
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            unique.append(finding)
+    unique.sort(key=Finding.sort_key)
+    return unique
+
+
+def analyze_build(build, config: Optional[DttConfig] = None,
+                  include_lint: bool = True) -> List[Finding]:
+    """Analyze a :class:`~repro.workloads.base.DttBuild` (program +
+    specs)."""
+    return analyze_program(build.program, build.specs, config=config,
+                           include_lint=include_lint)
+
+
+def analyze_workload(
+    workload: Union[str, object],
+    kind: str = "dtt",
+    seed: Optional[int] = None,
+    scale: Optional[int] = None,
+    config: Optional[DttConfig] = None,
+) -> List[Finding]:
+    """Analyze one bundled workload's build of the given ``kind``
+    (``baseline`` / ``dtt`` / ``dtt-watch``)."""
+    from repro.workloads.suite import get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    inp = workload.make_input(seed, scale)
+    if kind == "baseline":
+        return analyze_program(workload.build_baseline(inp), config=config)
+    if kind == "dtt":
+        return analyze_build(workload.build_dtt(inp), config=config)
+    if kind in ("dtt-watch", "dtt_watch"):
+        build = workload.build_dtt_watch(inp)
+        if build is None:
+            raise DttError(
+                f"workload {workload.name!r} has no address-watched variant")
+        return analyze_build(build, config=config)
+    raise DttError(f"unknown build kind {kind!r} "
+                   "(expected baseline, dtt, or dtt-watch)")
+
+
+def analysis_summary(findings: Sequence[Finding]) -> Dict:
+    """Aggregate counts for manifests and ``compare``."""
+    codes: Dict[str, int] = {}
+    errors = warnings = 0
+    for finding in findings:
+        codes[finding.code] = codes.get(finding.code, 0) + 1
+        if finding.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+    return {
+        "errors": errors,
+        "warnings": warnings,
+        "codes": {code: codes[code] for code in sorted(codes)},
+    }
+
+
+def summarize_workload(
+    name: str,
+    kind: str = "dtt",
+    seed: Optional[int] = None,
+    scale: Optional[int] = None,
+    config: Optional[DttConfig] = None,
+) -> Dict:
+    """One manifest-ready summary row for a workload build."""
+    findings = analyze_workload(name, kind=kind, seed=seed, scale=scale,
+                                config=config)
+    summary = analysis_summary(findings)
+    summary["workload"] = name
+    summary["kind"] = kind
+    return summary

@@ -1,0 +1,182 @@
+"""The shared finding model for every static check (lint + analysis).
+
+A :class:`Finding` is one diagnostic: a :class:`Severity`, a stable check
+``code`` (the vocabulary the docs table and the baseline format share), an
+optional program counter, a human message, and an optional ``detail``
+string carrying machine-ish context (overlapping region names, thread
+names).  ``repr`` is byte-compatible with the historical
+``repro.isa.lint.Finding`` format — ``[severity] code at pc N: message`` —
+so scripts that scrape linter output keep working.
+
+Baselines (:class:`Baseline`) suppress *known* findings so a CI gate only
+fails on new ones: a finding's :meth:`Finding.fingerprint` is
+``code@pc`` (optionally prefixed by the analyzed target's name), and a
+baseline file is a JSON document listing accepted fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DttError
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings will fault or mis-execute; ``WARNING`` findings are
+    probably mistakes.  The ``str`` mixin keeps severities comparable to
+    the historical string constants (``f.severity == "error"``).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        """Sort rank: errors first."""
+        return 0 if self is Severity.ERROR else 1
+
+
+#: historical module-level constants, kept importable everywhere
+ERROR = Severity.ERROR
+WARNING = Severity.WARNING
+
+
+class Finding:
+    """One static-check finding."""
+
+    __slots__ = ("severity", "code", "pc", "message", "detail")
+
+    def __init__(self, severity, code: str, pc: Optional[int],
+                 message: str, detail: str = ""):
+        self.severity = Severity(severity)
+        self.code = code
+        self.pc = pc
+        self.message = message
+        self.detail = detail
+
+    def sort_key(self) -> Tuple:
+        """Stable ordering: errors first, then pc, then code, then text."""
+        return (self.severity.rank,
+                self.pc if self.pc is not None else -1,
+                self.code, self.message)
+
+    def fingerprint(self, target: str = "") -> str:
+        """Baseline identity: ``[target:]code@pc`` (pc ``-`` when absent).
+
+        The message is deliberately excluded so rewording a diagnostic
+        never invalidates a committed baseline; the pc is included so a
+        *new* instance of a known code still fails the gate.
+        """
+        where = "-" if self.pc is None else str(self.pc)
+        prefix = f"{target}:" if target else ""
+        return f"{prefix}{self.code}@{where}"
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation."""
+        payload = {
+            "severity": self.severity.value,
+            "code": self.code,
+            "pc": self.pc,
+            "message": self.message,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(payload["severity"], payload["code"], payload.get("pc"),
+                   payload.get("message", ""), payload.get("detail", ""))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Finding):
+            return NotImplemented
+        return (self.severity is other.severity and self.code == other.code
+                and self.pc == other.pc and self.message == other.message
+                and self.detail == other.detail)
+
+    def __hash__(self) -> int:
+        return hash((self.severity, self.code, self.pc, self.message,
+                     self.detail))
+
+    def __repr__(self) -> str:
+        where = f" at pc {self.pc}" if self.pc is not None else ""
+        return f"[{self.severity.value}] {self.code}{where}: {self.message}"
+
+
+def errors_only(findings: Iterable[Finding]) -> List[Finding]:
+    """The subset of findings that will fault or mis-execute."""
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def findings_to_json(findings: Sequence[Finding], indent: int = 2) -> str:
+    """Serialize a finding list as a JSON array."""
+    return json.dumps([f.to_dict() for f in findings], indent=indent)
+
+
+class Baseline:
+    """A set of accepted finding fingerprints (the suppression file).
+
+    File format (JSON)::
+
+        {"version": 1, "suppress": ["mcf:dtt:dead-trigger@12", ...]}
+    """
+
+    VERSION = 1
+
+    def __init__(self, suppress: Iterable[str] = ()):
+        self.suppress = set(suppress)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; raises :class:`~repro.errors.DttError`
+        on malformed content (a broken baseline must not silently
+        un-suppress everything — or suppress nothing)."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise DttError(f"cannot read baseline {path!r}: {error}")
+        if (not isinstance(data, dict)
+                or not isinstance(data.get("suppress"), list)
+                or not all(isinstance(s, str) for s in data["suppress"])):
+            raise DttError(
+                f"baseline {path!r} is not a "
+                '{"version": 1, "suppress": [...]} document'
+            )
+        return cls(data["suppress"])
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize (fingerprints sorted, for stable diffs)."""
+        return json.dumps(
+            {"version": self.VERSION, "suppress": sorted(self.suppress)},
+            indent=indent,
+        ) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the baseline file atomically."""
+        from repro.obs.ioutil import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
+
+    def filter(self, findings: Sequence[Finding],
+               target: str = "") -> Tuple[List[Finding], int]:
+        """Split ``findings`` into (kept, suppressed-count)."""
+        kept = [f for f in findings
+                if f.fingerprint(target) not in self.suppress]
+        return kept, len(findings) - len(kept)
+
+    def add(self, findings: Sequence[Finding], target: str = "") -> None:
+        """Accept every given finding's fingerprint."""
+        self.suppress.update(f.fingerprint(target) for f in findings)
+
+    def __len__(self) -> int:
+        return len(self.suppress)
+
+    def __repr__(self) -> str:
+        return f"Baseline({len(self.suppress)} suppressed)"

@@ -47,7 +47,7 @@ def metric_direction(name: str) -> str:
     base = name.rsplit(".", 1)[-1]
     if base in ("speedup", "checks_passed", "instructions_per_sec"):
         return _DOWN_BAD
-    if base in ("cycles", "energy"):
+    if base in ("cycles", "energy", "analysis_errors"):
         return _UP_BAD
     if ("seconds" in base or base.startswith("phase:")
             or base in ("cache_hits", "cache_misses", "store_hits",
@@ -298,7 +298,22 @@ def _load_manifest(path: str, data: Dict) -> ResultSet:
         if isinstance(seconds, (int, float)):
             row[f"phase:{phase}"] = seconds
     label = data.get("experiment") or "manifest"
-    return ResultSet(path, "manifest", {label: row})
+    cells = {label: row}
+    # schema v4: one row per analyzed DTT build, so a conversion whose
+    # safety profile changed (new analyzer errors: up_bad; warning drift)
+    # is flagged next to its cost metrics
+    for summary in data.get("analysis") or []:
+        if not isinstance(summary, dict):
+            continue
+        name = f"analysis:{summary.get('workload')}:{summary.get('kind')}"
+        analysis_row: Dict[str, float] = {}
+        if isinstance(summary.get("errors"), (int, float)):
+            analysis_row["analysis_errors"] = summary["errors"]
+        if isinstance(summary.get("warnings"), (int, float)):
+            analysis_row["analysis_warnings"] = summary["warnings"]
+        if analysis_row:
+            cells[name] = analysis_row
+    return ResultSet(path, "manifest", cells)
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,11 @@ Commands::
     dtt-harness explain --workload mcf --activation 3   # causal lineage
     dtt-harness explain --workload mcf --address 1040   # why suppressed?
     dtt-harness report --store .dtt-store -o report.html  # cross-run HTML
+    dtt-harness lint --workload all          # structural checks, all builds
+    dtt-harness lint program.dtt --json      # lint one assembly file
+    dtt-harness analyze --workload mcf       # DTT safety analysis
+    dtt-harness analyze --workload all --fail-on warning \
+        --baseline benchmarks/analysis_baseline.json    # the CI gate
 
 ``--store`` also defaults from the ``DTT_STORE`` environment variable;
 ``--no-store`` disables it.  ``compare`` accepts two result-store
@@ -280,6 +285,142 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _analysis_targets(args):
+    """Resolve a lint/analyze invocation to ``(label, program, specs)``
+    triples — one per analyzed build.  ``specs`` is None for targets with
+    no trigger registry (assembly files, baseline builds); exits via
+    SystemExit(2) on unusable arguments."""
+    from repro.isa.assembler import parse_program
+    from repro.workloads.suite import workload_names
+
+    targets = []
+    if args.program:
+        try:
+            with open(args.program, encoding="utf-8") as handle:
+                program = parse_program(handle.read())
+            program.finalize()
+        except Exception as error:
+            print(f"cannot load {args.program!r}: {error}")
+            raise SystemExit(2)
+        targets.append((os.path.basename(args.program), program, None))
+    names = list(args.workload or [])
+    if "all" in names:
+        names = workload_names()
+    kind = args.kind
+    for name in names:
+        if name not in SUITE:
+            print(f"unknown workload {name!r}; "
+                  f"choose from {', '.join(SUITE)} or 'all'")
+            raise SystemExit(2)
+        workload = SUITE[name]
+        inp = workload.make_input(args.seed, args.scale)
+        if kind == "baseline":
+            targets.append((f"{name}:baseline",
+                            workload.build_baseline(inp), None))
+            continue
+        if kind == "dtt-watch":
+            build = workload.build_dtt_watch(inp)
+            if build is None:
+                continue  # no watch variant: nothing to analyze
+        else:
+            build = workload.build_dtt(inp)
+        targets.append((f"{name}:{kind}", build.program, build.specs))
+    if not targets:
+        print("nothing to check: pass an assembly file or --workload NAME")
+        raise SystemExit(2)
+    return targets
+
+
+def _render_findings(label: str, findings, suppressed: int = 0) -> None:
+    counts = f"{sum(1 for f in findings if f.severity == 'error')} error(s), " \
+             f"{sum(1 for f in findings if f.severity == 'warning')} warning(s)"
+    if suppressed:
+        counts += f", {suppressed} baselined"
+    print(f"{label}: {counts}")
+    for finding in findings:
+        print(f"  {finding!r}")
+        if finding.detail:
+            print(f"      {finding.detail}")
+
+
+def _cmd_lint(args) -> int:
+    from repro.isa.lint import lint_program
+
+    try:
+        targets = _analysis_targets(args)
+    except SystemExit as error:
+        return int(error.code)
+    payload = []
+    worst_errors = 0
+    for label, program, _specs in targets:
+        findings = lint_program(program)
+        worst_errors += sum(1 for f in findings if f.severity == "error")
+        if args.json:
+            payload.append({
+                "target": label,
+                "findings": [f.to_dict() for f in findings],
+            })
+        else:
+            _render_findings(label, findings)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 1 if worst_errors else 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (Baseline, analysis_summary, analyze_program)
+    from repro.errors import DttError
+
+    try:
+        targets = _analysis_targets(args)
+    except SystemExit as error:
+        return int(error.code)
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except DttError as error:
+            print(str(error))
+            return 2
+    written = Baseline()
+    payload = []
+    failed = False
+    all_findings = []
+    for label, program, specs in targets:
+        findings = analyze_program(program, specs)
+        written.add(findings, target=label)
+        suppressed = 0
+        if baseline is not None:
+            findings, suppressed = baseline.filter(findings, target=label)
+        all_findings.extend(findings)
+        summary = analysis_summary(findings)
+        if summary["errors"] or (args.fail_on == "warning"
+                                 and summary["warnings"]):
+            failed = True
+        if args.json:
+            payload.append({
+                "target": label,
+                "findings": [f.to_dict() for f in findings],
+                "summary": summary,
+                "suppressed": suppressed,
+            })
+        else:
+            _render_findings(label, findings, suppressed)
+    if args.write_baseline:
+        written.save(args.write_baseline)
+        print(f"wrote {args.write_baseline} "
+              f"({len(written)} fingerprint(s))")
+        return 0
+    totals = analysis_summary(all_findings)
+    if args.json:
+        print(json.dumps({"targets": payload, "summary": totals}, indent=2))
+    else:
+        print(f"total: {totals['errors']} error(s), "
+              f"{totals['warnings']} warning(s) "
+              f"across {len(targets)} target(s)")
+    return 1 if failed else 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.harness.sweeps import sweep_redundancy, sweep_speedup
 
@@ -418,6 +559,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output HTML path (default: report.html)")
     report.add_argument("--title", default="DTT reproduction report",
                         help="report page title")
+
+    def _add_target_arguments(command):
+        command.add_argument("program", nargs="?", default=None,
+                             help="assembly file to check (optional)")
+        command.add_argument("--workload", nargs="+", default=None,
+                             metavar="NAME",
+                             help="bundled workload(s) to check, or 'all'")
+        command.add_argument("--kind", default="dtt",
+                             choices=["baseline", "dtt", "dtt-watch"],
+                             help="which build of a workload to check "
+                                  "(default: dtt)")
+        command.add_argument("--seed", type=int, default=None)
+        command.add_argument("--scale", type=int, default=None)
+        command.add_argument("--json", action="store_true",
+                             help="print findings as JSON instead of text")
+
+    lint = sub.add_parser(
+        "lint",
+        help="structural checks over a program or workload builds "
+             "(nonzero exit on errors)")
+    _add_target_arguments(lint)
+    analyze = sub.add_parser(
+        "analyze",
+        help="DTT safety analysis (lint + trigger coverage + race checks); "
+             "nonzero exit per --fail-on")
+    _add_target_arguments(analyze)
+    analyze.add_argument("--fail-on", default="error",
+                         choices=["error", "warning"],
+                         help="findings severity that makes the exit code "
+                              "nonzero (default: error)")
+    analyze.add_argument("--baseline", default=None, metavar="FILE",
+                         help="suppress findings fingerprinted in this "
+                              "baseline file")
+    analyze.add_argument("--write-baseline", default=None, metavar="FILE",
+                         help="write all current findings as a baseline "
+                              "and exit 0")
     return parser
 
 
@@ -440,6 +617,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_explain(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     return _cmd_verify(args)
 
 

@@ -162,6 +162,40 @@ class SuiteRunner:
                   for engine in self._engines.values()]
         return max(depths, default=0)
 
+    def analysis_summaries(self) -> List[Dict]:
+        """Static-analysis summaries for every DTT build this runner ran.
+
+        One row per distinct ``(workload, kind)`` among the memoized timed
+        runs with a DTT build (``dtt`` / ``dtt-watch``), produced by
+        :func:`repro.analysis.checks.summarize_workload` under the default
+        :class:`~repro.core.config.DttConfig` — the analyzer's verdict is
+        a property of the *build* (program + trigger specs), not of the
+        machine configuration, so ablation variants of one build share a
+        row.  Rolled into the run manifest (schema v4) so ``compare`` can
+        flag a conversion whose safety profile changed.
+
+        Only bundled (suite-registered) workloads are summarized: ad-hoc
+        experiment workloads (e.g. E9's contention micro-workloads) are
+        not resolvable by name after the fact.
+        """
+        from repro.analysis.checks import summarize_workload
+
+        seen = set()
+        rows: List[Dict] = []
+        for (workload, build, _config, _fields, seed, scale) in self._timed:
+            if build not in ("dtt", "dtt-watch") or (workload, build) in seen:
+                continue
+            if workload not in SUITE:
+                continue  # ad-hoc experiment workload, not in the registry
+            seen.add((workload, build))
+            try:
+                rows.append(summarize_workload(workload, kind=build,
+                                               seed=seed, scale=scale))
+            except DttError:
+                continue  # e.g. a build kind the workload no longer has
+        rows.sort(key=lambda row: (row["workload"], row["kind"]))
+        return rows
+
     def traces(self) -> List[Tuple[str, EngineTrace]]:
         """(label, trace) for every traced run, in execution order."""
         return [

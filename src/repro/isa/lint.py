@@ -30,83 +30,68 @@ or runtime faults — most of them DTT-specific:
     reach (dead code, or a missing label).
 
 Every finding carries a severity: ``error`` findings will fault or
-mis-execute; ``warning`` findings are probably mistakes.
+mis-execute; ``warning`` findings are probably mistakes.  The finding
+model is shared with the semantic analyzer
+(:mod:`repro.analysis.findings`); reachability comes from the precise CFG
+(:func:`repro.analysis.cfg.reachable_pcs`), which models call/ret return
+sites exactly — code after a ``call`` to a never-returning subroutine is
+dead, and a shared subroutine's ``ret`` only flows back to its real
+callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set, Tuple
 
+from repro.analysis.cfg import reachable_pcs, thread_regions
+from repro.analysis.findings import (ERROR, WARNING, Finding, Severity,
+                                     errors_only)
 from repro.errors import ProgramValidationError
-from repro.isa.instructions import is_branch, is_triggering_store
+from repro.isa.instructions import is_triggering_store
 from repro.isa.program import Program
 
-ERROR = "error"
-WARNING = "warning"
+__all__ = ["ERROR", "WARNING", "CODES", "Finding", "Severity",
+           "errors_only", "lint_program"]
 
-
-class Finding:
-    """One lint finding."""
-
-    __slots__ = ("severity", "code", "pc", "message")
-
-    def __init__(self, severity: str, code: str, pc: Optional[int],
-                 message: str):
-        self.severity = severity
-        self.code = code
-        self.pc = pc
-        self.message = message
-
-    def __repr__(self) -> str:
-        where = f" at pc {self.pc}" if self.pc is not None else ""
-        return f"[{self.severity}] {self.code}{where}: {self.message}"
+#: lint code -> (severity, one-line description); the docs table must
+#: list every code here (tests/test_docs_sync.py)
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "no-halt": (
+        ERROR, "no halt instruction: the main context runs off the end"),
+    "thread-missing-treturn": (
+        ERROR, "a support thread's body contains no treturn"),
+    "halt-in-thread": (
+        ERROR, "halt inside a support-thread body faults at runtime"),
+    "tstore-in-thread": (
+        WARNING,
+        "a triggering store in a thread body is a plain store unless "
+        "cascading is enabled"),
+    "out-in-thread": (
+        WARNING,
+        "thread output interleaves nondeterministically under timing"),
+    "tcheck-bad-tid": (
+        ERROR, "tcheck references a thread id the program does not declare"),
+    "tcheck-without-threads": (
+        WARNING, "tcheck in a program that declares no support threads"),
+    "unreachable": (
+        WARNING, "no control path from any entry reaches the instruction"),
+}
 
 
 def _thread_regions(program: Program) -> Dict[str, range]:
-    """Thread name -> PC range, from the 'thread:NAME' function records
-    the builder emits; threads authored without the builder fall back to
-    an entry-only range."""
-    regions: Dict[str, range] = {}
-    for function in program.functions:
-        if function.name.startswith("thread:"):
-            regions[function.name[len("thread:"):]] = range(
-                function.start, function.end
-            )
-    for name in program.threads:
-        if name not in regions:
-            entry = program.thread_entry_pc(name)
-            regions[name] = range(entry, entry + 1)
-    return regions
+    """Thread name -> PC range (see :func:`repro.analysis.cfg.thread_regions`,
+    which absorbed this helper; the alias keeps old imports working)."""
+    return thread_regions(program)
 
 
 def _reachable(program: Program) -> Set[int]:
-    """PCs reachable from the entry point or any thread entry."""
-    size = len(program.instructions)
-    work = [program.entry_pc]
-    work.extend(program.thread_entry_pc(name) for name in program.threads)
-    seen: Set[int] = set()
-    while work:
-        pc = work.pop()
-        if pc in seen or not 0 <= pc < size:
-            continue
-        seen.add(pc)
-        instruction = program.instructions[pc]
-        op = instruction.op
-        if op in ("halt", "treturn"):
-            continue
-        if op == "ret":
-            continue  # successors come from the call site's fallthrough
-        if op == "jmp":
-            work.append(instruction.target)
-            continue
-        if op == "call":
-            work.append(instruction.target)
-            work.append(pc + 1)  # the return lands here
-            continue
-        if is_branch(op):
-            work.append(instruction.target)
-        work.append(pc + 1)
-    return seen
+    """PCs reachable from the entry point or any thread entry.
+
+    Delegates to the CFG layer's precise reachability: ``ret`` flows only
+    to the return sites of calls that actually reach it, and a ``call``'s
+    fallthrough is live only if its callee can return.
+    """
+    return reachable_pcs(program)
 
 
 def lint_program(program: Program) -> List[Finding]:
@@ -176,11 +161,5 @@ def lint_program(program: Program) -> List[Finding]:
                 "this instruction",
             ))
 
-    findings.sort(key=lambda f: (f.severity != ERROR,
-                                 f.pc if f.pc is not None else -1))
+    findings.sort(key=Finding.sort_key)
     return findings
-
-
-def errors_only(findings: List[Finding]) -> List[Finding]:
-    """The subset of findings that will fault or mis-execute."""
-    return [f for f in findings if f.severity == ERROR]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class RunManifest:
@@ -23,8 +23,9 @@ class RunManifest:
 
     #: bump when the serialized shape changes
     #: (v2: store_hits / store_misses, canonical-string run keys;
-    #:  v3: trace health counters + causal summary from traced runs)
-    SCHEMA_VERSION = 3
+    #:  v3: trace health counters + causal summary from traced runs;
+    #:  v4: static-analysis summaries per DTT build)
+    SCHEMA_VERSION = 4
 
     def __init__(
         self,
@@ -41,6 +42,7 @@ class RunManifest:
         trace_dropped_events: int = 0,
         unmatched_closers: int = 0,
         causal: Optional[Dict] = None,
+        analysis: Optional[List[Dict]] = None,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -62,6 +64,10 @@ class RunManifest:
         #: merged :func:`repro.obs.causality.causal_summary` over the
         #: runner's traces, or None for untraced runs
         self.causal = dict(causal) if causal else None
+        #: per-DTT-build static-analysis summaries
+        #: (:meth:`SuiteRunner.analysis_summaries`); [] when no DTT build
+        #: was run
+        self.analysis = [dict(row) for row in (analysis or [])]
 
     # -- construction ---------------------------------------------------------
 
@@ -93,6 +99,8 @@ class RunManifest:
             dropped = causal["dropped_events"]
             unmatched = sum(unmatched_closer_count(trace)
                             for _name, trace in traces)
+        analysis = (runner.analysis_summaries()
+                    if hasattr(runner, "analysis_summaries") else [])
         return cls(
             fingerprint=fingerprint_of(identity),
             seed=runner.seed,
@@ -107,6 +115,7 @@ class RunManifest:
             trace_dropped_events=dropped,
             unmatched_closers=unmatched,
             causal=causal,
+            analysis=analysis,
         )
 
     # -- serialization --------------------------------------------------------
@@ -137,6 +146,7 @@ class RunManifest:
             "trace_dropped_events": self.trace_dropped_events,
             "unmatched_closers": self.unmatched_closers,
             "causal": self.causal,
+            "analysis": self.analysis,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,0 +1,205 @@
+"""CFG layer: call/ret modeling, region slicing, blocks, dominators."""
+
+import pytest
+
+from repro.analysis.cfg import (CFG, call_return_map, main_cfg, reachable_pcs,
+                                slice_pcs, successor_map, thread_cfg,
+                                thread_regions)
+from repro.errors import ProgramValidationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+def build_shared_subroutine():
+    """Two callers share one subroutine; its ret must flow to both."""
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("sub")        # pc 0
+        b.call("sub")        # pc 1
+        b.halt()             # pc 2
+    with b.function("sub"):
+        b.nop()              # pc 3
+        b.ret()              # pc 4
+    return b.build()
+
+
+def test_cfg_requires_finalized_program():
+    with pytest.raises(ProgramValidationError):
+        CFG(Program(), 0)
+
+
+def test_ret_flows_to_every_callers_return_site():
+    program = build_shared_subroutine()
+    successors = successor_map(program)
+    assert successors[0] == (3,)        # call enters the subroutine
+    assert set(successors[4]) == {1, 2}  # ret returns to both call sites
+
+
+def test_call_return_map_least_fixpoint():
+    program = build_shared_subroutine()
+    can_return, ret_map = call_return_map(program)
+    assert can_return == {3}
+    assert ret_map[3] == {4}
+
+
+def test_never_returning_callee_kills_fallthrough():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("spin")       # pc 0
+        b.halt()             # pc 1: dead — spin never returns
+    with b.function("spin"):
+        b.label("loop")      # pc 2
+        b.jmp("loop")
+    program = b.build()
+    can_return, _ = call_return_map(program)
+    assert can_return == set()
+    assert 1 not in reachable_pcs(program)
+
+
+def test_tail_call_hands_ret_to_original_caller():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("outer")      # pc 0
+        b.halt()             # pc 1
+    with b.function("outer"):
+        b.jmp("inner")       # pc 2: tail call
+    with b.function("inner"):
+        b.ret()              # pc 3: pops main's return site
+    program = b.build()
+    successors = successor_map(program)
+    assert successors[3] == (1,)
+    assert 1 in reachable_pcs(program)
+
+
+def test_nested_call_is_stepped_over_not_into():
+    # helper's ret must not be attributed to main's call of outer
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("outer")      # pc 0
+        b.halt()             # pc 1
+    with b.function("outer"):
+        b.call("helper")     # pc 2
+        b.ret()              # pc 3: the only ret returning from outer
+    with b.function("helper"):
+        b.nop()              # pc 4
+        b.ret()              # pc 5
+    program = b.build()
+    _, ret_map = call_return_map(program)
+    assert ret_map[2] == {3}   # outer returns via pc 3 only
+    assert ret_map[4] == {5}
+    successors = successor_map(program)
+    assert successors[5] == (3,)   # helper's ret -> outer's return site
+    assert successors[3] == (1,)   # outer's ret -> main's return site
+
+
+def test_thread_regions_from_function_records():
+    b = ProgramBuilder()
+    with b.thread("worker"):
+        b.nop()
+        b.treturn()
+    with b.function("main"):
+        b.halt()
+    regions = thread_regions(b.build())
+    assert set(regions) == {"worker"}
+    assert len(regions["worker"]) == 2
+
+
+def test_region_slices_are_isolated():
+    b = ProgramBuilder()
+    with b.thread("worker"):
+        b.nop()
+        b.treturn()
+    with b.function("main"):
+        b.nop()
+        b.halt()
+    program = b.build()
+    main = main_cfg(program)
+    worker = thread_cfg(program, "worker")
+    assert main.pcs.isdisjoint(worker.pcs)
+    # but both are reachable program-wide
+    assert reachable_pcs(program) == main.pcs | worker.pcs
+
+
+def test_shared_subroutine_in_both_slices():
+    b = ProgramBuilder()
+    with b.thread("worker"):
+        b.call("sub")
+        b.treturn()
+    with b.function("main"):
+        b.call("sub")
+        b.halt()
+    with b.function("sub"):
+        b.nop()
+        b.ret()
+    program = b.build()
+    sub_start = next(f.start for f in program.functions if f.name == "sub")
+    assert sub_start in main_cfg(program).pcs
+    assert sub_start in thread_cfg(program, "worker").pcs
+
+
+def test_basic_blocks_partition_the_slice():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.li(r, 3)
+            b.label("loop")
+            b.subi(r, r, 1)
+            b.bnez(r, "loop")
+        b.halt()
+    cfg = main_cfg(b.build())
+    covered = sorted(pc for block in cfg.blocks for pc in block.pcs)
+    assert covered == sorted(cfg.pcs)
+    # every pc maps to exactly the block that contains it
+    for block in cfg.blocks:
+        for pc in block.pcs:
+            assert cfg.block_at(pc) is block
+    # succ/pred lists are consistent
+    for block in cfg.blocks:
+        for succ in block.succs:
+            assert block.index in cfg.blocks[succ].preds
+
+
+def test_loop_back_edge_creates_block_boundary():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.li(r, 3)           # pc 0
+            b.label("loop")
+            b.subi(r, r, 1)      # pc 1: leader (branch target)
+            b.bnez(r, "loop")    # pc 2
+        b.halt()                 # pc 3
+    cfg = main_cfg(b.build())
+    loop_head = cfg.block_at(1)
+    assert loop_head.start == 1
+    branch_block = cfg.block_at(2)
+    assert set(branch_block.succs) == {loop_head.index,
+                                       cfg.block_at(3).index}
+
+
+def test_dominators_on_a_diamond():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.li(r, 1)           # pc 0: entry
+            b.beqz(r, "right")   # pc 1
+            b.nop()              # pc 2: left arm
+            b.jmp("join")        # pc 3
+            b.label("right")
+            b.nop()              # pc 4: right arm
+            b.label("join")
+            b.halt()             # pc 5: join
+    cfg = main_cfg(b.build())
+    dom = cfg.dominators()
+    entry = cfg.block_at(0).index
+    left = cfg.block_at(2).index
+    right = cfg.block_at(4).index
+    join = cfg.block_at(5).index
+    assert dom[join] == {entry, join}  # neither arm dominates the join
+    assert entry in dom[left] and entry in dom[right]
+
+
+def test_slice_pcs_accepts_precomputed_successors():
+    program = build_shared_subroutine()
+    successors = successor_map(program)
+    assert slice_pcs(program, [0], successors) == \
+        slice_pcs(program, [0])

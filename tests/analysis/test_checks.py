@@ -1,0 +1,320 @@
+"""DTT safety checks: one flagging fixture and one clean twin per check,
+plus granularity widening, cascading suppression, and the bundled-workload
+expectations committed in expected_workloads.json."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import CHECKS, analyze_program
+from repro.analysis.checks import (analysis_summary, analyze_build,
+                                   analyze_workload, summarize_workload)
+from repro.core.config import DttConfig
+from repro.core.registry import TriggerSpec
+from repro.errors import DttError
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.suite import SUITE
+
+EXPECTED = pathlib.Path(__file__).parent / "expected_workloads.json"
+
+
+def fixture(*, store_xs_in_window=False, store_ys_in_window=False,
+            load_ys_in_window=False, load_ys_after_tcheck=False,
+            store_xs_after_tcheck=False, tcheck=True,
+            uninit_thread=False, thread_tstore=False):
+    """The refresh-style skeleton all check tests share: a worker thread
+    recomputing ys[0] from the triggered xs cell, and a main region that
+    triggers it and (optionally) misbehaves inside the trigger window."""
+    b = ProgramBuilder()
+    b.data("xs", [1, 2, 3, 4])
+    b.data("ys", [0, 0])
+    with b.thread("worker"):
+        with b.scratch(2) as (v, out):
+            if not uninit_thread:
+                b.ld(v, 1, 0)        # the triggered cell, via r1
+            b.la(out, "ys")
+            if thread_tstore:
+                b.tst(v, out, 1)
+            b.st(v, out, 0)          # v read uninitialized when requested
+        b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 7)
+            b.tst(v, base, 0)
+            if store_xs_in_window:
+                b.st(v, base, 1)
+            if store_ys_in_window:
+                with b.scratch(1) as (t,):
+                    b.la(t, "ys")
+                    b.st(v, t, 0)
+            if load_ys_in_window:
+                with b.scratch(1) as (t,):
+                    b.la(t, "ys")
+                    b.ld(t, t, 0)
+            if tcheck:
+                b.tcheck_thread("worker")
+            if load_ys_after_tcheck:
+                with b.scratch(1) as (t,):
+                    b.la(t, "ys")
+                    b.ld(t, t, 0)
+            if store_xs_after_tcheck:
+                b.st(v, base, 1)
+        b.halt()
+    return b.build()
+
+
+def xs_spec(program, thread="worker"):
+    base, size = program.layout["xs"]
+    return TriggerSpec(thread, watch=[(base, base + size)])
+
+
+def ys_spec(program, thread="worker"):
+    base, size = program.layout["ys"]
+    return TriggerSpec(thread, watch=[(base, base + size)])
+
+
+def codes(program, specs, config=None):
+    return [f.code for f in analyze_program(program, specs, config=config,
+                                            include_lint=False)]
+
+
+def tst_pc(program):
+    return next(pc for pc, instruction in enumerate(program.instructions)
+                if instruction.op == "tst")
+
+
+# -- the happy path -----------------------------------------------------------
+
+
+def test_well_formed_conversion_is_clean():
+    program = fixture()
+    assert codes(program, [xs_spec(program)]) == []
+    # lint included by default, still clean
+    assert analyze_program(program, [xs_spec(program)]) == []
+
+
+# -- read-race ----------------------------------------------------------------
+
+
+def test_store_to_thread_input_inside_window_is_a_read_race():
+    program = fixture(store_xs_in_window=True)
+    assert "read-race" in codes(program, [xs_spec(program)])
+
+
+def test_same_store_after_the_tcheck_is_clean():
+    program = fixture(store_xs_after_tcheck=True)
+    assert codes(program, [xs_spec(program)]) == []
+
+
+def test_retrigger_of_same_spec_is_not_a_read_race():
+    # the triggering store itself writes thread input, but the engine
+    # cancels-and-restarts the same-key activation instead of racing
+    program = fixture()
+    findings = analyze_program(program, [xs_spec(program)],
+                               include_lint=False)
+    assert all(f.pc != tst_pc(program) for f in findings)
+    assert "read-race" not in [f.code for f in findings]
+
+
+# -- write-race ---------------------------------------------------------------
+
+
+def test_store_to_thread_output_inside_window_is_a_write_race():
+    program = fixture(store_ys_in_window=True)
+    assert "write-race" in codes(program, [xs_spec(program)])
+
+
+def test_consume_without_any_tcheck_is_a_write_race():
+    program = fixture(load_ys_in_window=True, tcheck=False)
+    found = codes(program, [xs_spec(program)])
+    assert "write-race" in found
+    assert "consume-before-complete" not in found
+
+
+# -- consume-before-complete --------------------------------------------------
+
+
+def test_consume_inside_window_with_downstream_tcheck():
+    program = fixture(load_ys_in_window=True)
+    assert "consume-before-complete" in codes(program, [xs_spec(program)])
+
+
+def test_consume_after_tcheck_is_clean():
+    program = fixture(load_ys_after_tcheck=True)
+    assert codes(program, [xs_spec(program)]) == []
+
+
+# -- uninitialized-register ---------------------------------------------------
+
+
+def test_thread_reading_stale_register_is_flagged():
+    program = fixture(uninit_thread=True)
+    findings = analyze_program(program, [xs_spec(program)],
+                               include_lint=False)
+    flagged = [f for f in findings if f.code == "uninitialized-register"]
+    assert len(flagged) == 1
+    assert "worker" in flagged[0].message
+
+
+def test_trigger_registers_count_as_initialized():
+    # the default thread body reads r1 without defining it: fine, since
+    # start_support seeds r1/r2/r3 at dispatch
+    program = fixture()
+    assert "uninitialized-register" not in codes(program, [xs_spec(program)])
+
+
+def test_uninit_runs_without_specs():
+    program = fixture(uninit_thread=True)
+    findings = analyze_program(program, include_lint=False)
+    assert [f.code for f in findings] == ["uninitialized-register"]
+
+
+# -- dead-trigger / dead-thread -----------------------------------------------
+
+
+def test_unmatched_spec_yields_dead_thread_and_dead_trigger():
+    program = fixture()
+    found = codes(program, [ys_spec(program)])  # watches ys; stores hit xs
+    assert "dead-trigger" in found
+    assert "dead-thread" in found
+
+
+def test_matching_spec_is_not_dead():
+    program = fixture()
+    found = codes(program, [xs_spec(program)])
+    assert "dead-trigger" not in found and "dead-thread" not in found
+
+
+def test_dead_thread_points_at_the_thread_entry():
+    program = fixture()
+    findings = analyze_program(program, [ys_spec(program)],
+                               include_lint=False)
+    dead = next(f for f in findings if f.code == "dead-thread")
+    assert dead.pc == program.thread_entry_pc("worker")
+    assert "watch" in dead.detail
+
+
+def test_store_pc_spec_matches_exactly():
+    program = fixture()
+    pc = tst_pc(program)
+    assert codes(program, [TriggerSpec("worker", store_pcs=[pc])]) == []
+    found = codes(program, [TriggerSpec("worker", store_pcs=[pc + 99])])
+    assert "dead-trigger" in found and "dead-thread" in found
+
+
+def test_granularity_widening_revives_a_neighbor_watch():
+    # watch only xs[1]; the store hits xs[0].  Exact matching calls both
+    # sides dead, but a granularity wider than the address space widens
+    # the range over the store — exactly what the engine's prefilter does.
+    program = fixture()
+    base, _size = program.layout["xs"]
+    spec = TriggerSpec("worker", watch=[(base + 1, base + 2)])
+    narrow = codes(program, [spec])
+    assert "dead-trigger" in narrow and "dead-thread" in narrow
+    wide = codes(program, [spec], DttConfig(granularity=base + 16))
+    assert "dead-trigger" not in wide and "dead-thread" not in wide
+
+
+def test_cascading_suppresses_dead_thread_not_dead_trigger():
+    program = fixture(thread_tstore=True)
+    spec = ys_spec(program)
+    cascading = codes(program, [spec], DttConfig(allow_cascading=True))
+    assert "dead-thread" not in cascading  # thread tstores are sources now
+    assert "dead-trigger" in cascading     # main's xs store still fires nothing
+    plain = codes(program, [spec])
+    assert "dead-thread" in plain
+
+
+# -- spec-unknown-thread ------------------------------------------------------
+
+
+def test_ghost_thread_spec_is_an_error():
+    program = fixture()
+    findings = analyze_program(program, [ys_spec(program, thread="ghost")],
+                               include_lint=False)
+    found = [f.code for f in findings]
+    assert "spec-unknown-thread" in found
+    assert "dead-trigger" in found          # xs store matches nothing either
+    assert "dead-thread" not in found       # no entry pc to point at
+    ghost = next(f for f in findings if f.code == "spec-unknown-thread")
+    assert ghost.severity == "error" and ghost.pc is None
+
+
+def test_known_thread_spec_is_not_a_ghost():
+    program = fixture()
+    assert "spec-unknown-thread" not in codes(program, [xs_spec(program)])
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def test_every_check_code_is_registered():
+    program = fixture(store_xs_in_window=True, load_ys_in_window=True,
+                      uninit_thread=True)
+    findings = analyze_program(
+        program,
+        [xs_spec(program), ys_spec(program, thread="ghost")],
+        include_lint=False)
+    for finding in findings:
+        assert finding.code in CHECKS
+        assert finding.severity is CHECKS[finding.code][0]
+    # sorted: errors first, then by pc
+    assert [f.severity for f in findings] == sorted(
+        (f.severity for f in findings),
+        key=lambda s: 0 if s == "error" else 1)
+
+
+def test_analysis_summary_counts():
+    program = fixture(store_xs_in_window=True)
+    findings = analyze_program(program, [xs_spec(program)],
+                               include_lint=False)
+    summary = analysis_summary(findings)
+    assert summary["errors"] == len(findings)
+    assert summary["warnings"] == 0
+    assert summary["codes"]["read-race"] >= 1
+
+
+def test_analyze_workload_kinds():
+    assert analyze_workload("mcf") == analyze_workload(SUITE["mcf"])
+    assert analyze_workload("mcf", kind="baseline") == []
+    with pytest.raises(DttError):
+        analyze_workload("mcf", kind="nonsense")
+    with pytest.raises(DttError):
+        # perlbmk has no address-watched variant
+        analyze_workload("perlbmk", kind="dtt-watch")
+
+
+def test_analyze_build_matches_analyze_program():
+    workload = SUITE["mcf"]
+    build = workload.build_dtt(workload.make_input(None, None))
+    assert analyze_build(build) == analyze_program(build.program, build.specs)
+
+
+# -- the bundled suite, pinned ------------------------------------------------
+
+
+def expected_rows():
+    return json.loads(EXPECTED.read_text())
+
+
+def test_expectations_file_covers_the_whole_suite():
+    covered = {(row["workload"], row["kind"]) for row in expected_rows()}
+    for name, workload in SUITE.items():
+        assert (name, "dtt") in covered
+        has_watch = workload.build_dtt_watch(
+            workload.make_input(None, None)) is not None
+        assert ((name, "dtt-watch") in covered) == has_watch
+
+
+@pytest.mark.parametrize("row", expected_rows(),
+                         ids=lambda row: f"{row['workload']}:{row['kind']}")
+def test_workload_verdict_matches_committed_expectation(row):
+    summary = summarize_workload(row["workload"], kind=row["kind"])
+    assert summary == row
+
+
+def test_every_bundled_dtt_build_is_error_free():
+    for name in SUITE:
+        assert analyze_workload(name, kind="dtt") == [], name

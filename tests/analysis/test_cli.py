@@ -1,0 +1,149 @@
+"""CLI surface: dtt-harness lint / analyze exit codes, JSON, baselines."""
+
+import json
+
+from repro.harness.cli import main
+from repro.isa.assembler import format_program
+from repro.isa.builder import ProgramBuilder
+
+
+def racy_program_text():
+    """An assembly file with one lint error and one uninit-register error."""
+    b = ProgramBuilder()
+    b.data("ys", [0])
+    with b.thread("worker"):
+        with b.scratch(2) as (v, out):
+            b.la(out, "ys")
+            b.st(v, out, 0)      # v never defined
+        b.treturn()
+    with b.function("main"):
+        b.tcheck_thread("worker")
+        b.nop()                  # no halt: lint error
+    return format_program(b.build())
+
+
+def clean_program_text():
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.halt()
+    return format_program(b.build())
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+def test_lint_clean_workload(capsys):
+    assert main(["lint", "--workload", "mcf"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf:dtt: 0 error(s), 0 warning(s)" in out
+
+
+def test_lint_all_workloads(capsys):
+    assert main(["lint", "--workload", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf:dtt" in out and "equake:dtt" in out
+
+
+def test_lint_program_file_with_errors(tmp_path, capsys):
+    path = tmp_path / "bad.dtt"
+    path.write_text(racy_program_text())
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "no-halt" in out
+
+
+def test_lint_json_shape(tmp_path, capsys):
+    path = tmp_path / "bad.dtt"
+    path.write_text(racy_program_text())
+    assert main(["lint", str(path), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["target"] == "bad.dtt"
+    assert "no-halt" in [f["code"] for f in payload[0]["findings"]]
+
+
+def test_lint_rejects_unknown_workload(capsys):
+    assert main(["lint", "--workload", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().out
+
+
+def test_lint_requires_a_target(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to check" in capsys.readouterr().out
+
+
+# -- analyze ------------------------------------------------------------------
+
+
+def test_analyze_clean_workload(capsys):
+    assert main(["analyze", "--workload", "mcf"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf:dtt: 0 error(s), 0 warning(s)" in out
+    assert "total: 0 error(s), 0 warning(s) across 1 target(s)" in out
+
+
+def test_analyze_whole_suite_even_at_fail_on_warning(capsys):
+    assert main(["analyze", "--workload", "all",
+                 "--fail-on", "warning"]) == 0
+
+
+def test_analyze_runs_lint_first(tmp_path, capsys):
+    path = tmp_path / "bad.dtt"
+    path.write_text(racy_program_text())
+    assert main(["analyze", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "no-halt" in out                   # lint finding
+    assert "uninitialized-register" in out    # semantic finding
+
+
+def test_analyze_json_shape(tmp_path, capsys):
+    path = tmp_path / "bad.dtt"
+    path.write_text(racy_program_text())
+    assert main(["analyze", str(path), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    target = payload["targets"][0]
+    assert target["target"] == "bad.dtt"
+    assert target["summary"]["errors"] >= 2
+    assert payload["summary"]["errors"] == target["summary"]["errors"]
+
+
+def test_analyze_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "ok.dtt"
+    path.write_text(clean_program_text())
+    assert main(["analyze", str(path)]) == 0
+
+
+def test_write_baseline_then_suppress(tmp_path, capsys):
+    path = tmp_path / "bad.dtt"
+    path.write_text(racy_program_text())
+    baseline = tmp_path / "baseline.json"
+    # record the current findings...
+    assert main(["analyze", str(path),
+                 "--write-baseline", str(baseline)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    # ...then the same invocation passes against them
+    assert main(["analyze", str(path), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+    # a different target label is NOT covered by those fingerprints
+    other = tmp_path / "other.dtt"
+    other.write_text(racy_program_text())
+    assert main(["analyze", str(other), "--baseline", str(baseline)]) == 1
+
+
+def test_analyze_rejects_malformed_baseline(tmp_path, capsys):
+    bad = tmp_path / "broken.json"
+    bad.write_text("not json")
+    assert main(["analyze", "--workload", "mcf",
+                 "--baseline", str(bad)]) == 2
+
+
+def test_analyze_rejects_unreadable_program(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "missing.dtt")]) == 2
+    assert "cannot load" in capsys.readouterr().out
+
+
+def test_analyze_against_committed_baseline(capsys):
+    # the repo-level gate: the bundled suite is clean under the committed
+    # (empty) baseline even with warnings promoted to failures
+    assert main(["analyze", "--workload", "all", "--fail-on", "warning",
+                 "--baseline", "benchmarks/analysis_baseline.json"]) == 0

@@ -1,0 +1,256 @@
+"""Dataflow layer: reaching defs, liveness, value/address propagation."""
+
+from repro.analysis.cfg import main_cfg
+from repro.analysis.dataflow import (ENTRY_DEF, TOP, UNDEF, AddressSet,
+                                     Liveness, ReachingDefinitions,
+                                     ValueAnalysis, access_summary,
+                                     const_value, meet_values,
+                                     region_containing, region_value,
+                                     union_addresses, value_to_addresses)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import NUM_REGISTERS
+
+
+def zero_env():
+    return {reg: const_value(0) for reg in range(NUM_REGISTERS)}
+
+
+# -- reaching definitions -----------------------------------------------------
+
+
+def test_one_armed_definition_reaches_join_as_maybe_undef():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (cond, x):
+            b.li(cond, 1)            # pc 0
+            b.beqz(cond, "skip")     # pc 1
+            b.li(x, 5)               # pc 2: only one arm defines x
+            b.label("skip")
+            use = b.add(x, x, x)     # pc 3
+        b.halt()
+    rd = ReachingDefinitions(main_cfg(b.build()))
+    defs = rd.defs_at(use)[int(x)]
+    assert UNDEF in defs and 2 in defs
+
+
+def test_entry_regs_are_defined_at_entry():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            use = b.add(r, r, r)
+        b.halt()
+    cfg = main_cfg(b.build())
+    rd = ReachingDefinitions(cfg, entry_regs=(int(r),))
+    assert rd.defs_at(use)[int(r)] == frozenset([ENTRY_DEF])
+    # without the seed, the same read is maybe-uninitialized
+    rd = ReachingDefinitions(cfg)
+    assert rd.defs_at(use)[int(r)] == frozenset([UNDEF])
+
+
+def test_defs_at_recomputes_within_a_block():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            first = b.li(r, 1)
+            b.li(r, 2)
+            use = b.add(r, r, r)
+        b.halt()
+    rd = ReachingDefinitions(main_cfg(b.build()))
+    # just before the second li, the first one still reaches
+    assert rd.defs_at(first + 1)[int(r)] == frozenset([first])
+    assert rd.defs_at(use)[int(r)] == frozenset([first + 1])
+
+
+# -- liveness -----------------------------------------------------------------
+
+
+def test_liveness_kills_at_definition_and_gens_at_use():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (a, c):
+            define = b.li(a, 1)      # a dead before, live after
+            use = b.add(c, a, a)     # last use of a
+        b.halt()
+    live = Liveness(main_cfg(b.build()))
+    assert int(a) not in live.live_into(define)
+    assert int(a) in live.live_into(use)
+    assert int(c) not in live.live_into(use)   # c written, never read
+
+
+def test_loop_carried_register_stays_live():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(1) as (r,):
+            b.li(r, 3)
+            b.label("loop")
+            back = b.subi(r, r, 1)
+            b.bnez(r, "loop")
+        b.halt()
+    live = Liveness(main_cfg(b.build()))
+    assert int(r) in live.live_into(back)
+
+
+# -- value lattice ------------------------------------------------------------
+
+
+def test_meet_values_lattice():
+    assert meet_values(const_value(3), const_value(3)) == const_value(3)
+    assert meet_values(const_value(3), const_value(4)) == TOP
+    assert meet_values(region_value(["xs"]), region_value(["ys"])) == \
+        region_value(["xs", "ys"])
+    assert meet_values(const_value(3), TOP) == TOP
+    assert region_value([]) == TOP  # no regions means anything
+
+
+def test_constant_folding_through_arithmetic():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (x, y):
+            b.li(x, 6)
+            b.li(y, 7)
+            b.mul(x, x, y)
+            b.addi(x, x, 1)
+            probe = b.mov(y, x)
+        b.halt()
+    values = ValueAnalysis(main_cfg(b.build()), zero_env())
+    assert values.env_at(probe)[int(x)] == const_value(43)
+    assert values.env_at(probe + 1)[int(y)] == const_value(43)
+
+
+def test_load_result_is_top():
+    b = ProgramBuilder()
+    b.data("xs", [0, 0])
+    with b.function("main"):
+        with b.scratch(2) as (p, v):
+            b.la(p, "xs")
+            probe = b.ld(v, p, 0)
+        b.halt()
+    values = ValueAnalysis(main_cfg(b.build()), zero_env())
+    assert values.env_at(probe + 1)[int(v)] == TOP
+
+
+def test_pointer_plus_unknown_index_widens_to_containing_region():
+    b = ProgramBuilder()
+    b.data("xs", [0, 0, 0, 0])
+    with b.function("main"):
+        with b.scratch(3) as (p, i, v):
+            b.la(p, "xs")
+            b.ld(i, p, 0)            # i becomes top
+            probe = b.add(p, p, i)   # const base + top -> region "xs"
+        b.halt()
+    values = ValueAnalysis(main_cfg(b.build()), zero_env())
+    assert values.env_at(probe + 1)[int(p)] == region_value(["xs"])
+
+
+def test_region_survives_further_offset_arithmetic():
+    b = ProgramBuilder()
+    b.data("xs", [0, 0, 0, 0])
+    with b.function("main"):
+        with b.scratch(2) as (p, i):
+            b.la(p, "xs")
+            b.ld(i, p, 0)
+            b.add(p, p, i)
+            probe = b.addi(p, p, 1)  # region ± const stays in region
+        b.halt()
+    values = ValueAnalysis(main_cfg(b.build()), zero_env())
+    assert values.env_at(probe + 1)[int(p)] == region_value(["xs"])
+
+
+def test_divergent_constants_meet_to_top():
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(2) as (cond, x):
+            b.li(cond, 1)
+            b.beqz(cond, "other")
+            b.li(x, 5)
+            b.jmp("join")
+            b.label("other")
+            b.li(x, 6)
+            b.label("join")
+            probe = b.mov(x, x)
+        b.halt()
+    values = ValueAnalysis(main_cfg(b.build()), zero_env())
+    assert values.env_at(probe)[int(x)] == TOP
+
+
+# -- address sets -------------------------------------------------------------
+
+
+def test_address_set_overlap_rules():
+    layout = {"xs": (100, 4), "ys": (104, 4)}
+    xs = AddressSet(regions=["xs"])
+    ys = AddressSet(regions=["ys"])
+    cell = AddressSet(exact=[102])
+    assert xs.overlaps(cell, layout)
+    assert not ys.overlaps(cell, layout)
+    assert not xs.overlaps(ys, layout)
+    assert AddressSet.anywhere().overlaps(xs, layout)
+    assert not AddressSet().overlaps(xs, layout)  # empty set hits nothing
+    assert xs.intersects_ranges([(103, 105)], layout)
+    assert not xs.intersects_ranges([(104, 105)], layout)
+
+
+def test_address_set_describe_uses_layout_symbols():
+    layout = {"xs": (100, 4)}
+    assert AddressSet(exact=[102]).describe(layout) == "xs[2]"
+    assert AddressSet(regions=["xs"]).describe(layout) == "xs[*]"
+    assert AddressSet(exact=[999]).describe(layout) == "999"
+    assert AddressSet().describe(layout) == "nothing"
+    assert AddressSet.anywhere().describe(layout) == "any address"
+
+
+def test_union_addresses_merges_components():
+    merged = union_addresses([AddressSet(exact=[1]),
+                              AddressSet(regions=["xs"])])
+    assert merged == AddressSet(exact=[1], regions=["xs"])
+    assert union_addresses([AddressSet(), AddressSet.anywhere()]).top
+
+
+def test_value_to_addresses():
+    layout = {"xs": (100, 4)}
+    assert value_to_addresses(const_value(102), layout) == \
+        AddressSet(exact=[102])
+    assert value_to_addresses(region_value(["xs"]), layout) == \
+        AddressSet(regions=["xs"])
+    assert value_to_addresses(TOP, layout).top
+
+
+def test_region_containing():
+    layout = {"xs": (100, 4), "flag": (104, 1)}
+    assert region_containing(101, layout) == "xs"
+    assert region_containing(104, layout) == "flag"
+    assert region_containing(99, layout) is None
+    assert region_containing(None, layout) is None
+
+
+# -- access summaries ---------------------------------------------------------
+
+
+def test_access_summary_classifies_and_resolves_addresses():
+    b = ProgramBuilder()
+    b.data("xs", [0, 0, 0, 0])
+    b.data("ys", [0, 0])
+    with b.function("main"):
+        with b.scratch(3) as (p, q, v):
+            b.la(p, "xs")
+            b.la(q, "ys")
+            b.ld(v, p, 1)        # exact read xs[1]
+            b.st(v, q, 0)        # exact write ys[0]
+            b.ld(v, p, 0)
+            b.add(p, p, v)       # p widens to xs region
+            b.tst(v, p, 0)       # triggering store somewhere in xs
+        b.halt()
+    program = b.build()
+    summary = access_summary(ValueAnalysis(main_cfg(program), zero_env()))
+    xs_base = program.layout["xs"][0]
+    ys_base = program.layout["ys"][0]
+    read_addrs = [s for _pc, s in summary.reads]
+    assert AddressSet(exact=[xs_base + 1]) in read_addrs
+    write_addrs = [s for _pc, s in summary.writes]
+    assert AddressSet(exact=[ys_base]) in write_addrs
+    # the triggering store counts as both a write and a tstore
+    assert len(summary.tstores) == 1
+    assert summary.tstores[0][1] == AddressSet(regions=["xs"])
+    assert summary.tstores[0] in summary.writes
+    assert summary.write_set().overlaps(
+        AddressSet(regions=["xs"]), program.layout)

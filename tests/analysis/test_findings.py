@@ -1,0 +1,101 @@
+"""Shared finding model: repr compatibility, ordering, JSON, baselines."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (ERROR, WARNING, Baseline, Finding,
+                                     Severity, errors_only, findings_to_json)
+from repro.errors import DttError
+
+
+def test_repr_is_byte_compatible_with_historical_linter():
+    finding = Finding(ERROR, "no-halt", None, "no halt instruction")
+    assert repr(finding) == "[error] no-halt: no halt instruction"
+    located = Finding(WARNING, "unreachable", 7, "dead code")
+    assert repr(located) == "[warning] unreachable at pc 7: dead code"
+
+
+def test_severity_compares_to_plain_strings():
+    finding = Finding("error", "x", None, "m")
+    assert finding.severity == "error"
+    assert finding.severity is Severity.ERROR
+    assert Finding("warning", "x", None, "m").severity == "warning"
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError):
+        Finding("fatal", "x", None, "m")
+
+
+def test_sort_key_orders_errors_first_then_pc():
+    findings = [
+        Finding(WARNING, "b", 1, "w1"),
+        Finding(ERROR, "a", 9, "e9"),
+        Finding(ERROR, "a", None, "global"),
+        Finding(WARNING, "b", 0, "w0"),
+    ]
+    findings.sort(key=Finding.sort_key)
+    assert [f.message for f in findings] == ["global", "e9", "w0", "w1"]
+
+
+def test_to_dict_round_trip():
+    finding = Finding(ERROR, "read-race", 12, "race", detail="xs[*]")
+    payload = finding.to_dict()
+    assert payload == {"severity": "error", "code": "read-race", "pc": 12,
+                       "message": "race", "detail": "xs[*]"}
+    assert Finding.from_dict(payload) == finding
+    # detail omitted when empty
+    assert "detail" not in Finding(ERROR, "x", None, "m").to_dict()
+
+
+def test_findings_to_json_is_a_json_array():
+    findings = [Finding(ERROR, "a", 1, "m")]
+    assert json.loads(findings_to_json(findings)) == [findings[0].to_dict()]
+
+
+def test_errors_only():
+    findings = [Finding(ERROR, "a", 1, "m"), Finding(WARNING, "b", 2, "m")]
+    assert [f.code for f in errors_only(findings)] == ["a"]
+
+
+def test_fingerprint_excludes_message_includes_target_and_pc():
+    one = Finding(ERROR, "read-race", 12, "worded one way")
+    two = Finding(ERROR, "read-race", 12, "worded another way")
+    assert one.fingerprint() == two.fingerprint() == "read-race@12"
+    assert one.fingerprint("mcf:dtt") == "mcf:dtt:read-race@12"
+    assert Finding(ERROR, "no-halt", None, "m").fingerprint() == "no-halt@-"
+
+
+def test_baseline_filter_and_add():
+    findings = [Finding(ERROR, "a", 1, "m"), Finding(ERROR, "b", 2, "m")]
+    baseline = Baseline()
+    baseline.add(findings[:1], target="t")
+    kept, suppressed = baseline.filter(findings, target="t")
+    assert suppressed == 1
+    assert [f.code for f in kept] == ["b"]
+    # a different target does not match the fingerprint
+    kept, suppressed = baseline.filter(findings, target="other")
+    assert suppressed == 0 and len(kept) == 2
+
+
+def test_baseline_save_load_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    baseline = Baseline(["t:a@1", "t:b@2"])
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.suppress == baseline.suppress
+    data = json.loads(open(path).read())
+    assert data["version"] == Baseline.VERSION
+    assert data["suppress"] == sorted(baseline.suppress)
+
+
+def test_baseline_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    for content in ("not json", "[1, 2]", '{"suppress": "nope"}',
+                    '{"suppress": [1]}'):
+        path.write_text(content)
+        with pytest.raises(DttError):
+            Baseline.load(str(path))
+    with pytest.raises(DttError):
+        Baseline.load(str(tmp_path / "missing.json"))

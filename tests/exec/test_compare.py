@@ -115,6 +115,35 @@ def test_load_manifest_file(tmp_path):
     assert loaded.cells["E3"]["phase:mcf:dtt:smt2"] == 1.5
 
 
+def test_manifest_analysis_rows_gate(tmp_path):
+    # schema v4: per-build analysis summaries become their own rows;
+    # a new analyzer error regresses, and warning drift flags both ways
+    def write(name, errors, warnings):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "experiment": "E3", "total_seconds": 1.0,
+            "phase_seconds": {},
+            "analysis": [{"workload": "mcf", "kind": "dtt",
+                          "errors": errors, "warnings": warnings,
+                          "codes": {}}],
+        }))
+        return str(path)
+
+    clean = write("clean.json", 0, 0)
+    loaded = load_result_set(clean)
+    assert loaded.cells["analysis:mcf:dtt"] == {"analysis_errors": 0,
+                                                "analysis_warnings": 0}
+    assert metric_direction("analysis_errors") == "up_bad"
+    report = compare_paths(clean, write("racy.json", 1, 2))
+    flagged = {d.metric for d in report.regressions
+               if d.row == "analysis:mcf:dtt"}
+    assert flagged == {"analysis_errors", "analysis_warnings"}
+    # errors falling is an improvement, never a regression
+    report = compare_paths(write("was_racy.json", 1, 0), clean)
+    assert not [d for d in report.regressions
+                if d.metric == "analysis_errors"]
+
+
 def test_load_rejects_junk(tmp_path):
     bad = tmp_path / "junk.json"
     bad.write_text("{\"neither\": true}")

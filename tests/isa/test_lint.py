@@ -149,6 +149,37 @@ def test_call_return_path_is_reachable():
     assert "unreachable" not in codes(lint_program(b.build()))
 
 
+def test_never_returning_callee_makes_fallthrough_unreachable():
+    # per-call-target return sites: code after a call to a non-returning
+    # subroutine is dead, and the old any-ret-reaches-any-call
+    # approximation could not see it
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("spin")
+        b.nop()  # dead: spin never returns
+        b.halt()
+    with b.function("spin"):
+        b.label("loop")
+        b.jmp("loop")
+    findings = lint_program(b.build())
+    unreachable = {f.pc for f in findings if f.code == "unreachable"}
+    assert {1, 2} <= unreachable
+
+
+def test_shared_subroutine_returns_to_each_caller():
+    # one subroutine, two call sites: both return sites stay reachable
+    # and nothing else gets resurrected by the shared ret
+    b = ProgramBuilder()
+    with b.function("main"):
+        b.call("sub")   # pc 0
+        b.call("sub")   # pc 1
+        b.halt()        # pc 2
+    with b.function("sub"):
+        b.nop()
+        b.ret()
+    assert "unreachable" not in codes(lint_program(b.build()))
+
+
 def test_errors_only_filter():
     b = ProgramBuilder()
     with b.function("main"):

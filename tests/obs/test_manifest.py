@@ -79,7 +79,7 @@ def test_untraced_manifest_has_no_causal_summary(runner):
     assert manifest.unmatched_closers == 0
     payload = manifest.as_dict()
     assert payload["causal"] is None
-    assert payload["schema_version"] == 3
+    assert payload["schema_version"] == 4
 
 
 def test_traced_manifest_carries_causal_summary():
@@ -97,6 +97,36 @@ def test_traced_manifest_carries_causal_summary():
     assert payload["causal"]["activations"] == \
         manifest.causal["activations"]
     json.dumps(payload)  # everything JSON-serializable
+
+
+# -- schema v4: static-analysis summaries -------------------------------------
+
+
+def test_manifest_carries_analysis_summaries(runner):
+    manifest = RunManifest.from_runner(runner, "EX")
+    assert manifest.analysis == [{
+        "errors": 0, "warnings": 0, "codes": {},
+        "workload": "perlbmk", "kind": "dtt",
+    }]
+    assert manifest.as_dict()["analysis"] == manifest.analysis
+
+
+def test_baseline_only_runner_has_no_analysis_rows():
+    r = SuiteRunner()
+    r.timed(SUITE["perlbmk"], "baseline")
+    assert RunManifest.from_runner(r).analysis == []
+
+
+def test_ad_hoc_workloads_are_skipped_not_fatal():
+    # E9 times workloads that are not in the bundled suite registry; the
+    # manifest must simply omit them rather than fail name resolution
+    from repro.workloads.overlap import OverlapWorkload
+
+    r = SuiteRunner()
+    r.timed(OverlapWorkload(), "dtt")
+    r.timed(SUITE["mcf"], "dtt")
+    manifest = RunManifest.from_runner(r)
+    assert [row["workload"] for row in manifest.analysis] == ["mcf"]
 
 
 def test_truncated_trace_surfaces_dropped_events():

@@ -27,3 +27,17 @@ def test_reference_covers_every_opcode():
     text = (DOCS / "isa_reference.md").read_text()
     missing = [op for op in OPCODES if f"`{op}`" not in text]
     assert not missing, f"opcodes missing from the reference: {missing}"
+
+
+def test_architecture_documents_every_check_code():
+    """The Static Analysis check catalog must list every analyzer and
+    linter code, so a new check cannot ship undocumented."""
+    from repro.analysis.checks import CHECKS
+    from repro.isa.lint import CODES
+
+    text = (DOCS / "architecture.md").read_text()
+    missing = [code for code in list(CHECKS) + list(CODES)
+               if f"`{code}`" not in text]
+    assert not missing, (
+        f"check codes missing from docs/architecture.md: {missing}"
+    )
