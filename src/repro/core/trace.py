@@ -26,6 +26,7 @@ hardware analogue is a debug port, not an observer bus.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional
 
 
@@ -85,13 +86,40 @@ class EngineTrace:
     Constructing the trace registers it on the engine via
     :meth:`~repro.core.engine.DttEngine.attach_trace`; the engine then
     calls :meth:`record` at every hook point.
+
+    The in-memory buffer holds at most ``max_events`` events.  ``keep``
+    picks which side survives a full buffer: ``"head"`` (default)
+    discards new events once full — the historical behavior — while
+    ``"tail"`` evicts the oldest so the buffer always holds the most
+    recent window (the right policy when the interesting events are at
+    the end of a long run).  Either way ``dropped`` counts the events
+    missing from memory.
+
+    ``spill`` routes *every* event, before any buffer policy applies,
+    to a sink with an ``append(event)`` method — in practice a
+    :class:`~repro.obs.ctrace.CTraceWriter` with an open stream — so
+    the on-disk record stays complete even when the in-memory window
+    drops events.  With a spill attached (or ``keep="tail"``), sequence
+    numbers advance for every event including memory-dropped ones, so
+    the spilled stream numbers its events continuously; the default
+    configuration preserves the historical numbering exactly.
     """
 
-    def __init__(self, engine, max_events: int = 100_000):
+    def __init__(self, engine, max_events: int = 100_000,
+                 keep: str = "head", spill=None):
+        if keep not in ("head", "tail"):
+            raise ValueError(
+                f"keep must be 'head' or 'tail', got {keep!r}")
         self.engine = engine
-        self.events: List[EngineEvent] = []
+        self.keep = keep
+        self.spill = spill
+        if keep == "tail":
+            self.events = deque(maxlen=max_events)
+        else:
+            self.events: List[EngineEvent] = []
         self.max_events = max_events
-        #: events discarded after the buffer filled (0 = complete trace)
+        #: events discarded from the in-memory buffer after it filled
+        #: (0 = complete in-memory trace; a spill sink still saw them)
         self.dropped = 0
         #: fast-exit flag: the engine's hot hooks read this *before*
         #: formatting event details, so a disabled sink costs one attribute
@@ -113,17 +141,24 @@ class EngineTrace:
                cause_id: Optional[int] = None,
                pc: Optional[int] = None,
                cycle: Optional[int] = None) -> None:
-        """Append one event (engine-facing; drops once the buffer fills)."""
+        """Append one event (engine-facing; buffer policy applies)."""
         if not self.enabled:
             return
-        if len(self.events) >= self.max_events:
+        full = len(self.events) >= self.max_events
+        if full and self.keep == "head" and self.spill is None:
             self.dropped += 1
             return
         self._sequence += 1
-        self.events.append(
-            EngineEvent(self._sequence, kind, thread, address, detail,
-                        activation_id, cause_id, pc, cycle)
-        )
+        event = EngineEvent(self._sequence, kind, thread, address, detail,
+                            activation_id, cause_id, pc, cycle)
+        if self.spill is not None:
+            self.spill.append(event)
+        if not full:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+            if self.keep == "tail":
+                self.events.append(event)  # deque evicts the oldest
 
     # retained for callers/tests that emitted events directly
     def _emit(self, kind: str, thread: Optional[str],
@@ -146,7 +181,12 @@ class EngineTrace:
         """The whole trace, one event per line."""
         lines = [repr(event) for event in self.events]
         if self.dropped:
-            lines.append(f"... ({self.dropped} events dropped)")
+            marker = f"... ({self.dropped} events dropped)"
+            # tail mode drops from the front, so mark the gap there
+            if self.keep == "tail":
+                lines.insert(0, marker)
+            else:
+                lines.append(marker)
         return "\n".join(lines)
 
     def __len__(self) -> int:

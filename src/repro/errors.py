@@ -127,6 +127,12 @@ class MetricsError(ObservabilityError):
     counter increment, malformed histogram buckets)."""
 
 
+class CTraceError(ObservabilityError):
+    """Malformed or truncated compressed event-trace file, or misuse of
+    the streaming writer (appending outside a stream, writing after
+    close)."""
+
+
 # --------------------------------------------------------------------------
 # Execution layer (parallel scheduler + result store)
 # --------------------------------------------------------------------------

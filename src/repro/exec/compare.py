@@ -11,10 +11,10 @@
   boolean cell per individual shape check;
 * a **manifest JSON file** (a single :class:`RunManifest` dict) — cost
   and cache counters plus per-phase wall-clock;
-* an **interpreter benchmark file** (``dtt-harness bench``,
-  ``BENCH_interpreter.json``) — one row per workload class with
-  fast-path/legacy instructions-per-second, their ratio, and the retired
-  instruction count.
+* a **benchmark file** (any ``"kind": "bench_*"`` JSON, e.g.
+  ``BENCH_interpreter.json`` from ``dtt-harness bench`` or
+  ``BENCH_trace_overhead.json`` from ``dtt-harness bench --trace``) —
+  one row per benchmark entry with its numeric columns.
 
 Cells compare direction-aware: ``speedup`` (and check pass counts) may
 only *fall* by more than the tolerance to count as a regression,
@@ -22,6 +22,12 @@ only *fall* by more than the tolerance to count as a regression,
 drift in either direction, and wall-clock cells are informational only
 (they are noisy and never gate).  A shape check flipping from pass to
 fail is always a regression, tolerance notwithstanding.
+
+CI-estimated metrics (sampled redundancy profiling) ship a sibling
+``<metric>_ci_width`` cell; for those, the effective tolerance widens to
+the confidence-interval width when that exceeds ``--tolerance`` —
+movement inside the interval is sampling noise by definition.  The
+``_ci_width`` / ``_ci_low`` / ``_ci_high`` cells themselves never gate.
 """
 
 from __future__ import annotations
@@ -45,12 +51,17 @@ _INFO = "info"            # never gates (wall clock, cache counters)
 def metric_direction(name: str) -> str:
     """Which direction of change counts as a regression for ``name``."""
     base = name.rsplit(".", 1)[-1]
-    if base in ("speedup", "checks_passed", "instructions_per_sec"):
+    if base.endswith(("_ci_width", "_ci_low", "_ci_high")):
+        return _INFO  # interval bounds annotate their estimate, never gate
+    if base in ("speedup", "checks_passed", "instructions_per_sec",
+                "compression_ratio"):
         return _DOWN_BAD
-    if base in ("cycles", "energy", "analysis_errors"):
+    if base in ("cycles", "energy", "analysis_errors", "bytes_per_event",
+                "sampled_abs_error"):
         return _UP_BAD
     if ("seconds" in base or base.startswith("phase:")
-            or base in ("cache_hits", "cache_misses", "store_hits",
+            or base in ("events_per_sec",
+                        "cache_hits", "cache_misses", "store_hits",
                         "store_misses", "peak_queue_depth", "checks_total",
                         "trace_dropped_events", "unmatched_closers",
                         "legacy_instructions_per_sec")):
@@ -182,7 +193,7 @@ def load_result_set(path: str) -> ResultSet:
         raise CompareError(f"cannot read {path!r}: {error}") from error
     if isinstance(data, list):
         return _load_results(path, data)
-    if isinstance(data, dict) and data.get("kind") == "bench_interpreter":
+    if isinstance(data, dict) and str(data.get("kind", "")).startswith("bench"):
         return _load_bench(path, data)
     if isinstance(data, dict) and "phase_seconds" in data:
         return _load_manifest(path, data)
@@ -217,7 +228,7 @@ def _load_store(path: str) -> ResultSet:
             slices = payload.get("slices", {})
             for summary in (loads, slices):
                 for metric, value in summary.items():
-                    if (metric.endswith("_fraction")
+                    if (metric.endswith(("_fraction", "_ci_width"))
                             and isinstance(value, (int, float))):
                         row[metric] = value
         if row:
@@ -344,9 +355,24 @@ def compare_sets(old: ResultSet, new: ResultSet,
     for row in sorted(set(old.cells) & set(new.cells)):
         old_cells, new_cells = old.cells[row], new.cells[row]
         for metric in sorted(set(old_cells) & set(new_cells)):
+            if metric.endswith(("_ci_width", "_ci_low", "_ci_high")):
+                continue  # consumed as the sibling estimate's tolerance
             before, after = old_cells[metric], new_cells[metric]
             relative = _relative(before, after)
-            if abs(relative) <= tolerance:
+            # a CI-estimated metric (sampled profiling) publishes a
+            # sibling `<metric>_ci_width` cell; movement inside the wider
+            # of the two intervals is sampling noise, not a change, so
+            # the effective tolerance is max(tolerance, relative CI width)
+            note = ""
+            effective = tolerance
+            ci_width = max(old_cells.get(f"{metric}_ci_width", 0.0),
+                           new_cells.get(f"{metric}_ci_width", 0.0))
+            if ci_width and before:
+                ci_relative = ci_width / abs(before)
+                if ci_relative > effective:
+                    effective = ci_relative
+                    note = f"tolerance = CI width ({ci_width:g})"
+            if abs(relative) <= effective:
                 continue
             direction = metric_direction(metric)
             regression = (
@@ -355,7 +381,8 @@ def compare_sets(old: ResultSet, new: ResultSet,
                 or direction == _DRIFT
             )
             report.deltas.append(Delta(
-                row, metric, before, after, relative, direction, regression))
+                row, metric, before, after, relative, direction, regression,
+                note=note))
 
     for name in sorted(set(old.checks) & set(new.checks)):
         if old.checks[name] == new.checks[name]:

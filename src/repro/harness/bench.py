@@ -17,6 +17,16 @@ written as ``BENCH_interpreter.json`` (kind ``bench_interpreter``), which
 ``dtt-harness compare`` understands: ``instructions_per_sec`` and
 ``speedup`` gate regressions (they may only fall), the legacy rate and
 wall-clock cells are informational.
+
+``dtt-harness bench --trace`` runs the companion **trace-overhead
+benchmark** (:func:`run_trace_bench`, written as
+``BENCH_trace_overhead.json``, kind ``bench_trace_overhead``): ctrace
+bytes/event and compression ratio over the JSON Chrome export, codec
+events/sec, and the sampled profiler's absolute error against the exact
+profiler with its 95 % CI width.  ``compare`` gates ``bytes_per_event``
+and ``sampled_abs_error`` (may only rise) and ``compression_ratio``
+(may only fall); wall-clock throughput (``events_per_sec``,
+``encode_seconds``, ``decode_seconds``) is informational only.
 """
 
 from __future__ import annotations
@@ -136,6 +146,144 @@ def run_bench(workloads: Optional[List[str]] = None, repeat: int = 3,
         "repeat": repeat,
         "rows": rows,
     }
+
+
+# ---------------------------------------------------------------------------
+# trace-overhead benchmark (``dtt-harness bench --trace``)
+# ---------------------------------------------------------------------------
+
+#: workload class -> why it is in the trace benchmark set (same classes
+#: as the interpreter bench: the event mix differs with the code style)
+TRACE_BENCH_WORKLOADS = dict(BENCH_WORKLOADS)
+
+
+def bench_trace_workload(name: str, repeat: int = 3,
+                         seed: Optional[int] = None,
+                         scale: Optional[int] = None,
+                         sample_rate: int = 64) -> Dict:
+    """Measure the observability costs of one workload class.
+
+    Three questions, one row:
+
+    * **compressed-trace density** — bytes/event of the ctrace encoding
+      of a real DTT run's event stream, and the compression ratio over
+      the JSON Chrome export of the same events;
+    * **codec throughput** — events/sec through encode (best of
+      ``repeat`` attempts; decode wall-clock is reported as an
+      informational ``decode_seconds``);
+    * **sampling accuracy** — absolute error of the 1/``sample_rate``
+      sampled redundant-load estimate against the exact profiler, plus
+      the estimate's 95 % CI width (the error should sit inside it).
+    """
+    import os
+    import tempfile
+
+    from repro.core.trace import EngineTrace
+    from repro.obs.ctrace import CTraceReader, write_trace
+    from repro.obs.timeline import traces_to_chrome
+    from repro.profiling.report import profile_program
+    from repro.timing.params import named_config
+    from repro.timing.system import TimingSimulator
+
+    workload = SUITE[name]
+    inp = workload.make_input(seed=seed, scale=scale)
+    build = workload.build_dtt(inp)
+    engine = build.engine(deferred=True)
+    trace = EngineTrace(engine)
+    TimingSimulator(build.program, named_config("smt2"), engine=engine).run()
+    events = len(trace.events)
+    if events == 0:
+        raise MachineError(f"{name!r} produced no trace events to measure")
+
+    best_encode = best_decode = None
+    ctrace_bytes = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "bench.ctrace")
+        for _attempt in range(max(repeat, 1)):
+            started = time.perf_counter()
+            footer = write_trace(path, (name, trace))
+            elapsed = time.perf_counter() - started
+            if best_encode is None or elapsed < best_encode:
+                best_encode = elapsed
+            ctrace_bytes = footer["bytes"]
+            started = time.perf_counter()
+            decoded = sum(1 for _ in CTraceReader(path).stream(name).events)
+            elapsed = time.perf_counter() - started
+            if best_decode is None or elapsed < best_decode:
+                best_decode = elapsed
+        if decoded != events:
+            raise MachineError(
+                f"ctrace round-trip lost events on {name!r}: "
+                f"{events} written, {decoded} read back")
+    chrome_bytes = len(json.dumps(traces_to_chrome([(name, trace)]),
+                                  indent=1).encode("utf-8"))
+
+    exact = profile_program(workload.build_baseline(inp), name)
+    sampled = profile_program(workload.build_baseline(inp), name,
+                              sample_rate=sample_rate)
+    estimate = sampled.loads.load_estimate
+    exact_fraction = exact.loads.redundant_load_fraction
+    return {
+        "description": TRACE_BENCH_WORKLOADS.get(name, ""),
+        "events": events,
+        "ctrace_bytes": ctrace_bytes,
+        "chrome_json_bytes": chrome_bytes,
+        "bytes_per_event": ctrace_bytes / events,
+        "compression_ratio": (chrome_bytes / ctrace_bytes
+                              if ctrace_bytes else 0.0),
+        "encode_seconds": best_encode,
+        "decode_seconds": best_decode,
+        "events_per_sec": events / best_encode if best_encode else 0.0,
+        "sample_rate": sample_rate,
+        "redundant_load_fraction": exact_fraction,
+        "sampled_fraction": estimate.fraction,
+        "sampled_abs_error": abs(estimate.fraction - exact_fraction),
+        "sampled_fraction_ci_width": estimate.ci_width,
+        "sampled_in_ci": bool(estimate.contains(exact_fraction)),
+    }
+
+
+def run_trace_bench(workloads: Optional[List[str]] = None, repeat: int = 3,
+                    seed: Optional[int] = None, scale: Optional[int] = None,
+                    sample_rate: int = 64) -> Dict:
+    """The trace-overhead benchmark; result is ``BENCH_trace_overhead.json``."""
+    names = list(workloads) if workloads else list(TRACE_BENCH_WORKLOADS)
+    for name in names:
+        if name not in SUITE:
+            raise MachineError(
+                f"unknown bench workload {name!r} (suite has: "
+                f"{', '.join(sorted(SUITE))})"
+            )
+    rows = {
+        name: bench_trace_workload(name, repeat=repeat, seed=seed,
+                                   scale=scale, sample_rate=sample_rate)
+        for name in names
+    }
+    return {
+        "kind": "bench_trace_overhead",
+        "schema": BENCH_SCHEMA,
+        "repeat": repeat,
+        "rows": rows,
+    }
+
+
+def render_trace_bench(result: Dict) -> str:
+    """Terminal table of one ``run_trace_bench`` result."""
+    lines = ["trace-overhead benchmark (best of "
+             f"{result.get('repeat', '?')})"]
+    lines.append(
+        f"  {'workload':<10} {'events':>8} {'B/event':>8} {'ratio':>7} "
+        f"{'encode':>12} {'sample err':>10} {'CI width':>9}")
+    for name, row in result.get("rows", {}).items():
+        lines.append(
+            f"  {name:<10} {row['events']:>8,} "
+            f"{row['bytes_per_event']:>8.2f} "
+            f"{row['compression_ratio']:>6.1f}x "
+            f"{row['events_per_sec']:>10,.0f}/s "
+            f"{row['sampled_abs_error']:>10.4f} "
+            f"{row['sampled_fraction_ci_width']:>9.4f}"
+        )
+    return "\n".join(lines)
 
 
 def render_bench(result: Dict) -> str:

@@ -9,8 +9,14 @@ Commands::
     dtt-harness run all --store .dtt-store   # persist + reuse results
     dtt-harness run E1 E3 --json out.json
     dtt-harness run E3 --trace-out t.json --metrics-out m.json
+    dtt-harness run E3 --ctrace-out run.ctrace --trace-keep tail
+    dtt-harness run E1 --sample-rate 64      # CI-bounded estimates
     dtt-harness compare old.json new.json    # flag regressions
     dtt-harness bench                # interpreter instructions/sec
+    dtt-harness bench --trace        # trace codec + sampling accuracy
+    dtt-harness stats --sample-rate 64 --ctrace-out run.ctrace
+    dtt-harness explain --ctrace run.ctrace --activation 3
+    dtt-harness report --ctrace run.ctrace -o report.html
     dtt-harness run E1 --profile profile.txt # cProfile the whole run
     dtt-harness verify               # correctness sweep of the suite
     dtt-harness sweep                # headline robustness across seeds
@@ -55,7 +61,8 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    for path in (args.json, args.metrics_out, args.trace_out, args.profile):
+    for path in (args.json, args.metrics_out, args.trace_out,
+                 args.ctrace_out, args.profile):
         # fail before the (slow) runs, not after
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"output directory does not exist: {path}")
@@ -100,9 +107,23 @@ def _run_experiments(args) -> int:
     if args.trace_out and jobs > 1:
         print("note: --trace-out needs live engines; forcing --jobs 1")
         jobs = 1
+    if args.ctrace_out and jobs > 1:
+        print("note: --ctrace-out needs live engines; forcing --jobs 1")
+        jobs = 1
+    if args.sample_rate is not None and jobs > 1:
+        print("note: --sample-rate estimates stay memo-only; forcing "
+              "--jobs 1")
+        jobs = 1
+    if args.sample_rate is not None and args.sample_rate < 1:
+        print(f"--sample-rate must be >= 1, got {args.sample_rate}")
+        return 2
     registry = MetricsRegistry() if args.metrics_out else None
     runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry,
-                         trace=bool(args.trace_out), store=store)
+                         trace=bool(args.trace_out), store=store,
+                         trace_keep=args.trace_keep,
+                         ctrace_out=args.ctrace_out,
+                         sample_rate=args.sample_rate,
+                         sample_seed=args.sample_seed)
     if jobs > 1 or store:
         # state the deduplicated run matrix once and execute it up front
         # (sharded across workers / served from the store); every
@@ -144,6 +165,11 @@ def _run_experiments(args) -> int:
                           json.dumps(traces_to_chrome(runner.traces())))
         print(f"wrote {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.ctrace_out:
+        footer = runner.close_ctrace() or {}
+        print(f"wrote {args.ctrace_out} ({footer.get('streams', 0)} "
+              f"streams, {footer.get('events', 0)} events, "
+              f"{footer.get('bytes', 0)} bytes compressed)")
     return 1 if failed else 0
 
 
@@ -169,25 +195,35 @@ def _cmd_compare(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.errors import MachineError
-    from repro.harness.bench import render_bench, run_bench, write_bench
+    from repro.harness.bench import (render_bench, render_trace_bench,
+                                     run_bench, run_trace_bench, write_bench)
 
-    if args.output and not os.path.isdir(os.path.dirname(args.output) or "."):
-        print(f"output directory does not exist: {args.output}")
+    output = args.output
+    if args.trace and output == "BENCH_interpreter.json":
+        output = "BENCH_trace_overhead.json"  # untouched default: retarget
+    if output and not os.path.isdir(os.path.dirname(output) or "."):
+        print(f"output directory does not exist: {output}")
         return 2
     if args.repeat < 1:
         print(f"--repeat must be >= 1, got {args.repeat}")
         return 2
     try:
-        result = run_bench(workloads=args.workloads, repeat=args.repeat,
-                           seed=args.seed, scale=args.scale,
-                           max_instructions=args.max_instructions)
+        if args.trace:
+            result = run_trace_bench(workloads=args.workloads,
+                                     repeat=args.repeat, seed=args.seed,
+                                     scale=args.scale,
+                                     sample_rate=args.sample_rate)
+        else:
+            result = run_bench(workloads=args.workloads, repeat=args.repeat,
+                               seed=args.seed, scale=args.scale,
+                               max_instructions=args.max_instructions)
     except MachineError as error:
         print(f"bench failed: {error}")
         return 2
-    print(render_bench(result))
-    if args.output:
-        write_bench(result, args.output)
-        print(f"wrote {args.output}")
+    print(render_trace_bench(result) if args.trace else render_bench(result))
+    if output:
+        write_bench(result, output)
+        print(f"wrote {output}")
     return 0
 
 
@@ -198,8 +234,14 @@ def _cmd_stats(args) -> int:
         print(f"unknown workload {args.workload!r}; "
               f"choose from {', '.join(SUITE)}")
         return 2
+    if args.sample_rate is not None and args.sample_rate < 1:
+        print(f"--sample-rate must be >= 1, got {args.sample_rate}")
+        return 2
     registry = MetricsRegistry()
-    runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry)
+    runner = SuiteRunner(seed=args.seed, scale=args.scale, metrics=registry,
+                         ctrace_out=args.ctrace_out,
+                         sample_rate=args.sample_rate,
+                         sample_seed=args.sample_seed)
     workload = SUITE[args.workload]
     runner.timed(workload, "baseline")
     runner.timed(workload, "dtt")
@@ -209,6 +251,35 @@ def _cmd_stats(args) -> int:
         print(registry.to_prometheus_text(), end="")
     else:
         print(registry.render())
+    if args.sample_rate is not None:
+        profile = runner.profile(workload)
+        loads = profile.loads
+        load = loads.load_estimate
+        store = loads.store_estimate
+        print(f"\nsampled redundancy profile (1/{args.sample_rate} of "
+              f"addresses, seed {args.sample_seed}):")
+        print(f"  redundant loads: {load.fraction:.4f}  "
+              f"95% CI [{load.ci_low:.4f}, {load.ci_high:.4f}]  "
+              f"width {load.ci_width:.4f}  "
+              f"({load.trials:,} loads sampled)")
+        print(f"  silent stores:   {store.fraction:.4f}  "
+              f"95% CI [{store.ci_low:.4f}, {store.ci_high:.4f}]  "
+              f"width {store.ci_width:.4f}  "
+              f"({store.trials:,} stores sampled)")
+    if args.ctrace_out:
+        from repro.obs.timeline import traces_to_chrome
+
+        chrome_bytes = len(json.dumps(
+            traces_to_chrome(runner.traces()), indent=1).encode("utf-8"))
+        footer = runner.close_ctrace() or {}
+        ctrace_bytes = footer.get("bytes", 0)
+        events = footer.get("events", 0)
+        ratio = chrome_bytes / ctrace_bytes if ctrace_bytes else 0.0
+        print(f"\ncompressed trace: {args.ctrace_out}")
+        print(f"  {events:,} events in {ctrace_bytes:,} bytes "
+              f"({ctrace_bytes / events if events else 0:.2f} B/event); "
+              f"{ratio:.1f}x smaller than the JSON Chrome export "
+              f"({chrome_bytes:,} bytes)")
     return 0
 
 
@@ -218,23 +289,38 @@ def _cmd_explain(args) -> int:
                                   render_explain_activation,
                                   render_explain_address)
 
-    if args.workload not in SUITE:
-        print(f"unknown workload {args.workload!r}; "
-              f"choose from {', '.join(SUITE)}")
-        return 2
-    workload = SUITE[args.workload]
-    runner = SuiteRunner(seed=args.seed, scale=args.scale, trace=True)
-    try:
-        runner.timed(workload, "dtt", args.config)
-    except Exception as error:
-        print(f"cannot run {workload.name} under DTT: {error}")
-        return 2
-    trace = runner.trace_for(workload.name, "dtt", args.config)
-    if trace is None:
-        print(f"{workload.name} produced no DTT trace under {args.config}")
-        return 2
+    if args.ctrace:
+        from repro.errors import CTraceError
+        from repro.obs.ctrace import CTraceReader
+
+        try:
+            reader = CTraceReader(args.ctrace)
+            wanted = f"{args.workload}:dtt:{args.config}"
+            names = [name for name, _stream in reader.named_streams()]
+            trace = reader.stream(wanted if wanted in names else None)
+        except (OSError, CTraceError) as error:
+            print(f"cannot read compressed trace: {error}")
+            return 2
+        label = trace.name
+    else:
+        if args.workload not in SUITE:
+            print(f"unknown workload {args.workload!r}; "
+                  f"choose from {', '.join(SUITE)}")
+            return 2
+        workload = SUITE[args.workload]
+        runner = SuiteRunner(seed=args.seed, scale=args.scale, trace=True)
+        try:
+            runner.timed(workload, "dtt", args.config)
+        except Exception as error:
+            print(f"cannot run {workload.name} under DTT: {error}")
+            return 2
+        trace = runner.trace_for(workload.name, "dtt", args.config)
+        if trace is None:
+            print(f"{workload.name} produced no DTT trace under "
+                  f"{args.config}")
+            return 2
+        label = f"{workload.name}:dtt:{args.config}"
     graph = CausalGraph.from_trace(trace)
-    label = f"{workload.name}:dtt:{args.config}"
     if args.activation is not None:
         print(render_explain_activation(graph, args.activation))
     elif args.address is not None:
@@ -271,16 +357,30 @@ def _cmd_report(args) -> int:
             print(f"{args.results!r} is not a results list "
                   "(expected `run --json` output)")
             return 2
-    if not entries and results is None:
-        print("nothing to report: pass --store and/or --results")
+    streams = []
+    if args.ctrace:
+        from repro.errors import CTraceError
+        from repro.obs.ctrace import CTraceReader
+
+        try:
+            streams = CTraceReader(args.ctrace).named_streams()
+        except (OSError, CTraceError) as error:
+            print(f"cannot read compressed trace: {error}")
+            return 2
+    if not entries and results is None and not streams:
+        print("nothing to report: pass --store, --results, "
+              "and/or --ctrace")
         return 2
     atomic_write_text(args.output,
-                      html_report(entries, results, title=args.title))
+                      html_report(entries, results, title=args.title,
+                                  ctrace_streams=streams))
     sources = []
     if entries:
         sources.append(f"{len(entries)} stored runs")
     if results is not None:
         sources.append(f"{len(results)} experiment results")
+    if streams:
+        sources.append(f"{len(streams)} compressed trace streams")
     print(f"wrote {args.output} ({', '.join(sources)})")
     return 0
 
@@ -476,6 +576,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write a Chrome trace-event timeline of every "
                           "DTT run (open in chrome://tracing / Perfetto)")
+    run.add_argument("--ctrace-out", default=None, metavar="FILE",
+                     help="spill the full event stream of every DTT run "
+                          "to a compressed trace file (readable by "
+                          "`explain --ctrace` / `report --ctrace`); the "
+                          "in-memory buffer cap no longer loses events")
+    run.add_argument("--trace-keep", default="head",
+                     choices=["head", "tail"],
+                     help="which side of a full trace buffer survives: "
+                          "'head' keeps the first events (default), "
+                          "'tail' the most recent window")
+    run.add_argument("--sample-rate", type=int, default=None, metavar="K",
+                     help="profile redundancy on a 1/K address sample "
+                          "(bounded memory, estimates with 95%% CIs) "
+                          "instead of exactly")
+    run.add_argument("--sample-seed", type=int, default=0,
+                     help="seed of the sampling hash (default: 0); same "
+                          "seed + rate = same estimate, any process")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write the metrics-registry snapshot as JSON")
     run.add_argument("--profile", default=None, metavar="FILE",
@@ -495,10 +612,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=None)
     bench.add_argument("--scale", type=int, default=None)
     bench.add_argument("--max-instructions", type=int, default=50_000_000)
+    bench.add_argument("--trace", action="store_true",
+                       help="run the trace-overhead benchmark instead "
+                            "(ctrace bytes/event, compression ratio, codec "
+                            "events/sec, sampled-vs-exact profiler error) "
+                            "and write BENCH_trace_overhead.json")
+    bench.add_argument("--sample-rate", type=int, default=64, metavar="K",
+                       help="sampling denominator for the --trace bench's "
+                            "accuracy measurement (default: 64)")
     bench.add_argument("-o", "--output", default="BENCH_interpreter.json",
                        metavar="FILE",
                        help="benchmark JSON path (default: "
-                            "BENCH_interpreter.json); '' skips writing")
+                            "BENCH_interpreter.json, or "
+                            "BENCH_trace_overhead.json under --trace); "
+                            "'' skips writing")
     compare = sub.add_parser(
         "compare",
         help="diff two result sets (stores, --json files, or manifests) "
@@ -524,6 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prometheus", action="store_true",
                        help="print Prometheus text format instead of the "
                             "aligned table")
+    stats.add_argument("--sample-rate", type=int, default=None, metavar="K",
+                       help="also run a 1/K sampled redundancy profile and "
+                            "print the estimates with their 95%% CIs")
+    stats.add_argument("--sample-seed", type=int, default=0)
+    stats.add_argument("--ctrace-out", default=None, metavar="FILE",
+                       help="spill the DTT run's events to a compressed "
+                            "trace and print its compression ratio")
     explain = sub.add_parser(
         "explain",
         help="trace one DTT run and explain an activation's causal "
@@ -532,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload to trace (default: mcf)")
     explain.add_argument("--config", default="smt2",
                          help="machine configuration (default: smt2)")
+    explain.add_argument("--ctrace", default=None, metavar="FILE",
+                         help="explain from a compressed trace file "
+                              "(written by `run --ctrace-out`) instead of "
+                              "re-running the workload")
     explain.add_argument("--seed", type=int, default=None)
     explain.add_argument("--scale", type=int, default=None)
     what = explain.add_mutually_exclusive_group()
@@ -554,6 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="results JSON written by `run --json` "
                              "(adds paper-claim vs measured and latency "
                              "sections)")
+    report.add_argument("--ctrace", default=None, metavar="FILE",
+                        help="compressed trace file (`run --ctrace-out`); "
+                             "adds a per-stream causal summary section")
     report.add_argument("-o", "--output", default="report.html",
                         metavar="FILE",
                         help="output HTML path (default: report.html)")

@@ -53,7 +53,12 @@ class SuiteRunner:
     """Runs workloads under timing/profiling with memoization."""
 
     def __init__(self, seed: Optional[int] = None, scale: Optional[int] = None,
-                 metrics=None, trace: bool = False, store=None):
+                 metrics=None, trace: bool = False, store=None,
+                 trace_keep: str = "head",
+                 trace_max_events: int = 100_000,
+                 ctrace_out: Optional[str] = None,
+                 sample_rate: Optional[int] = None,
+                 sample_seed: int = 0):
         self.seed = seed
         self.scale = scale
         #: optional MetricsRegistry shared by every run this runner makes
@@ -61,7 +66,23 @@ class SuiteRunner:
         #: when True, every DTT engine is wrapped in an EngineTrace; the
         #: store is then never *read* (traces need live engines), though
         #: executed runs are still written back
-        self.trace_enabled = trace
+        self.trace_enabled = trace or ctrace_out is not None
+        #: which side of a full trace buffer survives ("head" = first
+        #: events, the historical default; "tail" = most recent window)
+        self.trace_keep = trace_keep
+        self.trace_max_events = trace_max_events
+        #: path of the compressed spill file; when set, every traced
+        #: run's full event stream is written through a
+        #: :class:`~repro.obs.ctrace.CTraceWriter` regardless of the
+        #: in-memory buffer cap (call :meth:`close_ctrace` when done)
+        self.ctrace_out = ctrace_out
+        #: profiling sample rate (denominator; None = exact profiling).
+        #: Sampled profiles are estimates, so they stay memo-only — the
+        #: persistent store never sees them
+        self.sample_rate = sample_rate
+        self.sample_seed = sample_seed
+        self._ctrace_writer = None
+        self._ctrace_footer: Optional[Dict] = None
         #: optional persistent ResultStore behind the in-memory memo;
         #: a path string is accepted and opened
         self.store: Optional[ResultStore] = (
@@ -211,6 +232,78 @@ class SuiteRunner:
                 return trace
         return None
 
+    # -- compressed-trace spill --------------------------------------------------
+
+    def _begin_spill(self, stream_name: str):
+        """Open (lazily) the ctrace writer and start a stream; returns
+        the spill sink for the new EngineTrace, or None."""
+        if self.ctrace_out is None:
+            return None
+        if self._ctrace_writer is None:
+            from repro.obs.ctrace import CTraceWriter
+            self._ctrace_writer = CTraceWriter(self.ctrace_out)
+        self._ctrace_writer.begin_stream(stream_name)
+        return self._ctrace_writer
+
+    def _end_spill(self, trace: EngineTrace) -> None:
+        if self._ctrace_writer is None:
+            return
+        self._ctrace_writer.end_stream(
+            memory_dropped=trace.dropped, drop_policy=trace.keep)
+
+    def close_ctrace(self) -> Optional[Dict]:
+        """Commit the compressed spill file (idempotent).
+
+        Until this runs the target path holds the previous artifact (or
+        nothing) — the writer stages through a temp file.  Returns the
+        footer metadata, or None when no spill was configured.
+        """
+        if self._ctrace_writer is not None:
+            self._ctrace_footer = self._ctrace_writer.close()
+            self._ctrace_writer = None
+        return self._ctrace_footer
+
+    # -- manifest provenance -----------------------------------------------------
+
+    def sampling_provenance(self) -> Optional[Dict]:
+        """Sampled-profiling provenance for the manifest (schema v5):
+        rate, seed, and each sampled profile's estimator state.  None
+        when profiling is exact."""
+        if self.sample_rate is None:
+            return None
+        profiles = {}
+        for (workload, _seed, _scale), report in self._profiles.items():
+            if hasattr(report.loads, "provenance"):
+                profiles[workload] = report.loads.provenance()
+        return {
+            "sample_rate": self.sample_rate,
+            "sample_seed": self.sample_seed,
+            "profiles": profiles,
+        }
+
+    def ctrace_provenance(self) -> Optional[Dict]:
+        """Compressed-spill provenance for the manifest (schema v5).
+
+        Never closes the writer (a manifest can be built mid-harness,
+        with more traced runs still to come): while the spill is open
+        this reports live counters with ``committed: False``; after
+        :meth:`close_ctrace` it reports the final footer.
+        """
+        if self.ctrace_out is None:
+            return None
+        provenance: Dict = {"path": self.ctrace_out}
+        if self._ctrace_footer is not None:
+            provenance.update(self._ctrace_footer)
+            provenance["committed"] = True
+        else:
+            writer = self._ctrace_writer
+            provenance.update({
+                "streams": writer.streams_written if writer else 0,
+                "events": writer.events_written if writer else 0,
+                "committed": False,
+            })
+        return provenance
+
     # -- persistent store --------------------------------------------------------
 
     def _try_store(self, spec: RunSpec) -> bool:
@@ -270,6 +363,8 @@ class SuiteRunner:
         """
         if self.store is None or self.trace_enabled:
             return False
+        if spec.kind == "profile" and self.sample_rate is not None:
+            return False  # stored profiles are exact; this runner samples
         entry = self.store.get(spec)
         if entry is None:
             return False
@@ -362,12 +457,17 @@ class SuiteRunner:
                 )
             engine = build.engine(config=dtt_config, deferred=True)
             if self.trace_enabled:
-                self._traces[key] = EngineTrace(engine)
+                spill = self._begin_spill(f"{key[0]}:{key[1]}:{key[2]}")
+                self._traces[key] = EngineTrace(
+                    engine, max_events=self.trace_max_events,
+                    keep=self.trace_keep, spill=spill)
             simulator = TimingSimulator(build.program, system, engine=engine,
                                         metrics=self.metrics)
         started = time.perf_counter()
         result = simulator.run()
         elapsed = time.perf_counter() - started
+        if engine is not None and key in self._traces:
+            self._end_spill(self._traces[key])
         self._record_phase(spec.phase_name(), elapsed)
         if kind != "baseline" and check_against_baseline:
             baseline = self.timed(workload, "baseline", config_name)
@@ -405,22 +505,34 @@ class SuiteRunner:
     # -- profiles ------------------------------------------------------------------
 
     def profile(self, workload: Workload) -> RedundancyReport:
-        """Redundancy profile of the workload's baseline build."""
+        """Redundancy profile of the workload's baseline build.
+
+        With :attr:`sample_rate` set, the profile is a bounded-memory
+        *estimate* (see
+        :class:`~repro.profiling.redundancy.SampledRedundantLoadProfiler`)
+        and is kept memo-only: the persistent store holds exact profiles
+        exclusively, so an estimated run can never be restored where an
+        exact one is expected.
+        """
         spec = RunSpec.for_profile(workload.name, self.seed, self.scale)
         key = spec.runner_key()
+        sampled = self.sample_rate is not None
         if key in self._profiles:
             self._record_hit()
             return self._profiles[key]
-        if self._try_store(spec):
+        if not sampled and self._try_store(spec):
             return self._profiles[key]
         self._record_miss()
         inp = workload.make_input(self.seed, self.scale)
         started = time.perf_counter()
-        report = profile_program(workload.build_baseline(inp), workload.name)
+        report = profile_program(workload.build_baseline(inp), workload.name,
+                                 sample_rate=self.sample_rate,
+                                 sample_seed=self.sample_seed)
         elapsed = time.perf_counter() - started
         self._record_phase(spec.phase_name(), elapsed)
         self._profiles[key] = report
-        self._persist(spec, elapsed)
+        if not sampled:
+            self._persist(spec, elapsed)
         return report
 
     # -- sweeps ---------------------------------------------------------------------

@@ -142,6 +142,9 @@ class CausalGraph:
 
     @classmethod
     def from_trace(cls, trace: EngineTrace) -> "CausalGraph":
+        """Build from anything exposing ``.events`` and ``.dropped`` —
+        a live :class:`~repro.core.trace.EngineTrace` or a compressed
+        :class:`~repro.obs.ctrace.CTraceStream` (one streaming pass)."""
         graph = cls()
         graph.dropped_events = trace.dropped
         for event in trace.events:

@@ -1,0 +1,622 @@
+"""Compressed event traces: bounded-memory spill format for EngineTrace.
+
+The in-memory :class:`~repro.core.trace.EngineTrace` buffer caps at
+``max_events``; past that, full-fidelity observability used to simply
+stop.  This module is the spill target: a streaming, chunked, compressed
+on-disk encoding of the exact event stream, so provenance (``explain``),
+reporting, and timeline export work on runs 100x past the buffer cap
+while holding only one chunk of events in memory at a time.  The design
+follows "Data Race Detection on Compressed Traces" (PAPERS.md): analyses
+consume the compressed stream *directly* through an iterator — nothing
+ever materializes the whole trace.
+
+On-disk layout (all integers LEB128 varints; see docs/architecture.md
+"Trace formats & sampling")::
+
+    magic  b"DTTC\\x01"
+    record*:
+      b"S" len name-utf8                -- stream start (one per trace)
+      b"C" n-events z-len zlib-bytes    -- chunk of n encoded events
+      b"E" len meta-json                -- stream end (event/drop counts)
+    b"F" len meta-json                  -- file footer; ends the file
+
+Event encoding inside a chunk (before zlib), per event: a presence
+bitmask byte; dictionary ids for ``kind`` / ``thread`` / ``detail``
+(id 0 introduces a new string, later ids refer back — the event schema
+is dictionary-coded per stream); zigzag-varint *deltas* against the
+previous event's value for ``sequence`` (usually +1, encoded free),
+``address``, ``activation_id``, ``cause_id``, ``pc``, and ``cycle``.
+Delta+dictionary coding leaves zlib mostly zeros and tiny ids, which is
+where the compression ratio comes from.
+
+Round-trip exactness is a contract (property-tested across every suite
+workload): ``read -> EngineEvent`` reproduces the recorded stream
+field-for-field, so every consumer of a live trace accepts a
+:class:`CTraceStream` unchanged — it exposes the same ``.events`` /
+``.dropped`` / ``.truncated`` surface, and ``.events`` is a *fresh*
+iterator on each access (streams are re-iterable: the reader indexes
+chunk offsets once, then decodes on demand).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.trace import EngineEvent
+from repro.errors import CTraceError
+from repro.obs.ioutil import AtomicBinaryWriter
+
+MAGIC = b"DTTC\x01"
+
+#: per-stream dictionary capacity; past this, strings encode inline
+#: (deterministic on both sides, so writer and reader stay in lockstep)
+DICT_CAP = 4096
+
+#: default events per chunk — the only full-fidelity buffer either side
+#: ever holds, i.e. the spill path's fixed memory budget
+CHUNK_EVENTS = 4096
+
+_F_ADDRESS = 1 << 0
+_F_ACTIVATION = 1 << 1
+_F_CAUSE = 1 << 2
+_F_PC = 1 << 3
+_F_CYCLE = 1 << 4
+_F_DETAIL = 1 << 5
+_F_THREAD = 1 << 6
+_F_SEQ_DELTA = 1 << 7  # sequence delta != +1, explicit value follows
+
+
+# ---------------------------------------------------------------------------
+# varint / zigzag primitives
+# ---------------------------------------------------------------------------
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CTraceError(f"varint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CTraceError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return -((value + 1) >> 1) if value & 1 else value >> 1
+
+
+# ---------------------------------------------------------------------------
+# per-stream coder state (shared shape between writer and reader)
+# ---------------------------------------------------------------------------
+
+
+class _Dict:
+    """An append-only string dictionary with deterministic admission."""
+
+    __slots__ = ("to_id", "strings")
+
+    def __init__(self) -> None:
+        self.to_id: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def encode(self, out: bytearray, value: str) -> None:
+        known = self.to_id.get(value)
+        if known is not None:
+            _write_varint(out, known)
+            return
+        _write_varint(out, 0)
+        raw = value.encode("utf-8")
+        _write_varint(out, len(raw))
+        out.extend(raw)
+        if len(self.strings) < DICT_CAP:
+            self.strings.append(value)
+            self.to_id[value] = len(self.strings)  # ids are 1-based
+
+    def decode(self, data: bytes, pos: int) -> Tuple[str, int]:
+        code, pos = _read_varint(data, pos)
+        if code:
+            try:
+                return self.strings[code - 1], pos
+            except IndexError:
+                raise CTraceError(
+                    f"dictionary id {code} out of range") from None
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CTraceError("truncated dictionary string")
+        value = data[pos:pos + length].decode("utf-8")
+        pos += length
+        if len(self.strings) < DICT_CAP:
+            self.strings.append(value)
+            self.to_id[value] = len(self.strings)
+        return value, pos
+
+
+class _StreamCoder:
+    """Delta/dictionary state for one stream (writer and reader mirror it)."""
+
+    __slots__ = ("kinds", "threads", "details", "sequence", "address",
+                 "activation", "cause", "pc", "cycle")
+
+    def __init__(self) -> None:
+        self.kinds = _Dict()
+        self.threads = _Dict()
+        self.details = _Dict()
+        self.sequence = 0
+        self.address = 0
+        self.activation = 0
+        self.cause = 0
+        self.pc = 0
+        self.cycle = 0
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(self, out: bytearray, event: EngineEvent) -> None:
+        flags = 0
+        if event.address is not None:
+            flags |= _F_ADDRESS
+        if event.activation_id is not None:
+            flags |= _F_ACTIVATION
+        if event.cause_id is not None:
+            flags |= _F_CAUSE
+        if event.pc is not None:
+            flags |= _F_PC
+        if event.cycle is not None:
+            flags |= _F_CYCLE
+        if event.detail:
+            flags |= _F_DETAIL
+        if event.thread is not None:
+            flags |= _F_THREAD
+        seq_delta = event.sequence - self.sequence
+        if seq_delta != 1:
+            flags |= _F_SEQ_DELTA
+        out.append(flags)
+        self.kinds.encode(out, event.kind)
+        if flags & _F_SEQ_DELTA:
+            _write_varint(out, _zigzag(seq_delta))
+        self.sequence = event.sequence
+        if flags & _F_THREAD:
+            self.threads.encode(out, event.thread)
+        if flags & _F_ADDRESS:
+            _write_varint(out, _zigzag(event.address - self.address))
+            self.address = event.address
+        if flags & _F_ACTIVATION:
+            _write_varint(out, _zigzag(event.activation_id - self.activation))
+            self.activation = event.activation_id
+        if flags & _F_CAUSE:
+            _write_varint(out, _zigzag(event.cause_id - self.cause))
+            self.cause = event.cause_id
+        if flags & _F_PC:
+            _write_varint(out, _zigzag(event.pc - self.pc))
+            self.pc = event.pc
+        if flags & _F_CYCLE:
+            _write_varint(out, _zigzag(event.cycle - self.cycle))
+            self.cycle = event.cycle
+        if flags & _F_DETAIL:
+            self.details.encode(out, event.detail)
+
+    # -- decoding --------------------------------------------------------
+
+    def decode(self, data: bytes, pos: int) -> Tuple[EngineEvent, int]:
+        if pos >= len(data):
+            raise CTraceError("truncated event")
+        flags = data[pos]
+        pos += 1
+        kind, pos = self.kinds.decode(data, pos)
+        if flags & _F_SEQ_DELTA:
+            raw, pos = _read_varint(data, pos)
+            self.sequence += _unzigzag(raw)
+        else:
+            self.sequence += 1
+        thread = None
+        if flags & _F_THREAD:
+            thread, pos = self.threads.decode(data, pos)
+        address = activation = cause = pc = cycle = None
+        if flags & _F_ADDRESS:
+            raw, pos = _read_varint(data, pos)
+            self.address += _unzigzag(raw)
+            address = self.address
+        if flags & _F_ACTIVATION:
+            raw, pos = _read_varint(data, pos)
+            self.activation += _unzigzag(raw)
+            activation = self.activation
+        if flags & _F_CAUSE:
+            raw, pos = _read_varint(data, pos)
+            self.cause += _unzigzag(raw)
+            cause = self.cause
+        if flags & _F_PC:
+            raw, pos = _read_varint(data, pos)
+            self.pc += _unzigzag(raw)
+            pc = self.pc
+        if flags & _F_CYCLE:
+            raw, pos = _read_varint(data, pos)
+            self.cycle += _unzigzag(raw)
+            cycle = self.cycle
+        detail = ""
+        if flags & _F_DETAIL:
+            detail, pos = self.details.decode(data, pos)
+        return EngineEvent(self.sequence, kind, thread, address, detail,
+                           activation, cause, pc, cycle), pos
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+class CTraceWriter:
+    """Streaming compressed-trace writer (one file, many named streams).
+
+    Streams are sequential — ``begin_stream`` implicitly ends the
+    previous one — matching how the suite runner executes traced runs.
+    At most ``chunk_events`` events are buffered before a chunk is
+    compressed and written through, so the writer's memory is a fixed
+    budget regardless of run length.  The underlying file is staged by
+    :class:`~repro.obs.ioutil.AtomicBinaryWriter`: until :meth:`close`
+    commits, the target path is untouched.
+    """
+
+    def __init__(self, path: str, chunk_events: int = CHUNK_EVENTS,
+                 compress_level: int = 6):
+        if chunk_events < 1:
+            raise CTraceError(
+                f"chunk_events must be >= 1, got {chunk_events}")
+        self.path = path
+        self.chunk_events = chunk_events
+        self.compress_level = compress_level
+        self._out: Optional[AtomicBinaryWriter] = AtomicBinaryWriter(path)
+        self._out.write(MAGIC)
+        self._coder: Optional[_StreamCoder] = None
+        self._buffer: List[EngineEvent] = []
+        self._stream_name: Optional[str] = None
+        self._stream_events = 0
+        self._stream_meta: Dict[str, object] = {}
+        self.events_written = 0
+        self.streams_written = 0
+
+    # -- stream lifecycle -------------------------------------------------
+
+    def begin_stream(self, name: str) -> None:
+        """Start a named stream; ends the previous stream if one is open."""
+        self._require_open()
+        if self._stream_name is not None:
+            self.end_stream()
+        header = bytearray(b"S")
+        raw = name.encode("utf-8")
+        _write_varint(header, len(raw))
+        header.extend(raw)
+        self._out.write(bytes(header))
+        self._coder = _StreamCoder()
+        self._stream_name = name
+        self._stream_events = 0
+        self._stream_meta = {}
+        self.streams_written += 1
+
+    def append(self, event: EngineEvent) -> None:
+        """Append one event to the open stream (spill entry point)."""
+        if self._stream_name is None:
+            raise CTraceError("append() outside a stream; call "
+                              "begin_stream() first")
+        self._buffer.append(event)
+        self._stream_events += 1
+        self.events_written += 1
+        if len(self._buffer) >= self.chunk_events:
+            self._flush_chunk()
+
+    def annotate(self, **meta) -> None:
+        """Attach metadata to the open stream's end record (e.g. the
+        in-memory buffer's drop policy and drop count)."""
+        if self._stream_name is None:
+            raise CTraceError("annotate() outside a stream")
+        self._stream_meta.update(meta)
+
+    def end_stream(self, **meta) -> None:
+        """Close the open stream, writing its end record."""
+        self._require_open()
+        if self._stream_name is None:
+            return
+        self._flush_chunk()
+        self._stream_meta.update(meta)
+        self._stream_meta.setdefault("events", self._stream_events)
+        record = bytearray(b"E")
+        raw = json.dumps(self._stream_meta, sort_keys=True).encode("utf-8")
+        _write_varint(record, len(raw))
+        record.extend(raw)
+        self._out.write(bytes(record))
+        self._coder = None
+        self._stream_name = None
+        self._stream_meta = {}
+
+    # -- file lifecycle ---------------------------------------------------
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes written through so far (excludes the unflushed buffer)."""
+        return self._out.bytes_written if self._out is not None else 0
+
+    def close(self, **meta) -> Dict[str, object]:
+        """End any open stream, write the footer, and commit the file.
+
+        Returns the footer metadata (stream/event/byte counts) — the
+        numbers the manifest records as compression provenance.
+        """
+        self._require_open()
+        self.end_stream()
+        footer = {
+            "streams": self.streams_written,
+            "events": self.events_written,
+        }
+        footer.update(meta)
+        record = bytearray(b"F")
+        raw = json.dumps(footer, sort_keys=True).encode("utf-8")
+        _write_varint(record, len(raw))
+        record.extend(raw)
+        self._out.write(bytes(record))
+        footer["bytes"] = self._out.bytes_written
+        self._out.commit()
+        self._out = None
+        return footer
+
+    def abort(self) -> None:
+        """Discard everything; the target path is left untouched."""
+        if self._out is not None:
+            self._out.abort()
+            self._out = None
+
+    def __enter__(self) -> "CTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self._out is None:
+            return
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- internals --------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._out is None:
+            raise CTraceError(f"writer for {self.path!r} already closed")
+
+    def _flush_chunk(self) -> None:
+        if not self._buffer:
+            return
+        body = bytearray()
+        for event in self._buffer:
+            self._coder.encode(body, event)
+        compressed = zlib.compress(bytes(body), self.compress_level)
+        record = bytearray(b"C")
+        _write_varint(record, len(self._buffer))
+        _write_varint(record, len(compressed))
+        self._out.write(bytes(record))
+        self._out.write(compressed)
+        self._buffer.clear()
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+
+class CTraceStream:
+    """One named stream of a compressed trace file.
+
+    Quacks like an :class:`~repro.core.trace.EngineTrace` for every
+    consumer that iterates: ``.events`` decodes lazily (a fresh
+    iterator per access — streams are re-iterable), ``.dropped`` /
+    ``.truncated`` report the in-memory buffer health the writer
+    annotated, ``len()`` is the event count from the stream index.
+    """
+
+    def __init__(self, path: str, name: str,
+                 chunks: List[Tuple[int, int, int]],
+                 meta: Dict[str, object]):
+        self.path = path
+        self.name = name
+        #: (file offset of zlib payload, event count, compressed length)
+        self._chunks = chunks
+        self.meta = meta
+
+    @property
+    def event_count(self) -> int:
+        return sum(count for _off, count, _zlen in self._chunks)
+
+    @property
+    def dropped(self) -> int:
+        """Events missing from this stream (spill-side; normally 0)."""
+        return int(self.meta.get("dropped", 0))
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(zlen for _off, _count, zlen in self._chunks)
+
+    @property
+    def events(self) -> Iterator[EngineEvent]:
+        """Decode the stream, one chunk in memory at a time."""
+        coder = _StreamCoder()
+        with open(self.path, "rb") as handle:
+            for offset, count, zlen in self._chunks:
+                handle.seek(offset)
+                compressed = handle.read(zlen)
+                if len(compressed) != zlen:
+                    raise CTraceError(
+                        f"{self.path!r}: truncated chunk at {offset}")
+                data = zlib.decompress(compressed)
+                pos = 0
+                for _ in range(count):
+                    event, pos = coder.decode(data, pos)
+                    yield event
+                if pos != len(data):
+                    raise CTraceError(
+                        f"{self.path!r}: {len(data) - pos} trailing bytes "
+                        f"in chunk at {offset}")
+
+    def __len__(self) -> int:
+        return self.event_count
+
+    def __repr__(self) -> str:
+        return (f"CTraceStream({self.name!r}, {self.event_count} events, "
+                f"{len(self._chunks)} chunks)")
+
+
+class CTraceReader:
+    """Index a compressed trace file; decode streams on demand.
+
+    Construction scans record headers only (chunk payloads are seeked
+    over), so opening a multi-gigabyte trace is O(chunks).  A file with
+    no footer — a crashed writer never commits, so this means the bytes
+    were copied mid-write — fails loudly rather than silently dropping
+    the tail.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.streams: List[CTraceStream] = []
+        self.footer: Dict[str, object] = {}
+        self.bytes_total = os.path.getsize(path)
+        self._index()
+
+    def stream(self, name: Optional[str] = None) -> CTraceStream:
+        """The stream called ``name``, or the only/first stream."""
+        if name is None:
+            if not self.streams:
+                raise CTraceError(f"{self.path!r} holds no streams")
+            return self.streams[0]
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        known = ", ".join(repr(s.name) for s in self.streams)
+        raise CTraceError(
+            f"{self.path!r} has no stream {name!r} (streams: {known})")
+
+    def named_streams(self) -> List[Tuple[str, CTraceStream]]:
+        """(name, stream) pairs, in file order — the same shape
+        :meth:`SuiteRunner.traces` returns for live traces."""
+        return [(stream.name, stream) for stream in self.streams]
+
+    @property
+    def event_count(self) -> int:
+        return sum(stream.event_count for stream in self.streams)
+
+    def __repr__(self) -> str:
+        return (f"CTraceReader({self.path!r}, {len(self.streams)} streams, "
+                f"{self.event_count} events)")
+
+    # -- internals --------------------------------------------------------
+
+    def _index(self) -> None:
+        with open(self.path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise CTraceError(
+                    f"{self.path!r} is not a compressed trace "
+                    f"(bad magic {magic!r})")
+            current: Optional[Tuple[str, List[Tuple[int, int, int]]]] = None
+            saw_footer = False
+            while True:
+                tag = handle.read(1)
+                if not tag:
+                    break
+                if saw_footer:
+                    raise CTraceError(
+                        f"{self.path!r}: data after the footer record")
+                if tag == b"S":
+                    name = self._read_sized(handle).decode("utf-8")
+                    if current is not None:
+                        raise CTraceError(
+                            f"{self.path!r}: stream {name!r} starts inside "
+                            f"stream {current[0]!r}")
+                    current = (name, [])
+                elif tag == b"C":
+                    if current is None:
+                        raise CTraceError(
+                            f"{self.path!r}: chunk outside any stream")
+                    count = self._read_varint_io(handle)
+                    zlen = self._read_varint_io(handle)
+                    offset = handle.tell()
+                    handle.seek(zlen, os.SEEK_CUR)
+                    current[1].append((offset, count, zlen))
+                elif tag == b"E":
+                    if current is None:
+                        raise CTraceError(
+                            f"{self.path!r}: stream end outside any stream")
+                    meta = json.loads(self._read_sized(handle))
+                    name, chunks = current
+                    self.streams.append(
+                        CTraceStream(self.path, name, chunks, meta))
+                    current = None
+                elif tag == b"F":
+                    if current is not None:
+                        raise CTraceError(
+                            f"{self.path!r}: footer inside stream "
+                            f"{current[0]!r}")
+                    self.footer = json.loads(self._read_sized(handle))
+                    saw_footer = True
+                else:
+                    raise CTraceError(
+                        f"{self.path!r}: unknown record tag {tag!r}")
+            if not saw_footer:
+                raise CTraceError(
+                    f"{self.path!r}: no footer — the trace was truncated "
+                    "(writer crashed before commit?)")
+
+    def _read_varint_io(self, handle) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = handle.read(1)
+            if not byte:
+                raise CTraceError(f"{self.path!r}: truncated record header")
+            result |= (byte[0] & 0x7F) << shift
+            if not byte[0] & 0x80:
+                return result
+            shift += 7
+
+    def _read_sized(self, handle) -> bytes:
+        length = self._read_varint_io(handle)
+        data = handle.read(length)
+        if len(data) != length:
+            raise CTraceError(f"{self.path!r}: truncated record body")
+        return data
+
+
+def write_trace(path: str, *named_traces) -> Dict[str, object]:
+    """Write (name, trace) pairs as one compressed file; returns footer.
+
+    ``trace`` is anything with an ``.events`` iterable (a live
+    :class:`~repro.core.trace.EngineTrace`, a list, or another
+    :class:`CTraceStream`) — the whole-file convenience twin of
+    :func:`repro.obs.timeline.write_chrome_trace`.
+    """
+    with CTraceWriter(path) as writer:
+        for name, trace in named_traces:
+            writer.begin_stream(name)
+            for event in trace.events:
+                writer.append(event)
+            writer.end_stream(dropped=getattr(trace, "dropped", 0))
+        return writer.close()

@@ -1,25 +1,84 @@
 """Shared file-writing conventions for observability artifacts.
 
-Every exported artifact (Chrome traces, HTML reports, JSON snapshots) is
-written the same way the result store writes entries: UTF-8, to a
-temporary file in the target directory, then atomically renamed into
-place with ``os.replace`` — a killed process never leaves a truncated
-artifact where a complete one is expected.
+Every exported artifact (Chrome traces, HTML reports, JSON snapshots,
+compressed event traces) is written the same way the result store writes
+entries: to a temporary file in the target directory, fsynced, then
+atomically renamed into place with ``os.replace`` — a killed process
+never leaves a truncated artifact where a complete one is expected, and
+a crash after the rename never loses the fsynced bytes to the page
+cache.
+
+Crashes *before* the rename leave an orphaned ``tmp*.tmp`` file behind;
+:func:`cleanup_orphan_tmp` sweeps those, and both writers call it
+best-effort on the directory they are about to write into, so a
+long-lived store directory self-heals instead of accumulating debris.
+
+Text artifacts are UTF-8 via :func:`atomic_write_text`; binary artifacts
+(the compressed trace format) stream through :class:`AtomicBinaryWriter`,
+which exposes a file-like ``write`` so encoders never buffer the whole
+artifact in memory.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import time
+from typing import Optional
+
+#: age (seconds) past which an orphaned temp file is considered dead.
+#: Generous: the longest legitimate writer is a full-suite traced run.
+ORPHAN_TMP_AGE_SECONDS = 24 * 3600
+
+
+def cleanup_orphan_tmp(directory: str,
+                       max_age_seconds: float = ORPHAN_TMP_AGE_SECONDS) -> int:
+    """Remove stale ``tmp*.tmp`` files a crashed writer left behind.
+
+    Only touches names matching the ``mkstemp(prefix="tmp",
+    suffix=".tmp")`` shape used here, and only when older than
+    ``max_age_seconds`` — a concurrent writer's live temp file is never
+    young enough to be swept.  Returns the number removed; never raises
+    (cleanup is a courtesy, not a contract).
+    """
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age_seconds
+    for name in names:
+        if not (name.startswith("tmp") and name.endswith(".tmp")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.path.isfile(path) and os.path.getmtime(path) < cutoff:
+                os.unlink(path)
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def _fsync_handle(handle) -> None:
+    handle.flush()
+    try:
+        os.fsync(handle.fileno())
+    except OSError:
+        # e.g. a filesystem that refuses fsync on this node; the rename
+        # below is still atomic, we only lose crash durability
+        pass
 
 
 def atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically, UTF-8 encoded."""
+    """Write ``text`` to ``path`` atomically, UTF-8 encoded and fsynced."""
     directory = os.path.dirname(os.path.abspath(path))
+    cleanup_orphan_tmp(directory)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            _fsync_handle(handle)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -27,3 +86,75 @@ def atomic_write_text(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically, fsynced (binary twin)."""
+    with AtomicBinaryWriter(path) as handle:
+        handle.write(data)
+
+
+class AtomicBinaryWriter:
+    """Streaming binary writer with the same atomic-rename contract.
+
+    A file-like object (``write``, ``tell``, ``close``) that stages
+    bytes in a temp file beside ``path`` and only renames into place on
+    a clean :meth:`commit` (or context-manager exit without an
+    exception).  :meth:`abort` — or an exception inside the ``with``
+    block — deletes the staging file, leaving any previous artifact at
+    ``path`` untouched.  The compressed trace writer streams chunks
+    through this, so a killed run leaves either the old complete trace
+    or none, never a torn one.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        cleanup_orphan_tmp(directory)
+        fd, self._tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        self._handle: Optional[object] = os.fdopen(fd, "wb")
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> int:
+        """Append ``data`` to the pending temp file; returns bytes written."""
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path!r} already closed")
+        written = self._handle.write(data)
+        self.bytes_written += written
+        return written
+
+    def tell(self) -> int:
+        """Total bytes written so far (the pending file's length)."""
+        return self.bytes_written
+
+    def commit(self) -> None:
+        """Fsync and atomically rename the staged bytes into place."""
+        if self._handle is None:
+            return
+        _fsync_handle(self._handle)
+        self._handle.close()
+        self._handle = None
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Discard the staged bytes; ``path`` is left as it was."""
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
+
+    # alias so the writer quacks like a file for code that close()s
+    close = commit
+
+    def __enter__(self) -> "AtomicBinaryWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()

@@ -24,8 +24,9 @@ class RunManifest:
     #: bump when the serialized shape changes
     #: (v2: store_hits / store_misses, canonical-string run keys;
     #:  v3: trace health counters + causal summary from traced runs;
-    #:  v4: static-analysis summaries per DTT build)
-    SCHEMA_VERSION = 4
+    #:  v4: static-analysis summaries per DTT build;
+    #:  v5: trace_drop_policy + sampling/ctrace provenance)
+    SCHEMA_VERSION = 5
 
     def __init__(
         self,
@@ -43,6 +44,9 @@ class RunManifest:
         unmatched_closers: int = 0,
         causal: Optional[Dict] = None,
         analysis: Optional[List[Dict]] = None,
+        trace_drop_policy: str = "head",
+        sampling: Optional[Dict] = None,
+        ctrace: Optional[Dict] = None,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -68,6 +72,16 @@ class RunManifest:
         #: (:meth:`SuiteRunner.analysis_summaries`); [] when no DTT build
         #: was run
         self.analysis = [dict(row) for row in (analysis or [])]
+        #: which side of a full trace buffer survived ("head" keeps the
+        #: first events — historical behavior — "tail" the most recent);
+        #: interprets ``trace_dropped_events``
+        self.trace_drop_policy = trace_drop_policy
+        #: sampled-profiling provenance (rate, seed, per-workload CI
+        #: widths); None for exact (unsampled) profiles
+        self.sampling = dict(sampling) if sampling else None
+        #: compressed-trace spill provenance (path, streams, events,
+        #: bytes); None when no ctrace was written
+        self.ctrace = dict(ctrace) if ctrace else None
 
     # -- construction ---------------------------------------------------------
 
@@ -101,6 +115,10 @@ class RunManifest:
                             for _name, trace in traces)
         analysis = (runner.analysis_summaries()
                     if hasattr(runner, "analysis_summaries") else [])
+        sampling = (runner.sampling_provenance()
+                    if hasattr(runner, "sampling_provenance") else None)
+        ctrace = (runner.ctrace_provenance()
+                  if hasattr(runner, "ctrace_provenance") else None)
         return cls(
             fingerprint=fingerprint_of(identity),
             seed=runner.seed,
@@ -116,6 +134,9 @@ class RunManifest:
             unmatched_closers=unmatched,
             causal=causal,
             analysis=analysis,
+            trace_drop_policy=getattr(runner, "trace_keep", "head"),
+            sampling=sampling,
+            ctrace=ctrace,
         )
 
     # -- serialization --------------------------------------------------------
@@ -144,9 +165,12 @@ class RunManifest:
             "store_misses": self.store_misses,
             "peak_queue_depth": self.peak_queue_depth,
             "trace_dropped_events": self.trace_dropped_events,
+            "trace_drop_policy": self.trace_drop_policy,
             "unmatched_closers": self.unmatched_closers,
             "causal": self.causal,
             "analysis": self.analysis,
+            "sampling": self.sampling,
+            "ctrace": self.ctrace,
         }
 
     def to_json(self, indent: int = 2) -> str:

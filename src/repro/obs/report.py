@@ -329,18 +329,54 @@ def _sites_section(entries: List[Dict]) -> List[str]:
     return out
 
 
+def _ctrace_section(streams: List) -> List[str]:
+    """Per-stream causal summary of a compressed trace file.
+
+    ``streams`` are ``(name, stream)`` pairs from
+    :meth:`~repro.obs.ctrace.CTraceReader.named_streams`; each stream is
+    decoded in one pass through :meth:`CausalGraph.from_trace`, so the
+    report builds from arbitrarily long spilled runs without ever
+    holding an event list.
+    """
+    out = ["<h2>Compressed traces</h2>",
+           "<p class='muted'>Causal summary decoded from the spilled "
+           "event stream (<code>run --ctrace-out</code>); complete even "
+           "when the in-memory trace buffer dropped events.</p>"]
+    headers = ("stream", "events", "bytes", "activations", "completed",
+               "canceled", "absorbed", "suppressed", "consume clean",
+               "consume wait", "buffer dropped")
+    rows = []
+    for name, stream in streams:
+        graph = CausalGraph.from_trace(stream)
+        summary = graph.summary()
+        rows.append((
+            name, stream.event_count, stream.compressed_bytes,
+            summary["activations"], summary["completed"],
+            summary["canceled"], summary["absorbed"],
+            summary["suppressed_silent"], summary["consume_clean"],
+            summary["consume_wait"],
+            stream.meta.get("memory_dropped", 0),
+        ))
+    out.extend(_table(headers, rows))
+    return out
+
+
 def html_report(store_entries: Optional[List[Dict]] = None,
                 results: Optional[List[Dict]] = None,
-                title: str = "DTT reproduction report") -> str:
+                title: str = "DTT reproduction report",
+                ctrace_streams: Optional[List] = None) -> str:
     """The whole report as one self-contained HTML string.
 
     ``store_entries`` are :meth:`~repro.exec.store.ResultStore.entries`
     dicts; ``results`` is the list a ``run --json`` invocation wrote
-    (each item an ``ExperimentResult.as_dict()``, manifest included).
-    Either side may be absent; sections render from whatever is there.
+    (each item an ``ExperimentResult.as_dict()``, manifest included);
+    ``ctrace_streams`` are ``(name, stream)`` pairs from a compressed
+    trace file.  Any side may be absent; sections render from whatever
+    is there.
     """
     store_entries = store_entries or []
     results = results or []
+    ctrace_streams = ctrace_streams or []
     parts = [
         "<!DOCTYPE html>",
         "<html lang='en'>",
@@ -362,8 +398,10 @@ def html_report(store_entries: Optional[List[Dict]] = None,
     if store_entries:
         parts.extend(_store_section(store_entries))
         parts.extend(_sites_section(store_entries))
-    if not results and not store_entries:
-        parts.append("<p>Nothing to report: no store entries and no "
-                     "results file given.</p>")
+    if ctrace_streams:
+        parts.extend(_ctrace_section(ctrace_streams))
+    if not results and not store_entries and not ctrace_streams:
+        parts.append("<p>Nothing to report: no store entries, no "
+                     "results file, and no compressed trace given.</p>")
     parts.extend(["</body>", "</html>"])
     return "\n".join(parts)

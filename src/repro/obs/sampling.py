@@ -1,0 +1,298 @@
+"""Seeded samplers and confidence intervals for bounded-memory profiling.
+
+Full-fidelity profiling caps workload scale: the redundancy profiler
+tracks a last-loaded value per *location*, so its memory footprint (and
+its per-event cost) grows with the run.  This module supplies the three
+statistical primitives that let the observability tier trade exactness
+for a fixed budget — following "Redundant Loads: A Software Inefficiency
+Indicator" (PAPERS.md), which showed sampling-based redundancy profiling
+of production software loses little precision:
+
+* :class:`AddressSampler` — a seeded hash over *addresses*: a fixed
+  ``1/k`` subset of locations is tracked exactly, every other location
+  costs nothing.  Because the subset is chosen by a mixing hash (not by
+  address arithmetic), strided access patterns cannot alias with the
+  sample, and the same ``(seed, rate)`` selects the same subset in every
+  process — pool workers agree with the parent byte-for-byte.
+* :class:`StridedSampler` — every ``k``-th event with a seeded phase,
+  for streams with no usable key (e.g. instruction events).
+* :class:`ReservoirSampler` — a uniform fixed-capacity sample of an
+  unbounded stream (Vitter's Algorithm R), seeded and deterministic.
+
+Estimates are reported as :class:`SampleEstimate` values carrying a 95 %
+(by default) confidence interval.  The Wilson score interval is used
+when trial counts are small or the proportion is extreme (it never
+escapes [0, 1]); :func:`normal_interval` is the classic Wald interval
+for large samples.  Downstream, ``compare`` treats a metric's CI width
+as its tolerance: an estimate is only a regression when it moved by more
+than its own uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Optional, Tuple
+
+#: z-score of the two-sided 95 % confidence level
+Z_95 = 1.959963984540054
+
+#: 64-bit mask for the splitmix64-style address hash
+_MASK = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit integer."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK
+    return (value ^ (value >> 31)) & _MASK
+
+
+def _wilson_bounds(p: float, trials: float,
+                   z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score bounds at proportion ``p`` with (possibly fractional)
+    effective trial count ``trials`` — the shared kernel of
+    :func:`wilson_interval` and :func:`cluster_coverage_interval`."""
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    margin = (z * math.sqrt(p * (1.0 - p) / trials
+                            + z2 / (4.0 * trials * trials))) / denom
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Bounded to [0, 1] by construction and well-behaved at 0 and 1 —
+    unlike the normal approximation, a site whose every sampled load was
+    redundant still gets a non-degenerate interval.  ``(0.0, 1.0)`` when
+    ``trials`` is zero (no information).
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    return _wilson_bounds(successes / trials, trials, z)
+
+
+def kish_effective_size(cluster_sizes: Iterable[int]) -> float:
+    """Kish effective sample size ``(Σn)² / Σn²`` of a cluster sample.
+
+    Equal-size clusters give back the cluster count; one dominant
+    cluster collapses toward 1 — capturing that 200 sampled events on a
+    single address carry roughly one address worth of information about
+    a per-address property.
+    """
+    total = total_sq = 0
+    for n in cluster_sizes:
+        total += n
+        total_sq += n * n
+    return (total * total) / total_sq if total_sq else 0.0
+
+
+def cluster_coverage_interval(successes: int, trials: int, effective: float,
+                              population: int, rate: int,
+                              z: float = Z_95) -> Tuple[float, float]:
+    """Confidence interval for a proportion under 1-in-``rate`` *cluster*
+    sampling (the sampled redundancy profiler's design, where the cluster
+    is the address).
+
+    A plain binomial interval over sampled events is wrong here twice
+    over.  First, events of one address are not independent trials —
+    redundancy is a property of the address's reuse pattern, so the
+    effective sample size is the :func:`kish_effective_size` of the
+    sampled addresses (``effective``), not the number of sampled events
+    (``trials``).  Second, dynamic events concentrate on few hot
+    addresses: when the hash sample happens to miss them, the sampled
+    events say nothing about most of the population.  The
+    Horvitz-Thompson scale-up ``rate * trials`` estimates how many of
+    the ``population`` events the sampled addresses represent; the
+    remainder is *uncovered* mass whose proportion is unknown, so it
+    contributes its full [0, 1] range:
+
+    ``covered = min(1, rate * trials / population)``
+    ``interval = (covered * lo, covered * hi + (1 - covered))``
+
+    where ``(lo, hi)`` is the Wilson interval at the pooled sampled
+    proportion with ``effective`` trials.  With homogeneous,
+    well-covered populations this degrades gracefully to the ordinary
+    Wilson interval; with a missed (or over-weighted) hot cluster it
+    honestly widens toward "no information" instead of being
+    confidently wrong.
+    """
+    if trials <= 0 or population <= 0:
+        return (0.0, 1.0)
+    effective = max(1.0, min(float(effective), float(trials)))
+    lo, hi = _wilson_bounds(successes / trials, effective, z)
+    covered = min(1.0, (rate * trials) / population)
+    return (covered * lo, covered * hi + (1.0 - covered))
+
+
+def normal_interval(successes: int, trials: int,
+                    z: float = Z_95) -> Tuple[float, float]:
+    """Normal-approximation (Wald) interval, clamped to [0, 1].
+
+    Appropriate for large samples away from the boundaries; the sampled
+    profiler uses Wilson everywhere, this exists for the large-n
+    consumers (and the docs' CI math section) that want the textbook
+    formula.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    margin = z * math.sqrt(p * (1.0 - p) / trials)
+    return (max(0.0, p - margin), min(1.0, p + margin))
+
+
+class SampleEstimate:
+    """A sampled proportion with its confidence interval.
+
+    ``fraction`` is the point estimate (successes/trials over the
+    *sampled* population); ``ci_low``/``ci_high`` bound it at the
+    confidence level the profiler was built with; ``ci_width`` is the
+    tolerance ``compare`` grants the metric.
+    """
+
+    __slots__ = ("successes", "trials", "fraction", "ci_low", "ci_high")
+
+    def __init__(self, successes: int, trials: int, z: float = Z_95):
+        self.successes = successes
+        self.trials = trials
+        self.fraction = successes / trials if trials else 0.0
+        self.ci_low, self.ci_high = wilson_interval(successes, trials, z)
+
+    @classmethod
+    def from_interval(cls, successes: int, trials: int, fraction: float,
+                      ci_low: float, ci_high: float) -> "SampleEstimate":
+        """An estimate whose bounds were computed by a non-binomial
+        procedure (e.g. :func:`cluster_coverage_interval`); the point
+        estimate must already lie inside the bounds."""
+        estimate = object.__new__(cls)
+        estimate.successes = successes
+        estimate.trials = trials
+        estimate.fraction = fraction
+        estimate.ci_low = ci_low
+        estimate.ci_high = ci_high
+        return estimate
+
+    @property
+    def ci_width(self) -> float:
+        return self.ci_high - self.ci_low
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside this estimate's confidence interval?"""
+        return self.ci_low <= value <= self.ci_high
+
+    def __repr__(self) -> str:
+        return (f"SampleEstimate({self.fraction:.3f} "
+                f"[{self.ci_low:.3f}, {self.ci_high:.3f}], "
+                f"n={self.trials})")
+
+
+class AddressSampler:
+    """Seeded hash-based membership test over addresses.
+
+    An address is *sampled* when its mixed hash lands in the first
+    ``1/rate`` slice of the hash space, so approximately one location in
+    ``rate`` is tracked, the choice is uniform over addresses regardless
+    of their arithmetic structure, and membership is a pure function of
+    ``(seed, rate, address)`` — stable across processes and runs.
+    ``rate=1`` samples everything (full fidelity).
+    """
+
+    __slots__ = ("rate", "seed", "_threshold", "_seed_mix")
+
+    def __init__(self, rate: int, seed: int = 0):
+        if rate < 1:
+            raise ValueError(f"sample rate denominator must be >= 1, "
+                             f"got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._threshold = _MASK // rate
+        self._seed_mix = _mix64((seed & _MASK) ^ 0x9E3779B97F4A7C15)
+
+    def sampled(self, address: int) -> bool:
+        """Is ``address`` in the tracked subset?"""
+        if self.rate == 1:
+            return True
+        return _mix64((address & _MASK) ^ self._seed_mix) <= self._threshold
+
+    def __repr__(self) -> str:
+        return f"AddressSampler(1/{self.rate}, seed={self.seed})"
+
+
+class StridedSampler:
+    """Every ``stride``-th event, starting at a seeded phase.
+
+    For event streams with no stable key to hash: the phase is drawn
+    uniformly from ``[0, stride)`` by a private seeded PRNG, so repeated
+    runs with one seed pick the same events while different seeds
+    decorrelate the stride from any periodicity in the stream.
+    """
+
+    __slots__ = ("stride", "seed", "_next", "observed", "taken")
+
+    def __init__(self, stride: int, seed: int = 0):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.seed = seed
+        self._next = random.Random(seed).randrange(stride)
+        self.observed = 0
+        self.taken = 0
+
+    def sample(self) -> bool:
+        """Advance one event; True when this event is in the sample."""
+        index = self.observed
+        self.observed += 1
+        if index == self._next:
+            self._next += self.stride
+            self.taken += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"StridedSampler(1/{self.stride}, seed={self.seed}, "
+                f"{self.taken}/{self.observed})")
+
+
+class ReservoirSampler:
+    """Uniform fixed-capacity sample of an unbounded stream (Algorithm R).
+
+    After ``offer``-ing ``n`` items, each of the ``min(n, capacity)``
+    retained items was kept with probability ``capacity/n`` — a uniform
+    sample using O(capacity) memory no matter how long the stream runs.
+    Seeded: one seed, one sample, in any process.
+    """
+
+    __slots__ = ("capacity", "seed", "items", "observed", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.items: List = []
+        self.observed = 0
+        self._rng = random.Random(seed)
+
+    def offer(self, item) -> bool:
+        """Present one stream item; True when it entered the reservoir."""
+        self.observed += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        slot = self._rng.randrange(self.observed)
+        if slot < self.capacity:
+            self.items[slot] = item
+            return True
+        return False
+
+    def extend(self, items: Iterable) -> None:
+        """Offer every item of ``items``."""
+        for item in items:
+            self.offer(item)
+
+    def __repr__(self) -> str:
+        return (f"ReservoirSampler({len(self.items)}/{self.capacity} held, "
+                f"{self.observed} observed, seed={self.seed})")

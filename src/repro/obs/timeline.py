@@ -60,6 +60,11 @@ def traces_to_chrome(named_traces: Sequence[Tuple[str, EngineTrace]],
                      first_pid: int = 1) -> Dict:
     """Several traces combined, one Perfetto process per trace.
 
+    Each trace is consumed in a single pass over ``.events``, so a
+    compressed :class:`~repro.obs.ctrace.CTraceStream` works in place of
+    a live :class:`~repro.core.trace.EngineTrace` without materializing
+    the event list.
+
     The returned dict carries an ``otherData.unmatched_closers`` count —
     completion/cancellation events whose activation had no open slice
     (Perfetto ignores the key; the manifest layer surfaces it).
@@ -146,9 +151,10 @@ def _one_process(trace: EngineTrace, pid: int,
                 "id": flow, "ts": start, "pid": pid, "tid": slice_tid,
             })
 
+    last_ts = 0
     for event in trace.events:
         tid = _thread_track(event.thread, tids)
-        ts = event.sequence
+        ts = last_ts = event.sequence
         args: Dict[str, object] = {}
         if event.address is not None:
             args["address"] = event.address
@@ -189,8 +195,7 @@ def _one_process(trace: EngineTrace, pid: int,
             "ts": ts, "pid": pid, "tid": tid, "args": args,
         })
     # dangling slices (e.g. still executing at trace end) close at the
-    # last recorded timestamp so the export never loses a dispatch
-    last_ts = trace.events[-1].sequence if trace.events else 0
+    # last seen timestamp so the export never loses a dispatch
     for activation_id, (start, slice_tid, detail) in open_slices.items():
         close_slice(start, slice_tid, detail, last_ts, None, None,
                     activation_id)

@@ -19,6 +19,9 @@ from repro.profiling.advisor import ConversionReport, advise
 from repro.profiling.redundancy import (
     LoadSiteStats,
     RedundantLoadProfiler,
+    SampledLoadSiteStats,
+    SampledRedundantLoadProfiler,
+    SampledStoreSiteStats,
     StoreSiteStats,
 )
 from repro.profiling.slices import RedundancyTaintAnalyzer
@@ -29,6 +32,9 @@ __all__ = [
     "advise",
     "LoadSiteStats",
     "RedundantLoadProfiler",
+    "SampledLoadSiteStats",
+    "SampledRedundantLoadProfiler",
+    "SampledStoreSiteStats",
     "StoreSiteStats",
     "RedundancyTaintAnalyzer",
     "RedundancyReport",

@@ -12,7 +12,8 @@ from typing import Dict, Optional
 from repro.core.engine import DttEngine
 from repro.isa.program import Program
 from repro.machine.machine import Machine, run_to_completion
-from repro.profiling.redundancy import RedundantLoadProfiler
+from repro.profiling.redundancy import (RedundantLoadProfiler,
+                                        SampledRedundantLoadProfiler)
 from repro.profiling.slices import RedundancyTaintAnalyzer
 
 
@@ -61,21 +62,37 @@ def profile_program(
     engine: Optional[DttEngine] = None,
     num_contexts: int = 1,
     max_instructions: int = 20_000_000,
+    sample_rate: Optional[int] = None,
+    sample_seed: int = 0,
 ) -> RedundancyReport:
     """Run ``program`` functionally under both redundancy analyzers.
 
     The paper's motivation study profiles *unmodified* (baseline) builds,
     so ``engine`` is normally ``None``; passing a synchronous engine lets
     you profile a DTT build's residual redundancy instead.
+
+    ``sample_rate`` (a denominator: 64 means 1/64 of addresses) switches
+    the load analysis to the bounded-memory
+    :class:`~repro.profiling.redundancy.SampledRedundantLoadProfiler`,
+    whose site stats are estimates with confidence intervals instead of
+    exact counts.  The forward-slice taint analyzer needs every load to
+    propagate taint, so sampled profiles skip it and report a
+    redundant-computation fraction of 0 with ``slice_sampled_out`` set —
+    E1-style load/store numbers are the ones sampling scales.
     """
     machine = Machine(program, num_contexts=num_contexts,
                       max_instructions=max_instructions)
     if engine is not None:
         machine.attach_engine(engine)
-    loads = RedundantLoadProfiler()
-    slices = RedundancyTaintAnalyzer()
-    machine.add_observer(loads)
-    machine.add_observer(slices)
+    if sample_rate is not None:
+        loads = SampledRedundantLoadProfiler(sample_rate, seed=sample_seed)
+        slices = _SampledOutSlices()
+        machine.add_observer(loads)
+    else:
+        loads = RedundantLoadProfiler()
+        slices = RedundancyTaintAnalyzer()
+        machine.add_observer(loads)
+        machine.add_observer(slices)
     output = run_to_completion(machine)
     return RedundancyReport(
         name=name,
@@ -84,3 +101,23 @@ def profile_program(
         output=output,
         instructions=machine.instructions_executed,
     )
+
+
+class _SampledOutSlices:
+    """Stand-in slice analysis for sampled profiles.
+
+    Taint propagation is whole-stream by construction (every load either
+    carries or clears taint), so a sampled profile cannot estimate it;
+    this reports zero with an explicit marker rather than a silently
+    wrong number.
+    """
+
+    redundant_fraction = 0.0
+    total_instructions = 0
+    redundant_instructions = 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "redundant_computation_fraction": 0.0,
+            "slice_sampled_out": 1,
+        }

@@ -179,3 +179,71 @@ def test_engine_counts_minted_activations():
     run_to_completion(machine)
     # ids are engine state, not trace state: minting happens untraced too
     assert engine.activations_minted == 2
+
+
+# -- drop policy + spill -------------------------------------------------------
+
+
+def _overflowing_run(max_events, keep="head", spill=None):
+    program, spec = build_dtt_sum([1, 2], [0, 1, 0, 1], [9, 8, 7, 6])
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    tracer = EngineTrace(engine, max_events=max_events, keep=keep,
+                         spill=spill)
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    return tracer
+
+
+def test_invalid_keep_policy_is_rejected():
+    with pytest.raises(ValueError, match="head.*tail"):
+        EngineTrace(DttEngine(ThreadRegistry([])), keep="middle")
+
+
+def test_head_policy_keeps_the_earliest_events():
+    full = _overflowing_run(100_000)
+    head = _overflowing_run(2, keep="head")
+    assert [e.sequence for e in head.events] == \
+        [e.sequence for e in list(full.events)[:2]]
+    assert head.dropped == len(full.events) - 2
+
+
+def test_tail_policy_keeps_the_latest_events():
+    full = _overflowing_run(100_000)
+    tail = _overflowing_run(2, keep="tail")
+    assert [e.kind for e in tail.events] == \
+        [e.kind for e in list(full.events)[-2:]]
+    # tail keeps real sequence numbers, so the window is recognizable
+    assert [e.sequence for e in tail.events] == \
+        [e.sequence for e in list(full.events)[-2:]]
+    assert tail.dropped == len(full.events) - 2
+    timeline = tail.timeline()
+    # tail mode drops from the front, so the gap marker leads
+    assert timeline.startswith(f"... ({tail.dropped} events dropped)")
+
+
+class _ListSpill:
+    def __init__(self):
+        self.events = []
+
+    def append(self, event):
+        self.events.append(event)
+
+
+def test_spill_receives_every_event_past_the_cap():
+    spill = _ListSpill()
+    full = _overflowing_run(100_000)
+    capped = _overflowing_run(2, keep="head", spill=spill)
+    assert [e.sequence for e in spill.events] == \
+        [e.sequence for e in full.events]
+    assert len(capped.events) == 2
+    assert capped.dropped == len(full.events) - 2
+
+
+def test_spill_with_tail_keeps_window_and_full_stream():
+    spill = _ListSpill()
+    tail = _overflowing_run(3, keep="tail", spill=spill)
+    assert [e.sequence for e in tail.events] == \
+        [e.sequence for e in spill.events[-3:]]
+    sequences = [e.sequence for e in spill.events]
+    assert sequences == list(range(1, len(sequences) + 1))

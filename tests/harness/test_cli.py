@@ -131,3 +131,73 @@ def test_report_rejects_missing_store(tmp_path, capsys):
 def test_report_requires_some_input(capsys):
     assert main(["report"]) == 2
     assert "nothing to report" in capsys.readouterr().out
+
+
+# -- sampled profiling + compressed traces (--sample-rate / --ctrace) ----------
+
+
+def test_stats_sampled_with_ctrace(tmp_path, capsys):
+    ctrace = tmp_path / "mcf.ctrace"
+    assert main(["stats", "--workload", "mcf", "--sample-rate", "64",
+                 "--ctrace-out", str(ctrace)]) == 0
+    out = capsys.readouterr().out
+    assert "95% CI" in out
+    assert "compressed trace" in out
+    assert "smaller than the JSON Chrome export" in out
+    assert ctrace.exists()
+
+
+def test_stats_rejects_bad_sample_rate(capsys):
+    assert main(["stats", "--workload", "mcf", "--sample-rate", "0"]) == 2
+    assert "--sample-rate must be >= 1" in capsys.readouterr().out
+
+
+def test_explain_and_report_from_ctrace(tmp_path, capsys):
+    ctrace = tmp_path / "mcf.ctrace"
+    assert main(["stats", "--workload", "mcf", "--sample-rate", "64",
+                 "--ctrace-out", str(ctrace)]) == 0
+    capsys.readouterr()
+
+    assert main(["explain", "--ctrace", str(ctrace),
+                 "--workload", "mcf", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf:dtt:smt2" in out
+
+    html = tmp_path / "report.html"
+    assert main(["report", "--ctrace", str(ctrace),
+                 "-o", str(html)]) == 0
+    text = html.read_text()
+    assert "mcf:dtt:smt2" in text
+
+
+def test_explain_rejects_unreadable_ctrace(tmp_path, capsys):
+    bogus = tmp_path / "nope.ctrace"
+    bogus.write_bytes(b"not a trace")
+    assert main(["explain", "--ctrace", str(bogus)]) == 2
+    assert "cannot read compressed trace" in capsys.readouterr().out
+
+
+def test_bench_trace_writes_overhead_json(tmp_path, capsys):
+    target = tmp_path / "BENCH_trace_overhead.json"
+    assert main(["bench", "--trace", "--workloads", "mcf",
+                 "--repeat", "1", "-o", str(target)]) == 0
+    payload = json.loads(target.read_text())
+    assert payload["kind"] == "bench_trace_overhead"
+    row = payload["rows"]["mcf"]
+    assert row["compression_ratio"] >= 5.0
+    assert row["sampled_in_ci"] is True
+    out = capsys.readouterr().out
+    assert "trace-overhead benchmark" in out
+
+
+def test_run_e1_sampled_passes_with_ci_checks(tmp_path, capsys):
+    target = tmp_path / "e1.json"
+    assert main(["run", "E1", "--sample-rate", "64",
+                 "--json", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "CI overlap" in out
+    assert "[FAIL]" not in out
+    payload = json.loads(target.read_text())
+    manifest = payload[0]["manifest"]
+    assert manifest["schema_version"] == 5
+    assert manifest["sampling"]["sample_rate"] == 64

@@ -1,0 +1,80 @@
+"""Long-run observability: a run far past the in-memory event cap must
+still explain and report from the compressed trace alone.
+
+This is the acceptance scenario for the bounded-memory trace tier: the
+in-memory buffer holds a tiny tail window (here 100x+ smaller than the
+event stream), every event spills to the ctrace file, and ``explain`` /
+``report`` reconstruct activations from the file with a compression
+ratio of at least 5x over the JSON Chrome export of the same events.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import SuiteRunner
+from repro.obs.causality import CausalGraph
+from repro.obs.ctrace import CTraceReader
+from repro.obs.report import html_report
+from repro.obs.timeline import traces_to_chrome
+from repro.workloads.suite import SUITE
+
+CAP = 3  # in-memory window; the mcf run emits 100x+ more events
+
+
+@pytest.fixture(scope="module")
+def longrun(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("ctrace") / "longrun.ctrace")
+    runner = SuiteRunner(ctrace_out=path, trace_keep="tail",
+                         trace_max_events=CAP)
+    runner.timed(SUITE["mcf"], "dtt")
+    trace = runner.trace_for("mcf", "dtt")
+    footer = runner.close_ctrace()
+    return path, trace, footer
+
+
+def test_run_overflows_the_window_100x(longrun):
+    path, trace, footer = longrun
+    stream = CTraceReader(path).stream("mcf:dtt:smt2")
+    assert len(stream) >= 100 * CAP
+    assert len(trace.events) == CAP  # the in-memory tail window
+    assert trace.dropped == len(stream) - CAP
+    assert stream.meta["memory_dropped"] == trace.dropped
+    assert stream.meta["drop_policy"] == "tail"
+    assert footer["events"] == len(stream)
+
+
+def test_spilled_stream_is_complete_and_ordered(longrun):
+    path, _trace, _footer = longrun
+    stream = CTraceReader(path).stream()
+    sequences = [event.sequence for event in stream.events]
+    assert sequences == list(range(1, len(sequences) + 1))
+
+
+def test_explain_works_from_the_ctrace_alone(longrun):
+    path, _trace, _footer = longrun
+    stream = CTraceReader(path).stream()
+    graph = CausalGraph.from_trace(stream)
+    summary = graph.summary()
+    assert summary["activations"] > 0
+    first = min(graph.activations)
+    lineage = graph.lineage(first)
+    assert lineage and lineage[-1].activation_id == first
+
+
+def test_report_renders_from_the_ctrace_alone(longrun):
+    path, _trace, _footer = longrun
+    reader = CTraceReader(path)
+    html = html_report(ctrace_streams=reader.named_streams())
+    assert "mcf:dtt:smt2" in html
+    assert "buffer dropped" in html
+
+
+def test_compression_ratio_is_at_least_5x_over_chrome_json(longrun):
+    path, _trace, _footer = longrun
+    stream = CTraceReader(path).stream()
+    chrome_bytes = len(json.dumps(
+        traces_to_chrome([("mcf:dtt:smt2", stream)]),
+        indent=1).encode("utf-8"))
+    assert stream.compressed_bytes > 0
+    assert chrome_bytes / stream.compressed_bytes >= 5.0

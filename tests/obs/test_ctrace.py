@@ -1,0 +1,201 @@
+"""Compressed event traces: exact round-trip, framing, failure modes."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry
+from repro.core.trace import EngineEvent, EngineTrace
+from repro.errors import CTraceError
+from repro.machine.machine import Machine, run_to_completion
+from repro.obs.ctrace import (CTraceReader, CTraceWriter, write_trace)
+
+from tests.conftest import build_dtt_sum
+
+KINDS = ("tstore", "suppressed", "fired", "duplicate", "enqueued",
+         "canceled", "dispatched", "completed", "consume-clean",
+         "consume-wait")
+
+maybe_int = st.none() | st.integers(0, 1 << 40)
+
+event_bodies = st.tuples(
+    st.integers(1, 1 << 30),            # sequence delta (stressing zigzag)
+    st.sampled_from(KINDS),
+    st.none() | st.sampled_from(("sumthr", "minthr", "t0")),
+    maybe_int,                          # address
+    st.sampled_from(("", "why", "addr=5 val=9", "x" * 40)),
+    maybe_int,                          # activation_id
+    maybe_int,                          # cause_id
+    maybe_int,                          # pc
+    maybe_int,                          # cycle
+)
+
+
+def _materialize(bodies):
+    sequence = 0
+    events = []
+    for delta, kind, thread, address, detail, act, cause, pc, cycle in bodies:
+        sequence += delta
+        events.append(EngineEvent(sequence, kind, thread, address, detail,
+                                  act, cause, pc, cycle))
+    return events
+
+
+def _fields(event):
+    return (event.sequence, event.kind, event.thread, event.address,
+            event.detail, event.activation_id, event.cause_id, event.pc,
+            event.cycle)
+
+
+@given(bodies=st.lists(event_bodies, max_size=120),
+       chunk_events=st.integers(1, 7))
+@settings(max_examples=60, deadline=None)
+def test_round_trip_is_exact_for_any_stream(tmp_path_factory, bodies,
+                                            chunk_events):
+    path = str(tmp_path_factory.mktemp("ct") / "t.ctrace")
+    events = _materialize(bodies)
+    with CTraceWriter(path, chunk_events=chunk_events) as writer:
+        writer.begin_stream("s")
+        for event in events:
+            writer.append(event)
+    decoded = list(CTraceReader(path).stream("s").events)
+    assert [_fields(e) for e in decoded] == [_fields(e) for e in events]
+
+
+def _traced_run(values, idx, val):
+    program, spec = build_dtt_sum(list(values), list(idx), list(val))
+    machine = Machine(program, num_contexts=2)
+    engine = DttEngine(ThreadRegistry([spec]))
+    trace = EngineTrace(engine)
+    machine.attach_engine(engine)
+    run_to_completion(machine)
+    return trace
+
+
+def test_real_trace_round_trips_and_compresses(tmp_path):
+    trace = _traced_run([3, 1, 4, 1], [0, 1, 2, 3, 0, 1], [9, 9, 9, 9, 9, 9])
+    assert trace.events
+    path = str(tmp_path / "run.ctrace")
+    footer = write_trace(path, ("sum:dtt", trace))
+    assert footer["streams"] == 1
+    assert footer["events"] == len(trace.events)
+    assert footer["bytes"] == os.path.getsize(path)
+    stream = CTraceReader(path).stream("sum:dtt")
+    assert [_fields(e) for e in stream.events] == \
+        [_fields(e) for e in trace.events]
+    assert stream.dropped == trace.dropped == 0
+
+
+def test_streams_are_reiterable(tmp_path):
+    trace = _traced_run([1, 2], [0, 1], [5, 6])
+    path = str(tmp_path / "run.ctrace")
+    write_trace(path, ("a", trace))
+    stream = CTraceReader(path).stream()
+    first = [e.sequence for e in stream.events]
+    second = [e.sequence for e in stream.events]  # fresh generator
+    assert first == second == [e.sequence for e in trace.events]
+
+
+def test_multiple_streams_keep_their_events_apart(tmp_path):
+    path = str(tmp_path / "multi.ctrace")
+    with CTraceWriter(path, chunk_events=3) as writer:
+        writer.begin_stream("first")
+        for i in range(1, 8):
+            writer.append(EngineEvent(i, "tstore", "a", address=i * 8))
+        writer.begin_stream("second")  # implicitly ends "first"
+        writer.append(EngineEvent(1, "fired", "b"))
+    reader = CTraceReader(path)
+    assert [name for name, _ in reader.named_streams()] == ["first", "second"]
+    assert len(reader.stream("first")) == 7
+    assert len(reader.stream("second")) == 1
+    assert reader.event_count == 8
+    with pytest.raises(CTraceError, match="no stream"):
+        reader.stream("third")
+
+
+def test_annotations_land_in_stream_meta(tmp_path):
+    path = str(tmp_path / "meta.ctrace")
+    with CTraceWriter(path) as writer:
+        writer.begin_stream("s")
+        writer.append(EngineEvent(1, "tstore", None))
+        writer.annotate(memory_dropped=12, drop_policy="tail")
+    stream = CTraceReader(path).stream("s")
+    assert stream.meta["memory_dropped"] == 12
+    assert stream.meta["drop_policy"] == "tail"
+    assert stream.meta["events"] == 1
+
+
+def test_dropped_annotation_surfaces_like_engine_trace(tmp_path):
+    path = str(tmp_path / "drop.ctrace")
+    with CTraceWriter(path) as writer:
+        writer.begin_stream("s")
+        writer.append(EngineEvent(1, "tstore", None))
+        writer.annotate(dropped=3)
+    stream = CTraceReader(path).stream()
+    assert stream.dropped == 3
+    assert stream.truncated
+
+
+def test_append_outside_stream_is_an_error(tmp_path):
+    writer = CTraceWriter(str(tmp_path / "x.ctrace"))
+    with pytest.raises(CTraceError, match="outside a stream"):
+        writer.append(EngineEvent(1, "tstore", None))
+    writer.abort()
+
+
+def test_abort_leaves_no_file(tmp_path):
+    path = tmp_path / "aborted.ctrace"
+    writer = CTraceWriter(str(path))
+    writer.begin_stream("s")
+    writer.append(EngineEvent(1, "tstore", None))
+    writer.abort()
+    assert not path.exists()
+    assert not list(tmp_path.iterdir())  # no orphan temp files either
+
+
+def test_uncommitted_bytes_are_rejected(tmp_path):
+    # a file missing its footer means the writer never committed; the
+    # reader must fail loudly instead of silently dropping the tail
+    path = str(tmp_path / "full.ctrace")
+    with CTraceWriter(path, chunk_events=2) as writer:
+        writer.begin_stream("s")
+        for i in range(1, 7):
+            writer.append(EngineEvent(i, "tstore", None, address=i))
+    data = open(path, "rb").read()
+    clipped = str(tmp_path / "clipped.ctrace")
+    with open(clipped, "wb") as handle:
+        handle.write(data[:len(data) - 10])
+    with pytest.raises(CTraceError):
+        CTraceReader(clipped)
+
+
+def test_garbage_magic_is_rejected(tmp_path):
+    path = tmp_path / "bad.ctrace"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(CTraceError, match="bad magic"):
+        CTraceReader(str(path))
+
+
+def test_corrupted_chunk_fails_on_decode(tmp_path):
+    path = str(tmp_path / "corrupt.ctrace")
+    with CTraceWriter(path, chunk_events=64) as writer:
+        writer.begin_stream("s")
+        for i in range(1, 40):
+            writer.append(EngineEvent(i, "tstore", "t", address=i * 4,
+                                      detail=f"v{i}"))
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0xFF  # flip a byte inside the zlib payload
+    open(path, "wb").write(bytes(data))
+    reader = CTraceReader(path)  # index scan does not decode payloads
+    with pytest.raises(Exception):
+        list(reader.stream("s").events)
+
+
+def test_write_trace_records_drop_counts(tmp_path):
+    trace = _traced_run([1, 2, 3], [0, 1], [7, 8])
+    trace.dropped = 5  # simulate an overflowed in-memory buffer
+    path = str(tmp_path / "drops.ctrace")
+    write_trace(path, ("s", trace))
+    assert CTraceReader(path).stream("s").dropped == 5

@@ -1,0 +1,86 @@
+"""Atomic artifact writes: rename-into-place, aborts, orphan sweeping."""
+
+import os
+
+import pytest
+
+from repro.obs.ioutil import (AtomicBinaryWriter, atomic_write_bytes,
+                              atomic_write_text, cleanup_orphan_tmp)
+
+
+def test_atomic_write_text_round_trip(tmp_path):
+    path = tmp_path / "artifact.json"
+    atomic_write_text(str(path), "{\"a\": 1}\n")
+    assert path.read_text() == "{\"a\": 1}\n"
+    assert list(tmp_path.iterdir()) == [path]  # no temp debris
+
+
+def test_atomic_write_bytes_round_trip(tmp_path):
+    path = tmp_path / "artifact.bin"
+    atomic_write_bytes(str(path), b"\x00\x01\xff")
+    assert path.read_bytes() == b"\x00\x01\xff"
+
+
+def test_binary_writer_commit_publishes_and_reports_bytes(tmp_path):
+    path = tmp_path / "out.ctrace"
+    writer = AtomicBinaryWriter(str(path))
+    assert writer.write(b"abc") == 3
+    assert writer.write(b"def") == 3
+    assert writer.tell() == writer.bytes_written == 6
+    assert not path.exists()  # nothing published before commit
+    writer.commit()
+    assert path.read_bytes() == b"abcdef"
+
+
+def test_binary_writer_abort_keeps_previous_artifact(tmp_path):
+    path = tmp_path / "out.bin"
+    path.write_bytes(b"old complete artifact")
+    writer = AtomicBinaryWriter(str(path))
+    writer.write(b"half-finished replace")
+    writer.abort()
+    assert path.read_bytes() == b"old complete artifact"
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_binary_writer_context_manager_aborts_on_exception(tmp_path):
+    path = tmp_path / "out.bin"
+    with pytest.raises(RuntimeError):
+        with AtomicBinaryWriter(str(path)) as writer:
+            writer.write(b"doomed")
+            raise RuntimeError("simulated crash")
+    assert not path.exists()
+    assert not list(tmp_path.iterdir())
+
+
+def test_write_after_close_is_an_error(tmp_path):
+    writer = AtomicBinaryWriter(str(tmp_path / "x.bin"))
+    writer.commit()
+    with pytest.raises(ValueError, match="already closed"):
+        writer.write(b"late")
+
+
+def test_cleanup_sweeps_only_stale_tmp_files(tmp_path):
+    stale = tmp_path / "tmpdead1.tmp"
+    stale.write_bytes(b"x")
+    os.utime(stale, (1, 1))  # ancient
+    fresh = tmp_path / "tmplive2.tmp"
+    fresh.write_bytes(b"y")  # mtime = now, inside the grace window
+    unrelated = tmp_path / "keep.json"
+    unrelated.write_text("{}")
+    removed = cleanup_orphan_tmp(str(tmp_path))
+    assert removed == 1
+    assert not stale.exists()
+    assert fresh.exists()
+    assert unrelated.exists()
+
+
+def test_cleanup_of_missing_directory_is_quiet(tmp_path):
+    assert cleanup_orphan_tmp(str(tmp_path / "nope")) == 0
+
+
+def test_writers_self_heal_their_directory(tmp_path):
+    stale = tmp_path / "tmpcrash.tmp"
+    stale.write_bytes(b"z")
+    os.utime(stale, (1, 1))
+    atomic_write_text(str(tmp_path / "new.txt"), "hello")
+    assert not stale.exists()

@@ -79,7 +79,7 @@ def test_untraced_manifest_has_no_causal_summary(runner):
     assert manifest.unmatched_closers == 0
     payload = manifest.as_dict()
     assert payload["causal"] is None
-    assert payload["schema_version"] == 4
+    assert payload["schema_version"] == 5
 
 
 def test_traced_manifest_carries_causal_summary():

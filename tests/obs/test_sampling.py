@@ -1,0 +1,152 @@
+"""Seeded samplers and confidence intervals: determinism + coverage."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.sampling import (AddressSampler, ReservoirSampler,
+                                SampleEstimate, StridedSampler,
+                                cluster_coverage_interval,
+                                kish_effective_size, normal_interval,
+                                wilson_interval)
+
+
+# -- intervals ---------------------------------------------------------------
+
+
+def test_wilson_interval_known_value():
+    low, high = wilson_interval(8, 10)
+    assert 0.49 < low < 0.50
+    assert 0.94 < high < 0.95
+
+
+@given(st.integers(0, 200), st.integers(1, 200))
+@settings(max_examples=60, deadline=None)
+def test_wilson_interval_contains_point_estimate(successes, trials):
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials)
+    p = successes / trials
+    assert 0.0 <= low <= p + 1e-12
+    assert p - 1e-12 <= high <= 1.0
+
+
+def test_intervals_with_no_trials_are_uninformative():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+    assert normal_interval(0, 0) == (0.0, 1.0)
+    assert cluster_coverage_interval(0, 0, 0, 100, 64) == (0.0, 1.0)
+
+
+def test_wilson_tighter_than_normal_is_bounded_at_extremes():
+    # all successes: Wilson stays non-degenerate, normal collapses
+    w_low, w_high = wilson_interval(20, 20)
+    n_low, n_high = normal_interval(20, 20)
+    assert w_low < 1.0 and w_high == 1.0
+    assert n_low == 1.0 and n_high == 1.0
+
+
+def test_kish_effective_size():
+    assert kish_effective_size([]) == 0.0
+    assert kish_effective_size([5, 5, 5, 5]) == pytest.approx(4.0)
+    # one dominant cluster carries ~one cluster of information
+    assert kish_effective_size([1000, 1, 1]) == pytest.approx(1.0, abs=0.01)
+
+
+def test_cluster_coverage_interval_full_coverage_is_wilson_at_kish():
+    # population fully represented: interval is Wilson at the effective n
+    low, high = cluster_coverage_interval(50, 100, 100.0, 100, 1)
+    assert (low, high) == wilson_interval(50, 100)
+
+
+def test_cluster_coverage_interval_uncovered_mass_widens():
+    # 10 sampled loads at rate 64 represent 640 of 64000 loads: 99% of
+    # the population is unknown, so the upper bound must approach 1
+    low, high = cluster_coverage_interval(0, 10, 10.0, 64000, 64)
+    assert low == 0.0
+    assert high > 0.98
+
+
+def test_cluster_coverage_interval_always_contains_pooled_fraction():
+    for successes, trials, eff, pop, rate in [
+        (3, 10, 2.0, 1000, 64), (10, 10, 1.0, 10, 1),
+        (0, 5, 5.0, 5000, 64), (7, 223, 1.4, 200, 64),
+    ]:
+        low, high = cluster_coverage_interval(successes, trials, eff,
+                                              pop, rate)
+        assert low <= successes / trials <= high
+
+
+def test_sample_estimate_from_interval_preserves_bounds():
+    estimate = SampleEstimate.from_interval(3, 10, 0.3, 0.1, 0.9)
+    assert estimate.fraction == 0.3
+    assert estimate.ci_low == 0.1
+    assert estimate.ci_high == 0.9
+    assert estimate.ci_width == pytest.approx(0.8)
+    assert estimate.contains(0.5)
+    assert not estimate.contains(0.95)
+
+
+# -- AddressSampler ----------------------------------------------------------
+
+
+def test_address_sampler_rate_one_samples_everything():
+    sampler = AddressSampler(1)
+    assert all(sampler.sampled(a) for a in range(1000))
+
+
+def test_address_sampler_hits_near_nominal_rate():
+    sampler = AddressSampler(64, seed=3)
+    hits = sum(sampler.sampled(a) for a in range(100_000))
+    assert 1000 < hits < 2200  # ~1563 expected
+
+
+def test_address_sampler_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        AddressSampler(0)
+
+
+def test_address_sampler_seed_changes_subset():
+    a = {x for x in range(5000) if AddressSampler(16, seed=1).sampled(x)}
+    b = {x for x in range(5000) if AddressSampler(16, seed=2).sampled(x)}
+    assert a != b
+
+
+def test_address_sampler_deterministic_across_processes():
+    # the same (seed, rate) must select the same addresses in a fresh
+    # interpreter — pool workers and re-runs agree byte-for-byte
+    local = [a for a in range(4096) if AddressSampler(32, seed=7).sampled(a)]
+    script = (
+        "import json\n"
+        "from repro.obs.sampling import AddressSampler\n"
+        "s = AddressSampler(32, seed=7)\n"
+        "print(json.dumps([a for a in range(4096) if s.sampled(a)]))\n"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        check=True).stdout
+    assert json.loads(output) == local
+
+
+# -- StridedSampler / ReservoirSampler ---------------------------------------
+
+
+def test_strided_sampler_takes_every_kth_with_seeded_phase():
+    sampler = StridedSampler(10, seed=4)
+    taken = [i for i in range(100) if sampler.sample()]
+    assert len(taken) == 10
+    assert all(b - a == 10 for a, b in zip(taken, taken[1:]))
+    # same seed, same phase
+    again = StridedSampler(10, seed=4)
+    assert [i for i in range(100) if again.sample()] == taken
+
+
+def test_reservoir_sampler_is_bounded_and_seeded():
+    sampler = ReservoirSampler(16, seed=9)
+    sampler.extend(range(10_000))
+    assert len(sampler.items) == 16
+    assert sampler.observed == 10_000
+    other = ReservoirSampler(16, seed=9)
+    other.extend(range(10_000))
+    assert other.items == sampler.items
