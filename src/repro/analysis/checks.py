@@ -48,7 +48,7 @@ from repro.analysis.dataflow import (TOP, UNDEF, AddressSet,
                                      union_addresses)
 from repro.analysis.findings import ERROR, WARNING, Finding, Severity
 from repro.core.config import DttConfig
-from repro.core.registry import ThreadRegistry, TriggerSpec
+from repro.core.registry import ThreadRegistry, TriggerSpec, widen_ranges
 from repro.errors import DttError
 from repro.isa.instructions import (is_triggering_store, operand_roles)
 from repro.isa.program import Program
@@ -133,29 +133,19 @@ class _ThreadModel:
         self.writes = union_addresses(s for _pc, s in self.summary.writes)
 
 
-def _widened(ranges: Iterable[Tuple[int, int]],
-             granularity: int) -> List[Tuple[int, int]]:
-    """Watch ranges widened exactly as ``ThreadRegistry.matches`` widens
-    them: ``lo`` down and ``hi`` up to the next granularity multiple."""
-    widened = []
-    for lo, hi in ranges:
-        if granularity > 1:
-            lo -= lo % granularity
-            hi += (-hi) % granularity
-        widened.append((lo, hi))
-    return widened
-
-
 def _spec_may_match(spec: TriggerSpec, pc: int, addresses: AddressSet,
                     layout, granularity: int) -> bool:
     """Could a triggering store at ``pc`` with this address set fire
     ``spec``?  Mirrors ``ThreadRegistry.matches``: exact on store pcs,
-    granularity-widened on watch ranges; ⊤ address sets may match
-    anything watched."""
+    granularity-widened on watch ranges (via the engine's own
+    :func:`~repro.core.registry.widen_ranges`, not a local re-derivation
+    — so tstores inserted by the automatic converter get exactly the
+    widening the engine will apply at run time); ⊤ address sets may
+    match anything watched."""
     if pc in spec.store_pcs:
         return True
     return bool(spec.watch) and addresses.intersects_ranges(
-        _widened(spec.watch, granularity), layout)
+        widen_ranges(spec.watch, granularity), layout)
 
 
 def _trigger_address_value(spec: TriggerSpec, main: _MainModel,
@@ -168,7 +158,7 @@ def _trigger_address_value(spec: TriggerSpec, main: _MainModel,
     """
     if spec.watch:
         names = set()
-        for lo, hi in _widened(spec.watch, granularity):
+        for lo, hi in widen_ranges(spec.watch, granularity):
             for name, (base, size) in layout.items():
                 if base < hi and lo < base + max(size, 1):
                     names.add(name)

@@ -1,0 +1,44 @@
+"""Automatic DTT conversion: profile → synthesize → prove → accept.
+
+The paper's conversions (and the 17 hand builds in
+:mod:`repro.workloads`) were produced by a human reading profiles.  This
+package closes that loop for *builder-shaped* programs:
+
+* :mod:`repro.autoconvert.candidates` — finds store-site → consumer-region
+  pairs in a finalized non-DTT program (static single-entry/single-exit
+  region discovery over the CFG, then redundancy-profiler scoring:
+  silent-store fraction of the feeding stores × downstream
+  redundant-load mass of the region, CI-lower-bound ranked when the
+  profile is sampled);
+* :mod:`repro.autoconvert.synthesize` — rewrites the instruction stream:
+  region body → support thread with ``treturn``, feeding stores →
+  triggering stores, a ``tcheck`` where the region used to run, plus a
+  priming copy at entry, with branch targets re-resolved and register
+  safety guaranteed by the candidate contract;
+* :mod:`repro.autoconvert.gate` — accepts a candidate only when the
+  seven static safety checks report zero errors, the functional output
+  is bit-identical to the baseline, *and* the timing simulator shows a
+  cycle win; greedy search over the ranked candidate set with counted
+  rejection reasons.
+
+Surface: ``dtt-harness convert --workload <w>`` and
+:func:`repro.autoconvert.gate.convert_program`.
+"""
+
+from repro.autoconvert.candidates import (ConversionCandidate,
+                                          discover_candidates,
+                                          rank_candidates)
+from repro.autoconvert.gate import (REJECTION_REASONS, ConversionResult,
+                                    convert_program)
+from repro.autoconvert.synthesize import SynthesisResult, synthesize
+
+__all__ = [
+    "ConversionCandidate",
+    "ConversionResult",
+    "REJECTION_REASONS",
+    "SynthesisResult",
+    "convert_program",
+    "discover_candidates",
+    "rank_candidates",
+    "synthesize",
+]

@@ -1,0 +1,199 @@
+"""Acceptance gate: prove and measure before accepting a conversion.
+
+The converter never trusts a candidate.  Each one must survive, in
+order:
+
+1. **synthesis** — the rewrite itself must succeed (structural
+   contract: non-overlapping regions, plain-store feeders);
+2. **static proof** — the seven safety checks of
+   :mod:`repro.analysis.checks` report **zero errors** on the
+   synthesized program under the same DTT config the engine will run
+   (shared granularity widening and all);
+3. **functional proof** — a full DTT run's output is bit-identical to
+   the baseline's;
+4. **measurement** — the timing simulator shows a cycle win at least
+   ``min_speedup`` over the unconverted baseline, and a strict
+   improvement over the best build accepted so far.
+
+The search is greedy over the profile-ranked candidates: each new
+candidate is re-proven *jointly* with everything already accepted, so
+an accepted set is always a proven, measured build.  Every considered
+candidate gets a counted outcome (:data:`REJECTION_REASONS`), recorded
+in the run manifest for provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.checks import analyze_program, analysis_summary
+from repro.autoconvert.candidates import (ConversionCandidate,
+                                          rank_candidates)
+from repro.autoconvert.synthesize import SynthesisResult, synthesize
+from repro.errors import SynthesisError
+from repro.machine.machine import Machine, run_to_completion
+from repro.isa.program import Program
+from repro.profiling.redundancy import RedundantLoadProfiler
+from repro.timing.params import named_config
+from repro.timing.system import TimingSimulator
+
+#: every way the gate can reject a candidate, with what each means;
+#: documented one-for-one in docs/architecture.md
+REJECTION_REASONS = {
+    "overlaps-accepted":
+        "region shares instructions with an already-accepted candidate",
+    "synthesis-failed":
+        "the instruction-stream rewrite raised SynthesisError",
+    "analysis-errors":
+        "the static safety checks found at least one error",
+    "output-mismatch":
+        "the converted program's output diverged from the baseline",
+    "no-cycle-win":
+        "the timing simulator showed no improvement at min_speedup",
+}
+
+
+class ConversionResult:
+    """Outcome of :func:`convert_program`: the accepted build + audit."""
+
+    __slots__ = ("accepted", "synthesis", "outcomes", "rejected",
+                 "considered", "baseline_cycles", "cycles",
+                 "baseline_redundant", "dtt_redundant")
+
+    def __init__(self, baseline_cycles: int, baseline_redundant: int):
+        self.accepted: List[ConversionCandidate] = []
+        #: synthesis of the accepted set; None when nothing was accepted
+        self.synthesis: Optional[SynthesisResult] = None
+        #: per-considered-candidate audit rows, in ranked order
+        self.outcomes: List[Dict] = []
+        self.rejected: Dict[str, int] = {}
+        self.considered = 0
+        self.baseline_cycles = baseline_cycles
+        self.cycles = baseline_cycles
+        self.baseline_redundant = baseline_redundant
+        self.dtt_redundant = baseline_redundant
+
+    @property
+    def build(self):
+        """The accepted :class:`~repro.workloads.base.DttBuild`, or None."""
+        return self.synthesis.build if self.synthesis else None
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def elimination(self) -> float:
+        """Fraction of the baseline's redundant loads the conversion
+        removed (the paper's redundant-computation elimination, E1)."""
+        if not self.baseline_redundant:
+            return 0.0
+        return 1.0 - self.dtt_redundant / self.baseline_redundant
+
+    def _note(self, candidate: ConversionCandidate, outcome: str,
+              reason: Optional[str] = None) -> None:
+        row = dict(candidate.as_dict(), outcome=outcome)
+        if reason is not None:
+            row["reason"] = reason
+            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        self.outcomes.append(row)
+
+    def provenance(self) -> Dict:
+        """JSON-ready record for the run manifest (schema v6)."""
+        return {
+            "considered": self.considered,
+            "accepted": [c.as_dict() for c in self.accepted],
+            "rejected": dict(sorted(self.rejected.items())),
+            "outcomes": self.outcomes,
+            "baseline_cycles": self.baseline_cycles,
+            "cycles": self.cycles,
+            "speedup": round(self.speedup, 6),
+            "elimination": round(self.elimination, 6),
+            "conversions": (self.synthesis.conversions
+                            if self.synthesis else []),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ConversionResult({len(self.accepted)}/{self.considered} "
+                f"accepted, speedup={self.speedup:.3f}, "
+                f"elimination={self.elimination:.1%})")
+
+
+def convert_program(
+    program: Program,
+    top_k: int = 8,
+    min_speedup: float = 1.0,
+    config_name: str = "smt2",
+    dtt_config=None,
+    sample_rate: Optional[int] = None,
+    sample_seed: int = 0,
+    min_dynamic_stores: int = 4,
+    max_instructions: int = 20_000_000,
+) -> ConversionResult:
+    """Automatically convert ``program`` to DTT form, proving each step.
+
+    Ranks candidates (optionally from a sampled profile), then greedily
+    accepts each one that — jointly with the already-accepted set —
+    passes static analysis with zero errors, reproduces the baseline
+    output exactly, and improves simulated cycles by at least
+    ``min_speedup`` (and strictly over the best accepted build).
+    """
+    ranked = rank_candidates(program,
+                             min_dynamic_stores=min_dynamic_stores,
+                             sample_rate=sample_rate,
+                             sample_seed=sample_seed,
+                             max_instructions=max_instructions)[:top_k]
+    system = named_config(config_name)
+    baseline_output, baseline_redundant = _functional(
+        program, None, None, max_instructions)
+    baseline_cycles = TimingSimulator(
+        program, system, max_instructions=max_instructions).run().cycles
+
+    result = ConversionResult(baseline_cycles, baseline_redundant)
+    result.considered = len(ranked)
+    for candidate in ranked:
+        if any(candidate.overlaps(other) for other in result.accepted):
+            result._note(candidate, "rejected", "overlaps-accepted")
+            continue
+        try:
+            synthesis = synthesize(program, result.accepted + [candidate])
+        except SynthesisError:
+            result._note(candidate, "rejected", "synthesis-failed")
+            continue
+        findings = analyze_program(synthesis.program, synthesis.build.specs,
+                                   config=dtt_config)
+        if analysis_summary(findings)["errors"]:
+            result._note(candidate, "rejected", "analysis-errors")
+            continue
+        output, dtt_redundant = _functional(
+            synthesis.program, synthesis.build, dtt_config, max_instructions)
+        if output != baseline_output:
+            result._note(candidate, "rejected", "output-mismatch")
+            continue
+        engine = synthesis.build.engine(config=dtt_config, deferred=True)
+        cycles = TimingSimulator(
+            synthesis.program, system, engine=engine,
+            max_instructions=max_instructions).run().cycles
+        wins = (cycles and baseline_cycles / cycles >= min_speedup
+                and cycles < result.cycles)
+        if not wins:
+            result._note(candidate, "rejected", "no-cycle-win")
+            continue
+        result.accepted.append(candidate)
+        result.synthesis = synthesis
+        result.cycles = cycles
+        result.dtt_redundant = dtt_redundant
+        result._note(candidate, "accepted")
+    return result
+
+
+def _functional(program: Program, build, dtt_config, max_instructions):
+    """One profiled functional run; returns (output, redundant loads)."""
+    machine = Machine(program, num_contexts=2,
+                      max_instructions=max_instructions)
+    if build is not None:
+        machine.attach_engine(build.engine(config=dtt_config))
+    profiler = RedundantLoadProfiler()
+    machine.add_observer(profiler)
+    output = run_to_completion(machine)
+    return output, profiler.redundant_loads

@@ -1,0 +1,226 @@
+"""Synthesis: rewrite a plain program into its DTT variant.
+
+Given a finalized non-DTT program and a set of non-overlapping
+:class:`~repro.autoconvert.candidates.ConversionCandidate` regions, emit
+a new program in which, for each candidate ``k``:
+
+* the region body becomes support thread ``auto{k}`` (copied
+  instructions, internal branch targets relabeled, ``treturn`` at the
+  region's fall-through exit);
+* each feeder store is replaced in place by its triggering form
+  (``st`` → ``tst``, ``stx`` → ``tstx``, operands unchanged);
+* the region's old location in main collapses to a single
+  ``tcheck`` — the consume barrier where the baseline recomputed;
+* a *priming* copy of the region runs once at program entry, mirroring
+  the hand conversions: the derived data must exist before the first
+  consume even if no feeder has yet stored a changed value.
+
+Data items are copied in the original order, so the loader layout is
+identical and resolved ``la`` immediates survive verbatim — no symbol
+re-patching.  Register safety is the candidate contract (the region
+defines every register it reads and its definitions are dead at both
+the region exit and program entry), which the discovery pass enforced
+and the gate's static checks re-prove on the synthesized output.
+
+Thread bodies are emitted before main, so ``tcheck`` thread ids (by
+declaration order) resolve; the trigger specs use the *new* feeder pcs
+with per-thread dedupe (one pending execution recomputes the whole
+region, so per-address queue entries would be pure overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.autoconvert.candidates import ConversionCandidate
+from repro.errors import ProgramValidationError, SynthesisError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import DttBuild
+from repro.core.registry import TriggerSpec
+
+#: old store op -> its triggering form
+_TRIGGERING_FORM = {"st": "tst", "stx": "tstx"}
+
+
+class SynthesisResult:
+    """A synthesized DTT build plus per-candidate provenance."""
+
+    __slots__ = ("build", "conversions")
+
+    def __init__(self, build: DttBuild, conversions: List[Dict]):
+        self.build = build
+        self.conversions = conversions
+
+    @property
+    def program(self) -> Program:
+        return self.build.program
+
+    def __repr__(self) -> str:
+        return (f"SynthesisResult({len(self.conversions)} threads, "
+                f"{len(self.build.program)} instructions)")
+
+
+def synthesize(program: Program,
+               candidates: Sequence[ConversionCandidate]) -> SynthesisResult:
+    """Rewrite ``program`` with one support thread per candidate.
+
+    Candidates may be given in any order; they are synthesized in
+    region order.  Raises :class:`SynthesisError` on malformed input
+    (unfinalized program, program already using DTT, overlapping
+    regions, a feeder that is not a plain store) — conditions the gate
+    counts as ``synthesis-failed``.
+    """
+    if not program.finalized:
+        raise SynthesisError("program must be finalized before conversion")
+    if program.threads:
+        raise SynthesisError(
+            f"program already declares threads {list(program.threads)}; "
+            "automatic conversion starts from a plain program")
+    ordered = sorted(candidates, key=lambda c: c.region_start)
+    if not ordered:
+        raise SynthesisError("no candidates to synthesize")
+    for first, second in zip(ordered, ordered[1:]):
+        if first.overlaps(second):
+            raise SynthesisError(
+                f"candidate regions overlap: pc {first.region_start}.."
+                f"{first.region_end - 1} vs pc {second.region_start}.."
+                f"{second.region_end - 1}")
+    size = len(program)
+    for candidate in ordered:
+        if not 0 <= candidate.region_start < candidate.region_end <= size:
+            raise SynthesisError(
+                f"candidate region pc {candidate.region_start}.."
+                f"{candidate.region_end - 1} outside program")
+        for pc in candidate.store_pcs:
+            op = program.instructions[pc].op
+            if op not in _TRIGGERING_FORM:
+                raise SynthesisError(
+                    f"feeder at pc {pc} is {op!r}, not a plain store")
+
+    interior: Set[int] = set()
+    start_of: Dict[int, ConversionCandidate] = {}
+    feeder_of: Dict[int, List[int]] = {}
+    for index, candidate in enumerate(ordered):
+        start_of[candidate.region_start] = candidate
+        interior.update(range(candidate.region_start + 1,
+                              candidate.region_end))
+        for pc in candidate.store_pcs:
+            feeder_of.setdefault(pc, []).append(index)
+    for candidate in ordered:
+        for pc in candidate.store_pcs:
+            if pc in interior or pc in start_of:
+                raise SynthesisError(
+                    f"feeder at pc {pc} lies inside another candidate's "
+                    "region; it would become thread code and never trigger")
+
+    b = ProgramBuilder()
+    for item in program.data_items:
+        b.data(item.name, item.values)
+
+    # thread bodies first: tcheck ids are declaration-order indices
+    for index, candidate in enumerate(ordered):
+        with b.thread(_thread_name(index)):
+            _copy_region(b, program, candidate, f"__ac{index}")
+            b.treturn()
+
+    new_feeder_pcs: List[List[int]] = [[] for _ in ordered]
+    tcheck_pcs: List[int] = [-1] * len(ordered)
+    newpos: Dict[int, int] = {}
+    for pc in range(size):
+        newpos[pc] = len(b.program.instructions)
+        if pc not in interior:
+            for name in program.labels_at(pc):
+                b.label(name)
+        if pc == program.entry_pc:
+            for index, candidate in enumerate(ordered):
+                _copy_region(b, program, candidate, f"__ac_prime{index}")
+        candidate = start_of.get(pc)
+        if candidate is not None:
+            index = ordered.index(candidate)
+            tcheck_pcs[index] = b.tcheck_thread(_thread_name(index))
+            continue
+        if pc in interior:
+            continue
+        instruction = program.instructions[pc]
+        if pc in feeder_of:
+            new_pc = b.emit(_TRIGGERING_FORM[instruction.op],
+                            instruction.a, instruction.b, instruction.c)
+            for index in feeder_of[pc]:
+                new_feeder_pcs[index].append(new_pc)
+            continue
+        b.emit(instruction.op, instruction.a, instruction.b,
+               instruction.c, label=instruction.label)
+    newpos[size] = len(b.program.instructions)
+    for name in program.labels_at(size):
+        b.label(name)
+
+    for function in program.functions:
+        b.program.add_function(function.name, newpos[function.start],
+                               newpos[function.end])
+
+    try:
+        new_program = b.build(entry=program.entry_label)
+    except ProgramValidationError as exc:
+        raise SynthesisError(f"synthesized program invalid: {exc}") from exc
+
+    specs = [
+        TriggerSpec(_thread_name(index), store_pcs=new_feeder_pcs[index],
+                    per_address_dedupe=False)
+        for index in range(len(ordered))
+    ]
+    conversions = [
+        {
+            "thread": _thread_name(index),
+            "region_start": candidate.region_start,
+            "region_end": candidate.region_end,
+            "feeder_pcs": list(candidate.store_pcs),
+            "new_feeder_pcs": list(new_feeder_pcs[index]),
+            "tcheck_pc": tcheck_pcs[index],
+            "thread_entry_pc": new_program.thread_entry_pc(
+                _thread_name(index)),
+        }
+        for index, candidate in enumerate(ordered)
+    ]
+    return SynthesisResult(DttBuild(new_program, specs), conversions)
+
+
+def _thread_name(index: int) -> str:
+    return f"auto{index}"
+
+
+def _copy_region(b: ProgramBuilder, program: Program,
+                 candidate: ConversionCandidate, prefix: str) -> None:
+    """Emit a relabeled copy of the candidate's region instructions.
+
+    Internal branch targets ``t`` become ``{prefix}_pc{t}``; branches to
+    the region's fall-through exit become ``{prefix}_end``, bound just
+    after the last copied instruction (the ``treturn`` in a thread body,
+    the continuation in a priming copy).
+    """
+    start, end = candidate.region_start, candidate.region_end
+    targets: Set[int] = set()
+    for pc in range(start, end):
+        instruction = program.instructions[pc]
+        target = getattr(instruction, "target", None)
+        if instruction.label is None or target is None:
+            continue
+        if not start <= target <= end:
+            raise SynthesisError(
+                f"branch at pc {pc} leaves region pc {start}..{end - 1} "
+                f"(target {target})")
+        targets.add(target)
+    for pc in range(start, end):
+        if pc in targets:
+            b.label(f"{prefix}_pc{pc}")
+        instruction = program.instructions[pc]
+        if instruction.label is not None:
+            target = instruction.target
+            name = (f"{prefix}_end" if target == end
+                    else f"{prefix}_pc{target}")
+            b.emit(instruction.op, instruction.a, instruction.b,
+                   instruction.c, label=name)
+        else:
+            b.emit(instruction.op, instruction.a, instruction.b,
+                   instruction.c)
+    b.label(f"{prefix}_end")

@@ -18,6 +18,30 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import RegistryError
 
 
+def widen_ranges(ranges: Iterable[Tuple[int, int]],
+                 granularity: int) -> List[Tuple[int, int]]:
+    """Watch ranges widened to ``granularity``-word alignment.
+
+    This is the *one* definition of the engine's trigger-detection
+    granularity semantics: ``lo`` rounds down and ``hi`` rounds up to the
+    next granularity multiple, modeling hardware that tracks whole cache
+    lines (stores to neighboring words inside the granule then match
+    too).  :meth:`ThreadRegistry.matches`,
+    :meth:`ThreadRegistry.build_prefilter`, and the static safety checks
+    in :mod:`repro.analysis.checks` all call this helper, so an analysis
+    verdict can never drift from what the engine actually matches —
+    including for tstores inserted by the automatic converter, whose
+    specs never pass through the hand-registration path.
+    """
+    widened = []
+    for lo, hi in ranges:
+        if granularity > 1:
+            lo -= lo % granularity
+            hi += (-hi) % granularity
+        widened.append((lo, hi))
+    return widened
+
+
 class TriggerSpec:
     """Attachment of one support thread to its triggering stores.
 
@@ -141,12 +165,8 @@ class ThreadRegistry:
         for ``granularity``, then sorted and coalesced, so membership in
         the prefilter is equivalent to "matches() would be non-empty".
         """
-        widened = []
-        for lo, hi, _spec in self._watched:
-            if granularity > 1:
-                lo -= lo % granularity
-                hi += (-hi) % granularity
-            widened.append((lo, hi))
+        widened = widen_ranges(
+            [(lo, hi) for lo, hi, _spec in self._watched], granularity)
         widened.sort()
         merged: List[Tuple[int, int]] = []
         for lo, hi in widened:
@@ -177,10 +197,9 @@ class ThreadRegistry:
         """
         matched = list(self._by_pc.get(pc, ()))
         if self._watched:
-            for lo, hi, spec in self._watched:
-                if granularity > 1:
-                    lo -= lo % granularity
-                    hi += (-hi) % granularity
+            widened = widen_ranges(
+                [(lo, hi) for lo, hi, _spec in self._watched], granularity)
+            for (lo, hi), (_lo, _hi, spec) in zip(widened, self._watched):
                 if lo <= address < hi and spec not in matched:
                     matched.append(spec)
         return matched

@@ -154,6 +154,21 @@ class CompareError(ExecError):
 
 
 # --------------------------------------------------------------------------
+# Automatic conversion pipeline
+# --------------------------------------------------------------------------
+
+
+class AutoConvertError(ReproError):
+    """Base class for automatic DTT conversion errors (candidate
+    discovery, synthesis, acceptance gate)."""
+
+
+class SynthesisError(AutoConvertError):
+    """A candidate set could not be rewritten into a DTT program
+    (overlapping regions, non-relocatable code, unconvertible store)."""
+
+
+# --------------------------------------------------------------------------
 # Harness layer
 # --------------------------------------------------------------------------
 

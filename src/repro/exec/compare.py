@@ -54,10 +54,11 @@ def metric_direction(name: str) -> str:
     if base.endswith(("_ci_width", "_ci_low", "_ci_high")):
         return _INFO  # interval bounds annotate their estimate, never gate
     if base in ("speedup", "checks_passed", "instructions_per_sec",
-                "compression_ratio"):
+                "compression_ratio", "accepted", "elimination",
+                "hand_elimination"):
         return _DOWN_BAD
     if base in ("cycles", "energy", "analysis_errors", "bytes_per_event",
-                "sampled_abs_error"):
+                "sampled_abs_error", "rejected"):
         return _UP_BAD
     if ("seconds" in base or base.startswith("phase:")
             or base in ("events_per_sec",
@@ -324,6 +325,28 @@ def _load_manifest(path: str, data: Dict) -> ResultSet:
             analysis_row["analysis_warnings"] = summary["warnings"]
         if analysis_row:
             cells[name] = analysis_row
+    # schema v6: one row per automatic conversion, so a converter that
+    # starts accepting fewer candidates (down_bad), producing slower
+    # builds (cycles: up_bad), or eliminating less redundancy (down_bad)
+    # shows up next to the run it converted for.  Unknown extra fields
+    # are ignored, so newer-schema manifests still load.
+    for audit in data.get("autoconvert") or []:
+        if not isinstance(audit, dict):
+            continue
+        name = f"autoconvert:{audit.get('workload', '?')}"
+        convert_row: Dict[str, float] = {}
+        for metric in ("considered", "baseline_cycles", "cycles",
+                       "speedup", "elimination"):
+            if isinstance(audit.get(metric), (int, float)):
+                convert_row[metric] = audit[metric]
+        if isinstance(audit.get("accepted"), list):
+            convert_row["accepted"] = len(audit["accepted"])
+        if isinstance(audit.get("rejected"), dict):
+            convert_row["rejected"] = sum(
+                count for count in audit["rejected"].values()
+                if isinstance(count, (int, float)))
+        if convert_row:
+            cells[name] = convert_row
     return ResultSet(path, "manifest", cells)
 
 

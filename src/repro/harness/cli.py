@@ -12,6 +12,8 @@ Commands::
     dtt-harness run E3 --ctrace-out run.ctrace --trace-keep tail
     dtt-harness run E1 --sample-rate 64      # CI-bounded estimates
     dtt-harness compare old.json new.json    # flag regressions
+    dtt-harness convert --workload mcf       # auto-convert to DTT
+    dtt-harness convert --workload all --bench-out BENCH_autoconvert.json
     dtt-harness bench                # interpreter instructions/sec
     dtt-harness bench --trace        # trace codec + sampling accuracy
     dtt-harness stats --sample-rate 64 --ctrace-out run.ctrace
@@ -521,6 +523,108 @@ def _cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_convert(args) -> int:
+    from repro.autoconvert import convert_program
+    from repro.obs.manifest import RunManifest
+    from repro.workloads.suite import workload_names
+
+    names = list(args.workload or [])
+    if "all" in names:
+        names = workload_names()
+    for name in names:
+        if name not in SUITE:
+            print(f"unknown workload {name!r}; "
+                  f"choose from {', '.join(SUITE)} or 'all'")
+            return 2
+    if args.top_k < 1:
+        print(f"--top-k must be >= 1, got {args.top_k}")
+        return 2
+
+    runner = SuiteRunner(seed=args.seed, scale=args.scale)
+    rows = {}
+    status = 0
+    for name in names:
+        workload = SUITE[name]
+        inp = workload.make_input(args.seed, args.scale)
+        program = workload.build_baseline(inp)
+        result = convert_program(
+            program, top_k=args.top_k, min_speedup=args.min_speedup,
+            config_name=args.config, sample_rate=args.sample_rate,
+            sample_seed=args.sample_seed)
+        runner.note_autoconvert(name, result.provenance())
+        hand_elimination = _hand_elimination(workload, inp,
+                                             result.baseline_redundant)
+        print(f"  {name:8s} {len(result.accepted)}/{result.considered} "
+              f"accepted  speedup {result.speedup:6.3f}  "
+              f"elimination {result.elimination:6.1%}"
+              + (f"  (hand {hand_elimination:6.1%})"
+                 if hand_elimination is not None else ""))
+        for reason, count in sorted(result.rejected.items()):
+            print(f"           rejected {count} x {reason}")
+        row = {
+            "considered": result.considered,
+            "accepted": len(result.accepted),
+            "baseline_cycles": result.baseline_cycles,
+            "cycles": result.cycles,
+            "speedup": round(result.speedup, 6),
+            "elimination": round(result.elimination, 6),
+            "analysis_errors": 0,  # the gate only accepts at zero errors
+        }
+        if hand_elimination is not None:
+            row["hand_elimination"] = round(hand_elimination, 6)
+        rows[name] = row
+        if not result.accepted:
+            status = 1
+        if args.emit:
+            from repro.isa.assembler import format_program
+            from repro.obs.ioutil import atomic_write_text
+            if result.build is None:
+                print(f"           nothing accepted; not writing {args.emit}")
+            else:
+                path = (args.emit if len(names) == 1
+                        else f"{args.emit}.{name}")
+                atomic_write_text(path, format_program(result.build.program))
+                print(f"           wrote {path}")
+
+    manifest = RunManifest.from_runner(runner, experiment_id="convert")
+    if args.json:
+        from repro.obs.ioutil import atomic_write_text
+        atomic_write_text(args.json, manifest.to_json())
+        print(f"wrote {args.json}")
+    if args.bench_out:
+        from repro.obs.ioutil import atomic_write_text
+        payload = {
+            "kind": "bench_autoconvert",
+            "config": args.config,
+            "top_k": args.top_k,
+            "min_speedup": args.min_speedup,
+            "rows": rows,
+        }
+        atomic_write_text(args.bench_out, json.dumps(payload, indent=2))
+        print(f"wrote {args.bench_out}")
+    return status
+
+
+def _hand_elimination(workload, inp, baseline_redundant):
+    """The hand-written conversion's redundancy elimination, or None
+    when the workload has no (working) hand conversion to compare to."""
+    from repro.machine.machine import Machine, run_to_completion
+    from repro.profiling.redundancy import RedundantLoadProfiler
+
+    if not baseline_redundant:
+        return None
+    try:
+        build = workload.build_dtt(inp)
+        machine = Machine(build.program, num_contexts=2)
+        machine.attach_engine(build.engine())
+        profiler = RedundantLoadProfiler()
+        machine.add_observer(profiler)
+        run_to_completion(machine)
+    except Exception:
+        return None
+    return 1.0 - profiler.redundant_loads / baseline_redundant
+
+
 def _cmd_sweep(args) -> int:
     from repro.harness.sweeps import sweep_redundancy, sweep_speedup
 
@@ -626,6 +730,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "BENCH_interpreter.json, or "
                             "BENCH_trace_overhead.json under --trace); "
                             "'' skips writing")
+    convert = sub.add_parser(
+        "convert",
+        help="automatically convert plain workload builds to DTT: "
+             "profile, synthesize, prove (static checks + output "
+             "equality), accept only on a measured cycle win")
+    convert.add_argument("--workload", nargs="+", default=["mcf"],
+                         metavar="NAME",
+                         help="workload(s) to convert, or 'all' "
+                              "(default: mcf)")
+    convert.add_argument("--top-k", type=int, default=8, metavar="N",
+                         help="profile-ranked candidates the gate "
+                              "considers (default: 8)")
+    convert.add_argument("--min-speedup", type=float, default=1.0,
+                         metavar="X",
+                         help="minimum simulated-cycle speedup vs the "
+                              "unconverted baseline to accept (default: "
+                              "1.0 — any strict win)")
+    convert.add_argument("--config", default="smt2",
+                         help="timing configuration for the measurement "
+                              "(default: smt2)")
+    convert.add_argument("--seed", type=int, default=None)
+    convert.add_argument("--scale", type=int, default=None)
+    convert.add_argument("--sample-rate", type=int, default=None,
+                         metavar="K",
+                         help="rank candidates from a 1/K sampled "
+                              "profile (CI-lower-bound ordering) instead "
+                              "of an exact one")
+    convert.add_argument("--sample-seed", type=int, default=0)
+    convert.add_argument("--json", default=None, metavar="FILE",
+                         help="write the run manifest (schema v6, with "
+                              "the full conversion audit) here")
+    convert.add_argument("--emit", default=None, metavar="FILE",
+                         help="write the converted program as assembly "
+                              "text (suffixed per workload when "
+                              "converting several)")
+    convert.add_argument("--bench-out", default=None, metavar="FILE",
+                         help="write a bench_autoconvert JSON (one row "
+                              "per workload) usable with `compare`")
     compare = sub.add_parser(
         "compare",
         help="diff two result sets (stores, --json files, or manifests) "
@@ -746,6 +888,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "bench":

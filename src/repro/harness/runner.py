@@ -91,6 +91,7 @@ class SuiteRunner:
         self._profiles: Dict[Tuple, RedundancyReport] = {}
         self._engines: Dict[Tuple, object] = {}
         self._traces: Dict[Tuple, EngineTrace] = {}
+        self._autoconvert: List[Dict] = []
         self._phase_seconds: Dict[str, float] = {}
         self._hits = 0
         self._misses = 0
@@ -167,6 +168,7 @@ class SuiteRunner:
         self._profiles.clear()
         self._engines.clear()
         self._traces.clear()
+        self._autoconvert.clear()
         self._phase_seconds.clear()
         self._hits = 0
         self._misses = 0
@@ -280,6 +282,20 @@ class SuiteRunner:
             "sample_seed": self.sample_seed,
             "profiles": profiles,
         }
+
+    def note_autoconvert(self, workload: str, provenance: Dict) -> None:
+        """Record one automatic conversion's gate audit for the manifest.
+
+        ``provenance`` is :meth:`repro.autoconvert.gate.ConversionResult.\
+        provenance`; the row lands in the manifest's ``autoconvert`` list
+        (schema v6) keyed by workload name.
+        """
+        self._autoconvert.append(dict(provenance, workload=workload))
+
+    def autoconvert_provenance(self) -> List[Dict]:
+        """Automatic-conversion audit rows for the manifest (schema v6):
+        one per :meth:`note_autoconvert` call, in recording order."""
+        return [dict(row) for row in self._autoconvert]
 
     def ctrace_provenance(self) -> Optional[Dict]:
         """Compressed-spill provenance for the manifest (schema v5).

@@ -25,8 +25,10 @@ class RunManifest:
     #: (v2: store_hits / store_misses, canonical-string run keys;
     #:  v3: trace health counters + causal summary from traced runs;
     #:  v4: static-analysis summaries per DTT build;
-    #:  v5: trace_drop_policy + sampling/ctrace provenance)
-    SCHEMA_VERSION = 5
+    #:  v5: trace_drop_policy + sampling/ctrace provenance;
+    #:  v6: autoconvert provenance — candidates considered/accepted and
+    #:  per-reason rejection counts from the conversion gate)
+    SCHEMA_VERSION = 6
 
     def __init__(
         self,
@@ -47,6 +49,7 @@ class RunManifest:
         trace_drop_policy: str = "head",
         sampling: Optional[Dict] = None,
         ctrace: Optional[Dict] = None,
+        autoconvert: Optional[List[Dict]] = None,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -82,6 +85,12 @@ class RunManifest:
         #: compressed-trace spill provenance (path, streams, events,
         #: bytes); None when no ctrace was written
         self.ctrace = dict(ctrace) if ctrace else None
+        #: automatic-conversion provenance, one row per converted
+        #: workload (:meth:`repro.autoconvert.gate.ConversionResult.\
+        #: provenance`: candidates considered, accepted, rejection
+        #: counts by reason, cycles, elimination); [] when the run
+        #: performed no automatic conversion
+        self.autoconvert = [dict(row) for row in (autoconvert or [])]
 
     # -- construction ---------------------------------------------------------
 
@@ -119,6 +128,8 @@ class RunManifest:
                     if hasattr(runner, "sampling_provenance") else None)
         ctrace = (runner.ctrace_provenance()
                   if hasattr(runner, "ctrace_provenance") else None)
+        autoconvert = (runner.autoconvert_provenance()
+                       if hasattr(runner, "autoconvert_provenance") else [])
         return cls(
             fingerprint=fingerprint_of(identity),
             seed=runner.seed,
@@ -137,6 +148,7 @@ class RunManifest:
             trace_drop_policy=getattr(runner, "trace_keep", "head"),
             sampling=sampling,
             ctrace=ctrace,
+            autoconvert=autoconvert,
         )
 
     # -- serialization --------------------------------------------------------
@@ -171,6 +183,7 @@ class RunManifest:
             "analysis": self.analysis,
             "sampling": self.sampling,
             "ctrace": self.ctrace,
+            "autoconvert": self.autoconvert,
         }
 
     def to_json(self, indent: int = 2) -> str:

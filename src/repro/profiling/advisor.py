@@ -28,7 +28,8 @@ from typing import Dict, List, Optional
 from repro.isa.program import Program
 from repro.machine.events import MachineObserver
 from repro.machine.machine import Machine, run_to_completion
-from repro.profiling.redundancy import RedundantLoadProfiler
+from repro.profiling.redundancy import (RedundantLoadProfiler,
+                                        SampledRedundantLoadProfiler)
 
 
 class RegionProfile:
@@ -67,24 +68,42 @@ class RegionProfile:
 class TriggerCandidate:
     """One static store ranked as a potential triggering store."""
 
-    __slots__ = ("pc", "function", "dynamic", "silent", "score")
+    __slots__ = ("pc", "function", "dynamic", "silent", "score",
+                 "score_ci_low", "score_ci_high")
 
     def __init__(self, pc: int, function: str, dynamic: int, silent: int,
-                 score: float):
+                 score: float, score_ci_low: Optional[float] = None,
+                 score_ci_high: Optional[float] = None):
         self.pc = pc
         self.function = function
         self.dynamic = dynamic
         self.silent = silent
         self.score = score
+        #: CI bounds on the score when the profile was sampled; the
+        #: advisor then ranks by the *lower* bound, so a site whose
+        #: estimate is mostly uncertainty cannot outrank a site the
+        #: sample actually measured
+        self.score_ci_low = score_ci_low
+        self.score_ci_high = score_ci_high
 
     @property
     def silent_fraction(self) -> float:
         return self.silent / self.dynamic if self.dynamic else 0.0
 
+    @property
+    def rank_key(self) -> float:
+        """What the advisor sorts by: CI lower bound if sampled."""
+        if self.score_ci_low is not None:
+            return self.score_ci_low
+        return self.score
+
     def __repr__(self) -> str:
+        ci = ""
+        if self.score_ci_low is not None:
+            ci = f" [{self.score_ci_low:.3f}, {self.score_ci_high:.3f}]"
         return (
             f"TriggerCandidate(pc={self.pc}, {self.silent_fraction:.0%} "
-            f"silent, score={self.score:.3f})"
+            f"silent, score={self.score:.3f}{ci})"
         )
 
 
@@ -199,18 +218,30 @@ def advise(
     num_contexts: int = 1,
     max_instructions: int = 20_000_000,
     engine=None,
+    sample_rate: Optional[int] = None,
+    sample_seed: int = 0,
 ) -> ConversionReport:
     """Profile ``program`` and rank conversion opportunities.
 
     ``min_dynamic_stores`` filters one-shot initialization stores out of
     the trigger ranking (a store executed a handful of times is not worth
     a thread even if silent).
+
+    ``sample_rate`` switches to the bounded-memory
+    :class:`~repro.profiling.redundancy.SampledRedundantLoadProfiler`
+    (a 1-in-``sample_rate`` address sample).  Trigger candidates then
+    carry confidence bounds on their scores and are ordered by the CI
+    *lower* bound, so sampling noise cannot promote a weakly-observed
+    site over a well-observed one.
     """
     machine = Machine(program, num_contexts=num_contexts,
                       max_instructions=max_instructions)
     if engine is not None:
         machine.attach_engine(engine)
-    loads = RedundantLoadProfiler()
+    if sample_rate is not None:
+        loads = SampledRedundantLoadProfiler(sample_rate, seed=sample_seed)
+    else:
+        loads = RedundantLoadProfiler()
     regions = _RegionObserver(program, load_state={})
     machine.add_observer(loads)
     machine.add_observer(regions)
@@ -230,11 +261,20 @@ def advise(
         # suppress, weighted by how silent the site is
         score = site.silent_fraction * (site.silent / loads.total_stores
                                         if loads.total_stores else 0.0)
+        ci_low = ci_high = None
+        estimate = getattr(site, "estimate", None)
+        if estimate is not None and loads.total_stores:
+            # both factors are the site's silent fraction (times the
+            # exact dynamic/total weight), so the score bounds are the
+            # squared fraction bounds under the same weight
+            weight = site.dynamic / loads.total_stores
+            ci_low = estimate.ci_low ** 2 * weight
+            ci_high = estimate.ci_high ** 2 * weight
         triggers.append(TriggerCandidate(
             site.pc, function.name if function else "<toplevel>",
-            site.dynamic, site.silent, score,
+            site.dynamic, site.silent, score, ci_low, ci_high,
         ))
-    triggers.sort(key=lambda c: -c.score)
+    triggers.sort(key=lambda c: (-c.rank_key, c.pc))
 
     # region candidates: instruction-heavy, redundancy-heavy functions
     region_candidates: List[RegionCandidate] = []

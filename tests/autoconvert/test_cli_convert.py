@@ -1,0 +1,85 @@
+"""The ``dtt-harness convert`` surface: outputs, schemas, exit codes."""
+
+import json
+
+from repro.exec.compare import load_result_set
+from repro.harness.cli import main
+from repro.isa.assembler import format_program, parse_program
+
+
+def convert_perlbmk(tmp_path, extra=()):
+    bench = tmp_path / "bench.json"
+    manifest = tmp_path / "manifest.json"
+    emitted = tmp_path / "perlbmk.dtt"
+    status = main(["convert", "--workload", "perlbmk",
+                   "--bench-out", str(bench),
+                   "--json", str(manifest),
+                   "--emit", str(emitted), *extra])
+    return status, bench, manifest, emitted
+
+
+def test_convert_perlbmk_writes_all_three_outputs(tmp_path, capsys):
+    status, bench, manifest, emitted = convert_perlbmk(tmp_path)
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "perlbmk" in out and "accepted" in out
+    assert bench.exists() and manifest.exists() and emitted.exists()
+
+
+def test_bench_json_shape(tmp_path, capsys):
+    _status, bench, _manifest, _emitted = convert_perlbmk(tmp_path)
+    data = json.loads(bench.read_text())
+    assert data["kind"] == "bench_autoconvert"
+    row = data["rows"]["perlbmk"]
+    assert row["accepted"] >= 1
+    assert row["speedup"] > 1.0
+    assert row["analysis_errors"] == 0
+    assert 0.0 < row["elimination"] <= 1.0
+    # perlbmk has a hand conversion to compare against
+    assert abs(row["elimination"] - row["hand_elimination"]) <= 0.1
+
+
+def test_manifest_carries_v6_autoconvert_provenance(tmp_path, capsys):
+    _status, _bench, manifest, _emitted = convert_perlbmk(tmp_path)
+    data = json.loads(manifest.read_text())
+    assert data["schema_version"] >= 6
+    (entry,) = data["autoconvert"]
+    assert entry["workload"] == "perlbmk"
+    assert entry["accepted"] and entry["conversions"]
+    assert set(entry["rejected"]) == set()
+
+
+def test_outputs_feed_the_compare_loader(tmp_path, capsys):
+    _status, bench, manifest, _emitted = convert_perlbmk(tmp_path)
+    bench_set = load_result_set(str(bench))
+    assert bench_set.kind == "bench"
+    assert "speedup" in bench_set.cells["perlbmk"]
+    manifest_set = load_result_set(str(manifest))
+    row = manifest_set.cells["autoconvert:perlbmk"]
+    assert row["accepted"] == 1 and row["speedup"] > 1.0
+
+
+def test_emitted_assembly_round_trips(tmp_path, capsys):
+    _status, _bench, _manifest, emitted = convert_perlbmk(tmp_path)
+    text = emitted.read_text()
+    reparsed = parse_program(text)
+    assert format_program(reparsed) == text
+    assert {"tst", "tstx"} & {i.op for i in reparsed.instructions}
+    assert "auto0" in reparsed.threads
+
+
+def test_convert_rejects_unknown_workload(capsys):
+    assert main(["convert", "--workload", "nope"]) == 2
+
+
+def test_convert_rejects_bad_top_k(capsys):
+    assert main(["convert", "--workload", "perlbmk", "--top-k", "0"]) == 2
+
+
+def test_convert_multiple_workloads_suffixes_emitted_files(tmp_path, capsys):
+    emitted = tmp_path / "out.dtt"
+    status = main(["convert", "--workload", "perlbmk", "gap",
+                   "--emit", str(emitted)])
+    assert status == 0
+    assert (tmp_path / "out.dtt.perlbmk").exists()
+    assert (tmp_path / "out.dtt.gap").exists()

@@ -1,0 +1,35 @@
+"""The converter's decisions on the CI smoke pair are pinned.
+
+``expected_conversions.json`` records exactly which store-site →
+region pairs the gate accepts for perlbmk and gap.  A change here is
+not necessarily wrong — but it must be deliberate: regenerate the file
+and explain the shift in the commit that causes it.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.autoconvert import convert_program
+from repro.workloads.suite import SUITE
+
+EXPECTED = json.loads(
+    (pathlib.Path(__file__).parent / "expected_conversions.json").read_text())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_conversion_decisions_are_pinned(name):
+    workload = SUITE[name]
+    result = convert_program(workload.build_baseline(workload.make_input()))
+    expected = EXPECTED[name]
+    got = [{"region_start": c.region_start,
+            "region_end": c.region_end,
+            "store_pcs": sorted(c.store_pcs)}
+           for c in result.accepted]
+    assert got == expected["accepted"], (
+        f"{name}: accepted set drifted; regenerate "
+        "tests/autoconvert/expected_conversions.json if deliberate")
+    assert result.speedup > expected["speedup_min"]
+    assert result.elimination == pytest.approx(
+        expected["elimination"], abs=1e-6)

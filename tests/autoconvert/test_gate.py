@@ -1,0 +1,93 @@
+"""The acceptance gate: prove statically, verify functionally, measure."""
+
+import json
+
+from repro.analysis.checks import analysis_summary, analyze_program
+from repro.autoconvert import REJECTION_REASONS, convert_program
+from repro.workloads.suite import get_workload
+
+from tests.autoconvert.test_candidates import micro_program
+
+
+def winning_micro():
+    """Big enough that skipping the recompute beats the DTT overheads."""
+    return micro_program(steps=64, width=16)
+
+
+def test_micro_conversion_is_accepted_and_wins():
+    result = convert_program(winning_micro())
+    assert len(result.accepted) == 1
+    assert result.considered == 1
+    assert result.rejected == {}
+    assert result.cycles < result.baseline_cycles
+    assert result.speedup > 1.0
+    assert 0.0 < result.elimination <= 1.0
+
+
+def test_accepted_build_passes_static_checks_with_zero_errors():
+    result = convert_program(winning_micro())
+    findings = analyze_program(result.build.program, result.build.specs)
+    assert analysis_summary(findings)["errors"] == 0
+
+
+def test_mcf_autoconversion_matches_hand_elimination():
+    mcf = get_workload("mcf")
+    program = mcf.build_baseline(mcf.make_input())
+    result = convert_program(program)
+    assert len(result.accepted) == 1
+    assert result.speedup > 2.0  # the paper's flagship workload
+    assert result.elimination > 0.85
+
+
+def test_small_kernel_loses_and_is_rejected():
+    """At tiny scale the trigger/priming overhead exceeds the skipped
+    work; the measurement leg of the gate must refuse the conversion."""
+    result = convert_program(micro_program(steps=8, width=4))
+    assert result.accepted == []
+    assert result.rejected == {"no-cycle-win": 1}
+
+
+def test_impossible_min_speedup_counts_no_cycle_win():
+    result = convert_program(winning_micro(), min_speedup=1000.0)
+    assert result.accepted == []
+    assert result.build is None
+    assert result.rejected == {"no-cycle-win": 1}
+    assert result.cycles == result.baseline_cycles
+    assert result.speedup == 1.0
+    assert result.elimination == 0.0
+
+
+def test_every_counted_reason_is_a_documented_reason():
+    result = convert_program(winning_micro(), min_speedup=1000.0)
+    assert set(result.rejected) <= set(REJECTION_REASONS)
+    for row in result.outcomes:
+        if row["outcome"] == "rejected":
+            assert row["reason"] in REJECTION_REASONS
+
+
+def test_provenance_is_json_ready_and_complete():
+    result = convert_program(winning_micro())
+    provenance = json.loads(json.dumps(result.provenance()))
+    assert provenance["considered"] == 1
+    assert len(provenance["accepted"]) == 1
+    assert provenance["rejected"] == {}
+    assert provenance["baseline_cycles"] > provenance["cycles"]
+    assert provenance["speedup"] > 1.0
+    (conversion,) = provenance["conversions"]
+    assert conversion["thread"] == "auto0"
+    assert conversion["new_feeder_pcs"]
+
+
+def test_sampled_ranking_still_converts():
+    result = convert_program(winning_micro(), sample_rate=1)
+    assert len(result.accepted) == 1
+    (row,) = [r for r in result.outcomes if r["outcome"] == "accepted"]
+    assert "score_ci_low" in row
+
+
+def test_no_candidates_is_an_empty_result_not_an_error():
+    vpr = get_workload("vpr")  # regions read the loop counter: none pass
+    result = convert_program(vpr.build_baseline(vpr.make_input()))
+    assert result.considered == 0
+    assert result.accepted == []
+    assert result.build is None

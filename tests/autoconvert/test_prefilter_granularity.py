@@ -1,0 +1,54 @@
+"""Auto-inserted triggering stores versus the prefilter's granularity
+widening (the checks/registry parity audited in PR 6).
+
+A watch range that misses the store address at word granularity can
+still match once widened to the engine's cache-line granularity; the
+analyzer's ``dead-trigger`` verdict must replay the same widening the
+engine's :class:`TriggerPrefilter` applies — for synthesized programs
+exactly as for hand conversions."""
+
+from repro.analysis.checks import analyze_program
+from repro.autoconvert import discover_candidates, synthesize
+from repro.core.config import DttConfig
+from repro.core.registry import ThreadRegistry, TriggerSpec
+
+from tests.autoconvert.test_candidates import micro_program
+
+
+def watch_synthesized():
+    """A synthesized micro build re-specced to watch ``xs[1:]`` only.
+
+    The auto-inserted ``tst`` writes ``xs[0]`` (address 64); the watch
+    starts one word above it, so it matches only through widening."""
+    program = micro_program()
+    result = synthesize(program, discover_candidates(program))
+    (conversion,) = result.conversions
+    (feeder_pc,) = conversion["new_feeder_pcs"]
+    base, size = result.program.layout["xs"]
+    spec = TriggerSpec("auto0", watch=[(base + 1, base + size - 1)])
+    return result.program, spec, feeder_pc, base
+
+
+def dead_triggers(program, spec, granularity):
+    findings = analyze_program(program, [spec],
+                               config=DttConfig(granularity=granularity))
+    return [f for f in findings if f.code == "dead-trigger"]
+
+
+def test_line_granularity_widens_the_watch_onto_the_auto_tstore():
+    program, spec, feeder_pc, _base = watch_synthesized()
+    assert dead_triggers(program, spec, granularity=16) == []
+    dead = dead_triggers(program, spec, granularity=1)
+    assert [f.pc for f in dead] == [feeder_pc]
+
+
+def test_analyzer_verdict_matches_the_engine_registry():
+    program, spec, feeder_pc, base = watch_synthesized()
+    registry = ThreadRegistry([spec])
+    for granularity in (1, 16):
+        fired = bool(registry.matches(feeder_pc, base,
+                                      granularity=granularity))
+        dead = bool(dead_triggers(program, spec, granularity=granularity))
+        assert fired != dead, (
+            f"g={granularity}: engine fired={fired} but analyzer "
+            f"dead={dead}")

@@ -1,0 +1,113 @@
+"""Instruction-stream rewriting: plain program -> DTT build."""
+
+import pytest
+
+from repro.autoconvert import discover_candidates, synthesize
+from repro.autoconvert.candidates import ConversionCandidate
+from repro.errors import SynthesisError
+from repro.machine.machine import Machine, run_to_completion
+from repro.workloads.suite import get_workload
+
+from tests.autoconvert.test_candidates import micro_program
+
+
+def synthesize_micro():
+    program = micro_program()
+    candidates = discover_candidates(program)
+    return program, synthesize(program, candidates)
+
+
+def test_synthesized_program_declares_one_thread_per_candidate():
+    _program, result = synthesize_micro()
+    assert list(result.program.threads) == ["auto0"]
+    assert [spec.thread for spec in result.build.specs] == ["auto0"]
+
+
+def test_feeder_store_becomes_triggering_store():
+    program, result = synthesize_micro()
+    (conversion,) = result.conversions
+    (old_pc,) = conversion["feeder_pcs"]
+    (new_pc,) = conversion["new_feeder_pcs"]
+    old = program.instructions[old_pc]
+    new = result.program.instructions[new_pc]
+    assert old.op == "st" and new.op == "tst"
+    assert (new.a, new.b, new.c) == (old.a, old.b, old.c)
+    (spec,) = result.build.specs
+    assert spec.store_pcs == frozenset([new_pc])
+    assert spec.per_address_dedupe is False
+
+
+def test_region_collapses_to_a_tcheck():
+    program, result = synthesize_micro()
+    (conversion,) = result.conversions
+    tcheck = result.program.instructions[conversion["tcheck_pc"]]
+    assert tcheck.op == "tcheck"
+    assert tcheck.a == 0  # first declared thread
+    region_len = conversion["region_end"] - conversion["region_start"]
+    # main shrank by the region (minus its tcheck), grew by the thread
+    # body (+treturn) and the priming copy
+    assert len(result.program) == (len(program) - region_len + 1
+                                   + 2 * region_len + 1)
+
+
+def test_data_layout_is_preserved():
+    program, result = synthesize_micro()
+    assert result.program.layout == program.layout
+
+
+def test_synthesized_output_matches_baseline():
+    program, result = synthesize_micro()
+    baseline_output = run_to_completion(Machine(program))
+    machine = Machine(result.program, num_contexts=2)
+    machine.attach_engine(result.build.engine())
+    assert run_to_completion(machine) == baseline_output
+
+
+def test_mcf_synthesis_runs_and_matches():
+    mcf = get_workload("mcf")
+    inp = mcf.make_input()
+    program = mcf.build_baseline(inp)
+    result = synthesize(program, discover_candidates(program))
+    machine = Machine(result.program, num_contexts=2)
+    machine.attach_engine(result.build.engine())
+    assert run_to_completion(machine) == mcf.reference_output(inp)
+
+
+def test_rejects_unfinalized_and_already_dtt_programs():
+    from repro.isa.builder import ProgramBuilder
+
+    program = micro_program()
+    candidates = discover_candidates(program)
+
+    unfinalized = ProgramBuilder().program
+    with pytest.raises(SynthesisError):
+        synthesize(unfinalized, candidates)
+
+    dtt = get_workload("mcf").build_dtt(get_workload("mcf").make_input())
+    with pytest.raises(SynthesisError):
+        synthesize(dtt.program, candidates)
+
+
+def test_rejects_overlapping_regions_and_bad_feeders():
+    program = micro_program()
+    (candidate,) = discover_candidates(program)
+    shifted = ConversionCandidate(
+        candidate.region_start + 1, candidate.region_end + 1,
+        candidate.store_pcs, candidate.reads, candidate.writes)
+    with pytest.raises(SynthesisError, match="overlap"):
+        synthesize(program, [candidate, shifted])
+
+    not_a_store = ConversionCandidate(
+        candidate.region_start, candidate.region_end,
+        (candidate.region_start - 1,),  # whatever instruction sits there
+        candidate.reads, candidate.writes)
+    if program.instructions[candidate.region_start - 1].op not in (
+            "st", "stx"):
+        with pytest.raises(SynthesisError, match="plain store"):
+            synthesize(program, [not_a_store])
+
+
+def test_rejects_empty_candidate_set():
+    program = micro_program()
+    with pytest.raises(SynthesisError, match="no candidates"):
+        synthesize(program, [])

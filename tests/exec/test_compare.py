@@ -179,3 +179,76 @@ def test_store_compare_round_trip_and_derived_speedup(tmp_path):
     assert report.deltas == []          # identical stores: no changes
     assert not report.has_regressions
     assert json.loads(json.dumps(report.as_dict()))["regressions"] == 0
+
+
+# -- schema v6 / bench_autoconvert: conversion-gate rows -----------------------
+
+
+def test_autoconvert_metric_directions():
+    assert metric_direction("accepted") == "down_bad"
+    assert metric_direction("elimination") == "down_bad"
+    assert metric_direction("hand_elimination") == "down_bad"
+    assert metric_direction("rejected") == "up_bad"
+
+
+def test_load_bench_autoconvert_file(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({
+        "kind": "bench_autoconvert", "config": "smt2",
+        "rows": {"mcf": {"considered": 1, "accepted": 1,
+                         "baseline_cycles": 455998, "cycles": 76295,
+                         "speedup": 5.976774, "elimination": 0.918016,
+                         "analysis_errors": 0,
+                         "hand_elimination": 0.918016}},
+    }))
+    loaded = load_result_set(str(path))
+    assert loaded.kind == "bench"
+    assert loaded.cells["mcf"]["speedup"] == 5.976774
+    assert loaded.cells["mcf"]["accepted"] == 1
+
+
+def test_manifest_autoconvert_rows_gate(tmp_path):
+    def write(name, accepted, rejected, speedup, elimination):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "experiment": "convert", "total_seconds": 1.0,
+            "phase_seconds": {},
+            "autoconvert": [{
+                "workload": "mcf", "considered": 2,
+                "accepted": [{"region_start": 10}] * accepted,
+                "rejected": rejected,
+                "baseline_cycles": 455998, "cycles": 76295,
+                "speedup": speedup, "elimination": elimination,
+                "conversions": [],  # ignored: not numeric
+            }],
+        }))
+        return str(path)
+
+    good = write("good.json", 1, {}, 5.98, 0.918)
+    loaded = load_result_set(good)
+    row = loaded.cells["autoconvert:mcf"]
+    assert row["accepted"] == 1 and row["rejected"] == 0
+    worse = write("worse.json", 0, {"no-cycle-win": 1, "analysis-errors": 1},
+                  1.0, 0.0)
+    report = compare_paths(good, worse)
+    flagged = {d.metric for d in report.regressions
+               if d.row == "autoconvert:mcf"}
+    assert {"accepted", "rejected", "speedup", "elimination"} <= flagged
+
+
+def test_future_manifest_with_unknown_autoconvert_fields_loads(tmp_path):
+    # forward compatibility: a v7 manifest whose audit rows carry fields
+    # this version has never heard of must load, not crash
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps({
+        "experiment": "convert", "schema_version": 7,
+        "total_seconds": 1.0, "phase_seconds": {},
+        "autoconvert": [
+            {"workload": "mcf", "speedup": 2.0,
+             "novel_field": {"nested": [1, 2]}, "accepted": "not-a-list",
+             "rejected": {"weird": "non-numeric"}},
+            "not-even-a-dict",
+        ],
+    }))
+    loaded = load_result_set(str(path))
+    assert loaded.cells["autoconvert:mcf"] == {"speedup": 2.0, "rejected": 0}

@@ -199,5 +199,5 @@ def test_run_e1_sampled_passes_with_ci_checks(tmp_path, capsys):
     assert "[FAIL]" not in out
     payload = json.loads(target.read_text())
     manifest = payload[0]["manifest"]
-    assert manifest["schema_version"] == 5
+    assert manifest["schema_version"] == 6
     assert manifest["sampling"]["sample_rate"] == 64

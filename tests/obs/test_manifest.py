@@ -79,7 +79,7 @@ def test_untraced_manifest_has_no_causal_summary(runner):
     assert manifest.unmatched_closers == 0
     payload = manifest.as_dict()
     assert payload["causal"] is None
-    assert payload["schema_version"] == 5
+    assert payload["schema_version"] == 6
 
 
 def test_traced_manifest_carries_causal_summary():
@@ -142,3 +142,39 @@ def test_truncated_trace_surfaces_dropped_events():
     manifest = RunManifest.from_runner(traced)
     assert manifest.trace_dropped_events == 1
     assert manifest.as_dict()["trace_dropped_events"] == 1
+
+
+# -- schema v6: autoconvert provenance ----------------------------------------
+
+
+def test_manifest_carries_autoconvert_provenance():
+    r = SuiteRunner()
+    r.note_autoconvert("mcf", {
+        "considered": 2,
+        "accepted": [{"region_start": 10, "region_end": 29}],
+        "rejected": {"no-cycle-win": 1},
+        "speedup": 5.977,
+        "elimination": 0.918,
+    })
+    manifest = RunManifest.from_runner(r, "EX")
+    (entry,) = manifest.autoconvert
+    assert entry["workload"] == "mcf"
+    assert entry["considered"] == 2
+    assert entry["rejected"] == {"no-cycle-win": 1}
+    payload = manifest.as_dict()
+    assert payload["schema_version"] == 6
+    assert payload["autoconvert"] == manifest.autoconvert
+    json.dumps(payload)  # provenance stays JSON-serializable
+
+
+def test_unconverted_run_has_empty_autoconvert(runner):
+    manifest = RunManifest.from_runner(runner)
+    assert manifest.autoconvert == []
+    assert manifest.as_dict()["autoconvert"] == []
+
+
+def test_runner_clear_drops_autoconvert_notes():
+    r = SuiteRunner()
+    r.note_autoconvert("mcf", {"considered": 1})
+    r.clear()
+    assert RunManifest.from_runner(r).autoconvert == []

@@ -68,3 +68,28 @@ def test_scores_are_sorted(mcf_report):
     region_scores = [c.score for c in mcf_report.regions]
     assert trigger_scores == sorted(trigger_scores, reverse=True)
     assert region_scores == sorted(region_scores, reverse=True)
+
+
+# -- sampled profiles: confidence-interval-aware ranking -----------------------
+
+
+def test_sampled_advise_carries_ci_and_ranks_by_lower_bound():
+    workload = SUITE["mcf"]
+    program = workload.build_baseline(workload.make_input())
+    report = advise(program, sample_rate=4, sample_seed=7)
+    assert report.triggers
+    for candidate in report.triggers:
+        assert candidate.score_ci_low is not None
+        assert candidate.score_ci_high is not None
+        assert candidate.score_ci_low <= candidate.score_ci_high
+        assert candidate.rank_key == candidate.score_ci_low
+    keys = [c.rank_key for c in report.triggers]
+    assert keys == sorted(keys, reverse=True)
+    # the flagship trigger still wins under sampling
+    assert report.triggers[0].silent_fraction > 0.5
+
+
+def test_exact_advise_has_no_ci(mcf_report):
+    for candidate in mcf_report.triggers:
+        assert candidate.score_ci_low is None
+        assert candidate.rank_key == candidate.score

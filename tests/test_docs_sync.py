@@ -41,3 +41,16 @@ def test_architecture_documents_every_check_code():
     assert not missing, (
         f"check codes missing from docs/architecture.md: {missing}"
     )
+
+
+def test_architecture_documents_every_rejection_reason():
+    """The Automatic conversion section must document every way the
+    acceptance gate can reject a candidate."""
+    from repro.autoconvert.gate import REJECTION_REASONS
+
+    text = (DOCS / "architecture.md").read_text()
+    missing = [reason for reason in REJECTION_REASONS
+               if f"`{reason}`" not in text]
+    assert not missing, (
+        f"rejection reasons missing from docs/architecture.md: {missing}"
+    )
