@@ -133,6 +133,12 @@ class CTraceError(ObservabilityError):
     close)."""
 
 
+class HistoryError(ObservabilityError):
+    """Unusable performance-history store or record (path is neither a
+    directory nor a ``.jsonl`` file, payload has no numeric rows, or a
+    trend query over an empty/foreign store)."""
+
+
 # --------------------------------------------------------------------------
 # Execution layer (parallel scheduler + result store)
 # --------------------------------------------------------------------------

@@ -134,6 +134,14 @@ def execute_plan(plan: RunPlan, runner, jobs: int = 1,
         "worker_retries": 0,
     }
 
+    # live telemetry: declare the plan size up front so the heartbeat's
+    # ETA has a denominator; serial-path runs tick themselves inside
+    # SuiteRunner.timed/profile, the parallel path ticks on install
+    status = getattr(runner, "status", None)
+    if status is not None:
+        status.set_total(len(plan))
+        status.begin_phase("plan")
+
     # 1. serve what we can without simulating: memo first, then store
     pending: List[RunSpec] = []
     for spec in plan:
@@ -143,6 +151,10 @@ def execute_plan(plan: RunPlan, runner, jobs: int = 1,
             stats["store_hits"] += 1
         else:
             pending.append(spec)
+    if status is not None:
+        cached = stats["memo_hits"] + stats["store_hits"]
+        if cached:
+            status.note_cached(cached)
     if not pending:
         return stats
 
@@ -169,6 +181,9 @@ def execute_plan(plan: RunPlan, runner, jobs: int = 1,
                 runner.merge_worker_run(outcome["metrics"],
                                         outcome["phases"])
                 executed_parallel.append(spec)
+                if status is not None:
+                    status.complete_run(spec.phase_name(),
+                                        outcome["elapsed"])
             remaining = crashed
             if not crashed:
                 break

@@ -31,6 +31,12 @@ Commands::
     dtt-harness analyze --workload mcf       # DTT safety analysis
     dtt-harness analyze --workload all --fail-on warning \
         --baseline benchmarks/analysis_baseline.json    # the CI gate
+    dtt-harness bench --history benchmarks/history   # grow the series
+    dtt-harness run E3 --status-file status.json     # live heartbeat
+    dtt-harness history --gate               # trend gate over the store
+    dtt-harness history benchmarks/history/ci.jsonl \
+        --append BENCH_interpreter.json --gate       # CI: ingest + gate
+    dtt-harness dashboard -o trends.html     # sparkline + flame HTML
 
 ``--store`` also defaults from the ``DTT_STORE`` environment variable;
 ``--no-store`` disables it.  ``compare`` accepts two result-store
@@ -64,7 +70,7 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     for path in (args.json, args.metrics_out, args.trace_out,
-                 args.ctrace_out, args.profile):
+                 args.ctrace_out, args.profile, args.status_file):
         # fail before the (slow) runs, not after
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"output directory does not exist: {path}")
@@ -98,7 +104,6 @@ def _cmd_run(args) -> int:
 
 def _run_experiments(args) -> int:
     from repro.obs.metrics import MetricsRegistry
-    from repro.obs.timeline import traces_to_chrome
 
     wanted = [w.upper() for w in args.experiments]
     if "ALL" in wanted:
@@ -125,11 +130,24 @@ def _run_experiments(args) -> int:
                          trace_keep=args.trace_keep,
                          ctrace_out=args.ctrace_out,
                          sample_rate=args.sample_rate,
-                         sample_seed=args.sample_seed)
-    if jobs > 1 or store:
+                         sample_seed=args.sample_seed,
+                         status=args.status_file or None)
+    try:
+        return _run_experiments_inner(args, runner, wanted, jobs, registry)
+    except BaseException:
+        if runner.status is not None:
+            runner.status.finish("failed")
+        raise
+
+
+def _run_experiments_inner(args, runner, wanted, jobs, registry) -> int:
+    from repro.obs.timeline import traces_to_chrome
+
+    if jobs > 1 or runner.store is not None or runner.status is not None:
         # state the deduplicated run matrix once and execute it up front
         # (sharded across workers / served from the store); every
-        # experiment below is then pure memo hits
+        # experiment below is then pure memo hits.  A status file also
+        # takes this path: the plan size is the ETA's denominator
         from repro.exec.plan import build_plan
         from repro.exec.pool import execute_plan
 
@@ -152,6 +170,11 @@ def _run_experiments(args) -> int:
         print(result.render())
         print()
         failed = failed or not result.all_passed
+    if runner.status is not None:
+        runner.status.finish("done" if not failed else "failed")
+    if args.history:
+        _append_history(args.history, [r.as_dict() for r in results],
+                        source=args.json or "run", runner=runner)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump([r.as_dict() for r in results], handle, indent=2)
@@ -226,7 +249,38 @@ def _cmd_bench(args) -> int:
     if output:
         write_bench(result, output)
         print(f"wrote {output}")
+    if args.history:
+        if _append_history(args.history, result,
+                           source=output or "bench") is None:
+            return 2
     return 0
+
+
+def _append_history(store_path: str, payload, source: str,
+                    runner=None) -> Optional[str]:
+    """Append one payload to the performance-history store.
+
+    Returns the record id (None on a HistoryError, which is printed,
+    not raised — a malformed payload should fail the command without a
+    traceback).  When ``runner`` is given the append is recorded as
+    provenance, so a manifest built *afterwards* carries the record id.
+    """
+    from repro.errors import HistoryError
+    from repro.obs.history import HistoryStore, record_from_payload
+
+    try:
+        store = HistoryStore(store_path)
+        record = record_from_payload(payload, source=source)
+        record_id = store.append(record)
+    except HistoryError as error:
+        print(f"history append failed: {error}")
+        return None
+    target = store.file_for(record["kind"])
+    if runner is not None:
+        runner.note_history(record_id, record["kind"], target)
+    print(f"history: appended {record['kind']} record "
+          f"{record_id[:12]} to {target}")
+    return record_id
 
 
 def _cmd_stats(args) -> int:
@@ -384,6 +438,110 @@ def _cmd_report(args) -> int:
     if streams:
         sources.append(f"{len(streams)} compressed trace streams")
     print(f"wrote {args.output} ({', '.join(sources)})")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from repro.errors import HistoryError
+    from repro.obs.history import HistoryStore
+    from repro.obs.trends import analyze_history
+
+    if args.window < 1:
+        print(f"--window must be >= 1, got {args.window}")
+        return 2
+    if args.min_runs < 2:
+        print(f"--min-runs must be >= 2, got {args.min_runs}")
+        return 2
+    if args.append:
+        try:
+            with open(args.append, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.append!r}: {error}")
+            return 2
+        if _append_history(args.path, payload, source=args.append) is None:
+            return 2
+    try:
+        report = analyze_history(HistoryStore(args.path),
+                                 window=args.window,
+                                 tolerance=args.tolerance,
+                                 min_runs=args.min_runs,
+                                 kind=args.kind)
+    except HistoryError as error:
+        print(f"history analysis failed: {error}")
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render(verbose=args.verbose))
+    return 1 if args.gate and report.has_regressions else 0
+
+
+def _flame_attributions(report, seed=None, scale=None):
+    """Cycle attributions for every SUITE workload a flagged (or
+    improved) series row names: one traced DTT run each, joined with
+    its redundancy profile so the flame cells carry silent-store
+    counts.  A workload that fails to trace is skipped with a note —
+    the dashboard must render even when one build is broken."""
+    from repro.obs.causality import CausalGraph
+    from repro.obs.flame import attribute_cycles
+
+    wanted = []
+    for verdict in report.verdicts:
+        if verdict.verdict not in ("regression", "changepoint",
+                                   "improvement"):
+            continue
+        for name in (verdict.row, verdict.row.rsplit(":", 1)[-1]):
+            if name in SUITE and name not in wanted:
+                wanted.append(name)
+                break
+    flames = {}
+    if not wanted:
+        return flames
+    runner = SuiteRunner(seed=seed, scale=scale, trace=True)
+    for name in sorted(wanted):
+        workload = SUITE[name]
+        try:
+            result = runner.timed(workload, "dtt")
+            trace = runner.trace_for(name, "dtt", "smt2")
+        except Exception as error:
+            print(f"note: no cycle attribution for {name}: {error}")
+            continue
+        if trace is None:
+            print(f"note: {name} produced no DTT trace; "
+                  "no cycle attribution")
+            continue
+        graph = CausalGraph.from_trace(trace)
+        flames[name] = attribute_cycles(name, graph, result.cycles)
+    return flames
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.errors import HistoryError
+    from repro.obs.history import HistoryStore
+    from repro.obs.ioutil import atomic_write_text
+    from repro.obs.report import trend_dashboard_html
+    from repro.obs.trends import analyze_history
+
+    if not os.path.isdir(os.path.dirname(args.output) or "."):
+        print(f"output directory does not exist: {args.output}")
+        return 2
+    try:
+        report = analyze_history(HistoryStore(args.history),
+                                 window=args.window,
+                                 tolerance=args.tolerance,
+                                 min_runs=args.min_runs)
+    except HistoryError as error:
+        print(f"dashboard failed: {error}")
+        return 2
+    flames = {} if args.no_flames else _flame_attributions(
+        report, seed=args.seed, scale=args.scale)
+    atomic_write_text(args.output,
+                      trend_dashboard_html(report, flames,
+                                           title=args.title))
+    print(f"wrote {args.output} ({len(report.verdicts)} series, "
+          f"{len(report.flagged)} gating verdict(s), "
+          f"{len(flames)} flame section(s))")
     return 0
 
 
@@ -586,6 +744,20 @@ def _cmd_convert(args) -> int:
                 atomic_write_text(path, format_program(result.build.program))
                 print(f"           wrote {path}")
 
+    payload = {
+        "kind": "bench_autoconvert",
+        "config": args.config,
+        "top_k": args.top_k,
+        "min_speedup": args.min_speedup,
+        "rows": rows,
+    }
+    if args.history:
+        # append before the manifest is built, so the v7 manifest
+        # carries the record id of the series this run extended
+        if _append_history(args.history, payload,
+                           source=args.bench_out or "convert",
+                           runner=runner) is None:
+            return 2
     manifest = RunManifest.from_runner(runner, experiment_id="convert")
     if args.json:
         from repro.obs.ioutil import atomic_write_text
@@ -593,13 +765,6 @@ def _cmd_convert(args) -> int:
         print(f"wrote {args.json}")
     if args.bench_out:
         from repro.obs.ioutil import atomic_write_text
-        payload = {
-            "kind": "bench_autoconvert",
-            "config": args.config,
-            "top_k": args.top_k,
-            "min_speedup": args.min_speedup,
-            "rows": rows,
-        }
         atomic_write_text(args.bench_out, json.dumps(payload, indent=2))
         print(f"wrote {args.bench_out}")
     return status
@@ -702,6 +867,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", default=None, metavar="FILE",
                      help="wrap the whole run in cProfile and write the "
                           "pstats text report here")
+    run.add_argument("--history", default=None, metavar="DIR",
+                     help="append this run's results to a performance-"
+                          "history store (a directory of per-kind JSONL "
+                          "files, or one .jsonl file) for `dtt-harness "
+                          "history` trend analysis")
+    run.add_argument("--status-file", default=None, metavar="FILE",
+                     help="write a live atomic-JSON heartbeat (phase, "
+                          "runs completed, instructions retired, queue "
+                          "depth, EWMA ETA) to FILE while the run is in "
+                          "flight")
     bench = sub.add_parser(
         "bench",
         help="measure interpreter instructions/sec (fast path vs legacy "
@@ -730,6 +905,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "BENCH_interpreter.json, or "
                             "BENCH_trace_overhead.json under --trace); "
                             "'' skips writing")
+    bench.add_argument("--history", default=None, metavar="DIR",
+                       help="also append the result to a performance-"
+                            "history store for `dtt-harness history` "
+                            "trend analysis")
     convert = sub.add_parser(
         "convert",
         help="automatically convert plain workload builds to DTT: "
@@ -759,7 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "of an exact one")
     convert.add_argument("--sample-seed", type=int, default=0)
     convert.add_argument("--json", default=None, metavar="FILE",
-                         help="write the run manifest (schema v6, with "
+                         help="write the run manifest (schema v7, with "
                               "the full conversion audit) here")
     convert.add_argument("--emit", default=None, metavar="FILE",
                          help="write the converted program as assembly "
@@ -768,6 +947,10 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--bench-out", default=None, metavar="FILE",
                          help="write a bench_autoconvert JSON (one row "
                               "per workload) usable with `compare`")
+    convert.add_argument("--history", default=None, metavar="DIR",
+                         help="append the conversion metrics to a "
+                              "performance-history store; the --json "
+                              "manifest then carries the record id")
     compare = sub.add_parser(
         "compare",
         help="diff two result sets (stores, --json files, or manifests) "
@@ -842,6 +1025,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output HTML path (default: report.html)")
     report.add_argument("--title", default="DTT reproduction report",
                         help="report page title")
+    history = sub.add_parser(
+        "history",
+        help="trend analysis over the performance-history store: "
+             "EWMA prediction intervals + changepoint flagging per "
+             "metric series; --gate exits nonzero on regressions")
+    history.add_argument("path", nargs="?", default="benchmarks/history",
+                         help="history store: a directory of per-kind "
+                              "JSONL files or one .jsonl file "
+                              "(default: benchmarks/history)")
+    history.add_argument("--append", default=None, metavar="FILE",
+                         help="first append this bench / manifest / "
+                              "results JSON to the store (the CI "
+                              "ingestion step), then analyze")
+    history.add_argument("--kind", default=None,
+                         help="restrict the analysis to one record kind "
+                              "(e.g. bench_interpreter)")
+    history.add_argument("--window", type=int, default=20, metavar="N",
+                         help="newest records per kind to analyze "
+                              "(default: 20)")
+    history.add_argument("--tolerance", type=float, default=0.05,
+                         help="relative change floor before a deviation "
+                              "can flag (default: 0.05)")
+    history.add_argument("--min-runs", type=int, default=3, metavar="N",
+                         help="fewest runs of a series before its "
+                              "verdicts may gate (default: 3)")
+    history.add_argument("--gate", action="store_true",
+                         help="exit 1 when any series gets a gating "
+                              "verdict (regression / changepoint) — "
+                              "the CI trend gate")
+    history.add_argument("--verbose", action="store_true",
+                         help="list quiet (ok / info / short) series "
+                              "too, not just flagged ones")
+    history.add_argument("--json", action="store_true",
+                         help="print the trend report as JSON instead "
+                              "of text")
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="write the self-contained trend-dashboard HTML "
+             "(sparklines, verdicts, flame-style cycle attribution "
+             "for flagged workloads)")
+    dashboard.add_argument("--history", default="benchmarks/history",
+                           metavar="DIR",
+                           help="history store to analyze "
+                                "(default: benchmarks/history)")
+    dashboard.add_argument("-o", "--output", default="trends.html",
+                           metavar="FILE",
+                           help="output HTML path (default: trends.html)")
+    dashboard.add_argument("--window", type=int, default=20, metavar="N")
+    dashboard.add_argument("--tolerance", type=float, default=0.05)
+    dashboard.add_argument("--min-runs", type=int, default=3, metavar="N")
+    dashboard.add_argument("--title", default="DTT performance trends",
+                           help="dashboard page title")
+    dashboard.add_argument("--no-flames", action="store_true",
+                           help="skip the traced runs that build the "
+                                "cycle-attribution sections")
+    dashboard.add_argument("--seed", type=int, default=None)
+    dashboard.add_argument("--scale", type=int, default=None)
 
     def _add_target_arguments(command):
         command.add_argument("program", nargs="?", default=None,
@@ -902,6 +1142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_explain(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "history":
+        return _cmd_history(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "analyze":

@@ -58,7 +58,8 @@ class SuiteRunner:
                  trace_max_events: int = 100_000,
                  ctrace_out: Optional[str] = None,
                  sample_rate: Optional[int] = None,
-                 sample_seed: int = 0):
+                 sample_seed: int = 0,
+                 status=None):
         self.seed = seed
         self.scale = scale
         #: optional MetricsRegistry shared by every run this runner makes
@@ -87,11 +88,20 @@ class SuiteRunner:
         #: a path string is accepted and opened
         self.store: Optional[ResultStore] = (
             ResultStore(store) if isinstance(store, str) else store)
+        #: optional live-telemetry heartbeat
+        #: (:class:`~repro.obs.status.StatusFile`); a path string is
+        #: accepted and opened.  Every executed run ticks it with the
+        #: phase, wall-clock, instructions retired, and queue depth.
+        if isinstance(status, str):
+            from repro.obs.status import StatusFile
+            status = StatusFile(status)
+        self.status = status
         self._timed: Dict[Tuple, TimingResult] = {}
         self._profiles: Dict[Tuple, RedundancyReport] = {}
         self._engines: Dict[Tuple, object] = {}
         self._traces: Dict[Tuple, EngineTrace] = {}
         self._autoconvert: List[Dict] = []
+        self._history: List[Dict] = []
         self._phase_seconds: Dict[str, float] = {}
         self._hits = 0
         self._misses = 0
@@ -169,6 +179,7 @@ class SuiteRunner:
         self._engines.clear()
         self._traces.clear()
         self._autoconvert.clear()
+        self._history.clear()
         self._phase_seconds.clear()
         self._hits = 0
         self._misses = 0
@@ -296,6 +307,28 @@ class SuiteRunner:
         """Automatic-conversion audit rows for the manifest (schema v6):
         one per :meth:`note_autoconvert` call, in recording order."""
         return [dict(row) for row in self._autoconvert]
+
+    def note_history(self, record_id: str, kind: str, path: str) -> None:
+        """Record one performance-history append for the manifest.
+
+        Called after a ``--history`` append so the v7 manifest names the
+        exact :mod:`repro.obs.history` record(s) this run produced — the
+        join key between a manifest and the trend series it extended.
+        """
+        self._history.append(
+            {"record_id": record_id, "kind": kind, "path": path})
+
+    def history_provenance(self) -> List[Dict]:
+        """History-append records for the manifest (schema v7): one per
+        :meth:`note_history` call, in recording order."""
+        return [dict(row) for row in self._history]
+
+    def status_summary(self) -> Optional[Dict]:
+        """Condensed heartbeat telemetry for the manifest (schema v7),
+        or None when no ``--status-file`` was wired."""
+        if self.status is None or not self.status.enabled:
+            return None
+        return self.status.summary()
 
     def ctrace_provenance(self) -> Optional[Dict]:
         """Compressed-spill provenance for the manifest (schema v5).
@@ -483,8 +516,23 @@ class SuiteRunner:
         result = simulator.run()
         elapsed = time.perf_counter() - started
         if engine is not None and key in self._traces:
-            self._end_spill(self._traces[key])
+            trace = self._traces[key]
+            self._end_spill(trace)
+            if self.metrics is not None and trace.dropped:
+                # labeled by drop policy: a "head" drop loses the run's
+                # recent events, a "tail" drop its beginning — exported
+                # metrics must distinguish the two windows
+                self.metrics.counter(
+                    "trace.dropped_events",
+                    "events dropped by full in-memory trace buffers",
+                    labels={"keep": trace.keep}).inc(trace.dropped)
         self._record_phase(spec.phase_name(), elapsed)
+        if self.status is not None:
+            self.status.complete_run(
+                spec.phase_name(), elapsed,
+                instructions=result.instructions,
+                queue_depth=(engine.queue.depth_high_water
+                             if engine is not None else 0))
         if kind != "baseline" and check_against_baseline:
             baseline = self.timed(workload, "baseline", config_name)
             if result.output != baseline.output:
@@ -546,6 +594,8 @@ class SuiteRunner:
                                  sample_seed=self.sample_seed)
         elapsed = time.perf_counter() - started
         self._record_phase(spec.phase_name(), elapsed)
+        if self.status is not None:
+            self.status.complete_run(spec.phase_name(), elapsed)
         self._profiles[key] = report
         if not sampled:
             self._persist(spec, elapsed)

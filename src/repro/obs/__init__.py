@@ -13,13 +13,30 @@ package is the one place those measurements live:
   so a DTT run can be opened in ``chrome://tracing`` or Perfetto;
 * :mod:`repro.obs.manifest` — a per-run :class:`RunManifest` (config
   fingerprint, wall-clock per phase, cache hit/miss counts, peak queue
-  depth) attached to every experiment result.
+  depth) attached to every experiment result;
+* :mod:`repro.obs.history` — the append-only, content-addressed
+  :class:`HistoryStore` of per-run performance records (JSONL under
+  ``benchmarks/history/``);
+* :mod:`repro.obs.trends` — EWMA prediction intervals + changepoint
+  flagging over a history store's series (``dtt-harness history``);
+* :mod:`repro.obs.flame` — flamegraph-style cycle attribution joining
+  timing totals with the causal trace's per-static-site costs;
+* :mod:`repro.obs.status` — a throttled atomic-JSON heartbeat
+  (:class:`StatusFile`) for live run telemetry (``--status-file``).
 
 Everything here observes; nothing here decides.  Components accept an
 optional :class:`MetricsRegistry` and run identically (and pay nothing)
 without one.
 """
 
+from repro.obs.flame import attribute_cycles, flame_svg, folded_stacks
+from repro.obs.history import (
+    HistoryStore,
+    append_payload,
+    host_fingerprint,
+    make_record,
+    record_from_payload,
+)
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import (
     Counter,
@@ -28,15 +45,30 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.status import StatusFile, read_status
 from repro.obs.timeline import trace_to_chrome, traces_to_chrome, write_chrome_trace
+from repro.obs.trends import TrendReport, TrendVerdict, analyze_history
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistoryStore",
     "MetricsRegistry",
     "MetricsSnapshot",
     "RunManifest",
+    "StatusFile",
+    "TrendReport",
+    "TrendVerdict",
+    "analyze_history",
+    "append_payload",
+    "attribute_cycles",
+    "flame_svg",
+    "folded_stacks",
+    "host_fingerprint",
+    "make_record",
+    "read_status",
+    "record_from_payload",
     "trace_to_chrome",
     "traces_to_chrome",
     "write_chrome_trace",

@@ -27,8 +27,10 @@ class RunManifest:
     #:  v4: static-analysis summaries per DTT build;
     #:  v5: trace_drop_policy + sampling/ctrace provenance;
     #:  v6: autoconvert provenance — candidates considered/accepted and
-    #:  per-reason rejection counts from the conversion gate)
-    SCHEMA_VERSION = 6
+    #:  per-reason rejection counts from the conversion gate;
+    #:  v7: performance-history record ids appended by this run and the
+    #:  final live-telemetry heartbeat summary)
+    SCHEMA_VERSION = 7
 
     def __init__(
         self,
@@ -50,6 +52,8 @@ class RunManifest:
         sampling: Optional[Dict] = None,
         ctrace: Optional[Dict] = None,
         autoconvert: Optional[List[Dict]] = None,
+        history: Optional[List[Dict]] = None,
+        status: Optional[Dict] = None,
     ):
         self.fingerprint = fingerprint
         self.seed = seed
@@ -91,6 +95,15 @@ class RunManifest:
         #: counts by reason, cycles, elimination); [] when the run
         #: performed no automatic conversion
         self.autoconvert = [dict(row) for row in (autoconvert or [])]
+        #: performance-history records this run appended
+        #: (:meth:`SuiteRunner.note_history`: record_id, kind, store
+        #: path) — the join key between a manifest and the trend series
+        #: it extended; [] when no ``--history`` was wired
+        self.history = [dict(row) for row in (history or [])]
+        #: final live-telemetry heartbeat summary
+        #: (:meth:`repro.obs.status.StatusFile.summary`); None when no
+        #: ``--status-file`` was wired
+        self.status = dict(status) if status else None
 
     # -- construction ---------------------------------------------------------
 
@@ -130,6 +143,10 @@ class RunManifest:
                   if hasattr(runner, "ctrace_provenance") else None)
         autoconvert = (runner.autoconvert_provenance()
                        if hasattr(runner, "autoconvert_provenance") else [])
+        history = (runner.history_provenance()
+                   if hasattr(runner, "history_provenance") else [])
+        status = (runner.status_summary()
+                  if hasattr(runner, "status_summary") else None)
         return cls(
             fingerprint=fingerprint_of(identity),
             seed=runner.seed,
@@ -149,6 +166,8 @@ class RunManifest:
             sampling=sampling,
             ctrace=ctrace,
             autoconvert=autoconvert,
+            history=history,
+            status=status,
         )
 
     # -- serialization --------------------------------------------------------
@@ -184,6 +203,8 @@ class RunManifest:
             "sampling": self.sampling,
             "ctrace": self.ctrace,
             "autoconvert": self.autoconvert,
+            "history": self.history,
+            "status": self.status,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -16,7 +16,12 @@ Conventions:
 * counters are monotonic — a negative increment raises
   :class:`~repro.errors.MetricsError`;
 * histograms have fixed upper-bound buckets chosen at registration, plus
-  an implicit ``+Inf`` overflow bucket.
+  an implicit ``+Inf`` overflow bucket;
+* instruments may carry a small fixed **label set** (Prometheus-style
+  ``name{key="value"}``): each distinct label combination is its own
+  instrument, registered under the canonical labeled key, so e.g. the
+  trace drop counter distinguishes ``keep="head"`` from ``keep="tail"``
+  windows in every export.
 """
 
 from __future__ import annotations
@@ -31,6 +36,26 @@ from repro.errors import MetricsError
 Number = Union[int, float]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def labeled_key(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """The canonical registry key for ``name`` with ``labels``.
+
+    Label keys are sorted so ``{a=1, b=2}`` and ``{b=2, a=1}`` resolve
+    to one instrument; the rendered form matches the Prometheus
+    exposition syntax (``name{a="1",b="2"}``).
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise MetricsError(
+                f"invalid label name {key!r} on metric {name!r} (want "
+                "letters, digits, underscores; must not start with a digit)")
+        parts.append(f'{key}="{_escape_label_value(str(labels[key]))}"')
+    return name + "{" + ",".join(parts) + "}"
 
 #: default histogram buckets: powers of two, sized for cycle counts
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
@@ -40,12 +65,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
 class Counter:
     """A monotonically increasing count of events."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value: Number = 0
+        self.labels: Optional[Dict[str, str]] = None
 
     def inc(self, amount: Number = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -62,12 +88,13 @@ class Counter:
 class Gauge:
     """A value that can go up and down (queue depth, cycle totals)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value: Number = 0
+        self.labels: Optional[Dict[str, str]] = None
 
     def set(self, value: Number) -> None:
         """Set the gauge to ``value``."""
@@ -100,7 +127,8 @@ class Histogram:
     because those are what tests assert against.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count",
+                 "labels")
 
     def __init__(self, name: str, help: str = "",
                  buckets: Sequence[Number] = DEFAULT_BUCKETS):
@@ -125,6 +153,7 @@ class Histogram:
         self.counts: List[int] = [0] * (len(bounds) + 1)
         self.sum: Number = 0
         self.count = 0
+        self.labels: Optional[Dict[str, str]] = None
 
     def observe(self, value: Number) -> None:
         """Record one observation."""
@@ -228,12 +257,15 @@ class MetricsRegistry:
 
     # -- registration ---------------------------------------------------------
 
-    def _get_or_create(self, cls, name: str, *args, **kwargs) -> Instrument:
-        existing = self._instruments.get(name)
+    def _get_or_create(self, cls, name: str, *args,
+                       labels: Optional[Dict[str, str]] = None,
+                       **kwargs) -> Instrument:
+        key = labeled_key(name, labels)
+        existing = self._instruments.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise MetricsError(
-                    f"{name!r} is already registered as a "
+                    f"{key!r} is already registered as a "
                     f"{_TYPE_NAMES[type(existing)]}, not a {_TYPE_NAMES[cls]}"
                 )
             return existing
@@ -243,21 +275,29 @@ class MetricsRegistry:
                 "underscores, dots; must not start with a digit)"
             )
         instrument = cls(name, *args, **kwargs)
-        self._instruments[name] = instrument
+        if labels:
+            instrument.labels = {str(k): str(v)
+                                 for k, v in sorted(labels.items())}
+        self._instruments[key] = instrument
         return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create the counter called ``name``."""
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        """Get or create the counter called ``name`` (one instrument per
+        distinct label set)."""
+        return self._get_or_create(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
         """Get or create the gauge called ``name``."""
-        return self._get_or_create(Gauge, name, help)
+        return self._get_or_create(Gauge, name, help, labels=labels)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS,
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
         """Get or create the histogram called ``name``."""
-        return self._get_or_create(Histogram, name, help, buckets)
+        return self._get_or_create(Histogram, name, help, buckets,
+                                   labels=labels)
 
     # -- access --------------------------------------------------------------
 
@@ -301,13 +341,19 @@ class MetricsRegistry:
         """
         for name, entry in values.items():
             kind = entry.get("type")
+            # labeled entries snapshot under their canonical key
+            # (``name{k="v"}``); re-registering with the entry's label
+            # dict reproduces the same key on this side
+            base = name.split("{", 1)[0]
+            labels = entry.get("labels")
             if kind == "counter":
-                self.counter(name).inc(entry["value"])
+                self.counter(base, labels=labels).inc(entry["value"])
             elif kind == "gauge":
-                self.gauge(name).set_max(entry["value"])
+                self.gauge(base, labels=labels).set_max(entry["value"])
             elif kind == "histogram":
-                histogram = self.histogram(name,
-                                           buckets=entry["buckets"])
+                histogram = self.histogram(base,
+                                           buckets=entry["buckets"],
+                                           labels=labels)
                 if list(histogram.buckets) != [float(b) for b
                                                in entry["buckets"]]:
                     raise MetricsError(
@@ -344,6 +390,8 @@ class MetricsRegistry:
                     "type": _TYPE_NAMES[type(instrument)],
                     "value": instrument.value,
                 }
+            if instrument.labels:
+                values[name]["labels"] = dict(instrument.labels)
         return MetricsSnapshot(values)
 
     def as_dict(self) -> Dict[str, Dict]:
@@ -363,22 +411,34 @@ class MetricsRegistry:
         the line protocol.
         """
         lines: List[str] = []
-        for name, instrument in self._instruments.items():
-            flat = name.replace(".", "_")
-            if instrument.help:
-                lines.append(f"# HELP {flat} "
-                             f"{_escape_help(instrument.help)}")
-            lines.append(f"# TYPE {flat} {_TYPE_NAMES[type(instrument)]}")
+        typed = set()  # HELP/TYPE emitted once per base name, not per
+        # label combination (the exposition format forbids repeats)
+        for instrument in self._instruments.values():
+            flat = instrument.name.replace(".", "_")
+            if flat not in typed:
+                typed.add(flat)
+                if instrument.help:
+                    lines.append(f"# HELP {flat} "
+                                 f"{_escape_help(instrument.help)}")
+                lines.append(
+                    f"# TYPE {flat} {_TYPE_NAMES[type(instrument)]}")
+            pairs = [f'{k}="{_escape_label_value(v)}"'
+                     for k, v in (instrument.labels or {}).items()]
+            suffix = "{" + ",".join(pairs) + "}" if pairs else ""
             if isinstance(instrument, Histogram):
                 cumulative = instrument.cumulative_counts()
                 for bound, count in zip(instrument.buckets, cumulative):
                     le = _escape_label_value(format(bound, "g"))
-                    lines.append(f'{flat}_bucket{{le="{le}"}} {count}')
-                lines.append(f'{flat}_bucket{{le="+Inf"}} {instrument.count}')
-                lines.append(f"{flat}_sum {instrument.sum}")
-                lines.append(f"{flat}_count {instrument.count}")
+                    le_pairs = pairs + [f'le="{le}"']
+                    lines.append(
+                        f'{flat}_bucket{{{",".join(le_pairs)}}} {count}')
+                inf_pairs = pairs + ['le="+Inf"']
+                lines.append(f'{flat}_bucket{{{",".join(inf_pairs)}}} '
+                             f'{instrument.count}')
+                lines.append(f"{flat}_sum{suffix} {instrument.sum}")
+                lines.append(f"{flat}_count{suffix} {instrument.count}")
             else:
-                lines.append(f"{flat} {instrument.value}")
+                lines.append(f"{flat}{suffix} {instrument.value}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:

@@ -405,3 +405,194 @@ def html_report(store_entries: Optional[List[Dict]] = None,
                      "results file, and no compressed trace given.</p>")
     parts.extend(["</body>", "</html>"])
     return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# the trend dashboard (dtt-harness dashboard)
+# ---------------------------------------------------------------------------
+
+_DASH_CSS = _CSS + """
+.v-ok { color: #0a7a35; font-weight: 600; }
+.v-regression, .v-changepoint { color: #c0232c; font-weight: 700; }
+.v-improvement { color: #1b6ec2; font-weight: 600; }
+.v-insufficient-data, .v-info { color: #667; }
+.spark { vertical-align: middle; }
+.flame { margin: 1em 0; }
+"""
+
+#: verdicts worth a row in the dashboard's flagged table
+_DASH_INTERESTING = ("regression", "changepoint", "improvement")
+
+
+def _sparkline_svg(values: Sequence[float], verdict: str,
+                   width: int = 140, height: int = 28) -> str:
+    """One metric series as an inline polyline sparkline.
+
+    Scaled to its own min/max (a sparkline shows shape, not magnitude);
+    the newest point gets a dot colored by the series verdict.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 3
+
+    def xy(index: int, value: float):
+        x = pad + (width - 2 * pad) * (index / max(1, len(values) - 1))
+        y = pad + (height - 2 * pad) * (1.0 - (value - lo) / span)
+        return x, y
+
+    points = " ".join(f"{x:.1f},{y:.1f}"
+                      for x, y in (xy(i, v) for i, v in enumerate(values)))
+    dot_x, dot_y = xy(len(values) - 1, values[-1])
+    dot_fill = ("#c0232c" if verdict in ("regression", "changepoint")
+                else "#1b6ec2" if verdict == "improvement" else "#0a7a35")
+    return (
+        f'<svg class="spark" xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline points="{points}" fill="none" stroke="#3282b8" '
+        f'stroke-width="1.5" />'
+        f'<circle cx="{dot_x:.1f}" cy="{dot_y:.1f}" r="3" '
+        f'fill="{dot_fill}" /></svg>')
+
+
+def _verdict_cell(verdict) -> str:
+    """A verdict badge, linked to the flame anchor when its note says so."""
+    return f"<span class='v-{_esc(verdict.verdict)}'>{_esc(verdict.verdict)}</span>"
+
+
+def _flame_link(verdict, flames: Dict) -> str:
+    """An anchor into the flame section for this verdict's workload, if
+    one was rendered (bench rows are named by workload; manifest
+    ``autoconvert:<workload>`` rows carry it as the suffix)."""
+    candidates = (verdict.row, verdict.row.rsplit(":", 1)[-1])
+    for name in candidates:
+        if name in flames:
+            return (f"<a href='#flame-{_esc(name)}'>cycle "
+                    f"attribution</a>")
+    return ""
+
+
+def _trend_table(verdicts, flames: Dict, caption: str) -> List[str]:
+    if not verdicts:
+        return []
+    rows = []
+    for v in verdicts:
+        movement = (f"{v.ewma:g} &rarr; {v.latest:g} ({v.relative:+.1%})"
+                    if v.ewma else f"{v.latest:g}")
+        rows.append([
+            f"<code>{_esc(v.row)}</code>",
+            f"<code>{_esc(v.metric)}</code>",
+            _sparkline_svg(v.values, v.verdict),
+            len(v.values),
+            movement,
+            _verdict_cell(v),
+            " ".join(filter(None, [_esc(v.note) if v.note else "",
+                                   _flame_link(v, flames)])),
+        ])
+    out = [f"<h3>{_esc(caption)}</h3>"]
+    out.extend(_table(
+        ["row", "metric", "trend", "runs", "EWMA &rarr; latest", "verdict",
+         "notes"], rows, cell_html=True))
+    return out
+
+
+def _flame_section(flames: Dict) -> List[str]:
+    from repro.obs.flame import flame_svg, folded_stacks, hottest_site
+
+    out = ["<h2>Cycle attribution</h2>",
+           "<p class='muted'>Per-static-site support-thread cycles from "
+           "the causal trace, joined with the timing simulator's run "
+           "total — a flagged cycle trend names the store site that "
+           "owns the growth. Hover a cell for trigger outcomes and "
+           "silent-store counts.</p>"]
+    for workload in sorted(flames):
+        attribution = flames[workload]
+        out.append(f"<h3 id='flame-{_esc(workload)}'>"
+                   f"<code>{_esc(workload)}</code></h3>")
+        hot = hottest_site(attribution)
+        if hot is not None:
+            out.append(
+                f"<p>hottest site: <code>{_esc(hot['name'])}</code> "
+                f"({hot['value']:g} {_esc(attribution['unit'])}) "
+                f"<span class='muted'>&mdash; {_esc(hot['detail'])}"
+                "</span></p>")
+        out.append(f"<div class='flame'>{flame_svg(attribution)}</div>")
+        folded = folded_stacks(attribution)
+        if folded:
+            out.append("<details><summary>folded stacks "
+                       "(flamegraph.pl format)</summary>"
+                       f"<pre>{_esc(folded)}</pre></details>")
+    return out
+
+
+def _verdict_catalog_section() -> List[str]:
+    from repro.obs.trends import GATING_VERDICTS, VERDICTS
+
+    rows = [[f"<code>{_esc(code)}</code>",
+             "yes" if code in GATING_VERDICTS else "no",
+             _esc(description)]
+            for code, description in VERDICTS.items()]
+    out = ["<h2>Verdict catalog</h2>"]
+    out.extend(_table(["verdict", "gates CI", "meaning"], rows,
+                      cell_html=True))
+    return out
+
+
+def trend_dashboard_html(report, flames: Optional[Dict] = None,
+                         title: str = "DTT performance trends") -> str:
+    """The trend dashboard as one self-contained HTML string.
+
+    ``report`` is a :class:`~repro.obs.trends.TrendReport`; ``flames``
+    maps workload name to a :func:`~repro.obs.flame.attribute_cycles`
+    attribution dict, rendered as anchored SVG flame sections that
+    flagged verdict rows deep-link.  Same contract as
+    :func:`html_report`: inline CSS + inline SVG, no JavaScript, no
+    external assets.
+    """
+    flames = flames or {}
+    flagged = [v for v in report.verdicts
+               if v.verdict in _DASH_INTERESTING]
+    quiet = [v for v in report.verdicts
+             if v.verdict not in _DASH_INTERESTING]
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang='en'>",
+        "<head>",
+        "<meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_DASH_CSS}</style>",
+        "</head>",
+        "<body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='muted'>History: <code>{_esc(report.source)}</code> "
+        f"&mdash; {report.record_count} record(s) in window "
+        f"{report.window}, tolerance {report.tolerance:.1%}, minimum "
+        f"{report.min_runs} run(s) per series before gating; generated "
+        "by <code>dtt-harness dashboard</code>, single file, no "
+        "external assets.</p>",
+    ]
+    counts = ", ".join(
+        f"{count} {verdict}"
+        for verdict, count in sorted(
+            report.as_dict()["verdict_counts"].items()))
+    gate = ("<span class='v-regression'>GATE FAILS</span>"
+            if report.has_regressions else "<span class='v-ok'>gate "
+            "passes</span>")
+    parts.append(f"<p>{gate} &mdash; {len(report.flagged)} gating "
+                 f"verdict(s) [{_esc(counts) or 'no series'}]</p>")
+    parts.append("<h2>Trends</h2>")
+    parts.extend(_trend_table(flagged, flames,
+                              "Flagged series (regressions, changepoints, "
+                              "improvements)"))
+    if not flagged:
+        parts.append("<p class='muted'>No flagged series: every judged "
+                     "metric is inside its trend's prediction "
+                     "interval.</p>")
+    parts.extend(_trend_table(quiet, flames, "All other series"))
+    if flames:
+        parts.extend(_flame_section(flames))
+    parts.extend(_verdict_catalog_section())
+    parts.extend(["</body>", "</html>"])
+    return "\n".join(parts)

@@ -1,0 +1,428 @@
+"""Trend analysis over the performance-history store.
+
+``compare`` answers "is NEW worse than OLD?" for one pair of artifacts.
+This module answers the longitudinal question over a
+:class:`~repro.obs.history.HistoryStore` series: *is the latest run
+worse than where this metric has been trending, and did the series shift
+level somewhere in the window?*  Three ideas, all reused from elsewhere
+in the tier so a metric means one thing everywhere:
+
+* **Direction awareness** comes from :func:`repro.exec.compare.
+  metric_direction` — ``speedup`` only regresses by falling, ``cycles``
+  only by rising, fractions regress on drift either way, wall-clock
+  never gates.
+* **Noise tolerance** comes from the interval math in
+  :mod:`repro.obs.sampling`: the expected value is an EWMA of the
+  baseline runs and the acceptance band is a normal prediction interval
+  (``Z_95 * sd * sqrt(1 + 1/n)``) floored at the relative ``tolerance``
+  and widened by any ``<metric>_ci_width`` sibling the payload shipped —
+  movement inside a sampled estimate's own confidence interval is noise
+  by definition, exactly as in ``compare``.
+* **Changepoint flagging** catches slow drift a last-vs-baseline test
+  misses: every split of the window with at least two runs per side is
+  scored with a pooled-error t statistic; a significant, beyond-
+  tolerance level shift in the bad direction flags even when the latest
+  run alone is within band.
+
+A **minimum-run-count guard** (default 3) keeps one lucky rerun from
+gating anything: short series get the non-gating ``insufficient-data``
+verdict.  Every verdict code lives in :data:`VERDICTS` (wired into the
+docs-sync test); only ``regression`` and ``changepoint`` gate CI, the
+way ``compare`` regressions do today.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import HistoryError
+from repro.obs.sampling import Z_95
+
+#: exponential-weighting factor for the trend baseline: ~the last 6 runs
+#: dominate, older history decays instead of being cliff-dropped
+EWMA_ALPHA = 0.3
+
+#: default relative tolerance floor (mirrors compare.DEFAULT_TOLERANCE)
+DEFAULT_TOLERANCE = 0.05
+
+#: fewest runs of a series before its verdicts may gate
+DEFAULT_MIN_RUNS = 3
+
+#: newest records per kind considered by default
+DEFAULT_WINDOW = 20
+
+#: every verdict the analyzer can emit.  ``regression`` and
+#: ``changepoint`` gate (exit non-zero under ``history --gate``); the
+#: rest are informational.  Documented in docs/architecture.md; the
+#: docs-sync test asserts every code appears there.
+VERDICTS = {
+    "ok": "latest run inside the trend's prediction interval, no level "
+          "shift detected anywhere in the window",
+    "regression": "latest run outside the EWMA prediction interval in "
+                  "the metric's bad direction (gates)",
+    "improvement": "latest run outside the interval in the metric's "
+                   "good direction — worth locking in, never gates",
+    "changepoint": "a significant, beyond-tolerance level shift in the "
+                   "bad direction between two segments of the window, "
+                   "even if the latest run alone is in band (gates)",
+    "insufficient-data": "fewer runs than the minimum-run-count guard; "
+                         "nothing gates on a series this short",
+    "info": "informational metric (wall clock, CI bounds) — tracked "
+            "and plotted, never judged",
+}
+
+#: verdicts that fail the CI gate
+GATING_VERDICTS = ("regression", "changepoint")
+
+
+class TrendVerdict:
+    """The analyzer's judgement of one ``(kind, row, metric)`` series."""
+
+    __slots__ = ("kind", "row", "metric", "verdict", "direction", "values",
+                 "timestamps", "git_shas", "ewma", "halfwidth", "latest",
+                 "relative", "note", "changepoint_index")
+
+    def __init__(self, kind: str, row: str, metric: str, verdict: str,
+                 direction: str, values: List[float],
+                 timestamps: List[float], git_shas: List[Optional[str]],
+                 ewma: float, halfwidth: float, latest: float,
+                 relative: float, note: str = "",
+                 changepoint_index: Optional[int] = None):
+        self.kind = kind
+        self.row = row
+        self.metric = metric
+        self.verdict = verdict
+        self.direction = direction
+        self.values = values
+        self.timestamps = timestamps
+        self.git_shas = git_shas
+        self.ewma = ewma
+        self.halfwidth = halfwidth
+        self.latest = latest
+        self.relative = relative
+        self.note = note
+        self.changepoint_index = changepoint_index
+
+    @property
+    def gates(self) -> bool:
+        return self.verdict in GATING_VERDICTS
+
+    @property
+    def series(self) -> str:
+        return f"{self.kind} :: {self.row} :: {self.metric}"
+
+    def as_dict(self) -> Dict:
+        """JSON-ready dict (``history --json`` / dashboard data)."""
+        return {
+            "kind": self.kind,
+            "row": self.row,
+            "metric": self.metric,
+            "verdict": self.verdict,
+            "direction": self.direction,
+            "runs": len(self.values),
+            "values": self.values,
+            "ewma": self.ewma,
+            "halfwidth": self.halfwidth,
+            "latest": self.latest,
+            "relative_change": round(self.relative, 6),
+            "gates": self.gates,
+            "note": self.note,
+            "changepoint_index": self.changepoint_index,
+            "git_shas": self.git_shas,
+        }
+
+
+class TrendReport:
+    """Every series verdict over one history window."""
+
+    def __init__(self, source: str, window: int, tolerance: float,
+                 min_runs: int):
+        self.source = source
+        self.window = window
+        self.tolerance = tolerance
+        self.min_runs = min_runs
+        self.verdicts: List[TrendVerdict] = []
+        self.record_count = 0
+        self.corrupt_lines = 0
+
+    @property
+    def flagged(self) -> List[TrendVerdict]:
+        return [v for v in self.verdicts if v.gates]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.flagged)
+
+    def by_verdict(self, verdict: str) -> List[TrendVerdict]:
+        """All series that received the given verdict code."""
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    def as_dict(self) -> Dict:
+        """JSON-ready report: parameters, verdict counts, every series."""
+        counts: Dict[str, int] = {}
+        for v in self.verdicts:
+            counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        return {
+            "source": self.source,
+            "window": self.window,
+            "tolerance": self.tolerance,
+            "min_runs": self.min_runs,
+            "records": self.record_count,
+            "corrupt_lines": self.corrupt_lines,
+            "verdict_counts": counts,
+            "series": [v.as_dict() for v in self.verdicts],
+            "flagged": len(self.flagged),
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable report; quiet series are summarized unless
+        ``verbose``."""
+        lines = [f"trend history: {self.source}  "
+                 f"[{self.record_count} record(s), window {self.window}, "
+                 f"tolerance {self.tolerance:.1%}, min runs {self.min_runs}]"]
+        if self.corrupt_lines:
+            lines.append(f"  ({self.corrupt_lines} corrupt line(s) skipped)")
+        shown = 0
+        for v in self.verdicts:
+            interesting = v.verdict in ("regression", "changepoint",
+                                        "improvement")
+            if not interesting and not verbose:
+                continue
+            shown += 1
+            mark = v.verdict.upper() if v.gates else v.verdict
+            movement = (f"{v.ewma:g} -> {v.latest:g} ({v.relative:+.1%})"
+                        if v.ewma else f"latest {v.latest:g}")
+            note = f"  [{v.note}]" if v.note else ""
+            lines.append(f"  {mark:<12} {v.series}: {movement}{note}")
+        quiet = len(self.verdicts) - shown
+        if quiet:
+            lines.append(f"  ({quiet} quiet series not shown; "
+                         "--verbose lists all)")
+        counts = ", ".join(
+            f"{count} {verdict}" for verdict, count in sorted(
+                self.as_dict()["verdict_counts"].items()))
+        lines.append(f"{len(self.flagged)} gating verdict(s) "
+                     f"[{counts or 'no series'}]")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# series math
+# ---------------------------------------------------------------------------
+
+
+def ewma(values: Sequence[float], alpha: float = EWMA_ALPHA) -> float:
+    """Exponentially weighted mean, newest value weighted ``alpha``."""
+    if not values:
+        raise HistoryError("EWMA of an empty series")
+    mean = values[0]
+    for value in values[1:]:
+        mean = alpha * value + (1.0 - alpha) * mean
+    return mean
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sd(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values)
+                     / (len(values) - 1))
+
+
+def _changepoint(values: Sequence[float], direction: str,
+                 tolerance: float) -> Optional[int]:
+    """Index of the most significant bad-direction level shift, if any.
+
+    Scans every split leaving at least two runs per side; a split flags
+    when the shift exceeds ``Z_95`` pooled standard errors *and* the
+    relative shift exceeds ``tolerance`` *and* the shift direction is
+    bad for the metric (drift metrics flag on either direction).
+    Returns the index of the first run after the best shift.
+    """
+    best_index = None
+    best_stat = 0.0
+    for split in range(2, len(values) - 1):
+        before, after = values[:split], values[split:]
+        shift = _mean(after) - _mean(before)
+        base = _mean(before)
+        relative = abs(shift) / abs(base) if base else (
+            0.0 if shift == 0 else float("inf"))
+        if relative <= tolerance:
+            continue
+        bad = ((direction == "down_bad" and shift < 0)
+               or (direction == "up_bad" and shift > 0)
+               or direction == "drift")
+        if not bad:
+            continue
+        pooled_var = (_sd(before) ** 2 / len(before)
+                      + _sd(after) ** 2 / len(after))
+        if pooled_var <= 0:
+            # zero-noise segments: any beyond-tolerance shift is real
+            stat = float("inf")
+        else:
+            stat = abs(shift) / math.sqrt(pooled_var)
+        if stat > Z_95 and stat > best_stat:
+            best_stat = stat
+            best_index = split
+    return best_index
+
+
+def analyze_series(kind: str, row: str, metric: str,
+                   values: Sequence[float],
+                   timestamps: Sequence[float],
+                   git_shas: Sequence[Optional[str]],
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   min_runs: int = DEFAULT_MIN_RUNS,
+                   ci_width: float = 0.0) -> TrendVerdict:
+    """Judge one metric series (oldest first).  See the module docstring
+    for the algorithm; ``ci_width`` is the widest ``<metric>_ci_width``
+    sibling seen anywhere in the series."""
+    from repro.exec.compare import metric_direction
+
+    if not values:
+        raise HistoryError(f"empty series for {kind}/{row}/{metric}")
+    values = [float(v) for v in values]
+    latest = values[-1]
+    common = dict(kind=kind, row=row, metric=metric,
+                  values=values, timestamps=list(timestamps),
+                  git_shas=list(git_shas), latest=latest)
+
+    direction = metric_direction(metric)
+    if direction == "info":
+        return TrendVerdict(verdict="info", direction=direction,
+                            ewma=_mean(values), halfwidth=0.0,
+                            relative=0.0,
+                            note="informational metric, never judged",
+                            **common)
+    if len(values) < min_runs:
+        return TrendVerdict(verdict="insufficient-data",
+                            direction=direction,
+                            ewma=_mean(values), halfwidth=0.0,
+                            relative=0.0,
+                            note=f"{len(values)} run(s) < min {min_runs}",
+                            **common)
+
+    baseline = values[:-1]
+    expected = ewma(baseline)
+    sd = _sd(baseline)
+    n = len(baseline)
+    # prediction interval for one new observation around the baseline
+    # level; floored by the relative tolerance and any sampling CI so a
+    # dead-flat series doesn't flag on measurement jitter
+    halfwidth = Z_95 * sd * math.sqrt(1.0 + 1.0 / n)
+    floor = tolerance * abs(expected)
+    note = ""
+    if ci_width > floor:
+        floor = ci_width
+        note = f"tolerance = CI width ({ci_width:g})"
+    halfwidth = max(halfwidth, floor)
+    relative = ((latest - expected) / abs(expected)) if expected else 0.0
+
+    change_at = _changepoint(values, direction, tolerance)
+    deviation = latest - expected
+    if abs(deviation) > halfwidth:
+        bad = ((direction == "down_bad" and deviation < 0)
+               or (direction == "up_bad" and deviation > 0)
+               or direction == "drift")
+        verdict = "regression" if bad else "improvement"
+        return TrendVerdict(verdict=verdict, direction=direction,
+                            ewma=expected, halfwidth=halfwidth,
+                            relative=relative, note=note,
+                            changepoint_index=change_at, **common)
+    if change_at is not None:
+        shift_note = (f"level shift after run {change_at} of "
+                      f"{len(values)}")
+        return TrendVerdict(verdict="changepoint", direction=direction,
+                            ewma=expected, halfwidth=halfwidth,
+                            relative=relative,
+                            note=f"{note}; {shift_note}" if note
+                            else shift_note,
+                            changepoint_index=change_at, **common)
+    return TrendVerdict(verdict="ok", direction=direction, ewma=expected,
+                        halfwidth=halfwidth, relative=relative, note=note,
+                        **common)
+
+
+# ---------------------------------------------------------------------------
+# history -> series
+# ---------------------------------------------------------------------------
+
+
+def _series_of(records: Iterable[Dict]):
+    """Group records into per-``(kind, row, metric)`` series dicts."""
+    series: Dict[tuple, Dict] = {}
+    for record in records:
+        kind = record.get("kind", "unknown")
+        timestamp = float(record.get("timestamp", 0.0))
+        sha = record.get("git_sha")
+        for row, cells in record.get("rows", {}).items():
+            for metric, value in cells.items():
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    continue
+                entry = series.setdefault((kind, row, metric), {
+                    "values": [], "timestamps": [], "git_shas": [],
+                    "ci_width": 0.0,
+                })
+                entry["values"].append(float(value))
+                entry["timestamps"].append(timestamp)
+                entry["git_shas"].append(sha)
+                width = cells.get(f"{metric}_ci_width")
+                if isinstance(width, (int, float)) \
+                        and not isinstance(width, bool):
+                    entry["ci_width"] = max(entry["ci_width"], float(width))
+    return series
+
+
+def analyze_history(store, window: int = DEFAULT_WINDOW,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    min_runs: int = DEFAULT_MIN_RUNS,
+                    kind: Optional[str] = None,
+                    host: Optional[str] = None) -> TrendReport:
+    """Analyze every series in a :class:`~repro.obs.history.
+    HistoryStore` (or a pre-loaded record list) and return a
+    :class:`TrendReport`.  Only the newest ``window`` records per kind
+    are considered."""
+    if isinstance(store, (list, tuple)):
+        records = list(store)
+        source = f"<{len(records)} record(s)>"
+        corrupt = 0
+    else:
+        records = store.records(kind=kind, host=host)
+        source = store.path
+        corrupt = store.corrupt_lines
+    if kind is not None:
+        records = [r for r in records if r.get("kind") == kind]
+    if host is not None:
+        records = [r for r in records if r.get("host") == host]
+    if not records:
+        raise HistoryError(
+            f"history {source} holds no records"
+            + (f" of kind {kind!r}" if kind else "")
+            + " — run bench/convert/run with --history first")
+
+    # window per kind, so a chatty manifest stream cannot age out a
+    # sparser bench stream sharing the same file
+    by_kind: Dict[str, List[Dict]] = {}
+    for record in records:
+        by_kind.setdefault(record.get("kind", "unknown"), []).append(record)
+    windowed: List[Dict] = []
+    for kind_records in by_kind.values():
+        windowed.extend(kind_records[-window:] if window else kind_records)
+
+    report = TrendReport(source, window, tolerance, min_runs)
+    report.record_count = len(windowed)
+    report.corrupt_lines = corrupt
+    for (s_kind, row, metric), entry in sorted(_series_of(windowed).items()):
+        if metric.endswith(("_ci_width", "_ci_low", "_ci_high")):
+            continue  # consumed as their estimate's tolerance
+        report.verdicts.append(analyze_series(
+            s_kind, row, metric, entry["values"], entry["timestamps"],
+            entry["git_shas"], tolerance=tolerance, min_runs=min_runs,
+            ci_width=entry["ci_width"]))
+    return report

@@ -199,5 +199,129 @@ def test_run_e1_sampled_passes_with_ci_checks(tmp_path, capsys):
     assert "[FAIL]" not in out
     payload = json.loads(target.read_text())
     manifest = payload[0]["manifest"]
-    assert manifest["schema_version"] == 6
+    assert manifest["schema_version"] == 7
     assert manifest["sampling"]["sample_rate"] == 64
+
+
+# -- performance observatory: history / dashboard / telemetry ------------------
+
+
+def _seed_history(tmp_path, values, metric="instructions_per_sec"):
+    from repro.obs.history import HistoryStore, make_record
+
+    store = HistoryStore(str(tmp_path / "hist"))
+    for i, value in enumerate(values):
+        store.append(make_record("bench_interpreter",
+                                 {"mcf": {metric: value}},
+                                 git_sha=f"sha{i}", host="testhost",
+                                 timestamp=1000.0 + i))
+    return str(tmp_path / "hist")
+
+
+def test_bench_appends_to_history(tmp_path, capsys):
+    hist = str(tmp_path / "hist")
+    for _ in range(3):
+        assert main(["bench", "--workloads", "mcf", "--repeat", "1",
+                     "-o", "", "--history", hist]) == 0
+    out = capsys.readouterr().out
+    assert out.count("history: appended bench_interpreter record") == 3
+    from repro.obs.history import HistoryStore
+    assert len(HistoryStore(hist).records(kind="bench_interpreter")) == 3
+
+
+def test_history_gate_flags_injected_regression(tmp_path, capsys):
+    stable = [100.0, 100.3, 99.8, 100.1, 99.9]
+    hist = _seed_history(tmp_path, stable)
+    assert main(["history", hist, "--gate"]) == 0  # green series passes
+    capsys.readouterr()
+    _seed_history(tmp_path, stable + [90.0])       # inject a 10% drop
+    assert main(["history", hist, "--gate"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "instructions_per_sec" in out
+    # without --gate the same analysis reports but does not fail
+    assert main(["history", hist]) == 0
+
+
+def test_history_append_then_analyze(tmp_path, capsys):
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({
+        "kind": "bench_interpreter",
+        "rows": {"mcf": {"instructions_per_sec": 100.0}},
+    }))
+    ci = str(tmp_path / "ci.jsonl")
+    assert main(["history", ci, "--append", str(bench), "--gate"]) == 0
+    out = capsys.readouterr().out
+    assert "appended bench_interpreter record" in out
+    assert "insufficient-data" in out
+
+
+def test_history_json_and_errors(tmp_path, capsys):
+    hist = _seed_history(tmp_path, [100.0, 100.0, 100.0])
+    assert main(["history", hist, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["records"] == 3
+    assert main(["history", str(tmp_path / "empty")]) == 2
+    assert "no records" in capsys.readouterr().out
+    assert main(["history", hist, "--append",
+                 str(tmp_path / "missing.json")]) == 2
+
+
+def test_dashboard_writes_selfcontained_html(tmp_path, capsys):
+    hist = _seed_history(tmp_path, [100.0, 100.3, 99.8, 100.1, 90.0])
+    target = tmp_path / "trends.html"
+    assert main(["dashboard", "--history", hist, "-o", str(target),
+                 "--no-flames"]) == 0
+    text = target.read_text()
+    assert "GATE FAILS" in text
+    assert "instructions_per_sec" in text
+    assert "<script" not in text
+    assert "Verdict catalog" in text
+
+
+def test_dashboard_flames_link_flagged_workload(tmp_path):
+    hist = _seed_history(tmp_path, [100.0, 100.3, 99.8, 100.1, 90.0])
+    target = tmp_path / "trends.html"
+    assert main(["dashboard", "--history", hist, "-o", str(target)]) == 0
+    text = target.read_text()
+    # the flagged mcf series deep-links its flame-attributed sites
+    assert "href='#flame-mcf'" in text
+    assert "id='flame-mcf'" in text
+    assert "hottest site" in text
+
+
+def test_run_with_status_file_and_history(tmp_path, capsys):
+    status = tmp_path / "status.json"
+    hist = str(tmp_path / "hist")
+    assert main(["run", "E6", "--status-file", str(status),
+                 "--history", hist]) == 0
+    heartbeat = json.loads(status.read_text())
+    assert heartbeat["status"] == "done"
+    assert heartbeat["runs_completed"] >= 1
+    assert heartbeat["eta_seconds"] == 0.0
+    from repro.obs.history import HistoryStore
+    records = HistoryStore(hist).records(kind="results")
+    assert len(records) == 1
+    out = capsys.readouterr().out
+    assert "history: appended results record" in out
+
+
+def test_convert_history_record_lands_in_manifest(tmp_path):
+    hist = str(tmp_path / "hist")
+    manifest_path = tmp_path / "manifest.json"
+    assert main(["convert", "--workload", "mcf", "--history", hist,
+                 "--json", str(manifest_path)]) == 0
+    manifest = json.loads(manifest_path.read_text())
+    (row,) = manifest["history"]
+    assert row["kind"] == "bench_autoconvert"
+    assert len(row["record_id"]) == 64
+    from repro.obs.history import HistoryStore
+    (record,) = HistoryStore(hist).records(kind="bench_autoconvert")
+    assert record["record_id"] == row["record_id"]
+    assert record["rows"]["mcf"]["speedup"] > 1.0
+
+
+def test_run_rejects_bad_status_file_directory(tmp_path, capsys):
+    assert main(["run", "E6", "--status-file",
+                 str(tmp_path / "gone" / "s.json")]) == 2
+    assert "does not exist" in capsys.readouterr().out

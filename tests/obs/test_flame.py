@@ -1,0 +1,113 @@
+"""Cycle attribution: additive frames, folded stacks, SVG export."""
+
+import pytest
+
+from repro.core import trace as T
+from repro.core.trace import EngineTrace
+from repro.obs.causality import CausalGraph
+from repro.obs.flame import (attribute_cycles, flame_svg, folded_stacks,
+                             hottest_site)
+
+
+class _FakeEngine:
+    def attach_trace(self, trace):
+        pass
+
+
+def _traced_run():
+    """Two completed activations at pc=5 (cycles 100+80), one at pc=9
+    (50 cycles), one canceled at pc=9 (20 cycles), one suppression."""
+    tr = EngineTrace(_FakeEngine())
+    specs = [(1, 5, 0, 100), (2, 5, 300, 80), (3, 9, 600, 50)]
+    for act, pc, base, execute in specs:
+        tr.record(T.FIRED, "thr", address=10 + act, activation_id=act,
+                  pc=pc, cycle=base)
+        tr.record(T.ENQUEUED, "thr", address=10 + act, activation_id=act,
+                  cycle=base)
+        tr.record(T.DISPATCHED, "thr", activation_id=act, cycle=base + 10)
+        tr.record(T.COMPLETED, "thr", activation_id=act,
+                  cycle=base + 10 + execute)
+    tr.record(T.FIRED, "thr", address=99, activation_id=4, pc=9, cycle=900)
+    tr.record(T.ENQUEUED, "thr", address=99, activation_id=4, cycle=900)
+    tr.record(T.DISPATCHED, "thr", activation_id=4, cycle=905)
+    tr.record(T.CANCELED, "thr", activation_id=4, cycle=925)
+    tr.record(T.TSTORE, "thr", address=50, detail="1->1", pc=5, cycle=950)
+    tr.record(T.SUPPRESSED, "thr", address=50, pc=5, cycle=950)
+    return tr
+
+
+@pytest.fixture
+def attribution():
+    graph = CausalGraph.from_trace(_traced_run())
+    return attribute_cycles("mcf", graph, total_cycles=1000)
+
+
+def test_frames_are_additive(attribution):
+    assert attribution["unit"] == "cycles"
+    assert attribution["total"] == 1000.0
+    # 100 + 80 + 50 completed + 20 canceled = 250 support cycles
+    assert attribution["support_total"] == 250.0
+    total = sum(f["value"] for f in attribution["frames"])
+    assert total == pytest.approx(1000.0)
+    (main,) = [f for f in attribution["frames"] if f["kind"] == "main"]
+    assert main["value"] == 750.0
+
+
+def test_sites_sorted_hottest_first(attribution):
+    support = [f for f in attribution["frames"] if f["kind"] == "support"]
+    assert [f["name"] for f in support] == ["pc=0x5", "pc=0x9"]
+    assert support[0]["value"] == 180.0
+    assert support[1]["value"] == 70.0  # 50 completed + 20 canceled
+    assert "1 canceled" in support[1]["detail"]
+    assert "suppressed 1" in support[0]["detail"]
+
+
+def test_hottest_site_names_the_heaviest_pc(attribution):
+    hot = hottest_site(attribution)
+    assert hot["name"] == "pc=0x5"
+    assert hot["value"] == 180.0
+    assert hottest_site({"frames": []}) is None
+
+
+def test_folded_stacks_format(attribution):
+    lines = folded_stacks(attribution).splitlines()
+    assert "mcf;main 750" in lines
+    assert "mcf;support;pc=0x5 180" in lines
+    assert "mcf;support;pc=0x9 70" in lines
+
+
+def test_svg_is_self_contained_with_site_anchors(attribution):
+    svg = flame_svg(attribution)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert 'id="flame-mcf-pc0x5"' in svg
+    assert 'id="flame-mcf-pc0x9"' in svg
+    assert "<script" not in svg
+    assert svg.count("<title>") >= 4  # total, main, support, sites
+    # well-formed XML (also catches unescaped detail text)
+    import xml.etree.ElementTree as ET
+    ET.fromstring(svg)
+
+
+def test_events_unit_trace_fabricates_no_main_band():
+    """A trace with no cycle source measures latency in event counts;
+    subtracting those from a cycle total would be nonsense."""
+    tr = EngineTrace(_FakeEngine())
+    tr.record(T.FIRED, "thr", address=10, activation_id=1, pc=5)
+    tr.record(T.ENQUEUED, "thr", address=10, activation_id=1)
+    tr.record(T.DISPATCHED, "thr", activation_id=1)
+    tr.record(T.COMPLETED, "thr", activation_id=1)
+    graph = CausalGraph.from_trace(tr)
+    attribution = attribute_cycles("mcf", graph, total_cycles=1000)
+    assert attribution["unit"] == "events"
+    assert [f["kind"] for f in attribution["frames"]] == ["support"]
+    flame_svg(attribution)  # still renders
+
+
+def test_empty_graph_attribution_renders():
+    graph = CausalGraph.from_trace(EngineTrace(_FakeEngine()))
+    attribution = attribute_cycles("mcf", graph, total_cycles=500)
+    (main,) = attribution["frames"]
+    assert main["kind"] == "main"
+    assert main["value"] == 500.0
+    assert folded_stacks(attribution) == "mcf;main 500\n"
+    assert "</svg>" in flame_svg(attribution)

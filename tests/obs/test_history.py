@@ -1,0 +1,216 @@
+"""Performance-history store: records, content addressing, concurrency."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.obs.history import (HistoryStore, append_payload, host_fingerprint,
+                               iter_row_metrics, make_record, record_id_of,
+                               record_from_payload)
+
+
+def _record(value=1.0, timestamp=1000.0, kind="bench_interpreter",
+            sha="abc1234"):
+    return make_record(kind, {"mcf": {"instructions_per_sec": value}},
+                       source="test", git_sha=sha, host="testhost",
+                       timestamp=timestamp)
+
+
+# -- records ----------------------------------------------------------------
+
+
+def test_make_record_carries_provenance():
+    record = _record()
+    assert record["kind"] == "bench_interpreter"
+    assert record["git_sha"] == "abc1234"
+    assert record["host"] == "testhost"
+    assert record["timestamp"] == 1000.0
+    assert record["rows"]["mcf"]["instructions_per_sec"] == 1.0
+    assert len(record["record_id"]) == 64
+
+
+def test_record_id_is_content_addressed():
+    a, b = _record(), _record()
+    assert a["record_id"] == b["record_id"]
+    assert _record(value=2.0)["record_id"] != a["record_id"]
+    # the id never hashes itself
+    assert record_id_of(a) == record_id_of(
+        {k: v for k, v in a.items() if k != "record_id"})
+
+
+def test_non_numeric_cells_are_dropped():
+    record = make_record("bench_x", {
+        "mcf": {"speedup": 2.0, "label": "fast", "ok": True},
+    }, timestamp=1.0, git_sha="s", host="h")
+    assert record["rows"]["mcf"] == {"speedup": 2.0}
+
+
+def test_record_without_numeric_rows_is_an_error():
+    with pytest.raises(HistoryError):
+        make_record("bench_x", {"mcf": {"label": "no numbers"}})
+    with pytest.raises(HistoryError):
+        make_record("", {"mcf": {"speedup": 1.0}})
+
+
+def test_default_provenance_is_live():
+    record = make_record("bench_x", {"mcf": {"speedup": 1.0}})
+    assert record["host"] == host_fingerprint()
+    assert record["timestamp"] > 0
+
+
+# -- payload dispatch -------------------------------------------------------
+
+
+def test_payload_dispatch_bench_dict():
+    record = record_from_payload(
+        {"kind": "bench_interpreter", "schema": 1, "repeat": 3,
+         "rows": {"mcf": {"instructions_per_sec": 5.0, "note": "x"}}},
+        source="bench.json", timestamp=1.0, git_sha="s", host="h")
+    assert record["kind"] == "bench_interpreter"
+    assert record["meta"]["repeat"] == 3
+    assert record["rows"]["mcf"]["instructions_per_sec"] == 5.0
+
+
+def test_payload_dispatch_manifest_dict():
+    record = record_from_payload(
+        {"schema_version": 7, "experiment": "E3",
+         "phase_seconds": {"mcf:dtt:smt2": 0.5},
+         "cache_hits": 3, "peak_queue_depth": 2},
+        source="manifest.json", timestamp=1.0, git_sha="s", host="h")
+    assert record["kind"] == "manifest"
+    assert record["meta"]["experiment"] == "E3"
+
+
+def test_payload_dispatch_garbage_is_an_error():
+    with pytest.raises(HistoryError):
+        record_from_payload({"nothing": "here"}, source="x.json")
+    with pytest.raises(HistoryError):
+        record_from_payload("just a string", source="x.json")
+
+
+# -- the store --------------------------------------------------------------
+
+
+def test_directory_store_splits_by_kind(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    store.append(_record(kind="bench_interpreter"))
+    store.append(_record(kind="bench_trace_overhead", timestamp=1001.0))
+    files = sorted(os.listdir(tmp_path / "hist"))
+    assert files == ["bench_interpreter.jsonl", "bench_trace_overhead.jsonl"]
+    assert store.kinds() == ["bench_interpreter", "bench_trace_overhead"]
+    assert len(store.records(kind="bench_interpreter")) == 1
+
+
+def test_single_file_store_mixes_kinds(tmp_path):
+    path = tmp_path / "ci.jsonl"
+    store = HistoryStore(str(path))
+    store.append(_record(kind="bench_interpreter"))
+    store.append(_record(kind="manifest", timestamp=1001.0))
+    assert path.read_text().count("\n") == 2
+    assert store.kinds() == ["bench_interpreter", "manifest"]
+
+
+def test_store_on_non_jsonl_file_is_an_error(tmp_path):
+    stray = tmp_path / "history.txt"
+    stray.write_text("not a store")
+    with pytest.raises(HistoryError):
+        HistoryStore(str(stray))
+
+
+def test_reads_deduplicate_by_record_id(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    record = _record()
+    store.append(record)
+    store.append(record)  # idempotent re-append
+    assert len(store.records()) == 1
+
+
+def test_records_sorted_oldest_first(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    store.append(_record(value=3.0, timestamp=3000.0))
+    store.append(_record(value=1.0, timestamp=1000.0))
+    store.append(_record(value=2.0, timestamp=2000.0))
+    values = [r["rows"]["mcf"]["instructions_per_sec"]
+              for r in store.records()]
+    assert values == [1.0, 2.0, 3.0]
+    assert [r["rows"]["mcf"]["instructions_per_sec"]
+            for r in store.tail(count=2)] == [2.0, 3.0]
+
+
+def test_corrupt_lines_are_counted_not_fatal(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    store.append(_record())
+    target = store.file_for("bench_interpreter")
+    with open(target, "a") as handle:
+        handle.write('{"torn": ')          # crashed writer's tail
+        handle.write("\n[1, 2, 3]\n")      # foreign JSON line
+    assert len(store.records()) == 1
+    assert store.corrupt_lines == 2
+
+
+def test_host_filter_partitions_shared_files(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    store.append(_record())
+    store.append(make_record("bench_interpreter",
+                             {"mcf": {"instructions_per_sec": 9.0}},
+                             git_sha="s", host="otherhost", timestamp=2.0))
+    assert len(store.records(host="testhost")) == 1
+    assert len(store.records(host="otherhost")) == 1
+
+
+def test_append_payload_convenience(tmp_path):
+    record_id = append_payload(
+        str(tmp_path / "hist"),
+        {"kind": "bench_interpreter",
+         "rows": {"mcf": {"instructions_per_sec": 5.0}}},
+        source="bench.json", timestamp=1.0, git_sha="s", host="h")
+    assert len(record_id) == 64
+    assert len(HistoryStore(str(tmp_path / "hist")).records()) == 1
+
+
+def test_iter_row_metrics_flattens_numeric_cells():
+    cells = list(iter_row_metrics([_record(value=7.0)]))
+    assert cells == [("bench_interpreter", "mcf", "instructions_per_sec",
+                      cells[0][3], 7.0)]
+
+
+# -- concurrent appends (two real processes) --------------------------------
+
+
+def _append_many(path, worker, count):
+    store = HistoryStore(path)
+    for i in range(count):
+        store.append(make_record(
+            "bench_interpreter",
+            {"mcf": {"instructions_per_sec": float(worker * 1000 + i)}},
+            source=f"worker-{worker}", git_sha=f"sha-{worker}-{i}",
+            host="testhost", timestamp=float(i)))
+
+
+def test_two_processes_append_whole_lines(tmp_path):
+    """O_APPEND single-write appends from two processes interleave whole
+    records: every line parses and nothing is lost."""
+    path = str(tmp_path / "hist" / "shared.jsonl")
+    count = 100
+    procs = [multiprocessing.Process(target=_append_many,
+                                     args=(path, worker, count))
+             for worker in (1, 2)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    with open(path) as handle:
+        lines = handle.readlines()
+    assert len(lines) == 2 * count
+    parsed = [json.loads(line) for line in lines]  # no torn lines
+    store = HistoryStore(path)
+    records = store.records()
+    assert len(records) == 2 * count
+    assert store.corrupt_lines == 0
+    values = {r["rows"]["mcf"]["instructions_per_sec"] for r in parsed}
+    assert values == {float(w * 1000 + i)
+                      for w in (1, 2) for i in range(count)}

@@ -1,5 +1,7 @@
 """Atomic artifact writes: rename-into-place, aborts, orphan sweeping."""
 
+import json
+import multiprocessing
 import os
 
 import pytest
@@ -84,3 +86,53 @@ def test_writers_self_heal_their_directory(tmp_path):
     os.utime(stale, (1, 1))
     atomic_write_text(str(tmp_path / "new.txt"), "hello")
     assert not stale.exists()
+
+
+# -- concurrent writers (real processes, satellite of the status-file /
+# history work: a heartbeat path shared by racing runs must degrade to
+# last-writer-wins, never to interleaved bytes) ------------------------------
+
+
+def _hammer_writes(path, worker, rounds, barrier):
+    barrier.wait()  # maximize overlap
+    for i in range(rounds):
+        # each payload is self-consistent: a torn mix of two writers
+        # would break the writer == len(payload["fill"]) invariant
+        payload = {"writer": worker, "round": i, "fill": "x" * worker * 512}
+        atomic_write_text(path, json.dumps(payload))
+
+
+def test_concurrent_atomic_writers_never_tear(tmp_path):
+    """N processes replacing one path: every observed read is one
+    writer's complete payload (last-writer-wins, no interleaving)."""
+    path = str(tmp_path / "status.json")
+    rounds = 40
+    barrier = multiprocessing.Barrier(3)
+    procs = [multiprocessing.Process(target=_hammer_writes,
+                                     args=(path, worker, rounds, barrier))
+             for worker in (1, 2)]
+    for proc in procs:
+        proc.start()
+    barrier.wait()
+    observed = 0
+    while any(proc.is_alive() for proc in procs) or observed == 0:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.loads(handle.read())  # must always parse
+        except FileNotFoundError:
+            continue
+        assert len(data["fill"]) == data["writer"] * 512
+        observed += 1
+        if observed > 10_000:  # plenty of interleaved reads seen
+            break
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    # settled state is exactly one writer's final payload
+    final = json.loads(open(path, encoding="utf-8").read())
+    assert final["round"] == rounds - 1
+    assert final["writer"] in (1, 2)
+    assert observed > 0
+    # no tmp debris left behind by either racer
+    debris = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+    assert debris == []

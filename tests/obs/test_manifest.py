@@ -79,7 +79,7 @@ def test_untraced_manifest_has_no_causal_summary(runner):
     assert manifest.unmatched_closers == 0
     payload = manifest.as_dict()
     assert payload["causal"] is None
-    assert payload["schema_version"] == 6
+    assert payload["schema_version"] == 7
 
 
 def test_traced_manifest_carries_causal_summary():
@@ -162,7 +162,7 @@ def test_manifest_carries_autoconvert_provenance():
     assert entry["considered"] == 2
     assert entry["rejected"] == {"no-cycle-win": 1}
     payload = manifest.as_dict()
-    assert payload["schema_version"] == 6
+    assert payload["schema_version"] == 7
     assert payload["autoconvert"] == manifest.autoconvert
     json.dumps(payload)  # provenance stays JSON-serializable
 
@@ -178,3 +178,69 @@ def test_runner_clear_drops_autoconvert_notes():
     r.note_autoconvert("mcf", {"considered": 1})
     r.clear()
     assert RunManifest.from_runner(r).autoconvert == []
+
+
+# -- schema v7: history provenance + heartbeat summary -------------------------
+
+
+def test_schema_is_v7():
+    assert RunManifest.SCHEMA_VERSION == 7
+
+
+def test_manifest_carries_history_provenance(runner):
+    runner.note_history("a" * 64, "bench_autoconvert",
+                        "benchmarks/history/bench_autoconvert.jsonl")
+    try:
+        manifest = RunManifest.from_runner(runner, "convert")
+        data = manifest.as_dict()
+        assert data["schema_version"] == 7
+        (row,) = data["history"]
+        assert row["record_id"] == "a" * 64
+        assert row["kind"] == "bench_autoconvert"
+        assert row["path"].endswith(".jsonl")
+    finally:
+        runner.clear()
+        runner.timed(SUITE["perlbmk"], "baseline")
+        runner.timed(SUITE["perlbmk"], "dtt")
+
+
+def test_unwired_run_has_empty_history_and_no_status(runner):
+    manifest = RunManifest.from_runner(runner)
+    assert manifest.history == []
+    assert manifest.status is None
+    data = manifest.as_dict()
+    assert data["history"] == [] and data["status"] is None
+
+
+def test_manifest_carries_status_summary(tmp_path):
+    from repro.obs.status import StatusFile
+
+    status = StatusFile(str(tmp_path / "status.json"), min_interval=0.0)
+    runner = SuiteRunner(status=status)
+    runner.timed(SUITE["perlbmk"], "baseline")
+    runner.timed(SUITE["perlbmk"], "dtt")
+    status.finish("done")
+    manifest = RunManifest.from_runner(runner)
+    assert manifest.status["status"] == "done"
+    # baseline + dtt + the dtt path's baseline correctness run are all
+    # real executions ticked through the status file
+    assert manifest.status["runs_completed"] >= 2
+    assert manifest.status["instructions_retired"] > 0
+    assert manifest.status["status_file"] == status.path
+
+
+def test_runner_accepts_a_status_path_string(tmp_path):
+    target = tmp_path / "status.json"
+    runner = SuiteRunner(status=str(target))
+    assert runner.status is not None and runner.status.enabled
+    assert target.exists()
+    runner.timed(SUITE["perlbmk"], "baseline")
+    assert runner.status_summary()["status"] == "running"
+
+
+def test_runner_clear_drops_history_notes():
+    runner = SuiteRunner()
+    runner.note_history("b" * 64, "results", "hist/results.jsonl")
+    assert runner.history_provenance()
+    runner.clear()
+    assert runner.history_provenance() == []

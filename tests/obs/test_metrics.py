@@ -234,3 +234,73 @@ def test_single_bucket_histogram_merges(registry):
     registry.merge_values(other.as_dict())
     assert h.counts == [1, 1]
     assert h.count == 2
+
+
+# -- labeled instruments ------------------------------------------------------
+
+
+def test_labeled_counters_are_distinct_instruments(registry):
+    head = registry.counter("trace.dropped_events", "drops",
+                            labels={"keep": "head"})
+    tail = registry.counter("trace.dropped_events", "drops",
+                            labels={"keep": "tail"})
+    assert head is not tail
+    head.inc(5)
+    tail.inc(7)
+    # re-resolving the same label set returns the same instrument
+    assert registry.counter("trace.dropped_events",
+                            labels={"keep": "head"}) is head
+    assert head.value == 5 and tail.value == 7
+
+
+def test_label_key_is_order_insensitive(registry):
+    a = registry.counter("c.x", labels={"a": "1", "b": "2"})
+    b = registry.counter("c.x", labels={"b": "2", "a": "1"})
+    assert a is b
+
+
+def test_bad_label_name_rejected(registry):
+    with pytest.raises(MetricsError):
+        registry.counter("c.x", labels={"bad-name": "v"})
+
+
+def test_snapshot_carries_labels(registry):
+    registry.counter("trace.dropped_events",
+                     labels={"keep": "tail"}).inc(4)
+    (key,) = [k for k in registry.as_dict() if k.startswith("trace.")]
+    assert key == 'trace.dropped_events{keep="tail"}'
+    assert registry.as_dict()[key]["labels"] == {"keep": "tail"}
+
+
+def test_merge_preserves_label_identity(registry):
+    registry.counter("trace.dropped_events", "drops",
+                     labels={"keep": "head"}).inc(1)
+    worker = MetricsRegistry()
+    worker.counter("trace.dropped_events", "drops",
+                   labels={"keep": "head"}).inc(10)
+    worker.counter("trace.dropped_events", "drops",
+                   labels={"keep": "tail"}).inc(3)
+    registry.merge_values(worker.as_dict())
+    assert registry.counter("trace.dropped_events",
+                            labels={"keep": "head"}).value == 11
+    assert registry.counter("trace.dropped_events",
+                            labels={"keep": "tail"}).value == 3
+
+
+def test_prometheus_renders_label_suffixes_once_per_family(registry):
+    registry.counter("trace.dropped_events", "drops",
+                     labels={"keep": "head"}).inc(2)
+    registry.counter("trace.dropped_events", "drops",
+                     labels={"keep": "tail"}).inc(9)
+    text = registry.to_prometheus_text()
+    assert 'trace_dropped_events{keep="head"} 2' in text
+    assert 'trace_dropped_events{keep="tail"} 9' in text
+    # one TYPE/HELP line for the family, not one per label set
+    assert text.count("# TYPE trace_dropped_events counter") == 1
+    assert text.count("# HELP trace_dropped_events drops") == 1
+
+
+def test_prometheus_escapes_label_values(registry):
+    registry.counter("c.esc", labels={"k": 'a"b\\c'}).inc(1)
+    text = registry.to_prometheus_text()
+    assert 'c_esc{k="a\\"b\\\\c"} 1' in text

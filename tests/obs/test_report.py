@@ -172,3 +172,66 @@ def test_html_renders_top_sites_from_profile_entries():
 def test_html_with_nothing_still_valid():
     text = _parse(html_report(None, None))
     assert "Nothing to report" in text
+
+
+# -- the trend dashboard -------------------------------------------------------
+
+
+def _trend_report(values, metric="instructions_per_sec"):
+    from repro.obs.history import make_record
+    from repro.obs.trends import analyze_history
+
+    records = [make_record("bench_interpreter", {"mcf": {metric: v}},
+                           git_sha=f"sha{i}", host="h",
+                           timestamp=1000.0 + i)
+               for i, v in enumerate(values)]
+    return analyze_history(records)
+
+
+def test_dashboard_html_is_strict_and_selfcontained():
+    from repro.obs.report import trend_dashboard_html
+
+    report = _trend_report([100.0, 100.2, 99.9, 100.1, 90.0])
+    html_text = trend_dashboard_html(report)
+    text = _parse(html_text)
+    assert "GATE FAILS" in text
+    assert "instructions_per_sec" in text
+    assert "regression" in text
+    assert "Verdict catalog" in text
+    assert "<script" not in html_text
+    assert 'href="http' not in html_text
+
+
+def test_dashboard_green_series_passes():
+    from repro.obs.report import trend_dashboard_html
+
+    report = _trend_report([100.0, 100.2, 99.9, 100.1])
+    html_text = trend_dashboard_html(report, title="custom <title>")
+    text = _parse(html_text)
+    assert "gate passes" in text
+    assert "No flagged series" in text
+    assert "custom <title>" in text  # escaped, not injected
+
+
+def test_dashboard_flagged_row_links_its_flame():
+    from repro.obs.flame import attribute_cycles
+    from repro.obs.causality import CausalGraph
+    from repro.obs.report import trend_dashboard_html
+    from repro.core.trace import EngineTrace
+    from repro.core import trace as T
+
+    trace = EngineTrace(_FakeEngine())
+    trace.record(T.FIRED, "thr", address=10, activation_id=1, pc=5,
+                 cycle=0)
+    trace.record(T.ENQUEUED, "thr", address=10, activation_id=1, cycle=0)
+    trace.record(T.DISPATCHED, "thr", activation_id=1, cycle=3)
+    trace.record(T.COMPLETED, "thr", activation_id=1, cycle=53)
+    flames = {"mcf": attribute_cycles(
+        "mcf", CausalGraph.from_trace(trace), total_cycles=200)}
+    report = _trend_report([100.0, 100.2, 99.9, 100.1, 90.0])
+    html_text = trend_dashboard_html(report, flames)
+    _parse(html_text)
+    assert "href='#flame-mcf'" in html_text     # verdict row deep-link
+    assert "id='flame-mcf'" in html_text        # flame section anchor
+    assert 'id="flame-mcf-pc0x5"' in html_text  # per-site SVG anchor
+    assert "folded stacks" in html_text

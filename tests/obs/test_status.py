@@ -1,0 +1,131 @@
+"""Live telemetry: heartbeat lifecycle, ETA math, failure isolation."""
+
+import json
+
+from repro.obs.status import ETA_ALPHA, StatusFile, read_status
+
+
+def _status(tmp_path, **kwargs):
+    kwargs.setdefault("min_interval", 0.0)  # every tick flushes in tests
+    return StatusFile(str(tmp_path / "status.json"), **kwargs)
+
+
+def test_construction_writes_an_initial_heartbeat(tmp_path):
+    status = _status(tmp_path)
+    data = read_status(status.path)
+    assert data["status"] == "running"
+    assert data["runs_completed"] == 0
+    assert data["phase"] is None
+    assert data["pid"] > 0
+
+
+def test_disabled_status_never_touches_disk(tmp_path):
+    status = StatusFile(None)
+    assert not status.enabled
+    status.set_total(5)
+    status.complete_run("mcf:dtt:smt2", 0.5)
+    status.finish()
+    assert list(tmp_path.iterdir()) == []
+    assert StatusFile("").enabled is False
+
+
+def test_run_ticks_accumulate_and_track_peaks(tmp_path):
+    status = _status(tmp_path)
+    status.set_total(3)
+    status.begin_phase("plan")
+    status.complete_run("mcf:baseline:smt2", 1.0, instructions=1000,
+                        queue_depth=2)
+    status.complete_run("mcf:dtt:smt2", 1.0, instructions=2000,
+                        queue_depth=5)
+    status.complete_run("equake:dtt:smt2", 1.0, queue_depth=1)
+    data = read_status(status.path)
+    assert data["runs_completed"] == 3
+    assert data["instructions_retired"] == 3000
+    assert data["queue_depth"] == 1
+    assert data["peak_queue_depth"] == 5
+    assert data["phase"] == "equake:dtt:smt2"
+
+
+def test_eta_is_remaining_times_ewma(tmp_path):
+    status = _status(tmp_path)
+    status.set_total(4)
+    status.complete_run("a", 2.0)
+    assert status.snapshot()["eta_seconds"] == 3 * 2.0
+    status.complete_run("b", 4.0)
+    expected = ETA_ALPHA * 4.0 + (1 - ETA_ALPHA) * 2.0
+    assert status.snapshot()["eta_seconds"] == round(2 * expected, 3)
+
+
+def test_cached_runs_advance_completion_but_not_the_ewma(tmp_path):
+    status = _status(tmp_path)
+    status.set_total(10)
+    status.complete_run("a", 2.0)
+    status.note_cached(8)
+    data = read_status(status.path)
+    assert data["runs_completed"] == 9
+    assert data["ewma_run_seconds"] == 2.0
+    assert data["eta_seconds"] == 2.0  # one run left at 2 s each
+
+
+def test_finish_is_terminal_and_always_flushed(tmp_path):
+    status = StatusFile(str(tmp_path / "status.json"), min_interval=3600.0)
+    status.complete_run("a", 1.0)  # throttled away
+    status.finish("done")
+    data = read_status(status.path)
+    assert data["status"] == "done"
+    assert data["eta_seconds"] == 0.0
+    assert data["runs_completed"] == 1
+    failed = _status(tmp_path)
+    failed.finish("failed")
+    assert read_status(failed.path)["status"] == "failed"
+    assert read_status(failed.path)["eta_seconds"] is None
+
+
+def test_throttle_coalesces_ticks(tmp_path):
+    status = StatusFile(str(tmp_path / "status.json"), min_interval=3600.0)
+    for i in range(5):
+        status.complete_run("a", 0.1)
+    # the initial forced write is still on disk, ticks coalesced
+    assert read_status(status.path)["runs_completed"] == 0
+    assert status.state["runs_completed"] == 5
+
+
+def test_heartbeat_file_is_always_complete_json(tmp_path):
+    status = _status(tmp_path)
+    for i in range(20):
+        status.complete_run("a", 0.01, instructions=100)
+        data = json.loads(open(status.path).read())  # never torn
+        assert data["runs_completed"] == i + 1
+
+
+def test_unwritable_path_disables_telemetry_not_the_run(tmp_path):
+    target = tmp_path / "gone" / "status.json"
+    status = StatusFile(str(target))
+    # the directory vanishes mid-run: writes silently stop
+    assert status.path is None or not target.exists()
+    status.complete_run("a", 1.0)
+    status.finish()  # must not raise
+
+
+def test_summary_condenses_for_the_manifest(tmp_path):
+    status = _status(tmp_path)
+    status.set_total(2)
+    status.complete_run("a", 1.0, instructions=5000, queue_depth=3)
+    status.finish("done")
+    summary = status.summary()
+    assert summary["status"] == "done"
+    assert summary["runs_completed"] == 1
+    assert summary["runs_total"] == 2
+    assert summary["instructions_retired"] == 5000
+    assert summary["peak_queue_depth"] == 3
+    assert summary["status_file"] == status.path
+    assert summary["throughput_instructions_per_sec"] == 5000.0
+
+
+def test_read_status_tolerates_absence_and_garbage(tmp_path):
+    assert read_status(str(tmp_path / "missing.json")) is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{torn")
+    assert read_status(str(bad)) is None
+    bad.write_text("[1, 2]")
+    assert read_status(str(bad)) is None

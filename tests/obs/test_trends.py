@@ -1,0 +1,190 @@
+"""Trend analysis: verdicts, direction awareness, changepoints, gating."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.obs.history import HistoryStore, make_record
+from repro.obs.trends import (DEFAULT_MIN_RUNS, GATING_VERDICTS, VERDICTS,
+                              TrendReport, analyze_history, analyze_series,
+                              ewma)
+
+
+def _series(values, metric="instructions_per_sec", **kwargs):
+    n = len(values)
+    return analyze_series("bench_interpreter", "mcf", metric, values,
+                          timestamps=[float(i) for i in range(n)],
+                          git_shas=[f"sha{i}" for i in range(n)], **kwargs)
+
+
+STABLE = [100.0, 100.4, 99.8, 100.2, 99.9]
+
+
+# -- single-series verdicts -------------------------------------------------
+
+
+def test_flat_series_is_ok():
+    verdict = _series(STABLE)
+    assert verdict.verdict == "ok"
+    assert not verdict.gates
+
+
+def test_ten_percent_throughput_drop_regresses():
+    verdict = _series(STABLE + [90.0])
+    assert verdict.verdict == "regression"
+    assert verdict.gates
+    assert verdict.relative == pytest.approx(-0.10, abs=0.01)
+
+
+def test_down_bad_metric_never_regresses_upward():
+    verdict = _series(STABLE + [120.0])
+    assert verdict.verdict == "improvement"
+    assert not verdict.gates
+
+
+def test_up_bad_metric_regresses_upward():
+    verdict = _series([1000.0, 1001.0, 999.0, 1200.0], metric="cycles")
+    assert verdict.verdict == "regression"
+    down = _series([1000.0, 1001.0, 999.0, 800.0], metric="cycles")
+    assert down.verdict == "improvement"
+
+
+def test_info_metric_is_never_judged():
+    verdict = _series(STABLE + [250.0], metric="legacy_seconds")
+    assert verdict.verdict == "info"
+    assert not verdict.gates
+
+
+def test_short_series_has_insufficient_data():
+    verdict = _series([100.0, 90.0])
+    assert verdict.verdict == "insufficient-data"
+    assert not verdict.gates
+    assert DEFAULT_MIN_RUNS == 3
+
+
+def test_noisy_series_does_not_flag_inside_its_own_spread():
+    noisy = [100.0, 130.0, 80.0, 120.0, 90.0, 110.0, 95.0]
+    assert _series(noisy).verdict == "ok"
+
+
+def test_ci_width_sibling_widens_the_band():
+    tight = _series(STABLE + [93.0], metric="sampled_abs_error")
+    # up_bad metric rising 7%: flags with no CI, absorbed with a wide CI
+    rising = [0.010, 0.0101, 0.0099, 0.010, 0.0150]
+    assert _series(rising, metric="sampled_abs_error").verdict == "regression"
+    wide = _series(rising, metric="sampled_abs_error", ci_width=0.01)
+    assert wide.verdict == "ok"
+    assert "CI width" in wide.note
+    del tight
+
+
+def test_changepoint_catches_a_settled_level_shift():
+    # the shift happened 3 runs ago and the series settled there: the
+    # last-vs-EWMA test alone converges onto the new level, but the
+    # split statistic still names the shift
+    values = [100.0, 100.2, 99.9, 100.1, 90.0, 90.2, 89.9, 90.1]
+    verdict = _series(values)
+    assert verdict.verdict in ("changepoint", "regression")
+    assert verdict.gates
+    if verdict.verdict == "changepoint":
+        assert verdict.changepoint_index == 4
+        assert "level shift" in verdict.note
+
+
+def test_empty_series_is_an_error():
+    with pytest.raises(HistoryError):
+        _series([])
+
+
+def test_ewma_weights_the_newest():
+    assert ewma([10.0]) == 10.0
+    assert ewma([0.0, 10.0], alpha=0.5) == 5.0
+    assert ewma([0.0, 0.0, 10.0], alpha=0.3) == pytest.approx(3.0)
+
+
+def test_verdict_catalog_covers_every_emitted_verdict():
+    assert set(GATING_VERDICTS) <= set(VERDICTS)
+    for emitted in ("ok", "regression", "improvement", "changepoint",
+                    "insufficient-data", "info"):
+        assert emitted in VERDICTS
+
+
+# -- whole-store analysis ---------------------------------------------------
+
+
+def _seed_store(tmp_path, values, metric="instructions_per_sec",
+                kind="bench_interpreter"):
+    store = HistoryStore(str(tmp_path / "hist"))
+    for i, value in enumerate(values):
+        store.append(make_record(kind, {"mcf": {metric: value}},
+                                 git_sha=f"sha{i}", host="testhost",
+                                 timestamp=1000.0 + i))
+    return store
+
+
+def test_analyze_history_flags_the_injected_regression(tmp_path):
+    store = _seed_store(tmp_path, STABLE + [90.0])
+    report = analyze_history(store)
+    assert isinstance(report, TrendReport)
+    assert report.has_regressions
+    (flagged,) = report.flagged
+    assert flagged.metric == "instructions_per_sec"
+    assert flagged.verdict == "regression"
+    assert "REGRESSION" in report.render()
+
+
+def test_analyze_history_green_on_a_stable_series(tmp_path):
+    report = analyze_history(_seed_store(tmp_path, STABLE))
+    assert not report.has_regressions
+    assert report.by_verdict("ok")
+
+
+def test_analyze_history_windows_per_kind(tmp_path):
+    store = _seed_store(tmp_path, [100.0] * 6)
+    # a chatty second kind must not age the first out of the window
+    for i in range(30):
+        store.append(make_record("bench_trace_overhead",
+                                 {"mcf": {"bytes_per_event": 4.0}},
+                                 git_sha=f"t{i}", host="testhost",
+                                 timestamp=2000.0 + i))
+    report = analyze_history(store, window=5)
+    kinds = {v.kind for v in report.verdicts}
+    assert kinds == {"bench_interpreter", "bench_trace_overhead"}
+    (per_sec,) = [v for v in report.verdicts
+                  if v.metric == "instructions_per_sec"]
+    assert len(per_sec.values) == 5  # windowed, not dropped
+
+
+def test_analyze_history_kind_filter_and_empty_error(tmp_path):
+    store = _seed_store(tmp_path, STABLE)
+    report = analyze_history(store, kind="bench_interpreter")
+    assert report.verdicts
+    with pytest.raises(HistoryError):
+        analyze_history(store, kind="no_such_kind")
+    with pytest.raises(HistoryError):
+        analyze_history(HistoryStore(str(tmp_path / "empty")))
+
+
+def test_ci_width_cells_are_consumed_not_judged(tmp_path):
+    store = HistoryStore(str(tmp_path / "hist"))
+    for i, err in enumerate([0.010, 0.0101, 0.0099, 0.010, 0.0150]):
+        store.append(make_record(
+            "bench_trace_overhead",
+            {"mcf": {"sampled_abs_error": err,
+                     "sampled_abs_error_ci_width": 0.01}},
+            git_sha=f"s{i}", host="h", timestamp=1000.0 + i))
+    report = analyze_history(store)
+    metrics = {v.metric for v in report.verdicts}
+    assert metrics == {"sampled_abs_error"}  # no _ci_width series
+    (verdict,) = report.verdicts
+    assert verdict.verdict == "ok"           # widened by its own CI
+
+
+def test_report_as_dict_and_accepts_record_lists(tmp_path):
+    store = _seed_store(tmp_path, STABLE + [90.0])
+    report = analyze_history(store.records())
+    data = report.as_dict()
+    assert data["flagged"] == 1
+    assert data["verdict_counts"]["regression"] == 1
+    (series,) = data["series"]
+    assert series["gates"] is True
+    assert len(series["git_shas"]) == 6

@@ -54,3 +54,15 @@ def test_architecture_documents_every_rejection_reason():
     assert not missing, (
         f"rejection reasons missing from docs/architecture.md: {missing}"
     )
+
+
+def test_architecture_documents_every_trend_verdict():
+    """The Performance observatory section must catalog every verdict
+    the trend analyzer can emit, so a new verdict cannot ship silently."""
+    from repro.obs.trends import VERDICTS
+
+    text = (DOCS / "architecture.md").read_text()
+    missing = [code for code in VERDICTS if f"`{code}`" not in text]
+    assert not missing, (
+        f"trend verdicts missing from docs/architecture.md: {missing}"
+    )
