@@ -1,4 +1,4 @@
-"""Interpreter fast path — instructions/sec, legacy stepping vs batch run.
+"""Interpreter tiers — instructions/sec, legacy stepping vs closure vs superblock.
 
 Regenerates the BENCH_interpreter rows (the same measurement behind
 ``dtt-harness bench``) and times the regeneration; the rendered table is
@@ -6,11 +6,12 @@ printed into the benchmark output (captured with -s or in CI logs).
 
 The speedup assertions are deliberately looser than the committed
 baseline in ``benchmarks/BENCH_interpreter.json`` — the regression *gate*
-is ``dtt-harness compare`` against that file; these bounds only catch the
-fast path being turned off entirely (speedup collapsing toward 1x).
+is ``dtt-harness compare`` against that file; these bounds only catch a
+tier being turned off entirely (speedup collapsing toward 1x).
 """
 
-from repro.harness.bench import BENCH_WORKLOADS, render_bench, run_bench
+from repro.harness.bench import (BENCH_SCHEMA, BENCH_TIERS, BENCH_WORKLOADS,
+                                 render_bench, run_bench)
 
 
 def test_interpreter_fast_path(benchmark):
@@ -19,13 +20,19 @@ def test_interpreter_fast_path(benchmark):
     )
     print()
     print(render_bench(result))
+    assert result["schema"] == BENCH_SCHEMA
     rows = result["rows"]
-    assert set(rows) == set(BENCH_WORKLOADS)
+    assert set(rows) == {f"{name}:{tier}" for name in BENCH_WORKLOADS
+                         for tier in BENCH_TIERS}
     for name, row in rows.items():
         assert row["instructions"] > 0, name
         assert row["speedup"] >= 2.0, (
-            f"{name}: fast path only {row['speedup']:.2f}x over legacy "
-            "stepping (expected well above 2x; is run() falling back?)"
+            f"{name}: only {row['speedup']:.2f}x over legacy stepping "
+            "(expected well above 2x; is run() falling back?)"
         )
-    # the paper-headline pointer-chasing workload is the acceptance bar
-    assert rows["mcf"]["speedup"] >= 3.0
+    # the paper-headline pointer-chasing workload is the acceptance bar:
+    # the superblock tier must clearly beat the closure tier on mcf (the
+    # committed baseline records >= 3x; 2x here tolerates machine noise)
+    assert rows["mcf:superblock"]["speedup"] >= 3.0
+    assert rows["mcf:superblock"]["speedup_vs_closure"] >= 2.0
+    assert rows["mcf:superblock"]["build_seconds"] >= 0.0

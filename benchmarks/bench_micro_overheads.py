@@ -1,7 +1,8 @@
 """M1 — mechanism-overhead microbenchmarks (appendix-style).
 
 Measures the per-event cost of the DTT machinery in isolation: silent
-triggering stores, clean consume points, and the full trigger round trip.
+triggering stores, clean consume points, the full trigger round trip,
+and the superblock tier's compile cost + code-cache hit rate.
 Also guards the observability layer itself: a metered engine run (metrics
 registry attached) must stay within 2x the wall-clock of a bare run, so
 instrumentation can never quietly become the hot path.

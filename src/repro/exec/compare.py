@@ -53,9 +53,9 @@ def metric_direction(name: str) -> str:
     base = name.rsplit(".", 1)[-1]
     if base.endswith(("_ci_width", "_ci_low", "_ci_high")):
         return _INFO  # interval bounds annotate their estimate, never gate
-    if base in ("speedup", "checks_passed", "instructions_per_sec",
-                "compression_ratio", "accepted", "elimination",
-                "hand_elimination"):
+    if base in ("speedup", "speedup_vs_closure", "checks_passed",
+                "instructions_per_sec", "compression_ratio", "accepted",
+                "elimination", "hand_elimination"):
         return _DOWN_BAD
     if base in ("cycles", "energy", "analysis_errors", "bytes_per_event",
                 "sampled_abs_error", "rejected"):

@@ -10,7 +10,10 @@ differ only in the mechanism under test:
 * **clean consume point** — what a ``tcheck`` costs when nothing fired;
 * **trigger-to-result** — cycles from a firing trigger to the consume
   point unblocking, for a minimal support thread (spawn latency + queue +
-  dispatch + body + barrier), against the same computation inlined.
+  dispatch + body + barrier), against the same computation inlined;
+* **superblock code cache** — first-run compile cost per program and the
+  steady-state hit rate across machine re-runs of cached programs, so a
+  cache regression (recompiling per run) shows up in history trends.
 
 Used by ``benchmarks/bench_micro_overheads.py`` and the overhead tests.
 """
@@ -185,16 +188,52 @@ def instrumentation_overhead(repeats: int = 3) -> Tuple[float, float, float]:
     return bare, metered, metered / bare if bare else 1.0
 
 
+def superblock_cache_overhead(runs_per_program: int = 4) -> Dict[str, float]:
+    """Compile cost and steady-state hit rate of the superblock cache.
+
+    Runs each interpreter-bench workload ``runs_per_program`` times under
+    the superblock tier on fresh machines sharing one program object (the
+    long-lived-harness shape), after resetting the cache counters.
+    Returns the :func:`~repro.machine.superblock.cache_stats` snapshot
+    plus ``programs`` and ``build_seconds_per_program`` — the first run
+    of each program is the only compile, so ``hit_rate`` must converge
+    to ``(runs - 1) / runs``.
+    """
+    from repro.harness.bench import BENCH_WORKLOADS
+    from repro.machine import superblock
+    from repro.machine.machine import Machine, run_to_completion
+    from repro.workloads.suite import SUITE
+
+    superblock.reset_cache_stats()
+    programs = 0
+    for name in BENCH_WORKLOADS:
+        workload = SUITE[name]
+        program = workload.build_baseline(workload.make_input(None, None))
+        programs += 1
+        for _run in range(max(runs_per_program, 1)):
+            run_to_completion(Machine(program), tier="superblock")
+    stats = dict(superblock.cache_stats())
+    stats["programs"] = programs
+    stats["build_seconds_per_program"] = (
+        stats["build_seconds"] / programs if programs else 0.0)
+    return stats
+
+
 def run_micro_overheads() -> ExperimentResult:
     """The mechanism-overhead table (appendix-style; not a paper figure)."""
     silent = silent_tstore_overhead()
     clean = clean_tcheck_overhead()
     roundtrip = trigger_roundtrip_overhead()
+    cache = superblock_cache_overhead()
     rows = [
         ["silent triggering store (vs plain store)", f"{silent:.2f} cycles"],
         ["clean consume point (vs nop)", f"{clean:.2f} cycles"],
         ["fire->dispatch->execute->barrier round trip, 8-op body "
          "(vs inline)", f"{roundtrip:.2f} cycles"],
+        ["superblock compile (per program, first run)",
+         f"{cache['build_seconds_per_program'] * 1000:.1f} ms"],
+        ["superblock code-cache hit rate (4 runs/program)",
+         f"{cache['hit_rate']:.2f}"],
     ]
     result = ExperimentResult(
         "M1",
@@ -213,5 +252,17 @@ def run_micro_overheads() -> ExperimentResult:
         "thread round trip costs tens of cycles, not hundreds",
         -5.0 < roundtrip < 100.0,
         f"{roundtrip:.2f} cycles/round-trip",
+    )
+    result.add_check(
+        "superblock compile stays far under one benchmark repetition",
+        0.0 < cache["build_seconds_per_program"] < 0.5,
+        f"{cache['build_seconds_per_program'] * 1000:.1f} ms/program",
+    )
+    result.add_check(
+        "code cache hits every re-run of a cached program",
+        cache["cache_misses"] == cache["programs"]
+        and cache["hit_rate"] >= 0.7,
+        f"hit rate {cache['hit_rate']:.2f} "
+        f"({cache['cache_hits']:g} hits / {cache['cache_misses']:g} misses)",
     )
     return result

@@ -14,20 +14,28 @@ triggering-store and tcheck extensions do.
 which is everything the timing model and profilers need without
 re-decoding.
 
-Execution is two-tier:
+Execution is three-tier:
 
-* :meth:`Machine.step` — exact single-step mode.  The program is
-  pre-decoded once into a dense ``(handler, instruction)`` table, so a
-  step is a list index plus one call; there are no per-step dict lookups
-  or isinstance re-checks.  The debugger, the timing model, and machine
-  observers (profilers) all drive this tier.
-* :meth:`Machine.run` — batch mode for functional runs.  The program is
+* :meth:`Machine.step` — exact single-step mode (the ``legacy`` tier).
+  The program is pre-decoded once into a dense ``(handler, instruction)``
+  table, so a step is a list index plus one call; there are no per-step
+  dict lookups or isinstance re-checks.  The debugger, the timing model,
+  and machine observers (profilers) all drive this tier.
+* the ``closure`` tier — batch mode for functional runs.  The program is
   compiled once per machine into per-PC closures ("thunks",
   :mod:`repro.machine.fastpath`) with operands, memory, and the output
   buffer bound in; an inner loop then dispatches thousands of
-  instructions per iteration of the accounting code.  Results are
-  identical to tier one; when machine observers are attached, ``run``
-  transparently falls back to single-stepping.
+  instructions per iteration of the accounting code.
+* the ``superblock`` tier (the default for :meth:`Machine.run`) —
+  straight-line runs are exec-compiled into single Python functions
+  (:mod:`repro.machine.superblock`) that keep registers in locals and
+  batch memory counters per block, side-exiting to the closure tier
+  whenever a guard fails.
+
+All tiers produce identical results — architectural state, counters,
+faults, and limits are byte-for-byte the same; pick with
+``Machine.run(tier=...)``.  When machine observers are attached, ``run``
+transparently falls back to single-stepping.
 """
 
 from __future__ import annotations
@@ -53,6 +61,9 @@ StepResult = Tuple[Instruction, Optional[int], Optional[bool]]
 #: dynamic-instruction limit, the step budget) is reconciled once per chunk
 _CHUNK = 16384
 
+#: the selectable execution tiers of :meth:`Machine.run`
+TIERS = ("legacy", "closure", "superblock")
+
 
 def _trunc_div(b: int, c: int) -> int:
     """C-style integer division (truncate toward zero)."""
@@ -64,6 +75,10 @@ def _trunc_div(b: int, c: int) -> int:
 
 class Machine:
     """A multi-context DTIR machine over one program and one memory."""
+
+    #: execution tier :meth:`run` uses when none is passed; settable per
+    #: instance (or globally, e.g. by ``dtt-harness --tier``)
+    default_tier = "superblock"
 
     def __init__(
         self,
@@ -102,6 +117,9 @@ class Machine:
         ]
         # per-PC closures for the batch loop; compiled lazily by run()
         self._thunks = None
+        # superblock tier state: (block table, report cell, budget cell),
+        # installed lazily by the first superblock-tier run()
+        self._superblocks = None
         load_program(program, self.memory)
         self.main_context.start_main(program.entry_pc)
 
@@ -115,9 +133,11 @@ class Machine:
         """Install a DTT engine; the engine is told about the machine."""
         self.dtt_engine = engine
         engine.bind(self)
-        # thunks bind machine surroundings at compile time; recompile after
-        # any rewiring so the batch loop can never run against stale state
+        # thunks and superblocks bind machine surroundings at compile
+        # time; recompile after any rewiring so the batch loop can never
+        # run against stale state
         self._thunks = None
+        self._superblocks = None
 
     def add_observer(self, observer) -> None:
         """Attach a :class:`~repro.machine.events.MachineObserver`."""
@@ -164,7 +184,8 @@ class Machine:
         return (instruction, address, taken)
 
     def run(self, ctx: Optional[Context] = None,
-            max_steps: Optional[int] = None) -> int:
+            max_steps: Optional[int] = None,
+            tier: Optional[str] = None) -> int:
         """Batch-execute ``ctx`` (default: the main context).
 
         Runs until the context leaves RUNNING (halt, block, treturn), the
@@ -173,10 +194,12 @@ class Machine:
         synchronous engine may retire further instructions on support
         contexts; those are counted in the machine totals as usual).
 
-        Architectural results, counters, faults, and the dynamic
-        instruction limit behave exactly as an equivalent ``step()`` loop;
-        when machine observers are attached (profilers, tracers needing
-        per-instruction callbacks) this transparently single-steps.
+        ``tier`` picks the execution tier (one of :data:`TIERS`; default
+        :attr:`default_tier`).  Architectural results, counters, faults,
+        and the dynamic instruction limit behave exactly as an equivalent
+        ``step()`` loop on every tier; when machine observers are
+        attached (profilers, tracers needing per-instruction callbacks)
+        this transparently single-steps.
         """
         if ctx is None:
             ctx = self.main_context
@@ -184,8 +207,20 @@ class Machine:
             raise ContextError(
                 f"context {ctx.context_id} is {ctx.state.value}, cannot step"
             )
-        if self._observers:
+        if tier is None:
+            tier = self.default_tier
+        if tier not in TIERS:
+            raise ValueError(
+                f"unknown execution tier {tier!r} (choose from {TIERS})"
+            )
+        if self._observers or tier == "legacy":
             return self._run_slow(ctx, max_steps)
+        if tier == "superblock":
+            return self._run_superblock(ctx, max_steps)
+        return self._run_closure(ctx, max_steps)
+
+    def _run_closure(self, ctx: Context, max_steps: Optional[int]) -> int:
+        """The closure-thunk batch driver behind :meth:`run`."""
         table = self._thunks
         if table is None:
             table = self._build_thunks()
@@ -252,6 +287,109 @@ class Machine:
             ctx.pc = pc
         return total
 
+    def _run_superblock(self, ctx: Context,
+                        max_steps: Optional[int]) -> int:
+        """The superblock batch driver behind :meth:`run`.
+
+        Dispatches compiled block functions at block entries and falls
+        back to the closure thunks everywhere else (block interiors after
+        a side exit, boundary opcodes, uncompiled PCs).  Accounting is
+        identical to :meth:`_run_closure`: compiled blocks report their
+        retired count through the shared cell, never exceed the chunk
+        budget passed in, and reconcile memory counters themselves on
+        every exit path.
+        """
+        table = self._thunks
+        if table is None:
+            table = self._build_thunks()
+        superblocks = self._superblocks
+        if superblocks is None:
+            superblocks = self._build_superblocks()
+        sb_table, cell, budget_cell = superblocks
+        size = len(table)
+        running_main = ctx.role is ContextRole.MAIN
+        budget = -1 if max_steps is None else max_steps
+        total = 0
+        pc = ctx.pc
+        while True:
+            if budget >= 0 and total >= budget:
+                break
+            headroom = self.max_instructions - self.instructions_executed
+            if headroom <= _CHUNK:
+                # near the dynamic-instruction limit: single-step the rest
+                # so ExecutionLimitExceeded fires on exactly the same
+                # instruction as the legacy loop
+                ctx.pc = pc
+                remaining = None if budget < 0 else budget - total
+                return total + self._run_slow(ctx, remaining)
+            chunk = _CHUNK
+            if budget >= 0 and budget - total < chunk:
+                chunk = budget - total
+            n = 0
+            try:
+                while n < chunk:
+                    fn = sb_table[pc]  # IndexError: ran off the end
+                    if fn is not None:
+                        budget_cell[0] = chunk - n
+                        ret = fn(ctx)
+                        n += cell[0]
+                        if ret >= 0:
+                            pc = ret
+                            continue
+                        # side exit: rerun the guard-failing pc (which
+                        # may be the block entry itself) on its thunk
+                        pc = -2 - ret
+                    n += 1
+                    pc = table[pc](ctx)
+                    if pc < 0:
+                        break
+            except BaseException as exc:
+                off_end = False
+                if cell[1]:
+                    # fault inside a compiled block: it already wrote
+                    # registers back, reconciled the memory counters,
+                    # counted the faulting instruction, and set ctx.pc
+                    cell[1] = 0
+                    n += cell[0]
+                elif exc.__class__ is IndexError and pc >= size:
+                    n += 1  # the off-end attempt is counted, as in step()
+                    off_end = True
+                    ctx.pc = pc
+                elif not getattr(table[pc], "_legacy", False):
+                    # thunk fault: specialized thunks never touch ctx.pc;
+                    # resync it to the faulting instruction (its attempt
+                    # was already counted before dispatch)
+                    ctx.pc = pc
+                self.instructions_executed += n
+                ctx.instruction_count += n
+                if running_main:
+                    self.main_instructions += n
+                else:
+                    self.support_instructions += n
+                if off_end:
+                    raise ExecutionFault(
+                        f"context {ctx.context_id} ran off the end of the "
+                        f"program (pc={pc})"
+                    ) from None
+                raise
+            self.instructions_executed += n
+            ctx.instruction_count += n
+            if running_main:
+                self.main_instructions += n
+            else:
+                self.support_instructions += n
+            total += n
+            if pc >= 0:
+                continue  # chunk budget spent; reconcile and keep going
+            if pc == -1:
+                break  # context left RUNNING; its handler set ctx.pc
+            # a legacy-handler thunk ran (engine hook, possible nested
+            # execution): decode the continuation PC and re-budget
+            pc = -2 - pc
+        if pc >= 0:
+            ctx.pc = pc
+        return total
+
     def _run_slow(self, ctx: Context, max_steps: Optional[int]) -> int:
         """Single-step driver behind :meth:`run` (observer/limit modes)."""
         executed = 0
@@ -269,6 +407,13 @@ class Machine:
         table = build_thunks(self)
         self._thunks = table
         return table
+
+    def _build_superblocks(self):
+        from repro.machine.superblock import install
+
+        superblocks = install(self)
+        self._superblocks = superblocks
+        return superblocks
 
     # -- observer notification (called from handlers) ------------------------------
 
@@ -633,18 +778,20 @@ for _op, _fn in _BRANCH_RL_FNS.items():
 del _op, _fn
 
 
-def run_to_completion(machine: Machine) -> List[Number]:
+def run_to_completion(machine: Machine,
+                      tier: Optional[str] = None) -> List[Number]:
     """Run the main context until it halts; returns the output buffer.
 
     This is the *functional* driver: support threads are executed
     synchronously by the engine (at trigger or tcheck time per its policy),
     so the main context is never left blocked.  Use
     :class:`repro.timing.system.TimingSimulator` for timed runs.
+    ``tier`` picks the :meth:`Machine.run` execution tier.
     """
     main = machine.main_context
     while main.state is not ContextState.HALTED:
         if main.state is ContextState.RUNNING:
-            machine.run(main)
+            machine.run(main, tier=tier)
         elif main.state is ContextState.BLOCKED:
             raise ContextError(
                 "main context blocked during a functional run; the DTT "

@@ -37,10 +37,29 @@ Two export shapes, both dependency-free:
 from __future__ import annotations
 
 import html
+import re
 from typing import Dict, List, Optional
 
 from repro.obs.causality import (OUTCOME_CANCELED, OUTCOME_COMPLETED,
                                  CausalGraph)
+
+#: pstats frame label of an exec-compiled superblock function:
+#: ``<superblock>:<line>(sb_<entry_pc>)`` (or the module-level exec frame)
+_SB_FRAME = re.compile(r"<superblock>:\d+\((?:sb_)?([^)]+)\)")
+
+
+def fold_superblock_frames(text: str) -> str:
+    """Rewrite exec-compiled superblock frames to ``sb:<entry_pc>``.
+
+    ``cProfile`` labels the superblock tier's compiled block functions
+    with their synthetic filename and generated names —
+    ``<superblock>:41(sb_18)`` — which reads as opaque exec'd code.
+    Fold each to the program-level site name ``sb:<entry_pc>`` (and the
+    shared-module exec frame to ``sb:<module>``) so profile reports
+    attribute time to superblock entry PCs, same vocabulary as
+    ``form_blocks``/``cache_stats``.
+    """
+    return _SB_FRAME.sub(lambda m: f"sb:{m.group(1)}", text)
 
 
 def attribute_cycles(workload: str, graph: CausalGraph, total_cycles: int,

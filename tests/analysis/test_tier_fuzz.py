@@ -1,0 +1,251 @@
+"""Property-based tier equivalence: legacy / closure / superblock.
+
+Random well-formed DTIR programs — nested bounded loops, if-diamonds,
+forward jumps, integer/float ALU traffic, and wild computed addresses —
+are executed under all three ``Machine.run`` tiers.  Registers, memory,
+output, counters, final pc/state, and any fault (type and message) must
+be identical; the superblock tier's if-conversion, tail duplication,
+side exits, and mid-block fault reconciliation may not be observable.
+
+Counterexamples found by hypothesis are committed to
+``tier_fuzz_corpus.json`` (one named plan per historical divergence,
+plus hand-picked seeds for known-tricky shapes) and replayed here as
+plain regression cases, so shrunk repros outlive the fuzz run that
+found them.  ROADMAP item 5 grows from this harness.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trace import EngineTrace
+from repro.isa.builder import ProgramBuilder
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine, run_to_completion
+
+from tests.conftest import build_dtt_sum
+
+CORPUS_PATH = Path(__file__).with_name("tier_fuzz_corpus.json")
+CORPUS = json.loads(CORPUS_PATH.read_text())
+
+#: register window the generated programs use
+REGS = [4, 5, 6, 7, 8]
+#: loop counters, one per nesting depth (kept clear of REGS)
+LOOP_REGS = [9, 10, 11]
+ARRAY = 16  # words of in-bounds scratch
+BASE_REG = 12  # holds the scratch base address
+MAX_INSTRUCTIONS = 50_000
+
+_ALU_OPS = ["add", "sub", "mul", "and_", "or_", "xor", "slt", "seq",
+            "idiv", "imod", "shl", "shr"]
+_ALUI_OPS = ["addi", "subi", "muli", "andi", "ori", "xori", "slti", "seqi"]
+_FALU_OPS = ["fadd", "fsub", "fmul", "fdiv"]
+_FUNARY_OPS = ["fsqrt", "fabs", "fneg", "itof", "ftoi"]
+
+
+# -- plan lowering (shared by fuzz and corpus replay) --------------------------
+
+
+def lower(plan):
+    """Lower a JSON-serializable plan into a finalized program."""
+    b = ProgramBuilder()
+    b.zeros("scratch", ARRAY)
+    with b.function("main"):
+        b.program.add_symbol_patch(b.li(BASE_REG, 0), "b", "scratch")
+        _lower_body(b, plan, 0)
+        b.halt()
+    return b.build()
+
+
+def _lower_body(b, body, depth):
+    for item in body:
+        kind = item[0]
+        if kind == "li":
+            b.li(item[1], item[2])
+        elif kind == "alu":
+            b.emit(item[1], item[2], item[3], item[4])
+        elif kind == "alui":
+            b.emit(item[1], item[2], item[3], item[4])
+        elif kind == "funary":
+            b.emit(item[1], item[2], item[3])
+        elif kind == "ld":
+            b.ld(item[1], BASE_REG, item[2])
+        elif kind == "st":
+            b.st(item[1], BASE_REG, item[2])
+        elif kind == "ldx":
+            b.ldx(item[1], BASE_REG, item[2])
+        elif kind == "stx":
+            b.stx(item[1], BASE_REG, item[2])
+        elif kind == "out":
+            b.out(item[1])
+        elif kind == "loop":
+            counter = LOOP_REGS[depth]
+            top = b.fresh_label("fuzzloop")
+            b.li(counter, item[1])
+            b.label(top)
+            _lower_body(b, item[2], depth + 1)
+            b.subi(counter, counter, 1)
+            b.bnez(counter, top)
+        elif kind == "if":
+            skip = b.fresh_label("fuzzskip")
+            b.beqz(item[1], skip)
+            _lower_body(b, item[2], depth)
+            b.label(skip)
+        elif kind == "jmpfwd":
+            over = b.fresh_label("fuzzjmp")
+            b.jmp(over)
+            _lower_body(b, item[1], depth)
+            b.label(over)
+        else:  # pragma: no cover - malformed corpus entry
+            raise AssertionError(f"unknown plan item {item!r}")
+
+
+# -- three-tier differential check ---------------------------------------------
+
+
+def _norm(value):
+    """NaN-safe comparison key (NaN != NaN would hide agreement)."""
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    return value
+
+
+def _run_tier(program, tier):
+    machine = Machine(program, max_instructions=MAX_INSTRUCTIONS)
+    fault = None
+    try:
+        if tier == "step":
+            main = machine.main_context
+            while main.state is ContextState.RUNNING:
+                machine.step(main)
+        else:
+            run_to_completion(machine, tier=tier)
+    except Exception as exc:  # noqa: BLE001 - fault identity is the point
+        fault = (type(exc).__name__, str(exc))
+    main = machine.main_context
+    return {
+        "fault": fault,
+        "regs": [_norm(v) for v in main.regs],
+        "memory": {k: _norm(v)
+                   for k, v in machine.memory.snapshot().items()},
+        "output": [_norm(v) for v in machine.output],
+        "instructions_executed": machine.instructions_executed,
+        "load_count": machine.memory.load_count,
+        "store_count": machine.memory.store_count,
+        "pc": main.pc,
+        "state": main.state.name,
+        "instruction_count": main.instruction_count,
+    }
+
+
+def assert_tiers_agree(plan):
+    program = lower(plan)
+    reference = _run_tier(program, "step")
+    for tier in ("closure", "superblock"):
+        result = _run_tier(program, tier)
+        assert result == reference, f"tier {tier} diverged on {plan!r}"
+    return reference
+
+
+# -- hypothesis generators -----------------------------------------------------
+
+
+@st.composite
+def plan_step(draw):
+    rd = draw(st.sampled_from(REGS))
+    rs = draw(st.sampled_from(REGS))
+    rt = draw(st.sampled_from(REGS))
+    kind = draw(st.sampled_from(
+        ["li", "alu", "alui", "funary", "ld", "st", "ldx", "stx", "out"]))
+    if kind == "li":
+        imm = draw(st.one_of(
+            st.integers(-100, 100),
+            st.integers(-(10 ** 40), 10 ** 40),
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e6, max_value=1e6),
+        ))
+        return ["li", rd, imm]
+    if kind == "alu":
+        return ["alu", draw(st.sampled_from(_ALU_OPS)), rd, rs, rt]
+    if kind == "alui":
+        return ["alui", draw(st.sampled_from(_ALUI_OPS)), rd, rs,
+                draw(st.integers(-50, 50))]
+    if kind == "funary":
+        return ["funary", draw(st.sampled_from(_FUNARY_OPS)), rd, rs]
+    if kind in ("ld", "st"):
+        return [kind, rd, draw(st.integers(0, ARRAY - 1))]
+    if kind in ("ldx", "stx"):
+        return [kind, rd, rs]
+    return ["out", rs]
+
+
+def plan_body(depth):
+    step = plan_step()
+    if depth >= 2:
+        return st.lists(step, min_size=1, max_size=6)
+    nested = st.deferred(lambda: plan_body(depth + 1))
+    compound = st.one_of(
+        st.tuples(st.integers(1, 6), nested).map(
+            lambda t: ["loop", t[0], t[1]]),
+        st.tuples(st.sampled_from(REGS), nested).map(
+            lambda t: ["if", t[0], t[1]]),
+        nested.map(lambda body: ["jmpfwd", body]),
+    )
+    return st.lists(st.one_of(step, compound), min_size=1, max_size=8)
+
+
+@given(plan_body(0))
+@settings(max_examples=60, deadline=None)
+def test_random_programs_agree_across_tiers(plan):
+    assert_tiers_agree(plan)
+
+
+# -- committed counterexample corpus -------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_case_agrees_across_tiers(name):
+    assert_tiers_agree(CORPUS[name])
+
+
+def test_corpus_exercises_fault_and_loop_paths():
+    # the corpus must keep covering the interesting regimes: at least
+    # one faulting case and one clean loop-heavy case
+    outcomes = {name: assert_tiers_agree(CORPUS[name])
+                for name in CORPUS}
+    assert any(r["fault"] for r in outcomes.values())
+    assert any(r["fault"] is None and r["instructions_executed"] > 50
+               for r in outcomes.values())
+
+
+# -- engine traces under fuzz-shaped DTT programs ------------------------------
+
+
+@pytest.mark.parametrize("tier", ["closure", "superblock"])
+def test_dtt_trace_streams_identical_across_tiers(tier):
+    program, spec = build_dtt_sum([3, 1, 4, 1, 5], [0, 2, 4], [9, 8, 7])
+
+    def run(selected_tier):
+        from repro.core.engine import DttEngine
+        from repro.core.registry import ThreadRegistry
+
+        machine = Machine(program, num_contexts=2)
+        engine = DttEngine(ThreadRegistry([spec]))
+        machine.attach_engine(engine)
+        trace = EngineTrace(engine)
+        if selected_tier == "step":
+            main = machine.main_context
+            while main.state is ContextState.RUNNING:
+                machine.step(main)
+        else:
+            run_to_completion(machine, tier=selected_tier)
+        return machine, [repr(e) for e in trace.events]
+
+    legacy_machine, legacy_events = run("step")
+    tier_machine, tier_events = run(tier)
+    assert tier_events == legacy_events
+    assert list(tier_machine.output) == list(legacy_machine.output)
+    assert (tier_machine.instructions_executed
+            == legacy_machine.instructions_executed)

@@ -1,16 +1,22 @@
-"""Fast-path equivalence: ``Machine.run`` must match ``step()`` exactly.
+"""Tier equivalence: ``Machine.run`` must match ``step()`` exactly.
 
-The batch loop compiles the program into next-PC thunks and reconciles
-counters per chunk; these tests prove that is invisible — every bundled
-workload produces byte-identical memory, output, counters, and engine
-trace streams under both tiers, and faults/limits/budgets land on the
-same instruction with the same machine state.
+``run`` has two fast tiers above the legacy step loop — per-PC closure
+thunks (PR 4) and exec-compiled superblocks — and both batch their
+counter reconciliation; these tests prove that is invisible — every
+bundled workload produces byte-identical memory, output, counters, and
+engine trace streams under all three tiers, and faults/limits/budgets
+land on the same instruction with the same machine state.
 """
 
 import pytest
 
 from repro.core.trace import EngineTrace
-from repro.errors import ContextError, ExecutionFault, ExecutionLimitExceeded
+from repro.errors import (
+    ContextError,
+    ExecutionFault,
+    ExecutionLimitExceeded,
+    MemoryFault,
+)
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
@@ -50,23 +56,27 @@ def fingerprint(machine):
     }
 
 
-# -- every bundled workload, both tiers --------------------------------------------
+# -- every bundled workload, every tier --------------------------------------------
+
+FAST_TIERS = ("closure", "superblock")
 
 
+@pytest.mark.parametrize("tier", FAST_TIERS)
 @pytest.mark.parametrize("name", sorted(SUITE))
-def test_baseline_workload_equivalence(name):
+def test_baseline_workload_equivalence(name, tier):
     workload = SUITE[name]
     inp = workload.make_input()
     program = workload.build_baseline(inp)
     legacy = Machine(program)
     drive_legacy(legacy)
     fast = Machine(program)
-    run_to_completion(fast)
+    run_to_completion(fast, tier=tier)
     assert fingerprint(fast) == fingerprint(legacy)
 
 
+@pytest.mark.parametrize("tier", FAST_TIERS)
 @pytest.mark.parametrize("name", sorted(SUITE))
-def test_dtt_workload_equivalence_with_trace(name):
+def test_dtt_workload_equivalence_with_trace(name, tier):
     workload = SUITE[name]
     inp = workload.make_input()
     build = workload.build_dtt(inp)
@@ -81,7 +91,7 @@ def test_dtt_workload_equivalence_with_trace(name):
     legacy, legacy_engine, legacy_trace = machine_with_engine()
     drive_legacy(legacy)
     fast, fast_engine, fast_trace = machine_with_engine()
-    run_to_completion(fast)
+    run_to_completion(fast, tier=tier)
     assert fingerprint(fast) == fingerprint(legacy)
     assert fast_engine.summary() == legacy_engine.summary()
     assert ([repr(e) for e in fast_trace.events]
@@ -99,15 +109,16 @@ def spin_program():
     return b.build()
 
 
-def test_run_respects_max_steps_budget():
+@pytest.mark.parametrize("tier", FAST_TIERS)
+def test_run_respects_max_steps_budget(tier):
     machine = Machine(spin_program())
-    retired = machine.run(max_steps=1000)
+    retired = machine.run(max_steps=1000, tier=tier)
     assert retired == 1000
     assert machine.instructions_executed == 1000
     assert machine.main_context.instruction_count == 1000
     assert machine.main_context.state is ContextState.RUNNING
     # and the loop can resume from the synced pc
-    assert machine.run(max_steps=7) == 7
+    assert machine.run(max_steps=7, tier=tier) == 7
     assert machine.instructions_executed == 1007
 
 
@@ -136,15 +147,20 @@ def test_instruction_limit_identical_to_step_loop():
 
 
 def _fault_fingerprints(program, exc_type, match):
+    drivers = [drive_legacy] + [
+        (lambda m, t=tier: run_to_completion(m, tier=t))
+        for tier in FAST_TIERS
+    ]
     results = []
-    for driver in (drive_legacy, run_to_completion):
+    for driver in drivers:
         machine = Machine(program)
         with pytest.raises(exc_type, match=match):
             driver(machine)
         results.append(fingerprint(machine))
-    legacy, fast = results
-    assert fast == legacy
-    return fast
+    legacy = results[0]
+    for fast in results[1:]:
+        assert fast == legacy
+    return legacy
 
 
 def test_ret_fault_identical():
@@ -226,7 +242,8 @@ def test_fast_run_after_restore_reuses_memory_identity():
 
 
 def test_equivalence_survives_interleaved_tiers():
-    # stepping and batch-running the same machine may be freely mixed
+    # stepping and batch-running the same machine may be freely mixed,
+    # across all three tiers
     workload = SUITE["gzip"]
     inp = workload.make_input(scale=4)
     program = workload.build_baseline(inp)
@@ -234,9 +251,98 @@ def test_equivalence_survives_interleaved_tiers():
     main = mixed.main_context
     for _ in range(137):
         mixed.step(main)
-    mixed.run(main, max_steps=501)
+    mixed.run(main, max_steps=501, tier="closure")
+    mixed.run(main, max_steps=503, tier="superblock")
     while main.state is ContextState.RUNNING:
         mixed.step(main)
     reference = Machine(program)
     run_to_completion(reference)
     assert fingerprint(mixed) == fingerprint(reference)
+
+
+# -- superblock tier specifics -----------------------------------------------------
+
+
+def test_unknown_tier_rejected(tiny_program):
+    machine = Machine(tiny_program)
+    with pytest.raises(ValueError, match="unknown execution tier"):
+        machine.run(tier="jit")
+
+
+def _guard_side_exit_program(limit):
+    """A loop block whose ``ldx`` address walks below zero mid-run."""
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(3) as (i, addr, v):
+            b.li(i, limit)
+            b.li(v, 0)
+            b.label("loop")
+            b.muli(addr, i, 3)
+            b.subi(addr, addr, 10)
+            b.ldx(v, addr, i)       # faults once 4*i - 10 < 0
+            b.subi(i, i, 1)
+            b.bgt(i, v, "loop")
+        b.halt()
+    return b.build()
+
+
+def test_superblock_memory_guard_side_exit_faults_identically():
+    # the compiled guard must bail to the thunk, which raises the same
+    # MemoryFault with the same counters and pc as single-stepping
+    fp = _fault_fingerprints(
+        _guard_side_exit_program(6), MemoryFault, "outside address space")
+    assert fp["state"] is ContextState.RUNNING
+
+
+def test_superblock_mid_loop_arithmetic_fault_identical():
+    # an idiv-by-zero on a later iteration exercises the in-block fault
+    # reconciliation path (_k marker + batched counter writeback)
+    b = ProgramBuilder()
+    with b.function("main"):
+        with b.scratch(4) as (i, d, q, z):
+            b.li(i, 5)
+            b.li(z, 0)
+            b.label("loop")
+            b.subi(d, i, 3)
+            b.idiv(q, i, d)         # faults when i reaches 3
+            b.subi(i, i, 1)
+            b.bgt(i, z, "loop")
+        b.halt()
+    fp = _fault_fingerprints(b.build(), ExecutionFault, "division by zero")
+    assert fp["instructions_executed"] > 4  # faulted mid-loop, not at entry
+
+
+def test_superblock_formation_covers_suite():
+    from repro.machine.superblock import compile_blocks, form_blocks
+
+    for name in sorted(SUITE):
+        workload = SUITE[name]
+        program = workload.build_baseline(workload.make_input())
+        blocks = form_blocks(program)
+        assert blocks, f"{name}: no superblocks formed"
+        compiled = compile_blocks(program)
+        assert len(compiled.blocks) == len(blocks)
+    # the paper's headline workload must compile its hot loop as a loop
+    # block, or the 3x tier target is unreachable
+    mcf = SUITE["mcf"]
+    assert any(
+        is_loop for _, _, is_loop
+        in form_blocks(mcf.build_baseline(mcf.make_input())))
+
+
+def test_superblock_code_cache_shares_compiles_across_machines():
+    from repro.machine import superblock
+
+    workload = SUITE["gap"]
+    program = workload.build_baseline(workload.make_input(scale=4))
+    superblock.reset_cache_stats()
+    first = Machine(program)
+    run_to_completion(first, tier="superblock")
+    second = Machine(program)
+    run_to_completion(second, tier="superblock")
+    stats = superblock.cache_stats()
+    assert stats["cache_misses"] == 1
+    assert stats["cache_hits"] >= 1
+    assert stats["blocks_compiled"] >= 1
+    assert stats["build_seconds"] > 0
+    assert first.output == second.output

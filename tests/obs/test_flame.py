@@ -5,7 +5,8 @@ import pytest
 from repro.core import trace as T
 from repro.core.trace import EngineTrace
 from repro.obs.causality import CausalGraph
-from repro.obs.flame import (attribute_cycles, flame_svg, folded_stacks,
+from repro.obs.flame import (attribute_cycles, flame_svg,
+                             fold_superblock_frames, folded_stacks,
                              hottest_site)
 
 
@@ -86,6 +87,31 @@ def test_svg_is_self_contained_with_site_anchors(attribution):
     # well-formed XML (also catches unescaped detail text)
     import xml.etree.ElementTree as ET
     ET.fromstring(svg)
+
+
+def test_fold_superblock_frames_names_entry_pcs():
+    report = (
+        "   100  0.5  <superblock>:41(sb_18)\n"
+        "     1  0.0  <superblock>:1(<module>)\n"
+        "    10  0.1  src/repro/machine/machine.py:700(thunk)\n"
+    )
+    folded = fold_superblock_frames(report)
+    assert "sb:18" in folded
+    assert "sb:<module>" in folded
+    assert "<superblock>" not in folded
+    assert "machine.py:700(thunk)" in folded  # only sb frames fold
+
+
+def test_fold_superblock_frames_matches_real_compiled_code():
+    # the fold must track the real filename/name scheme the compiler uses
+    from repro.machine.superblock import SB_FILENAME, SB_PREFIX, compile_blocks
+    from repro.workloads.suite import SUITE
+
+    workload = SUITE["mcf"]
+    compiled = compile_blocks(workload.build_baseline(workload.make_input()))
+    entry = compiled.blocks[0][0]
+    label = f"{SB_FILENAME}:7({SB_PREFIX}{entry})"
+    assert fold_superblock_frames(label) == f"sb:{entry}"
 
 
 def test_events_unit_trace_fabricates_no_main_band():

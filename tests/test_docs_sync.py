@@ -56,6 +56,23 @@ def test_architecture_documents_every_rejection_reason():
     )
 
 
+def test_architecture_documents_superblock_tier():
+    """The Performance section's superblock subsection must name every
+    block-formation boundary opcode and every code-cache counter, so the
+    formation rules and the obs surface cannot drift undocumented."""
+    from repro.machine.superblock import BOUNDARY_OPCODES, cache_stats
+
+    text = (DOCS / "architecture.md").read_text()
+    assert "### Superblock tier" in text
+    missing = [op for op in sorted(BOUNDARY_OPCODES)
+               if f"`{op}`" not in text]
+    missing += [key for key in sorted(cache_stats())
+                if f"`{key}`" not in text]
+    assert not missing, (
+        f"superblock surfaces missing from docs/architecture.md: {missing}"
+    )
+
+
 def test_architecture_documents_every_trend_verdict():
     """The Performance observatory section must catalog every verdict
     the trend analyzer can emit, so a new verdict cannot ship silently."""
