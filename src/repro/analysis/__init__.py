@@ -14,16 +14,23 @@ wrong answers whenever the skip fires.  This package checks it statically:
 * :mod:`repro.analysis.dataflow` — a generic worklist solver plus the
   stock analyses (reaching definitions, liveness, constant/address
   propagation over the ISA's ``base+offset`` addressing);
+* :mod:`repro.analysis.symbolic` — affine symbolic tracking of thread
+  addresses over the trigger arguments (``r1``–``r3``), the overlap
+  algebra behind the v2 race checks, and parameterized-region recovery
+  proofs used by the autoconvert pipeline;
 * :mod:`repro.analysis.checks` — the DTT safety passes built on top
   (trigger coverage, read/write races, consume-before-complete,
-  uninitialized registers), surfaced as ``dtt-harness analyze``.
+  uninitialized registers, parameterized races), surfaced as
+  ``dtt-harness analyze``.
 """
 
 from repro.analysis.findings import (ERROR, WARNING, Baseline, Finding,
                                      Severity, errors_only, findings_to_json)
-from repro.analysis.checks import (CHECKS, analysis_summary, analyze_build,
-                                   analyze_program, analyze_workload,
-                                   summarize_workload)
+from repro.analysis.checks import (CHECKS, CHECK_VERSIONS, analysis_summary,
+                                   analyze_build, analyze_program,
+                                   analyze_workload, summarize_workload)
+from repro.analysis.symbolic import (Affine, ParamRecovery, overlap_verdict,
+                                     prove_param_recovery, symbolic_report)
 
 __all__ = [
     "ERROR",
@@ -34,6 +41,12 @@ __all__ = [
     "errors_only",
     "findings_to_json",
     "CHECKS",
+    "CHECK_VERSIONS",
+    "Affine",
+    "ParamRecovery",
+    "overlap_verdict",
+    "prove_param_recovery",
+    "symbolic_report",
     "analysis_summary",
     "analyze_build",
     "analyze_program",

@@ -47,6 +47,9 @@ from repro.analysis.dataflow import (TOP, UNDEF, AddressSet,
                                      region_containing, region_value,
                                      union_addresses)
 from repro.analysis.findings import ERROR, WARNING, Finding, Severity
+from repro.analysis.symbolic import (NONE, SOME, SymbolicValues,
+                                     overlap_verdict, symbolic_access_map,
+                                     thread_entry_env)
 from repro.core.config import DttConfig
 from repro.core.registry import ThreadRegistry, TriggerSpec, widen_ranges
 from repro.errors import DttError
@@ -86,7 +89,36 @@ CHECKS: Dict[str, Tuple[Severity, str]] = {
         ERROR,
         "a support-thread body reads a register never written on some "
         "path"),
+    "parameterized-race": (
+        ERROR,
+        "a main access collides with a parameterized thread access for "
+        "some (not all) trigger addresses"),
+    "symbolic-unresolved-region": (
+        WARNING,
+        "a support-thread access resolves to no region concretely or "
+        "symbolically — race checks degrade to may-touch-anything"),
 }
+
+#: per-check semantic version, baked into finding fingerprints (see
+#: :meth:`~repro.analysis.findings.Finding.fingerprint`).  Bump a code's
+#: version whenever its *meaning* changes so committed baselines
+#: invalidate loudly.  The three race checks are at v2: since the
+#: symbolic pass they evaluate per-access overlap for all parameter
+#: instantiations (refuting provably-disjoint pairs) instead of testing
+#: one union of concrete address sets.
+CHECK_VERSIONS: Dict[str, int] = {code: 1 for code in CHECKS}
+CHECK_VERSIONS.update({
+    "read-race": 2,
+    "write-race": 2,
+    "consume-before-complete": 2,
+})
+
+
+def _finding(severity, code: str, pc, message: str,
+             detail: str = "") -> Finding:
+    """A finding stamped with its check's current semantic version."""
+    return Finding(severity, code, pc, message, detail=detail,
+                   version=CHECK_VERSIONS[code])
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +153,13 @@ class _ThreadModel:
     entry environment is ⊤ everywhere except r1, which is seeded with the
     spec's possible trigger addresses (r2/r3 hold data values, not
     addresses, and stay ⊤).
+
+    Alongside the concrete model runs the symbolic one
+    (:mod:`repro.analysis.symbolic`): ``symbolic_addresses`` maps each
+    access pc to its address as an affine expression over the trigger
+    arguments, or None where the address is not a function of them.
+    The race pass consults it per access to refine the concrete
+    may-overlap verdict across all parameter instantiations.
     """
 
     def __init__(self, program: Program, name: str, trigger_value: Value):
@@ -131,6 +170,8 @@ class _ThreadModel:
         self.summary = access_summary(self.values)
         self.reads = union_addresses(s for _pc, s in self.summary.reads)
         self.writes = union_addresses(s for _pc, s in self.summary.writes)
+        self.symbolic = SymbolicValues(self.cfg, thread_entry_env())
+        self.symbolic_addresses = symbolic_access_map(self.symbolic)
 
 
 def _spec_may_match(spec: TriggerSpec, pc: int, addresses: AddressSet,
@@ -178,6 +219,77 @@ def _trigger_address_value(spec: TriggerSpec, main: _MainModel,
             return TOP
         names.add(name)
     return region_value(names)
+
+
+def _trigger_feasible_ranges(
+        spec: TriggerSpec, main: _MainModel, layout,
+        granularity: int) -> Optional[List[Tuple[int, int]]]:
+    """Half-open word ranges r1 can take at thread entry, or None when
+    unbounded.
+
+    Mirrors :func:`_trigger_address_value` but keeps word precision: a
+    watched spec's r1 is confined to its granularity-widened ranges; a
+    pc-matched spec's r1 is the union of the named stores' concrete
+    address ranges.  None (⊤) disables symbolic refinement — every
+    verdict then falls back to the concrete overlap test.
+    """
+    if spec.watch:
+        return list(widen_ranges(spec.watch, granularity))
+    ranges: List[Tuple[int, int]] = []
+    for pc, addresses in main.summary.tstores:
+        if pc not in spec.store_pcs:
+            continue
+        if addresses.top:
+            return None
+        ranges.extend(addresses._ranges(layout))
+    return ranges or None
+
+
+def _overlap_class(
+        main_addresses: AddressSet,
+        thread_accesses: Sequence[Tuple[int, AddressSet]],
+        symbolic_addresses: Dict[int, object],
+        feasible: Optional[List[Tuple[int, int]]],
+        layout) -> Tuple[str, List[str]]:
+    """Classify one main access against a thread's per-access list.
+
+    Returns ``(kind, symbolic_hits)`` where kind is:
+
+    * ``"classic"`` — some concretely-overlapping thread access either
+      has no affine address (symbolic refinement impossible) or hits the
+      main access for *every* feasible trigger address: the pre-symbolic
+      verdict stands;
+    * ``"parameterized"`` — every concrete overlap was refined, and at
+      least one thread access hits for *some but not all* instantiations
+      (``symbolic_hits`` carries their affine forms);
+    * ``"disjoint"`` — every concretely-overlapping thread access was
+      *refuted*: for each feasible trigger address the symbolic address
+      provably misses the main access.  The concrete union overlapped
+      only because it conflated different instantiations.
+    """
+    saw_classic = False
+    symbolic_hits: List[str] = []
+    refine = feasible is not None and not main_addresses.top
+    targets = main_addresses._ranges(layout) if refine else ()
+    for tpc, tset in thread_accesses:
+        if not main_addresses.overlaps(tset, layout):
+            continue
+        expr = symbolic_addresses.get(tpc) if refine else None
+        if expr is None:
+            saw_classic = True
+            continue
+        verdict = overlap_verdict(expr, feasible, targets)
+        if verdict == NONE:
+            continue
+        if verdict == SOME:
+            symbolic_hits.append(expr.describe())
+        else:  # ALL, or UNKNOWN (params beyond r1): no refinement
+            saw_classic = True
+    if saw_classic:
+        return "classic", symbolic_hits
+    if symbolic_hits:
+        return "parameterized", symbolic_hits
+    return "disjoint", []
 
 
 def _thread_tid(program: Program, name: str) -> int:
@@ -269,7 +381,7 @@ def _check_trigger_coverage(program: Program, registry: ThreadRegistry,
             continue
         if addresses.intersects_ranges(prefilter.ranges, layout):
             continue
-        findings.append(Finding(
+        findings.append(_finding(
             WARNING, "dead-trigger", pc,
             "triggering store can never fire a registered thread",
             detail=f"stores to {addresses.describe(layout)} "
@@ -283,7 +395,7 @@ def _check_trigger_coverage(program: Program, registry: ThreadRegistry,
     )
     for spec in registry.specs:
         if spec.thread not in program.threads:
-            findings.append(Finding(
+            findings.append(_finding(
                 ERROR, "spec-unknown-thread", None,
                 f"trigger spec names thread {spec.thread!r}, which the "
                 "program does not declare",
@@ -294,7 +406,7 @@ def _check_trigger_coverage(program: Program, registry: ThreadRegistry,
         if any(_spec_may_match(spec, pc, addresses, layout, granularity)
                for pc, addresses in main.summary.tstores):
             continue
-        findings.append(Finding(
+        findings.append(_finding(
             WARNING, "dead-thread", program.thread_entry_pc(spec.thread),
             f"thread {spec.thread!r} can never be triggered",
             detail=repr(spec),
@@ -335,6 +447,23 @@ def _check_races(program: Program, registry: ThreadRegistry,
     the consumer can observe pre-thread memory.  Distinct from
     write-race only in intent: the ordering mechanism exists but a path
     escapes it.
+
+    Since v2, every one of these overlap tests is evaluated *per thread
+    access* and refined through the symbolic pass
+    (:func:`_overlap_class`): a thread access whose address is affine in
+    the trigger address is compared against the main access for every
+    feasible trigger value.  Provably-disjoint pairs are dropped (the
+    concrete union over-approximated across instantiations); pairs that
+    collide only for *some* instantiations demote to the
+    **parameterized-race** code — still an error (a reachable
+    instantiation races) but telling the reader which affine addresses
+    to look at; pairs colliding for all instantiations (or unrefinable
+    ones) keep the classic codes.
+
+    **symbolic-unresolved-region** (warning) marks thread accesses both
+    analyses gave up on — concrete ⊤ *and* no affine form — because
+    every overlap test against them degenerates to "may touch
+    anything"; one such access can make the whole verdict vacuous.
     """
     findings: List[Finding] = []
     layout = program.layout
@@ -351,48 +480,92 @@ def _check_races(program: Program, registry: ThreadRegistry,
         thread = _ThreadModel(
             program, spec.thread,
             _trigger_address_value(spec, main, layout, granularity))
+        feasible = _trigger_feasible_ranges(spec, main, layout, granularity)
+        for tpc, tset in list(thread.summary.reads) + list(
+                thread.summary.writes):
+            if tset.top and thread.symbolic_addresses.get(tpc) is None:
+                findings.append(_finding(
+                    WARNING, "symbolic-unresolved-region", tpc,
+                    f"thread {spec.thread!r} access resolves to no "
+                    "region concretely or symbolically",
+                    detail=f"thread={spec.thread}",
+                ))
         barriers = _tcheck_pcs(main, program, spec.thread)
         window = _trigger_window(main, (pc for pc, _ in matching), barriers)
         matching_pcs = {pc for pc, _ in matching}
         for pc, addresses in main.summary.writes:
             if pc not in window or pc in matching_pcs:
                 continue
-            if addresses.overlaps(thread.reads, layout):
-                findings.append(Finding(
+            kind, hits = _overlap_class(
+                addresses, thread.summary.reads,
+                thread.symbolic_addresses, feasible, layout)
+            if kind == "classic":
+                findings.append(_finding(
                     ERROR, "read-race", pc,
                     f"store may overwrite memory thread {spec.thread!r} "
                     "reads while it can still be in flight",
                     detail=f"{addresses.describe(layout)} vs thread reads "
                            f"{thread.reads.describe(layout)}",
                 ))
-            if addresses.overlaps(thread.writes, layout):
-                findings.append(Finding(
+            elif kind == "parameterized":
+                findings.append(_finding(
+                    ERROR, "parameterized-race", pc,
+                    f"store may overwrite memory thread {spec.thread!r} "
+                    "reads for some trigger addresses",
+                    detail=f"{addresses.describe(layout)} vs thread reads "
+                           f"at {', '.join(hits)}",
+                ))
+            kind, hits = _overlap_class(
+                addresses, thread.summary.writes,
+                thread.symbolic_addresses, feasible, layout)
+            if kind == "classic":
+                findings.append(_finding(
                     ERROR, "write-race", pc,
                     f"store overlaps output of thread {spec.thread!r} "
                     "inside its trigger window",
                     detail=f"{addresses.describe(layout)} vs thread writes "
                            f"{thread.writes.describe(layout)}",
                 ))
+            elif kind == "parameterized":
+                findings.append(_finding(
+                    ERROR, "parameterized-race", pc,
+                    f"store overlaps output of thread {spec.thread!r} "
+                    "for some trigger addresses",
+                    detail=f"{addresses.describe(layout)} vs thread writes "
+                           f"at {', '.join(hits)}",
+                ))
         for pc, addresses in main.summary.reads:
             if pc not in window:
                 continue
-            if addresses.overlaps(thread.writes, layout):
-                if barriers:
-                    findings.append(Finding(
-                        ERROR, "consume-before-complete", pc,
-                        f"load consumes output of thread {spec.thread!r} "
-                        "on a path with no intervening tcheck",
-                        detail=f"{addresses.describe(layout)} vs thread "
-                               f"writes {thread.writes.describe(layout)}",
-                    ))
-                else:
-                    findings.append(Finding(
-                        ERROR, "write-race", pc,
-                        f"load consumes output of thread {spec.thread!r} "
-                        "but the program never tchecks it",
-                        detail=f"{addresses.describe(layout)} vs thread "
-                               f"writes {thread.writes.describe(layout)}",
-                    ))
+            kind, hits = _overlap_class(
+                addresses, thread.summary.writes,
+                thread.symbolic_addresses, feasible, layout)
+            if kind == "disjoint":
+                continue
+            if kind == "parameterized":
+                findings.append(_finding(
+                    ERROR, "parameterized-race", pc,
+                    f"load consumes output of thread {spec.thread!r} "
+                    "for some trigger addresses, with no ordering",
+                    detail=f"{addresses.describe(layout)} vs thread writes "
+                           f"at {', '.join(hits)}",
+                ))
+            elif barriers:
+                findings.append(_finding(
+                    ERROR, "consume-before-complete", pc,
+                    f"load consumes output of thread {spec.thread!r} "
+                    "on a path with no intervening tcheck",
+                    detail=f"{addresses.describe(layout)} vs thread "
+                           f"writes {thread.writes.describe(layout)}",
+                ))
+            else:
+                findings.append(_finding(
+                    ERROR, "write-race", pc,
+                    f"load consumes output of thread {spec.thread!r} "
+                    "but the program never tchecks it",
+                    detail=f"{addresses.describe(layout)} vs thread "
+                           f"writes {thread.writes.describe(layout)}",
+                ))
     return findings
 
 
@@ -438,7 +611,7 @@ def _check_uninitialized(program: Program) -> List[Finding]:
                     continue
                 if UNDEF in defs.get(reg, frozenset()):
                     reported.add(reg)
-                    findings.append(Finding(
+                    findings.append(_finding(
                         ERROR, "uninitialized-register", pc,
                         f"thread {name!r} reads r{reg} before any "
                         "definition",

@@ -10,8 +10,13 @@ so scripts that scrape linter output keep working.
 
 Baselines (:class:`Baseline`) suppress *known* findings so a CI gate only
 fails on new ones: a finding's :meth:`Finding.fingerprint` is
-``code@pc`` (optionally prefixed by the analyzed target's name), and a
-baseline file is a JSON document listing accepted fingerprints.
+``code.v{version}@pc`` (optionally prefixed by the analyzed target's
+name), and a baseline file is a JSON document listing accepted
+fingerprints.  The ``version`` is the *check's* semantic version
+(:data:`repro.analysis.checks.CHECK_VERSIONS`): when a check's meaning
+changes, its version is bumped and every committed fingerprint for the
+old semantics stops matching — the baseline invalidates loudly instead
+of silently suppressing findings the check no longer even means.
 """
 
 from __future__ import annotations
@@ -48,15 +53,16 @@ WARNING = Severity.WARNING
 class Finding:
     """One static-check finding."""
 
-    __slots__ = ("severity", "code", "pc", "message", "detail")
+    __slots__ = ("severity", "code", "pc", "message", "detail", "version")
 
     def __init__(self, severity, code: str, pc: Optional[int],
-                 message: str, detail: str = ""):
+                 message: str, detail: str = "", version: int = 1):
         self.severity = Severity(severity)
         self.code = code
         self.pc = pc
         self.message = message
         self.detail = detail
+        self.version = version
 
     def sort_key(self) -> Tuple:
         """Stable ordering: errors first, then pc, then code, then text."""
@@ -65,15 +71,18 @@ class Finding:
                 self.code, self.message)
 
     def fingerprint(self, target: str = "") -> str:
-        """Baseline identity: ``[target:]code@pc`` (pc ``-`` when absent).
+        """Baseline identity: ``[target:]code.v{version}@pc`` (pc ``-``
+        when absent).
 
         The message is deliberately excluded so rewording a diagnostic
         never invalidates a committed baseline; the pc is included so a
-        *new* instance of a known code still fails the gate.
+        *new* instance of a known code still fails the gate; the check
+        version is included so a *semantics change* to a check
+        invalidates every suppression written against the old meaning.
         """
         where = "-" if self.pc is None else str(self.pc)
         prefix = f"{target}:" if target else ""
-        return f"{prefix}{self.code}@{where}"
+        return f"{prefix}{self.code}.v{self.version}@{where}"
 
     def to_dict(self) -> Dict:
         """JSON-ready representation."""
@@ -85,24 +94,28 @@ class Finding:
         }
         if self.detail:
             payload["detail"] = self.detail
+        if self.version != 1:
+            payload["version"] = self.version
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Finding":
         """Inverse of :meth:`to_dict`."""
         return cls(payload["severity"], payload["code"], payload.get("pc"),
-                   payload.get("message", ""), payload.get("detail", ""))
+                   payload.get("message", ""), payload.get("detail", ""),
+                   payload.get("version", 1))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Finding):
             return NotImplemented
         return (self.severity is other.severity and self.code == other.code
                 and self.pc == other.pc and self.message == other.message
-                and self.detail == other.detail)
+                and self.detail == other.detail
+                and self.version == other.version)
 
     def __hash__(self) -> int:
         return hash((self.severity, self.code, self.pc, self.message,
-                     self.detail))
+                     self.detail, self.version))
 
     def __repr__(self) -> str:
         where = f" at pc {self.pc}" if self.pc is not None else ""
@@ -124,7 +137,7 @@ class Baseline:
 
     File format (JSON)::
 
-        {"version": 1, "suppress": ["mcf:dtt:dead-trigger@12", ...]}
+        {"version": 1, "suppress": ["mcf:dtt:dead-trigger.v1@12", ...]}
     """
 
     VERSION = 1

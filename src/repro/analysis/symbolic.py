@@ -1,0 +1,599 @@
+"""Symbolic affine analysis: addresses as expressions over parameters.
+
+The concrete lattice of :mod:`repro.analysis.dataflow` names addresses as
+constants or data regions.  That is enough for hand-shaped conversions
+whose thread bodies address memory as ``la base; ld v, base, k`` — but the
+paper's vpr/twolf conversions pass a *parameter* (the channel / cell id)
+into the thread through the trigger-argument register r1, and every
+address in the body is then ``base + (r1 - feeder_base)``: a different
+concrete address per trigger.  The concrete lattice can only widen those
+to whole regions; this module tracks them exactly.
+
+**The domain.**  An :class:`Affine` value is ``const + Σ cᵢ·tᵢ`` over
+opaque *terms*: thread parameters ``("param", reg)`` (the trigger
+registers r1–r3 at thread entry), segment-entry register values
+``("entry", reg)``, and load value numbers ``("load", pc)``.  The domain
+is a flat lattice — two unequal expressions meet to unknown (``None``) —
+and every operation outside the affine fragment (multiplication of two
+non-constants, division, comparisons, loads inside a loop) *widens to
+the concrete lattice*: the symbolic side reports "unknown" and callers
+fall back to the :class:`~repro.analysis.dataflow.AddressSet` the
+concrete :class:`~repro.analysis.dataflow.ValueAnalysis` computed for the
+same access.  The symbolic pass therefore only ever *refines* concrete
+verdicts; it cannot report less than the concrete analysis knows.
+
+**Three consumers.**
+
+* :class:`SymbolicValues` — a worklist dataflow (same
+  :func:`~repro.analysis.dataflow.solve` driver) over a support-thread
+  CFG with r1 seeded as ``param(1)``; :func:`symbolic_access_map` names
+  each memory access's address as an affine expression in r1 where one
+  exists.  ``checks.py`` uses it to evaluate race windows for *all*
+  parameter instantiations (:func:`overlap_verdict`).
+* :func:`prove_param_recovery` — the parameterized region-closure proof
+  for ``autoconvert``: symbolically executes the straight-line feeder
+  segment ahead of a candidate region (with load value numbering and
+  region-disjointness store kills) and proves that each parameter the
+  region reads equals ``feeder_address - K`` for a constant ``K`` per
+  feeder, i.e. is recoverable from r1 inside the thread.  The resulting
+  :class:`ParamRecovery` is the synthesis plan for the thread prologue.
+* :func:`symbolic_report` — the per-region facts ``dtt-harness analyze
+  --json`` surfaces.
+
+The in-bounds indexing assumption of the concrete lattice carries over:
+an expression whose constant part falls inside a data region is assumed
+to stay inside that region (:func:`affine_region`) — the same contract
+the builder's ``for_range`` idiom guarantees for every bundled workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.analysis.dataflow import (DataflowAnalysis, _fold_constant,
+                                     region_containing, solve)
+from repro.isa.instructions import is_load, is_store, operand_roles
+from repro.isa.registers import (NUM_REGISTERS, TRIGGER_ADDR_REG,
+                                 TRIGGER_OLD_VALUE_REG, TRIGGER_VALUE_REG)
+
+#: the thread-argument registers a support thread may parameterize over
+PARAM_REGS = (TRIGGER_ADDR_REG, TRIGGER_VALUE_REG, TRIGGER_OLD_VALUE_REG)
+
+
+class Affine:
+    """An immutable affine expression ``const + Σ coeff·term``.
+
+    Terms are opaque hashable tuples; ``terms`` is stored sorted so two
+    equal expressions compare and hash equal.  The zero-term expression
+    is a known constant.
+    """
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const=0, terms: Sequence[Tuple[Tuple, int]] = ()):
+        self.const = const
+        self.terms = tuple(sorted((t, c) for t, c in terms if c != 0))
+
+    @classmethod
+    def constant(cls, value) -> "Affine":
+        return cls(value)
+
+    @classmethod
+    def term(cls, term: Tuple, coeff: int = 1) -> "Affine":
+        return cls(0, [(term, coeff)])
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def add(self, other: "Affine") -> "Affine":
+        """Termwise sum of two affine expressions."""
+        merged = dict(self.terms)
+        for term, coeff in other.terms:
+            merged[term] = merged.get(term, 0) + coeff
+        return Affine(self.const + other.const, merged.items())
+
+    def sub(self, other: "Affine") -> "Affine":
+        """Termwise difference of two affine expressions."""
+        merged = dict(self.terms)
+        for term, coeff in other.terms:
+            merged[term] = merged.get(term, 0) - coeff
+        return Affine(self.const - other.const, merged.items())
+
+    def scale(self, factor) -> "Affine":
+        """Multiply every coefficient and the constant by ``factor``."""
+        return Affine(self.const * factor,
+                      [(t, c * factor) for t, c in self.terms])
+
+    def diff_const(self, other: "Affine") -> Optional[int]:
+        """``self - other`` when that difference is a constant, else None."""
+        delta = self.sub(other)
+        return delta.const if delta.is_const else None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.const == other.const and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.const, self.terms))
+
+    def describe(self) -> str:
+        """Human form, e.g. ``r1 - 272`` or ``64 + L47``."""
+        parts = []
+        for term, coeff in self.terms:
+            kind, which = term
+            name = {"param": f"r{which}", "entry": f"R{which}",
+                    "load": f"L{which}"}[kind]
+            if coeff == 1:
+                parts.append(f"+ {name}")
+            elif coeff == -1:
+                parts.append(f"- {name}")
+            else:
+                parts.append(f"+ {coeff}*{name}")
+        if self.const or not parts:
+            parts.append(f"+ {self.const}" if self.const >= 0
+                         else f"- {-self.const}")
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else "-" + text[2:]
+
+    def __repr__(self) -> str:
+        return f"Affine({self.describe()})"
+
+
+def affine_region(expr: Affine, layout) -> Optional[str]:
+    """The data region an address expression stays inside, if decidable.
+
+    Inherits the concrete lattice's in-bounds assumption: the region
+    containing the constant part bounds the whole expression.  A pure
+    constant resolves exactly; an expression whose constant part lies in
+    no region is unbounded (None).
+    """
+    return region_containing(expr.const, layout)
+
+
+# ---------------------------------------------------------------------------
+# the affine transfer function
+# ---------------------------------------------------------------------------
+
+#: ops the affine domain models exactly (beyond full constant folding)
+_AFFINE_OPS = frozenset(["add", "addi", "sub", "subi", "mul", "muli",
+                         "li", "mov"])
+
+
+def step_affine(instruction, env: Dict[int, Optional[Affine]],
+                load_value=None) -> None:
+    """Abstractly execute one instruction over an affine environment.
+
+    ``env`` maps register -> Affine or None (unknown); unknown is the
+    widening point — callers consult the concrete lattice for anything
+    the affine fragment cannot express.  ``load_value`` (if given) maps a
+    load instruction to its value expression (the segment executor's
+    value numbering); without it every load widens to unknown.
+    """
+    op = instruction.op
+    dest, sources = operand_roles(op)
+    if dest is None:
+        return
+    dest_reg = getattr(instruction, dest)
+    if op == "li":
+        env[dest_reg] = (Affine.constant(instruction.b)
+                         if isinstance(instruction.b, int) else None)
+        return
+    if op == "mov":
+        env[dest_reg] = env[instruction.b]
+        return
+    if is_load(op):
+        env[dest_reg] = load_value(instruction) if load_value else None
+        return
+    values = [env[getattr(instruction, slot)] for slot in sources]
+    if instruction.info.signature.endswith("I"):
+        values.append(Affine.constant(instruction.c)
+                      if isinstance(instruction.c, int) else None)
+    if any(v is None for v in values):
+        env[dest_reg] = None
+        return
+    if all(v.is_const for v in values):
+        folded = _fold_constant(op, [v.const for v in values])
+        env[dest_reg] = (Affine.constant(folded)
+                         if isinstance(folded, int) else None)
+        return
+    if op in ("add", "addi") and len(values) == 2:
+        env[dest_reg] = values[0].add(values[1])
+    elif op in ("sub", "subi") and len(values) == 2:
+        env[dest_reg] = values[0].sub(values[1])
+    elif op in ("mul", "muli") and len(values) == 2:
+        left, right = values
+        if right.is_const:
+            env[dest_reg] = left.scale(right.const)
+        elif left.is_const:
+            env[dest_reg] = right.scale(left.const)
+        else:
+            env[dest_reg] = None  # widen: bilinear, not affine
+    else:
+        env[dest_reg] = None  # widen: outside the affine fragment
+
+
+def access_affine(instruction,
+                  env: Dict[int, Optional[Affine]]) -> Optional[Affine]:
+    """The affine address of one memory access, or None (widen)."""
+    op = instruction.op
+    base = env.get(instruction.b)
+    if base is None:
+        return None
+    if op in ("ld", "st", "tst"):
+        if not isinstance(instruction.c, int):
+            return None
+        return base.add(Affine.constant(instruction.c))
+    offset = env.get(instruction.c)
+    if offset is None:
+        return None
+    return base.add(offset)
+
+
+# ---------------------------------------------------------------------------
+# symbolic dataflow over a thread body
+# ---------------------------------------------------------------------------
+
+
+class SymbolicValues(DataflowAnalysis):
+    """Affine register values over one region's CFG (forward, flat meet).
+
+    Environments map register -> Affine or None; the meet keeps equal
+    expressions and widens everything else to None, so the fixpoint is
+    finite (an expression either survives every join or collapses).
+    Loads widen: inside a loop the same pc reloads different values, and
+    claiming a single symbol for all iterations would be unsound.
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg: CFG, entry_env: Dict[int, Optional[Affine]]):
+        self.cfg = cfg
+        self.entry_env = dict(entry_env)
+        self.ins, self.outs = solve(cfg, self)
+
+    def boundary_state(self):
+        return dict(self.entry_env)
+
+    def meet(self, a, b):
+        return {reg: (a[reg] if a[reg] == b.get(reg) else None) for reg in a}
+
+    def transfer(self, block: BasicBlock, state):
+        env = dict(state)
+        for pc in block.pcs:
+            step_affine(self.cfg.instruction_at(pc), env)
+        return env
+
+    def env_at(self, pc: int) -> Dict[int, Optional[Affine]]:
+        """The affine register file just before ``pc`` executes."""
+        block = self.cfg.block_at(pc)
+        state = self.ins[block.index]
+        env = dict(state) if state is not None else dict(self.entry_env)
+        for earlier in block.pcs:
+            if earlier == pc:
+                break
+            step_affine(self.cfg.instruction_at(earlier), env)
+        return env
+
+
+def thread_entry_env(param_regs: Sequence[int] = PARAM_REGS,
+                     ) -> Dict[int, Optional[Affine]]:
+    """Thread-entry affine environment: parameters symbolic, rest unknown
+    (support contexts hold stale values from earlier activations)."""
+    env: Dict[int, Optional[Affine]] = {
+        reg: None for reg in range(NUM_REGISTERS)}
+    for reg in param_regs:
+        env[reg] = Affine.term(("param", reg))
+    return env
+
+
+def symbolic_access_map(values: SymbolicValues
+                        ) -> Dict[int, Optional[Affine]]:
+    """pc -> affine address for every memory access in the region.
+
+    Only expressions over ``param`` terms are kept: an address involving
+    an ``entry``/``load`` symbol is not a function of the trigger
+    arguments alone, so the caller must widen to the concrete set.
+    """
+    addresses: Dict[int, Optional[Affine]] = {}
+    for pc in sorted(values.cfg.pcs):
+        instruction = values.cfg.instruction_at(pc)
+        if not (is_load(instruction.op) or is_store(instruction.op)):
+            continue
+        expr = access_affine(instruction, values.env_at(pc))
+        if expr is not None and any(t[0] != "param" for t, _c in expr.terms):
+            expr = None
+        addresses[pc] = expr
+    return addresses
+
+
+# ---------------------------------------------------------------------------
+# the symbolic overlap algebra
+# ---------------------------------------------------------------------------
+
+#: verdicts of :func:`overlap_verdict`
+NONE, SOME, ALL, UNKNOWN = "none", "some", "all", "unknown"
+
+
+def _merge_ranges(ranges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(ranges):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _covered(piece: Tuple[int, int],
+             merged: Sequence[Tuple[int, int]]) -> bool:
+    lo, hi = piece
+    return any(mlo <= lo and hi <= mhi for mlo, mhi in merged)
+
+
+def _intersects(piece: Tuple[int, int],
+                ranges: Sequence[Tuple[int, int]]) -> bool:
+    lo, hi = piece
+    return any(lo < rhi and rlo < hi for rlo, rhi in ranges)
+
+
+def overlap_verdict(expr: Affine, feasible: Sequence[Tuple[int, int]],
+                    targets: Sequence[Tuple[int, int]]) -> str:
+    """Does ``expr`` (an address affine in r1) hit ``targets`` for all,
+    some, or none of the feasible trigger addresses?
+
+    ``feasible`` is the half-open word ranges r1 can take (from the
+    spec's store sites or watch ranges); ``targets`` the half-open word
+    ranges of the concrete access being compared against.  Exact for
+    coefficient 0/±1 (every bundled conversion); other coefficients use
+    the interval hull, which can return ``some`` for a stride that
+    actually misses — sound, since ``some``/``unknown`` only ever adds a
+    finding.  ``unknown`` when the expression involves parameters other
+    than r1 (r2/r3 carry data values with no feasible range).
+    """
+    if not targets:
+        return NONE
+    if not feasible and not expr.is_const:
+        return UNKNOWN
+    coeff = 0
+    for term, c in expr.terms:
+        if term == ("param", TRIGGER_ADDR_REG):
+            coeff = c
+        else:
+            return UNKNOWN
+    merged_targets = _merge_ranges(targets)
+    if coeff == 0:
+        point = (expr.const, expr.const + 1)
+        return ALL if _covered(point, merged_targets) else NONE
+    pieces: List[Tuple[int, int]] = []
+    for lo, hi in feasible:
+        if coeff == 1:
+            pieces.append((expr.const + lo, expr.const + hi))
+        elif coeff == -1:
+            pieces.append((expr.const - hi + 1, expr.const - lo + 1))
+        else:
+            ends = (expr.const + coeff * lo, expr.const + coeff * (hi - 1))
+            pieces.append((min(ends), max(ends) + 1))
+    exact = coeff in (1, -1)
+    any_hit = any(_intersects(p, merged_targets) for p in pieces)
+    if not any_hit:
+        return NONE
+    if exact and all(_covered(p, merged_targets) for p in pieces):
+        return ALL
+    if not exact and all(hi - lo == 1 and _covered((lo, hi), merged_targets)
+                         for lo, hi in pieces):
+        return ALL  # degenerate single-point feasible set
+    return SOME
+
+
+# ---------------------------------------------------------------------------
+# parameterized region closure: the feeder-segment proof
+# ---------------------------------------------------------------------------
+
+
+class ParamRecovery:
+    """How a synthesized thread recovers each region parameter from r1.
+
+    ``plans`` maps parameter register -> one of:
+
+    * ``("const", value)`` — the parameter is a known constant at region
+      entry (e.g. a base pointer materialized just before the region);
+    * ``("cases", [(region_lo, region_hi, delta), ...])`` — the
+      parameter equals ``r1 - delta`` whenever r1 falls in the feeder
+      region ``[region_lo, region_hi)``; a single case needs no
+      classification, multiple cases branch on r1 (the twolf x/y shape).
+      Cases are sorted by descending ``region_lo`` so synthesis can emit
+      a ``sge`` chain.
+    """
+
+    __slots__ = ("plans",)
+
+    def __init__(self, plans: Dict[int, Tuple]):
+        self.plans = dict(plans)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready view of the per-register recovery plans."""
+        rows = {}
+        for reg, plan in sorted(self.plans.items()):
+            if plan[0] == "const":
+                rows[f"r{reg}"] = {"kind": "const", "value": plan[1]}
+            else:
+                rows[f"r{reg}"] = {"kind": "cases", "cases": [
+                    {"lo": lo, "hi": hi, "delta": delta}
+                    for lo, hi, delta in plan[1]]}
+        return rows
+
+    def __repr__(self) -> str:
+        return f"ParamRecovery({self.as_dict()})"
+
+
+def segment_start(cfg: CFG, region_start: int) -> int:
+    """The earliest pc of the straight-line segment falling into
+    ``region_start``: walk predecessors while each pc's only predecessor
+    is the preceding pc (no joins, no calls — symbolic execution of the
+    segment then covers every path that reaches the region)."""
+    preds: Dict[int, set] = {pc: set() for pc in cfg.pcs}
+    for pc, succs in cfg.succ_pcs.items():
+        for succ in succs:
+            if succ in preds:
+                preds[succ].add(pc)
+    start = region_start
+    while (start - 1 in cfg.pcs
+           and preds.get(start) == {start - 1}
+           and cfg.instruction_at(start - 1).op not in ("call", "ret")):
+        start -= 1
+    return start
+
+
+def run_segment(program, cfg: CFG, seg_start: int, region_start: int
+                ) -> Tuple[Dict[int, Optional[Affine]], Dict[int, Affine]]:
+    """Symbolically execute the straight-line segment
+    ``[seg_start, region_start)``.
+
+    Returns ``(env, store_addrs)``: the affine register file at region
+    entry (over ``entry``/``load`` symbols) and the affine address of
+    every store in the segment.  Loads are value-numbered — two loads of
+    the same affine address with no intervening may-alias store share a
+    symbol (this is what proves vpr's re-loaded channel index equals the
+    one the feeder's address was computed from).  A store kills every
+    memoized location it may alias; provably different data regions
+    (:func:`affine_region`) survive.
+    """
+    layout = program.layout
+    env: Dict[int, Optional[Affine]] = {
+        reg: Affine.term(("entry", reg)) for reg in range(NUM_REGISTERS)}
+    memory: Dict[Affine, Affine] = {}
+    store_addrs: Dict[int, Affine] = {}
+    for pc in range(seg_start, region_start):
+        instruction = program.instructions[pc]
+        op = instruction.op
+        if is_store(op):
+            addr = access_affine(instruction, env)
+            if addr is None:
+                memory.clear()  # may alias anything
+                continue
+            store_addrs[pc] = addr
+            store_region = affine_region(addr, layout)
+            for known in list(memory):
+                if known == addr:
+                    continue
+                known_region = affine_region(known, layout)
+                if (store_region is None or known_region is None
+                        or known_region == store_region):
+                    del memory[known]
+            value = env.get(instruction.a)
+            if value is not None:
+                memory[addr] = value
+            else:
+                memory.pop(addr, None)
+        elif is_load(op):
+            addr = access_affine(instruction, env)
+            if addr is None:
+                env[instruction.a] = Affine.term(("load", pc))
+                continue
+            if addr not in memory:
+                memory[addr] = Affine.term(("load", pc))
+            env[instruction.a] = memory[addr]
+        else:
+            step_affine(instruction, env)
+    return env, store_addrs
+
+
+def prove_param_recovery(program, cfg: CFG, region_start: int,
+                         params: Sequence[int], feeder_pcs: Sequence[int],
+                         ) -> Optional[ParamRecovery]:
+    """Prove each region parameter recoverable from the trigger address.
+
+    For every feeder store f and every parameter p the proof obligation
+    is ``address(f) - value(p at region entry) == constant`` in the
+    affine algebra of the shared feeder segment — then a thread
+    triggered by f can recompute p as ``r1 - constant``.  When feeders
+    resolve to different constants they must live in pairwise-disjoint
+    data regions, so the thread can classify r1 by range (twolf's x/y
+    bases).  Returns None when any obligation fails: the candidate is
+    not parameter-closed and discovery must drop it.
+    """
+    layout = program.layout
+    seg_start = segment_start(cfg, region_start)
+    if any(not seg_start <= pc < region_start for pc in feeder_pcs):
+        return None  # a feeder outside the segment: no shared algebra
+    env, store_addrs = run_segment(program, cfg, seg_start, region_start)
+    plans: Dict[int, Tuple] = {}
+    for param in params:
+        value = env.get(param)
+        if value is None:
+            return None
+        if value.is_const:
+            plans[param] = ("const", value.const)
+            continue
+        cases: List[Tuple[int, int, int]] = []
+        for pc in feeder_pcs:
+            addr = store_addrs.get(pc)
+            if addr is None:
+                return None
+            delta = addr.diff_const(value)
+            if delta is None or not isinstance(delta, int):
+                return None
+            region = affine_region(addr, layout)
+            if region is None:
+                return None
+            base, size = layout[region]
+            cases.append((base, base + max(size, 1), delta))
+        unique = sorted(set(cases), reverse=True)
+        if len({delta for _lo, _hi, delta in unique}) != len(unique):
+            return None  # one region, two deltas: r1 cannot disambiguate
+        for (alo, ahi, _d1), (blo, bhi, _d2) in zip(unique, unique[1:]):
+            if blo < ahi and alo < bhi:
+                return None  # overlapping feeder regions: ambiguous
+        plans[param] = ("cases", unique)
+    return ParamRecovery(plans)
+
+
+# ---------------------------------------------------------------------------
+# analyze --json surface
+# ---------------------------------------------------------------------------
+
+
+def symbolic_report(program, specs) -> List[Dict]:
+    """Per-thread symbolic facts for ``dtt-harness analyze --json``.
+
+    One row per registered support thread: which trigger registers its
+    addresses are affine in, and per memory access the affine form (or
+    the widening reason).  Drives no verdicts — this is the observability
+    surface over the same machinery the checks use.
+    """
+    from repro.analysis import cfg as cfgmod
+
+    rows: List[Dict] = []
+    seen = set()
+    for spec in specs:
+        if spec.thread in seen or spec.thread not in program.threads:
+            continue
+        seen.add(spec.thread)
+        tcfg = cfgmod.thread_cfg(program, spec.thread)
+        values = SymbolicValues(tcfg, thread_entry_env())
+        accesses = symbolic_access_map(values)
+        params = set()
+        access_rows = []
+        for pc in sorted(accesses):
+            expr = accesses[pc]
+            instruction = tcfg.instruction_at(pc)
+            row = {"pc": pc,
+                   "kind": "read" if is_load(instruction.op) else "write"}
+            if expr is None:
+                row["address"] = None
+            else:
+                row["address"] = expr.describe()
+                params.update(which for (kind, which), _c in expr.terms
+                              if kind == "param")
+            access_rows.append(row)
+        rows.append({
+            "thread": spec.thread,
+            "params": sorted(f"r{reg}" for reg in params),
+            "resolved": sum(1 for r in access_rows
+                            if r["address"] is not None),
+            "accesses": access_rows,
+        })
+    return rows

@@ -52,6 +52,7 @@ from repro.analysis import cfg as cfgmod
 from repro.analysis.dataflow import (AddressSet, Liveness, ValueAnalysis,
                                      access_summary, const_value,
                                      union_addresses)
+from repro.analysis.symbolic import ParamRecovery, prove_param_recovery
 from repro.isa.instructions import (is_load, is_store, is_triggering_store,
                                     operand_roles)
 from repro.isa.program import Program
@@ -67,6 +68,10 @@ from repro.profiling.redundancy import (RedundantLoadProfiler,
 _FORBIDDEN_OPS = frozenset(
     ["call", "ret", "halt", "out", "tcheck", "treturn", "tst", "tstx"])
 
+#: most registers a parameterized region may read before defining — the
+#: synthesized prologue recovers each from r1, so this bounds its size
+_MAX_PARAMS = 3
+
 
 class ConversionCandidate:
     """One store-sites → consumer-region pair, with its profile score."""
@@ -74,17 +79,22 @@ class ConversionCandidate:
     __slots__ = ("region_start", "region_end", "store_pcs", "reads",
                  "writes", "dynamic_stores", "silent_stores",
                  "region_loads", "redundant_loads", "score", "ci_low",
-                 "ci_high")
+                 "ci_high", "params", "recovery")
 
     def __init__(self, region_start: int, region_end: int,
                  store_pcs: Tuple[int, ...], reads: AddressSet,
-                 writes: AddressSet):
+                 writes: AddressSet, params: Tuple[int, ...] = (),
+                 recovery: Optional[ParamRecovery] = None):
         self.region_start = region_start
         self.region_end = region_end
         #: feeder store pcs (in the *original* program), ascending
         self.store_pcs = tuple(sorted(store_pcs))
         self.reads = reads
         self.writes = writes
+        #: registers the region reads before defining (thread parameters);
+        #: non-empty only with a proven :class:`ParamRecovery`
+        self.params = tuple(sorted(params))
+        self.recovery = recovery
         self.dynamic_stores = 0
         self.silent_stores = 0
         self.region_loads = 0
@@ -125,6 +135,10 @@ class ConversionCandidate:
         if self.ci_low is not None:
             row["score_ci_low"] = round(self.ci_low, 6)
             row["score_ci_high"] = round(self.ci_high, 6)
+        if self.params:
+            row["params"] = [f"r{reg}" for reg in self.params]
+            row["recovery"] = (self.recovery.as_dict()
+                               if self.recovery is not None else None)
         return row
 
     def __repr__(self) -> str:
@@ -134,7 +148,8 @@ class ConversionCandidate:
 
 
 def discover_candidates(program: Program,
-                        min_region_size: int = 4
+                        min_region_size: int = 4,
+                        allow_params: bool = True
                         ) -> List[ConversionCandidate]:
     """Statically enumerate convertible regions of a plain program.
 
@@ -143,6 +158,21 @@ def discover_candidates(program: Program,
     skip), unscored and sorted by region start.  Raises nothing on
     DTT-converted input; a program that already declares threads simply
     yields no candidates (its regions contain DTT ops).
+
+    With ``allow_params`` (the default), a start where the
+    register-closed scan finds nothing is retried allowing up to
+    ``_MAX_PARAMS`` reads of registers the region never defines —
+    *parameters*, in the sense of the paper's vpr/twolf conversions.
+    Such a candidate is kept only when
+    :func:`~repro.analysis.symbolic.prove_param_recovery` shows every
+    parameter is recoverable from the trigger address, so synthesis can
+    prime it in the thread prologue.  Parameterized discovery is purely
+    additive: any start the closed scan already covers keeps its
+    original candidate, and a parameterized interval lying *inside* a
+    register-closed one is dropped — it is a suffix of a region that
+    converts without parameters at all (shaving the leading ``li`` off
+    a closed region turns the constant into a "parameter"), so keeping
+    it would only flood ranking with redundant sub-regions.
     """
     cfg = cfgmod.main_cfg(program)
     layout = program.layout
@@ -155,41 +185,69 @@ def discover_candidates(program: Program,
                  if not is_triggering_store(cfg.instruction_at(pc).op)}
     live_entry = liveness.live_into(cfg.entry_pc)
     pcs = cfg.pcs
-    candidates: List[ConversionCandidate] = []
-    for start in sorted(pcs):
-        interval = _maximal_interval(cfg, liveness, live_entry, pcs, start,
-                                     min_region_size)
-        if interval is None:
-            continue
-        end = interval
+
+    def build(start: int, end: int,
+              params: Tuple[int, ...]) -> Optional[ConversionCandidate]:
         region_reads = union_addresses(
             reads_at[pc] for pc in range(start, end) if pc in reads_at)
         region_writes = union_addresses(
             writes_at[pc] for pc in range(start, end) if pc in writes_at)
         if region_writes.is_empty() or region_writes.top:
+            return None
+        return _attach_feeders(program, cfg, layout, reads_at, writes_at,
+                               start, end, region_reads, region_writes,
+                               params)
+
+    candidates: List[ConversionCandidate] = []
+    plain_spans: List[Tuple[int, int]] = []
+    open_starts: List[int] = []
+    for start in sorted(pcs):
+        interval = _maximal_interval(cfg, liveness, live_entry, pcs, start,
+                                     min_region_size)
+        if interval is None:
+            open_starts.append(start)
             continue
-        candidate = _attach_feeders(program, cfg, layout, reads_at,
-                                    writes_at, start, end, region_reads,
-                                    region_writes)
+        end, params = interval
+        plain_spans.append((start, end))
+        candidate = build(start, end, params)
         if candidate is not None:
             candidates.append(candidate)
+    if allow_params:
+        for start in open_starts:
+            interval = _maximal_interval(cfg, liveness, live_entry, pcs,
+                                         start, min_region_size,
+                                         max_params=_MAX_PARAMS)
+            if interval is None:
+                continue
+            end, params = interval
+            if any(plo <= start and end <= phi for plo, phi in plain_spans):
+                continue
+            candidate = build(start, end, params)
+            if candidate is not None:
+                candidates.append(candidate)
+        candidates.sort(key=lambda c: c.region_start)
     return candidates
 
 
 def _maximal_interval(cfg, liveness, live_entry, pcs, start,
-                      min_region_size) -> Optional[int]:
-    """The largest valid region end for ``start``, or None.
+                      min_region_size, max_params: int = 0
+                      ) -> Optional[Tuple[int, Tuple[int, ...]]]:
+    """The largest valid ``(region end, parameter registers)`` for
+    ``start``, or None.
 
     Grows the interval one pc at a time, tracking linear register
     definedness and the furthest forward successor; an interval is valid
     when control is contained, the exit is reachable, and the defined
-    registers are dead at both the continuation and program entry.
+    registers are dead at both the continuation and program entry.  With
+    ``max_params`` > 0, up to that many reads of never-defined registers
+    become parameters instead of ending the interval.
     """
     defined: set = set()
     defs: set = set()
+    params: set = set()
     has_load = has_store = False
     exit_reachable: set = set()
-    best: Optional[int] = None
+    best: Optional[Tuple[int, Tuple[int, ...]]] = None
     pc = start
     while pc in pcs:
         instruction = cfg.instruction_at(pc)
@@ -197,9 +255,12 @@ def _maximal_interval(cfg, liveness, live_entry, pcs, start,
         if op in _FORBIDDEN_OPS:
             break
         _dest, sources = operand_roles(op)
-        if any(getattr(instruction, slot) not in defined
-               for slot in sources):
-            break  # reads a register the region never defined
+        undefined = {getattr(instruction, slot) for slot in sources
+                     if getattr(instruction, slot) not in defined}
+        if undefined - params:
+            if len(params | undefined) > max_params:
+                break  # reads a register the region never defined
+            params |= undefined
         if _dest is not None:
             reg = getattr(instruction, _dest)
             defined.add(reg)
@@ -218,7 +279,7 @@ def _maximal_interval(cfg, liveness, live_entry, pcs, start,
                 and _single_entry(cfg, pcs, start, end)
                 and not (defs & liveness.live_into(end))
                 and not (defs & live_entry)):
-            best = end
+            best = (end, tuple(sorted(params)))
         pc += 1
     return best
 
@@ -235,9 +296,16 @@ def _single_entry(cfg, pcs, start, end) -> bool:
 
 
 def _attach_feeders(program, cfg, layout, reads_at, writes_at, start, end,
-                    region_reads, region_writes
+                    region_reads, region_writes, params: Tuple[int, ...] = ()
                     ) -> Optional[ConversionCandidate]:
-    """Pair a region with the plain stores that may write its inputs."""
+    """Pair a region with the plain stores that may write its inputs.
+
+    A parameterized region additionally needs the symbolic closure
+    proof: every parameter must be recoverable from each feeder's store
+    address (:func:`~repro.analysis.symbolic.prove_param_recovery`), or
+    the synthesized thread could not reconstruct the value the region
+    reads and the candidate is dropped.
+    """
     feeders: List[int] = []
     for pc, addresses in writes_at.items():
         if start <= pc < end:
@@ -258,8 +326,14 @@ def _attach_feeders(program, cfg, layout, reads_at, writes_at, start, end,
         if not start <= pc < end)
     if not consumed:
         return None
+    recovery = None
+    if params:
+        recovery = prove_param_recovery(program, cfg, start, params, feeders)
+        if recovery is None:
+            return None
     return ConversionCandidate(start, end, tuple(feeders), region_reads,
-                               region_writes)
+                               region_writes, params=params,
+                               recovery=recovery)
 
 
 def rank_candidates(

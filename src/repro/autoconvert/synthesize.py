@@ -15,6 +15,24 @@ a new program in which, for each candidate ``k``:
   the hand conversions: the derived data must exist before the first
   consume even if no feeder has yet stored a changed value.
 
+Parameterized candidates (``candidate.params`` non-empty) additionally
+get a *recovery prologue* at the top of the thread body: each parameter
+register is recomputed from the trigger-argument registers using the
+:class:`~repro.analysis.symbolic.ParamRecovery` proof attached at
+discovery time (``li`` for constants, ``subi param, r1, delta`` for a
+single feeder region, a descending ``sge`` case chain when feeders
+store into several disjoint regions).  Their trigger specs mirror the
+hand conversions' dedupe idiom: a single feeder site gets per-*address*
+dedupe (each trigger address names a distinct parameter instantiation,
+like vpr's per-channel recompute), while several feeder sites keep
+per-thread dedupe (they feed one instantiation in a burst, like
+twolf's x/y pair — the engine's cancel-and-restart then coalesces the
+burst into one recompute against final memory).  No priming copy is
+emitted for them:
+the parameters only exist once a trigger fires, and the baseline's own
+initialization code (still in main, outside the region) covers the
+pre-trigger state; the gate's output-equality check backstops this.
+
 Data items are copied in the original order, so the loader layout is
 identical and resolved ``la`` immediates survive verbatim — no symbol
 re-patching.  Register safety is the candidate contract (the region
@@ -35,7 +53,10 @@ from typing import Dict, List, Sequence, Set
 from repro.autoconvert.candidates import ConversionCandidate
 from repro.errors import ProgramValidationError, SynthesisError
 from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import operand_roles
 from repro.isa.program import Program
+from repro.isa.registers import (NUM_REGISTERS, TRIGGER_ADDR_REG,
+                                 TRIGGER_OLD_VALUE_REG, TRIGGER_VALUE_REG)
 from repro.workloads.base import DttBuild
 from repro.core.registry import TriggerSpec
 
@@ -97,6 +118,11 @@ def synthesize(program: Program,
             if op not in _TRIGGERING_FORM:
                 raise SynthesisError(
                     f"feeder at pc {pc} is {op!r}, not a plain store")
+        if candidate.params and candidate.recovery is None:
+            raise SynthesisError(
+                f"candidate pc {candidate.region_start}.."
+                f"{candidate.region_end - 1} is parameterized over "
+                f"{sorted(candidate.params)} but carries no recovery proof")
 
     interior: Set[int] = set()
     start_of: Dict[int, ConversionCandidate] = {}
@@ -121,6 +147,7 @@ def synthesize(program: Program,
     # thread bodies first: tcheck ids are declaration-order indices
     for index, candidate in enumerate(ordered):
         with b.thread(_thread_name(index)):
+            _emit_param_prologue(b, program, candidate, f"__ac{index}")
             _copy_region(b, program, candidate, f"__ac{index}")
             b.treturn()
 
@@ -134,7 +161,8 @@ def synthesize(program: Program,
                 b.label(name)
         if pc == program.entry_pc:
             for index, candidate in enumerate(ordered):
-                _copy_region(b, program, candidate, f"__ac_prime{index}")
+                if not candidate.params:
+                    _copy_region(b, program, candidate, f"__ac_prime{index}")
         candidate = start_of.get(pc)
         if candidate is not None:
             index = ordered.index(candidate)
@@ -166,11 +194,13 @@ def synthesize(program: Program,
 
     specs = [
         TriggerSpec(_thread_name(index), store_pcs=new_feeder_pcs[index],
-                    per_address_dedupe=False)
-        for index in range(len(ordered))
+                    per_address_dedupe=(bool(candidate.params)
+                                        and len(candidate.store_pcs) == 1))
+        for index, candidate in enumerate(ordered)
     ]
-    conversions = [
-        {
+    conversions = []
+    for index, candidate in enumerate(ordered):
+        row = {
             "thread": _thread_name(index),
             "region_start": candidate.region_start,
             "region_end": candidate.region_end,
@@ -180,13 +210,83 @@ def synthesize(program: Program,
             "thread_entry_pc": new_program.thread_entry_pc(
                 _thread_name(index)),
         }
-        for index, candidate in enumerate(ordered)
-    ]
+        if candidate.params:
+            row["params"] = [f"r{reg}" for reg in candidate.params]
+            row["recovery"] = candidate.recovery.as_dict()
+        conversions.append(row)
     return SynthesisResult(DttBuild(new_program, specs), conversions)
 
 
 def _thread_name(index: int) -> str:
     return f"auto{index}"
+
+
+def _scratch_register(program: Program,
+                      candidate: ConversionCandidate) -> int:
+    """A register the recovery prologue may clobber freely.
+
+    Anything the region itself touches, the parameters, and the
+    trigger-argument registers are off limits; the highest-numbered
+    remaining register wins (the suite leaves the top of the file
+    untouched, so this never collides in practice).
+    """
+    reserved = {0, TRIGGER_ADDR_REG, TRIGGER_VALUE_REG,
+                TRIGGER_OLD_VALUE_REG, *candidate.params}
+    for pc in range(candidate.region_start, candidate.region_end):
+        instruction = program.instructions[pc]
+        dest, sources = operand_roles(instruction.op)
+        for slot in sources if dest is None else (dest,) + sources:
+            reserved.add(getattr(instruction, slot))
+    for reg in range(NUM_REGISTERS - 1, 0, -1):
+        if reg not in reserved:
+            return reg
+    raise SynthesisError(
+        f"no scratch register free for recovery prologue of region "
+        f"pc {candidate.region_start}..{candidate.region_end - 1}")
+
+
+def _emit_param_prologue(b: ProgramBuilder, program: Program,
+                         candidate: ConversionCandidate,
+                         prefix: str) -> None:
+    """Recompute each parameter register from the trigger arguments.
+
+    Follows the candidate's :class:`ParamRecovery` proof: constants are
+    materialized with ``li``; a single-feeder-region parameter is
+    ``param = r1 - delta``; several feeder regions become a descending
+    ``sge`` case chain on the trigger address (the same shape the hand
+    twolf conversion uses to tell its x- and y-array triggers apart).
+    Parameters equal to ``r1`` are recovered last so earlier cases can
+    still read the trigger address.
+    """
+    if not candidate.params:
+        return
+    plans = candidate.recovery.plans
+    for reg in sorted(candidate.params,
+                      key=lambda r: (r == TRIGGER_ADDR_REG, r)):
+        plan = plans.get(reg)
+        if plan is None:
+            raise SynthesisError(
+                f"no recovery plan for parameter r{reg} of region "
+                f"pc {candidate.region_start}..{candidate.region_end - 1}")
+        if plan[0] == "const":
+            b.li(reg, plan[1])
+            continue
+        cases = plan[1]  # [(region_lo, region_hi, delta)], descending lo
+        if len(cases) == 1:
+            b.subi(reg, TRIGGER_ADDR_REG, cases[0][2])
+            continue
+        scratch = _scratch_register(program, candidate)
+        done = f"{prefix}_p{reg}_done"
+        for case_index, (lo, _hi, delta) in enumerate(cases[:-1]):
+            skip = f"{prefix}_p{reg}_c{case_index}"
+            b.li(scratch, lo)
+            b.sge(scratch, TRIGGER_ADDR_REG, scratch)
+            b.beqz(scratch, skip)
+            b.subi(reg, TRIGGER_ADDR_REG, delta)
+            b.jmp(done)
+            b.label(skip)
+        b.subi(reg, TRIGGER_ADDR_REG, cases[-1][2])
+        b.label(done)
 
 
 def _copy_region(b: ProgramBuilder, program: Program,

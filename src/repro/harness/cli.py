@@ -686,12 +686,17 @@ def _cmd_analyze(args) -> int:
                                  and summary["warnings"]):
             failed = True
         if args.json:
-            payload.append({
+            row = {
                 "target": label,
                 "findings": [f.to_dict() for f in findings],
                 "summary": summary,
                 "suppressed": suppressed,
-            })
+            }
+            if specs is not None:
+                from repro.analysis.symbolic import symbolic_report
+
+                row["symbolic"] = symbolic_report(program, specs)
+            payload.append(row)
         else:
             _render_findings(label, findings, suppressed)
     if args.write_baseline:

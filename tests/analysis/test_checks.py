@@ -98,9 +98,41 @@ def test_well_formed_conversion_is_clean():
 # -- read-race ----------------------------------------------------------------
 
 
-def test_store_to_thread_input_inside_window_is_a_read_race():
+def test_store_to_thread_input_inside_window_is_a_parameterized_race():
+    # the thread reads cell r1, so the store to xs[1] collides only for
+    # the instantiation r1 == &xs[1] — since the symbolic pass (race
+    # checks v2) that demotes to parameterized-race, still an error
     program = fixture(store_xs_in_window=True)
-    assert "read-race" in codes(program, [xs_spec(program)])
+    found = codes(program, [xs_spec(program)])
+    assert "parameterized-race" in found
+    assert "read-race" not in found
+
+
+def test_store_hitting_every_instantiation_is_a_classic_read_race():
+    # a thread that reads a *fixed* cell overlaps the in-window store
+    # for every trigger address: the classic read-race code stands
+    b = ProgramBuilder()
+    b.data("xs", [1, 2, 3, 4])
+    b.data("ys", [0, 0])
+    with b.thread("worker"):
+        with b.scratch(2) as (v, out):
+            b.la(v, "xs")
+            b.ld(v, v, 1)            # always xs[1], whatever r1 was
+            b.la(out, "ys")
+            b.st(v, out, 0)
+        b.treturn()
+    with b.function("main"):
+        with b.scratch(2) as (base, v):
+            b.la(base, "xs")
+            b.li(v, 7)
+            b.tst(v, base, 0)
+            b.st(v, base, 1)         # clobbers the cell the thread reads
+            b.tcheck_thread("worker")
+        b.halt()
+    program = b.build()
+    found = codes(program, [xs_spec(program)])
+    assert "read-race" in found
+    assert "parameterized-race" not in found
 
 
 def test_same_store_after_the_tcheck_is_clean():
@@ -273,7 +305,7 @@ def test_analysis_summary_counts():
     summary = analysis_summary(findings)
     assert summary["errors"] == len(findings)
     assert summary["warnings"] == 0
-    assert summary["codes"]["read-race"] >= 1
+    assert summary["codes"]["parameterized-race"] >= 1
 
 
 def test_analyze_workload_kinds():

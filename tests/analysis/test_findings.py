@@ -60,11 +60,33 @@ def test_errors_only():
 
 
 def test_fingerprint_excludes_message_includes_target_and_pc():
-    one = Finding(ERROR, "read-race", 12, "worded one way")
-    two = Finding(ERROR, "read-race", 12, "worded another way")
-    assert one.fingerprint() == two.fingerprint() == "read-race@12"
-    assert one.fingerprint("mcf:dtt") == "mcf:dtt:read-race@12"
-    assert Finding(ERROR, "no-halt", None, "m").fingerprint() == "no-halt@-"
+    one = Finding(ERROR, "read-race", 12, "worded one way", version=2)
+    two = Finding(ERROR, "read-race", 12, "worded another way", version=2)
+    assert one.fingerprint() == two.fingerprint() == "read-race.v2@12"
+    assert one.fingerprint("mcf:dtt") == "mcf:dtt:read-race.v2@12"
+    assert (Finding(ERROR, "no-halt", None, "m").fingerprint()
+            == "no-halt.v1@-")
+
+
+def test_fingerprint_version_bump_invalidates_baseline():
+    # a suppression written against v1 semantics must NOT silently
+    # swallow the same code/pc once the check's version is bumped
+    v1 = Finding(ERROR, "read-race", 12, "old semantics", version=1)
+    baseline = Baseline()
+    baseline.add([v1], target="t")
+    v2 = Finding(ERROR, "read-race", 12, "new semantics", version=2)
+    kept, suppressed = baseline.filter([v2], target="t")
+    assert suppressed == 0
+    assert kept == [v2]
+
+
+def test_to_dict_carries_version_only_when_not_default():
+    assert "version" not in Finding(ERROR, "x", None, "m").to_dict()
+    payload = Finding(ERROR, "x", None, "m", version=3).to_dict()
+    assert payload["version"] == 3
+    assert Finding.from_dict(payload).version == 3
+    assert Finding.from_dict({"severity": "error", "code": "x",
+                              "message": "m"}).version == 1
 
 
 def test_baseline_filter_and_add():

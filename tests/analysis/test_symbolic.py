@@ -1,0 +1,549 @@
+"""Unit and property tests for the symbolic affine analysis.
+
+Three layers, mirroring the module:
+
+* the :class:`Affine` algebra and the per-op transfer function
+  (``step_affine`` / ``access_affine``), including an exactness
+  property — any register the symbolic walk resolves must equal the
+  machine's concrete value under substitution of the seeds;
+* the overlap algebra (``overlap_verdict``), with a brute-force
+  property oracle over small instantiation spaces;
+* the feeder-segment proof (``prove_param_recovery``) — constant
+  plans, the vpr single-case shape, the twolf two-region shape, and
+  the rejection paths (non-affine parameter, ambiguous regions,
+  clobbered load value numbering);
+
+plus clean/flagging twins for the ``symbolic-unresolved-region``
+finding the race checks emit when both lattices widen to top.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_program
+from repro.analysis.cfg import main_cfg, thread_cfg
+from repro.analysis.symbolic import (ALL, NONE, SOME, UNKNOWN, Affine,
+                                     SymbolicValues, access_affine,
+                                     overlap_verdict, prove_param_recovery,
+                                     segment_start, step_affine,
+                                     symbolic_access_map, symbolic_report,
+                                     thread_entry_env)
+from repro.core.registry import TriggerSpec
+from repro.isa.builder import ProgramBuilder
+from repro.machine.context import ContextState
+from repro.machine.machine import Machine
+
+
+def r1():
+    return Affine.term(("param", 1))
+
+
+def _codes(findings):
+    return {f.code for f in findings}
+
+
+# -- the Affine algebra --------------------------------------------------------
+
+
+def test_affine_constant_and_term_basics():
+    five = Affine.constant(5)
+    assert five.is_const and five.const == 5
+    expr = r1().add(Affine.constant(3))
+    assert not expr.is_const
+    assert expr.const == 3 and expr.terms == ((("param", 1), 1),)
+
+
+def test_affine_add_sub_cancel_to_constant():
+    expr = r1().add(Affine.constant(10)).sub(r1())
+    assert expr == Affine.constant(10)
+    assert expr.is_const
+
+
+def test_affine_scale_distributes():
+    expr = r1().add(Affine.constant(2)).scale(3)
+    assert expr.const == 6
+    assert expr.terms == ((("param", 1), 3),)
+
+
+def test_affine_diff_const():
+    a = r1().add(Affine.constant(272))
+    assert a.diff_const(r1()) == 272
+    assert a.diff_const(Affine.term(("param", 2))) is None
+
+
+def test_affine_equality_ignores_term_order_and_zero_coeffs():
+    a = Affine(1, [(("param", 1), 1), (("param", 2), 1)])
+    b = Affine(1, [(("param", 2), 1), (("param", 1), 1), (("load", 9), 0)])
+    assert a == b and hash(a) == hash(b)
+
+
+def test_affine_describe_is_human_readable():
+    assert r1().sub(Affine.constant(272)).describe() == "r1 - 272"
+    assert Affine.constant(7).describe() == "7"
+    assert r1().scale(-1).add(Affine.constant(4)).describe() == "-r1 + 4"
+
+
+# -- the per-op transfer function ----------------------------------------------
+
+
+def _instructions(build):
+    """Emit ``build(b)`` into a throwaway function; return instructions."""
+    b = ProgramBuilder()
+    b.zeros("scratch", 8)
+    with b.function("main"):
+        build(b)
+        b.halt()
+    return b.build().instructions
+
+
+def _env(**regs):
+    env = {reg: None for reg in range(32)}
+    env[1] = r1()
+    for name, value in regs.items():
+        env[int(name[1:])] = value
+    return env
+
+
+def test_transfer_li_and_mov():
+    ins = _instructions(lambda b: (b.li(4, 7), b.mov(5, 1)))
+    env = _env()
+    step_affine(ins[0], env)
+    step_affine(ins[1], env)
+    assert env[4] == Affine.constant(7)
+    assert env[5] == r1()
+
+
+def test_transfer_li_float_widens():
+    ins = _instructions(lambda b: b.li(4, 2.5))
+    env = _env(r4=Affine.constant(1))
+    step_affine(ins[0], env)
+    assert env[4] is None
+
+
+def test_transfer_add_sub_with_params():
+    ins = _instructions(lambda b: (b.add(4, 1, 5), b.subi(6, 4, 3)))
+    env = _env(r5=Affine.constant(10))
+    step_affine(ins[0], env)
+    assert env[4] == r1().add(Affine.constant(10))
+    step_affine(ins[1], env)
+    assert env[6] == r1().add(Affine.constant(7))
+
+
+def test_transfer_mul_by_constant_scales_either_side():
+    ins = _instructions(lambda b: (b.mul(4, 1, 5), b.mul(6, 5, 1),
+                                   b.emit("muli", 7, 1, 3)))
+    env = _env(r5=Affine.constant(4))
+    for i in ins[:3]:
+        step_affine(i, env)
+    assert env[4] == r1().scale(4)
+    assert env[6] == r1().scale(4)
+    assert env[7] == r1().scale(3)
+
+
+def test_transfer_bilinear_mul_widens():
+    ins = _instructions(lambda b: b.mul(4, 1, 2))
+    env = _env()
+    env[2] = Affine.term(("param", 2))
+    step_affine(ins[0], env)
+    assert env[4] is None
+
+
+def test_transfer_constants_fold_through_modeled_ops():
+    ins = _instructions(lambda b: (b.emit("xor", 4, 5, 6),
+                                   b.emit("idiv", 7, 5, 6)))
+    env = _env(r5=Affine.constant(12), r6=Affine.constant(10))
+    step_affine(ins[0], env)
+    step_affine(ins[1], env)
+    assert env[4] == Affine.constant(12 ^ 10)
+    assert env[7] is None  # division is outside the folding table: widen
+
+
+def test_transfer_nonaffine_op_on_symbolic_operand_widens():
+    ins = _instructions(lambda b: (b.emit("idiv", 4, 1, 5),
+                                   b.emit("and_", 6, 1, 5)))
+    env = _env(r5=Affine.constant(2))
+    step_affine(ins[0], env)
+    step_affine(ins[1], env)
+    assert env[4] is None and env[6] is None
+
+
+def test_transfer_unknown_operand_poisons_dest():
+    ins = _instructions(lambda b: b.add(4, 1, 9))
+    env = _env()  # r9 unknown
+    step_affine(ins[0], env)
+    assert env[4] is None
+
+
+def test_transfer_load_widens_without_value_numbering():
+    ins = _instructions(lambda b: b.ld(4, 1, 0))
+    env = _env(r4=Affine.constant(1))
+    step_affine(ins[0], env)
+    assert env[4] is None
+
+
+def test_access_affine_const_and_indexed_offsets():
+    ins = _instructions(lambda b: (b.ld(4, 1, 3), b.ldx(4, 1, 5),
+                                   b.ldx(4, 1, 9)))
+    env = _env(r5=Affine.constant(2))
+    assert access_affine(ins[0], env) == r1().add(Affine.constant(3))
+    assert access_affine(ins[1], env) == r1().add(Affine.constant(2))
+    assert access_affine(ins[2], env) is None  # r9 unknown offset
+
+
+_SEED_REGS = (1, 2, 3)
+_WORK_REGS = (10, 11, 12, 13)
+
+
+@st.composite
+def _transfer_program(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.sampled_from(["li", "mov", "add", "sub", "mul",
+                                     "addi", "subi", "muli"]))
+        rd = draw(st.sampled_from(_WORK_REGS))
+        rs = draw(st.sampled_from(_SEED_REGS + _WORK_REGS))
+        if kind == "li":
+            ops.append(("li", rd, draw(st.integers(-50, 50))))
+        elif kind == "mov":
+            ops.append(("mov", rd, rs))
+        elif kind in ("addi", "subi", "muli"):
+            ops.append((kind, rd, rs, draw(st.integers(-9, 9))))
+        else:
+            rt = draw(st.sampled_from(_SEED_REGS + _WORK_REGS))
+            ops.append((kind, rd, rs, rt))
+    seeds = {reg: draw(st.integers(-100, 100)) for reg in _SEED_REGS}
+    return ops, seeds
+
+
+@given(_transfer_program())
+@settings(max_examples=80, deadline=None)
+def test_transfer_resolved_values_match_concrete_execution(case):
+    """Exactness: substitute the seeds into any expression the symbolic
+    walk resolves — it must equal the machine's concrete register."""
+    ops, seeds = case
+    b = ProgramBuilder()
+    b.zeros("scratch", 8)
+    with b.function("main"):
+        for reg, value in seeds.items():
+            b.li(reg, value)
+        first = b.li(9, 0) + 1  # marker: symbolic walk starts after this
+        for op in ops:
+            b.emit(*op)
+        b.halt()
+    program = b.build()
+
+    env = {reg: None for reg in range(32)}
+    for reg in _SEED_REGS:
+        env[reg] = Affine.term(("param", reg))
+    for pc in range(first, len(program.instructions) - 1):
+        step_affine(program.instructions[pc], env)
+
+    machine = Machine(program)
+    main = machine.main_context
+    while main.state is ContextState.RUNNING:
+        machine.step(main)
+
+    for reg in _WORK_REGS:
+        expr = env[reg]
+        if expr is None:
+            continue
+        value = expr.const + sum(coeff * seeds[term[1]]
+                                 for term, coeff in expr.terms)
+        assert main.regs[reg] == value, (reg, expr, ops)
+
+
+# -- the overlap algebra -------------------------------------------------------
+
+
+def test_overlap_constant_point_is_all_or_none():
+    expr = Affine.constant(12)
+    assert overlap_verdict(expr, [(0, 4)], [(10, 20)]) == ALL
+    assert overlap_verdict(expr, [(0, 4)], [(0, 10)]) == NONE
+
+
+def test_overlap_identity_coefficient_tracks_feasible_range():
+    assert overlap_verdict(r1(), [(10, 14)], [(10, 14)]) == ALL
+    assert overlap_verdict(r1(), [(10, 14)], [(12, 20)]) == SOME
+    assert overlap_verdict(r1(), [(10, 14)], [(14, 20)]) == NONE
+
+
+def test_overlap_negative_coefficient_reflects_the_range():
+    expr = r1().scale(-1).add(Affine.constant(20))  # 20 - r1
+    assert overlap_verdict(expr, [(10, 12)], [(9, 11)]) == ALL
+    assert overlap_verdict(expr, [(10, 12)], [(10, 11)]) == SOME
+    assert overlap_verdict(expr, [(10, 12)], [(11, 20)]) == NONE
+
+
+def test_overlap_offset_translation():
+    expr = r1().sub(Affine.constant(272))  # the vpr channel id
+    assert overlap_verdict(expr, [(272, 284)], [(0, 12)]) == ALL
+    assert overlap_verdict(expr, [(272, 284)], [(6, 12)]) == SOME
+
+
+def test_overlap_strided_uses_interval_hull():
+    # 2*r1 over r1 in [0,3) really hits {0, 2, 4}; the hull may say
+    # SOME for the missed odd cell — sound (adds a finding), not exact
+    expr = r1().scale(2)
+    assert overlap_verdict(expr, [(0, 3)], [(1, 2)]) == SOME
+    assert overlap_verdict(expr, [(0, 3)], [(5, 9)]) == NONE
+    # a single-point feasible set is exact for any coefficient
+    assert overlap_verdict(expr, [(5, 6)], [(10, 11)]) == ALL
+
+
+def test_overlap_unknowns():
+    assert overlap_verdict(r1(), [(0, 4)], []) == NONE
+    assert overlap_verdict(r1(), [], [(0, 4)]) == UNKNOWN
+    r2_expr = Affine.term(("param", 2))
+    assert overlap_verdict(r2_expr, [(0, 4)], [(0, 4)]) == UNKNOWN
+
+
+@st.composite
+def _overlap_case(draw):
+    coeff = draw(st.integers(-2, 2))
+    const = draw(st.integers(-8, 8))
+    expr = Affine(const, [(("param", 1), coeff)])
+    ranges = st.tuples(st.integers(0, 12), st.integers(1, 4)).map(
+        lambda t: (t[0], t[0] + t[1]))
+    feasible = draw(st.lists(ranges, min_size=1, max_size=2))
+    targets = draw(st.lists(ranges, min_size=0, max_size=2))
+    return expr, coeff, feasible, targets
+
+
+@given(_overlap_case())
+@settings(max_examples=150, deadline=None)
+def test_overlap_verdict_sound_always_exact_for_unit_coefficients(case):
+    expr, coeff, feasible, targets = case
+    verdict = overlap_verdict(expr, feasible, targets)
+    hits = [any(lo <= expr.const + coeff * a < hi for lo, hi in targets)
+            for piece_lo, piece_hi in feasible
+            for a in range(piece_lo, piece_hi)]
+    if verdict == NONE:
+        assert not any(hits)
+    elif verdict == ALL:
+        assert all(hits)
+    if abs(coeff) <= 1 or not targets:  # exact fragment
+        truth = (NONE if not any(hits)
+                 else ALL if all(hits) else SOME)
+        assert verdict == truth, (expr, feasible, targets)
+
+
+# -- the feeder-segment proof --------------------------------------------------
+
+
+def _feeder_program(second_region=False, clobber=False, reload_idx=False,
+                    ambiguous=False):
+    """A main function shaped like the paper's parameterized feeders:
+    load an index, form ``base + index``, triggering-store through it,
+    then (the would-be region) read through the index register."""
+    b = ProgramBuilder()
+    b.data("idx", [3])
+    b.data("xs", [0] * 8)
+    b.data("ys", [0] * 8)
+    feeders = []
+    with b.function("main"):
+        b.la(4, "idx")
+        b.ld(9, 4, 0)          # r9 = the region parameter
+        b.li(7, 1)
+        b.la(5, "xs")
+        b.add(6, 5, 9)
+        feeders.append(b.tst(7, 6, 0))
+        if second_region:
+            b.la(5, "ys")
+            b.add(6, 5, 9)
+            feeders.append(b.tst(7, 6, 0))
+        if ambiguous:
+            b.la(5, "xs")
+            b.add(6, 5, 9)
+            feeders.append(b.tst(7, 6, 1))  # same region, delta + 1
+        if clobber:
+            b.st(20, 4, 0)     # overwrite idx with an unknown value
+        if reload_idx or clobber:
+            b.ld(9, 4, 0)      # region will use the re-loaded index
+        region_start = b.ldx(8, 5, 9)  # region entry: reads base + r9
+        b.out(8)
+        b.halt()
+    return b.build(), feeders, region_start
+
+
+def test_recovery_single_case_is_the_vpr_shape():
+    program, feeders, region_start = _feeder_program()
+    cfg = main_cfg(program)
+    recovery = prove_param_recovery(program, cfg, region_start, [9], feeders)
+    assert recovery is not None
+    kind, cases = recovery.plans[9]
+    assert kind == "cases" and len(cases) == 1
+    lo, hi, delta = cases[0]
+    xs_base, xs_size = program.layout["xs"]
+    assert (lo, hi, delta) == (xs_base, xs_base + xs_size, xs_base)
+
+
+def test_recovery_two_regions_is_the_twolf_shape():
+    program, feeders, region_start = _feeder_program(second_region=True)
+    cfg = main_cfg(program)
+    recovery = prove_param_recovery(program, cfg, region_start, [9], feeders)
+    assert recovery is not None
+    kind, cases = recovery.plans[9]
+    assert kind == "cases" and len(cases) == 2
+    # descending by region base, one delta per disjoint feeder region
+    assert cases[0][0] > cases[1][0]
+    assert cases[0][2] != cases[1][2]
+
+
+def test_recovery_constant_parameter():
+    b = ProgramBuilder()
+    b.data("xs", [0] * 4)
+    with b.function("main"):
+        b.li(7, 1)
+        b.la(5, "xs")
+        tst_pc = b.tst(7, 5, 0)
+        b.la(9, "xs")          # the "parameter" is a materialized base
+        region_start = b.ld(8, 9, 1)
+        b.out(8)
+        b.halt()
+    program = b.build()
+    recovery = prove_param_recovery(program, main_cfg(program), region_start,
+                                    [9], [tst_pc])
+    assert recovery is not None
+    assert recovery.plans[9] == ("const", program.layout["xs"][0])
+    assert recovery.as_dict() == {
+        "r9": {"kind": "const", "value": program.layout["xs"][0]}}
+
+
+def test_recovery_value_numbering_survives_a_reload():
+    program, feeders, region_start = _feeder_program(reload_idx=True)
+    recovery = prove_param_recovery(program, main_cfg(program), region_start,
+                                    [9], feeders)
+    assert recovery is not None  # re-load shares the first load's symbol
+
+
+def test_recovery_rejects_a_clobbered_index():
+    program, feeders, region_start = _feeder_program(clobber=True)
+    recovery = prove_param_recovery(program, main_cfg(program), region_start,
+                                    [9], feeders)
+    assert recovery is None  # the store killed the memoized load
+
+
+def test_recovery_rejects_same_region_different_deltas():
+    program, feeders, region_start = _feeder_program(ambiguous=True)
+    recovery = prove_param_recovery(program, main_cfg(program), region_start,
+                                    [9], feeders)
+    assert recovery is None  # r1 cannot tell the two deltas apart
+
+
+def test_recovery_rejects_a_parameter_the_feeder_does_not_determine():
+    b = ProgramBuilder()
+    b.data("idx", [3])
+    b.data("xs", [0] * 8)
+    with b.function("main"):
+        b.la(4, "idx")
+        b.ld(9, 4, 0)          # r9 = a loaded index...
+        b.li(7, 1)
+        b.la(5, "xs")
+        tst_pc = b.tst(7, 5, 0)  # ...but the feeder address is constant
+        region_start = b.ldx(8, 5, 9)
+        b.out(8)
+        b.halt()
+    program = b.build()
+    recovery = prove_param_recovery(program, main_cfg(program), region_start,
+                                    [9], [tst_pc])
+    # address(feeder) - value(r9) is symbolic, not a constant: r1 at
+    # thread entry carries no information about the loaded index
+    assert recovery is None
+
+
+def test_segment_start_stops_at_joins():
+    b = ProgramBuilder()
+    b.data("xs", [0] * 4)
+    with b.function("main"):
+        b.li(4, 1)
+        skip = b.fresh_label("j")
+        b.beqz(4, skip)
+        b.li(5, 2)
+        b.label(skip)
+        join_pc = b.la(6, "xs")   # two predecessors: segment starts here
+        b.li(7, 3)
+        region = b.ld(8, 6, 0)
+        b.out(8)
+        b.halt()
+    program = b.build()
+    assert segment_start(main_cfg(program), region) == join_pc
+
+
+# -- the symbolic dataflow over thread bodies ----------------------------------
+
+
+def _thread_program(body):
+    b = ProgramBuilder()
+    b.data("xs", [5, 6, 7, 8])
+    b.zeros("ys", 4)
+    with b.thread("worker"):
+        body(b)
+        b.treturn()
+    with b.function("main"):
+        b.la(4, "xs")
+        b.li(5, 9)
+        tst_pc = b.tst(5, 4, 1)
+        b.tcheck_thread("worker")
+        b.halt()
+    return b.build(), TriggerSpec("worker", store_pcs=[tst_pc])
+
+
+def test_thread_accesses_resolve_as_r1_affine_and_constants():
+    def body(b):
+        b.ld(4, 1, 0)          # mem[r1]
+        b.la(5, "ys")
+        b.st(4, 5, 2)          # constant address
+
+    program, spec = _thread_program(body)
+    values = SymbolicValues(thread_cfg(program, "worker"),
+                            thread_entry_env())
+    addresses = symbolic_access_map(values)
+    exprs = {pc: e for pc, e in addresses.items() if e is not None}
+    assert len(addresses) == 2 and len(exprs) == 2
+    described = sorted(e.describe() for e in exprs.values())
+    ys_base = program.layout["ys"][0]
+    assert described == sorted(["r1", str(ys_base + 2)])
+
+
+def test_loop_carried_addresses_widen_to_none():
+    def body(b):
+        b.la(5, "xs")
+        b.li(6, 0)
+        with b.scratch(1) as (i,):
+            with b.for_range(i, 0, 4):
+                b.ldx(4, 5, i)   # i joins over iterations: widened
+                b.add(6, 6, 4)
+        b.la(7, "ys")
+        b.st(6, 7, 0)
+
+    program, spec = _thread_program(body)
+    values = SymbolicValues(thread_cfg(program, "worker"),
+                            thread_entry_env())
+    addresses = symbolic_access_map(values)
+    loads = [e for pc, e in sorted(addresses.items())][:-1]
+    assert any(e is None for e in loads)  # the loop body ldx widened
+    report = symbolic_report(program, [spec])
+    assert report[0]["thread"] == "worker"
+    assert report[0]["resolved"] < len(report[0]["accesses"])
+
+
+# -- clean/flagging twins: symbolic-unresolved-region --------------------------
+
+
+def test_unresolved_region_flags_a_top_top_access():
+    def body(b):
+        b.ld(4, 9, 0)          # r9 is stale: concrete top, symbolic None
+
+    program, spec = _thread_program(body)
+    findings = analyze_program(program, [spec])
+    assert "symbolic-unresolved-region" in _codes(findings)
+
+
+def test_unresolved_region_stays_quiet_when_addresses_resolve():
+    def body(b):
+        b.ld(4, 1, 0)
+        b.la(5, "ys")
+        b.st(4, 5, 0)
+
+    program, spec = _thread_program(body)
+    findings = analyze_program(program, [spec])
+    assert "symbolic-unresolved-region" not in _codes(findings)

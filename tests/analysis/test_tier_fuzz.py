@@ -12,14 +12,26 @@ Counterexamples found by hypothesis are committed to
 plus hand-picked seeds for known-tricky shapes) and replayed here as
 plain regression cases, so shrunk repros outlive the fuzz run that
 found them.  ROADMAP item 5 grows from this harness.
+
+A second differential family lives at the bottom of this file: random
+*DTT* programs (feeder ``tst`` + support thread + optional ``tcheck``)
+are judged twice — statically by ``repro.analysis.checks`` and
+dynamically by running the engine under every schedule/poison corner —
+and the two verdicts must agree.  See the "analyzer vs engine" section
+for the construction that makes the analyzer exact on this family.
 """
 
 import json
+import random
 from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import analyze_program
+from repro.analysis.findings import Severity
+from repro.core.engine import DttEngine
+from repro.core.registry import ThreadRegistry, TriggerSpec
 from repro.core.trace import EngineTrace
 from repro.isa.builder import ProgramBuilder
 from repro.machine.context import ContextState
@@ -249,3 +261,296 @@ def test_dtt_trace_streams_identical_across_tiers(tier):
     assert list(tier_machine.output) == list(legacy_machine.output)
     assert (tier_machine.instructions_executed
             == legacy_machine.instructions_executed)
+
+
+# -- analyzer vs engine differential fuzz (DTT programs) -----------------------
+#
+# Random DTT programs from a restricted family on which the static
+# analyzer is *exact*, so its error verdict and the engine's dynamic
+# verdict must coincide:
+#
+#   * one feeder ``tst`` into xs[trigger_cell] (constant addressing, a
+#     fresh value, so the same-value filter never suppresses it);
+#   * a straight-line support thread that derives one value (from the
+#     trigger cell, the trigger value, constants, fixed xs/ys cells, or
+#     a deliberately-uninitialized register) and stores it to ys;
+#   * main-context loads/stores between the ``tst`` and an optional
+#     ``tcheck``, then a final print of every ys cell.
+#
+# Dynamic verdict = four runs pooled: {late, early} schedule x {zero,
+# poison} support-context registers.  "Late" is the synchronous engine
+# (activations run at the tcheck; never, absent one).  "Early" is a
+# deferred engine driven eagerly (activations dispatched and run to
+# completion the moment they fire).  Any paper-contract violation the
+# analyzer can flag on this family is observable as a difference
+# between those runs because the construction guarantees:
+#
+#   * every fresh value is a distinct power of eight, and a thread
+#     sums at most four reads, so sums can never carry one value into
+#     another and two different read-sets never collide to the same
+#     output word (a raced read's late value is always a fresh window
+#     store, strictly larger than anything the early read can see);
+#   * the thread always stores to ys[3] and main never stores to
+#     ys[3], so whether/when/with-what the thread ran is always
+#     witnessed by the final print;
+#   * a thread register read either is seeded (r1/r2), is written
+#     first (the scratch regs), or is the deliberate uninitialized
+#     register — whose stale content differs across the poison pair.
+#
+# Single-trigger programs only: dedupe/cancel/overflow paths have their
+# own unit tests; this harness targets the *race* checks.  Note the
+# feeder address is a compile-time constant, so the feasible trigger
+# set is a single address and every race is all-or-nothing — the
+# ``parameterized-race`` SOME-instantiation verdict needs symbolic
+# feeders and is exercised by tests/analysis/test_checks.py instead.
+#
+# Disagreements shrunk by hypothesis get committed to
+# ``dtt_fuzz_corpus.json`` with a note (status: fixed or explained)
+# and replayed as regression cases, mirroring the tier corpus above.
+
+DTT_CORPUS_PATH = Path(__file__).with_name("dtt_fuzz_corpus.json")
+DTT_CORPUS = json.loads(DTT_CORPUS_PATH.read_text())
+
+_TV, _TT = 4, 5  # thread value / scratch registers (always written first)
+_UNINIT_REG = 8  # never written anywhere; read only by "add_uninit"
+_V, _T, _XB, _YB = 4, 5, 6, 7  # main-context registers
+_POISON = 1 << 60  # stale-register sentinel, beyond any program value
+YS_CELLS = 4
+
+
+def lower_dtt(plan):
+    """Lower a DTT plan into ``(program, trigger_spec)``.
+
+    Every ``li`` immediate is a fresh power of eight (64, 512, ...):
+    a thread sums at most four reads, so repeated reads of one value
+    can never carry into a different value's digit, and distinct
+    read-sets always sum to distinct outputs — no dynamic race can
+    hide behind a value collision.
+    """
+    fresh = [64]
+
+    def value():
+        v = fresh[0]
+        fresh[0] <<= 3
+        return v
+
+    b = ProgramBuilder()
+    b.data("xs", [1, 2, 3, 4])
+    b.zeros("ys", YS_CELLS)
+    thread = plan["thread"]
+    with b.thread("worker"):
+        init = thread["init"]
+        if init == "ld_trig":
+            b.ld(_TV, 1, 0)  # the triggered cell, via r1
+        elif init == "use_r2":
+            b.mov(_TV, 2)  # the stored value, via r2
+        else:  # "li"
+            b.li(_TV, value())
+        for op in thread["ops"]:
+            kind = op[0]
+            if kind == "add_const":
+                b.addi(_TV, _TV, value())
+            elif kind == "add_uninit":
+                b.add(_TV, _TV, _UNINIT_REG)
+            elif kind == "add_trig":
+                b.ld(_TT, 1, 0)
+                b.add(_TV, _TV, _TT)
+            else:  # add_xs / add_ys: a fixed cell
+                b.la(_TT, "xs" if kind == "add_xs" else "ys")
+                b.ld(_TT, _TT, op[1])
+                b.add(_TV, _TV, _TT)
+        b.la(_TT, "ys")
+        for cell in thread["stores"]:
+            b.st(_TV, _TT, cell)
+        b.treturn()
+
+    def main_ops(ops):
+        for kind, cell in ops:
+            if kind == "st_xs":
+                b.li(_T, value())
+                b.st(_T, _XB, cell)
+            elif kind == "st_ys":
+                b.li(_T, value())
+                b.st(_T, _YB, cell)
+            elif kind == "ld_xs":
+                b.ld(_T, _XB, cell)
+                b.out(_T)
+            else:  # ld_ys
+                b.ld(_T, _YB, cell)
+                b.out(_T)
+
+    with b.function("main"):
+        b.la(_XB, "xs")
+        b.la(_YB, "ys")
+        b.li(_V, value())
+        tst_pc = b.tst(_V, _XB, plan["trigger_cell"])
+        main_ops(plan["window"])
+        if plan["tcheck"]:
+            b.tcheck_thread("worker")
+        main_ops(plan["after"])
+        for cell in range(YS_CELLS):
+            b.ld(_V, _YB, cell)
+            b.out(_V)
+        b.halt()
+    return b.build(), TriggerSpec("worker", store_pcs=[tst_pc])
+
+
+def _run_dtt(program, spec, schedule, poison):
+    machine = Machine(program, num_contexts=2,
+                      max_instructions=MAX_INSTRUCTIONS)
+    engine = DttEngine(ThreadRegistry([spec]),
+                       deferred=(schedule == "early"))
+    machine.attach_engine(engine)
+    main = machine.main_context
+    supports = [ctx for ctx in machine.contexts if ctx is not main]
+    for ctx in supports:  # r0 stays 0; everything else goes stale
+        ctx.regs[1:] = [poison] * (len(ctx.regs) - 1)
+    fault = None
+    try:
+        if schedule == "late":
+            # synchronous engine: activations run inside the tcheck hook
+            while main.state is ContextState.RUNNING:
+                machine.step(main)
+        else:
+            # eager deferred driver: drain the queue and run support
+            # contexts to completion before main takes another step
+            while True:
+                engine.dispatch_pending()
+                support = next(
+                    (ctx for ctx in supports if ctx.runnable), None)
+                if support is not None:
+                    machine.step(support)
+                    continue
+                if main.state is ContextState.RUNNING:
+                    machine.step(main)
+                    continue
+                assert main.state is not ContextState.BLOCKED, (
+                    "main deadlocked at tcheck with a drained queue")
+                break
+    except Exception as exc:  # noqa: BLE001 - fault identity is the point
+        fault = (type(exc).__name__, str(exc))
+    return {"fault": fault, "output": [_norm(v) for v in machine.output]}
+
+
+def dtt_verdicts(plan):
+    """(analyzer error codes, dynamic-clean flag, the four run outcomes).
+
+    The dynamic oracle compares *output and fault only* — not raw
+    memory: DTT's contract governs what main observes, and lazily vs
+    eagerly evaluated derived data may legitimately sit in memory at
+    different times.  The unconditional final ys print makes every
+    contract-relevant difference reach the output.
+    """
+    program, spec = lower_dtt(plan)
+    errors = sorted({f.code for f in analyze_program(program, [spec])
+                     if f.severity is Severity.ERROR})
+    outcomes = [_run_dtt(program, spec, schedule, poison)
+                for schedule in ("late", "early")
+                for poison in (0, _POISON)]
+    dynamic_clean = all(run == outcomes[0] for run in outcomes[1:])
+    return errors, dynamic_clean, outcomes
+
+
+def assert_analyzer_and_engine_agree(plan):
+    errors, dynamic_clean, outcomes = dtt_verdicts(plan)
+    if errors:
+        assert not dynamic_clean, (
+            f"analyzer flagged {errors} but every schedule/poison run "
+            f"agreed on {plan!r} — spurious error or unobservable race")
+    else:
+        assert dynamic_clean, (
+            f"analyzer saw no errors but runs diverged on {plan!r}: "
+            f"{outcomes!r} — analyzer soundness gap")
+    return errors, dynamic_clean
+
+
+def _compose_dtt_plan(pick, coin):
+    """One plan from two primitives, shared by hypothesis and the
+    seeded sweep so both explore the identical family."""
+    thread_ops = []
+    for _ in range(pick([0, 1, 2, 3])):
+        kind = pick(["add_const", "add_uninit", "add_trig",
+                     "add_xs", "add_ys"])
+        if kind in ("add_xs", "add_ys"):
+            thread_ops.append([kind, pick([0, 1, 2, 3])])
+        else:
+            thread_ops.append([kind])
+    # ys[3] is the thread's reserved witness cell: main never stores it
+    stores = [3] + ([pick([0, 1, 2])] if coin() else [])
+
+    def main_op(avoid_ys=()):
+        # post-tcheck stores avoid the thread's cells: a post-barrier
+        # overwrite would mask a real in-window ordering race from the
+        # dynamic oracle while the analyzer (rightly) still flags it
+        kind = pick(["st_xs", "st_ys", "ld_xs", "ld_ys"])
+        if kind == "st_ys":
+            return [kind, pick([c for c in (0, 1, 2) if c not in avoid_ys])]
+        return [kind, pick([0, 1, 2, 3])]
+
+    return {
+        "trigger_cell": pick([0, 1, 2, 3]),
+        "tcheck": coin() or coin(),  # ~75% consume via tcheck
+        "thread": {"init": pick(["ld_trig", "use_r2", "li"]),
+                   "ops": thread_ops,
+                   "stores": stores},
+        "window": [main_op() for _ in range(pick([0, 1, 2, 3]))],
+        "after": [main_op(avoid_ys=stores)
+                  for _ in range(pick([0, 1, 2]))],
+    }
+
+
+@st.composite
+def dtt_plan(draw):
+    return _compose_dtt_plan(
+        lambda options: draw(st.sampled_from(options)),
+        lambda: draw(st.booleans()),
+    )
+
+
+@given(dtt_plan())
+@settings(max_examples=60, deadline=None)
+def test_random_dtt_programs_agree_with_the_analyzer(plan):
+    assert_analyzer_and_engine_agree(plan)
+
+
+def test_dtt_differential_sweep_is_disagreement_free():
+    """Bounded CI sweep: 500 seeded programs, zero unexplained
+    analyzer/engine disagreements, both verdicts well represented."""
+    rng = random.Random(0xD77)
+    disagreements = []
+    clean = dirty = 0
+    for index in range(500):
+        plan = _compose_dtt_plan(rng.choice, lambda: rng.random() < 0.5)
+        try:
+            errors, _ = assert_analyzer_and_engine_agree(plan)
+        except AssertionError as exc:
+            disagreements.append((index, plan, str(exc)))
+            continue
+        if errors:
+            dirty += 1
+        else:
+            clean += 1
+    assert not disagreements, disagreements[:3]
+    # a sweep that lands on one verdict only proves nothing
+    assert clean >= 50 and dirty >= 50, (clean, dirty)
+
+
+@pytest.mark.parametrize("name", sorted(DTT_CORPUS))
+def test_dtt_corpus_case_agrees(name):
+    case = DTT_CORPUS[name]
+    errors, dynamic_clean = assert_analyzer_and_engine_agree(case["plan"])
+    if case["expect"] == "clean":
+        assert not errors and dynamic_clean, (errors, dynamic_clean)
+    else:
+        assert errors and not dynamic_clean, (errors, dynamic_clean)
+    assert set(case["codes"]) <= set(errors), (case["codes"], errors)
+
+
+def test_dtt_corpus_covers_both_verdicts_and_every_race_code():
+    expects = {case["expect"] for case in DTT_CORPUS.values()}
+    assert expects == {"clean", "dirty"}
+    codes = set()
+    for case in DTT_CORPUS.values():
+        codes.update(case["codes"])
+    assert {"read-race", "write-race", "consume-before-complete",
+            "uninitialized-register"} <= codes, sorted(codes)

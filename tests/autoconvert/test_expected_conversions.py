@@ -1,9 +1,11 @@
-"""The converter's decisions on the CI smoke pair are pinned.
+"""The converter's decisions on the CI smoke set are pinned.
 
 ``expected_conversions.json`` records exactly which store-site →
-region pairs the gate accepts for perlbmk and gap.  A change here is
-not necessarily wrong — but it must be deliberate: regenerate the file
-and explain the shift in the commit that causes it.
+region pairs the gate accepts for perlbmk and gap (register-closed
+regions) and vpr and twolf (parameterized regions recovered through
+the symbolic pass).  A change here is not necessarily wrong — but it
+must be deliberate: regenerate the file and explain the shift in the
+commit that causes it.
 """
 
 import json
@@ -25,7 +27,8 @@ def test_conversion_decisions_are_pinned(name):
     expected = EXPECTED[name]
     got = [{"region_start": c.region_start,
             "region_end": c.region_end,
-            "store_pcs": sorted(c.store_pcs)}
+            "store_pcs": sorted(c.store_pcs),
+            "params": [f"r{reg}" for reg in c.params]}
            for c in result.accepted]
     assert got == expected["accepted"], (
         f"{name}: accepted set drifted; regenerate "

@@ -4,6 +4,7 @@ import json
 
 from repro.analysis.checks import analysis_summary, analyze_program
 from repro.autoconvert import REJECTION_REASONS, convert_program
+from repro.isa.builder import ProgramBuilder
 from repro.workloads.suite import get_workload
 
 from tests.autoconvert.test_candidates import micro_program
@@ -86,8 +87,46 @@ def test_sampled_ranking_still_converts():
 
 
 def test_no_candidates_is_an_empty_result_not_an_error():
-    vpr = get_workload("vpr")  # regions read the loop counter: none pass
-    result = convert_program(vpr.build_baseline(vpr.make_input()))
+    b = ProgramBuilder()
+    b.data("xs", [1, 2, 3, 4])
+    with b.function("main"):
+        with b.scratch(2) as (t, v):
+            b.la(t, "xs")
+            b.ld(v, t, 0)
+            b.out(v)
+        b.halt()
+    result = convert_program(b.build())
     assert result.considered == 0
     assert result.accepted == []
     assert result.build is None
+
+
+def test_vpr_converts_via_the_parameterized_path():
+    # the channel-id regions read r7 as a parameter; the symbolic pass
+    # proves r7 = r1 - cap_base and the gate accepts the conversion
+    vpr = get_workload("vpr")
+    result = convert_program(vpr.build_baseline(vpr.make_input()))
+    assert len(result.accepted) == 1
+    (candidate,) = result.accepted
+    assert candidate.params
+    assert candidate.recovery is not None
+    assert result.rejected == {}
+    assert result.speedup > 1.0
+    assert result.elimination > 0.0
+    findings = analyze_program(result.build.program, result.build.specs)
+    assert analysis_summary(findings)["errors"] == 0
+
+
+def test_twolf_converts_via_the_parameterized_path():
+    # two feeder arrays (x and y) feed one cell parameter; recovery is
+    # the two-case sge chain and the gate still accepts
+    twolf = get_workload("twolf")
+    result = convert_program(twolf.build_baseline(twolf.make_input()))
+    assert len(result.accepted) == 1
+    (candidate,) = result.accepted
+    assert candidate.params
+    plans = candidate.recovery.plans
+    assert any(plan[0] == "cases" and len(plan[1]) == 2
+               for plan in plans.values())
+    assert result.rejected == {}
+    assert result.speedup > 1.0

@@ -43,6 +43,25 @@ def test_architecture_documents_every_check_code():
     )
 
 
+def test_architecture_documents_symbolic_analysis():
+    """The symbolic parameterized-analysis subsection must exist, name
+    every overlap verdict, and carry the check-version fingerprint
+    format, so the v2 race-check semantics cannot drift undocumented."""
+    from repro.analysis.checks import CHECK_VERSIONS
+    from repro.analysis.symbolic import ALL, NONE, SOME, UNKNOWN
+
+    text = (DOCS / "architecture.md").read_text()
+    assert "### Symbolic parameterized analysis" in text
+    missing = [v for v in sorted({ALL, NONE, SOME, UNKNOWN})
+               if f"`{v}`" not in text]
+    missing += [f"{code}.v{version}"
+                for code, version in sorted(CHECK_VERSIONS.items())
+                if version > 1 and f"(v{version})" not in text]
+    assert not missing, (
+        f"symbolic surfaces missing from docs/architecture.md: {missing}"
+    )
+
+
 def test_architecture_documents_every_rejection_reason():
     """The Automatic conversion section must document every way the
     acceptance gate can reject a candidate."""
